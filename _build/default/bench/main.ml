@@ -1,0 +1,159 @@
+(* Benchmark & reproduction harness.
+
+   Usage:
+     bench/main.exe                     run every artefact, then perf
+     bench/main.exe fig2                one artefact (see list below)
+     bench/main.exe all --out results/  also write one file per artefact
+     bench/main.exe quick               cheap subset (used by CI/tests)
+
+   Artefacts: fig2..fig11, theorem1, ablation-adversary, ablation-random,
+   ablation-load, ablation-online, baseline-copyset, perf.
+
+   Each figN prints the rows/series of the corresponding figure or table
+   of the paper (see DESIGN.md §4 and EXPERIMENTS.md). *)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core algorithms                    *)
+
+let perf_tests () =
+  let open Bechamel in
+  let sts69 = Designs.Steiner_triple.make 69 in
+  let layout_2400 =
+    (Placement.Simple.of_design sts69 ~n:71 ~b:2400).Placement.Simple.layout
+  in
+  let params_9600 = Placement.Params.make ~b:9600 ~r:3 ~s:3 ~n:71 ~k:5 in
+  let levels = Placement.Combo.default_levels ~n:71 ~r:3 ~s:3 () in
+  let params_rnd = Placement.Params.make ~b:600 ~r:3 ~s:2 ~n:71 ~k:4 in
+  [
+    Test.make ~name:"sts_69"
+      (Staged.stage (fun () -> Designs.Steiner_triple.make 69));
+    Test.make ~name:"sts_255"
+      (Staged.stage (fun () -> Designs.Steiner_triple.make 255));
+    Test.make ~name:"spherical_17"
+      (Staged.stage (fun () -> Designs.Spherical.make ~q:4 ~d:2));
+    Test.make ~name:"sqs_32"
+      (Staged.stage (fun () -> Designs.Quadruple.make 32));
+    Test.make ~name:"difference_family_41_5"
+      (Staged.stage (fun () -> Designs.Difference_family.find ~v:41 ~r:5 ()));
+    Test.make ~name:"combo_dp_b9600"
+      (Staged.stage (fun () -> Placement.Combo.optimize ~levels params_9600));
+    Test.make ~name:"pr_avail_b38400"
+      (Staged.stage (fun () ->
+           Placement.Random_analysis.pr_avail
+             (Placement.Params.make ~b:38400 ~r:3 ~s:2 ~n:71 ~k:5)));
+    Test.make ~name:"adversary_greedy_b2400"
+      (Staged.stage (fun () ->
+           Placement.Adversary.greedy layout_2400 ~s:2 ~k:4));
+    Test.make ~name:"random_place_b600"
+      (let rng = Combin.Rng.create 42 in
+       Staged.stage (fun () -> Placement.Random_placement.place ~rng params_rnd));
+    Test.make ~name:"adaptive_add_1k"
+      (Staged.stage (fun () ->
+           let t = Placement.Adaptive.create ~n:71 ~r:3 ~s:2 ~k:4 () in
+           ignore (Placement.Adaptive.add_many t 1000)));
+  ]
+
+let run_perf fmt =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let tests = Test.make_grouped ~name:"repro" ~fmt:"%s/%s" (perf_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) -> rows := (name, t) :: !rows
+          | _ -> ())
+        tbl;
+      List.iter
+        (fun (name, t) -> Format.fprintf fmt "%-36s %14.1f ns/run@." name t)
+        (List.sort compare !rows))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Artefact table                                                      *)
+
+let artefacts : (string * string * (Format.formatter -> unit)) list =
+  [
+    ("fig2", "Fig 2", Experiments.Fig2.print);
+    ("fig3", "Fig 3", Experiments.Fig3.print);
+    ("fig4", "Fig 4", Experiments.Fig4.print);
+    ("fig5", "Fig 5", Experiments.Fig5.print_fig5);
+    ("fig6", "Fig 6", Experiments.Fig5.print_fig6);
+    ("fig7", "Fig 7", fun fmt -> Experiments.Fig7.print fmt);
+    ("fig8", "Fig 8", Experiments.Fig8.print);
+    ("fig9", "Fig 9", Experiments.Fig9.print);
+    ("fig10", "Fig 10", Experiments.Fig10.print);
+    ("fig11", "Fig 11", Experiments.Fig11.print);
+    ("theorem1", "Theorem 1", Experiments.Theorem1.print);
+    ("ablation-adversary", "Ablation: adversary", Experiments.Ablation.print_adversary);
+    ("ablation-random", "Ablation: random placement", Experiments.Ablation.print_random);
+    ("ablation-load", "Ablation: load balance", Experiments.Ablation.print_load);
+    ("ablation-online", "Ablation: online vs offline", Experiments.Ablation.print_online);
+    ("baseline-copyset", "Baseline: copyset replication", Experiments.Baseline.print);
+    ("perf", "Perf (Bechamel micro-benchmarks)", run_perf);
+  ]
+
+let run_one ~out (name, title, print) =
+  (* Render once into a buffer so expensive artefacts are not recomputed
+     when also writing to a file. *)
+  let buf = Buffer.create 4096 in
+  let bfmt = Format.formatter_of_buffer buf in
+  print bfmt;
+  Format.pp_print_flush bfmt ();
+  let text = Buffer.contents buf in
+  let stdout_fmt = Format.std_formatter in
+  Format.fprintf stdout_fmt "@.==== %s ====@.%s" title text;
+  match out with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".txt") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc text);
+      Format.fprintf stdout_fmt "(written to %s)@." path
+
+let run_quick () =
+  let fmt = Format.std_formatter in
+  Format.fprintf fmt "@.==== Quick subset ====@.";
+  Experiments.Fig4.print fmt;
+  Experiments.Fig8.print fmt;
+  Experiments.Fig11.print fmt;
+  Experiments.Theorem1.print fmt
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec split_out acc = function
+    | "--out" :: dir :: rest -> (List.rev_append acc rest, Some dir)
+    | x :: rest -> split_out (x :: acc) rest
+    | [] -> (List.rev acc, None)
+  in
+  let selectors, out = split_out [] args in
+  (match out with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  match selectors with
+  | [] | [ "all" ] -> List.iter (run_one ~out) artefacts
+  | [ "quick" ] -> run_quick ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) artefacts with
+          | Some artefact -> run_one ~out artefact
+          | None ->
+              Format.eprintf "unknown artefact %S@." name;
+              exit 2)
+        names

@@ -1,0 +1,312 @@
+(* placement-tool: command-line front end to the replica-placement library.
+
+   Subcommands:
+     plan      compute a Combo placement plan and its availability bound
+     analyze   worst-case analysis of Random placement (Theorem 2)
+     designs   list the design catalogue for given (x, r)
+     gap       chunked capacity plan for a system size (Observation 2)
+     simulate  materialize a placement and attack it
+*)
+
+open Cmdliner
+
+let setup_logs () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+(* Shared arguments, paper notation. *)
+let n_arg =
+  Arg.(required & opt (some int) None & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let b_arg =
+  Arg.(required & opt (some int) None & info [ "b"; "objects" ] ~docv:"B" ~doc:"Number of objects.")
+
+let r_arg =
+  Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~docv:"R" ~doc:"Replicas per object.")
+
+let s_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "s"; "fatal" ] ~docv:"S"
+        ~doc:"Number of replica failures that fail an object (1 <= s <= r).")
+
+let k_arg =
+  Arg.(value & opt int 2 & info [ "k"; "failures" ] ~docv:"K" ~doc:"Number of node failures planned for.")
+
+let params_term =
+  let combine n b r s k =
+    match Placement.Params.validate { Placement.Params.b; r; s; n; k } with
+    | Ok p -> `Ok p
+    | Error msg -> `Error (false, "invalid parameters: " ^ msg)
+  in
+  Term.(ret (const combine $ n_arg $ b_arg $ r_arg $ s_arg $ k_arg))
+
+(* ------------------------------------------------------------------ *)
+(* plan *)
+
+let plan_cmd =
+  let run (p : Placement.Params.t) =
+    setup_logs ();
+    let cfg = Placement.Combo.optimize p in
+    Fmt.pr "Combo placement plan for %a@." Placement.Params.pp p;
+    Array.iteri
+      (fun x lambda ->
+        if lambda > 0 then begin
+          let level = cfg.Placement.Combo.levels.(x) in
+          let name =
+            match level.Placement.Combo.entry with
+            | Some e -> e.Designs.Registry.name
+            | None -> "-"
+          in
+          Fmt.pr "  Simple(%d, %d): nx=%d design=%s objects=%d@." x lambda
+            level.Placement.Combo.nx name
+            cfg.Placement.Combo.assigned.(x)
+        end)
+      cfg.Placement.Combo.lambdas;
+    let pr_avail = Placement.Random_analysis.pr_avail p in
+    Fmt.pr "guaranteed available objects (worst %d failures): %d / %d@."
+      p.Placement.Params.k cfg.Placement.Combo.lb p.Placement.Params.b;
+    Fmt.pr "Random placement, probable availability:          %d / %d@."
+      pr_avail p.Placement.Params.b;
+    if cfg.Placement.Combo.lb > pr_avail then
+      Fmt.pr "=> Combo saves %d of the %d objects Random probably loses.@."
+        (cfg.Placement.Combo.lb - pr_avail)
+        (p.Placement.Params.b - pr_avail)
+    else if cfg.Placement.Combo.lb < pr_avail then
+      Fmt.pr "=> Random probably does better here (by %d objects).@."
+        (pr_avail - cfg.Placement.Combo.lb)
+    else Fmt.pr "=> Tie.@."
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Compute a Combo placement plan and its availability bound.")
+    Term.(const run $ params_term)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze_cmd =
+  let run (p : Placement.Params.t) =
+    setup_logs ();
+    let prob = Placement.Random_analysis.single_object_fail_probability p in
+    Fmt.pr "Worst-case analysis of load-balanced Random placement@.";
+    Fmt.pr "  parameters: %a@." Placement.Params.pp p;
+    Fmt.pr "  per-object kill probability under a fixed worst K: %.3e@." prob;
+    Fmt.pr "  prAvail_rnd (Definition 6): %d / %d (%.4f)@."
+      (Placement.Random_analysis.pr_avail p)
+      p.Placement.Params.b
+      (Placement.Random_analysis.pr_avail_fraction p);
+    if p.Placement.Params.s = 1 && 2 * p.Placement.Params.k < p.Placement.Params.n
+    then
+      Fmt.pr "  Lemma 4 upper bound (s = 1): %.1f@."
+        (Placement.Random_analysis.s1_upper_bound p)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Worst-case availability analysis of Random placement.")
+    Term.(const run $ params_term)
+
+(* ------------------------------------------------------------------ *)
+(* designs *)
+
+let designs_cmd =
+  let x_arg =
+    Arg.(value & opt int 1 & info [ "x" ] ~docv:"X" ~doc:"Overlap bound (strength t = x+1).")
+  in
+  let max_v_arg =
+    Arg.(value & opt int 100 & info [ "max-v" ] ~docv:"V" ~doc:"Largest design size to list.")
+  in
+  let mu_arg =
+    Arg.(value & opt int 1 & info [ "max-mu" ] ~docv:"MU" ~doc:"Largest design multiplicity.")
+  in
+  let run x r max_v max_mu =
+    setup_logs ();
+    let entries =
+      Designs.Registry.entries ~max_mu ~strength:(x + 1) ~block_size:r ~max_v ()
+    in
+    Fmt.pr "Catalogue of %d-(v, %d, mu) designs with v <= %d, mu <= %d@."
+      (x + 1) r max_v max_mu;
+    List.iter
+      (fun (e : Designs.Registry.entry) ->
+        Fmt.pr "  v=%-4d mu=%-2d blocks=%-8d %-30s %s@." e.v e.mu e.blocks
+          e.name
+          (if Designs.Registry.is_materialized e then "[materialized]"
+           else "[literature]"))
+      entries
+  in
+  Cmd.v
+    (Cmd.info "designs" ~doc:"List the design catalogue for a given (x, r).")
+    Term.(const run $ x_arg $ r_arg $ max_v_arg $ mu_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gap *)
+
+let gap_cmd =
+  let x_arg =
+    Arg.(value & opt int 1 & info [ "x" ] ~docv:"X" ~doc:"Overlap bound (strength t = x+1).")
+  in
+  let mu_arg =
+    Arg.(value & opt int 1 & info [ "max-mu" ] ~docv:"MU" ~doc:"Largest common multiplicity.")
+  in
+  let run n x r max_mu =
+    setup_logs ();
+    match
+      Designs.Chunking.best_plan ~max_mu ~strength:(x + 1) ~block_size:r ~n ()
+    with
+    | None -> Fmt.pr "No chunk plan found for n=%d, x=%d, r=%d.@." n x r
+    | Some plan ->
+        Fmt.pr "Best chunk plan for n=%d, x=%d, r=%d (mu <= %d):@." n x r max_mu;
+        List.iter
+          (fun (e : Designs.Registry.entry) ->
+            Fmt.pr "  chunk: %s (v=%d, mu=%d, %d blocks)@." e.name e.v e.mu
+              e.blocks)
+          plan.Designs.Chunking.chunks;
+        Fmt.pr "  lambda=%d capacity=%d ideal=%d gap=%.4f@."
+          plan.Designs.Chunking.lambda plan.Designs.Chunking.capacity
+          (Designs.Chunking.ideal_capacity ~strength:(x + 1) ~block_size:r
+             ~lambda:plan.Designs.Chunking.lambda n)
+          (Designs.Chunking.capacity_gap ~strength:(x + 1) ~block_size:r ~n plan)
+  in
+  Cmd.v
+    (Cmd.info "gap" ~doc:"Chunked capacity plan for a system size (Observation 2).")
+    Term.(const run $ n_arg $ x_arg $ r_arg $ mu_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let attack_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "layout" ] ~docv:"FILE" ~doc:"Layout file written by simulate --out.")
+  in
+  let s_only =
+    Arg.(value & opt int 2 & info [ "s"; "fatal" ] ~docv:"S" ~doc:"Fatality threshold.")
+  in
+  let k_only =
+    Arg.(value & opt int 2 & info [ "k"; "failures" ] ~docv:"K" ~doc:"Nodes to fail.")
+  in
+  let run file s k =
+    setup_logs ();
+    match Placement.Codec.load file with
+    | Error msg ->
+        Fmt.epr "cannot load %s: %s@." file msg;
+        exit 1
+    | Ok layout ->
+        let attack = Placement.Adversary.best layout ~s ~k in
+        Fmt.pr "Worst-case attack on %s (b=%d, n=%d, r=%d)@." file
+          (Placement.Layout.b layout)
+          layout.Placement.Layout.n layout.Placement.Layout.r;
+        Fmt.pr "  failed nodes: %a@."
+          Fmt.(brackets (array ~sep:comma int))
+          attack.Placement.Adversary.failed_nodes;
+        Fmt.pr "  available objects: %d / %d (adversary %s)@."
+          (Placement.Adversary.avail layout ~s attack)
+          (Placement.Layout.b layout)
+          (if attack.Placement.Adversary.exact then "exact" else "heuristic")
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Attack a layout exported with simulate --out.")
+    Term.(const run $ file_arg $ s_only $ k_only)
+
+let simulate_cmd =
+  let strategy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("combo", `Combo); ("random", `Random) ]) `Combo
+      & info [ "strategy" ] ~docv:"STRAT" ~doc:"Placement strategy: combo or random.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also export the layout to a file.")
+  in
+  let run (p : Placement.Params.t) strategy seed out =
+    setup_logs ();
+    let rng = Combin.Rng.create seed in
+    let layout =
+      match strategy with
+      | `Combo -> Placement.Combo.materialize (Placement.Combo.optimize p)
+      | `Random -> Placement.Random_placement.place ~rng p
+    in
+    let attack =
+      Placement.Adversary.best ~rng layout ~s:p.Placement.Params.s
+        ~k:p.Placement.Params.k
+    in
+    Fmt.pr "Simulated worst-case attack on a %s placement@."
+      (match strategy with `Combo -> "Combo" | `Random -> "Random");
+    Fmt.pr "  failed nodes: %a@."
+      Fmt.(brackets (array ~sep:comma int))
+      attack.Placement.Adversary.failed_nodes;
+    Fmt.pr "  failed objects: %d / %d  (adversary %s)@."
+      attack.Placement.Adversary.failed_objects p.Placement.Params.b
+      (if attack.Placement.Adversary.exact then "exact" else "heuristic");
+    Fmt.pr "  available: %d@."
+      (Placement.Adversary.avail layout ~s:p.Placement.Params.s attack);
+    match out with
+    | None -> ()
+    | Some path ->
+        Placement.Codec.save path layout;
+        Fmt.pr "  layout written to %s@." path
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Materialize a placement and attack it.")
+    Term.(const run $ params_term $ strategy_arg $ seed_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* recommend *)
+
+let recommend_cmd =
+  let target_arg =
+    Arg.(
+      value
+      & opt float 99.9
+      & info [ "target" ] ~docv:"PCT"
+          ~doc:"Required guaranteed availability, as a percentage of b.")
+  in
+  let run n b k target =
+    setup_logs ();
+    Fmt.pr
+      "Cheapest (r, s) guaranteeing >= %.2f%% of %d objects against the worst %d of %d nodes@."
+      target b k n;
+    let found = ref false in
+    List.iter
+      (fun r ->
+        if not !found && r <= n then
+          List.iter
+            (fun s ->
+              if (not !found) && s <= r && k >= s then begin
+                match Placement.Params.validate { Placement.Params.b; r; s; n; k } with
+                | Error _ -> ()
+                | Ok p ->
+                    let cfg = Placement.Combo.optimize p in
+                    let pct =
+                      100.0 *. float_of_int cfg.Placement.Combo.lb /. float_of_int b
+                    in
+                    Fmt.pr "  r=%d s=%d: guarantee %d (%.3f%%)%s@." r s
+                      cfg.Placement.Combo.lb pct
+                      (if pct >= target then "  <- RECOMMENDED" else "");
+                    if pct >= target then found := true
+              end)
+            (List.sort_uniq compare [ r; r - (r / 2); 2; 1 ]
+            |> List.rev) (* read-any first, then majority/2/write-all *))
+      [ 2; 3; 4; 5 ];
+    if not !found then
+      Fmt.pr "  no configuration with r <= 5 reaches the target; lower the target or k.@."
+  in
+  Cmd.v
+    (Cmd.info "recommend"
+       ~doc:"Find the cheapest replication config meeting an availability target.")
+    Term.(const run $ n_arg $ b_arg $ k_arg $ target_arg)
+
+let main_cmd =
+  let doc = "replica placement for availability in the worst case (ICDCS'15 reproduction)" in
+  Cmd.group
+    (Cmd.info "placement-tool" ~version:"1.0.0" ~doc)
+    [ plan_cmd; analyze_cmd; designs_cmd; gap_cmd; simulate_cmd; attack_cmd; recommend_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

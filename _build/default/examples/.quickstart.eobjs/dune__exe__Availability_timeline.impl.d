@@ -1,0 +1,1 @@
+examples/availability_timeline.ml: Combin Dsim Placement Printf

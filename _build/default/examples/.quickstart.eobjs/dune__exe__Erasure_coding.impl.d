@@ -1,0 +1,1 @@
+examples/erasure_coding.ml: Array Combin Designs Dsim List Placement Printf

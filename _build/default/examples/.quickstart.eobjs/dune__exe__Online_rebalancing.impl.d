@@ -1,0 +1,1 @@
+examples/online_rebalancing.ml: Array Combin List Placement Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Combin Designs Dsim Format List Placement Printf

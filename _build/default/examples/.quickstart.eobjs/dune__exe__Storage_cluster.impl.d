@@ -1,0 +1,1 @@
+examples/storage_cluster.ml: Array Combin Dsim List Placement Printf String

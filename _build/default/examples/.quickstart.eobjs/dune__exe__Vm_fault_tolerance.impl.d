@@ -1,0 +1,1 @@
+examples/vm_fault_tolerance.ml: Array Combin Dsim List Placement Printf

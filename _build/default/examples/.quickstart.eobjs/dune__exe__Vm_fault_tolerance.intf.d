@@ -1,0 +1,1 @@
+examples/vm_fault_tolerance.mli:

@@ -1,0 +1,55 @@
+(* Capacity planner: a what-if sweep for an operator choosing replication
+   settings.
+
+   For a fixed fleet (n = 257 nodes) and object count (b = 9600), sweep
+   the replication factor r, fatality threshold s, and planned failure
+   count k, and print the guaranteed (Combo) and probable (Random)
+   availability side by side — the table an operator would consult to
+   decide how much replication buys how much worst-case safety.
+
+   Run with:  dune exec examples/capacity_planner.exe *)
+
+let n = 257
+let b = 9600
+
+let () =
+  Printf.printf
+    "fleet: n=%d nodes, b=%d objects; entries are objects surviving the worst k failures\n"
+    n b;
+  Printf.printf "%-14s %-6s %-22s %-22s\n" "config" "k" "combo (guaranteed)"
+    "random (probable)";
+  List.iter
+    (fun (r, s, label) ->
+      List.iter
+        (fun k ->
+          if k >= s then begin
+            let params = Placement.Params.make ~b ~r ~s ~n ~k in
+            let plan = Placement.Combo.optimize params in
+            let pr = Placement.Random_analysis.pr_avail params in
+            Printf.printf "%-14s k=%-4d %-22s %-22s%s\n" label k
+              (Printf.sprintf "%d (%.2f%%)" plan.Placement.Combo.lb
+                 (100.0 *. float_of_int plan.Placement.Combo.lb /. float_of_int b))
+              (Printf.sprintf "%d (%.2f%%)" pr
+                 (100.0 *. float_of_int pr /. float_of_int b))
+              (if plan.Placement.Combo.lb > pr then "  <- combo wins"
+               else if plan.Placement.Combo.lb < pr then "  <- random wins"
+               else "")
+          end)
+        [ 2; 4; 6; 8 ])
+    [
+      (2, 2, "r=2 mirror");
+      (3, 2, "r=3 majority");
+      (3, 3, "r=3 read-any");
+      (4, 2, "r=4 quorum");
+      (5, 3, "r=5 majority");
+    ];
+  (* How sensitive is the r=5 majority plan to the planned k? *)
+  let params = Placement.Params.make ~b ~r:5 ~s:3 ~n ~k:6 in
+  let plan = Placement.Combo.optimize params in
+  Printf.printf
+    "\nsensitivity of the r=5 s=3 plan (configured for k=6) to the actual k:\n";
+  List.iter
+    (fun k ->
+      Printf.printf "  actual k=%d: bound %d\n" k
+        (Placement.Combo.lb_avail_co plan ~k))
+    [ 4; 5; 6; 7; 8; 10 ]

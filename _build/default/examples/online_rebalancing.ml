@@ -1,0 +1,76 @@
+(* Online placement: objects come and go.
+
+   The paper leaves adapting placements to object churn as future work
+   (Sec. IV-D); Placement.Adaptive implements it.  This example runs a
+   year of simulated churn on a 71-node cluster — provisioning bursts,
+   steady growth, decommissioning waves — and tracks the live worst-case
+   guarantee against (a) what a from-scratch offline Combo placement
+   would guarantee at each instant, and (b) the Random-placement
+   baseline.
+
+   Run with:  dune exec examples/online_rebalancing.exe *)
+
+let n = 71
+let r = 3
+let s = 2
+let k = 4
+
+let report t label =
+  let size = Placement.Adaptive.size t in
+  let lb = Placement.Adaptive.lower_bound t in
+  let opt = Placement.Adaptive.optimal_bound t in
+  let pr =
+    if size = 0 then 0
+    else
+      Placement.Random_analysis.pr_avail
+        (Placement.Params.make ~b:size ~r ~s ~n ~k)
+  in
+  Printf.printf "%-28s b=%-5d guarantee=%-5d offline-optimal=%-5d random-probable=%-5d%s\n"
+    label size lb opt pr
+    (if lb = opt then "  (no cost of being online)" else "")
+
+let () =
+  let rng = Combin.Rng.create 0x0CEA in
+  let t = Placement.Adaptive.create ~n ~r ~s ~k () in
+  Printf.printf "adaptive Combo placement on n=%d nodes (r=%d, s=%d, planned k=%d)\n\n" n r s k;
+
+  (* Initial provisioning. *)
+  let live = ref [] in
+  let add count =
+    live := Placement.Adaptive.add_many t count @ !live
+  in
+  let remove_random count =
+    for _ = 1 to count do
+      match !live with
+      | [] -> ()
+      | _ ->
+          let arr = Array.of_list !live in
+          let victim = arr.(Combin.Rng.int rng (Array.length arr)) in
+          Placement.Adaptive.remove t victim;
+          live := List.filter (fun id -> id <> victim) !live
+    done
+  in
+  add 500;
+  report t "initial provisioning (500)";
+  add 800;
+  report t "growth burst (+800)";
+  remove_random 400;
+  report t "decommission wave (-400)";
+  add 1500;
+  report t "migration inflow (+1500)";
+  remove_random 1000;
+  report t "cleanup (-1000)";
+  add 2000;
+  report t "steady growth (+2000)";
+
+  (* Verify the live guarantee against an actual adversary. *)
+  let layout = Placement.Adaptive.layout t in
+  let attack = Placement.Adversary.best layout ~s ~k in
+  Printf.printf
+    "\nadversary check on the final layout: %d survive (guarantee was %d, adversary %s)\n"
+    (Placement.Adversary.avail layout ~s attack)
+    (Placement.Adaptive.lower_bound t)
+    (if attack.Placement.Adversary.exact then "exact" else "heuristic");
+  Printf.printf "effective lambda per level: %s\n"
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int (Placement.Adaptive.lambdas t))))

@@ -1,0 +1,1 @@
+lib/combin/binomial.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/combin/binomial.mli:

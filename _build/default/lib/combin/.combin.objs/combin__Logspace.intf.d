@@ -1,0 +1,1 @@
+lib/combin/logspace.mli:

@@ -1,0 +1,1 @@
+lib/combin/rng.ml: Array Int Int64 Set

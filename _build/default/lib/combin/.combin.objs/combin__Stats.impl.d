@@ -1,0 +1,1 @@
+lib/combin/stats.ml: Array

@@ -1,0 +1,1 @@
+lib/combin/subset.mli:

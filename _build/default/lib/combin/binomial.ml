@@ -1,0 +1,59 @@
+exception Overflow
+
+let mul_checked a b =
+  if a = 0 || b = 0 then 0
+  else
+    let c = a * b in
+    if c / b <> a then raise Overflow else c
+
+let exact n k =
+  if k < 0 || k > n || n < 0 then 0
+  else begin
+    let k = min k (n - k) in
+    (* Multiply/divide interleaved so intermediates stay integral:
+       after step i the accumulator equals C(n-k+i, i). *)
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := mul_checked !acc (n - k + i) / i
+    done;
+    !acc
+  end
+
+let exact_opt n k = try Some (exact n k) with Overflow -> None
+
+let log_factorial =
+  let cache = ref (Array.make 1 0.0) in
+  fun n ->
+    if n < 0 then invalid_arg "Binomial.log_factorial: negative"
+    else begin
+      let c = !cache in
+      if n < Array.length c then c.(n)
+      else begin
+        let len = max (n + 1) (2 * Array.length c) in
+        let c' = Array.make len 0.0 in
+        Array.blit c 0 c' 0 (Array.length c);
+        for i = Array.length c to len - 1 do
+          c'.(i) <- c'.(i - 1) +. Stdlib.log (float_of_int i)
+        done;
+        cache := c';
+        c'.(n)
+      end
+    end
+
+let log n k =
+  if k < 0 || k > n || n < 0 then neg_infinity
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let divides a b = a <> 0 && b mod a = 0
+
+let ratio_exact n1 k1 n2 k2 =
+  match (exact_opt n1 k1, exact_opt n2 k2) with
+  | Some num, Some den when den <> 0 && num mod den = 0 -> Some (num / den)
+  | _ -> None
+
+let falling n j =
+  let acc = ref 1 in
+  for i = 0 to j - 1 do
+    acc := mul_checked !acc (n - i)
+  done;
+  !acc

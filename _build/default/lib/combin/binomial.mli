@@ -1,0 +1,38 @@
+(** Exact and log-space binomial coefficients.
+
+    The paper's formulas manipulate quantities such as
+    [C(n,x+1) / C(r,x+1)] (packing capacities, Lemma 1) and binomial tails
+    over up to [b = 38400] objects (Theorem 2).  Capacities fit comfortably
+    in OCaml's 63-bit integers for every parameter range the paper uses
+    (largest is [C(800,5) ~ 2.7e12]); probability-tail computations are done
+    in log space to avoid underflow. *)
+
+exception Overflow
+(** Raised by {!exact} when the result does not fit in an OCaml [int]. *)
+
+val exact : int -> int -> int
+(** [exact n k] is the binomial coefficient [C(n,k)] computed with exact
+    integer arithmetic.  Returns [0] when [k < 0] or [k > n].
+    @raise Overflow if the result exceeds [max_int]. *)
+
+val exact_opt : int -> int -> int option
+(** [exact_opt n k] is [Some (exact n k)], or [None] on overflow. *)
+
+val log : int -> int -> float
+(** [log n k] is [ln C(n,k)], or [neg_infinity] when [C(n,k) = 0].
+    Computed from cached log-factorials; accurate to ~1e-10 relative. *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is [ln n!]; exact summation with caching. *)
+
+val divides : int -> int -> bool
+(** [divides a b] is [true] iff [a] divides [b] ([a <> 0]). *)
+
+val ratio_exact : int -> int -> int -> int -> int option
+(** [ratio_exact n1 k1 n2 k2] is [Some (C(n1,k1) / C(n2,k2))] when the
+    division is exact and nothing overflows, [None] otherwise.  This is the
+    packing-capacity quantity of Lemma 1. *)
+
+val falling : int -> int -> int
+(** [falling n j] is the falling factorial [n (n-1) ... (n-j+1)].
+    @raise Overflow on overflow. *)

@@ -1,0 +1,89 @@
+let of_array a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  let n = Array.length b in
+  if n <= 1 then b
+  else begin
+    let w = ref 1 in
+    for i = 1 to n - 1 do
+      if b.(i) <> b.(!w - 1) then begin
+        b.(!w) <- b.(i);
+        incr w
+      end
+    done;
+    Array.sub b 0 !w
+  end
+
+let is_sorted_distinct a =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i - 1) < a.(i) && go (i + 1)) in
+  go 1
+
+let mem a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length a && a.(!lo) = x
+
+let inter_size a b =
+  let na = Array.length a and nb = Array.length b in
+  let i = ref 0 and j = ref 0 and c = ref 0 in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      incr c;
+      incr i;
+      incr j
+    end
+    else if x < y then incr i
+    else incr j
+  done;
+  !c
+
+let merge_with ~keep_left_only ~keep_both ~keep_right_only a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = ref [] and i = ref 0 and j = ref 0 in
+  let push x = out := x :: !out in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      if keep_both then push x;
+      incr i;
+      incr j
+    end
+    else if x < y then begin
+      if keep_left_only then push x;
+      incr i
+    end
+    else begin
+      if keep_right_only then push y;
+      incr j
+    end
+  done;
+  if keep_left_only then
+    while !i < na do
+      push a.(!i);
+      incr i
+    done;
+  if keep_right_only then
+    while !j < nb do
+      push b.(!j);
+      incr j
+    done;
+  let arr = Array.of_list !out in
+  let n = Array.length arr in
+  Array.init n (fun idx -> arr.(n - 1 - idx))
+
+let inter = merge_with ~keep_left_only:false ~keep_both:true ~keep_right_only:false
+let union = merge_with ~keep_left_only:true ~keep_both:true ~keep_right_only:true
+let diff = merge_with ~keep_left_only:true ~keep_both:false ~keep_right_only:false
+
+let subset a b = inter_size a b = Array.length a
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (a.(i) = b.(i) && go (i + 1)) in
+  go 0

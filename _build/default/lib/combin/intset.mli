@@ -1,0 +1,27 @@
+(** Operations on sorted, duplicate-free int arrays.
+
+    Placements represent each object's replica set (the [r] nodes hosting
+    it, Fig. 1) as a sorted int array; the adversary and the packing
+    verifier need fast intersections against candidate failure sets. *)
+
+val of_array : int array -> int array
+(** [of_array a] is a sorted, deduplicated copy of [a]. *)
+
+val is_sorted_distinct : int array -> bool
+
+val mem : int array -> int -> bool
+(** Binary search. *)
+
+val inter_size : int array -> int array -> int
+(** [inter_size a b] is [|a ∩ b|] for sorted distinct arrays; linear merge. *)
+
+val inter : int array -> int array -> int array
+
+val union : int array -> int array -> int array
+
+val diff : int array -> int array -> int array
+
+val subset : int array -> int array -> bool
+(** [subset a b] is [true] iff every element of [a] occurs in [b]. *)
+
+val equal : int array -> int array -> bool

@@ -1,0 +1,44 @@
+let log_add la lb =
+  if la = neg_infinity then lb
+  else if lb = neg_infinity then la
+  else if la >= lb then la +. log1p (exp (lb -. la))
+  else lb +. log1p (exp (la -. lb))
+
+let log_sum a =
+  let m = Array.fold_left max neg_infinity a in
+  if m = neg_infinity then neg_infinity
+  else begin
+    let s = ref 0.0 in
+    Array.iter (fun x -> s := !s +. exp (x -. m)) a;
+    m +. Stdlib.log !s
+  end
+
+let log_binomial_pmf ~n ~p j =
+  if j < 0 || j > n then neg_infinity
+  else if p <= 0.0 then if j = 0 then 0.0 else neg_infinity
+  else if p >= 1.0 then if j = n then 0.0 else neg_infinity
+  else
+    Binomial.log n j
+    +. (float_of_int j *. Stdlib.log p)
+    +. (float_of_int (n - j) *. log1p (-.p))
+
+let log_binomial_sf_table ~n ~p =
+  let t = Array.make (n + 2) neg_infinity in
+  (* Suffix log-sum-exp of the pmf, from j = n down to 0. *)
+  for j = n downto 0 do
+    t.(j) <- log_add (log_binomial_pmf ~n ~p j) t.(j + 1)
+  done;
+  (* Clamp the full tail to exactly ln 1 = 0 to absorb rounding. *)
+  if t.(0) > 0.0 then t.(0) <- 0.0;
+  t
+
+let log_binomial_sf ~n ~p f =
+  if f <= 0 then 0.0
+  else if f > n then neg_infinity
+  else begin
+    let acc = ref neg_infinity in
+    for j = n downto f do
+      acc := log_add (log_binomial_pmf ~n ~p j) !acc
+    done;
+    min !acc 0.0
+  end

@@ -1,0 +1,24 @@
+(** Numerically robust computations on log-scale probabilities.
+
+    Theorem 2's vulnerability involves binomial tails with success
+    probabilities as small as 1e-12 over b = 38400 trials; everything is
+    therefore computed as natural logarithms. *)
+
+val log_add : float -> float -> float
+(** [log_add la lb = ln (e^la + e^lb)] without overflow/underflow. *)
+
+val log_sum : float array -> float
+(** [log_sum a = ln (sum_i e^{a.(i)})] via max-shifted summation. *)
+
+val log_binomial_pmf : n:int -> p:float -> int -> float
+(** [log_binomial_pmf ~n ~p j] is [ln P(Bin(n,p) = j)].
+    Requires [0 <= p <= 1]; degenerate [p] values handled exactly. *)
+
+val log_binomial_sf : n:int -> p:float -> int -> float
+(** [log_binomial_sf ~n ~p f] is [ln P(Bin(n,p) >= f)], i.e. the log of the
+    upper tail including [f].  [f <= 0] gives [0.0] (= ln 1). *)
+
+val log_binomial_sf_table : n:int -> p:float -> float array
+(** [log_binomial_sf_table ~n ~p] is the array [t] with
+    [t.(f) = log_binomial_sf ~n ~p f] for [f = 0..n+1] ([t.(n+1) =
+    neg_infinity]).  Computed in one O(n) pass. *)

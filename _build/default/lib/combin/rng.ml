@@ -1,0 +1,77 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection sampling on the top bits for exact uniformity. *)
+  let b = Int64.of_int bound in
+  let rec go () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    (* r uniform in [0, 2^63) *)
+    let v = Int64.rem r b in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int b) 1L then go ()
+    else Int64.to_int v
+  in
+  go ()
+
+let float t =
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_distinct t ~n ~k =
+  if k < 0 || k > n then invalid_arg "Rng.sample_distinct";
+  (* Floyd's algorithm: for j = n-k..n-1, pick u in [0,j]; insert u unless
+     already chosen, in which case insert j. *)
+  let module S = Set.Make (Int) in
+  let chosen = ref S.empty in
+  for j = n - k to n - 1 do
+    let u = int t (j + 1) in
+    if S.mem u !chosen then chosen := S.add j !chosen
+    else chosen := S.add u !chosen
+  done;
+  Array.of_list (S.elements !chosen)
+
+let choose_weighted t w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if not (total > 0.0) then invalid_arg "Rng.choose_weighted: zero total";
+  let x = float t *. total in
+  let acc = ref 0.0 and result = ref (Array.length w - 1) in
+  (try
+     Array.iteri
+       (fun i wi ->
+         acc := !acc +. wi;
+         if x < !acc then begin
+           result := i;
+           raise Exit
+         end)
+       w
+   with Exit -> ());
+  !result

@@ -1,0 +1,53 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let mean_int a = mean (Array.map float_of_int a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let s = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    s /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let min_max a =
+  if Array.length a = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (min lo x, max hi x))
+    (a.(0), a.(0))
+    a
+
+let percentile a q =
+  if Array.length a = 0 then invalid_arg "Stats.percentile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of range";
+  let b = Array.copy a in
+  Array.sort compare b;
+  let n = Array.length b in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  if lo = hi then b.(lo)
+  else begin
+    let w = pos -. float_of_int lo in
+    ((1.0 -. w) *. b.(lo)) +. (w *. b.(hi))
+  end
+
+let cdf_points a =
+  let n = Array.length a in
+  if n = 0 then []
+  else begin
+    let b = Array.copy a in
+    Array.sort compare b;
+    let total = float_of_int n in
+    let points = ref [] in
+    for i = n - 1 downto 0 do
+      (* Record each distinct value once, at its highest index. *)
+      if i = n - 1 || b.(i) <> b.(i + 1) then
+        points := (b.(i), float_of_int (i + 1) /. total) :: !points
+    done;
+    !points
+  end

@@ -1,0 +1,25 @@
+(** Small descriptive-statistics helpers for the Monte-Carlo experiments
+    (Fig. 7 averages over 20 Random-placement trials, adversary-ablation
+    spreads, etc.). *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on an empty array. *)
+
+val mean_int : int array -> float
+
+val variance : float array -> float
+(** Unbiased sample variance (divides by [n-1]); [0.0] when [n < 2]. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** @raise Invalid_argument on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile a q] with [q] in [\[0,1\]]: linear-interpolation quantile of
+    a copy of [a] (input left unmodified). *)
+
+val cdf_points : float array -> (float * float) list
+(** [cdf_points a] is the empirical CDF of [a] as a sorted list of
+    [(value, fraction <= value)] pairs, one per distinct value.  Used to
+    render the capacity-gap CDFs of Figs 5–6. *)

@@ -1,0 +1,70 @@
+let iter ~n ~k f =
+  if k < 0 then invalid_arg "Subset.iter: k < 0";
+  if k = 0 then f [||]
+  else if k <= n then begin
+    let c = Array.init k (fun i -> i) in
+    let continue_ = ref true in
+    while !continue_ do
+      f c;
+      (* Advance to the next subset in lexicographic order. *)
+      let i = ref (k - 1) in
+      while !i >= 0 && c.(!i) = n - k + !i do
+        decr i
+      done;
+      if !i < 0 then continue_ := false
+      else begin
+        c.(!i) <- c.(!i) + 1;
+        for j = !i + 1 to k - 1 do
+          c.(j) <- c.(j - 1) + 1
+        done
+      end
+    done
+  end
+
+let fold ~n ~k f init =
+  let acc = ref init in
+  iter ~n ~k (fun c -> acc := f !acc c);
+  !acc
+
+let count ~n ~k = Binomial.exact n k
+
+let rank ~n c =
+  let k = Array.length c in
+  let r = ref 0 in
+  for i = 0 to k - 1 do
+    if c.(i) < 0 || c.(i) >= n then invalid_arg "Subset.rank: out of range";
+    if i > 0 && c.(i) <= c.(i - 1) then invalid_arg "Subset.rank: not sorted";
+    r := !r + Binomial.exact c.(i) (i + 1)
+  done;
+  !r
+
+let unrank ~k i =
+  let c = Array.make k 0 in
+  let rem = ref i in
+  for pos = k - 1 downto 0 do
+    (* Largest v with C(v, pos+1) <= rem. *)
+    let v = ref pos in
+    while Binomial.exact (!v + 1) (pos + 1) <= !rem do
+      incr v
+    done;
+    c.(pos) <- !v;
+    rem := !rem - Binomial.exact !v (pos + 1)
+  done;
+  c
+
+let sub_iter base ~k f =
+  let n = Array.length base in
+  let out = Array.make (max k 1) 0 in
+  iter ~n ~k (fun idx ->
+      for i = 0 to k - 1 do
+        out.(i) <- base.(idx.(i))
+      done;
+      f (if k = 0 then [||] else out))
+
+let pairs a f =
+  let n = Array.length a in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      f a.(i) a.(j)
+    done
+  done

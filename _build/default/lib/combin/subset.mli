@@ -1,0 +1,33 @@
+(** Enumeration, ranking and iteration over k-subsets of [{0..n-1}].
+
+    Used by the design constructions (block enumeration), by the exact
+    worst-case adversary (enumerating candidate failure sets), and by the
+    packing verifier (enumerating the [(x+1)]-subsets of each block). *)
+
+val iter : n:int -> k:int -> (int array -> unit) -> unit
+(** [iter ~n ~k f] calls [f] once for every k-subset of [{0..n-1}] in
+    lexicographic order.  The array passed to [f] is reused between calls;
+    copy it if you keep it.  [k = 0] yields the empty subset once. *)
+
+val fold : n:int -> k:int -> ('a -> int array -> 'a) -> 'a -> 'a
+(** [fold ~n ~k f init] folds [f] over all k-subsets in lexicographic
+    order, with the same array-reuse caveat as {!iter}. *)
+
+val count : n:int -> k:int -> int
+(** [count ~n ~k = Binomial.exact n k]. *)
+
+val rank : n:int -> int array -> int
+(** [rank ~n c] is the colexicographic rank of the sorted subset [c];
+    inverse of {!unrank}.  The rank of a k-subset is independent of [n]
+    (colex ranking); [n] is only used for validation. *)
+
+val unrank : k:int -> int -> int array
+(** [unrank ~k i] is the sorted k-subset with colexicographic rank [i]. *)
+
+val sub_iter : int array -> k:int -> (int array -> unit) -> unit
+(** [sub_iter base ~k f] iterates over all k-subsets of the elements of
+    [base] (an arbitrary int array), passing the chosen elements.  The
+    array passed to [f] is reused. *)
+
+val pairs : int array -> (int -> int -> unit) -> unit
+(** [pairs a f] calls [f a.(i) a.(j)] for all [i < j]. *)

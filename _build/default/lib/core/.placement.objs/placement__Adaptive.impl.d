@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Combin Combo Designs Hashtbl Layout List Option Params Seq

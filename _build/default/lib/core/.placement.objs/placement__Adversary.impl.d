@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Array Combin Layout Option

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Array Buffer Combin Fun Layout List Printf Result String

@@ -1,0 +1,1 @@
+lib/core/combo.ml: Array Combin Designs Layout Params Simple

@@ -1,0 +1,1 @@
+lib/core/combo.mli: Designs Layout Params

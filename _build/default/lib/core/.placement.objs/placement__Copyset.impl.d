@@ -1,0 +1,1 @@
+lib/core/copyset.ml: Array Combin Hashtbl Layout Option

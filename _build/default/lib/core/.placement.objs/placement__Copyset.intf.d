@@ -1,0 +1,1 @@
+lib/core/copyset.mli: Combin Layout

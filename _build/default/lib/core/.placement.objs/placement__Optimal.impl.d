@@ -1,0 +1,1 @@
+lib/core/optimal.ml: Array Combin Layout List

@@ -1,0 +1,1 @@
+lib/core/random_analysis.ml: Array Combin Params

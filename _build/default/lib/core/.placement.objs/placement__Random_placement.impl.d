@@ -1,0 +1,1 @@
+lib/core/random_placement.ml: Array Combin Layout List Params

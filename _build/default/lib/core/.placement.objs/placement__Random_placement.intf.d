@@ -1,0 +1,1 @@
+lib/core/random_placement.mli: Combin Layout Params

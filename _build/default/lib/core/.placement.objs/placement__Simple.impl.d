@@ -1,0 +1,1 @@
+lib/core/simple.ml: Analysis Array Designs Layout Seq

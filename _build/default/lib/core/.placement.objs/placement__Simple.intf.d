@@ -1,0 +1,1 @@
+lib/core/simple.mli: Designs Layout Seq

@@ -1,0 +1,213 @@
+type attack = {
+  failed_nodes : int array;
+  failed_objects : int;
+  exact : bool;
+}
+
+(* Incremental damage tracker: per-object replica-failure counts and the
+   running number of failed objects. *)
+type state = {
+  s : int;
+  node_objs : int array array;
+  hits : int array;
+  mutable failed : int;
+}
+
+let make_state layout ~s =
+  {
+    s;
+    node_objs = Layout.node_objects layout;
+    hits = Array.make (Layout.b layout) 0;
+    failed = 0;
+  }
+
+let add_node st nd =
+  Array.iter
+    (fun obj ->
+      st.hits.(obj) <- st.hits.(obj) + 1;
+      if st.hits.(obj) = st.s then st.failed <- st.failed + 1)
+    st.node_objs.(nd)
+
+let remove_node st nd =
+  Array.iter
+    (fun obj ->
+      if st.hits.(obj) = st.s then st.failed <- st.failed - 1;
+      st.hits.(obj) <- st.hits.(obj) - 1)
+    st.node_objs.(nd)
+
+let eval layout ~s failed_nodes =
+  Layout.failed_objects layout ~s ~failed_nodes
+
+let exact ?(budget = 50_000_000) layout ~s ~k =
+  let n = layout.Layout.n in
+  if k >= n then invalid_arg "Adversary.exact: k >= n";
+  let st = make_state layout ~s in
+  let degrees = Array.map Array.length st.node_objs in
+  (* top_deg.(start).(m): sum of the m largest degrees among nodes with id
+     >= start — an upper bound on additional damage from m more picks. *)
+  let top_deg =
+    Array.init (n + 1) (fun start ->
+        let suffix = Array.sub degrees start (n - start) in
+        Array.sort (fun a b -> compare b a) suffix;
+        let acc = Array.make (k + 1) 0 in
+        for m = 1 to k do
+          acc.(m) <- acc.(m - 1) + (if m - 1 < Array.length suffix then suffix.(m - 1) else 0)
+        done;
+        acc)
+  in
+  let best = ref (-1) and best_set = ref [||] in
+  let current = Array.make k 0 in
+  let nodes_visited = ref 0 in
+  let truncated = ref false in
+  let rec go start depth =
+    incr nodes_visited;
+    if !nodes_visited > budget then truncated := true
+    else if depth = k then begin
+      if st.failed > !best then begin
+        best := st.failed;
+        best_set := Array.copy current
+      end
+    end
+    else if st.failed + top_deg.(start).(k - depth) > !best then
+      for nd = start to n - (k - depth) do
+        if not !truncated then begin
+          current.(depth) <- nd;
+          add_node st nd;
+          go (nd + 1) (depth + 1);
+          remove_node st nd
+        end
+      done
+  in
+  go 0 0;
+  { failed_nodes = !best_set; failed_objects = !best; exact = not !truncated }
+
+(* Marginal value of adding [nd]: (newly failed objects, progress toward
+   s for not-yet-failed objects). *)
+let marginal st nd =
+  let newly = ref 0 and progress = ref 0 in
+  Array.iter
+    (fun obj ->
+      let h = st.hits.(obj) in
+      if h + 1 = st.s then incr newly;
+      if h < st.s then incr progress)
+    st.node_objs.(nd);
+  (!newly, !progress)
+
+let greedy layout ~s ~k =
+  let n = layout.Layout.n in
+  let st = make_state layout ~s in
+  let chosen = Array.make n false in
+  let picks = ref [] in
+  for _ = 1 to k do
+    let best_nd = ref (-1) and best_val = ref (-1, -1) in
+    for nd = 0 to n - 1 do
+      if not chosen.(nd) then begin
+        let v = marginal st nd in
+        if v > !best_val then begin
+          best_val := v;
+          best_nd := nd
+        end
+      end
+    done;
+    chosen.(!best_nd) <- true;
+    add_node st !best_nd;
+    picks := !best_nd :: !picks
+  done;
+  let failed_nodes = Combin.Intset.of_array (Array.of_list !picks) in
+  { failed_nodes; failed_objects = st.failed; exact = false }
+
+let improve_to_local_opt layout st chosen =
+  let n = layout.Layout.n in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    (try
+       for nd_in = 0 to n - 1 do
+         if chosen.(nd_in) then begin
+           remove_node st nd_in;
+           chosen.(nd_in) <- false;
+           (* First-improvement swap search. *)
+           let found = ref (-1) and found_gain = ref 0 in
+           for nd_out = 0 to n - 1 do
+             if (not chosen.(nd_out)) && nd_out <> nd_in then begin
+               let newly, _ = marginal st nd_out in
+               if newly > !found_gain then begin
+                 found := nd_out;
+                 found_gain := newly
+               end
+             end
+           done;
+           (* Putting nd_in back yields damage gain (its own marginal); a
+              swap wins only if some other node strictly beats it. *)
+           let back_gain, _ = marginal st nd_in in
+           if !found >= 0 && !found_gain > back_gain then begin
+             chosen.(!found) <- true;
+             add_node st !found;
+             improved := true;
+             raise Exit
+           end
+           else begin
+             chosen.(nd_in) <- true;
+             add_node st nd_in
+           end
+         end
+       done
+     with Exit -> ())
+  done
+
+let attack_of_state st chosen =
+  let nodes = ref [] in
+  Array.iteri (fun nd c -> if c then nodes := nd :: !nodes) chosen;
+  {
+    failed_nodes = Combin.Intset.of_array (Array.of_list !nodes);
+    failed_objects = st.failed;
+    exact = false;
+  }
+
+let local_search ~rng ?(restarts = 8) layout ~s ~k =
+  let n = layout.Layout.n in
+  let best = ref None in
+  let consider a =
+    match !best with
+    | Some b when b.failed_objects >= a.failed_objects -> ()
+    | _ -> best := Some a
+  in
+  for restart = 0 to restarts - 1 do
+    let st = make_state layout ~s in
+    let chosen = Array.make n false in
+    if restart = 0 then begin
+      let g = greedy layout ~s ~k in
+      Array.iter
+        (fun nd ->
+          chosen.(nd) <- true;
+          add_node st nd)
+        g.failed_nodes
+    end
+    else
+      Array.iter
+        (fun nd ->
+          chosen.(nd) <- true;
+          add_node st nd)
+        (Combin.Rng.sample_distinct rng ~n ~k);
+    improve_to_local_opt layout st chosen;
+    consider (attack_of_state st chosen)
+  done;
+  Option.get !best
+
+let best ?rng ?(exact_limit = 5e7) layout ~s ~k =
+  let rng = match rng with Some r -> r | None -> Combin.Rng.create 0xADE5 in
+  let n = layout.Layout.n in
+  let combos =
+    match Combin.Binomial.exact_opt n k with
+    | Some c -> float_of_int c
+    | None -> infinity
+  in
+  (* Estimated work: search-tree leaves times per-node update cost (the
+     average number of objects per node). *)
+  let avg_degree =
+    float_of_int (layout.Layout.r * Layout.b layout) /. float_of_int n
+  in
+  if combos *. avg_degree <= exact_limit then exact layout ~s ~k
+  else local_search ~rng layout ~s ~k
+
+let avail layout ~s:_ attack = Layout.b layout - attack.failed_objects

@@ -1,0 +1,42 @@
+(** The worst-case adversary of Definition 1: given full knowledge of the
+    placement, choose k nodes to fail so as to fail as many objects as
+    possible (an object fails when ≥ s of its replicas are on failed
+    nodes).
+
+    Finding the true optimum is a coverage-maximization problem; we
+    provide an exact branch-and-bound for small C(n,k) and a greedy +
+    steepest-ascent-swap local search with multi-restart for the rest
+    (see DESIGN.md §3 on how this substitutes for the paper's unspecified
+    "simulating the worst k failures"). *)
+
+type attack = {
+  failed_nodes : int array;  (** the chosen K, sorted, |K| = k *)
+  failed_objects : int;  (** objects with ≥ s replicas in K *)
+  exact : bool;  (** true if produced by exhaustive/B&B search *)
+}
+
+val eval : Layout.t -> s:int -> int array -> int
+(** Number of objects failed by a given node set. *)
+
+val exact : ?budget:int -> Layout.t -> s:int -> k:int -> attack
+(** Branch-and-bound over all C(n,k) failure sets with a degree-sum upper
+    bound for pruning.  [budget] caps the number of search nodes
+    (default 50 million); if exceeded, the best-so-far is returned with
+    [exact = false]. *)
+
+val greedy : Layout.t -> s:int -> k:int -> attack
+(** Add the node with the best marginal damage k times; ties broken by
+    progress toward failing objects (sum of min(s, hits) increments). *)
+
+val local_search :
+  rng:Combin.Rng.t -> ?restarts:int -> Layout.t -> s:int -> k:int -> attack
+(** Greedy start (plus random restarts), then steepest-ascent single-node
+    swaps to a local optimum.  [restarts] defaults to 8. *)
+
+val best : ?rng:Combin.Rng.t -> ?exact_limit:float -> Layout.t -> s:int -> k:int -> attack
+(** Dispatcher: exact search when the estimated work C(n,k)·(r·b/n) is
+    below [exact_limit] (default 5e7), otherwise {!local_search}.  [rng]
+    defaults to a fixed seed, making the result deterministic. *)
+
+val avail : Layout.t -> s:int -> attack -> int
+(** [b - attack.failed_objects]: the (estimated) Avail(π) of Def. 1. *)

@@ -1,0 +1,99 @@
+let magic = "# replica-placement layout v1"
+
+let to_string (layout : Layout.t) =
+  let buf = Buffer.create (32 * Layout.b layout) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "n %d\n" layout.Layout.n);
+  Buffer.add_string buf (Printf.sprintf "r %d\n" layout.Layout.r);
+  Buffer.add_string buf (Printf.sprintf "b %d\n" (Layout.b layout));
+  Array.iteri
+    (fun obj rep ->
+      Buffer.add_string buf (Printf.sprintf "obj %d" obj);
+      Array.iter (fun nd -> Buffer.add_string buf (Printf.sprintf " %d" nd)) rep;
+      Buffer.add_char buf '\n')
+    layout.Layout.replicas;
+  Buffer.contents buf
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let parse_int lineno what s =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> err lineno (Printf.sprintf "expected %s, got %S" what s)
+  in
+  let ( let* ) = Result.bind in
+  match lines with
+  | (l1, header) :: (l2, nline) :: (l3, rline) :: (l4, bline) :: rest ->
+      let* () = if header = magic then Ok () else err l1 "bad header" in
+      let field lineno name line =
+        match String.split_on_char ' ' line with
+        | [ key; value ] when key = name -> parse_int lineno name value
+        | _ -> err lineno (Printf.sprintf "expected %S field" name)
+      in
+      let* n = field l2 "n" nline in
+      let* r = field l3 "r" rline in
+      let* b = field l4 "b" bline in
+      let* () =
+        if n >= 1 && r >= 1 && r <= n && b >= 0 then Ok ()
+        else err l4 "inconsistent n/r/b"
+      in
+      let replicas = Array.make b [||] in
+      let rec objs expected = function
+        | [] ->
+            if expected = b then Ok ()
+            else Error (Printf.sprintf "expected %d objects, found %d" b expected)
+        | (lineno, line) :: rest -> (
+            match String.split_on_char ' ' line with
+            | "obj" :: id :: nodes ->
+                let* id = parse_int lineno "object id" id in
+                let* () =
+                  if id = expected then Ok ()
+                  else err lineno (Printf.sprintf "expected object %d" expected)
+                in
+                let* () =
+                  if List.length nodes = r then Ok ()
+                  else err lineno (Printf.sprintf "expected %d replicas" r)
+                in
+                let* parsed =
+                  List.fold_left
+                    (fun acc s ->
+                      let* acc = acc in
+                      let* v = parse_int lineno "node" s in
+                      if v < 0 || v >= n then err lineno "node out of range"
+                      else Ok (v :: acc))
+                    (Ok []) nodes
+                in
+                let rep = Combin.Intset.of_array (Array.of_list parsed) in
+                let* () =
+                  if Array.length rep = r then Ok ()
+                  else err lineno "duplicate replica nodes"
+                in
+                replicas.(id) <- rep;
+                objs (expected + 1) rest
+            | _ -> err lineno "expected an obj line")
+      in
+      let* () = objs 0 rest in
+      Ok (Layout.make ~n ~r replicas)
+  | _ -> Error "truncated input (need header, n, r, b)"
+
+let save path layout =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string layout))
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          of_string (really_input_string ic len))

@@ -1,0 +1,31 @@
+(** Plain-text serialization of placements.
+
+    A deliberately boring line format so layouts can be exported from the
+    planner, versioned, diffed, and re-attacked later (see the
+    [placement_tool simulate --out] / [attack] subcommands):
+
+    {v
+    # replica-placement layout v1
+    n 31
+    r 3
+    b 600
+    obj 0 2 11 27
+    obj 1 ...
+    v}
+
+    Object lines must appear in id order 0..b-1; replica nodes are
+    space-separated and may be in any order (they are normalized on
+    read). *)
+
+val to_string : Layout.t -> string
+
+val of_string : string -> (Layout.t, string) result
+(** Parse; returns [Error msg] with a line-numbered message on malformed
+    input (wrong header, out-of-range nodes, duplicate replicas, missing
+    or out-of-order objects...). *)
+
+val save : string -> Layout.t -> unit
+(** Write to a file.  @raise Sys_error on IO failure. *)
+
+val load : string -> (Layout.t, string) result
+(** Read from a file; IO failures are returned as [Error]. *)

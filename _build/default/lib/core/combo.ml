@@ -1,0 +1,169 @@
+type level = {
+  x : int;
+  nx : int;
+  mu : int;
+  cap_mu : int;
+  entry : Designs.Registry.entry option;
+}
+
+type config = {
+  params : Params.t;
+  levels : level array;
+  lambdas : int array;
+  assigned : int array;
+  lb : int;
+}
+
+let neg_inf = min_int / 2
+
+let default_levels ?(include_literature = true) ?(max_mu = 1) ~n ~r ~s () =
+  Array.init s (fun x ->
+      match
+        Designs.Registry.best ~max_mu ~include_literature ~strength:(x + 1)
+          ~block_size:r ~max_v:n ()
+      with
+      | Some e -> { x; nx = e.v; mu = e.mu; cap_mu = e.blocks; entry = Some e }
+      | None -> { x; nx = 0; mu = 1; cap_mu = 0; entry = None })
+
+(* Per-level loss for λx = d·μx failed-replica packings (Lemma 2 term):
+   floor(d μ C(k,x+1) / C(s,x+1)). *)
+let loss ~level ~d ~k ~s =
+  d * level.mu * Combin.Binomial.exact k (level.x + 1)
+  / Combin.Binomial.exact s (level.x + 1)
+
+let optimize ?levels (p : Params.t) =
+  let levels =
+    match levels with
+    | Some l -> l
+    | None -> default_levels ~n:p.n ~r:p.r ~s:p.s ()
+  in
+  if Array.length levels <> p.s then
+    invalid_arg "Combo.optimize: need one level per x in [s]";
+  Array.iteri
+    (fun x level -> if level.x <> x then invalid_arg "Combo.optimize: levels out of order")
+    levels;
+  let b = p.b in
+  (* lbav.(x').(b') per Eqns 5–7; choice records the copy count d. *)
+  let lbav = Array.make_matrix p.s (b + 1) 0 in
+  let choice = Array.make_matrix p.s (b + 1) 0 in
+  (* Level 0 (Eqn 6): λ0 is forced to the minimal multiple of μ0 hosting
+     b' objects. *)
+  let l0 = levels.(0) in
+  for b' = 1 to b do
+    if l0.cap_mu = 0 then begin
+      lbav.(0).(b') <- neg_inf;
+      choice.(0).(b') <- 0
+    end
+    else begin
+      let d = (b' + l0.cap_mu - 1) / l0.cap_mu in
+      lbav.(0).(b') <- max 0 (b' - loss ~level:l0 ~d ~k:p.k ~s:p.s);
+      choice.(0).(b') <- d
+    end
+  done;
+  (* Levels x' > 0 (Eqn 7). *)
+  for x' = 1 to p.s - 1 do
+    let level = levels.(x') in
+    for b' = 1 to b do
+      let best = ref neg_inf and best_d = ref 0 in
+      let d_max = if level.cap_mu = 0 then 0 else (b' + level.cap_mu - 1) / level.cap_mu in
+      for d = 0 to d_max do
+        let hosted = min b' (d * level.cap_mu) in
+        let rest = b' - (d * level.cap_mu) in
+        let below = if rest <= 0 then 0 else lbav.(x' - 1).(rest) in
+        if below > neg_inf then begin
+          let value = below + hosted - loss ~level ~d ~k:p.k ~s:p.s in
+          if value > !best then begin
+            best := value;
+            best_d := d
+          end
+        end
+      done;
+      lbav.(x').(b') <- !best;
+      choice.(x').(b') <- !best_d
+    done
+  done;
+  if lbav.(p.s - 1).(b) <= neg_inf / 2 then
+    invalid_arg "Combo.optimize: not enough design capacity to host b objects";
+  (* Traceback. *)
+  let lambdas = Array.make p.s 0 in
+  let assigned = Array.make p.s 0 in
+  let rest = ref b in
+  for x' = p.s - 1 downto 1 do
+    if !rest > 0 then begin
+      let level = levels.(x') in
+      let d = choice.(x').(!rest) in
+      lambdas.(x') <- d * level.mu;
+      assigned.(x') <- min !rest (d * level.cap_mu);
+      rest := max 0 (!rest - (d * level.cap_mu))
+    end
+  done;
+  if !rest > 0 then begin
+    let d = choice.(0).(!rest) in
+    lambdas.(0) <- d * levels.(0).mu;
+    assigned.(0) <- !rest
+  end;
+  {
+    params = p;
+    levels;
+    lambdas;
+    assigned;
+    lb = max 0 lbav.(p.s - 1).(b);
+  }
+
+let lb_avail_co config ~k =
+  let p = config.params in
+  let total_loss = ref 0 in
+  Array.iteri
+    (fun x lambda ->
+      if lambda > 0 then
+        total_loss :=
+          !total_loss
+          + lambda * Combin.Binomial.exact k (x + 1)
+            / Combin.Binomial.exact p.s (x + 1))
+    config.lambdas;
+  max 0 (p.b - !total_loss)
+
+let materialize ?(spread = false) config =
+  let p = config.params in
+  let parts = ref [] in
+  Array.iteri
+    (fun x count ->
+      if count > 0 then begin
+        match config.levels.(x).entry with
+        | None -> invalid_arg "Combo.materialize: level without catalogue entry"
+        | Some e ->
+            let simple = Simple.of_entry ~spread e ~n:p.n ~b:count in
+            parts := simple.Simple.layout :: !parts
+      end)
+    config.assigned;
+  match !parts with
+  | [] -> invalid_arg "Combo.materialize: empty configuration"
+  | parts -> Layout.concat parts
+
+let brute_force_lb (p : Params.t) ~levels =
+  (* Mirror of the DP objective, by exhaustive enumeration of the copy
+     counts d_x.  Exponential; test use only. *)
+  let rec go x' b' =
+    if b' <= 0 then 0
+    else if x' = 0 then begin
+      let l0 = levels.(0) in
+      if l0.cap_mu = 0 then neg_inf
+      else begin
+        let d = (b' + l0.cap_mu - 1) / l0.cap_mu in
+        max 0 (b' - loss ~level:l0 ~d ~k:p.k ~s:p.s)
+      end
+    end
+    else begin
+      let level = levels.(x') in
+      let d_max = if level.cap_mu = 0 then 0 else (b' + level.cap_mu - 1) / level.cap_mu in
+      let best = ref neg_inf in
+      for d = 0 to d_max do
+        let hosted = min b' (d * level.cap_mu) in
+        let below = go (x' - 1) (b' - (d * level.cap_mu)) in
+        if below > neg_inf then
+          best := max !best (below + hosted - loss ~level ~d ~k:p.k ~s:p.s)
+      done;
+      !best
+    end
+  in
+  max 0 (go (p.s - 1) p.b)

@@ -1,0 +1,56 @@
+type t = {
+  copysets : int array array;
+  permutations : int;
+  r : int;
+  n : int;
+}
+
+let generate ~rng ~n ~r ~scatter_width =
+  if r > n then invalid_arg "Copyset.generate: r > n";
+  if scatter_width < r - 1 then
+    invalid_arg "Copyset.generate: scatter_width < r - 1";
+  let permutations = (scatter_width + r - 2) / (r - 1) in
+  let copysets = ref [] in
+  for _ = 1 to permutations do
+    let perm = Array.init n (fun i -> i) in
+    Combin.Rng.shuffle rng perm;
+    for c = 0 to (n / r) - 1 do
+      let cs = Array.sub perm (c * r) r in
+      Array.sort compare cs;
+      copysets := cs :: !copysets
+    done
+  done;
+  { copysets = Array.of_list !copysets; permutations; r; n }
+
+let scatter_widths t =
+  let neighbours = Array.make t.n [] in
+  Array.iter
+    (fun cs ->
+      Array.iter
+        (fun nd ->
+          Array.iter
+            (fun other -> if other <> nd then neighbours.(nd) <- other :: neighbours.(nd))
+            cs)
+        cs)
+    t.copysets;
+  Array.map
+    (fun l -> Array.length (Combin.Intset.of_array (Array.of_list l)))
+    neighbours
+
+let place ~rng t ~b =
+  let ncs = Array.length t.copysets in
+  if ncs = 0 then invalid_arg "Copyset.place: no copysets";
+  let replicas =
+    Array.init b (fun _ -> Array.copy t.copysets.(Combin.Rng.int rng ncs))
+  in
+  Layout.make ~n:t.n ~r:t.r replicas
+
+let effective_lambda t layout =
+  let counts = Hashtbl.create (Array.length t.copysets) in
+  Array.iter
+    (fun rep ->
+      let key = Array.to_list rep in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    layout.Layout.replicas;
+  Hashtbl.fold (fun _ c acc -> max acc c) counts 0

@@ -1,0 +1,42 @@
+(** Copyset replication (Cidon et al., USENIX ATC 2013) as a baseline.
+
+    Copyset replication restricts replica sets to a small number of
+    precomputed "copysets" to minimize the frequency of data loss under
+    simultaneous failures, trading against scatter width S (how many
+    distinct nodes share data with a given node).  It is the
+    best-known practitioner relative of the paper's t-packing placements:
+    the permutation construction below makes each node belong to
+    P = ⌈S/(r−1)⌉ copysets, which is exactly a union of P parallel
+    classes — a 1-design — so in the paper's vocabulary it is a
+    Simple(0, λ) placement whose λ grows with b/(P·⌊n/r⌋).
+
+    The bench target [baseline-copyset] compares its worst-case
+    availability against Combo and Random. *)
+
+type t = {
+  copysets : int array array;  (** each sorted, size r *)
+  permutations : int;  (** P *)
+  r : int;
+  n : int;
+}
+
+val generate : rng:Combin.Rng.t -> n:int -> r:int -> scatter_width:int -> t
+(** Permutation-based construction: P = ⌈scatter_width/(r−1)⌉ random
+    permutations, each chopped into ⌊n/r⌋ consecutive copysets (the tail
+    n mod r nodes of a permutation join no copyset of that round).
+    @raise Invalid_argument if [r > n] or [scatter_width < r - 1]. *)
+
+val scatter_widths : t -> int array
+(** Per node: the number of {e distinct} other nodes sharing at least one
+    copyset with it (the paper's S is the design target; duplicates
+    across permutations make the realized value ≤ P·(r−1)). *)
+
+val place : rng:Combin.Rng.t -> t -> b:int -> Layout.t
+(** Each object's replica set is a uniformly random copyset (the
+    "chunk placement" step of copyset replication).
+    @raise Invalid_argument if a node belongs to no copyset... i.e. the
+    generation produced zero copysets. *)
+
+val effective_lambda : t -> Layout.t -> int
+(** The achieved Simple(0, λ) parameter of a copyset placement: the
+    maximum number of objects sharing one copyset. *)

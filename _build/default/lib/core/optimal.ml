@@ -1,0 +1,66 @@
+exception Too_large
+
+let search_cost ~n ~r ~k ~b =
+  let nblocks = Combin.Binomial.exact n r in
+  match Combin.Binomial.exact_opt (nblocks + b - 1) b with
+  | None -> infinity
+  | Some placements ->
+      float_of_int placements
+      *. float_of_int (Combin.Binomial.exact n k)
+      *. float_of_int b
+
+let best ?(budget = 5e8) ~n ~r ~s ~k ~b () =
+  if search_cost ~n ~r ~k ~b > budget then raise Too_large;
+  let blocks = ref [] in
+  Combin.Subset.iter ~n ~k:r (fun c -> blocks := Array.copy c :: !blocks);
+  let blocks = Array.of_list (List.rev !blocks) in
+  let nblocks = Array.length blocks in
+  (* Precompute, for every candidate failure set, which blocks it kills
+     (>= s overlap): per block, a bitmask over failure-set indices would
+     be large; instead evaluate per placement with per-block kill tables.
+     kill.(bi) is the sorted array of failure-set ranks killing block bi. *)
+  let failure_sets = ref [] in
+  Combin.Subset.iter ~n ~k (fun c -> failure_sets := Array.copy c :: !failure_sets);
+  let failure_sets = Array.of_list (List.rev !failure_sets) in
+  let nfail = Array.length failure_sets in
+  let killed = Array.make_matrix nblocks nfail false in
+  for bi = 0 to nblocks - 1 do
+    for fi = 0 to nfail - 1 do
+      killed.(bi).(fi) <-
+        Combin.Intset.inter_size blocks.(bi) failure_sets.(fi) >= s
+    done
+  done;
+  (* DFS over nondecreasing block-index sequences, keeping a running
+     per-failure-set kill count; Avail = b - max over failure sets. *)
+  let counts = Array.make nfail 0 in
+  let chosen = Array.make b 0 in
+  let best_avail = ref (-1) in
+  let best_blocks = ref [||] in
+  let rec go depth start =
+    if depth = b then begin
+      let worst = ref 0 in
+      for fi = 0 to nfail - 1 do
+        if counts.(fi) > !worst then worst := counts.(fi)
+      done;
+      let avail = b - !worst in
+      if avail > !best_avail then begin
+        best_avail := avail;
+        best_blocks := Array.copy chosen
+      end
+    end
+    else
+      for bi = start to nblocks - 1 do
+        chosen.(depth) <- bi;
+        let kb = killed.(bi) in
+        for fi = 0 to nfail - 1 do
+          if kb.(fi) then counts.(fi) <- counts.(fi) + 1
+        done;
+        go (depth + 1) bi;
+        for fi = 0 to nfail - 1 do
+          if kb.(fi) then counts.(fi) <- counts.(fi) - 1
+        done
+      done
+  in
+  go 0 0;
+  let replicas = Array.map (fun bi -> Array.copy blocks.(bi)) !best_blocks in
+  (!best_avail, Layout.make ~n ~r replicas)

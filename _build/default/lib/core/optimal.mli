@@ -1,0 +1,25 @@
+(** Exhaustive search for the availability-optimal placement.
+
+    Theorem 1 bounds every placement's availability in terms of a
+    Simple(x, λ) placement's — but the optimal placement itself is never
+    computed in the paper (the search space is astronomically large).
+    For {e tiny} instances it is computable: availability depends only on
+    the multiset of replica sets, so we enumerate nondecreasing sequences
+    of r-subset indices and evaluate each candidate with the exhaustive
+    adversary.  The test suite uses this to validate Theorem 1's
+    inequality [Avail(π') < c·Avail(π) + α] against the true optimum, and
+    to measure how far Combo's lower bound sits from optimal. *)
+
+exception Too_large
+(** Raised when the estimated search cost exceeds the budget. *)
+
+val search_cost : n:int -> r:int -> k:int -> b:int -> float
+(** Estimated number of elementary steps:
+    C(C(n,r)+b-1, b) · C(n,k) · b. *)
+
+val best :
+  ?budget:float -> n:int -> r:int -> s:int -> k:int -> b:int -> unit ->
+  int * Layout.t
+(** [(avail, layout)] with [avail = Avail(layout)] maximal over all
+    placements of [b] objects.  [budget] (default 5e8) caps
+    {!search_cost}.  @raise Too_large when over budget. *)

@@ -1,0 +1,21 @@
+type t = { b : int; r : int; s : int; n : int; k : int }
+
+let validate t =
+  if t.b < 1 then Error "b must be >= 1"
+  else if t.r < 1 then Error "r must be >= 1"
+  else if t.s < 1 || t.s > t.r then Error "s must satisfy 1 <= s <= r"
+  else if t.n < t.r then Error "n must be >= r (replicas on distinct nodes)"
+  else if t.k < t.s || t.k >= t.n then Error "k must satisfy s <= k < n"
+  else Ok t
+
+let make ~b ~r ~s ~n ~k =
+  match validate { b; r; s; n; k } with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Params.make: " ^ msg)
+
+let average_load t = float_of_int (t.r * t.b) /. float_of_int t.n
+
+let load_cap t = ((t.r * t.b) + t.n - 1) / t.n
+
+let pp fmt t =
+  Format.fprintf fmt "{b=%d; r=%d; s=%d; n=%d; k=%d}" t.b t.r t.s t.n t.k

@@ -1,0 +1,24 @@
+(** System parameters, following the paper's notation (Fig. 1):
+
+    - [b]: number of objects
+    - [r]: replicas per object
+    - [s]: number of an object's replica failures that fail the object,
+      with [1 <= s <= r]
+    - [n]: number of nodes
+    - [k]: number of failed nodes, with [s <= k < n] *)
+
+type t = { b : int; r : int; s : int; n : int; k : int }
+
+val make : b:int -> r:int -> s:int -> n:int -> k:int -> t
+(** @raise Invalid_argument if the Fig. 1 constraints are violated. *)
+
+val validate : t -> (t, string) result
+
+val average_load : t -> float
+(** ℓ = r·b / n, the load-balance target of Definition 4. *)
+
+val load_cap : t -> int
+(** ⌈r·b / n⌉ — the per-node replica cap enforced by the Random
+    placement strategy (the smallest integral cap admitting b objects). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+let alpha ~n ~k ~r ~s =
+  let acc = ref 0.0 in
+  for s' = s to min r k do
+    acc :=
+      !acc
+      +. exp (Combin.Binomial.log k s' +. Combin.Binomial.log (n - k) (r - s'))
+  done;
+  !acc
+
+let single_object_fail_probability (p : Params.t) =
+  (* α and C(n,r) are both computed through exp∘log, so the quotient can
+     exceed 1 by an ulp when α covers (almost) all r-subsets; clamp to a
+     probability. *)
+  let raw = alpha ~n:p.n ~k:p.k ~r:p.r ~s:p.s /. exp (Combin.Binomial.log p.n p.r) in
+  min 1.0 (max 0.0 raw)
+
+let log_vuln (p : Params.t) ~f =
+  let prob = single_object_fail_probability p in
+  Combin.Binomial.log p.n p.k +. Combin.Logspace.log_binomial_sf ~n:p.b ~p:prob f
+
+let pr_avail (p : Params.t) =
+  let prob = single_object_fail_probability p in
+  let log_cnk = Combin.Binomial.log p.n p.k in
+  let sf = Combin.Logspace.log_binomial_sf_table ~n:p.b ~p:prob in
+  (* Vuln(f) = C(n,k)·sf(f) is nonincreasing in f; find the largest f with
+     ln C(n,k) + ln sf(f) >= 0. *)
+  let max_f = ref 0 in
+  (try
+     for f = p.b downto 0 do
+       if log_cnk +. sf.(f) >= 0.0 then begin
+         max_f := f;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  p.b - !max_f
+
+let pr_avail_fraction p = float_of_int (pr_avail p) /. float_of_int p.Params.b
+
+let s1_upper_bound (p : Params.t) =
+  if p.s <> 1 then invalid_arg "Random_analysis.s1_upper_bound: s <> 1";
+  if 2 * p.k >= p.n then invalid_arg "Random_analysis.s1_upper_bound: k >= n/2";
+  let ell = p.r * p.b / p.n in
+  let b = float_of_int p.b in
+  b *. ((1.0 -. (1.0 /. b)) ** float_of_int (p.k * ell))

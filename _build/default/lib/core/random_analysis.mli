@@ -1,0 +1,37 @@
+(** Worst-case analysis of the Random placement strategy (Sec. IV-A).
+
+    Theorem 2 gives the large-ℓ limit of the vulnerability
+    Vuln_rnd(f) — the expected number of (K, F) pairs with |K| = k,
+    |F| ≥ f and every object of F failed by K:
+
+    Vuln_rnd(f) → C(n,k) · P(Bin(b, p) ≥ f),
+    p = α(n,k,r,s) / C(n,r),
+    α(n,k,r,s) = Σ_{{s'=s}}^{{min(r,k)}} C(k,s') C(n-k, r-s').
+
+    Definition 6 then sets prAvail_rnd = b − max{{f : Vuln_rnd(f) ≥ 1}}.
+    Everything is computed in log space ({!Combin.Logspace}) since p can
+    be ~1e-12 while b reaches 38400. *)
+
+val alpha : n:int -> k:int -> r:int -> s:int -> float
+(** α(n,k,r,s): the number of r-subsets placing ≥ s replicas inside a
+    fixed k-set.  Computed in floating point from exact binomials. *)
+
+val single_object_fail_probability : Params.t -> float
+(** p = α / C(n,r): the probability that one object (placed uniformly on
+    r distinct nodes) loses ≥ s replicas to a fixed k-node failure. *)
+
+val log_vuln : Params.t -> f:int -> float
+(** ln Vuln_rnd(f) in the Theorem-2 limit. *)
+
+val pr_avail : Params.t -> int
+(** Definition 6's prAvail_rnd: [b − max {f : Vuln_rnd(f) ≥ 1}].
+    (Vuln_rnd(0) ≥ 1 always, so the result is well defined and in
+    [0, b].) *)
+
+val pr_avail_fraction : Params.t -> float
+(** [pr_avail / b], the quantity plotted in Fig. 8. *)
+
+val s1_upper_bound : Params.t -> float
+(** Lemma 4's bound for s = 1 and k < n/2:
+    [prAvail_rnd ≤ b (1 − 1/b)^(k·⌊ℓ⌋)] with ℓ = rb/n.
+    @raise Invalid_argument if [s <> 1] or [k >= n/2]. *)

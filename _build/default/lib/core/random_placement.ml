@@ -1,0 +1,142 @@
+let deal ~rng (p : Params.t) slots =
+  (* Deal r consecutive slots per object; on a duplicate inside an
+     object's hand, swap the offending slot with a random later slot that
+     keeps both hands duplicate-free.  Returns None if a repair fails
+     (then the caller reshuffles and retries). *)
+  let total = Array.length slots in
+  Combin.Rng.shuffle rng slots;
+  let ok = ref true in
+  (try
+     for obj = 0 to p.b - 1 do
+       let base = obj * p.r in
+       for i = 0 to p.r - 1 do
+         let dup =
+           let rec check j = j < i && (slots.(base + j) = slots.(base + i) || check (j + 1)) in
+           check 0
+         in
+         if dup then begin
+           (* Find a later slot compatible with this hand. *)
+           let rec try_swap attempts =
+             if attempts = 0 then false
+             else begin
+               let j = base + p.r + Combin.Rng.int rng (max 1 (total - base - p.r)) in
+               if j >= total then try_swap (attempts - 1)
+               else begin
+                 let cand = slots.(j) in
+                 let conflict =
+                   let rec check l = l < p.r && l <> i && (slots.(base + l) = cand || check (l + 1)) in
+                   check 0
+                 in
+                 if conflict || cand = slots.(base + i) then try_swap (attempts - 1)
+                 else begin
+                   slots.(j) <- slots.(base + i);
+                   slots.(base + i) <- cand;
+                   true
+                 end
+               end
+             end
+           in
+           if base + p.r >= total then begin
+             ok := false;
+             raise Exit
+           end
+           else if not (try_swap 64) then begin
+             ok := false;
+             raise Exit
+           end
+         end
+       done
+     done
+   with Exit -> ());
+  if !ok then begin
+    let replicas =
+      Array.init p.b (fun obj ->
+          let hand = Array.sub slots (obj * p.r) p.r in
+          Array.sort compare hand;
+          hand)
+    in
+    Some (Layout.make ~n:p.n ~r:p.r replicas)
+  end
+  else None
+
+(* Fallback dealer for extreme r/n ratios where shuffle-and-repair keeps
+   failing: deal objects one at a time.  Feasibility invariant: the
+   remaining slots of every node must not exceed the number of objects
+   still to deal (each future object uses a node at most once), so any
+   node at the limit is FORCED into the current hand; the rest of the
+   hand is sampled without replacement weighted by remaining capacity.
+   The invariant is maintained by construction, so this always
+   completes. *)
+let deal_forced ~rng (p : Params.t) remaining =
+  let replicas = Array.make p.b [||] in
+  for obj = 0 to p.b - 1 do
+    let objects_left = p.b - obj in
+    let hand = ref [] and hand_size = ref 0 in
+    (* Forced nodes: remaining capacity equals the objects left. *)
+    Array.iteri
+      (fun nd rem ->
+        if rem >= objects_left then begin
+          hand := nd :: !hand;
+          incr hand_size
+        end)
+      remaining;
+    if !hand_size > p.r then
+      failwith "Random_placement.deal_forced: infeasible caps";
+    (* Fill the rest by weighted sampling without replacement. *)
+    let weights =
+      Array.mapi
+        (fun nd rem ->
+          if List.mem nd !hand then 0.0 else float_of_int (max 0 rem))
+        remaining
+    in
+    while !hand_size < p.r do
+      let nd = Combin.Rng.choose_weighted rng weights in
+      weights.(nd) <- 0.0;
+      hand := nd :: !hand;
+      incr hand_size
+    done;
+    let hand = Combin.Intset.of_array (Array.of_list !hand) in
+    Array.iter (fun nd -> remaining.(nd) <- remaining.(nd) - 1) hand;
+    replicas.(obj) <- hand
+  done;
+  Layout.make ~n:p.n ~r:p.r replicas
+
+let place ~rng (p : Params.t) =
+  if p.r > p.n then invalid_arg "Random_placement.place: r > n";
+  (* Slot multiset: node i gets floor(rb/n) slots plus one of the
+     remainder, so per-node load is exactly the ⌈ℓ⌉ cap or one below. *)
+  let total = p.r * p.b in
+  let base = total / p.n and extra = total mod p.n in
+  (* The nodes receiving the ⌈ℓ⌉-th slot are themselves chosen at
+     random, so no node id is structurally favoured. *)
+  let extra_nodes = Combin.Rng.sample_distinct rng ~n:p.n ~k:extra in
+  let slots = Array.make total 0 in
+  let pos = ref 0 in
+  for nd = 0 to p.n - 1 do
+    let cnt = base + if Combin.Intset.mem extra_nodes nd then 1 else 0 in
+    for _ = 1 to cnt do
+      slots.(!pos) <- nd;
+      incr pos
+    done
+  done;
+  let rec attempt tries =
+    if tries = 0 then begin
+      (* Shuffle-and-repair keeps colliding (r close to n): fall back to
+         the always-feasible forced dealer with the same caps. *)
+      let remaining = Array.make p.n 0 in
+      Array.iter (fun nd -> remaining.(nd) <- remaining.(nd) + 1) slots;
+      deal_forced ~rng p remaining
+    end
+    else
+      match deal ~rng p slots with
+      | Some layout -> layout
+      | None -> attempt (tries - 1)
+  in
+  attempt 16
+
+let place_unconstrained ~rng (p : Params.t) =
+  if p.r > p.n then invalid_arg "Random_placement.place_unconstrained: r > n";
+  let replicas =
+    Array.init p.b (fun _ -> Combin.Rng.sample_distinct rng ~n:p.n ~k:p.r)
+  in
+  Layout.make ~n:p.n ~r:p.r replicas

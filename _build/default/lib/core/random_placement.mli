@@ -1,0 +1,17 @@
+(** The Random placement strategy (Definition 4): replicas are placed
+    uniformly at random subject to a per-node load cap of
+    ⌈ℓ⌉ = ⌈r·b/n⌉ replicas.
+
+    Implementation: shuffle a multiset of node slots sized exactly to the
+    load caps, deal r consecutive slots to each object, and repair the
+    (rare) objects dealt duplicate nodes by swapping slots with later
+    objects — a uniform-conditioned-on-validity dealing, restarted from a
+    fresh shuffle if a repair pass ever gets stuck. *)
+
+val place : rng:Combin.Rng.t -> Params.t -> Layout.t
+(** @raise Invalid_argument if [r > n]. *)
+
+val place_unconstrained : rng:Combin.Rng.t -> Params.t -> Layout.t
+(** The Random′ variant from Theorem 2's proof: each object's r replicas
+    go to r distinct nodes chosen uniformly, with {e no} load cap.  Used
+    by the ablation bench comparing the two. *)

@@ -1,0 +1,73 @@
+type t = {
+  layout : Layout.t;
+  x : int;
+  nx : int;
+  mu : int;
+  lambda : int;
+}
+
+let of_design ?(spread = false) (d : Designs.Block_design.t) ~n ~b =
+  if b < 1 then invalid_arg "Simple.of_design: b < 1";
+  if d.v > n then invalid_arg "Simple.of_design: design larger than node set";
+  let cap = Designs.Block_design.block_count d in
+  if cap = 0 then invalid_arg "Simple.of_design: empty design";
+  let copies = (b + cap - 1) / cap in
+  (* With [spread], each copy of the design is rotated to a different
+     slice of the node ring.  Every copy remains a Simple(x, μ) placement
+     (an injective relabelling), and a union of Simple(x, μ) placements
+     is a Simple(x, copies·μ) placement — overlap counts add — so the
+     achieved λ is unchanged while the load reaches all n nodes instead
+     of only the design's nx (Observation 2's imbalance concern). *)
+  let offset c = if spread then c * (max 1 (n / copies)) mod n else 0 in
+  let replicas =
+    Array.init b (fun obj ->
+        let copy = obj / cap in
+        let off = offset copy in
+        let blk = Array.map (fun p -> (p + off) mod n) d.blocks.(obj mod cap) in
+        Array.sort compare blk;
+        blk)
+  in
+  {
+    layout = Layout.make ~n ~r:d.block_size replicas;
+    x = d.strength - 1;
+    nx = d.v;
+    mu = d.lambda;
+    lambda = copies * d.lambda;
+  }
+
+let of_blocks_seq ~x ~v ~r ~capacity ~n ~b seq =
+  if b < 1 then invalid_arg "Simple.of_blocks_seq: b < 1";
+  if v > n then invalid_arg "Simple.of_blocks_seq: v > n";
+  let take = min b capacity in
+  let first = Array.make take [||] in
+  let i = ref 0 in
+  Seq.iter
+    (fun blk ->
+      if !i < take then begin
+        first.(!i) <- blk;
+        incr i
+      end)
+    (Seq.take take seq);
+  if !i <> take then invalid_arg "Simple.of_blocks_seq: stream shorter than capacity";
+  let copies = (b + capacity - 1) / capacity in
+  let replicas = Array.init b (fun obj -> Array.copy first.(obj mod take)) in
+  {
+    layout = Layout.make ~n ~r replicas;
+    x;
+    nx = v;
+    mu = 1;
+    lambda = copies;
+  }
+
+let of_entry ?(spread = false) (e : Designs.Registry.entry) ~n ~b =
+  if e.strength = e.block_size then
+    (* Complete family: stream the r-subsets instead of materializing
+       C(v, r) blocks. *)
+    of_blocks_seq ~x:(e.strength - 1) ~v:e.v ~r:e.block_size
+      ~capacity:e.blocks ~n ~b
+      (Designs.Trivial.subsets_seq ~v:e.v ~r:e.block_size)
+  else of_design ~spread (Designs.Registry.materialize e) ~n ~b
+
+let lower_bound t ~k ~s =
+  max 0
+    (Analysis.lb_avail_si ~b:(Layout.b t.layout) ~x:t.x ~lambda:t.lambda ~k ~s)

@@ -1,0 +1,1 @@
+lib/designs/affine.ml: Array Block_design Galois List

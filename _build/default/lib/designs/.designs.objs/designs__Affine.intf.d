@@ -1,0 +1,1 @@
+lib/designs/affine.mli: Block_design

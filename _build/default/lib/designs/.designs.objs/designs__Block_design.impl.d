@@ -1,0 +1,1 @@
+lib/designs/block_design.ml: Array Combin Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/designs/block_design.mli: Combin Format

@@ -1,0 +1,1 @@
+lib/designs/chunking.ml: Array Combin List Option Registry

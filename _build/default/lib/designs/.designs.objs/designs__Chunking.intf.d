@@ -1,0 +1,1 @@
+lib/designs/chunking.mli: Registry

@@ -1,0 +1,1 @@
+lib/designs/difference_family.ml: Array Block_design List

@@ -1,0 +1,1 @@
+lib/designs/difference_family.mli: Block_design

@@ -1,0 +1,1 @@
+lib/designs/mobius_family.ml: Array Block_design Combin Galois Hashtbl List Queue

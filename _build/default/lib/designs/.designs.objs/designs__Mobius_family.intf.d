@@ -1,0 +1,1 @@
+lib/designs/mobius_family.mli: Block_design Combin Galois

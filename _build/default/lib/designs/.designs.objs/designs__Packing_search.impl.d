@@ -1,0 +1,1 @@
+lib/designs/packing_search.ml: Array Block_design Combin Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/designs/packing_search.mli: Block_design Combin

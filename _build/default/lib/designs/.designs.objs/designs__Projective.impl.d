@@ -1,0 +1,1 @@
+lib/designs/projective.ml: Array Block_design Galois Hashtbl List

@@ -1,0 +1,1 @@
+lib/designs/projective.mli: Block_design

@@ -1,0 +1,1 @@
+lib/designs/quadruple.ml: Array Block_design Combin Hashtbl List Packing_search Printf

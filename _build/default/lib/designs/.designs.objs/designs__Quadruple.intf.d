@@ -1,0 +1,1 @@
+lib/designs/quadruple.mli: Block_design

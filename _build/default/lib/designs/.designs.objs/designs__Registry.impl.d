@@ -1,0 +1,1 @@
+lib/designs/registry.ml: Affine Block_design Combin Difference_family Galois List Mobius_family Packing_search Printf Projective Quadruple Spherical Steiner_triple Trivial Unital

@@ -1,0 +1,1 @@
+lib/designs/spherical.ml: Array Block_design Bytes Char Combin Galois

@@ -1,0 +1,1 @@
+lib/designs/spherical.mli: Block_design

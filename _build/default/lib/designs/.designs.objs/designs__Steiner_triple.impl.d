@@ -1,0 +1,1 @@
+lib/designs/steiner_triple.ml: Array Block_design Combin

@@ -1,0 +1,1 @@
+lib/designs/steiner_triple.mli: Block_design

@@ -1,0 +1,1 @@
+lib/designs/trivial.ml: Array Block_design Combin Seq

@@ -1,0 +1,1 @@
+lib/designs/trivial.mli: Block_design Seq

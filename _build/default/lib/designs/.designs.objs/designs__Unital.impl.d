@@ -1,0 +1,1 @@
+lib/designs/unital.ml: Array Block_design Combin Galois Hashtbl List

@@ -1,0 +1,1 @@
+lib/designs/unital.mli: Block_design

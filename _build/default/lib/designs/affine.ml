@@ -1,0 +1,74 @@
+let point_count ~q ~d =
+  let rec go acc i = if i = 0 then acc else go (acc * q) (i - 1) in
+  go 1 d
+
+let line_count ~q ~d =
+  (* q^(d-1) parallel classes per direction; (q^d - 1)/(q - 1) directions. *)
+  point_count ~q ~d:(d - 1) * ((point_count ~q ~d - 1) / (q - 1))
+
+let admissible ~block_size v =
+  match Galois.Field.is_prime_power block_size with
+  | None -> false
+  | Some _ ->
+      let rec divides_down x = x = 1 || (x mod block_size = 0 && divides_down (x / block_size)) in
+      v >= block_size && divides_down v
+
+(* One array of lines per projective direction; each class partitions the
+   point set (the natural resolution of AG(d, q)). *)
+let parallel_classes ~q ~d =
+  if d < 1 then invalid_arg "Affine.parallel_classes: d < 1";
+  let f = Galois.Field.of_order q in
+  let v = point_count ~q ~d in
+  let decode code =
+    let digits = Array.make d 0 in
+    let rest = ref code in
+    for i = 0 to d - 1 do
+      digits.(i) <- !rest mod q;
+      rest := !rest / q
+    done;
+    digits
+  in
+  let encode digits =
+    let acc = ref 0 in
+    for i = d - 1 downto 0 do
+      acc := (!acc * q) + digits.(i)
+    done;
+    !acc
+  in
+  (* Canonical direction representatives: nonzero vectors whose first
+     nonzero coordinate is 1 — one per 1-dimensional subspace. *)
+  let directions = ref [] in
+  for code = v - 1 downto 1 do
+    let u = decode code in
+    let rec first_nonzero i = if u.(i) <> 0 then i else first_nonzero (i + 1) in
+    if u.(first_nonzero 0) = 1 then directions := u :: !directions
+  done;
+  let visited = Array.make v false in
+  let add_vec a b = Array.init d (fun i -> f.add a.(i) b.(i)) in
+  let scale_vec t a = Array.map (fun x -> f.mul t x) a in
+  let classes =
+    List.map
+      (fun u ->
+        Array.fill visited 0 v false;
+        let lines = ref [] in
+        for p = 0 to v - 1 do
+          if not visited.(p) then begin
+            let base = decode p in
+            let line =
+              Array.init q (fun t -> encode (add_vec base (scale_vec t u)))
+            in
+            Array.iter (fun pt -> visited.(pt) <- true) line;
+            Array.sort compare line;
+            lines := line :: !lines
+          end
+        done;
+        Array.of_list (List.rev !lines))
+      !directions
+  in
+  Array.of_list classes
+
+let make ~q ~d =
+  if d < 1 then invalid_arg "Affine.make: d < 1";
+  let v = point_count ~q ~d in
+  let blocks = Array.concat (Array.to_list (parallel_classes ~q ~d)) in
+  Block_design.make ~strength:2 ~v ~block_size:q ~lambda:1 blocks

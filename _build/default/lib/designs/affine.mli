@@ -1,0 +1,25 @@
+(** Lines of affine space AG(d, q): the 2-(q^d, q, 1) designs.
+
+    These supply 2-designs with block size [q] for prime powers [q]:
+    AG(2,5) is the paper's 2-(25,5,1), AG(4,4) its 2-(256,4,1), etc.
+    Points are vectors in GF(q)^d encoded as base-q integers; lines are the
+    cosets {p + t·u : t ∈ GF(q)} of the 1-dimensional subspaces. *)
+
+val admissible : block_size:int -> int -> bool
+(** [admissible ~block_size:q v] iff [q] is a prime power and [v = q^d]
+    for some [d >= 2] (or [d = 1] giving the single-block design). *)
+
+val make : q:int -> d:int -> Block_design.t
+(** [make ~q ~d] is the design of lines of AG(d, q): 2-(q^d, q, 1).
+    @raise Invalid_argument if [q] is not a prime power or [d < 1]. *)
+
+val point_count : q:int -> d:int -> int
+val line_count : q:int -> d:int -> int
+
+val parallel_classes : q:int -> d:int -> int array array array
+(** The natural resolution of AG(d, q): one class per direction, each a
+    partition of the q^d points into q^{d-1} disjoint lines.  Affine
+    line designs are resolvable; the classes serve as rotation-free
+    1-designs (e.g. Kirkman-style round assignments: AG(d, 3) gives a
+    Kirkman triple system on 3^d points).  Classes and lines are in the
+    same order as the blocks of {!make}. *)

@@ -1,0 +1,146 @@
+type t = {
+  strength : int;
+  v : int;
+  block_size : int;
+  lambda : int;
+  blocks : int array array;
+}
+
+let make ~strength ~v ~block_size ~lambda blocks =
+  if strength < 1 || strength > block_size then
+    invalid_arg "Block_design.make: need 1 <= strength <= block_size";
+  if block_size > v then invalid_arg "Block_design.make: block_size > v";
+  if lambda < 1 then invalid_arg "Block_design.make: lambda < 1";
+  Array.iter
+    (fun blk ->
+      if Array.length blk <> block_size then
+        invalid_arg "Block_design.make: block of wrong size";
+      if not (Combin.Intset.is_sorted_distinct blk) then
+        invalid_arg "Block_design.make: block not sorted/distinct";
+      if blk.(0) < 0 || blk.(block_size - 1) >= v then
+        invalid_arg "Block_design.make: point out of range")
+    blocks;
+  { strength; v; block_size; lambda; blocks }
+
+let block_count d = Array.length d.blocks
+
+let capacity_bound ~strength ~v ~block_size ~lambda =
+  let num = Combin.Binomial.exact v strength in
+  let den = Combin.Binomial.exact block_size strength in
+  lambda * num / den
+
+let design_block_count ~strength ~v ~block_size ~lambda =
+  let num = Combin.Binomial.exact v strength in
+  let den = Combin.Binomial.exact block_size strength in
+  if lambda * num mod den = 0 then Some (lambda * num / den) else None
+
+let coverage_excess d =
+  let counts : (int, int) Hashtbl.t = Hashtbl.create (4 * Array.length d.blocks) in
+  let offender = ref None in
+  (try
+     Array.iter
+       (fun blk ->
+         Combin.Subset.sub_iter blk ~k:d.strength (fun sub ->
+             let key = Combin.Subset.rank ~n:d.v sub in
+             let c = 1 + (Option.value ~default:0 (Hashtbl.find_opt counts key)) in
+             Hashtbl.replace counts key c;
+             if c > d.lambda then begin
+               offender := Some (Array.copy sub, c);
+               raise Exit
+             end))
+       d.blocks
+   with Exit -> ());
+  !offender
+
+let is_packing d = coverage_excess d = None
+
+let is_design d =
+  match design_block_count ~strength:d.strength ~v:d.v ~block_size:d.block_size ~lambda:d.lambda with
+  | None -> false
+  | Some expected -> block_count d = expected && is_packing d
+
+let sampled_packing_check ~rng ~samples d =
+  let ok = ref true in
+  for _ = 1 to samples do
+    if !ok then begin
+      let sub = Combin.Rng.sample_distinct rng ~n:d.v ~k:d.strength in
+      let count = ref 0 in
+      Array.iter
+        (fun blk -> if Combin.Intset.subset sub blk then incr count)
+        d.blocks;
+      if !count > d.lambda then ok := false
+    end
+  done;
+  !ok
+
+let relabel d perm =
+  if Array.length perm <> d.v then invalid_arg "Block_design.relabel: bad permutation";
+  let seen = Array.make d.v false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= d.v || seen.(p) then
+        invalid_arg "Block_design.relabel: not a permutation";
+      seen.(p) <- true)
+    perm;
+  let blocks =
+    Array.map
+      (fun blk ->
+        let b = Array.map (fun p -> perm.(p)) blk in
+        Array.sort compare b;
+        b)
+      d.blocks
+  in
+  { d with blocks }
+
+let union_disjoint d1 d2 =
+  if d1.strength <> d2.strength || d1.block_size <> d2.block_size || d1.v <> d2.v
+  then invalid_arg "Block_design.union_disjoint: parameter mismatch";
+  {
+    d1 with
+    lambda = d1.lambda + d2.lambda;
+    blocks = Array.append d1.blocks d2.blocks;
+  }
+
+let repeat d c =
+  if c < 1 then invalid_arg "Block_design.repeat: c < 1";
+  let blocks = Array.concat (List.init c (fun _ -> Array.map Array.copy d.blocks)) in
+  { d with lambda = c * d.lambda; blocks }
+
+(* Delete [point] from the ground set, shifting larger labels down. *)
+let relabel_without ~point blk =
+  Array.map (fun p -> if p > point then p - 1 else p) blk
+
+let derived d ~point =
+  if d.strength < 2 then invalid_arg "Block_design.derived: strength < 2";
+  if point < 0 || point >= d.v then invalid_arg "Block_design.derived: bad point";
+  let blocks =
+    Array.of_list
+      (List.filter_map
+         (fun blk ->
+           if Combin.Intset.mem blk point then
+             Some
+               (relabel_without ~point
+                  (Array.of_list
+                     (List.filter (fun p -> p <> point) (Array.to_list blk))))
+           else None)
+         (Array.to_list d.blocks))
+  in
+  make ~strength:(d.strength - 1) ~v:(d.v - 1) ~block_size:(d.block_size - 1)
+    ~lambda:d.lambda blocks
+
+let residual d ~point =
+  if point < 0 || point >= d.v then invalid_arg "Block_design.residual: bad point";
+  let blocks =
+    Array.of_list
+      (List.filter_map
+         (fun blk ->
+           if Combin.Intset.mem blk point then None
+           else Some (relabel_without ~point blk))
+         (Array.to_list d.blocks))
+  in
+  make ~strength:d.strength ~v:(d.v - 1) ~block_size:d.block_size
+    ~lambda:d.lambda blocks
+
+let pp fmt d =
+  Format.fprintf fmt "%d-(%d, %d, %d) packing with %d blocks" d.strength d.v
+    d.block_size d.lambda (block_count d)

@@ -1,0 +1,85 @@
+(** Block designs and t-packings.
+
+    In the paper's vocabulary a [Simple(x, λ)] placement on [nx] nodes is an
+    [(x+1)-(nx, r, λ)] packing: a collection of [r]-subsets ("blocks") of a
+    [v]-set ("points") such that every [(x+1)]-subset of points lies in at
+    most [λ] blocks (Definition 2 / Lemma 1).  When every [t]-subset lies in
+    {e exactly} [λ] blocks the packing is a [t]-design (maximum packing),
+    which is what the constructions in this library produce.
+
+    Points are [0 .. v-1]; blocks are sorted, duplicate-free int arrays. *)
+
+type t = private {
+  strength : int;  (** t = x + 1 *)
+  v : int;  (** number of points *)
+  block_size : int;  (** the paper's r *)
+  lambda : int;  (** the paper's μ *)
+  blocks : int array array;
+}
+
+val make :
+  strength:int -> v:int -> block_size:int -> lambda:int -> int array array -> t
+(** Validates ranges and per-block well-formedness (sorted, distinct,
+    within [0..v-1], size [block_size]); does {e not} run the (potentially
+    expensive) packing check — see {!is_packing}.
+    @raise Invalid_argument on malformed input. *)
+
+val block_count : t -> int
+
+val capacity_bound : strength:int -> v:int -> block_size:int -> lambda:int -> int
+(** Lemma 1's bound [floor(λ C(v,t) / C(r,t))] on the number of blocks of
+    any t-(v,r,λ) packing. *)
+
+val design_block_count : strength:int -> v:int -> block_size:int -> lambda:int -> int option
+(** [λ C(v,t) / C(r,t)] when integral (the exact block count of a
+    t-design with these parameters), [None] otherwise. *)
+
+val coverage_excess : t -> (int array * int) option
+(** [coverage_excess d] is [Some (subset, count)] for some
+    [strength]-subset covered by [count > lambda] blocks, or [None] if [d]
+    is a valid packing.  Cost: O(blocks · C(block_size, strength)). *)
+
+val is_packing : t -> bool
+(** Every [strength]-subset of points lies in at most [lambda] blocks. *)
+
+val is_design : t -> bool
+(** Every [strength]-subset lies in {e exactly} [lambda] blocks.
+    Checked via {!is_packing} plus the block-count identity. *)
+
+val sampled_packing_check :
+  rng:Combin.Rng.t -> samples:int -> t -> bool
+(** Randomized spot-check for designs too large for {!is_packing}'s full
+    sweep (e.g. the 279k-block 3-(257,5,1)): draws [samples] random
+    [strength]-subsets of points and counts their coverage by a full
+    scan over the blocks; fails if any exceeds [lambda].  A passing
+    check is evidence, not proof. *)
+
+val relabel : t -> int array -> t
+(** [relabel d perm] renames point [p] to [perm.(p)]; [perm] must be a
+    permutation of [0..v-1].  Used to embed a design into a chunk of a
+    larger node set (Observation 2). *)
+
+val union_disjoint : t -> t -> t
+(** Union of two packings with the same [strength], [block_size] and [v]
+    whose parameters add: the result has [lambda = λ1 + λ2].  (Copying a
+    design λ times, as in Observation 1, is a repeated disjoint union.) *)
+
+val repeat : t -> int -> t
+(** [repeat d c] is [d] unioned with itself [c] times: a
+    t-(v, r, c·λ) packing with [c · block_count d] blocks. *)
+
+val derived : t -> point:int -> t
+(** The derived design at a point: blocks through [point], with the point
+    deleted and the rest relabelled to [0..v-2].  For a t-(v, r, λ)
+    design this is a (t−1)-(v−1, r−1, λ) design — e.g. deriving the
+    spherical 3-(q²+1, q+1, 1) at ∞ yields the affine plane AG(2, q).
+    @raise Invalid_argument if [strength = 1] or the point is out of
+    range. *)
+
+val residual : t -> point:int -> t
+(** The residual design at a point: blocks {e avoiding} [point],
+    relabelled to [0..v-2].  For a 2-(v, r, 1) design this is a
+    2-(v−1, r, 1) {e packing} (a valid Simple(1, λ) source on one fewer
+    node).  @raise Invalid_argument if the point is out of range. *)
+
+val pp : Format.formatter -> t -> unit

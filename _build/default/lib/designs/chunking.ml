@@ -1,0 +1,156 @@
+type plan = {
+  chunks : Registry.entry list;
+  total_v : int;
+  lambda : int;
+  capacity : int;
+}
+
+let ideal_capacity ~strength ~block_size ~lambda n =
+  lambda * Combin.Binomial.exact n strength
+  / Combin.Binomial.exact block_size strength
+
+let capacity_gap ~strength ~block_size ~n plan =
+  let ideal = ideal_capacity ~strength ~block_size ~lambda:plan.lambda n in
+  if ideal = 0 then 1.0
+  else float_of_int (ideal - plan.capacity) /. float_of_int ideal
+
+(* One knapsack DP for a fixed common λ = [lcm]: items are catalogue
+   entries with μ | lcm, weight v, value (lcm/μ)·blocks; at most
+   [max_chunks] items, repetition allowed.  dp.(m).(w) is the best value
+   with exactly m chunks of total size exactly w. *)
+let dp_for_lcm pool ~lcm ~max_chunks ~n_hi =
+  let items =
+    List.filter (fun (e : Registry.entry) -> lcm mod e.mu = 0 && e.v <= n_hi) pool
+  in
+  let items = Array.of_list items in
+  let nitems = Array.length items in
+  let dp = Array.make_matrix (max_chunks + 1) (n_hi + 1) (-1) in
+  let choice = Array.make_matrix (max_chunks + 1) (n_hi + 1) (-1) in
+  dp.(0).(0) <- 0;
+  for m = 1 to max_chunks do
+    for w = 0 to n_hi do
+      for i = 0 to nitems - 1 do
+        let e = items.(i) in
+        if e.v <= w && dp.(m - 1).(w - e.v) >= 0 then begin
+          let value = dp.(m - 1).(w - e.v) + (lcm / e.mu * e.blocks) in
+          if value > dp.(m).(w) then begin
+            dp.(m).(w) <- value;
+            choice.(m).(w) <- i
+          end
+        end
+      done
+    done
+  done;
+  (items, dp, choice)
+
+(* Best (value, m, w) with w <= n across all chunk counts. *)
+let best_cell dp ~max_chunks ~n =
+  let best = ref None in
+  for m = 0 to max_chunks do
+    for w = 0 to n do
+      if dp.(m).(w) >= 0 then
+        match !best with
+        | Some (v, _, _) when v >= dp.(m).(w) -> ()
+        | _ -> best := Some (dp.(m).(w), m, w)
+    done
+  done;
+  !best
+
+let reconstruct items choice ~m ~w =
+  let rec go m w acc =
+    if m = 0 then acc
+    else begin
+      let i = choice.(m).(w) in
+      if i < 0 then
+        (* dp cell with exactly-m semantics always has a choice when
+           reachable and m > 0 *)
+        acc
+      else begin
+        let e = items.(i) in
+        go (m - 1) (w - e.Registry.v) (e :: acc)
+      end
+    end
+  in
+  go m w []
+
+let lcm_candidates max_mu = List.init max_mu (fun i -> i + 1)
+
+let best_plans ?(max_mu = 1) ?(max_chunks = 3) ?(include_literature = true)
+    ~strength ~block_size ~n_lo ~n_hi () =
+  let pool =
+    Registry.entries ~max_mu ~include_literature ~strength ~block_size
+      ~max_v:n_hi ()
+  in
+  let tables =
+    List.map
+      (fun lcm -> (lcm, dp_for_lcm pool ~lcm ~max_chunks ~n_hi))
+      (lcm_candidates max_mu)
+  in
+  Array.init
+    (n_hi - n_lo + 1)
+    (fun idx ->
+      let n = n_lo + idx in
+      let ideal1 =
+        float_of_int (Combin.Binomial.exact n strength)
+        /. float_of_int (Combin.Binomial.exact block_size strength)
+      in
+      let best = ref None in
+      List.iter
+        (fun (lcm, (items, dp, choice)) ->
+          match best_cell dp ~max_chunks ~n with
+          | None -> ()
+          | Some (value, m, w) ->
+              (* Normalize by λ so plans with different lcm are comparable. *)
+              let score = float_of_int value /. (float_of_int lcm *. ideal1) in
+              let better =
+                match !best with
+                | None -> value > 0
+                | Some (score', _) -> score > score'
+              in
+              if better then begin
+                let chunks = reconstruct items choice ~m ~w in
+                let lambda =
+                  (* λ need only be a common multiple of the chunk μ's;
+                     use the smallest one actually needed. *)
+                  List.fold_left
+                    (fun acc (e : Registry.entry) ->
+                      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+                      acc / gcd acc e.mu * e.mu)
+                    1 chunks
+                in
+                let capacity =
+                  List.fold_left
+                    (fun acc (e : Registry.entry) ->
+                      acc + (lambda / e.mu * e.blocks))
+                    0 chunks
+                in
+                best :=
+                  Some (score, { chunks; total_v = w; lambda; capacity })
+              end)
+        tables;
+      (n, Option.map snd !best))
+
+let best_plan ?max_mu ?max_chunks ?include_literature ~strength ~block_size ~n
+    () =
+  match
+    best_plans ?max_mu ?max_chunks ?include_literature ~strength ~block_size
+      ~n_lo:n ~n_hi:n ()
+  with
+  | [| (_, p) |] -> p
+  | _ -> None
+
+let gap_cdf ?max_mu ?max_chunks ?include_literature ~strength ~block_size
+    ~n_lo ~n_hi () =
+  let plans =
+    best_plans ?max_mu ?max_chunks ?include_literature ~strength ~block_size
+      ~n_lo ~n_hi ()
+  in
+  let gaps =
+    Array.map
+      (fun (n, p) ->
+        match p with
+        | None -> 1.0
+        | Some plan -> capacity_gap ~strength ~block_size ~n plan)
+      plans
+  in
+  Combin.Stats.cdf_points gaps

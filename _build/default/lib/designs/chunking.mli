@@ -1,0 +1,43 @@
+(** Chunk decomposition of a node set (the paper's Observation 2).
+
+    When no single design with nx ≈ n exists, the n nodes are split into
+    chunks of sizes nx1 .. nxm, each hosting its own Simple(x, μxi)
+    placement; the combined placement is a Simple(x, μ) placement for
+    μ = lcm(μxi) with capacity Σ (μ/μxi)·blocks_i.  This module optimizes
+    the choice of up to [max_chunks] catalogue entries for every system
+    size at once (a bounded knapsack over entry sizes), which is exactly
+    the computation behind the capacity-gap CDFs of Figs 5 and 6. *)
+
+type plan = {
+  chunks : Registry.entry list;  (** chosen designs, at most [max_chunks] *)
+  total_v : int;  (** Σ nxi ≤ n *)
+  lambda : int;  (** lcm of the chunk μ's *)
+  capacity : int;  (** objects hosted at λ = [lambda] *)
+}
+
+val ideal_capacity : strength:int -> block_size:int -> lambda:int -> int -> int
+(** Lemma 1's bound [floor(λ C(n,t) / C(r,t))] for the full node set. *)
+
+val capacity_gap : strength:int -> block_size:int -> n:int -> plan -> float
+(** [(ideal - achieved) / ideal] at the plan's λ, as in Fig. 5; 0 is
+    perfect, 1 means no capacity at all. *)
+
+val best_plan :
+  ?max_mu:int -> ?max_chunks:int -> ?include_literature:bool ->
+  strength:int -> block_size:int -> n:int -> unit -> plan option
+(** Best plan for a single system size [n]. *)
+
+val best_plans :
+  ?max_mu:int -> ?max_chunks:int -> ?include_literature:bool ->
+  strength:int -> block_size:int -> n_lo:int -> n_hi:int -> unit ->
+  (int * plan option) array
+(** Best plan for every n in [n_lo .. n_hi], sharing one knapsack DP
+    across all sizes (the whole Fig. 5 sweep in one pass). *)
+
+val gap_cdf :
+  ?max_mu:int -> ?max_chunks:int -> ?include_literature:bool ->
+  strength:int -> block_size:int -> n_lo:int -> n_hi:int -> unit ->
+  (float * float) list
+(** The CDF of {!capacity_gap} over n in [n_lo .. n_hi] (gap = 1.0 when no
+    plan exists), as (gap, fraction-of-sizes ≤ gap) points — the curves of
+    Figs 5 and 6. *)

@@ -1,0 +1,38 @@
+(** (v, r, 1) difference families over Z_v, and the 2-(v, r, 1) designs
+    they generate.
+
+    A (v, r, 1)-DF is a set of base blocks B_1 .. B_m ⊂ Z_v,
+    m = (v-1)/(r(r-1)), whose pairwise differences cover Z_v \ {0}
+    exactly once; developing each base block through all v translations
+    yields a 2-(v, r, 1) design.  This is the classical engine behind
+    most handbook existence results for block sizes 4 and 5 (the paper's
+    r = 4, 5 rows); we find families by backtracking search, which turns
+    a slice of the registry's literature-only entries into generated
+    designs.
+
+    Search is feasible for the moderate v used in this reproduction;
+    {!searchable} gates the orders we have verified the search to
+    complete on quickly. *)
+
+val admissible : v:int -> r:int -> bool
+(** v ≡ 1 (mod r(r-1)) — the condition for a pure difference family with
+    no short orbits. *)
+
+val find : ?budget:int -> v:int -> r:int -> unit -> int array array option
+(** [find ~v ~r ()] searches for base blocks (each sorted, containing 0).
+    [budget] caps backtracking nodes (default 5 million).  Deterministic. *)
+
+val verify : v:int -> r:int -> int array array -> bool
+(** Every nonzero difference covered exactly once. *)
+
+val develop : v:int -> r:int -> int array array -> Block_design.t
+(** Translate the base blocks through Z_v: a 2-(v, r, 1) design with
+    [m·v] blocks.  Does not re-verify; combine with {!verify} or the
+    design checker. *)
+
+val make : ?budget:int -> v:int -> r:int -> unit -> Block_design.t option
+(** [find] + [develop]. *)
+
+val searchable : v:int -> r:int -> bool
+(** Orders on which {!find} is known (tested) to succeed within budget:
+    a curated subset of admissible prime-power/prime orders. *)

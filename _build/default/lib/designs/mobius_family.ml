@@ -1,0 +1,115 @@
+let apply_to_set f m s =
+  let out = Array.map (Galois.Pline.apply f m) s in
+  Array.sort compare out;
+  out
+
+let stabilizer_order f s =
+  if Array.length s <> 5 then invalid_arg "Mobius_family.stabilizer_order";
+  let to_base = Galois.Pline.to_zero_one_inf f s.(0) s.(1) s.(2) in
+  let count = ref 0 in
+  (* A Möbius map is determined by the images of three points, so every
+     stabilizer element sends (s0, s1, s2) to one of the 60 ordered triples
+     of elements of s. *)
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      for l = 0 to 4 do
+        if i <> j && j <> l && i <> l then begin
+          let m =
+            Galois.Pline.compose f
+              (Galois.Pline.from_zero_one_inf f s.(i) s.(j) s.(l))
+              to_base
+          in
+          if Combin.Intset.equal (apply_to_set f m s) s then incr count
+        end
+      done
+    done
+  done;
+  !count
+
+let mu_of_stab h =
+  if h <= 0 || 60 mod h <> 0 then
+    invalid_arg "Mobius_family.mu_of_stab: order does not divide 60";
+  60 / h
+
+let orbit_size f s =
+  let q = f.Galois.Field.order in
+  (q + 1) * q * (q - 1) / stabilizer_order f s
+
+let harmonic_set (f : Galois.Field.t) =
+  if f.char = 3 then None
+  else begin
+    (* Roots of z^2 - z + 1 by direct scan (fields here are small). *)
+    let roots = ref [] in
+    for z = 0 to f.order - 1 do
+      if f.add (f.sub (f.mul z z) z) 1 = 0 then roots := z :: !roots
+    done;
+    match !roots with
+    | [ w1; w2 ] when w1 <> 0 && w1 <> 1 && w2 <> 0 && w2 <> 1 ->
+        Some (Combin.Intset.of_array [| f.order; 0; 1; w1; w2 |])
+    | _ -> None
+  end
+
+let search_best (f : Galois.Field.t) ~rng ~tries =
+  let q = f.order in
+  if q + 1 < 5 then invalid_arg "Mobius_family.search_best: q + 1 < 5";
+  let best = ref None in
+  let consider s =
+    let h = stabilizer_order f s in
+    match !best with
+    | Some (_, h') when h' >= h -> ()
+    | _ -> best := Some (s, h)
+  in
+  (match harmonic_set f with Some s -> consider s | None -> ());
+  for _ = 1 to tries do
+    (* Canonical representative {∞, 0, 1, a, b}: every PGL-orbit of
+       5-subsets contains one, so this samples all orbits. *)
+    let a = ref (2 + Combin.Rng.int rng (q - 2)) in
+    let b = ref (2 + Combin.Rng.int rng (q - 2)) in
+    while !b = !a do
+      b := 2 + Combin.Rng.int rng (q - 2)
+    done;
+    consider (Combin.Intset.of_array [| q; 0; 1; !a; !b |])
+  done;
+  match !best with
+  | Some (s, h) -> (s, h)
+  | None -> assert false
+
+let best_mu f ~rng ~tries =
+  let _, h = search_best f ~rng ~tries in
+  mu_of_stab h
+
+let orbit (f : Galois.Field.t) s =
+  let g = f.primitive in
+  let generators =
+    [
+      { Galois.Pline.a = 1; b = 1; c = 0; d = 1 };    (* z + 1 *)
+      { Galois.Pline.a = g; b = 0; c = 0; d = 1 };    (* g z *)
+      { Galois.Pline.a = 0; b = 1; c = 1; d = 0 };    (* 1 / z *)
+    ]
+  in
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let start = Combin.Intset.of_array s in
+  Hashtbl.add seen (Array.to_list start) ();
+  Queue.add start queue;
+  let out = ref [] in
+  while not (Queue.is_empty queue) do
+    let cur = Queue.pop queue in
+    out := cur :: !out;
+    List.iter
+      (fun m ->
+        let next = apply_to_set f m cur in
+        let key = Array.to_list next in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          Queue.add next queue
+        end)
+      generators
+  done;
+  Array.of_list !out
+
+let design f s =
+  let blocks = orbit f s in
+  let h = stabilizer_order f s in
+  Block_design.make ~strength:3 ~v:(f.Galois.Field.order + 1) ~block_size:5
+    ~lambda:(mu_of_stab h) blocks

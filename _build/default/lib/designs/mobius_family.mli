@@ -1,0 +1,44 @@
+(** PGL(2, q)-orbit 3-designs: 3-(q + 1, 5, μ) with small μ.
+
+    PGL(2, q) is 3-homogeneous on the projective line, so the orbit of
+    {e any} 5-subset S of PG(1, q) is automatically a 3-design; counting
+    gives μ = 60 / |Stab(S)| where Stab(S) is the setwise stabilizer of S
+    in PGL(2, q).  Hunting for 5-subsets with large stabilizers therefore
+    yields 3-(q+1, 5, μ) designs with small μ for {e every} prime power q
+    — the engine behind the paper's Fig. 6 observation that allowing
+    μ ≤ 10 "dramatically" shrinks the r = 5, x = 2 capacity gap.
+
+    A deterministic witness: when z² − z + 1 splits over GF(q) (q ≡ 1 mod
+    3, char ≠ 3), the set {∞, 0, 1, ω, ω̄} of its roots together with the
+    harmonic triple is invariant under the S₃ of cross-ratio symmetries,
+    so its stabilizer has order ≥ 6 and μ ≤ 10. *)
+
+val stabilizer_order : Galois.Field.t -> int array -> int
+(** [stabilizer_order f s] for a 5-element sorted array of PG(1,q) points:
+    the order of the setwise stabilizer of [s] in PGL(2, q).  Computed by
+    testing all 60 maps determined by ordered triples of [s]. *)
+
+val mu_of_stab : int -> int
+(** [60 / h]; @raise Invalid_argument if [h] does not divide 60. *)
+
+val orbit_size : Galois.Field.t -> int array -> int
+(** [(q+1) q (q-1) / stabilizer_order]. *)
+
+val harmonic_set : Galois.Field.t -> int array option
+(** The deterministic S₃-invariant witness above, when z² − z + 1 splits. *)
+
+val search_best : Galois.Field.t -> rng:Combin.Rng.t -> tries:int -> int array * int
+(** [search_best f ~rng ~tries] samples random 5-subsets of the canonical
+    form {∞, 0, 1, a, b} (every orbit has such a representative) plus the
+    harmonic witness, and returns the pair (set, stabilizer order) with
+    the largest stabilizer found. *)
+
+val best_mu : Galois.Field.t -> rng:Combin.Rng.t -> tries:int -> int
+(** Smallest μ found by {!search_best}. *)
+
+val orbit : Galois.Field.t -> int array -> int array array
+(** Materialize the full orbit (for tests / small q): BFS closure under
+    the generators z↦z+1, z↦gz, z↦1/z of PGL(2, q). *)
+
+val design : Galois.Field.t -> int array -> Block_design.t
+(** The orbit as a 3-(q+1, 5, μ) design.  Intended for moderate q. *)

@@ -1,0 +1,153 @@
+(* Shared helper: the rank of each [strength]-subset of a block, used as a
+   dense key into coverage tables. *)
+let subset_ranks ~v ~strength block =
+  let ranks = ref [] in
+  Combin.Subset.sub_iter block ~k:strength (fun sub ->
+      ranks := Combin.Subset.rank ~n:v sub :: !ranks);
+  Array.of_list !ranks
+
+let all_blocks ~v ~block_size =
+  let out = ref [] in
+  Combin.Subset.iter ~n:v ~k:block_size (fun c -> out := Array.copy c :: !out);
+  Array.of_list (List.rev !out)
+
+exception Found of int list
+exception Budget_exhausted
+
+let exact_steiner ?(node_budget = 20_000_000) ~strength ~v ~block_size () =
+  let nsubsets = Combin.Binomial.exact v strength in
+  let candidates = all_blocks ~v ~block_size in
+  let ncand = Array.length candidates in
+  let cand_subsets =
+    Array.map (fun blk -> subset_ranks ~v ~strength blk) candidates
+  in
+  (* For every t-subset, the candidate blocks containing it. *)
+  let containing = Array.make nsubsets [] in
+  Array.iteri
+    (fun ci ranks -> Array.iter (fun r -> containing.(r) <- ci :: containing.(r)) ranks)
+    cand_subsets;
+  let containing = Array.map Array.of_list containing in
+  let covered = Array.make nsubsets false in
+  let active = Array.make ncand true in
+  (* How many active candidates still cover each uncovered subset. *)
+  let choices = Array.make nsubsets 0 in
+  for s = 0 to nsubsets - 1 do
+    choices.(s) <- Array.length containing.(s)
+  done;
+  let deactivate ci trail =
+    if active.(ci) then begin
+      active.(ci) <- false;
+      Array.iter (fun s -> choices.(s) <- choices.(s) - 1) cand_subsets.(ci);
+      trail := ci :: !trail
+    end
+  in
+  let undo trail =
+    List.iter
+      (fun ci ->
+        active.(ci) <- true;
+        Array.iter (fun s -> choices.(s) <- choices.(s) + 1) cand_subsets.(ci))
+      trail
+  in
+  let nodes = ref 0 in
+  let rec solve chosen uncovered_count =
+    incr nodes;
+    if !nodes > node_budget then raise Budget_exhausted;
+    if uncovered_count = 0 then raise (Found chosen)
+    else begin
+      (* Fewest-choices heuristic: branch on the uncovered subset with the
+         smallest number of admissible blocks. *)
+      let best = ref (-1) and best_choices = ref max_int in
+      for s = 0 to nsubsets - 1 do
+        if (not covered.(s)) && choices.(s) < !best_choices then begin
+          best := s;
+          best_choices := choices.(s)
+        end
+      done;
+      if !best_choices = 0 then () (* dead end *)
+      else begin
+        let s = !best in
+        Array.iter
+          (fun ci ->
+            if active.(ci) then begin
+              (* Choose block ci: mark its subsets covered; deactivate every
+                 active block sharing a subset with it. *)
+              let trail = ref [] in
+              let newly_covered = ref [] in
+              Array.iter
+                (fun r ->
+                  if not covered.(r) then begin
+                    covered.(r) <- true;
+                    newly_covered := r :: !newly_covered
+                  end)
+                cand_subsets.(ci);
+              let to_deactivate = ref [] in
+              Array.iter
+                (fun r ->
+                  Array.iter
+                    (fun cj -> if active.(cj) then to_deactivate := cj :: !to_deactivate)
+                    containing.(r))
+                cand_subsets.(ci);
+              List.iter (fun cj -> deactivate cj trail) !to_deactivate;
+              solve (ci :: chosen) (uncovered_count - List.length !newly_covered);
+              undo !trail;
+              List.iter (fun r -> covered.(r) <- false) !newly_covered
+            end)
+          containing.(s)
+      end
+    end
+  in
+  match solve [] nsubsets with
+  | () -> None
+  | exception Budget_exhausted -> None
+  | exception Found chosen ->
+      let blocks = Array.of_list (List.map (fun ci -> candidates.(ci)) chosen) in
+      Some (Block_design.make ~strength ~v ~block_size ~lambda:1 blocks)
+
+(* Coverage table for greedy packing: counts per t-subset rank, stored
+   sparsely so that large v stay cheap. *)
+let make_coverage () = Hashtbl.create 4096
+
+let compatible coverage ~lambda ranks =
+  Array.for_all
+    (fun r -> Option.value ~default:0 (Hashtbl.find_opt coverage r) < lambda)
+    ranks
+
+let commit coverage ranks =
+  Array.iter
+    (fun r ->
+      Hashtbl.replace coverage r
+        (1 + Option.value ~default:0 (Hashtbl.find_opt coverage r)))
+    ranks
+
+let greedy_lex ?(max_blocks = max_int) ~strength ~v ~block_size ~lambda () =
+  let coverage = make_coverage () in
+  let blocks = ref [] and count = ref 0 in
+  (try
+     Combin.Subset.iter ~n:v ~k:block_size (fun c ->
+         if !count >= max_blocks then raise Exit;
+         let ranks = subset_ranks ~v ~strength c in
+         if compatible coverage ~lambda ranks then begin
+           commit coverage ranks;
+           blocks := Array.copy c :: !blocks;
+           incr count
+         end)
+   with Exit -> ());
+  Block_design.make ~strength ~v ~block_size ~lambda
+    (Array.of_list (List.rev !blocks))
+
+let greedy_random ~rng ?(stall_limit = 2000) ~strength ~v ~block_size ~lambda () =
+  let coverage = make_coverage () in
+  let blocks = ref [] in
+  let stalls = ref 0 in
+  while !stalls < stall_limit do
+    let c = Combin.Rng.sample_distinct rng ~n:v ~k:block_size in
+    let ranks = subset_ranks ~v ~strength c in
+    if compatible coverage ~lambda ranks then begin
+      commit coverage ranks;
+      blocks := c :: !blocks;
+      stalls := 0
+    end
+    else incr stalls
+  done;
+  Block_design.make ~strength ~v ~block_size ~lambda
+    (Array.of_list (List.rev !blocks))

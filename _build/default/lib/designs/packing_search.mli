@@ -1,0 +1,37 @@
+(** Search-based construction of packings and small Steiner systems.
+
+    The paper notes that its approach "provides further impetus to advance
+    t-packing construction"; this module supplies the computational side:
+
+    - {!exact_steiner}: backtracking exact-cover search (Algorithm-X style
+      with a fewest-choices heuristic) that finds genuine t-(v, r, 1)
+      Steiner systems for small parameters — we use it for SQS(10),
+      SQS(14) and the 4-(11, 5, 1) system, none of which have simple
+      direct constructions;
+    - {!greedy_lex} / {!greedy_random}: maximal-packing heuristics used by
+      the capacity-gap study (Figs 5–6) where no algebraic construction is
+      available. *)
+
+val exact_steiner :
+  ?node_budget:int -> strength:int -> v:int -> block_size:int -> unit ->
+  Block_design.t option
+(** [exact_steiner ~strength ~v ~block_size ()] searches for a
+    [strength]-(v, block_size, 1) Steiner system over all
+    C(v, block_size) candidate blocks.  Returns [None] if the search
+    exhausts (no system among the candidates) or exceeds [node_budget]
+    backtracking nodes (default 20 million). *)
+
+val greedy_lex :
+  ?max_blocks:int -> strength:int -> v:int -> block_size:int -> lambda:int ->
+  unit -> Block_design.t
+(** Deterministic greedy: scan all candidate blocks in lexicographic order
+    and keep each block that maintains the λ-packing property.  Produces a
+    maximal (not necessarily maximum) packing. *)
+
+val greedy_random :
+  rng:Combin.Rng.t -> ?stall_limit:int -> strength:int -> v:int ->
+  block_size:int -> lambda:int -> unit -> Block_design.t
+(** Randomized greedy: repeatedly sample a uniformly random candidate
+    block and keep it when compatible, stopping after [stall_limit]
+    consecutive rejections (default 2000).  Faster than {!greedy_lex} on
+    large [v] but typically reaches slightly lower capacity. *)

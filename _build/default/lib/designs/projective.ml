@@ -1,0 +1,86 @@
+let pow q e =
+  let rec go acc i = if i = 0 then acc else go (acc * q) (i - 1) in
+  go 1 e
+
+let point_count ~q ~d = (pow q (d + 1) - 1) / (q - 1)
+
+let line_count ~q ~d =
+  (* #pairs / #pairs-per-line *)
+  let v = point_count ~q ~d in
+  v * (v - 1) / ((q + 1) * q)
+
+let make ~q ~d =
+  if d < 1 then invalid_arg "Projective.make: d < 1";
+  let f = Galois.Field.of_order q in
+  let dim = d + 1 in
+  let nvec = pow q dim in
+  let decode code =
+    let digits = Array.make dim 0 in
+    let rest = ref code in
+    for i = 0 to dim - 1 do
+      digits.(i) <- !rest mod q;
+      rest := !rest / q
+    done;
+    digits
+  in
+  let encode digits =
+    let acc = ref 0 in
+    for i = dim - 1 downto 0 do
+      acc := (!acc * q) + digits.(i)
+    done;
+    !acc
+  in
+  (* Projective points: canonical representatives with first nonzero
+     coordinate 1, indexed densely. *)
+  let canonical u =
+    let rec first_nonzero i = if u.(i) <> 0 then i else first_nonzero (i + 1) in
+    let lead = u.(first_nonzero 0) in
+    if lead = 1 then u else Array.map (fun x -> f.mul (f.inv lead) x) u
+  in
+  let index_of_code = Array.make nvec (-1) in
+  let points = ref [] and npoints = ref 0 in
+  for code = 1 to nvec - 1 do
+    let u = decode code in
+    let rec first_nonzero i = if u.(i) <> 0 then i else first_nonzero (i + 1) in
+    if u.(first_nonzero 0) = 1 then begin
+      index_of_code.(code) <- !npoints;
+      points := u :: !points;
+      incr npoints
+    end
+  done;
+  let points = Array.of_list (List.rev !points) in
+  let v = Array.length points in
+  assert (v = point_count ~q ~d);
+  let add_vec a b = Array.init dim (fun i -> f.add a.(i) b.(i)) in
+  let scale_vec t a = Array.map (fun x -> f.mul t x) a in
+  (* The line through points p1, p2 is { [α p1 + β p2] : (α:β) ∈ PG(1,q) }
+     = { p1 } ∪ { [t p1 + p2] : t ∈ GF(q) }. *)
+  let line_through p1 p2 =
+    let pts = Array.make (q + 1) 0 in
+    pts.(0) <- index_of_code.(encode (canonical points.(p1)));
+    for t = 0 to q - 1 do
+      let u = canonical (add_vec (scale_vec t points.(p1)) points.(p2)) in
+      pts.(t + 1) <- index_of_code.(encode u)
+    done;
+    Array.sort compare pts;
+    pts
+  in
+  if d = 1 then
+    Block_design.make ~strength:2 ~v ~block_size:(q + 1) ~lambda:1
+      [| Array.init v (fun i -> i) |]
+  else begin
+    let seen = Hashtbl.create (4 * line_count ~q ~d) in
+    let blocks = ref [] in
+    for p1 = 0 to v - 1 do
+      for p2 = p1 + 1 to v - 1 do
+        let line = line_through p1 p2 in
+        let key = Array.to_list line in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          blocks := line :: !blocks
+        end
+      done
+    done;
+    Block_design.make ~strength:2 ~v ~block_size:(q + 1) ~lambda:1
+      (Array.of_list !blocks)
+  end

@@ -1,0 +1,17 @@
+(** Lines of projective space PG(d, q): the 2-((q^{d+1}-1)/(q-1), q+1, 1)
+    designs.
+
+    PG(d, 2) gives the 2-(2^{d+1}-1, 3, 1) triple systems (7, 15, 31, 63,
+    127, 255 points); PG(2, q) is the projective plane of order q (e.g. the
+    Fano plane); PG(d, 4) gives 2-designs with block size 5 on 21, 85, 341
+    points used for the paper's r = 5 parameter rows. *)
+
+val point_count : q:int -> d:int -> int
+(** (q^{d+1} - 1)/(q - 1). *)
+
+val line_count : q:int -> d:int -> int
+
+val make : q:int -> d:int -> Block_design.t
+(** [make ~q ~d] is the design of lines of PG(d, q) for [d >= 2], or the
+    single-block design when [d = 1].
+    @raise Invalid_argument if [q] is not a prime power or [d < 1]. *)

@@ -1,0 +1,110 @@
+let admissible v = v >= 4 && (v mod 6 = 2 || v mod 6 = 4)
+
+let boolean m =
+  if m < 2 then invalid_arg "Quadruple.boolean: m < 2";
+  let v = 1 lsl m in
+  (* Blocks are the 4-subsets {a,b,c,d} of GF(2)^m with a⊕b⊕c⊕d = 0;
+     every triple {a,b,c} determines d = a⊕b⊕c uniquely, and d differs
+     from a, b, c whenever a, b, c are distinct.  To emit each block once,
+     keep only triples where d is the largest element. *)
+  let blocks = ref [] in
+  for a = 0 to v - 1 do
+    for b = a + 1 to v - 1 do
+      for c = b + 1 to v - 1 do
+        let d = a lxor b lxor c in
+        if d > c then blocks := [| a; b; c; d |] :: !blocks
+      done
+    done
+  done;
+  Block_design.make ~strength:3 ~v ~block_size:4 ~lambda:1
+    (Array.of_list !blocks)
+
+let one_factorization v =
+  if v < 2 || v mod 2 <> 0 then invalid_arg "Quadruple.one_factorization: odd v";
+  if v = 2 then [| [| [| 0; 1 |] |] |]
+  else begin
+    (* Round-robin: fix player v-1; in round j it plays j, and the others
+       pair up as (j+i, j-i) mod (v-1). *)
+    let m = v - 1 in
+    Array.init m (fun j ->
+        let pairs = ref [ Combin.Intset.of_array [| v - 1; j |] ] in
+        for i = 1 to (v / 2) - 1 do
+          let a = (j + i) mod m and b = (j - i + m) mod m in
+          pairs := Combin.Intset.of_array [| a; b |] :: !pairs
+        done;
+        Array.of_list !pairs)
+  end
+
+let double (d : Block_design.t) =
+  if d.strength <> 3 || d.block_size <> 4 || d.lambda <> 1 then
+    invalid_arg "Quadruple.double: input is not an SQS";
+  let v = d.v in
+  (* Points of SQS(2v): (p, copy) encoded as p + copy*v. *)
+  let enc p copy = p + (copy * v) in
+  let blocks = ref [] in
+  (* Type 1: both copies of every block of the input system. *)
+  Array.iter
+    (fun blk ->
+      blocks := Array.map (fun p -> enc p 0) blk :: !blocks;
+      blocks := Array.map (fun p -> enc p 1) blk :: !blocks)
+    d.blocks;
+  (* Type 2: for each one-factor F_j of K_v, all pairs-of-pairs taking one
+     edge from copy 0 and one from copy 1. *)
+  let factors = one_factorization v in
+  Array.iter
+    (fun factor ->
+      Array.iter
+        (fun e0 ->
+          Array.iter
+            (fun e1 ->
+              let blk =
+                Combin.Intset.of_array
+                  [| enc e0.(0) 0; enc e0.(1) 0; enc e1.(0) 1; enc e1.(1) 1 |]
+              in
+              blocks := blk :: !blocks)
+            factor)
+        factor)
+    factors;
+  Block_design.make ~strength:3 ~v:(2 * v) ~block_size:4 ~lambda:1
+    (Array.of_list !blocks)
+
+(* Base systems found by exact-cover search, cached after first use.  Both
+   searches complete in well under a second. *)
+let searched_base = Hashtbl.create 4
+
+let base_orders = [ 10; 14 ]
+
+let searched v =
+  match Hashtbl.find_opt searched_base v with
+  | Some d -> d
+  | None ->
+      let d =
+        match Packing_search.exact_steiner ~strength:3 ~v ~block_size:4 () with
+        | Some d -> d
+        | None -> failwith (Printf.sprintf "Quadruple: SQS(%d) search failed" v)
+      in
+      Hashtbl.add searched_base v d;
+      d
+
+let rec constructible v =
+  if not (admissible v) then false
+  else if v = 4 then true
+  else if v land (v - 1) = 0 then true (* power of two *)
+  else if List.mem v base_orders then true
+  else v mod 2 = 0 && constructible (v / 2)
+
+let largest_constructible v =
+  let rec go v' = if v' < 4 then None else if constructible v' then Some v' else go (v' - 1) in
+  go v
+
+let rec make v =
+  if not (constructible v) then
+    invalid_arg (Printf.sprintf "Quadruple.make: SQS(%d) not constructible" v);
+  if v = 4 then
+    Block_design.make ~strength:3 ~v:4 ~block_size:4 ~lambda:1 [| [| 0; 1; 2; 3 |] |]
+  else if v land (v - 1) = 0 then begin
+    let rec log2 x = if x = 1 then 0 else 1 + log2 (x / 2) in
+    boolean (log2 v)
+  end
+  else if List.mem v base_orders then searched v
+  else double (make (v / 2))

@@ -1,0 +1,39 @@
+(** Steiner quadruple systems: 3-(v, 4, 1) designs.
+
+    An SQS(v) exists iff v ≡ 2 or 4 (mod 6) (Hanani 1960, the paper's
+    reference [21]).  We build:
+
+    - the {b Boolean} SQS(2^m): points GF(2)^m, blocks the 4-sets with
+      zero XOR-sum (the planes of AG(m, 2));
+    - {b Hanani's doubling} SQS(2v) from SQS(v) via a one-factorization of
+      K_v; and
+    - small base systems (SQS(10), SQS(14)) via exact-cover search
+      ({!Packing_search}).
+
+    The closure of {4, 8, 10, 14} under doubling together with the Boolean
+    family covers a dense set of admissible orders, including the SQS(16)
+    .. SQS(256) range used for the paper's r = 4, x = 2 rows. *)
+
+val admissible : int -> bool
+(** v ≡ 2 or 4 (mod 6), v >= 4. *)
+
+val constructible : int -> bool
+(** Whether {!make} can build SQS(v) (Boolean orders and the doubling
+    closure of the searched base systems). *)
+
+val largest_constructible : int -> int option
+
+val boolean : int -> Block_design.t
+(** [boolean m] is the Boolean SQS(2^m), for [m >= 2]. *)
+
+val double : Block_design.t -> Block_design.t
+(** Hanani doubling: SQS(v) -> SQS(2v).
+    @raise Invalid_argument if the input is not an SQS. *)
+
+val make : int -> Block_design.t
+(** @raise Invalid_argument if [not (constructible v)]. *)
+
+val one_factorization : int -> int array array array
+(** [one_factorization v] for even [v >= 2]: [v-1] perfect matchings
+    (arrays of sorted pairs) partitioning the edges of K_v.  The standard
+    round-robin construction; exposed for tests and reuse. *)

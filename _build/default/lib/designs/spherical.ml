@@ -1,0 +1,70 @@
+let pow q e =
+  let rec go acc i = if i = 0 then acc else go (acc * q) (i - 1) in
+  go 1 e
+
+let point_count ~q ~d = pow q d + 1
+
+let block_count ~q ~d =
+  let v = point_count ~q ~d in
+  (* C(v,3) / C(q+1,3) *)
+  v * (v - 1) * (v - 2) / ((q + 1) * q * (q - 1))
+
+let make ~q ~d =
+  if d < 1 then invalid_arg "Spherical.make: d < 1";
+  let base = Galois.Field.of_order q in
+  let f = Galois.Field.extend base d in
+  let v = f.order + 1 in
+  if d = 1 then
+    Block_design.make ~strength:3 ~v ~block_size:(q + 1) ~lambda:1
+      [| Array.init v (fun i -> i) |]
+  else begin
+    (* The base block: GF(q) ∪ {∞}.  Field.extend embeds the base field as
+       the codes < q, and ∞ is code f.order = v - 1 — conveniently the
+       largest point, so blocks stay sorted after mapping + sort. *)
+    let base_block = Array.append (Array.init q (fun i -> i)) [| f.order |] in
+    let covered = Bytes.make ((Combin.Binomial.exact v 3 + 7) / 8) '\000' in
+    let is_covered rank =
+      Char.code (Bytes.get covered (rank lsr 3)) land (1 lsl (rank land 7)) <> 0
+    in
+    let set_covered rank =
+      Bytes.set covered (rank lsr 3)
+        (Char.chr (Char.code (Bytes.get covered (rank lsr 3)) lor (1 lsl (rank land 7))))
+    in
+    let triple_rank a b c =
+      (* colex rank of {a < b < c} *)
+      Combin.Binomial.exact c 3 + Combin.Binomial.exact b 2 + a
+    in
+    let blocks = ref [] in
+    let tmp = Array.make (q + 1) 0 in
+    for c = 2 to v - 1 do
+      for b = 1 to c - 1 do
+        for a = 0 to b - 1 do
+          if not (is_covered (triple_rank a b c)) then begin
+            (* The unique block through {a,b,c}: push the base block
+               through the Möbius map sending (0, 1, ∞) to (a, b, c). *)
+            let m = Galois.Pline.from_zero_one_inf f a b c in
+            for i = 0 to q do
+              tmp.(i) <- Galois.Pline.apply f m base_block.(i)
+            done;
+            let blk = Array.copy tmp in
+            Array.sort compare blk;
+            blocks := blk :: !blocks;
+            (* Mark all triples of the new block; the Steiner property of
+               the family means none can already be covered. *)
+            for i = 0 to q - 1 do
+              for j = i + 1 to q do
+                for l = j + 1 to q do
+                  let r = triple_rank blk.(i) blk.(j) blk.(l) in
+                  if is_covered r then
+                    failwith "Spherical.make: triple covered twice (not a Steiner family?)";
+                  set_covered r
+                done
+              done
+            done
+          end
+        done
+      done
+    done;
+    Block_design.make ~strength:3 ~v ~block_size:(q + 1) ~lambda:1
+      (Array.of_list !blocks)
+  end

@@ -1,0 +1,23 @@
+(** Spherical (Möbius) designs: 3-(q^d + 1, q + 1, 1) Steiner systems.
+
+    Points are the projective line PG(1, GF(q^d)); blocks are the images of
+    the sub-line PG(1, GF(q)) under fractional linear maps.  Because
+    PGL(2, q^d) is sharply 3-transitive, every 3-subset of points lies in
+    exactly one image, so the family is a Steiner system.  With q = 4 this
+    produces the 3-(17, 5, 1), 3-(65, 5, 1) and 3-(257, 5, 1) designs that
+    cover the paper's r = 5, x = 2 rows (Fig. 4 lists nx = 257 for
+    n = 257 from exactly this family).
+
+    Construction: sweep all 3-subsets in order; for each not-yet-covered
+    triple, map the base block through it with {!Galois.Pline} and record
+    it.  Coverage is tracked in a bitset over triple ranks, and the sweep
+    itself certifies the Steiner property (a conflict raises). *)
+
+val point_count : q:int -> d:int -> int
+(** q^d + 1. *)
+
+val block_count : q:int -> d:int -> int
+
+val make : q:int -> d:int -> Block_design.t
+(** @raise Invalid_argument if [q] is not a prime power or [d < 1];
+    [d = 1] gives the single-block design. *)

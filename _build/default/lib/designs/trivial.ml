@@ -1,0 +1,69 @@
+let subsets_capacity ~v ~r = Combin.Binomial.exact v r
+
+let subsets_seq ~v ~r =
+  let rec next current () =
+    match current with
+    | None -> Seq.Nil
+    | Some c ->
+        let out = Array.copy c in
+        (* Compute the successor in lexicographic order. *)
+        let succ =
+          let c = Array.copy c in
+          let i = ref (r - 1) in
+          while !i >= 0 && c.(!i) = v - r + !i do
+            decr i
+          done;
+          if !i < 0 then None
+          else begin
+            c.(!i) <- c.(!i) + 1;
+            for j = !i + 1 to r - 1 do
+              c.(j) <- c.(j - 1) + 1
+            done;
+            Some c
+          end
+        in
+        Seq.Cons (out, next succ)
+  in
+  if r > v then Seq.empty else next (Some (Array.init r (fun i -> i)))
+
+let subsets_design ~v ~r ~count =
+  if count > subsets_capacity ~v ~r then
+    invalid_arg "Trivial.subsets_design: count exceeds C(v,r)";
+  let blocks = Array.make count [||] in
+  let i = ref 0 in
+  Seq.iter
+    (fun blk ->
+      if !i < count then begin
+        blocks.(!i) <- blk;
+        incr i
+      end)
+    (Seq.take count (subsets_seq ~v ~r));
+  Block_design.make ~strength:r ~v ~block_size:r ~lambda:1 blocks
+
+let partition_admissible ~v ~r = r >= 1 && v mod r = 0
+
+let partition ~v ~r =
+  if not (partition_admissible ~v ~r) then
+    invalid_arg "Trivial.partition: r must divide v";
+  let blocks =
+    Array.init (v / r) (fun i -> Array.init r (fun j -> (i * r) + j))
+  in
+  Block_design.make ~strength:1 ~v ~block_size:r ~lambda:1 blocks
+
+let rounds ~v ~r ~rounds =
+  if not (partition_admissible ~v ~r) then
+    invalid_arg "Trivial.rounds: r must divide v";
+  if rounds < 1 then invalid_arg "Trivial.rounds: rounds < 1";
+  let blocks = ref [] in
+  for round = 0 to rounds - 1 do
+    for i = 0 to (v / r) - 1 do
+      (* Rotate the partition by [round] positions each round so replicas
+         of the λ0 copies spread differently (load-shape only; any union
+         of partitions is a valid 1-design). *)
+      let blk = Array.init r (fun j -> ((i * r) + j + round) mod v) in
+      Array.sort compare blk;
+      blocks := blk :: !blocks
+    done
+  done;
+  Block_design.make ~strength:1 ~v ~block_size:r ~lambda:rounds
+    (Array.of_list !blocks)

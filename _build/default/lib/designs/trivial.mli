@@ -1,0 +1,35 @@
+(** Degenerate design families.
+
+    Two families with no combinatorial content but real roles in the paper:
+
+    - {b t = r} ("all r-subsets"): when x + 1 = r, the Steiner-system
+      constraints are vacuous (Sec. III-C) — any collection of distinct
+      r-subsets is a Simple(r-1, 1) placement, with capacity C(v, r).
+    - {b t = 1} ("partitions"): a Simple(0, 1) placement is a partition of
+      the v nodes into blocks of size r (capacity v/r when r | v), the
+      building block of the x' = 0 base case of the Combo recurrence
+      (Eqn. 6). *)
+
+val subsets_capacity : v:int -> r:int -> int
+(** C(v, r) — may raise {!Combin.Binomial.Overflow} for absurd inputs. *)
+
+val subsets_seq : v:int -> r:int -> int array Seq.t
+(** All r-subsets of [0..v-1] in lexicographic order, generated lazily
+    (each array fresh).  Feed to a placement builder without materializing
+    C(v, r) blocks. *)
+
+val subsets_design : v:int -> r:int -> count:int -> Block_design.t
+(** The first [count] r-subsets as an r-(v, r, 1) packing.
+    @raise Invalid_argument if [count > C(v, r)]. *)
+
+val partition_admissible : v:int -> r:int -> bool
+(** r | v. *)
+
+val partition : v:int -> r:int -> Block_design.t
+(** The design of consecutive chunks [{0..r-1}, {r..2r-1}, ...]: a
+    1-(v, r, 1) design.  @raise Invalid_argument unless r | v. *)
+
+val rounds : v:int -> r:int -> rounds:int -> Block_design.t
+(** A 1-(v, r, rounds) design made of [rounds] rotated partitions — the
+    resolvable structure used when λ0 > 1 copies of a partition are
+    needed.  @raise Invalid_argument unless r | v. *)

@@ -1,0 +1,68 @@
+let point_count ~q = (q * q * q) + 1
+let block_count ~q = q * q * ((q * q) - q + 1)
+
+let make ~q =
+  let base = Galois.Field.of_order q in
+  let f = Galois.Field.extend base 2 in
+  (* Hermitian norm over the subfield: N(x) = x^{q+1}. *)
+  let norm x = f.mul (f.pow x q) x in
+  let q2 = f.order in
+  let nvec = q2 * q2 * q2 in
+  let decode code = [| code mod q2; code / q2 mod q2; code / (q2 * q2) |] in
+  let encode u = u.(0) + (u.(1) * q2) + (u.(2) * q2 * q2) in
+  (* Collect curve points (canonical projective representatives on the
+     Hermitian curve) and index them densely. *)
+  let on_curve u = f.add (f.add (norm u.(0)) (norm u.(1))) (norm u.(2)) = 0 in
+  let curve_points = ref [] and index = Hashtbl.create 1024 and npts = ref 0 in
+  for code = 1 to nvec - 1 do
+    let u = decode code in
+    let rec first_nonzero i = if u.(i) <> 0 then i else first_nonzero (i + 1) in
+    if u.(first_nonzero 0) = 1 && on_curve u then begin
+      Hashtbl.add index (encode u) !npts;
+      curve_points := u :: !curve_points;
+      incr npts
+    end
+  done;
+  let curve_points = Array.of_list (List.rev !curve_points) in
+  let v = Array.length curve_points in
+  if v <> point_count ~q then
+    failwith "Unital.make: unexpected number of curve points";
+  (* The line through projective points a and b has coefficient vector
+     a × b (cross product); point p lies on it iff <coef, p> = 0. *)
+  let cross a b =
+    [|
+      f.sub (f.mul a.(1) b.(2)) (f.mul a.(2) b.(1));
+      f.sub (f.mul a.(2) b.(0)) (f.mul a.(0) b.(2));
+      f.sub (f.mul a.(0) b.(1)) (f.mul a.(1) b.(0));
+    |]
+  in
+  let dot a b = f.add (f.add (f.mul a.(0) b.(0)) (f.mul a.(1) b.(1))) (f.mul a.(2) b.(2)) in
+  let seen = Hashtbl.create (4 * block_count ~q) in
+  let blocks = ref [] in
+  for i = 0 to v - 1 do
+    for j = i + 1 to v - 1 do
+      let coef = cross curve_points.(i) curve_points.(j) in
+      let blk = ref [] and count = ref 0 in
+      for p = 0 to v - 1 do
+        if dot coef curve_points.(p) = 0 then begin
+          blk := p :: !blk;
+          incr count
+        end
+      done;
+      let blk = Combin.Intset.of_array (Array.of_list !blk) in
+      if Array.length blk <> q + 1 then
+        failwith "Unital.make: secant of unexpected size";
+      let key = Array.to_list blk in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        blocks := blk :: !blocks
+      end
+    done
+  done;
+  let d =
+    Block_design.make ~strength:2 ~v ~block_size:(q + 1) ~lambda:1
+      (Array.of_list !blocks)
+  in
+  if Block_design.block_count d <> block_count ~q then
+    failwith "Unital.make: unexpected block count";
+  d

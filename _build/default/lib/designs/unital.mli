@@ -1,0 +1,17 @@
+(** Hermitian unitals: 2-(q^3 + 1, q + 1, 1) designs.
+
+    The points are the GF(q²)-rational points of the Hermitian curve
+    x^{q+1} + y^{q+1} + z^{q+1} = 0 in PG(2, q²); the blocks are the
+    intersections of the curve with its secant lines, each of size q + 1.
+    For q = 4 this yields the 2-(65, 5, 1) design the paper uses as
+    nx = 65 for r = 5, x = 1 at n = 71 (Fig. 4); q = 3 yields 2-(28, 4, 1)
+    and q = 2 yields 2-(9, 3, 1). *)
+
+val point_count : q:int -> int
+(** q^3 + 1. *)
+
+val block_count : q:int -> int
+(** q^2 (q^2 - q + 1). *)
+
+val make : q:int -> Block_design.t
+(** @raise Invalid_argument if [q] is not a prime power. *)

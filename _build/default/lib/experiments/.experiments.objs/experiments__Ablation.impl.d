@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Combin Designs Format List Placement Printf Render

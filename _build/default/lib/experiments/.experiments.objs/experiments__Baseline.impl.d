@@ -1,0 +1,1 @@
+lib/experiments/baseline.ml: Combin Format List Placement Render

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Format List Placement Render

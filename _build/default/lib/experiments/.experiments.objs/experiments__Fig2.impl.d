@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Designs Format List Placement Render

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Designs Format List Printf Render

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Format Hashtbl List Placement Render

@@ -1,0 +1,1 @@
+lib/experiments/render.ml: Array Buffer List Printf String

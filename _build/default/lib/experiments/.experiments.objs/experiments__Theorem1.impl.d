@@ -1,0 +1,1 @@
+lib/experiments/theorem1.ml: Designs Format List Option Placement Render

@@ -1,0 +1,1 @@
+lib/experiments/theorem1.mli: Format

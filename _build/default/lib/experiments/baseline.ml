@@ -1,0 +1,79 @@
+type row = {
+  n : int;
+  r : int;
+  s : int;
+  k : int;
+  b : int;
+  combo_lb : int;
+  combo_avail : int;
+  random_avail : int;
+  copyset_avail : int;
+  copyset_wide_avail : int;
+}
+
+let attack_avail layout ~s ~k rng =
+  let attack = Placement.Adversary.best ~rng layout ~s ~k in
+  Placement.Adversary.avail layout ~s attack
+
+let compute () =
+  List.map
+    (fun (n, r, s, k, b) ->
+      let p = Placement.Params.make ~b ~r ~s ~n ~k in
+      let rng = Combin.Rng.create (0xC0 + n + k) in
+      let cfg = Placement.Combo.optimize p in
+      let combo_layout = Placement.Combo.materialize cfg in
+      let random_layout = Placement.Random_placement.place ~rng p in
+      let copyset_layout sw =
+        let cs = Placement.Copyset.generate ~rng ~n ~r ~scatter_width:sw in
+        Placement.Copyset.place ~rng cs ~b
+      in
+      let narrow = copyset_layout (2 * (r - 1)) in
+      let wide = copyset_layout (4 * (r - 1)) in
+      {
+        n;
+        r;
+        s;
+        k;
+        b;
+        combo_lb = cfg.Placement.Combo.lb;
+        combo_avail = attack_avail combo_layout ~s ~k rng;
+        random_avail = attack_avail random_layout ~s ~k rng;
+        copyset_avail = attack_avail narrow ~s ~k rng;
+        copyset_wide_avail = attack_avail wide ~s ~k rng;
+      })
+    [
+      (31, 3, 2, 3, 600);
+      (31, 3, 2, 4, 600);
+      (31, 3, 3, 4, 600);
+      (71, 3, 2, 4, 2400);
+      (71, 3, 3, 5, 2400);
+      (71, 5, 3, 5, 1200);
+    ]
+
+let print fmt =
+  Format.fprintf fmt
+    "Baseline: worst-case availability of copyset replication vs Combo/Random@.";
+  Format.fprintf fmt
+    "(copyset = scatter width 2(r-1); copyset-wide = 4(r-1))@.";
+  let rows =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.n;
+          string_of_int r.r;
+          string_of_int r.s;
+          string_of_int r.k;
+          string_of_int r.b;
+          string_of_int r.combo_lb;
+          string_of_int r.combo_avail;
+          string_of_int r.random_avail;
+          string_of_int r.copyset_avail;
+          string_of_int r.copyset_wide_avail;
+        ])
+      (compute ())
+  in
+  Format.fprintf fmt "%s@."
+    (Render.table
+       ~headers:
+         [ "n"; "r"; "s"; "k"; "b"; "combo lb"; "combo"; "random"; "copyset"; "copyset-wide" ]
+       ~rows)

@@ -1,0 +1,24 @@
+(** Extra baseline: copyset replication vs the paper's strategies.
+
+    Not a paper artefact — copyset replication (Cidon et al. 2013)
+    postdates none of the paper's baselines but is the placement scheme
+    practitioners actually deploy against correlated failures, and it is
+    structurally a Simple(0, λ) placement (see {!Placement.Copyset}).
+    This bench puts it on the same worst-case axis as Combo and Random. *)
+
+type row = {
+  n : int;
+  r : int;
+  s : int;
+  k : int;
+  b : int;
+  combo_lb : int;
+  combo_avail : int;  (** adversary-measured *)
+  random_avail : int;
+  copyset_avail : int;  (** scatter width 2(r−1) *)
+  copyset_wide_avail : int;  (** scatter width 4(r−1) *)
+}
+
+val compute : unit -> row list
+
+val print : Format.formatter -> unit

@@ -1,0 +1,98 @@
+type row = {
+  n : int;
+  b : int;
+  k : int;
+  lambda1 : int;
+  simple1_pct : float option;
+  lambda2 : int;
+  simple2_pct : float option;
+  combo_pct : float option;
+}
+
+let r = 3
+let s = 3
+
+let pct_of ~b ~pr value =
+  if b = pr then None
+  else Some (100.0 *. float_of_int (value - pr) /. float_of_int (b - pr))
+
+let compute ?(ns = [ 31; 71; 257 ])
+    ?(bs = [ 600; 1200; 2400; 4800; 9600; 19200; 38400 ]) ?ks () =
+  List.concat_map
+    (fun n ->
+      let ks =
+        match ks with
+        | Some l -> l
+        | None -> if n <= 31 then [ 3; 4; 5; 6 ] else if n <= 71 then [ 3; 4; 5; 6; 7 ] else [ 3; 4; 5; 6; 7; 8 ]
+      in
+      let levels = Placement.Combo.default_levels ~n ~r ~s () in
+      let simple_level x = levels.(x) in
+      List.concat_map
+        (fun b ->
+          (* Minimal λ per level for hosting all b objects alone. *)
+          let lambda_for x =
+            let level = simple_level x in
+            if level.Placement.Combo.cap_mu = 0 then 0
+            else
+              (b + level.Placement.Combo.cap_mu - 1)
+              / level.Placement.Combo.cap_mu
+              * level.Placement.Combo.mu
+          in
+          let lambda1 = lambda_for 1 and lambda2 = lambda_for 2 in
+          List.map
+            (fun k ->
+              let p = Placement.Params.make ~b ~r ~s ~n ~k in
+              let pr = Placement.Random_analysis.pr_avail p in
+              let lb_simple x lambda =
+                if lambda = 0 then None
+                else
+                  Some
+                    (max 0
+                       (Placement.Analysis.lb_avail_si ~b ~x ~lambda ~k ~s))
+              in
+              let cfg = Placement.Combo.optimize ~levels p in
+              {
+                n;
+                b;
+                k;
+                lambda1;
+                simple1_pct =
+                  Option.bind (lb_simple 1 lambda1) (fun v -> pct_of ~b ~pr v);
+                lambda2;
+                simple2_pct =
+                  Option.bind (lb_simple 2 lambda2) (fun v -> pct_of ~b ~pr v);
+                combo_pct = pct_of ~b ~pr cfg.Placement.Combo.lb;
+              })
+            ks)
+        bs)
+    ns
+
+let print fmt =
+  Format.fprintf fmt
+    "Fig. 10: Simple(x, lambda) vs Combo for r=s=3, as %% of (b - prAvail)@.";
+  let rows = compute () in
+  let render = function None -> "=" | Some v -> Render.pct v in
+  let by_n = List.sort_uniq compare (List.map (fun r -> r.n) rows) in
+  List.iter
+    (fun n ->
+      Format.fprintf fmt "n=%d@." n;
+      let mine = List.filter (fun r -> r.n = n) rows in
+      let table_rows =
+        List.map
+          (fun r ->
+            [
+              string_of_int r.b;
+              string_of_int r.k;
+              string_of_int r.lambda1;
+              render r.simple1_pct;
+              string_of_int r.lambda2;
+              render r.simple2_pct;
+              render r.combo_pct;
+            ])
+          mine
+      in
+      Format.fprintf fmt "%s@."
+        (Render.table
+           ~headers:[ "b"; "k"; "l1"; "Simple(1)"; "l2"; "Simple(2)"; "Combo" ]
+           ~rows:table_rows))
+    by_n

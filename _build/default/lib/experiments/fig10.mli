@@ -1,0 +1,23 @@
+(** Fig. 10: breakdown of Combo placements into their Simple(x, λx)
+    constituents for r = s = 3 and n ∈ {31, 71, 257}.
+
+    For each b and k: the Simple(1, λ1) and Simple(2, λ2) columns show
+    lbAvail_si(x, λ) − prAvail_rnd (λ minimal per Eqn. 1) as a percentage
+    of b − prAvail_rnd, and the Combo column the corresponding
+    lbAvail_co value — illustrating how the DP shifts weight between
+    x = 1 and x = 2 as b grows. *)
+
+type row = {
+  n : int;
+  b : int;
+  k : int;
+  lambda1 : int;  (** Eqn-1 λ for Simple(1, ·) *)
+  simple1_pct : float option;
+  lambda2 : int;
+  simple2_pct : float option;
+  combo_pct : float option;
+}
+
+val compute : ?ns:int list -> ?bs:int list -> ?ks:int list -> unit -> row list
+
+val print : Format.formatter -> unit

@@ -1,0 +1,53 @@
+type point = {
+  n : int;
+  r : int;
+  k : int;
+  lemma4_fraction : float;
+  pr_avail_fraction : float;
+  simple0_fraction : float;
+      (** Appendix A: the s = 1 Combo degenerates to Simple(0, λ0); its
+          lbAvail as a fraction of b — the paper reports Random slightly
+          outperforming it. *)
+}
+
+let compute ?(b = 38400) () =
+  List.concat_map
+    (fun (n, r) ->
+      List.map
+        (fun k ->
+          let p = Placement.Params.make ~b ~r ~s:1 ~n ~k in
+          let cfg = Placement.Combo.optimize p in
+          {
+            n;
+            r;
+            k;
+            lemma4_fraction =
+              Placement.Random_analysis.s1_upper_bound p /. float_of_int b;
+            pr_avail_fraction = Placement.Random_analysis.pr_avail_fraction p;
+            simple0_fraction =
+              float_of_int cfg.Placement.Combo.lb /. float_of_int b;
+          })
+        (List.init 10 (fun i -> i + 1)))
+    [ (71, 3); (71, 5); (257, 3); (257, 5) ]
+
+let print fmt =
+  let points = compute () in
+  Format.fprintf fmt
+    "Fig. 11: Lemma 4 bound (1-1/b)^(k*floor(l)) vs prAvail_rnd/b, s=1, b=38400@.";
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.n;
+          string_of_int p.r;
+          string_of_int p.k;
+          Render.f4 p.lemma4_fraction;
+          Render.f4 p.pr_avail_fraction;
+          Render.f4 p.simple0_fraction;
+        ])
+      points
+  in
+  Format.fprintf fmt "%s@."
+    (Render.table
+       ~headers:[ "n"; "r"; "k"; "Lemma4 bound"; "prAvail/b"; "Simple(0,l0) lb/b" ]
+       ~rows)

@@ -1,0 +1,22 @@
+(** Fig. 11 / Appendix A: the s = 1 case.
+
+    Lemma 4 bounds Random's probable availability by
+    b (1 − 1/b)^{k·⌊ℓ⌋}; the figure plots that bound (as a fraction of b)
+    for b = 38400 and the usual (n, r) pairs, showing the essentially
+    linear decay in k.  We also tabulate prAvail_rnd itself so the bound
+    can be checked against the exact limit. *)
+
+type point = {
+  n : int;
+  r : int;
+  k : int;
+  lemma4_fraction : float;
+  pr_avail_fraction : float;
+  simple0_fraction : float;
+      (** Appendix A: lbAvail of the degenerate s = 1 Combo (a Simple(0,
+          λ0) placement), as a fraction of b. *)
+}
+
+val compute : ?b:int -> unit -> point list
+
+val print : Format.formatter -> unit

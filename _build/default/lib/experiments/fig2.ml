@@ -1,0 +1,66 @@
+type point = {
+  s : int;
+  k : int;
+  b : int;
+  lambda : int;
+  avail : int;
+  lb : int;
+  gap : int;
+  exact : bool;
+}
+
+let n = 71
+let r = 3
+let x = 1
+
+let sk_pairs = [ (2, 2); (2, 3); (2, 4); (2, 5); (3, 3); (3, 4); (3, 5) ]
+
+let compute ?(bs = [ 600; 1200; 2400; 4800; 9600 ]) () =
+  (* One STS(69) shared across all points; Simple.of_design recopies it
+     per b. *)
+  let design = Designs.Steiner_triple.make 69 in
+  List.concat_map
+    (fun b ->
+      let simple = Placement.Simple.of_design design ~n ~b in
+      let layout = simple.Placement.Simple.layout in
+      List.map
+        (fun (s, k) ->
+          let attack = Placement.Adversary.best layout ~s ~k in
+          let avail = Placement.Adversary.avail layout ~s attack in
+          let lb = Placement.Simple.lower_bound simple ~k ~s in
+          {
+            s;
+            k;
+            b;
+            lambda = simple.Placement.Simple.lambda;
+            avail;
+            lb;
+            gap = avail - lb;
+            exact = attack.Placement.Adversary.exact;
+          })
+        sk_pairs)
+    bs
+
+let print fmt =
+  let points = compute () in
+  Format.fprintf fmt
+    "Fig. 2: Avail(pi) - lbAvail_si(x,lambda) for n=%d, x=%d, r=%d@." n x r;
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.s;
+          string_of_int p.k;
+          string_of_int p.b;
+          string_of_int p.lambda;
+          string_of_int p.avail;
+          string_of_int p.lb;
+          string_of_int p.gap;
+          (if p.exact then "exact" else "heuristic");
+        ])
+      points
+  in
+  Format.fprintf fmt "%s@."
+    (Render.table
+       ~headers:[ "s"; "k"; "b"; "lambda"; "Avail"; "lbAvail"; "gap"; "adversary" ]
+       ~rows)

@@ -1,0 +1,66 @@
+type point = {
+  n : int;
+  b : int;
+  k_configured : int;
+  k' : int;
+  lb_configured : int;
+  lb_reconfigured : int;
+  ratio_pct : float;
+}
+
+let compute ?(r = 5) ?(s = 3) ?(k = 6)
+    ?(cases = [ (31, 4800); (71, 1200); (257, 9600) ])
+    ?(k's = [ 4; 5; 6; 7; 8 ]) () =
+  List.concat_map
+    (fun (n, b) ->
+      let levels = Placement.Combo.default_levels ~n ~r ~s () in
+      let configured =
+        Placement.Combo.optimize ~levels (Placement.Params.make ~b ~r ~s ~n ~k)
+      in
+      List.map
+        (fun k' ->
+          let reconfigured =
+            Placement.Combo.optimize ~levels
+              (Placement.Params.make ~b ~r ~s ~n ~k:k')
+          in
+          let lb_configured = Placement.Combo.lb_avail_co configured ~k:k' in
+          let lb_reconfigured =
+            Placement.Combo.lb_avail_co reconfigured ~k:k'
+          in
+          {
+            n;
+            b;
+            k_configured = k;
+            k';
+            lb_configured;
+            lb_reconfigured;
+            ratio_pct =
+              (if lb_reconfigured = 0 then 100.0
+               else
+                 100.0 *. float_of_int lb_configured
+                 /. float_of_int lb_reconfigured);
+          })
+        k's)
+    cases
+
+let print fmt =
+  let points = compute () in
+  Format.fprintf fmt
+    "Fig. 3: lbAvail_co of k=6-configured Combo vs k'-configured, r=5 s=3@.";
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.n;
+          string_of_int p.b;
+          string_of_int p.k';
+          string_of_int p.lb_configured;
+          string_of_int p.lb_reconfigured;
+          Render.f2 p.ratio_pct;
+        ])
+      points
+  in
+  Format.fprintf fmt "%s@."
+    (Render.table
+       ~headers:[ "n"; "b"; "k'"; "lb(cfg k=6)@k'"; "lb(cfg k')@k'"; "ratio %" ]
+       ~rows)

@@ -1,0 +1,26 @@
+(** Fig. 3: sensitivity of the Combo configuration to the assumed k.
+
+    For r = 5, s = 3 and a placement configured for k = 6 failures,
+    compares — at each actual failure count k' ∈ {4..8} — the bound of
+    the k-configured placement against the bound of a placement configured
+    for k' directly:
+    ratio = lbAvail_co(⟨λx⟩_k evaluated at k') /
+            lbAvail_co(⟨λx⟩_{k'} evaluated at k'), in percent. *)
+
+type point = {
+  n : int;
+  b : int;
+  k_configured : int;
+  k' : int;
+  lb_configured : int;  (** bound of the k-configured placement at k' *)
+  lb_reconfigured : int;  (** bound of the k'-configured placement at k' *)
+  ratio_pct : float;
+}
+
+val compute :
+  ?r:int -> ?s:int -> ?k:int -> ?cases:(int * int) list -> ?k's:int list ->
+  unit -> point list
+(** Defaults: r=5, s=3, k=6, cases = [(31,4800); (71,1200); (257,9600)],
+    k' ∈ {4..8}. *)
+
+val print : Format.formatter -> unit

@@ -1,0 +1,25 @@
+let print fmt =
+  Format.fprintf fmt "Fig. 4: selected nx per (n, r, x) from the design catalogue@.";
+  List.iter
+    (fun (n, per_r) ->
+      Format.fprintf fmt "n = %d@." n;
+      let rows =
+        List.map
+          (fun (r, row) ->
+            string_of_int r
+            :: List.map
+                 (fun (x, entry) ->
+                   match entry with
+                   | Some (e : Designs.Registry.entry) ->
+                       Printf.sprintf "n%d=%d %s%s" x e.v e.name
+                         (if Designs.Registry.is_materialized e then ""
+                          else " (lit.)")
+                   | None -> Printf.sprintf "n%d=-" x)
+                 row)
+          per_r
+      in
+      Format.fprintf fmt "%s@."
+        (Render.table
+           ~headers:[ "r"; "x=1"; "x=2"; "x=3"; "x=4" ]
+           ~rows))
+    (Designs.Registry.paper_nx_table ())

@@ -1,0 +1,7 @@
+(** Fig. 4: the table of design sizes nx used for each (n, r, x).
+
+    Reproduced from our catalogue ({!Designs.Registry.paper_nx_table});
+    EXPERIMENTS.md records the handful of cells where our catalogue
+    differs from the paper's citations. *)
+
+val print : Format.formatter -> unit

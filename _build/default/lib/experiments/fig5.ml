@@ -1,0 +1,59 @@
+type curve = {
+  r : int;
+  x : int;
+  max_mu : int;
+  cdf : (float * float) list;
+}
+
+let curve ~r ~x ~max_mu ~n_lo ~n_hi =
+  let cdf =
+    Designs.Chunking.gap_cdf ~max_mu ~max_chunks:3 ~strength:(x + 1)
+      ~block_size:r ~n_lo ~n_hi ()
+  in
+  { r; x; max_mu; cdf }
+
+let compute_fig5 ?(n_lo = 50) ?(n_hi = 800) () =
+  List.concat_map
+    (fun r -> List.init r (fun x -> curve ~r ~x ~max_mu:1 ~n_lo ~n_hi))
+    [ 2; 3; 4; 5 ]
+
+let compute_fig6 ?(n_lo = 50) ?(n_hi = 800) () =
+  List.concat_map
+    (fun max_mu ->
+      List.map (fun x -> curve ~r:5 ~x ~max_mu ~n_lo ~n_hi) [ 2; 3 ])
+    [ 5; 10 ]
+
+let fraction_below c threshold =
+  List.fold_left
+    (fun acc (gap, frac) -> if gap <= threshold then max acc frac else acc)
+    0.0 c.cdf
+
+(* Summarize each CDF at a fixed grid of gap thresholds so the curves are
+   comparable to the paper's plots at a glance. *)
+let thresholds = [ 0.0; 0.05; 0.1; 0.2; 0.4; 0.6; 0.8; 1.0 ]
+
+let print_curves fmt title curves =
+  Format.fprintf fmt "%s@." title;
+  let rows =
+    List.map
+      (fun c ->
+        Printf.sprintf "r=%d x=%d mu<=%d" c.r c.x c.max_mu
+        :: List.map (fun t -> Render.f2 (fraction_below c t)) thresholds)
+      curves
+  in
+  Format.fprintf fmt "%s@."
+    (Render.table
+       ~headers:
+         ("curve / frac(n) with gap <="
+         :: List.map (fun t -> Render.f2 t) thresholds)
+       ~rows)
+
+let print_fig5 fmt =
+  print_curves fmt
+    "Fig. 5: capacity-gap CDFs (mu=1, m<=3 chunks, n in [50,800])"
+    (compute_fig5 ())
+
+let print_fig6 fmt =
+  print_curves fmt
+    "Fig. 6: capacity-gap CDFs for r=5, x in {2,3}, allowing mu <= 5 / 10"
+    (compute_fig6 ())

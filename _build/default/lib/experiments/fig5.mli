@@ -1,0 +1,22 @@
+(** Figs 5 and 6: capacity-gap CDFs over system sizes n ∈ [50, 800].
+
+    Fig. 5: μ = 1, up to m = 3 chunks, for r ∈ {2..5} and x ∈ [0, r-1).
+    Fig. 6: the difficult r = 5, x ∈ {2, 3} cases re-run with μ ≤ 5 and
+    μ ≤ 10 (our μ > 1 engine is the PGL(2,q)-orbit family for x = 2; see
+    DESIGN.md §3 on the thinner x = 3 catalogue). *)
+
+type curve = {
+  r : int;
+  x : int;
+  max_mu : int;
+  cdf : (float * float) list;  (** (gap, fraction of n with gap ≤ it) *)
+}
+
+val compute_fig5 : ?n_lo:int -> ?n_hi:int -> unit -> curve list
+val compute_fig6 : ?n_lo:int -> ?n_hi:int -> unit -> curve list
+
+val fraction_below : curve -> float -> float
+(** Fraction of system sizes with gap ≤ the given threshold. *)
+
+val print_fig5 : Format.formatter -> unit
+val print_fig6 : Format.formatter -> unit

@@ -1,0 +1,67 @@
+type point = {
+  n : int;
+  r : int;
+  s : int;
+  k : int;
+  b : int;
+  pr_avail : int;
+  avg_avail : float;
+  error_pct : float;
+}
+
+let default_cases = [ (31, 5, 3, [ 3; 4; 5 ]); (71, 5, 2, [ 2; 3; 4; 5 ]) ]
+
+let compute ?(trials = 20) ?(bs = [ 150; 300; 600; 1200; 2400; 4800; 9600 ])
+    ?(cases = default_cases) () =
+  List.concat_map
+    (fun (n, r, s, ks) ->
+      List.concat_map
+        (fun k ->
+          List.map
+            (fun b ->
+              let p = Placement.Params.make ~b ~r ~s ~n ~k in
+              let rng = Combin.Rng.create (0xF16 + (1000 * n) + (10 * k) + b) in
+              let mc = Dsim.Montecarlo.avg_avail_random ~rng ~trials p in
+              let pr_avail = Placement.Random_analysis.pr_avail p in
+              {
+                n;
+                r;
+                s;
+                k;
+                b;
+                pr_avail;
+                avg_avail = mc.Dsim.Montecarlo.mean;
+                error_pct =
+                  (if mc.Dsim.Montecarlo.mean = 0.0 then 0.0
+                   else
+                     100.0
+                     *. (float_of_int pr_avail -. mc.Dsim.Montecarlo.mean)
+                     /. mc.Dsim.Montecarlo.mean);
+              })
+            bs)
+        ks)
+    cases
+
+let print ?trials ?bs fmt =
+  let points = compute ?trials ?bs () in
+  Format.fprintf fmt
+    "Fig. 7: prAvail_rnd - avgAvail_rnd as %% of avgAvail_rnd (20 trials)@.";
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.n;
+          string_of_int p.r;
+          string_of_int p.s;
+          string_of_int p.k;
+          string_of_int p.b;
+          string_of_int p.pr_avail;
+          Render.f2 p.avg_avail;
+          Render.f2 p.error_pct;
+        ])
+      points
+  in
+  Format.fprintf fmt "%s@."
+    (Render.table
+       ~headers:[ "n"; "r"; "s"; "k"; "b"; "prAvail"; "avgAvail"; "err %" ]
+       ~rows)

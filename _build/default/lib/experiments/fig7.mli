@@ -1,0 +1,27 @@
+(** Fig. 7: accuracy of prAvail_rnd (Theorem 2's limit) against empirical
+    Random placements.
+
+    For (n=31, r=5, s=3) and (n=71, r=5, s=2), plots
+    (prAvail_rnd − avgAvail_rnd) as a percentage of avgAvail_rnd, where
+    avgAvail_rnd averages 20 simulated Random placements each subjected to
+    a worst-case k-node failure. *)
+
+type point = {
+  n : int;
+  r : int;
+  s : int;
+  k : int;
+  b : int;
+  pr_avail : int;
+  avg_avail : float;
+  error_pct : float;  (** (prAvail − avgAvail) / avgAvail · 100 *)
+}
+
+val compute :
+  ?trials:int -> ?bs:int list -> ?cases:(int * int * int * int list) list ->
+  unit -> point list
+(** Defaults follow the paper: trials = 20,
+    bs = {150, 300, ..., 9600},
+    cases = [(31,5,3,[3;4;5]); (71,5,2,[2;3;4;5])] as (n,r,s,ks). *)
+
+val print : ?trials:int -> ?bs:int list -> Format.formatter -> unit

@@ -1,0 +1,58 @@
+type point = { s : int; n : int; r : int; k : int; fraction : float }
+
+let curves_for_s s =
+  List.filter
+    (fun (_, r) -> r >= s)
+    [ (71, 3); (71, 5); (257, 3); (257, 5) ]
+
+let compute ?(b = 38400) () =
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun (n, r) ->
+          List.filter_map
+            (fun k ->
+              if k < s then None
+              else begin
+                let p = Placement.Params.make ~b ~r ~s ~n ~k in
+                Some
+                  { s; n; r; k; fraction = Placement.Random_analysis.pr_avail_fraction p }
+              end)
+            (List.init 10 (fun i -> i + 1)))
+        (curves_for_s s))
+    [ 1; 2; 3; 4; 5 ]
+
+let print fmt =
+  let points = compute () in
+  Format.fprintf fmt "Fig. 8: prAvail_rnd / b for b=38400@.";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "s = %d@." s;
+      let ks = List.init 10 (fun i -> i + 1) in
+      let curves = curves_for_s s in
+      let rows =
+        List.filter_map
+          (fun k ->
+            if k < s then None
+            else
+              Some
+                (string_of_int k
+                :: List.map
+                     (fun (n, r) ->
+                       match
+                         List.find_opt
+                           (fun p -> p.s = s && p.n = n && p.r = r && p.k = k)
+                           points
+                       with
+                       | Some p -> Render.f4 p.fraction
+                       | None -> "-")
+                     curves))
+          ks
+      in
+      Format.fprintf fmt "%s@."
+        (Render.table
+           ~headers:
+             ("k"
+             :: List.map (fun (n, r) -> Printf.sprintf "n=%d,r=%d" n r) curves)
+           ~rows))
+    [ 1; 2; 3; 4; 5 ]

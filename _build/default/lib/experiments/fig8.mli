@@ -1,0 +1,9 @@
+(** Fig. 8: prAvail_rnd / b for b = 38400 as a function of k, one panel
+    per s ∈ {1..5}, with curves for (n, r) ∈ {71, 257} × {3, 5} (only
+    r = 5 when s > 3). *)
+
+type point = { s : int; n : int; r : int; k : int; fraction : float }
+
+val compute : ?b:int -> unit -> point list
+
+val print : Format.formatter -> unit

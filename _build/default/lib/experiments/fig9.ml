@@ -1,0 +1,84 @@
+type cell = {
+  b : int;
+  k : int;
+  lb : int;
+  pr_avail : int;
+  pct : float option;
+}
+
+type table = { n : int; r : int; s : int; cells : cell list }
+
+(* Level sets per (n, r) are b/k-independent; cache them. *)
+let levels_cache : (int * int * int, Placement.Combo.level array) Hashtbl.t =
+  Hashtbl.create 16
+
+let levels ~n ~r ~s =
+  match Hashtbl.find_opt levels_cache (n, r, s) with
+  | Some l -> l
+  | None ->
+      let l = Placement.Combo.default_levels ~n ~r ~s () in
+      Hashtbl.add levels_cache (n, r, s) l;
+      l
+
+let cell_value ~n ~r ~s ~k ~b =
+  let p = Placement.Params.make ~b ~r ~s ~n ~k in
+  let cfg = Placement.Combo.optimize ~levels:(levels ~n ~r ~s) p in
+  let pr = Placement.Random_analysis.pr_avail p in
+  let pct =
+    if b = pr then None
+    else Some (100.0 *. float_of_int (cfg.Placement.Combo.lb - pr) /. float_of_int (b - pr))
+  in
+  { b; k; lb = cfg.Placement.Combo.lb; pr_avail = pr; pct }
+
+let default_bs = [ 600; 1200; 2400; 4800; 9600; 19200; 38400 ]
+
+let compute ?(ns = [ 71; 257 ]) ?(bs = default_bs) () =
+  List.concat_map
+    (fun n ->
+      let k_max = if n <= 71 then 7 else 8 in
+      List.concat_map
+        (fun r ->
+          List.map
+            (fun s ->
+              let cells =
+                List.concat_map
+                  (fun b ->
+                    List.map
+                      (fun k -> cell_value ~n ~r ~s ~k ~b)
+                      (List.init (k_max - s + 1) (fun i -> s + i)))
+                  bs
+              in
+              { n; r; s; cells })
+            (List.init (r - 1) (fun i -> i + 2)))
+        [ 2; 3; 4; 5 ])
+    ns
+
+let print_table fmt t =
+  Format.fprintf fmt "n=%d r=%d s=%d@." t.n t.r t.s;
+  let ks =
+    List.sort_uniq compare (List.map (fun c -> c.k) t.cells)
+  in
+  let bs = List.sort_uniq compare (List.map (fun c -> c.b) t.cells) in
+  let rows =
+    List.map
+      (fun b ->
+        string_of_int b
+        :: List.map
+             (fun k ->
+               match List.find_opt (fun c -> c.b = b && c.k = k) t.cells with
+               | None -> "-"
+               | Some { pct = None; _ } -> "="
+               | Some { pct = Some v; _ } -> Render.pct v)
+             ks)
+      bs
+  in
+  Format.fprintf fmt "%s@."
+    (Render.table
+       ~headers:("b \\ k" :: List.map string_of_int ks)
+       ~rows)
+
+let print fmt =
+  Format.fprintf fmt
+    "Fig. 9: (lbAvail_co - prAvail_rnd) as %% of (b - prAvail_rnd); \
+     '=' means prAvail = b (nothing to improve)@.";
+  List.iter (print_table fmt) (compute ())

@@ -1,0 +1,29 @@
+(** Fig. 9: the headline Combo-vs-Random comparison tables.
+
+    For n ∈ {71, 257}, r ∈ {2..5}, s ∈ {2..r}, k ∈ {s..7} (n=71) or
+    {s..8} (n=257), b doubling from 600 to 38400, each cell is
+
+    (lbAvail_co(⟨λx⟩) − prAvail_rnd) / (b − prAvail_rnd) · 100
+
+    — the fraction of Random's probable losses that the Combo placement
+    provably saves (positive: Combo wins; 0: tie; negative: Random wins).
+    ⟨λx⟩ is optimized by the Sec. III-B1 DP for each (b, k). *)
+
+type cell = {
+  b : int;
+  k : int;
+  lb : int;
+  pr_avail : int;
+  pct : float option;  (** None when b = prAvail (no possible improvement) *)
+}
+
+type table = { n : int; r : int; s : int; cells : cell list }
+
+val compute :
+  ?ns:int list -> ?bs:int list -> unit -> table list
+
+val cell_value :
+  n:int -> r:int -> s:int -> k:int -> b:int -> cell
+(** One cell (exposed for tests). *)
+
+val print : Format.formatter -> unit

@@ -1,0 +1,45 @@
+let table ~headers ~rows =
+  let all = headers :: rows in
+  let ncols = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let buf = Buffer.create 1024 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit headers;
+  Buffer.add_string buf
+    (String.concat "  "
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let series ~title ~cols points =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("# " ^ title ^ "\n");
+  Buffer.add_string buf ("# " ^ String.concat "\t" cols ^ "\n");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "\t" (List.map (Printf.sprintf "%.6g") row));
+      Buffer.add_char buf '\n')
+    points;
+  Buffer.contents buf
+
+let pct x =
+  let s = Printf.sprintf "%.0f" x in
+  if s = "-0" then "0" else s
+let f2 x = Printf.sprintf "%.2f" x
+let f4 x = Printf.sprintf "%.4f" x

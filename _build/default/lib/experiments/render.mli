@@ -1,0 +1,20 @@
+(** Plain-text rendering of experiment output: fixed-width tables and
+    (x, y) series in a gnuplot-friendly format, so that every figure and
+    table of the paper has a textual analogue in the bench output. *)
+
+val table : headers:string list -> rows:string list list -> string
+(** Fixed-width table with a separator line under the headers.  Column
+    widths fit the longest cell. *)
+
+val series : title:string -> cols:string list -> (float list) list -> string
+(** A titled, column-labelled block of numeric rows ("# title" header,
+    one line per point) — one block per curve of a figure. *)
+
+val pct : float -> string
+(** Signed integer percentage, e.g. [-25] or [85]. *)
+
+val f2 : float -> string
+(** Two-decimal float. *)
+
+val f4 : float -> string
+(** Four-decimal float. *)

@@ -1,0 +1,63 @@
+type row = {
+  n : int;
+  r : int;
+  s : int;
+  x : int;
+  nx : int;
+  k : int;
+  c : float option;
+  alpha : float option;
+  limit_fraction : float;
+}
+
+let compute () =
+  List.concat_map
+    (fun (n, r, s, x) ->
+      match
+        Designs.Registry.best ~strength:(x + 1) ~block_size:r ~max_v:n ()
+      with
+      | None -> []
+      | Some e ->
+          List.map
+            (fun k ->
+              let comp =
+                Placement.Analysis.theorem1 ~x ~nx:e.v ~r ~s ~k ~mu:e.mu
+              in
+              {
+                n;
+                r;
+                s;
+                x;
+                nx = e.v;
+                k;
+                c = Option.map (fun c -> c.Placement.Analysis.c) comp;
+                alpha = Option.map (fun c -> c.Placement.Analysis.alpha) comp;
+                limit_fraction =
+                  Placement.Analysis.competitive_limit_fraction ~x ~nx:e.v ~k;
+              })
+            [ s; s + 1; s + 2; s + 3 ])
+    [ (71, 3, 3, 1); (71, 3, 2, 1); (257, 5, 5, 2); (257, 5, 3, 2); (31, 3, 3, 1) ]
+
+let print fmt =
+  Format.fprintf fmt
+    "Theorem 1: competitive factor c and slack alpha of Simple(x, lambda)@.";
+  let rows =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.n;
+          string_of_int r.r;
+          string_of_int r.s;
+          string_of_int r.x;
+          string_of_int r.nx;
+          string_of_int r.k;
+          (match r.c with None -> "-" | Some c -> Render.f4 c);
+          (match r.alpha with None -> "-" | Some a -> Render.f2 a);
+          Render.f4 r.limit_fraction;
+        ])
+      (compute ())
+  in
+  Format.fprintf fmt "%s@."
+    (Render.table
+       ~headers:[ "n"; "r"; "s"; "x"; "nx"; "k"; "c"; "alpha"; "s=r limit" ]
+       ~rows)

@@ -1,0 +1,19 @@
+(** Theorem 1 illustration: the competitive factor c and additive slack α
+    of Simple(x, λ) placements versus the optimal placement, plus the
+    s = r asymptotic fraction from the discussion following the theorem. *)
+
+type row = {
+  n : int;
+  r : int;
+  s : int;
+  x : int;
+  nx : int;
+  k : int;
+  c : float option;
+  alpha : float option;
+  limit_fraction : float;  (** 1 − (k)_{x+1} / (nx)_{x+1}, s = r case *)
+}
+
+val compute : unit -> row list
+
+val print : Format.formatter -> unit

@@ -1,0 +1,1 @@
+lib/galois/field.ml: Array Combin Ftype Int64 List Poly

@@ -1,0 +1,1 @@
+lib/galois/field.mli: Ftype

@@ -1,0 +1,1 @@
+lib/galois/ftype.ml:

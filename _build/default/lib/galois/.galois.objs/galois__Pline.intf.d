@@ -1,0 +1,1 @@
+lib/galois/pline.mli: Field

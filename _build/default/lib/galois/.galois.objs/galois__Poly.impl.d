@@ -1,0 +1,1 @@
+lib/galois/poly.ml: Array Format Ftype

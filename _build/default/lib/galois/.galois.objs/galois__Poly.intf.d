@@ -1,0 +1,1 @@
+lib/galois/poly.mli: Format Ftype

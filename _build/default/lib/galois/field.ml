@@ -1,0 +1,214 @@
+type t = Ftype.field = {
+  order : int;
+  char : int;
+  degree : int;
+  add : int -> int -> int;
+  sub : int -> int -> int;
+  neg : int -> int;
+  mul : int -> int -> int;
+  inv : int -> int;
+  pow : int -> int -> int;
+  primitive : int;
+}
+
+let is_prime p =
+  if p < 2 then false
+  else begin
+    let rec go d = d * d > p || (p mod d <> 0 && go (d + 1)) in
+    go 2
+  end
+
+let is_prime_power q =
+  if q < 2 then None
+  else begin
+    (* The smallest prime factor of a prime power is its characteristic. *)
+    let rec smallest d = if d * d > q then q else if q mod d = 0 then d else smallest (d + 1) in
+    let p = smallest 2 in
+    let rec strip acc k = if acc = 1 then Some (p, k) else if acc mod p = 0 then strip (acc / p) (k + 1) else None in
+    strip q 0
+  end
+
+(* Upper bound on the orders for which we precompute log/antilog tables;
+   every field this library constructs in practice is far below it. *)
+let table_threshold = 1 lsl 20
+
+(* Build the public field record from raw ring operations, discovering a
+   primitive element and discrete-log tables for fast mul/inv/pow. *)
+let of_raw ~order ~char ~degree ~add ~neg ~mul_raw =
+  let sub a b = add a (neg b) in
+  if order > table_threshold then begin
+    (* Fallback without tables: inversion by Fermat (a^(q-2)). *)
+    let rec pow_raw a e = if e = 0 then 1 else begin
+        let h = pow_raw a (e / 2) in
+        let h2 = mul_raw h h in
+        if e land 1 = 1 then mul_raw h2 a else h2
+      end
+    in
+    let inv a = if a = 0 then raise Division_by_zero else pow_raw a (order - 2) in
+    (* Primitive element left unverified in the huge-field fallback. *)
+    { order; char; degree; add; sub; neg; mul = mul_raw; inv; pow = pow_raw; primitive = (if order > 2 then 2 else 1) }
+  end
+  else begin
+    let m = order - 1 in
+    (* Find a generator: walk powers of g; g is primitive iff the walk
+       first returns to 1 after exactly [m] steps. *)
+    let antilog = Array.make (max m 1) 1 in
+    let log = Array.make order (-1) in
+    let try_generator g =
+      if g = 0 then false
+      else begin
+        Array.fill log 0 order (-1);
+        let ok = ref true in
+        let x = ref 1 in
+        (try
+           for i = 0 to m - 1 do
+             if log.(!x) >= 0 then begin
+               ok := false;
+               raise Exit
+             end;
+             antilog.(i) <- !x;
+             log.(!x) <- i;
+             x := mul_raw !x g
+           done
+         with Exit -> ());
+        !ok && !x = 1
+      end
+    in
+    let primitive =
+      if m <= 1 then begin
+        ignore (try_generator 1);
+        1
+      end
+      else begin
+        let rec search g =
+          if g >= order then failwith "Field.of_raw: no primitive element (not a field?)"
+          else if try_generator g then g
+          else search (g + 1)
+        in
+        search 2
+      end
+    in
+    let mul a b = if a = 0 || b = 0 then 0 else antilog.((log.(a) + log.(b)) mod m) in
+    let inv a =
+      if a = 0 then raise Division_by_zero
+      else if m <= 1 then 1
+      else antilog.((m - log.(a)) mod m)
+    in
+    let pow a e =
+      (* [log a * e] is computed in Int64 to avoid overflow before the
+         reduction mod m. *)
+      if e < 0 then invalid_arg "Field.pow: negative exponent"
+      else if e = 0 then 1
+      else if a = 0 then 0
+      else if m <= 1 then 1
+      else begin
+        let la = Int64.of_int log.(a) in
+        let exp = Int64.to_int (Int64.rem (Int64.mul la (Int64.of_int e)) (Int64.of_int m)) in
+        antilog.(exp)
+      end
+    in
+    { order; char; degree; add; sub; neg; mul; inv; pow; primitive }
+  end
+
+let prime p =
+  if not (is_prime p) then invalid_arg "Field.prime: not a prime";
+  let add a b = (a + b) mod p in
+  let neg a = if a = 0 then 0 else p - a in
+  let mul_raw a b = a * b mod p in
+  of_raw ~order:p ~char:p ~degree:1 ~add ~neg ~mul_raw
+
+let extend base d =
+  if d < 1 then invalid_arg "Field.extend: degree < 1";
+  if d = 1 then base
+  else begin
+    let q = base.order in
+    let order =
+      let rec go acc i = if i = 0 then acc else begin
+          if acc > max_int / q then invalid_arg "Field.extend: order overflow";
+          go (acc * q) (i - 1)
+        end
+      in
+      go 1 d
+    in
+    let modulus = Poly.find_irreducible base d in
+    let decode code =
+      let digits = Array.make d 0 in
+      let rest = ref code in
+      for i = 0 to d - 1 do
+        digits.(i) <- !rest mod q;
+        rest := !rest / q
+      done;
+      digits
+    in
+    let encode digits =
+      (* digits may be shorter than d after normalization *)
+      let acc = ref 0 in
+      for i = Array.length digits - 1 downto 0 do
+        acc := (!acc * q) + digits.(i)
+      done;
+      !acc
+    in
+    let add a b =
+      let da = decode a and db = decode b in
+      let out = Array.init d (fun i -> base.add da.(i) db.(i)) in
+      encode out
+    in
+    let neg a =
+      let da = decode a in
+      encode (Array.map base.neg da)
+    in
+    let mul_raw a b =
+      let pa = Poly.normalize (decode a) and pb = Poly.normalize (decode b) in
+      let prod = Poly.mul base pa pb in
+      encode (Poly.rem base prod modulus)
+    in
+    of_raw ~order ~char:base.char ~degree:(base.degree * d) ~add ~neg ~mul_raw
+  end
+
+let gf p k =
+  let base = prime p in
+  if k = 1 then base else extend base k
+
+let of_order q =
+  match is_prime_power q with
+  | Some (p, k) -> gf p k
+  | None -> invalid_arg "Field.of_order: not a prime power"
+
+let elements f = List.init f.order (fun i -> i)
+
+let frobenius f j a =
+  let rec iterate x i = if i = 0 then x else iterate (f.pow x f.char) (i - 1) in
+  iterate a j
+
+let element_order f a =
+  if a = 0 then invalid_arg "Field.element_order: zero";
+  let rec go x k = if x = 1 then k else go (f.mul x a) (k + 1) in
+  go a 1
+
+let check_axioms f =
+  let ensure cond msg = if not cond then failwith ("Field.check_axioms: " ^ msg) in
+  let sample =
+    if f.order <= 64 then elements f
+    else begin
+      let rng = Combin.Rng.create 42 in
+      List.init 64 (fun _ -> Combin.Rng.int rng f.order)
+    end
+  in
+  List.iter
+    (fun a ->
+      ensure (f.add a 0 = a) "additive identity";
+      ensure (f.mul a 1 = a) "multiplicative identity";
+      ensure (f.add a (f.neg a) = 0) "additive inverse";
+      if a <> 0 then ensure (f.mul a (f.inv a) = 1) "multiplicative inverse";
+      List.iter
+        (fun b ->
+          ensure (f.add a b = f.add b a) "commutative +";
+          ensure (f.mul a b = f.mul b a) "commutative *";
+          List.iter
+            (fun c ->
+              ensure (f.add (f.add a b) c = f.add a (f.add b c)) "associative +";
+              ensure (f.mul (f.mul a b) c = f.mul a (f.mul b c)) "associative *";
+              ensure (f.mul a (f.add b c) = f.add (f.mul a b) (f.mul a c)) "distributive")
+            sample)
+        sample)
+    sample

@@ -1,0 +1,64 @@
+(** Finite-field construction.
+
+    Fields are first-class values (see {!Ftype.field}); elements are int
+    codes in [0 .. order-1] with [0] and [1] the additive and
+    multiplicative identities.  The design constructions use:
+
+    - [prime p] for AG/PG over GF(p) (e.g. AG(2,5) giving the 2-(25,5,1)
+      design of Fig. 4);
+    - [gf p k] for prime-power orders (e.g. PG(2,4) over GF(4));
+    - [extend base d] for towers such as GF(4) ⊂ GF(4^d), which drive the
+      spherical 3-(q^d+1, q+1, 1) designs: the base-field codes are exactly
+      the extension codes [< base.order], so the distinguished block
+      GF(q) ∪ {{∞}} is directly expressible. *)
+
+type t = Ftype.field = {
+  order : int;
+  char : int;
+  degree : int;
+  add : int -> int -> int;
+  sub : int -> int -> int;
+  neg : int -> int;
+  mul : int -> int -> int;
+  inv : int -> int;
+  pow : int -> int -> int;
+  primitive : int;
+}
+
+val is_prime : int -> bool
+
+val is_prime_power : int -> (int * int) option
+(** [is_prime_power q] is [Some (p, k)] with [q = p^k], or [None]. *)
+
+val prime : int -> t
+(** [prime p] is GF(p).
+    @raise Invalid_argument if [p] is not prime. *)
+
+val extend : t -> int -> t
+(** [extend base d] is GF(base.order^d), represented over [base] with a
+    deterministically chosen irreducible modulus.  Codes [< base.order]
+    are the embedded base-field elements.  [extend base 1] returns a field
+    equal to [base] in behaviour.
+    @raise Invalid_argument if [d < 1] or the order overflows. *)
+
+val gf : int -> int -> t
+(** [gf p k] is GF(p^k) built directly over the prime field. *)
+
+val of_order : int -> t
+(** [of_order q] is GF(q) for a prime power [q].
+    @raise Invalid_argument otherwise. *)
+
+val elements : t -> int list
+(** All element codes, [0 .. order-1]. *)
+
+val frobenius : t -> int -> int -> int
+(** [frobenius f j a = a^(char^j)], the [j]-th Frobenius power; used by the
+    Hermitian-unital construction ([x -> x^q] in GF(q^2)). *)
+
+val element_order : t -> int -> int
+(** Multiplicative order of a nonzero element. *)
+
+val check_axioms : t -> unit
+(** Exhaustively verify the field axioms (associativity, distributivity,
+    inverses) for fields of order <= 64; sampled verification above.
+    @raise Failure on violation.  Test-suite helper. *)

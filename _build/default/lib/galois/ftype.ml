@@ -1,0 +1,26 @@
+(* The value-level representation of a finite field.
+
+   Elements are encoded as integers [0 .. order-1]:
+   - for GF(p), an element is its canonical residue;
+   - for GF(q^d) built over a base field of order q, an element is the
+     base-q digit expansion of its coefficient vector, so the constant
+     polynomials [0..q-1] are exactly the base-field elements.  In
+     particular [zero = 0] and [one = 1] in every field, and a base field
+     embeds into any of its extensions as the identity on codes.
+
+   Keeping fields as first-class values (rather than functors) lets the
+   design constructions pick field orders at runtime (registry lookups,
+   parameter sweeps) without functor gymnastics. *)
+
+type field = {
+  order : int;  (* q = p^degree *)
+  char : int;  (* p *)
+  degree : int;  (* extension degree over the prime field *)
+  add : int -> int -> int;
+  sub : int -> int -> int;
+  neg : int -> int;
+  mul : int -> int -> int;
+  inv : int -> int;  (* raises [Division_by_zero] on 0 *)
+  pow : int -> int -> int;  (* non-negative exponents *)
+  primitive : int;  (* a generator of the multiplicative group *)
+}

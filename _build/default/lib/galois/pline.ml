@@ -1,0 +1,59 @@
+type point = int
+
+let infinity (f : Field.t) = f.order
+let is_infinity (f : Field.t) p = p = f.order
+let all_points (f : Field.t) = Array.init (f.order + 1) (fun i -> i)
+
+type map = { a : int; b : int; c : int; d : int }
+
+let identity = { a = 1; b = 0; c = 0; d = 1 }
+
+let det (f : Field.t) m = f.sub (f.mul m.a m.d) (f.mul m.b m.c)
+let is_valid f m = det f m <> 0
+
+let apply (f : Field.t) m z =
+  if is_infinity f z then if m.c = 0 then infinity f else f.mul m.a (f.inv m.c)
+  else begin
+    let num = f.add (f.mul m.a z) m.b in
+    let den = f.add (f.mul m.c z) m.d in
+    if den = 0 then infinity f else f.mul num (f.inv den)
+  end
+
+let compose (f : Field.t) m1 m2 =
+  {
+    a = f.add (f.mul m1.a m2.a) (f.mul m1.b m2.c);
+    b = f.add (f.mul m1.a m2.b) (f.mul m1.b m2.d);
+    c = f.add (f.mul m1.c m2.a) (f.mul m1.d m2.c);
+    d = f.add (f.mul m1.c m2.b) (f.mul m1.d m2.d);
+  }
+
+let inverse (f : Field.t) m =
+  if not (is_valid f m) then invalid_arg "Pline.inverse: singular map";
+  (* The adjugate is a scalar multiple of the inverse, which is the same
+     projective map. *)
+  { a = m.d; b = f.neg m.b; c = f.neg m.c; d = m.a }
+
+let to_zero_one_inf (f : Field.t) p1 p2 p3 =
+  if p1 = p2 || p1 = p3 || p2 = p3 then
+    invalid_arg "Pline.to_zero_one_inf: points not distinct";
+  let inf = infinity f in
+  let m =
+    if p1 = inf then
+      (* z ↦ (p2 − p3) / (z − p3) *)
+      { a = 0; b = f.sub p2 p3; c = 1; d = f.neg p3 }
+    else if p2 = inf then
+      (* z ↦ (z − p1) / (z − p3) *)
+      { a = 1; b = f.neg p1; c = 1; d = f.neg p3 }
+    else if p3 = inf then
+      (* z ↦ (z − p1) / (p2 − p1) *)
+      { a = 1; b = f.neg p1; c = 0; d = f.sub p2 p1 }
+    else begin
+      (* Cross ratio: z ↦ (z − p1)(p2 − p3) / ((z − p3)(p2 − p1)) *)
+      let u = f.sub p2 p3 and v = f.sub p2 p1 in
+      { a = u; b = f.neg (f.mul p1 u); c = v; d = f.neg (f.mul p3 v) }
+    end
+  in
+  assert (is_valid f m);
+  m
+
+let from_zero_one_inf f p1 p2 p3 = inverse f (to_zero_one_inf f p1 p2 p3)

@@ -1,0 +1,42 @@
+(** The projective line PG(1, F) = F ∪ {∞} and its Möbius transformations.
+
+    The spherical (Möbius) 3-designs 3-(q^d+1, q+1, 1) used for the paper's
+    r = 5, x = 2 parameter rows (e.g. nx = 65, 257 in Fig. 4) have point set
+    PG(1, GF(q^d)) and blocks the images of PG(1, GF(q)) under fractional
+    linear maps; this module supplies the point encoding and the map
+    algebra.
+
+    A point is an int: field codes [0 .. order-1] are the affine points and
+    [order] is ∞. *)
+
+type point = int
+
+val infinity : Field.t -> point
+val is_infinity : Field.t -> point -> bool
+val all_points : Field.t -> point array
+(** [0; 1; ...; order-1; ∞] — [order+1] points. *)
+
+type map = { a : int; b : int; c : int; d : int }
+(** The fractional linear map z ↦ (az + b) / (cz + d); must satisfy
+    ad − bc ≠ 0. *)
+
+val identity : map
+
+val is_valid : Field.t -> map -> bool
+(** Determinant check. *)
+
+val apply : Field.t -> map -> point -> point
+
+val compose : Field.t -> map -> map -> map
+(** [compose f m1 m2] applies [m2] first: [apply (compose m1 m2) z =
+    apply m1 (apply m2 z)]. *)
+
+val inverse : Field.t -> map -> map
+
+val to_zero_one_inf : Field.t -> point -> point -> point -> map
+(** [to_zero_one_inf f p1 p2 p3] is the unique Möbius map sending
+    [p1 ↦ 0], [p2 ↦ 1], [p3 ↦ ∞] (the cross-ratio map).
+    @raise Invalid_argument if the points are not pairwise distinct. *)
+
+val from_zero_one_inf : Field.t -> point -> point -> point -> map
+(** Inverse of {!to_zero_one_inf}: sends [0 ↦ p1], [1 ↦ p2], [∞ ↦ p3]. *)

@@ -1,0 +1,155 @@
+open Ftype
+
+let normalize a =
+  let d = ref (Array.length a - 1) in
+  while !d >= 0 && a.(!d) = 0 do
+    decr d
+  done;
+  if !d = Array.length a - 1 then a else Array.sub a 0 (!d + 1)
+
+let degree a = Array.length (normalize a) - 1
+
+let equal a b =
+  let a = normalize a and b = normalize b in
+  a = b
+
+let add f a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  normalize
+    (Array.init n (fun i ->
+         let x = if i < la then a.(i) else 0 in
+         let y = if i < lb then b.(i) else 0 in
+         f.add x y))
+
+let sub f a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  normalize
+    (Array.init n (fun i ->
+         let x = if i < la then a.(i) else 0 in
+         let y = if i < lb then b.(i) else 0 in
+         f.sub x y))
+
+let scale f c a =
+  if c = 0 then [||] else normalize (Array.map (fun x -> f.mul c x) a)
+
+let mul f a b =
+  let a = normalize a and b = normalize b in
+  if a = [||] || b = [||] then [||]
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let out = Array.make (la + lb - 1) 0 in
+    for i = 0 to la - 1 do
+      if a.(i) <> 0 then
+        for j = 0 to lb - 1 do
+          out.(i + j) <- f.add out.(i + j) (f.mul a.(i) b.(j))
+        done
+    done;
+    normalize out
+  end
+
+let divmod f a b =
+  let b = normalize b in
+  if b = [||] then raise Division_by_zero;
+  let db = Array.length b - 1 in
+  let lead_inv = f.inv b.(db) in
+  let r = Array.copy (normalize a) in
+  let da = Array.length r - 1 in
+  if da < db then ([||], normalize r)
+  else begin
+    let q = Array.make (da - db + 1) 0 in
+    for i = da - db downto 0 do
+      let coeff = f.mul r.(i + db) lead_inv in
+      q.(i) <- coeff;
+      if coeff <> 0 then
+        for j = 0 to db do
+          r.(i + j) <- f.sub r.(i + j) (f.mul coeff b.(j))
+        done
+    done;
+    (normalize q, normalize r)
+  end
+
+let rem f a b = snd (divmod f a b)
+
+let eval f a x =
+  let acc = ref 0 in
+  for i = Array.length a - 1 downto 0 do
+    acc := f.add (f.mul !acc x) a.(i)
+  done;
+  !acc
+
+let is_monic _f a =
+  let a = normalize a in
+  Array.length a > 0 && a.(Array.length a - 1) = 1
+
+(* Enumerate monic polynomials of degree exactly [d] as x^d plus a lower
+   part whose coefficients are the base-q digits of an index. *)
+let monic_of_index f d idx =
+  let p = Array.make (d + 1) 0 in
+  p.(d) <- 1;
+  let rest = ref idx in
+  for i = 0 to d - 1 do
+    p.(i) <- !rest mod f.order;
+    rest := !rest / f.order
+  done;
+  p
+
+let count_monics f d =
+  let c = ref 1 in
+  for _ = 1 to d do
+    c := !c * f.order
+  done;
+  !c
+
+let is_irreducible f a =
+  let a = normalize a in
+  let d = Array.length a - 1 in
+  if d <= 0 then false
+  else if d = 1 then true
+  else begin
+    (* A reducible polynomial of degree d has a monic factor of degree
+       between 1 and d/2; trial-divide by all of them. *)
+    let reducible = ref false in
+    (try
+       for fd = 1 to d / 2 do
+         for idx = 0 to count_monics f fd - 1 do
+           let cand = monic_of_index f fd idx in
+           if rem f a cand = [||] then begin
+             reducible := true;
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    not !reducible
+  end
+
+let find_irreducible f d =
+  if d < 1 then invalid_arg "Poly.find_irreducible: degree < 1";
+  let total = count_monics f d in
+  let rec go idx =
+    if idx >= total then failwith "Poly.find_irreducible: none found"
+    else begin
+      let cand = monic_of_index f d idx in
+      if is_irreducible f cand then cand else go (idx + 1)
+    end
+  in
+  go 0
+
+let pp _f fmt a =
+  let a = normalize a in
+  if a = [||] then Format.fprintf fmt "0"
+  else begin
+    let first = ref true in
+    for i = Array.length a - 1 downto 0 do
+      if a.(i) <> 0 then begin
+        if not !first then Format.fprintf fmt " + ";
+        first := false;
+        match i with
+        | 0 -> Format.fprintf fmt "%d" a.(i)
+        | 1 -> Format.fprintf fmt "%d·x" a.(i)
+        | _ -> Format.fprintf fmt "%d·x^%d" a.(i) i
+      end
+    done
+  end

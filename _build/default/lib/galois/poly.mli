@@ -1,0 +1,44 @@
+(** Univariate polynomial arithmetic over a finite field.
+
+    A polynomial is an int array of element codes, coefficient of [x^i] at
+    index [i], with no trailing zero coefficients (the zero polynomial is
+    [[||]]).  This module underpins the construction of extension fields
+    ({!Field.extend} searches for an irreducible modulus here) and is
+    exercised directly by the test suite's algebra properties. *)
+
+open Ftype
+
+val normalize : int array -> int array
+(** Strip trailing zeros. *)
+
+val degree : int array -> int
+(** Degree, with [degree [||] = -1]. *)
+
+val equal : int array -> int array -> bool
+
+val add : field -> int array -> int array -> int array
+val sub : field -> int array -> int array -> int array
+val scale : field -> int -> int array -> int array
+val mul : field -> int array -> int array -> int array
+
+val divmod : field -> int array -> int array -> int array * int array
+(** [divmod f a b] is [(q, r)] with [a = q*b + r] and [degree r < degree b].
+    @raise Division_by_zero if [b] is the zero polynomial. *)
+
+val rem : field -> int array -> int array -> int array
+
+val eval : field -> int array -> int -> int
+(** Horner evaluation. *)
+
+val is_monic : field -> int array -> bool
+
+val is_irreducible : field -> int array -> bool
+(** Trial division by all monic polynomials of degree [1 .. degree/2].
+    Intended for the small degrees used in field construction. *)
+
+val find_irreducible : field -> int -> int array
+(** [find_irreducible f d] is a monic irreducible polynomial of degree
+    [d >= 1] over [f], found by exhaustive search in code order (hence
+    deterministic). *)
+
+val pp : field -> Format.formatter -> int array -> unit

@@ -1,0 +1,1 @@
+lib/sim/cluster.mli: Placement Semantics

@@ -1,0 +1,1 @@
+lib/sim/montecarlo.ml: Array Cluster Combin Format Placement Scenario Semantics

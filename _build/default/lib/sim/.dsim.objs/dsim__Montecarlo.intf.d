@@ -1,0 +1,1 @@
+lib/sim/montecarlo.mli: Combin Format Placement Scenario Semantics

@@ -1,0 +1,1 @@
+lib/sim/repair.ml: Array Cluster Combin

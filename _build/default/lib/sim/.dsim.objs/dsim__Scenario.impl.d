@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Array Cluster Combin Placement Printf

@@ -1,0 +1,1 @@
+lib/sim/semantics.ml: Format Printf

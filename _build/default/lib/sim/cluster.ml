@@ -1,0 +1,94 @@
+type t = {
+  layout : Placement.Layout.t;
+  semantics : Semantics.t;
+  s : int;
+  racks : int array;
+  node_objs : int array array;
+  up : bool array;
+  lost : int array;  (* failed replicas per object *)
+  mutable failed_objects : int;
+}
+
+let create ?racks layout semantics =
+  let n = layout.Placement.Layout.n in
+  let racks =
+    match racks with
+    | None -> Array.init n (fun i -> i)
+    | Some r ->
+        if Array.length r <> n then invalid_arg "Cluster.create: racks length";
+        Array.copy r
+  in
+  {
+    layout;
+    semantics;
+    s = Semantics.fatality_threshold semantics ~r:layout.Placement.Layout.r;
+    racks;
+    node_objs = Placement.Layout.node_objects layout;
+    up = Array.make n true;
+    lost = Array.make (Placement.Layout.b layout) 0;
+    failed_objects = 0;
+  }
+
+let layout t = t.layout
+let semantics t = t.semantics
+let fatality_threshold t = t.s
+let n t = t.layout.Placement.Layout.n
+let b t = Placement.Layout.b t.layout
+let node_up t nd = t.up.(nd)
+
+let failed_nodes t =
+  let out = ref [] in
+  for nd = n t - 1 downto 0 do
+    if not t.up.(nd) then out := nd :: !out
+  done;
+  Array.of_list !out
+
+let fail_node t nd =
+  if t.up.(nd) then begin
+    t.up.(nd) <- false;
+    Array.iter
+      (fun obj ->
+        t.lost.(obj) <- t.lost.(obj) + 1;
+        if t.lost.(obj) = t.s then t.failed_objects <- t.failed_objects + 1)
+      t.node_objs.(nd)
+  end
+
+let recover_node t nd =
+  if not t.up.(nd) then begin
+    t.up.(nd) <- true;
+    Array.iter
+      (fun obj ->
+        if t.lost.(obj) = t.s then t.failed_objects <- t.failed_objects - 1;
+        t.lost.(obj) <- t.lost.(obj) - 1)
+      t.node_objs.(nd)
+  end
+
+let fail_rack t rack =
+  Array.iteri (fun nd r -> if r = rack then fail_node t nd) t.racks
+
+let rack_of t nd = t.racks.(nd)
+
+let rack_ids t = Combin.Intset.of_array t.racks
+
+let rack_nodes t rack =
+  let out = ref [] in
+  Array.iteri (fun nd r -> if r = rack then out := nd :: !out) t.racks;
+  Combin.Intset.of_array (Array.of_list !out)
+
+let recover_all t =
+  for nd = 0 to n t - 1 do
+    recover_node t nd
+  done
+
+let object_available t obj = t.lost.(obj) < t.s
+
+let available_objects t = b t - t.failed_objects
+
+let unavailable_objects t =
+  let out = ref [] in
+  for obj = b t - 1 downto 0 do
+    if t.lost.(obj) >= t.s then out := obj :: !out
+  done;
+  !out
+
+let live_replicas t obj = t.layout.Placement.Layout.r - t.lost.(obj)

@@ -1,0 +1,57 @@
+(** Mutable cluster state: a placement plus the up/down status of every
+    node, with incremental tracking of per-object replica losses.
+
+    This is the executable model behind the examples and the empirical
+    experiments: fail nodes (by choice, at random, or adversarially),
+    observe which objects remain available under a given access
+    semantics, recover, repeat. *)
+
+type t
+
+val create : ?racks:int array -> Placement.Layout.t -> Semantics.t -> t
+(** [create layout sem] starts with all nodes up.  [racks], if given,
+    assigns node [i] to rack [racks.(i)] (length n) for correlated
+    failures; default is one rack per node. *)
+
+val layout : t -> Placement.Layout.t
+val semantics : t -> Semantics.t
+val fatality_threshold : t -> int
+
+val n : t -> int
+val b : t -> int
+
+val node_up : t -> int -> bool
+val failed_nodes : t -> int array
+(** Sorted list of currently failed nodes. *)
+
+val fail_node : t -> int -> unit
+(** Idempotent. *)
+
+val recover_node : t -> int -> unit
+(** Idempotent. *)
+
+val fail_rack : t -> int -> unit
+(** Fail every node of a rack. *)
+
+val rack_of : t -> int -> int
+(** Rack id of a node. *)
+
+val rack_ids : t -> int array
+(** Distinct rack ids, ascending. *)
+
+val rack_nodes : t -> int -> int array
+(** Nodes of a rack, ascending. *)
+
+val recover_all : t -> unit
+
+val object_available : t -> int -> bool
+(** Whether object [obj] still has enough live replicas. *)
+
+val available_objects : t -> int
+(** Count of available objects — Avail of the current failure set. *)
+
+val unavailable_objects : t -> int list
+(** Ids of failed objects (ascending). *)
+
+val live_replicas : t -> int -> int
+(** Live replica count of an object. *)

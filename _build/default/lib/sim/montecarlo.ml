@@ -1,0 +1,40 @@
+type result = {
+  trials : int;
+  avails : int array;
+  mean : float;
+  stddev : float;
+  min : int;
+  max : int;
+}
+
+let of_avails avails =
+  let floats = Array.map float_of_int avails in
+  let lo, hi = Combin.Stats.min_max floats in
+  {
+    trials = Array.length avails;
+    avails;
+    mean = Combin.Stats.mean floats;
+    stddev = Combin.Stats.stddev floats;
+    min = int_of_float lo;
+    max = int_of_float hi;
+  }
+
+let run ~rng ~trials ~placement ~scenario ~semantics =
+  let avails =
+    Array.init trials (fun _ ->
+        let trial_rng = Combin.Rng.split rng in
+        let layout = placement trial_rng in
+        let cluster = Cluster.create layout semantics in
+        Scenario.run ~rng:trial_rng cluster scenario)
+  in
+  of_avails avails
+
+let avg_avail_random ~rng ~trials (p : Placement.Params.t) =
+  run ~rng ~trials
+    ~placement:(fun trial_rng -> Placement.Random_placement.place ~rng:trial_rng p)
+    ~scenario:(Scenario.Adversarial p.k)
+    ~semantics:(Semantics.Threshold p.s)
+
+let pp fmt r =
+  Format.fprintf fmt "trials=%d mean=%.1f sd=%.1f min=%d max=%d" r.trials
+    r.mean r.stddev r.min r.max

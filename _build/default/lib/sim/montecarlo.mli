@@ -1,0 +1,27 @@
+(** Monte-Carlo harness: repeat (placement, failure scenario) trials and
+    aggregate availability.  This is the machinery behind Fig. 7's
+    avgAvail_rnd (20 Random placements, each hit by a worst-case failure)
+    and the empirical sides of the ablation benches. *)
+
+type result = {
+  trials : int;
+  avails : int array;  (** available objects per trial *)
+  mean : float;
+  stddev : float;
+  min : int;
+  max : int;
+}
+
+val run :
+  rng:Combin.Rng.t -> trials:int ->
+  placement:(Combin.Rng.t -> Placement.Layout.t) ->
+  scenario:Scenario.t -> semantics:Semantics.t -> result
+(** Each trial draws a fresh placement with a split of [rng], builds a
+    cluster, applies the scenario, and records available objects. *)
+
+val avg_avail_random :
+  rng:Combin.Rng.t -> trials:int -> Placement.Params.t -> result
+(** Fig. 7's avgAvail_rnd: Random placements under the adversarial
+    scenario with the params' s and k. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,93 @@
+type config = {
+  failure_rate : float;
+  mean_repair : float;
+  horizon : float;
+}
+
+type stats = {
+  horizon : float;
+  avg_unavailable : float;
+  worst_unavailable : int;
+  worst_nodes_down : int;
+  incidents : int;
+  object_downtime_fraction : float;
+}
+
+let nines s =
+  if s.object_downtime_fraction <= 0.0 then infinity
+  else -.log10 s.object_downtime_fraction
+
+type event = Fail of int | Repair of int
+
+let exponential rng mean = -.mean *. log (1.0 -. Combin.Rng.float rng)
+
+let run ~rng cluster config =
+  if config.failure_rate <= 0.0 || config.mean_repair <= 0.0 || config.horizon <= 0.0
+  then invalid_arg "Repair.run: rates and horizon must be positive";
+  Cluster.recover_all cluster;
+  let n = Cluster.n cluster in
+  let b = Cluster.b cluster in
+  let queue : event Combin.Heap.t = Combin.Heap.create () in
+  (* Schedule each node's first failure. *)
+  for nd = 0 to n - 1 do
+    Combin.Heap.push queue
+      (exponential rng (1.0 /. config.failure_rate))
+      (Fail nd)
+  done;
+  let now = ref 0.0 in
+  let unavailable_integral = ref 0.0 in
+  let worst_unavailable = ref 0 in
+  let worst_nodes_down = ref 0 in
+  let incidents = ref 0 in
+  let account until =
+    let dt = until -. !now in
+    let down = b - Cluster.available_objects cluster in
+    unavailable_integral := !unavailable_integral +. (float_of_int down *. dt);
+    now := until
+  in
+  let finished = ref false in
+  while not !finished do
+    match Combin.Heap.pop queue with
+    | None -> finished := true
+    | Some (t, _) when t >= config.horizon ->
+        account config.horizon;
+        finished := true
+    | Some (t, ev) ->
+        account t;
+        let before_down = b - Cluster.available_objects cluster in
+        (match ev with
+        | Fail nd ->
+            if Cluster.node_up cluster nd then begin
+              Cluster.fail_node cluster nd;
+              Combin.Heap.push queue
+                (t +. exponential rng config.mean_repair)
+                (Repair nd)
+            end
+            else
+              (* Node already down (shouldn't happen with this schedule);
+                 just reschedule its next failure. *)
+              Combin.Heap.push queue
+                (t +. exponential rng (1.0 /. config.failure_rate))
+                (Fail nd)
+        | Repair nd ->
+            Cluster.recover_node cluster nd;
+            Combin.Heap.push queue
+              (t +. exponential rng (1.0 /. config.failure_rate))
+              (Fail nd));
+        let down = b - Cluster.available_objects cluster in
+        if before_down = 0 && down > 0 then incr incidents;
+        if down > !worst_unavailable then worst_unavailable := down;
+        let nodes_down = Array.length (Cluster.failed_nodes cluster) in
+        if nodes_down > !worst_nodes_down then worst_nodes_down := nodes_down
+  done;
+  if !now < config.horizon then account config.horizon;
+  Cluster.recover_all cluster;
+  {
+    horizon = config.horizon;
+    avg_unavailable = !unavailable_integral /. config.horizon;
+    worst_unavailable = !worst_unavailable;
+    worst_nodes_down = !worst_nodes_down;
+    incidents = !incidents;
+    object_downtime_fraction =
+      !unavailable_integral /. (float_of_int b *. config.horizon);
+  }

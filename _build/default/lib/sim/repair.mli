@@ -1,0 +1,38 @@
+(** Stochastic failure/repair timeline simulation.
+
+    The paper studies one-shot worst-case failures; real clusters live
+    through a continuous fail-and-repair process.  This module runs an
+    event-driven simulation — nodes fail as independent Poisson
+    processes and are repaired after exponential repair times — and
+    reports time-weighted availability, so placements can additionally
+    be compared on "how many nines" they deliver between the worst-case
+    episodes the paper optimizes for.
+
+    Time units are arbitrary; only the ratio [failure_rate · mean_repair]
+    matters (it is the expected fraction of nodes down in steady state). *)
+
+type config = {
+  failure_rate : float;  (** per-node failure rate (per unit time) *)
+  mean_repair : float;  (** mean repair duration (exponential) *)
+  horizon : float;  (** simulated duration *)
+}
+
+type stats = {
+  horizon : float;
+  avg_unavailable : float;  (** time-weighted mean of unavailable objects *)
+  worst_unavailable : int;  (** peak simultaneous object unavailability *)
+  worst_nodes_down : int;  (** peak simultaneous node failures *)
+  incidents : int;  (** transitions from "all objects up" to "some down" *)
+  object_downtime_fraction : float;
+      (** Σ per-object downtime / (b · horizon): 1 − this is the
+          "availability" an SLO would measure *)
+}
+
+val nines : stats -> float
+(** [-log10 object_downtime_fraction] — the "number of nines";
+    [infinity] when no object-downtime occurred at all. *)
+
+val run : rng:Combin.Rng.t -> Cluster.t -> config -> stats
+(** Simulate from an all-up cluster.  The cluster is recovered before
+    and after; during the run its state tracks the timeline.
+    @raise Invalid_argument on non-positive rates/horizon. *)

@@ -1,0 +1,44 @@
+type t =
+  | Adversarial of int
+  | Random_nodes of int
+  | Random_racks of int
+  | Explicit of int array
+
+let describe = function
+  | Adversarial k -> Printf.sprintf "worst-case failure of %d nodes" k
+  | Random_nodes k -> Printf.sprintf "random failure of %d nodes" k
+  | Random_racks j -> Printf.sprintf "random failure of %d racks" j
+  | Explicit nodes ->
+      Printf.sprintf "explicit failure of %d nodes" (Array.length nodes)
+
+let apply ~rng cluster t =
+  Cluster.recover_all cluster;
+  let nodes =
+    match t with
+    | Adversarial k ->
+        let attack =
+          Placement.Adversary.best ~rng (Cluster.layout cluster)
+            ~s:(Cluster.fatality_threshold cluster) ~k
+        in
+        attack.Placement.Adversary.failed_nodes
+    | Random_nodes k ->
+        Combin.Rng.sample_distinct rng ~n:(Cluster.n cluster) ~k
+    | Random_racks j ->
+        let racks = Cluster.rack_ids cluster in
+        let nr = Array.length racks in
+        if j > nr then invalid_arg "Scenario.apply: more racks than exist";
+        let picked = Combin.Rng.sample_distinct rng ~n:nr ~k:j in
+        let nodes =
+          Array.concat
+            (Array.to_list
+               (Array.map (fun i -> Cluster.rack_nodes cluster racks.(i)) picked))
+        in
+        Combin.Intset.of_array nodes
+    | Explicit nodes -> Combin.Intset.of_array nodes
+  in
+  Array.iter (fun nd -> Cluster.fail_node cluster nd) nodes;
+  nodes
+
+let run ~rng cluster t =
+  let _ = apply ~rng cluster t in
+  Cluster.available_objects cluster

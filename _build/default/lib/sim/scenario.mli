@@ -1,0 +1,25 @@
+(** Failure scenarios: who fails, and how it is decided.
+
+    The paper's adversary is {!Adversarial}; the others exist for the
+    example applications and ablation studies (random failures are the
+    model of the prior work the paper contrasts with, rack failures a
+    common correlated-failure pattern in data centers). *)
+
+type t =
+  | Adversarial of int  (** worst-case choice of k nodes (Definition 1) *)
+  | Random_nodes of int  (** k nodes, uniformly at random *)
+  | Random_racks of int  (** j racks, uniformly at random *)
+  | Explicit of int array  (** a fixed node set *)
+
+val describe : t -> string
+
+val apply : rng:Combin.Rng.t -> Cluster.t -> t -> int array
+(** Apply the scenario to a (fully recovered) cluster: fails the selected
+    nodes and returns them (sorted).  The adversarial scenario uses
+    {!Placement.Adversary.best} against the cluster's layout and
+    fatality threshold. *)
+
+val run : rng:Combin.Rng.t -> Cluster.t -> t -> int
+(** [apply] then report {!Cluster.available_objects}; the cluster is
+    recovered before and left failed after (read results, then
+    {!Cluster.recover_all}). *)

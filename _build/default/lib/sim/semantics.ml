@@ -1,0 +1,23 @@
+type t = Read_any | Majority | Write_all | Erasure of int | Threshold of int
+
+let fatality_threshold t ~r =
+  let s =
+    match t with
+    | Read_any -> r
+    | Majority -> r - (r / 2) (* fail once live replicas < floor(r/2)+1 *)
+    | Write_all -> 1
+    | Erasure data -> r - data + 1
+    | Threshold s -> s
+  in
+  if s < 1 || s > r then
+    invalid_arg "Semantics.fatality_threshold: need 1 <= s <= r";
+  s
+
+let describe = function
+  | Read_any -> "read-any (primary-backup)"
+  | Majority -> "majority quorum"
+  | Write_all -> "write-all"
+  | Erasure data -> Printf.sprintf "erasure coded (%d data fragments)" data
+  | Threshold s -> Printf.sprintf "threshold s=%d" s
+
+let pp fmt t = Format.pp_print_string fmt (describe t)

@@ -1,0 +1,34 @@
+(** Object access semantics and their fatality thresholds.
+
+    The paper deliberately decouples r (replicas) from s (replica failures
+    that kill the object) to cover different replication protocols
+    (Sec. I).  This module maps concrete protocols onto s:
+
+    - primary-backup / read-any: the object survives while {e any} replica
+      survives — s = r;
+    - majority quorums: the object survives while a majority of its r
+      replicas survive — s = ⌈r/2⌉ failures are fatal... specifically the
+      object fails as soon as fewer than ⌊r/2⌋+1 replicas remain;
+    - write-all / strict: any replica failure is fatal — s = 1;
+    - MDS erasure codes: (r, j) coding survives while j of the r
+      fragments do — s = r − j + 1;
+    - an explicit threshold for anything else. *)
+
+type t =
+  | Read_any  (** primary-backup(s): one live replica suffices *)
+  | Majority  (** quorum reads/writes: need ⌊r/2⌋+1 live replicas *)
+  | Write_all  (** updates must reach every replica *)
+  | Erasure of int
+      (** an MDS (r, j) erasure code storing one fragment per node: the
+          object survives while ≥ j = data fragments survive, so
+          s = r − j + 1.  The paper's replica/threshold model covers
+          coded storage exactly this way. *)
+  | Threshold of int  (** custom s *)
+
+val fatality_threshold : t -> r:int -> int
+(** The paper's s for this semantics and replication factor.
+    @raise Invalid_argument if the result leaves [1 <= s <= r]. *)
+
+val describe : t -> string
+
+val pp : Format.formatter -> t -> unit

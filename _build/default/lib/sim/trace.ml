@@ -1,0 +1,39 @@
+type event =
+  | Fail of int
+  | Recover of int
+  | Fail_rack of int
+  | Recover_all
+  | Measure of string
+
+type snapshot = {
+  label : string;
+  failed_nodes : int;
+  available : int;
+  unavailable : int;
+}
+
+let replay cluster events =
+  let snaps = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Fail nd -> Cluster.fail_node cluster nd
+      | Recover nd -> Cluster.recover_node cluster nd
+      | Fail_rack rk -> Cluster.fail_rack cluster rk
+      | Recover_all -> Cluster.recover_all cluster
+      | Measure label ->
+          let available = Cluster.available_objects cluster in
+          snaps :=
+            {
+              label;
+              failed_nodes = Array.length (Cluster.failed_nodes cluster);
+              available;
+              unavailable = Cluster.b cluster - available;
+            }
+            :: !snaps)
+    events;
+  List.rev !snaps
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt "[%s] failed_nodes=%d available=%d unavailable=%d"
+    s.label s.failed_nodes s.available s.unavailable

@@ -1,0 +1,25 @@
+(** Replayable failure timelines.
+
+    A thin event-sequencing layer over {!Cluster} for the example
+    applications: script a sequence of failures/recoveries with
+    measurement points and get back the availability at each point. *)
+
+type event =
+  | Fail of int
+  | Recover of int
+  | Fail_rack of int
+  | Recover_all
+  | Measure of string  (** record a labelled snapshot *)
+
+type snapshot = {
+  label : string;
+  failed_nodes : int;
+  available : int;
+  unavailable : int;
+}
+
+val replay : Cluster.t -> event list -> snapshot list
+(** Apply events in order; each [Measure] appends a snapshot.  The cluster
+    is left in its final state. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,1 @@
+test/test_combin.ml: Alcotest Array Combin Fun Hashtbl Int List QCheck2 QCheck_alcotest Random Set

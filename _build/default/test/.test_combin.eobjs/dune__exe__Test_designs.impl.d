@@ -1,0 +1,1 @@
+test/test_designs.ml: Alcotest Array Combin Designs Galois Hashtbl List Option Printf QCheck2 QCheck_alcotest Random Seq

@@ -1,0 +1,1 @@
+test/test_galois.ml: Alcotest Array Galois List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Combin Designs Filename Fun Hashtbl List Option Placement Printf QCheck2 QCheck_alcotest Random Sys

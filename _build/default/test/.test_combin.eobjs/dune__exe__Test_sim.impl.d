@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Combin Designs Dsim Placement QCheck2 QCheck_alcotest Random

@@ -1,0 +1,10 @@
+  $ placement-tool plan -n 71 -b 1200 -r 3 -s 2 -k 4
+  $ placement-tool designs -x 1 -r 5 --max-v 30
+  $ placement-tool gap -n 71 -x 1 -r 3
+  $ placement-tool analyze -n 71 -b 2400 -r 3 -s 1 -k 5
+  $ placement-tool simulate -n 31 -b 100 -r 3 -s 2 -k 3 --strategy combo --out layout.txt | tail -2
+  $ head -4 layout.txt
+  $ placement-tool attack --layout layout.txt -s 2 -k 4 | head -1
+  $ printf 'garbage\n' > bad.txt
+  $ placement-tool attack --layout bad.txt
+  $ placement-tool recommend -n 71 -b 2400 -k 4 --target 99.5

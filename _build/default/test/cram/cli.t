@@ -1,0 +1,57 @@
+The planner subcommand prints the Combo plan and both availability numbers.
+
+  $ placement-tool plan -n 71 -b 1200 -r 3 -s 2 -k 4
+  Combo placement plan for {b=1200; r=3; s=2; n=71; k=4}
+    Simple(1, 2): nx=69 design=STS(69) objects=1200
+  guaranteed available objects (worst 4 failures): 1188 / 1200
+  Random placement, probable availability:          1175 / 1200
+  => Combo saves 13 of the 25 objects Random probably loses.
+
+The design catalogue lists both generated and literature entries.
+
+  $ placement-tool designs -x 1 -r 5 --max-v 30
+  Catalogue of 2-(v, 5, mu) designs with v <= 30, mu <= 1
+    v=21   mu=1  blocks=21       PG(2,4)                        [materialized]
+    v=25   mu=1  blocks=30       AG(2,5)                        [materialized]
+
+Chunk planning (Observation 2) for a size with no single design.
+
+  $ placement-tool gap -n 71 -x 1 -r 3
+  Best chunk plan for n=71, x=1, r=3 (mu <= 1):
+    chunk: STS(69) (v=69, mu=1, 782 blocks)
+    lambda=1 capacity=782 ideal=828 gap=0.0556
+
+Analysis of Random placement, including the s=1 Lemma-4 bound.
+
+  $ placement-tool analyze -n 71 -b 2400 -r 3 -s 1 -k 5
+  Worst-case analysis of load-balanced Random placement
+    parameters: {b=2400; r=3; s=1; n=71; k=5}
+    per-object kill probability under a fixed worst K: 1.994e-01
+    prAvail_rnd (Definition 6): 1816 / 2400 (0.7567)
+    Lemma 4 upper bound (s = 1): 1944.5
+
+Simulate exports a layout; attack re-loads and re-attacks it.
+
+  $ placement-tool simulate -n 31 -b 100 -r 3 -s 2 -k 3 --strategy combo --out layout.txt | tail -2
+    available: 97
+    layout written to layout.txt
+  $ head -4 layout.txt
+  # replica-placement layout v1
+  n 31
+  r 3
+  b 100
+  $ placement-tool attack --layout layout.txt -s 2 -k 4 | head -1
+  Worst-case attack on layout.txt (b=100, n=31, r=3)
+
+Malformed layouts are rejected with a line number.
+
+  $ printf 'garbage\n' > bad.txt
+  $ placement-tool attack --layout bad.txt
+  cannot load bad.txt: truncated input (need header, n, r, b)
+  [1]
+
+The recommender sweeps (r, s) for the cheapest config meeting a target.
+
+  $ placement-tool recommend -n 71 -b 2400 -k 4 --target 99.5
+  Cheapest (r, s) guaranteeing >= 99.50% of 2400 objects against the worst 4 of 71 nodes
+    r=2 s=2: guarantee 2394 (99.750%)  <- RECOMMENDED

@@ -1,0 +1,335 @@
+(* Tests for finite fields, polynomial arithmetic and the projective
+   line / Möbius machinery. *)
+
+let qtest ?(count = 200) name gen prop =
+  (* Fixed random state: property tests must be reproducible. *)
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0xC0FFEE |])
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let small_orders = [ 2; 3; 4; 5; 7; 8; 9; 11; 13; 16; 25; 27; 32; 49; 64; 81 ]
+
+(* ------------------------------------------------------------------ *)
+(* Field construction and axioms *)
+
+let test_is_prime () =
+  Alcotest.(check bool) "2" true (Galois.Field.is_prime 2);
+  Alcotest.(check bool) "97" true (Galois.Field.is_prime 97);
+  Alcotest.(check bool) "1" false (Galois.Field.is_prime 1);
+  Alcotest.(check bool) "91" false (Galois.Field.is_prime 91)
+
+let test_is_prime_power () =
+  Alcotest.(check (option (pair int int))) "8" (Some (2, 3))
+    (Galois.Field.is_prime_power 8);
+  Alcotest.(check (option (pair int int))) "81" (Some (3, 4))
+    (Galois.Field.is_prime_power 81);
+  Alcotest.(check (option (pair int int))) "12" None
+    (Galois.Field.is_prime_power 12);
+  Alcotest.(check (option (pair int int))) "1" None
+    (Galois.Field.is_prime_power 1)
+
+let test_axioms_all_orders () =
+  List.iter
+    (fun q ->
+      let f = Galois.Field.of_order q in
+      Alcotest.(check int) (Printf.sprintf "order %d" q) q f.Galois.Field.order;
+      Galois.Field.check_axioms f)
+    small_orders
+
+let test_bad_orders () =
+  Alcotest.check_raises "6 is not a prime power"
+    (Invalid_argument "Field.of_order: not a prime power") (fun () ->
+      ignore (Galois.Field.of_order 6));
+  Alcotest.check_raises "prime 9"
+    (Invalid_argument "Field.prime: not a prime") (fun () ->
+      ignore (Galois.Field.prime 9))
+
+let test_primitive_element () =
+  List.iter
+    (fun q ->
+      let f = Galois.Field.of_order q in
+      if q > 2 then
+        Alcotest.(check int)
+          (Printf.sprintf "ord(primitive) in GF(%d)" q)
+          (q - 1)
+          (Galois.Field.element_order f f.Galois.Field.primitive))
+    small_orders
+
+let test_inverse_zero () =
+  let f = Galois.Field.of_order 9 in
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (f.Galois.Field.inv 0))
+
+let test_pow =
+  qtest "pow agrees with iterated mul"
+    QCheck2.Gen.(triple (int_range 0 15) (int_range 0 80) (int_range 0 20))
+    (fun (qi, a, e) ->
+      let q = List.nth small_orders (qi mod List.length small_orders) in
+      let f = Galois.Field.of_order q in
+      let a = a mod q in
+      let rec naive acc i =
+        if i = 0 then acc else naive (f.Galois.Field.mul acc a) (i - 1)
+      in
+      f.Galois.Field.pow a e = naive 1 e)
+
+let test_frobenius_additive () =
+  (* x -> x^p is additive in characteristic p. *)
+  List.iter
+    (fun q ->
+      let f = Galois.Field.of_order q in
+      let ok = ref true in
+      for a = 0 to q - 1 do
+        for b = 0 to q - 1 do
+          let fr x = Galois.Field.frobenius f 1 x in
+          if fr (f.Galois.Field.add a b) <> f.Galois.Field.add (fr a) (fr b)
+          then ok := false
+        done
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "frobenius additive GF(%d)" q)
+        true !ok)
+    [ 4; 8; 9; 16; 27; 25 ]
+
+let test_frobenius_fixes_prime_field () =
+  let f = Galois.Field.gf 3 3 in
+  for a = 0 to 2 do
+    Alcotest.(check int) "fixes prime subfield" a (Galois.Field.frobenius f 1 a)
+  done
+
+let test_extend_embeds_base () =
+  let base = Galois.Field.of_order 4 in
+  let ext = Galois.Field.extend base 2 in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      Alcotest.(check int) "add agrees"
+        (base.Galois.Field.add a b)
+        (ext.Galois.Field.add a b);
+      Alcotest.(check int) "mul agrees"
+        (base.Galois.Field.mul a b)
+        (ext.Galois.Field.mul a b)
+    done
+  done;
+  Alcotest.(check int) "order" 16 ext.Galois.Field.order;
+  Alcotest.(check int) "char" 2 ext.Galois.Field.char
+
+let test_tower_vs_direct () =
+  (* GF((2^2)^2) and GF(2^4) are isomorphic; representations differ but
+     both must satisfy the field axioms and have the same multiplicative
+     structure (element orders divide 15, with a primitive of order 15). *)
+  let tower = Galois.Field.extend (Galois.Field.of_order 4) 2 in
+  let direct = Galois.Field.gf 2 4 in
+  Alcotest.(check int) "same order" direct.Galois.Field.order tower.Galois.Field.order;
+  Galois.Field.check_axioms tower;
+  Galois.Field.check_axioms direct;
+  Alcotest.(check int) "tower primitive order" 15
+    (Galois.Field.element_order tower tower.Galois.Field.primitive);
+  (* Multiplicative order multiset must agree between representations. *)
+  let orders f =
+    List.sort compare
+      (List.filter_map
+         (fun a -> if a = 0 then None else Some (Galois.Field.element_order f a))
+         (Galois.Field.elements f))
+  in
+  Alcotest.(check (list int)) "same order spectrum" (orders direct) (orders tower)
+
+let test_tower_three_levels () =
+  (* GF(((2^2)^2)^2) = GF(256): axioms hold three extensions deep. *)
+  let f = Galois.Field.extend (Galois.Field.extend (Galois.Field.of_order 4) 2) 2 in
+  Alcotest.(check int) "order 256" 256 f.Galois.Field.order;
+  Galois.Field.check_axioms f
+
+let test_subfield_closed () =
+  let base = Galois.Field.of_order 4 in
+  let ext = Galois.Field.extend base 2 in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      Alcotest.(check bool) "closed add" true (ext.Galois.Field.add a b < 4);
+      Alcotest.(check bool) "closed mul" true (ext.Galois.Field.mul a b < 4)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Polynomials *)
+
+let field7 = Galois.Field.prime 7
+
+let poly_gen =
+  QCheck2.Gen.(
+    map
+      (fun l -> Galois.Poly.normalize (Array.of_list l))
+      (list_size (int_range 0 6) (int_range 0 6)))
+
+let test_poly_add_commutes =
+  qtest "add commutes" (QCheck2.Gen.pair poly_gen poly_gen) (fun (a, b) ->
+      Galois.Poly.equal (Galois.Poly.add field7 a b) (Galois.Poly.add field7 b a))
+
+let test_poly_mul_degree =
+  qtest "deg(a*b) = deg a + deg b" (QCheck2.Gen.pair poly_gen poly_gen)
+    (fun (a, b) ->
+      let da = Galois.Poly.degree a and db = Galois.Poly.degree b in
+      let dab = Galois.Poly.degree (Galois.Poly.mul field7 a b) in
+      if da < 0 || db < 0 then dab = -1 else dab = da + db)
+
+let test_poly_divmod =
+  qtest "a = q*b + r with deg r < deg b"
+    (QCheck2.Gen.pair poly_gen poly_gen)
+    (fun (a, b) ->
+      if Galois.Poly.degree b < 0 then true
+      else begin
+        let q, r = Galois.Poly.divmod field7 a b in
+        let recomposed =
+          Galois.Poly.add field7 (Galois.Poly.mul field7 q b) r
+        in
+        Galois.Poly.equal recomposed a
+        && Galois.Poly.degree r < Galois.Poly.degree b
+      end)
+
+let test_poly_eval_hom =
+  qtest "eval is a ring hom"
+    QCheck2.Gen.(triple poly_gen poly_gen (int_range 0 6))
+    (fun (a, b, x) ->
+      let ev p = Galois.Poly.eval field7 p x in
+      ev (Galois.Poly.add field7 a b) = field7.Galois.Field.add (ev a) (ev b)
+      && ev (Galois.Poly.mul field7 a b) = field7.Galois.Field.mul (ev a) (ev b))
+
+let test_poly_irreducible () =
+  (* x^2 + 1 over GF(3) is irreducible (-1 is not a square mod 3); over
+     GF(5) it is not (2^2 = -1). *)
+  let f3 = Galois.Field.prime 3 and f5 = Galois.Field.prime 5 in
+  Alcotest.(check bool) "x^2+1 irred over GF(3)" true
+    (Galois.Poly.is_irreducible f3 [| 1; 0; 1 |]);
+  Alcotest.(check bool) "x^2+1 reducible over GF(5)" false
+    (Galois.Poly.is_irreducible f5 [| 1; 0; 1 |])
+
+let test_find_irreducible () =
+  List.iter
+    (fun (q, d) ->
+      let f = Galois.Field.of_order q in
+      let p = Galois.Poly.find_irreducible f d in
+      Alcotest.(check int) "degree" d (Galois.Poly.degree p);
+      Alcotest.(check bool) "monic" true (Galois.Poly.is_monic f p);
+      Alcotest.(check bool) "irreducible" true (Galois.Poly.is_irreducible f p))
+    [ (2, 3); (2, 8); (3, 4); (4, 2); (4, 4); (5, 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* Projective line / Möbius maps *)
+
+let mobius_field = Galois.Field.of_order 9
+
+let point_gen =
+  QCheck2.Gen.int_range 0 mobius_field.Galois.Field.order (* includes ∞ *)
+
+let map_gen =
+  QCheck2.Gen.(
+    map
+      (fun (a, b, c, d) -> { Galois.Pline.a; b; c; d })
+      (quad (int_range 0 8) (int_range 0 8) (int_range 0 8) (int_range 0 8)))
+
+let valid_map_gen =
+  QCheck2.Gen.(
+    map_gen
+    |> map (fun m ->
+           if Galois.Pline.is_valid mobius_field m then m
+           else Galois.Pline.identity))
+
+let test_mobius_bijective =
+  qtest "valid maps permute PG(1,q)" valid_map_gen (fun m ->
+      let f = mobius_field in
+      let pts = Galois.Pline.all_points f in
+      let images = Array.map (Galois.Pline.apply f m) pts in
+      let sorted = Array.copy images in
+      Array.sort compare sorted;
+      sorted = pts)
+
+let test_mobius_compose =
+  qtest "compose = apply after apply"
+    QCheck2.Gen.(triple valid_map_gen valid_map_gen point_gen)
+    (fun (m1, m2, z) ->
+      let f = mobius_field in
+      Galois.Pline.apply f (Galois.Pline.compose f m1 m2) z
+      = Galois.Pline.apply f m1 (Galois.Pline.apply f m2 z))
+
+let test_mobius_inverse =
+  qtest "inverse undoes apply"
+    QCheck2.Gen.(pair valid_map_gen point_gen)
+    (fun (m, z) ->
+      let f = mobius_field in
+      Galois.Pline.apply f (Galois.Pline.inverse f m) (Galois.Pline.apply f m z)
+      = z)
+
+let distinct_triple_gen =
+  QCheck2.Gen.(
+    triple point_gen point_gen point_gen
+    |> map (fun (a, b, c) ->
+           (* Deterministically disambiguate collisions. *)
+           let v = mobius_field.Galois.Field.order + 1 in
+           let b = if b = a then (b + 1) mod v else b in
+           let c =
+             if c = a || c = b then
+               let c1 = (c + 1) mod v in
+               if c1 = a || c1 = b then (c + 2) mod v else c1
+             else c
+           in
+           (a, b, c)))
+
+let test_cross_ratio_map =
+  qtest "to_zero_one_inf hits (0,1,inf)" distinct_triple_gen (fun (p1, p2, p3) ->
+      let f = mobius_field in
+      let m = Galois.Pline.to_zero_one_inf f p1 p2 p3 in
+      Galois.Pline.apply f m p1 = 0
+      && Galois.Pline.apply f m p2 = 1
+      && Galois.Pline.apply f m p3 = Galois.Pline.infinity f)
+
+let test_from_zero_one_inf =
+  qtest "from_zero_one_inf is the inverse" distinct_triple_gen
+    (fun (p1, p2, p3) ->
+      let f = mobius_field in
+      let m = Galois.Pline.from_zero_one_inf f p1 p2 p3 in
+      Galois.Pline.apply f m 0 = p1
+      && Galois.Pline.apply f m 1 = p2
+      && Galois.Pline.apply f m (Galois.Pline.infinity f) = p3)
+
+let test_to_zero_one_inf_requires_distinct () =
+  Alcotest.check_raises "duplicate points rejected"
+    (Invalid_argument "Pline.to_zero_one_inf: points not distinct") (fun () ->
+      ignore (Galois.Pline.to_zero_one_inf mobius_field 3 3 5))
+
+let () =
+  Alcotest.run "galois"
+    [
+      ( "field",
+        [
+          Alcotest.test_case "is_prime" `Quick test_is_prime;
+          Alcotest.test_case "is_prime_power" `Quick test_is_prime_power;
+          Alcotest.test_case "axioms (orders up to 81)" `Quick test_axioms_all_orders;
+          Alcotest.test_case "bad orders" `Quick test_bad_orders;
+          Alcotest.test_case "primitive element" `Quick test_primitive_element;
+          Alcotest.test_case "inv 0 raises" `Quick test_inverse_zero;
+          test_pow;
+          Alcotest.test_case "frobenius additive" `Quick test_frobenius_additive;
+          Alcotest.test_case "frobenius fixes GF(p)" `Quick test_frobenius_fixes_prime_field;
+          Alcotest.test_case "extend embeds base" `Quick test_extend_embeds_base;
+          Alcotest.test_case "subfield closed" `Quick test_subfield_closed;
+          Alcotest.test_case "tower vs direct GF(16)" `Quick test_tower_vs_direct;
+          Alcotest.test_case "three-level tower" `Quick test_tower_three_levels;
+        ] );
+      ( "poly",
+        [
+          test_poly_add_commutes;
+          test_poly_mul_degree;
+          test_poly_divmod;
+          test_poly_eval_hom;
+          Alcotest.test_case "irreducibility" `Quick test_poly_irreducible;
+          Alcotest.test_case "find_irreducible" `Quick test_find_irreducible;
+        ] );
+      ( "pline",
+        [
+          test_mobius_bijective;
+          test_mobius_compose;
+          test_mobius_inverse;
+          test_cross_ratio_map;
+          test_from_zero_one_inf;
+          Alcotest.test_case "distinctness required" `Quick
+            test_to_zero_one_inf_requires_distinct;
+        ] );
+    ]

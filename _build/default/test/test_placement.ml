@@ -1,0 +1,925 @@
+(* Tests for the core placement library: Simple, Combo (DP), Random,
+   the adversary, and both analysis modules. *)
+
+let qtest ?(count = 100) name gen prop =
+  (* Fixed random state: property tests must be reproducible. *)
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0xC0FFEE |])
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Params *)
+
+let test_params_validation () =
+  let ok = Placement.Params.make ~b:10 ~r:3 ~s:2 ~n:9 ~k:3 in
+  Alcotest.(check int) "b" 10 ok.Placement.Params.b;
+  let bad b r s n k =
+    match Placement.Params.validate { Placement.Params.b; r; s; n; k } with
+    | Ok _ -> false
+    | Error _ -> true
+  in
+  Alcotest.(check bool) "s > r" true (bad 10 3 4 9 4);
+  Alcotest.(check bool) "k < s" true (bad 10 3 2 9 1);
+  Alcotest.(check bool) "k >= n" true (bad 10 3 2 9 9);
+  Alcotest.(check bool) "n < r" true (bad 10 3 2 2 2);
+  Alcotest.(check bool) "b = 0" true (bad 0 3 2 9 2)
+
+let test_load_cap () =
+  let p = Placement.Params.make ~b:10 ~r:3 ~s:2 ~n:9 ~k:3 in
+  Alcotest.(check int) "ceil(30/9)" 4 (Placement.Params.load_cap p);
+  Alcotest.(check (float 1e-9)) "avg load" (30.0 /. 9.0) (Placement.Params.average_load p)
+
+(* ------------------------------------------------------------------ *)
+(* Layout *)
+
+let layout_gen =
+  QCheck2.Gen.(
+    let* n = int_range 5 12 in
+    let* r = int_range 2 (min 4 n) in
+    let* b = int_range 1 25 in
+    let* seed = int_range 0 10000 in
+    let rng = Combin.Rng.create seed in
+    let replicas = Array.init b (fun _ -> Combin.Rng.sample_distinct rng ~n ~k:r) in
+    return (Placement.Layout.make ~n ~r replicas))
+
+let test_layout_node_objects_inverse =
+  qtest "node_objects inverts replicas" layout_gen (fun layout ->
+      let node_objs = Placement.Layout.node_objects layout in
+      let ok = ref true in
+      Array.iteri
+        (fun obj rep ->
+          Array.iter
+            (fun nd ->
+              if not (Array.exists (fun o -> o = obj) node_objs.(nd)) then
+                ok := false)
+            rep)
+        layout.Placement.Layout.replicas;
+      let total = Array.fold_left (fun acc objs -> acc + Array.length objs) 0 node_objs in
+      !ok && total = layout.Placement.Layout.r * Placement.Layout.b layout)
+
+let test_layout_failed_objects_bruteforce =
+  qtest "failed_objects matches per-object recount"
+    QCheck2.Gen.(pair layout_gen (int_range 0 10000))
+    (fun (layout, seed) ->
+      let rng = Combin.Rng.create seed in
+      let n = layout.Placement.Layout.n in
+      let k = 1 + Combin.Rng.int rng (n - 1) in
+      let failed = Combin.Rng.sample_distinct rng ~n ~k in
+      List.for_all
+        (fun s ->
+          let direct =
+            Array.fold_left
+              (fun acc rep ->
+                let hit =
+                  Array.fold_left
+                    (fun c nd -> if Combin.Intset.mem failed nd then c + 1 else c)
+                    0 rep
+                in
+                if hit >= s then acc + 1 else acc)
+              0 layout.Placement.Layout.replicas
+          in
+          direct = Placement.Layout.failed_objects layout ~s ~failed_nodes:failed)
+        [ 1; 2; layout.Placement.Layout.r ])
+
+let test_layout_scatter_widths () =
+  (* STS(7) covers every pair, so each node co-hosts with all 6 others. *)
+  let sts = Designs.Steiner_triple.make 7 in
+  let layout = (Placement.Simple.of_design sts ~n:7 ~b:7).Placement.Simple.layout in
+  Alcotest.(check (array int)) "full scatter" (Array.make 7 6)
+    (Placement.Layout.scatter_widths layout);
+  (* A single pair placement: the two nodes see each other only. *)
+  let tiny = Placement.Layout.make ~n:4 ~r:2 [| [| 1; 3 |] |] in
+  Alcotest.(check (array int)) "tiny scatter" [| 0; 1; 0; 1 |]
+    (Placement.Layout.scatter_widths tiny)
+
+let test_layout_concat_shift () =
+  let l1 = Placement.Layout.make ~n:6 ~r:2 [| [| 0; 1 |]; [| 2; 3 |] |] in
+  let l2 = Placement.Layout.make ~n:6 ~r:2 [| [| 4; 5 |] |] in
+  let c = Placement.Layout.concat [ l1; l2 ] in
+  Alcotest.(check int) "3 objects" 3 (Placement.Layout.b c);
+  let shifted = Placement.Layout.shift l1 ~offset:4 ~n:10 in
+  Alcotest.(check (array int)) "shifted replica" [| 4; 5 |]
+    shifted.Placement.Layout.replicas.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis (Lemma 2 / Theorem 1 / Eqn 1) *)
+
+let test_lambda_min () =
+  (* STS(69): capacity 782 per copy. *)
+  Alcotest.(check int) "b=600 -> 1" 1
+    (Placement.Analysis.lambda_min ~x:1 ~nx:69 ~r:3 ~mu:1 ~b:600);
+  Alcotest.(check int) "b=782 -> 1" 1
+    (Placement.Analysis.lambda_min ~x:1 ~nx:69 ~r:3 ~mu:1 ~b:782);
+  Alcotest.(check int) "b=783 -> 2" 2
+    (Placement.Analysis.lambda_min ~x:1 ~nx:69 ~r:3 ~mu:1 ~b:783);
+  Alcotest.(check int) "b=9600 -> 13" 13
+    (Placement.Analysis.lambda_min ~x:1 ~nx:69 ~r:3 ~mu:1 ~b:9600)
+
+let test_lambda_min_eqn1 =
+  qtest "Eqn 1 bracketing"
+    QCheck2.Gen.(pair (int_range 1 3000) (int_range 1 3))
+    (fun (b, mu) ->
+      let lambda = Placement.Analysis.lambda_min ~x:1 ~nx:69 ~r:3 ~mu ~b in
+      let cap l = l * Combin.Binomial.exact 69 2 / Combin.Binomial.exact 3 2 in
+      lambda mod mu = 0 && b <= cap lambda && (lambda = mu || cap (lambda - mu) < b))
+
+let test_lb_avail_si () =
+  (* b - floor(lambda C(k,2)/C(s,2)) for x = 1. *)
+  Alcotest.(check int) "s=3,k=4,l=1" (600 - 2)
+    (Placement.Analysis.lb_avail_si ~b:600 ~x:1 ~lambda:1 ~k:4 ~s:3);
+  Alcotest.(check int) "s=2,k=5,l=2" (1200 - 20)
+    (Placement.Analysis.lb_avail_si ~b:1200 ~x:1 ~lambda:2 ~k:5 ~s:2)
+
+let test_theorem1 () =
+  (match Placement.Analysis.theorem1 ~x:1 ~nx:69 ~r:3 ~s:3 ~k:5 ~mu:1 with
+  | None -> Alcotest.fail "precondition should hold"
+  | Some { c; alpha } ->
+      Alcotest.(check bool) "c > 1" true (c > 1.0);
+      Alcotest.(check bool) "alpha > 0" true (alpha > 0.0);
+      (* s = r: c = 1/(1 - C(k,2)/C(69,2)) *)
+      let expect = 1.0 /. (1.0 -. (10.0 /. 2346.0)) in
+      Alcotest.(check (float 1e-9)) "c closed form" expect c);
+  (* Precondition failure: k huge. *)
+  Alcotest.(check bool) "None when c <= 0" true
+    (Placement.Analysis.theorem1 ~x:0 ~nx:10 ~r:5 ~s:1 ~k:9 ~mu:1 = None)
+
+let test_competitive_limit () =
+  Alcotest.(check (float 1e-9)) "1 - k(k-1)/(n(n-1))"
+    (1.0 -. (20.0 /. 4692.0))
+    (Placement.Analysis.competitive_limit_fraction ~x:1 ~nx:69 ~k:5)
+
+(* ------------------------------------------------------------------ *)
+(* Simple placements *)
+
+let test_simple_of_design_lambda () =
+  let sts = Designs.Steiner_triple.make 9 in
+  (* capacity 12 *)
+  let s1 = Placement.Simple.of_design sts ~n:12 ~b:10 in
+  Alcotest.(check int) "lambda 1" 1 s1.Placement.Simple.lambda;
+  let s2 = Placement.Simple.of_design sts ~n:12 ~b:13 in
+  Alcotest.(check int) "lambda 2" 2 s2.Placement.Simple.lambda;
+  Alcotest.(check int) "b objects" 13 (Placement.Layout.b s2.Placement.Simple.layout)
+
+(* Direct check of Definition 2: no (x+1)-subset of nodes hosts more than
+   lambda objects in common. *)
+let simple_property layout ~x ~lambda =
+  let counts = Hashtbl.create 256 in
+  Array.iter
+    (fun rep ->
+      Combin.Subset.sub_iter rep ~k:(x + 1) (fun sub ->
+          let key = Array.to_list sub in
+          Hashtbl.replace counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))))
+    layout.Placement.Layout.replicas;
+  Hashtbl.fold (fun _ c acc -> acc && c <= lambda) counts true
+
+let test_simple_satisfies_definition2 =
+  qtest ~count:40 "Simple placements satisfy Definition 2"
+    QCheck2.Gen.(int_range 1 60)
+    (fun b ->
+      let sts = Designs.Steiner_triple.make 13 in
+      let s = Placement.Simple.of_design sts ~n:15 ~b in
+      simple_property s.Placement.Simple.layout ~x:1 ~lambda:s.Placement.Simple.lambda)
+
+let test_simple_spread_keeps_definition2 =
+  qtest ~count:40 "spread copies still satisfy Definition 2"
+    QCheck2.Gen.(int_range 13 80)
+    (fun b ->
+      let sts = Designs.Steiner_triple.make 13 in
+      let s = Placement.Simple.of_design ~spread:true sts ~n:17 ~b in
+      simple_property s.Placement.Simple.layout ~x:1
+        ~lambda:s.Placement.Simple.lambda)
+
+let test_simple_spread_same_lambda () =
+  let sts = Designs.Steiner_triple.make 13 in
+  let plain = Placement.Simple.of_design sts ~n:17 ~b:80 in
+  let spread = Placement.Simple.of_design ~spread:true sts ~n:17 ~b:80 in
+  Alcotest.(check int) "same lambda" plain.Placement.Simple.lambda
+    spread.Placement.Simple.lambda;
+  (* Spreading must reach nodes beyond the design's 13 points. *)
+  let loads = Placement.Layout.loads spread.Placement.Simple.layout in
+  Alcotest.(check bool) "extra nodes used" true
+    (Array.exists (fun nd -> loads.(nd) > 0) [| 13; 14; 15; 16 |])
+
+let test_simple_of_entry_complete () =
+  (* Complete (t = r) entries stream lazily. *)
+  match Designs.Registry.best ~strength:3 ~block_size:3 ~max_v:10 () with
+  | None -> Alcotest.fail "no complete entry"
+  | Some e ->
+      let s = Placement.Simple.of_entry e ~n:10 ~b:50 in
+      Alcotest.(check int) "50 objects" 50 (Placement.Layout.b s.Placement.Simple.layout);
+      Alcotest.(check bool) "Definition 2 for x=2" true
+        (simple_property s.Placement.Simple.layout ~x:2 ~lambda:s.Placement.Simple.lambda)
+
+let test_simple_lower_bound_nonneg =
+  qtest ~count:40 "lower_bound clamped at 0"
+    QCheck2.Gen.(pair (int_range 1 80) (int_range 2 6))
+    (fun (b, k) ->
+      let sts = Designs.Steiner_triple.make 9 in
+      let s = Placement.Simple.of_design sts ~n:12 ~b in
+      Placement.Simple.lower_bound s ~k ~s:2 >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Combo DP *)
+
+let synthetic_levels_gen s =
+  QCheck2.Gen.(
+    let* caps =
+      array_size (return s) (int_range 1 40)
+    in
+    let* mus = array_size (return s) (int_range 1 3) in
+    return
+      (Array.init s (fun x ->
+           {
+             Placement.Combo.x;
+             nx = 100;
+             mu = mus.(x);
+             cap_mu = caps.(x) * mus.(x);
+             entry = None;
+           })))
+
+let test_combo_dp_matches_bruteforce =
+  qtest ~count:60 "DP equals exhaustive search"
+    QCheck2.Gen.(
+      let* s = int_range 1 3 in
+      let* levels = synthetic_levels_gen s in
+      let* b = int_range 1 120 in
+      let* k = int_range s 8 in
+      return (s, levels, b, k))
+    (fun (s, levels, b, k) ->
+      let p = Placement.Params.make ~b ~r:8 ~s ~n:100 ~k in
+      let cfg = Placement.Combo.optimize ~levels p in
+      let brute = Placement.Combo.brute_force_lb p ~levels in
+      cfg.Placement.Combo.lb = brute)
+
+let test_combo_assignment_covers_b =
+  qtest ~count:60 "assigned sums to b and respects capacity"
+    QCheck2.Gen.(
+      let* s = int_range 1 3 in
+      let* levels = synthetic_levels_gen s in
+      let* b = int_range 1 150 in
+      return (s, levels, b))
+    (fun (s, levels, b) ->
+      let p = Placement.Params.make ~b ~r:8 ~s ~n:100 ~k:s in
+      let cfg = Placement.Combo.optimize ~levels p in
+      let total = Array.fold_left ( + ) 0 cfg.Placement.Combo.assigned in
+      total = b
+      && Array.for_all
+           (fun x ->
+             let lam = cfg.Placement.Combo.lambdas.(x) in
+             let lvl = levels.(x) in
+             lam mod lvl.Placement.Combo.mu = 0
+             && cfg.Placement.Combo.assigned.(x)
+                <= lam / lvl.Placement.Combo.mu * lvl.Placement.Combo.cap_mu)
+           (Array.init s (fun i -> i)))
+
+let test_combo_lb_sound_small () =
+  (* The availability lower bound must hold against the exact adversary on
+     materialized placements. *)
+  List.iter
+    (fun (n, r, s, b, k) ->
+      let p = Placement.Params.make ~b ~r ~s ~n ~k in
+      let cfg = Placement.Combo.optimize p in
+      let layout = Placement.Combo.materialize cfg in
+      let attack = Placement.Adversary.exact layout ~s ~k in
+      Alcotest.(check bool) "exact search completed" true
+        attack.Placement.Adversary.exact;
+      let avail = Placement.Adversary.avail layout ~s attack in
+      Alcotest.(check bool)
+        (Printf.sprintf "lb %d <= avail %d (n=%d r=%d s=%d b=%d k=%d)"
+           cfg.Placement.Combo.lb avail n r s b k)
+        true
+        (cfg.Placement.Combo.lb <= avail))
+    [
+      (9, 3, 2, 20, 2);
+      (9, 3, 2, 20, 3);
+      (13, 3, 3, 40, 3);
+      (13, 3, 2, 30, 4);
+      (16, 4, 2, 25, 2);
+      (16, 4, 3, 25, 3);
+    ]
+
+let test_combo_lb_avail_co_at_k () =
+  let p = Placement.Params.make ~b:1200 ~r:5 ~s:3 ~n:71 ~k:6 in
+  let cfg = Placement.Combo.optimize p in
+  Alcotest.(check int) "Eqn 4 at configured k" cfg.Placement.Combo.lb
+    (Placement.Combo.lb_avail_co cfg ~k:6);
+  Alcotest.(check bool) "monotone in k" true
+    (Placement.Combo.lb_avail_co cfg ~k:7 <= Placement.Combo.lb_avail_co cfg ~k:6)
+
+let test_combo_insufficient_capacity () =
+  let levels =
+    [| { Placement.Combo.x = 0; nx = 0; mu = 1; cap_mu = 0; entry = None } |]
+  in
+  Alcotest.(check bool) "raises on impossible b" true
+    (try
+       ignore
+         (Placement.Combo.optimize ~levels
+            (Placement.Params.make ~b:10 ~r:3 ~s:1 ~n:9 ~k:1));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive (online) placement *)
+
+let test_adaptive_matches_offline () =
+  (* Pure growth should track the offline DP exactly at design-capacity
+     multiples (n=31, STS level capacity 155). *)
+  let t = Placement.Adaptive.create ~n:31 ~r:3 ~s:2 ~k:3 () in
+  List.iter
+    (fun target ->
+      let deficit = target - Placement.Adaptive.size t in
+      ignore (Placement.Adaptive.add_many t deficit);
+      Alcotest.(check int)
+        (Printf.sprintf "b=%d online = offline" target)
+        (Placement.Adaptive.optimal_bound t)
+        (Placement.Adaptive.lower_bound t))
+    [ 155; 310; 600 ]
+
+let test_adaptive_bound_sound () =
+  let t = Placement.Adaptive.create ~n:13 ~r:3 ~s:2 ~k:3 () in
+  ignore (Placement.Adaptive.add_many t 60);
+  let layout = Placement.Adaptive.layout t in
+  let attack = Placement.Adversary.exact layout ~s:2 ~k:3 in
+  Alcotest.(check bool) "exact adversary" true attack.Placement.Adversary.exact;
+  Alcotest.(check bool) "lb <= avail" true
+    (Placement.Adaptive.lower_bound t
+    <= Placement.Adversary.avail layout ~s:2 attack)
+
+let test_adaptive_churn_invariants =
+  qtest ~count:25 "invariants survive random churn"
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 10 120))
+    (fun (seed, ops) ->
+      let rng = Combin.Rng.create seed in
+      let t = Placement.Adaptive.create ~n:13 ~r:3 ~s:2 ~k:3 () in
+      let live = ref [] in
+      for _ = 1 to ops do
+        if !live = [] || Combin.Rng.int rng 3 > 0 then
+          live := Placement.Adaptive.add t :: !live
+        else begin
+          let arr = Array.of_list !live in
+          let victim = arr.(Combin.Rng.int rng (Array.length arr)) in
+          Placement.Adaptive.remove t victim;
+          live := List.filter (fun id -> id <> victim) !live
+        end
+      done;
+      Placement.Adaptive.check_invariants t;
+      Placement.Adaptive.size t = List.length !live
+      && Placement.Adaptive.lower_bound t <= Placement.Adaptive.optimal_bound t
+      && List.for_all
+           (fun id ->
+             let rep = Placement.Adaptive.replica_set t id in
+             Array.length rep = 3 && Combin.Intset.is_sorted_distinct rep)
+           !live)
+
+let test_adaptive_layout_definition2 () =
+  (* The live layout must satisfy Definition 2 at the effective λ of
+     each level. *)
+  let t = Placement.Adaptive.create ~n:13 ~r:3 ~s:2 ~k:3 () in
+  let ids = Placement.Adaptive.add_many t 80 in
+  List.iteri (fun i id -> if i mod 3 = 0 then Placement.Adaptive.remove t id) ids;
+  ignore (Placement.Adaptive.add_many t 30);
+  let lambdas = Placement.Adaptive.lambdas t in
+  (* Group live objects per level and check each level separately. *)
+  let per_level = Hashtbl.create 4 in
+  Hashtbl.reset per_level;
+  let layout = Placement.Adaptive.layout t in
+  ignore layout;
+  let live =
+    List.filter
+      (fun id ->
+        match Placement.Adaptive.replica_set t id with
+        | _ -> true
+        | exception Not_found -> false)
+      (List.init 200 (fun i -> i))
+  in
+  List.iter
+    (fun id ->
+      let x = Placement.Adaptive.level_of t id in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt per_level x) in
+      Hashtbl.replace per_level x (Placement.Adaptive.replica_set t id :: cur))
+    live;
+  Hashtbl.iter
+    (fun x reps ->
+      let counts = Hashtbl.create 64 in
+      List.iter
+        (fun rep ->
+          Combin.Subset.sub_iter rep ~k:(x + 1) (fun sub ->
+              let key = Array.to_list sub in
+              Hashtbl.replace counts key
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))))
+        reps;
+      Hashtbl.iter
+        (fun _ c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "Definition 2 at level %d" x)
+            true
+            (c <= lambdas.(x)))
+        counts)
+    per_level
+
+let test_adaptive_remove_unknown () =
+  let t = Placement.Adaptive.create ~n:13 ~r:3 ~s:2 ~k:3 () in
+  Alcotest.check_raises "remove unknown" Not_found (fun () ->
+      Placement.Adaptive.remove t 42)
+
+let test_adaptive_ids_not_reused () =
+  let t = Placement.Adaptive.create ~n:13 ~r:3 ~s:2 ~k:3 () in
+  let a = Placement.Adaptive.add t in
+  Placement.Adaptive.remove t a;
+  let b = Placement.Adaptive.add t in
+  Alcotest.(check bool) "fresh id" true (b <> a)
+
+(* ------------------------------------------------------------------ *)
+(* Random placement *)
+
+let test_random_respects_cap =
+  qtest ~count:40 "load cap respected"
+    QCheck2.Gen.(
+      let* n = int_range 6 40 in
+      let* r = int_range 2 5 in
+      let* b = int_range 1 200 in
+      let* seed = int_range 0 100000 in
+      return (n, max 2 (min r n), b, seed))
+    (fun (n, r, b, seed) ->
+      let s = 1 and k = 1 in
+      let p = Placement.Params.make ~b ~r ~s ~n ~k in
+      let rng = Combin.Rng.create seed in
+      let layout = Placement.Random_placement.place ~rng p in
+      Placement.Layout.b layout = b
+      && Placement.Layout.is_load_balanced layout ~cap:(Placement.Params.load_cap p))
+
+let test_random_deterministic () =
+  let p = Placement.Params.make ~b:60 ~r:3 ~s:2 ~n:12 ~k:2 in
+  let l1 = Placement.Random_placement.place ~rng:(Combin.Rng.create 5) p in
+  let l2 = Placement.Random_placement.place ~rng:(Combin.Rng.create 5) p in
+  Alcotest.(check bool) "same seed, same layout" true
+    (l1.Placement.Layout.replicas = l2.Placement.Layout.replicas);
+  let l3 = Placement.Random_placement.place ~rng:(Combin.Rng.create 6) p in
+  Alcotest.(check bool) "different seed differs" true
+    (l1.Placement.Layout.replicas <> l3.Placement.Layout.replicas)
+
+let test_random_unconstrained_valid () =
+  let p = Placement.Params.make ~b:100 ~r:4 ~s:2 ~n:20 ~k:2 in
+  let layout =
+    Placement.Random_placement.place_unconstrained ~rng:(Combin.Rng.create 3) p
+  in
+  Alcotest.(check int) "b objects" 100 (Placement.Layout.b layout)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary *)
+
+let brute_force_attack layout ~s ~k =
+  let n = layout.Placement.Layout.n in
+  let best = ref (-1) in
+  Combin.Subset.iter ~n ~k (fun failed ->
+      let f = Placement.Layout.failed_objects layout ~s ~failed_nodes:failed in
+      if f > !best then best := f);
+  !best
+
+let small_layout_gen =
+  QCheck2.Gen.(
+    let* n = int_range 6 10 in
+    let* r = int_range 2 3 in
+    let* b = int_range 3 20 in
+    let* seed = int_range 0 10000 in
+    let rng = Combin.Rng.create seed in
+    let replicas = Array.init b (fun _ -> Combin.Rng.sample_distinct rng ~n ~k:r) in
+    return (Placement.Layout.make ~n ~r replicas))
+
+let test_adversary_exact_is_optimal =
+  qtest ~count:40 "branch-and-bound equals subset enumeration"
+    QCheck2.Gen.(triple small_layout_gen (int_range 1 3) (int_range 1 4))
+    (fun (layout, s, k) ->
+      let s = min s layout.Placement.Layout.r in
+      let k = min k (layout.Placement.Layout.n - 1) in
+      if k < 1 then true
+      else begin
+        let exact = Placement.Adversary.exact layout ~s ~k in
+        exact.Placement.Adversary.exact
+        && exact.Placement.Adversary.failed_objects = brute_force_attack layout ~s ~k
+        && Placement.Adversary.eval layout ~s exact.Placement.Adversary.failed_nodes
+           = exact.Placement.Adversary.failed_objects
+      end)
+
+let test_adversary_ordering =
+  qtest ~count:30 "greedy <= local search <= exact"
+    QCheck2.Gen.(pair small_layout_gen (int_range 0 1000))
+    (fun (layout, seed) ->
+      let s = 2 and k = 3 in
+      if layout.Placement.Layout.n <= k || layout.Placement.Layout.r < s then true
+      else begin
+        let rng = Combin.Rng.create seed in
+        let g = Placement.Adversary.greedy layout ~s ~k in
+        let l = Placement.Adversary.local_search ~rng layout ~s ~k in
+        let e = Placement.Adversary.exact layout ~s ~k in
+        g.Placement.Adversary.failed_objects <= l.Placement.Adversary.failed_objects
+        && l.Placement.Adversary.failed_objects <= e.Placement.Adversary.failed_objects
+      end)
+
+let test_adversary_attack_shape =
+  qtest ~count:30 "attack has k sorted distinct nodes"
+    small_layout_gen
+    (fun layout ->
+      let k = 3 in
+      if layout.Placement.Layout.n <= k then true
+      else begin
+        let a = Placement.Adversary.greedy layout ~s:1 ~k in
+        Array.length a.Placement.Adversary.failed_nodes = k
+        && Combin.Intset.is_sorted_distinct a.Placement.Adversary.failed_nodes
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let test_codec_roundtrip =
+  qtest ~count:60 "to_string |> of_string is the identity" layout_gen
+    (fun layout ->
+      match Placement.Codec.of_string (Placement.Codec.to_string layout) with
+      | Error _ -> false
+      | Ok layout' ->
+          layout'.Placement.Layout.n = layout.Placement.Layout.n
+          && layout'.Placement.Layout.r = layout.Placement.Layout.r
+          && layout'.Placement.Layout.replicas = layout.Placement.Layout.replicas)
+
+let test_codec_rejects_malformed () =
+  let bad_cases =
+    [
+      ("empty", "");
+      ("bad header", "# something else\nn 5\nr 2\nb 0\n");
+      ("missing fields", "# replica-placement layout v1\nn 5\n");
+      ( "node out of range",
+        "# replica-placement layout v1\nn 5\nr 2\nb 1\nobj 0 0 9\n" );
+      ( "duplicate replica",
+        "# replica-placement layout v1\nn 5\nr 2\nb 1\nobj 0 3 3\n" );
+      ( "wrong object count",
+        "# replica-placement layout v1\nn 5\nr 2\nb 2\nobj 0 0 1\n" );
+      ( "out-of-order ids",
+        "# replica-placement layout v1\nn 5\nr 2\nb 2\nobj 1 0 1\nobj 0 2 3\n" );
+      ( "wrong replica count",
+        "# replica-placement layout v1\nn 5\nr 2\nb 1\nobj 0 1 2 3\n" );
+    ]
+  in
+  List.iter
+    (fun (name, text) ->
+      match Placement.Codec.of_string text with
+      | Ok _ -> Alcotest.fail ("accepted malformed input: " ^ name)
+      | Error _ -> ())
+    bad_cases
+
+let test_codec_file_roundtrip () =
+  let layout =
+    Placement.Layout.make ~n:7 ~r:3 [| [| 0; 2; 5 |]; [| 1; 3; 6 |] |]
+  in
+  let path = Filename.temp_file "layout" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Placement.Codec.save path layout;
+      match Placement.Codec.load path with
+      | Error msg -> Alcotest.fail msg
+      | Ok layout' ->
+          Alcotest.(check bool) "equal" true
+            (layout'.Placement.Layout.replicas = layout.Placement.Layout.replicas))
+
+(* ------------------------------------------------------------------ *)
+(* Copyset baseline *)
+
+let test_copyset_structure =
+  qtest ~count:40 "copysets are P partitions' worth of valid r-sets"
+    QCheck2.Gen.(
+      let* n = int_range 8 40 in
+      let* r = int_range 2 4 in
+      let* p = int_range 1 4 in
+      let* seed = int_range 0 1000 in
+      return (n, min r n, p, seed))
+    (fun (n, r, p, seed) ->
+      let rng = Combin.Rng.create seed in
+      let t = Placement.Copyset.generate ~rng ~n ~r ~scatter_width:(p * (r - 1)) in
+      Array.length t.Placement.Copyset.copysets = t.Placement.Copyset.permutations * (n / r)
+      && Array.for_all
+           (fun cs ->
+             Array.length cs = r
+             && Combin.Intset.is_sorted_distinct cs
+             && cs.(0) >= 0
+             && cs.(r - 1) < n)
+           t.Placement.Copyset.copysets)
+
+let test_copyset_scatter_width_bound =
+  qtest ~count:30 "realized scatter width <= P(r-1)"
+    QCheck2.Gen.(pair (int_range 9 30) (int_range 0 1000))
+    (fun (n, seed) ->
+      let r = 3 in
+      let rng = Combin.Rng.create seed in
+      let t = Placement.Copyset.generate ~rng ~n ~r ~scatter_width:(2 * (r - 1)) in
+      let widths = Placement.Copyset.scatter_widths t in
+      Array.for_all
+        (fun w -> w <= t.Placement.Copyset.permutations * (r - 1))
+        widths)
+
+let test_copyset_place_valid () =
+  let rng = Combin.Rng.create 5 in
+  let t = Placement.Copyset.generate ~rng ~n:12 ~r:3 ~scatter_width:4 in
+  let layout = Placement.Copyset.place ~rng t ~b:40 in
+  Alcotest.(check int) "b objects" 40 (Placement.Layout.b layout);
+  (* Every replica set must be one of the copysets. *)
+  Array.iter
+    (fun rep ->
+      Alcotest.(check bool) "replica set is a copyset" true
+        (Array.exists
+           (fun cs -> Combin.Intset.equal cs rep)
+           t.Placement.Copyset.copysets))
+    layout.Placement.Layout.replicas;
+  Alcotest.(check bool) "effective lambda >= ceil(b/#copysets)" true
+    (Placement.Copyset.effective_lambda t layout
+    >= (40 + Array.length t.Placement.Copyset.copysets - 1)
+       / Array.length t.Placement.Copyset.copysets)
+
+let test_copyset_bad_args () =
+  let rng = Combin.Rng.create 1 in
+  Alcotest.(check bool) "scatter too small rejected" true
+    (try
+       ignore (Placement.Copyset.generate ~rng ~n:10 ~r:3 ~scatter_width:1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Optimal placement search + empirical Theorem 1 *)
+
+let test_optimal_dominates_everything () =
+  (* On a tiny instance the exhaustive optimum must dominate Combo's
+     bound, the measured Combo availability, and Random. *)
+  let n = 7 and r = 3 and s = 2 and k = 2 and b = 6 in
+  let opt_avail, opt_layout = Placement.Optimal.best ~n ~r ~s ~k ~b () in
+  Alcotest.(check int) "optimal layout has b objects" b
+    (Placement.Layout.b opt_layout);
+  let p = Placement.Params.make ~b ~r ~s ~n ~k in
+  let cfg = Placement.Combo.optimize p in
+  Alcotest.(check bool) "combo lb <= optimal" true
+    (cfg.Placement.Combo.lb <= opt_avail);
+  let combo_layout = Placement.Combo.materialize cfg in
+  let combo_attack = Placement.Adversary.exact combo_layout ~s ~k in
+  Alcotest.(check bool) "combo avail <= optimal" true
+    (Placement.Adversary.avail combo_layout ~s combo_attack <= opt_avail);
+  let rng = Combin.Rng.create 77 in
+  let random_layout = Placement.Random_placement.place ~rng p in
+  let random_attack = Placement.Adversary.exact random_layout ~s ~k in
+  Alcotest.(check bool) "random avail <= optimal" true
+    (Placement.Adversary.avail random_layout ~s random_attack <= opt_avail)
+
+let test_optimal_matches_adversary () =
+  (* The returned layout's availability under the exact adversary equals
+     the claimed optimum. *)
+  let n = 6 and r = 2 and s = 2 and k = 2 and b = 5 in
+  let opt_avail, layout = Placement.Optimal.best ~n ~r ~s ~k ~b () in
+  let attack = Placement.Adversary.exact layout ~s ~k in
+  Alcotest.(check int) "self-consistent" opt_avail
+    (Placement.Adversary.avail layout ~s attack)
+
+let test_theorem1_empirical () =
+  (* Theorem 1: Avail(π') < c · Avail(π) + α for π a Simple(x, λ)
+     placement and π' ANY placement — check against the true optimum. *)
+  let n = 7 and r = 3 and s = 3 and k = 3 and x = 1 in
+  List.iter
+    (fun b ->
+      let opt_avail, _ = Placement.Optimal.best ~n ~r ~s ~k ~b () in
+      let sts = Designs.Steiner_triple.make 7 in
+      let simple = Placement.Simple.of_design sts ~n ~b in
+      let attack =
+        Placement.Adversary.exact simple.Placement.Simple.layout ~s ~k
+      in
+      let simple_avail =
+        Placement.Adversary.avail simple.Placement.Simple.layout ~s attack
+      in
+      match Placement.Analysis.theorem1 ~x ~nx:7 ~r ~s ~k ~mu:1 with
+      | None -> Alcotest.fail "theorem 1 precondition"
+      | Some { c; alpha } ->
+          Alcotest.(check bool)
+            (Printf.sprintf "Avail(opt)=%d < c*Avail(simple)=%d + alpha (b=%d)"
+               opt_avail simple_avail b)
+            true
+            (float_of_int opt_avail
+            < (c *. float_of_int simple_avail) +. alpha))
+    [ 3; 4; 5 ]
+
+let test_ub_any_placement_dominates_optimal =
+  qtest ~count:25 "counting upper bound >= exhaustive optimum"
+    QCheck2.Gen.(
+      let* n = int_range 5 7 in
+      let* r = int_range 2 3 in
+      let* s = int_range 1 r in
+      let* k = int_range (max 1 s) (n - 1) in
+      let* b = int_range 2 5 in
+      return (n, min r n, s, k, b))
+    (fun (n, r, s, k, b) ->
+      if k > 3 then true
+      else begin
+        match Placement.Optimal.best ~n ~r ~s ~k ~b () with
+        | exception Placement.Optimal.Too_large -> true
+        | opt_avail, _ ->
+            opt_avail <= Placement.Analysis.ub_avail_any ~b ~r ~s ~n ~k
+      end)
+
+let test_ub_any_placement_sane () =
+  (* s = r = k = n/…: nothing binding, bound collapses to b. *)
+  Alcotest.(check int) "k < s vacuous" 100
+    (Placement.Analysis.ub_avail_any ~b:100 ~r:3 ~s:3 ~n:10 ~k:2);
+  (* s=1, heavy failure: strictly binding. *)
+  Alcotest.(check bool) "binding for s=1" true
+    (Placement.Analysis.ub_avail_any ~b:100 ~r:2 ~s:1 ~n:10 ~k:5 < 100)
+
+let test_optimal_too_large () =
+  Alcotest.check_raises "budget guard" Placement.Optimal.Too_large (fun () ->
+      ignore (Placement.Optimal.best ~n:31 ~r:3 ~s:2 ~k:3 ~b:100 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Random analysis (Theorem 2, Lemma 4) *)
+
+let alpha_brute ~n ~k ~r ~s =
+  (* Count r-subsets of [0,n) with >= s elements inside [0,k). *)
+  let count = ref 0 in
+  Combin.Subset.iter ~n ~k:r (fun c ->
+      let inside = Array.fold_left (fun acc x -> if x < k then acc + 1 else acc) 0 c in
+      if inside >= s then incr count);
+  float_of_int !count
+
+let test_alpha_vs_bruteforce =
+  qtest ~count:40 "alpha matches direct enumeration"
+    QCheck2.Gen.(
+      let* n = int_range 5 12 in
+      let* r = int_range 1 4 in
+      let* s = int_range 1 r in
+      let* k = int_range s (n - 1) in
+      return (n, r, s, k))
+    (fun (n, r, s, k) ->
+      let ours = Placement.Random_analysis.alpha ~n ~k ~r ~s in
+      let brute = alpha_brute ~n ~k ~r ~s in
+      abs_float (ours -. brute) < 1e-6 *. (1.0 +. brute))
+
+let test_fail_probability_in_unit =
+  qtest ~count:40 "p in [0,1]"
+    QCheck2.Gen.(
+      let* n = int_range 5 40 in
+      let* r = int_range 2 5 in
+      let* s = int_range 1 r in
+      let* k = int_range s (n - 1) in
+      let* b = int_range 1 500 in
+      return (Placement.Params.make ~b ~r:(min r n) ~s ~n ~k))
+    (fun p ->
+      let prob = Placement.Random_analysis.single_object_fail_probability p in
+      prob >= 0.0 && prob <= 1.0 +. 1e-9)
+
+let test_pr_avail_range_and_monotone () =
+  let pr b k s =
+    Placement.Random_analysis.pr_avail (Placement.Params.make ~b ~r:5 ~s ~n:71 ~k)
+  in
+  List.iter
+    (fun b ->
+      let v = pr b 4 3 in
+      Alcotest.(check bool) "in [0,b]" true (v >= 0 && v <= b);
+      Alcotest.(check bool) "monotone in k" true (pr b 5 3 <= pr b 4 3);
+      Alcotest.(check bool) "monotone in s" true (pr b 4 2 <= pr b 4 3))
+    [ 150; 600; 2400 ]
+
+let test_pr_avail_k_equals_n_minus_one () =
+  (* Extreme k: with nearly all nodes failed and s=1, almost everything
+     should fail. *)
+  let p = Placement.Params.make ~b:100 ~r:3 ~s:1 ~n:10 ~k:9 in
+  Alcotest.(check int) "everything fails" 0 (Placement.Random_analysis.pr_avail p)
+
+let test_lemma4_upper_bounds_pr_avail () =
+  List.iter
+    (fun (n, r, b, k) ->
+      let p = Placement.Params.make ~b ~r ~s:1 ~n ~k in
+      let bound = Placement.Random_analysis.s1_upper_bound p in
+      let pr = float_of_int (Placement.Random_analysis.pr_avail p) in
+      Alcotest.(check bool)
+        (Printf.sprintf "Lemma4 >= prAvail at n=%d r=%d b=%d k=%d" n r b k)
+        true
+        (bound >= pr -. 1e-6))
+    [ (71, 3, 2400, 3); (71, 5, 2400, 5); (257, 3, 9600, 8); (31, 3, 600, 4) ]
+
+let test_lemma4_preconditions () =
+  Alcotest.(check bool) "s<>1 rejected" true
+    (try
+       ignore
+         (Placement.Random_analysis.s1_upper_bound
+            (Placement.Params.make ~b:100 ~r:3 ~s:2 ~n:10 ~k:3));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "k >= n/2 rejected" true
+    (try
+       ignore
+         (Placement.Random_analysis.s1_upper_bound
+            (Placement.Params.make ~b:100 ~r:3 ~s:1 ~n:10 ~k:5));
+       false
+     with Invalid_argument _ -> true)
+
+let test_log_vuln_decreasing =
+  qtest ~count:20 "Vuln nonincreasing in f"
+    QCheck2.Gen.(int_range 1 500)
+    (fun b ->
+      let p = Placement.Params.make ~b ~r:3 ~s:2 ~n:31 ~k:4 in
+      let ok = ref true in
+      let prev = ref infinity in
+      for f = 0 to min b 50 do
+        let v = Placement.Random_analysis.log_vuln p ~f in
+        if v > !prev +. 1e-9 then ok := false;
+        prev := v
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "placement"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "validation" `Quick test_params_validation;
+          Alcotest.test_case "load cap" `Quick test_load_cap;
+        ] );
+      ( "layout",
+        [
+          test_layout_node_objects_inverse;
+          test_layout_failed_objects_bruteforce;
+          Alcotest.test_case "concat/shift" `Quick test_layout_concat_shift;
+          Alcotest.test_case "scatter widths" `Quick test_layout_scatter_widths;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "lambda_min values" `Quick test_lambda_min;
+          test_lambda_min_eqn1;
+          Alcotest.test_case "lbAvail_si" `Quick test_lb_avail_si;
+          Alcotest.test_case "theorem 1" `Quick test_theorem1;
+          Alcotest.test_case "competitive limit" `Quick test_competitive_limit;
+        ] );
+      ( "simple",
+        [
+          Alcotest.test_case "Eqn-1 lambda" `Quick test_simple_of_design_lambda;
+          test_simple_satisfies_definition2;
+          test_simple_spread_keeps_definition2;
+          Alcotest.test_case "spread preserves lambda" `Quick test_simple_spread_same_lambda;
+          Alcotest.test_case "complete entry streams" `Quick test_simple_of_entry_complete;
+          test_simple_lower_bound_nonneg;
+        ] );
+      ( "combo",
+        [
+          test_combo_dp_matches_bruteforce;
+          test_combo_assignment_covers_b;
+          Alcotest.test_case "lb sound vs exact adversary" `Slow test_combo_lb_sound_small;
+          Alcotest.test_case "Eqn 4 evaluation" `Quick test_combo_lb_avail_co_at_k;
+          Alcotest.test_case "insufficient capacity" `Quick test_combo_insufficient_capacity;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "matches offline DP" `Quick test_adaptive_matches_offline;
+          Alcotest.test_case "bound sound vs exact adversary" `Quick test_adaptive_bound_sound;
+          test_adaptive_churn_invariants;
+          Alcotest.test_case "Definition 2 per level" `Quick test_adaptive_layout_definition2;
+          Alcotest.test_case "remove unknown" `Quick test_adaptive_remove_unknown;
+          Alcotest.test_case "ids not reused" `Quick test_adaptive_ids_not_reused;
+        ] );
+      ( "random_placement",
+        [
+          test_random_respects_cap;
+          Alcotest.test_case "determinism" `Quick test_random_deterministic;
+          Alcotest.test_case "unconstrained" `Quick test_random_unconstrained_valid;
+        ] );
+      ( "adversary",
+        [
+          test_adversary_exact_is_optimal;
+          test_adversary_ordering;
+          test_adversary_attack_shape;
+        ] );
+      ( "codec",
+        [
+          test_codec_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_codec_rejects_malformed;
+          Alcotest.test_case "file roundtrip" `Quick test_codec_file_roundtrip;
+        ] );
+      ( "copyset",
+        [
+          test_copyset_structure;
+          test_copyset_scatter_width_bound;
+          Alcotest.test_case "placement valid" `Quick test_copyset_place_valid;
+          Alcotest.test_case "bad args" `Quick test_copyset_bad_args;
+        ] );
+      ( "optimal",
+        [
+          Alcotest.test_case "dominates all strategies" `Slow test_optimal_dominates_everything;
+          Alcotest.test_case "self-consistent" `Quick test_optimal_matches_adversary;
+          Alcotest.test_case "Theorem 1 empirical" `Slow test_theorem1_empirical;
+          test_ub_any_placement_dominates_optimal;
+          Alcotest.test_case "upper bound sanity" `Quick test_ub_any_placement_sane;
+          Alcotest.test_case "budget guard" `Quick test_optimal_too_large;
+        ] );
+      ( "random_analysis",
+        [
+          test_alpha_vs_bruteforce;
+          test_fail_probability_in_unit;
+          Alcotest.test_case "pr_avail range/monotone" `Quick test_pr_avail_range_and_monotone;
+          Alcotest.test_case "extreme k" `Quick test_pr_avail_k_equals_n_minus_one;
+          Alcotest.test_case "Lemma 4 upper bound" `Quick test_lemma4_upper_bounds_pr_avail;
+          Alcotest.test_case "Lemma 4 preconditions" `Quick test_lemma4_preconditions;
+          test_log_vuln_decreasing;
+        ] );
+    ]

@@ -1,0 +1,315 @@
+(* Tests for the dsim simulator substrate. *)
+
+let qtest ?(count = 100) name gen prop =
+  (* Fixed random state: property tests must be reproducible. *)
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0xC0FFEE |])
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let mk_layout () =
+  let sts = Designs.Steiner_triple.make 9 in
+  (Placement.Simple.of_design sts ~n:9 ~b:12).Placement.Simple.layout
+
+(* ------------------------------------------------------------------ *)
+(* Semantics *)
+
+let test_thresholds () =
+  let t sem r = Dsim.Semantics.fatality_threshold sem ~r in
+  Alcotest.(check int) "read_any r=3" 3 (t Dsim.Semantics.Read_any 3);
+  Alcotest.(check int) "write_all r=3" 1 (t Dsim.Semantics.Write_all 3);
+  Alcotest.(check int) "majority r=3" 2 (t Dsim.Semantics.Majority 3);
+  Alcotest.(check int) "majority r=4" 2 (t Dsim.Semantics.Majority 4);
+  Alcotest.(check int) "majority r=5" 3 (t Dsim.Semantics.Majority 5);
+  Alcotest.(check int) "threshold" 2 (t (Dsim.Semantics.Threshold 2) 3);
+  (* (6,4) MDS code: survives while 4 of 6 fragments live -> s = 3. *)
+  Alcotest.(check int) "erasure 6,4" 3 (t (Dsim.Semantics.Erasure 4) 6);
+  Alcotest.(check int) "erasure 9,6" 4 (t (Dsim.Semantics.Erasure 6) 9);
+  Alcotest.(check bool) "invalid threshold" true
+    (try
+       ignore (t (Dsim.Semantics.Threshold 9) 3);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster *)
+
+let test_cluster_initial () =
+  let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Majority in
+  Alcotest.(check int) "all objects available" 12 (Dsim.Cluster.available_objects c);
+  Alcotest.(check int) "no failed nodes" 0 (Array.length (Dsim.Cluster.failed_nodes c));
+  Alcotest.(check bool) "node 0 up" true (Dsim.Cluster.node_up c 0)
+
+let test_cluster_incremental_matches_layout =
+  qtest ~count:60 "incremental availability = Layout recount"
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 1 8))
+    (fun (seed, nfail) ->
+      let layout = mk_layout () in
+      let c = Dsim.Cluster.create layout Dsim.Semantics.Majority in
+      let rng = Combin.Rng.create seed in
+      let failed = Combin.Rng.sample_distinct rng ~n:9 ~k:nfail in
+      Array.iter (Dsim.Cluster.fail_node c) failed;
+      Dsim.Cluster.available_objects c
+      = Placement.Layout.avail layout ~s:2 ~failed_nodes:failed
+      && Dsim.Cluster.failed_nodes c = failed)
+
+let test_cluster_fail_recover_roundtrip =
+  qtest ~count:60 "fail then recover restores state"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Majority in
+      let rng = Combin.Rng.create seed in
+      let failed = Combin.Rng.sample_distinct rng ~n:9 ~k:4 in
+      Array.iter (Dsim.Cluster.fail_node c) failed;
+      Array.iter (Dsim.Cluster.recover_node c) failed;
+      Dsim.Cluster.available_objects c = 12
+      && Array.length (Dsim.Cluster.failed_nodes c) = 0)
+
+let test_cluster_idempotent_ops () =
+  let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Write_all in
+  Dsim.Cluster.fail_node c 3;
+  let after_one = Dsim.Cluster.available_objects c in
+  Dsim.Cluster.fail_node c 3;
+  Alcotest.(check int) "double fail is idempotent" after_one
+    (Dsim.Cluster.available_objects c);
+  Dsim.Cluster.recover_node c 3;
+  Dsim.Cluster.recover_node c 3;
+  Alcotest.(check int) "double recover idempotent" 12
+    (Dsim.Cluster.available_objects c)
+
+let test_cluster_racks () =
+  let racks = [| 0; 0; 0; 1; 1; 1; 2; 2; 2 |] in
+  let c = Dsim.Cluster.create ~racks (mk_layout ()) Dsim.Semantics.Majority in
+  Alcotest.(check (array int)) "rack ids" [| 0; 1; 2 |] (Dsim.Cluster.rack_ids c);
+  Alcotest.(check (array int)) "rack 1 nodes" [| 3; 4; 5 |] (Dsim.Cluster.rack_nodes c 1);
+  Dsim.Cluster.fail_rack c 1;
+  Alcotest.(check (array int)) "failed nodes" [| 3; 4; 5 |] (Dsim.Cluster.failed_nodes c);
+  Alcotest.(check int) "rack of node 7" 2 (Dsim.Cluster.rack_of c 7)
+
+let test_live_replicas () =
+  let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Majority in
+  let layout = Dsim.Cluster.layout c in
+  let obj = 0 in
+  let rep = layout.Placement.Layout.replicas.(obj) in
+  Alcotest.(check int) "3 live" 3 (Dsim.Cluster.live_replicas c obj);
+  Dsim.Cluster.fail_node c rep.(0);
+  Alcotest.(check int) "2 live" 2 (Dsim.Cluster.live_replicas c obj);
+  Alcotest.(check bool) "still available (majority)" true
+    (Dsim.Cluster.object_available c obj);
+  Dsim.Cluster.fail_node c rep.(1);
+  Alcotest.(check bool) "now failed" false (Dsim.Cluster.object_available c obj)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario *)
+
+let test_scenario_explicit () =
+  let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Majority in
+  let rng = Combin.Rng.create 1 in
+  let nodes = Dsim.Scenario.apply ~rng c (Dsim.Scenario.Explicit [| 4; 2 |]) in
+  Alcotest.(check (array int)) "sorted nodes" [| 2; 4 |] nodes;
+  Alcotest.(check (array int)) "cluster agrees" [| 2; 4 |] (Dsim.Cluster.failed_nodes c)
+
+let test_scenario_random_nodes =
+  qtest ~count:40 "random scenario fails exactly k nodes"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 1 8))
+    (fun (seed, k) ->
+      let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Majority in
+      let rng = Combin.Rng.create seed in
+      let nodes = Dsim.Scenario.apply ~rng c (Dsim.Scenario.Random_nodes k) in
+      Array.length nodes = k
+      && Array.length (Dsim.Cluster.failed_nodes c) = k)
+
+let test_scenario_adversarial_beats_random () =
+  (* On average the adversary must do at least as much damage as a random
+     failure of the same size. *)
+  let layout = mk_layout () in
+  let c = Dsim.Cluster.create layout Dsim.Semantics.Majority in
+  let rng = Combin.Rng.create 9 in
+  let adv = Dsim.Scenario.run ~rng c (Dsim.Scenario.Adversarial 3) in
+  let total_random = ref 0 in
+  let trials = 20 in
+  for _ = 1 to trials do
+    total_random := !total_random + Dsim.Scenario.run ~rng c (Dsim.Scenario.Random_nodes 3)
+  done;
+  Alcotest.(check bool) "adversarial <= mean random availability" true
+    (float_of_int adv <= float_of_int !total_random /. float_of_int trials +. 1e-9)
+
+let test_scenario_racks () =
+  let racks = [| 0; 0; 0; 1; 1; 1; 2; 2; 2 |] in
+  let c = Dsim.Cluster.create ~racks (mk_layout ()) Dsim.Semantics.Majority in
+  let rng = Combin.Rng.create 2 in
+  let nodes = Dsim.Scenario.apply ~rng c (Dsim.Scenario.Random_racks 2) in
+  Alcotest.(check int) "6 nodes failed" 6 (Array.length nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_replay () =
+  let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Write_all in
+  let snaps =
+    Dsim.Trace.replay c
+      [
+        Dsim.Trace.Measure "initial";
+        Dsim.Trace.Fail 0;
+        Dsim.Trace.Measure "one down";
+        Dsim.Trace.Recover_all;
+        Dsim.Trace.Measure "recovered";
+      ]
+  in
+  (match snaps with
+  | [ a; b; c' ] ->
+      Alcotest.(check string) "label" "initial" a.Dsim.Trace.label;
+      Alcotest.(check int) "all up" 12 a.Dsim.Trace.available;
+      Alcotest.(check int) "one node down" 1 b.Dsim.Trace.failed_nodes;
+      Alcotest.(check bool) "write-all loses objects" true
+        (b.Dsim.Trace.available < 12);
+      Alcotest.(check int) "recovered" 12 c'.Dsim.Trace.available
+  | _ -> Alcotest.fail "expected 3 snapshots")
+
+(* ------------------------------------------------------------------ *)
+(* Repair (failure/repair timeline) *)
+
+let repair_config =
+  { Dsim.Repair.failure_rate = 0.02; mean_repair = 4.0; horizon = 500.0 }
+
+let test_repair_restores_cluster () =
+  let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Majority in
+  let _ = Dsim.Repair.run ~rng:(Combin.Rng.create 3) c repair_config in
+  Alcotest.(check int) "cluster recovered after run" 12
+    (Dsim.Cluster.available_objects c);
+  Alcotest.(check int) "no failed nodes" 0
+    (Array.length (Dsim.Cluster.failed_nodes c))
+
+let test_repair_stats_consistent =
+  qtest ~count:20 "stats are internally consistent"
+    QCheck2.Gen.(int_range 0 5000)
+    (fun seed ->
+      let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Majority in
+      let s = Dsim.Repair.run ~rng:(Combin.Rng.create seed) c repair_config in
+      s.Dsim.Repair.avg_unavailable >= 0.0
+      && s.Dsim.Repair.avg_unavailable <= 12.0
+      && s.Dsim.Repair.worst_unavailable >= 0
+      && s.Dsim.Repair.worst_unavailable <= 12
+      && s.Dsim.Repair.worst_nodes_down <= 9
+      && s.Dsim.Repair.object_downtime_fraction >= 0.0
+      && s.Dsim.Repair.object_downtime_fraction <= 1.0
+      && (s.Dsim.Repair.incidents = 0) = (s.Dsim.Repair.worst_unavailable = 0)
+      && abs_float
+           (s.Dsim.Repair.avg_unavailable
+           -. (s.Dsim.Repair.object_downtime_fraction *. 12.0))
+         < 1e-9)
+
+let test_repair_deterministic () =
+  let run seed =
+    let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Majority in
+    Dsim.Repair.run ~rng:(Combin.Rng.create seed) c repair_config
+  in
+  Alcotest.(check (float 0.0)) "same seed, same result"
+    (run 11).Dsim.Repair.avg_unavailable
+    (run 11).Dsim.Repair.avg_unavailable
+
+let test_repair_more_failures_more_downtime () =
+  (* Doubling the failure rate (same repair speed) cannot reduce the
+     average unavailability on the same seed-averaged runs. *)
+  let avg rate =
+    let total = ref 0.0 in
+    for seed = 0 to 9 do
+      let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Majority in
+      let s =
+        Dsim.Repair.run ~rng:(Combin.Rng.create seed) c
+          { repair_config with Dsim.Repair.failure_rate = rate }
+      in
+      total := !total +. s.Dsim.Repair.avg_unavailable
+    done;
+    !total /. 10.0
+  in
+  Alcotest.(check bool) "monotone in failure rate" true (avg 0.04 > avg 0.005)
+
+let test_repair_nines () =
+  let s =
+    {
+      Dsim.Repair.horizon = 1.0;
+      avg_unavailable = 0.0;
+      worst_unavailable = 0;
+      worst_nodes_down = 0;
+      incidents = 0;
+      object_downtime_fraction = 0.001;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "3 nines" 3.0 (Dsim.Repair.nines s);
+  Alcotest.(check bool) "no downtime = infinite nines" true
+    (Dsim.Repair.nines { s with Dsim.Repair.object_downtime_fraction = 0.0 }
+    = infinity)
+
+let test_repair_bad_config () =
+  let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Majority in
+  Alcotest.(check bool) "negative rate rejected" true
+    (try
+       ignore
+         (Dsim.Repair.run ~rng:(Combin.Rng.create 0) c
+            { repair_config with Dsim.Repair.failure_rate = -1.0 });
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Montecarlo *)
+
+let test_montecarlo_deterministic () =
+  let p = Placement.Params.make ~b:40 ~r:3 ~s:2 ~n:12 ~k:3 in
+  let run seed =
+    Dsim.Montecarlo.avg_avail_random ~rng:(Combin.Rng.create seed) ~trials:5 p
+  in
+  let a = run 11 and b = run 11 in
+  Alcotest.(check (float 0.0)) "same seed same mean" a.Dsim.Montecarlo.mean
+    b.Dsim.Montecarlo.mean;
+  Alcotest.(check int) "trials recorded" 5 a.Dsim.Montecarlo.trials;
+  Alcotest.(check bool) "min <= mean <= max" true
+    (float_of_int a.Dsim.Montecarlo.min <= a.Dsim.Montecarlo.mean
+    && a.Dsim.Montecarlo.mean <= float_of_int a.Dsim.Montecarlo.max)
+
+let test_montecarlo_bounded_by_b () =
+  let p = Placement.Params.make ~b:40 ~r:3 ~s:2 ~n:12 ~k:3 in
+  let r =
+    Dsim.Montecarlo.avg_avail_random ~rng:(Combin.Rng.create 4) ~trials:8 p
+  in
+  Array.iter
+    (fun a -> Alcotest.(check bool) "in [0,b]" true (a >= 0 && a <= 40))
+    r.Dsim.Montecarlo.avails
+
+let () =
+  Alcotest.run "dsim"
+    [
+      ("semantics", [ Alcotest.test_case "thresholds" `Quick test_thresholds ]);
+      ( "cluster",
+        [
+          Alcotest.test_case "initial state" `Quick test_cluster_initial;
+          test_cluster_incremental_matches_layout;
+          test_cluster_fail_recover_roundtrip;
+          Alcotest.test_case "idempotent ops" `Quick test_cluster_idempotent_ops;
+          Alcotest.test_case "racks" `Quick test_cluster_racks;
+          Alcotest.test_case "live replicas" `Quick test_live_replicas;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "explicit" `Quick test_scenario_explicit;
+          test_scenario_random_nodes;
+          Alcotest.test_case "adversarial beats random" `Quick
+            test_scenario_adversarial_beats_random;
+          Alcotest.test_case "racks" `Quick test_scenario_racks;
+        ] );
+      ("trace", [ Alcotest.test_case "replay" `Quick test_trace_replay ]);
+      ( "repair",
+        [
+          Alcotest.test_case "restores cluster" `Quick test_repair_restores_cluster;
+          test_repair_stats_consistent;
+          Alcotest.test_case "deterministic" `Quick test_repair_deterministic;
+          Alcotest.test_case "monotone in failure rate" `Quick
+            test_repair_more_failures_more_downtime;
+          Alcotest.test_case "nines" `Quick test_repair_nines;
+          Alcotest.test_case "bad config" `Quick test_repair_bad_config;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "deterministic" `Quick test_montecarlo_deterministic;
+          Alcotest.test_case "bounded" `Quick test_montecarlo_bounded_by_b;
+        ] );
+    ]
