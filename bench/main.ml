@@ -5,12 +5,23 @@
      bench/main.exe fig2                one artefact (see list below)
      bench/main.exe all --out results/  also write one file per artefact
      bench/main.exe quick               cheap subset (used by CI/tests)
+     bench/main.exe -j 4 fig2           fan the artefact grids over 4 domains
 
    Artefacts: fig2..fig11, theorem1, ablation-adversary, ablation-random,
    ablation-load, ablation-online, baseline-copyset, perf.
 
    Each figN prints the rows/series of the corresponding figure or table
-   of the paper (see DESIGN.md §4 and EXPERIMENTS.md). *)
+   of the paper (see DESIGN.md §4 and EXPERIMENTS.md).  `-j N` (default:
+   Domain.recommended_domain_count) sizes the Engine.Pool shared by the
+   parallel drivers (F2, F5/F6, F7, F9); outputs are bit-identical at any
+   `-j`.  `perf` additionally times the adversary multi-restart at -j 1
+   vs -j N and appends the measurement to BENCH_adversary.json. *)
+
+type ctx = {
+  pool : Engine.Pool.t option;  (* None when running at -j 1 *)
+  jobs : int;
+  out : string option;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core algorithms                    *)
@@ -53,7 +64,7 @@ let perf_tests () =
            ignore (Placement.Adaptive.add_many t 1000)));
   ]
 
-let run_perf fmt =
+let run_micro fmt =
   let open Bechamel in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -83,40 +94,101 @@ let run_perf fmt =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Adversary scaling micro-bench: wall-clock at -j 1 vs -j N, recorded
+   as one JSON object per line so future PRs can track the perf curve. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_adversary_scaling ctx fmt =
+  let n = 71 and b = 2400 and s = 2 and k = 5 and restarts = 32 in
+  let design = Designs.Steiner_triple.make 69 in
+  let layout = (Placement.Simple.of_design design ~n ~b).Placement.Simple.layout in
+  let attack_with pool =
+    Placement.Adversary.local_search ~rng:(Combin.Rng.create 0xBE7C) ~restarts
+      ?pool layout ~s ~k
+  in
+  (* Warm-up: the first run pays page-fault and GC-growth costs that would
+     otherwise be billed entirely to the -j 1 measurement. *)
+  ignore (attack_with None);
+  let seq, wall_j1 = wall (fun () -> attack_with None) in
+  let par, wall_jn =
+    match ctx.pool with
+    | Some _ -> wall (fun () -> attack_with ctx.pool)
+    | None -> wall (fun () -> attack_with None)
+  in
+  let identical =
+    seq.Placement.Adversary.failed_objects = par.Placement.Adversary.failed_objects
+    && seq.Placement.Adversary.failed_nodes = par.Placement.Adversary.failed_nodes
+  in
+  let speedup = if wall_jn > 0.0 then wall_j1 /. wall_jn else 0.0 in
+  Format.fprintf fmt
+    "adversary multi-restart (n=%d b=%d s=%d k=%d restarts=%d): \
+     %.3fs at -j1, %.3fs at -j%d (speedup %.2fx, outputs %s)@."
+    n b s k restarts wall_j1 wall_jn ctx.jobs speedup
+    (if identical then "identical" else "DIFFER");
+  let json =
+    Printf.sprintf
+      "{\"op\": \"adversary_local_search_multi_restart\", \"n\": %d, \
+       \"b\": %d, \"s\": %d, \"k\": %d, \"restarts\": %d, \"jobs\": %d, \
+       \"wall_s_j1\": %.6f, \"wall_s_jn\": %.6f, \"speedup\": %.4f, \
+       \"identical\": %b}\n"
+      n b s k restarts ctx.jobs wall_j1 wall_jn speedup identical
+  in
+  let dir = match ctx.out with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_adversary.json" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Format.fprintf fmt "(appended to %s)@." path
+
+let run_perf ctx fmt =
+  run_adversary_scaling ctx fmt;
+  run_micro fmt
+
+(* ------------------------------------------------------------------ *)
 (* Artefact table                                                      *)
 
-let artefacts : (string * string * (Format.formatter -> unit)) list =
+let artefacts : (string * string * (ctx -> Format.formatter -> unit)) list =
   [
-    ("fig2", "Fig 2", Experiments.Fig2.print);
-    ("fig3", "Fig 3", Experiments.Fig3.print);
-    ("fig4", "Fig 4", Experiments.Fig4.print);
-    ("fig5", "Fig 5", Experiments.Fig5.print_fig5);
-    ("fig6", "Fig 6", Experiments.Fig5.print_fig6);
-    ("fig7", "Fig 7", fun fmt -> Experiments.Fig7.print fmt);
-    ("fig8", "Fig 8", Experiments.Fig8.print);
-    ("fig9", "Fig 9", Experiments.Fig9.print);
-    ("fig10", "Fig 10", Experiments.Fig10.print);
-    ("fig11", "Fig 11", Experiments.Fig11.print);
-    ("theorem1", "Theorem 1", Experiments.Theorem1.print);
-    ("ablation-adversary", "Ablation: adversary", Experiments.Ablation.print_adversary);
-    ("ablation-random", "Ablation: random placement", Experiments.Ablation.print_random);
-    ("ablation-load", "Ablation: load balance", Experiments.Ablation.print_load);
-    ("ablation-online", "Ablation: online vs offline", Experiments.Ablation.print_online);
-    ("baseline-copyset", "Baseline: copyset replication", Experiments.Baseline.print);
-    ("perf", "Perf (Bechamel micro-benchmarks)", run_perf);
+    ("fig2", "Fig 2", fun ctx fmt -> Experiments.Fig2.print ?pool:ctx.pool fmt);
+    ("fig3", "Fig 3", fun _ fmt -> Experiments.Fig3.print fmt);
+    ("fig4", "Fig 4", fun _ fmt -> Experiments.Fig4.print fmt);
+    ("fig5", "Fig 5", fun ctx fmt -> Experiments.Fig5.print_fig5 ?pool:ctx.pool fmt);
+    ("fig6", "Fig 6", fun ctx fmt -> Experiments.Fig5.print_fig6 ?pool:ctx.pool fmt);
+    ("fig7", "Fig 7", fun ctx fmt -> Experiments.Fig7.print ?pool:ctx.pool fmt);
+    ("fig8", "Fig 8", fun _ fmt -> Experiments.Fig8.print fmt);
+    ("fig9", "Fig 9", fun ctx fmt -> Experiments.Fig9.print ?pool:ctx.pool fmt);
+    ("fig10", "Fig 10", fun _ fmt -> Experiments.Fig10.print fmt);
+    ("fig11", "Fig 11", fun _ fmt -> Experiments.Fig11.print fmt);
+    ("theorem1", "Theorem 1", fun _ fmt -> Experiments.Theorem1.print fmt);
+    ( "ablation-adversary", "Ablation: adversary",
+      fun _ fmt -> Experiments.Ablation.print_adversary fmt );
+    ( "ablation-random", "Ablation: random placement",
+      fun _ fmt -> Experiments.Ablation.print_random fmt );
+    ( "ablation-load", "Ablation: load balance",
+      fun _ fmt -> Experiments.Ablation.print_load fmt );
+    ( "ablation-online", "Ablation: online vs offline",
+      fun _ fmt -> Experiments.Ablation.print_online fmt );
+    ( "baseline-copyset", "Baseline: copyset replication",
+      fun _ fmt -> Experiments.Baseline.print fmt );
+    ("perf", "Perf (scaling + Bechamel micro-benchmarks)", run_perf);
   ]
 
-let run_one ~out (name, title, print) =
+let run_one ctx (name, title, print) =
   (* Render once into a buffer so expensive artefacts are not recomputed
      when also writing to a file. *)
   let buf = Buffer.create 4096 in
   let bfmt = Format.formatter_of_buffer buf in
-  print bfmt;
+  print ctx bfmt;
   Format.pp_print_flush bfmt ();
   let text = Buffer.contents buf in
   let stdout_fmt = Format.std_formatter in
   Format.fprintf stdout_fmt "@.==== %s ====@.%s" title text;
-  match out with
+  match ctx.out with
   | None -> ()
   | Some dir ->
       let path = Filename.concat dir (name ^ ".txt") in
@@ -126,34 +198,51 @@ let run_one ~out (name, title, print) =
         (fun () -> output_string oc text);
       Format.fprintf stdout_fmt "(written to %s)@." path
 
-let run_quick () =
+let run_quick ctx =
   let fmt = Format.std_formatter in
   Format.fprintf fmt "@.==== Quick subset ====@.";
   Experiments.Fig4.print fmt;
   Experiments.Fig8.print fmt;
   Experiments.Fig11.print fmt;
-  Experiments.Theorem1.print fmt
+  Experiments.Theorem1.print fmt;
+  ignore ctx
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec split_out acc = function
-    | "--out" :: dir :: rest -> (List.rev_append acc rest, Some dir)
-    | x :: rest -> split_out (x :: acc) rest
-    | [] -> (List.rev acc, None)
+  let rec split_flags acc out jobs = function
+    | "--out" :: dir :: rest -> split_flags acc (Some dir) jobs rest
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j -> split_flags acc out j rest
+        | None ->
+            Format.eprintf "-j expects an integer, got %S@." n;
+            exit 2)
+    | x :: rest -> split_flags (x :: acc) out jobs rest
+    | [] -> (List.rev acc, out, jobs)
   in
-  let selectors, out = split_out [] args in
+  let selectors, out, jobs =
+    split_flags [] None (Engine.Pool.default_domains ()) args
+  in
+  let jobs = max 1 jobs in
   (match out with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
-  match selectors with
-  | [] | [ "all" ] -> List.iter (run_one ~out) artefacts
-  | [ "quick" ] -> run_quick ()
-  | names ->
-      List.iter
-        (fun name ->
-          match List.find_opt (fun (n, _, _) -> n = name) artefacts with
-          | Some artefact -> run_one ~out artefact
-          | None ->
-              Format.eprintf "unknown artefact %S@." name;
-              exit 2)
-        names
+  let with_ctx f =
+    if jobs = 1 then f { pool = None; jobs; out }
+    else
+      Engine.Pool.with_pool ~domains:jobs (fun pool ->
+          f { pool = Some pool; jobs; out })
+  in
+  with_ctx (fun ctx ->
+      match selectors with
+      | [] | [ "all" ] -> List.iter (run_one ctx) artefacts
+      | [ "quick" ] -> run_quick ctx
+      | names ->
+          List.iter
+            (fun name ->
+              match List.find_opt (fun (n, _, _) -> n = name) artefacts with
+              | Some artefact -> run_one ctx artefact
+              | None ->
+                  Format.eprintf "unknown artefact %S@." name;
+                  exit 2)
+            names)

@@ -42,6 +42,21 @@ let params_term =
   in
   Term.(ret (const combine $ n_arg $ b_arg $ r_arg $ s_arg $ k_arg))
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Engine.Pool.default_domains ())
+    & info [ "j"; "jobs" ] ~docv:"J"
+        ~doc:
+          "Worker domains for the parallel adversary (default: the number of \
+           cores). Results are bit-identical at any $(docv); 1 runs the \
+           sequential reference path.")
+
+let with_pool jobs f =
+  let jobs = max 1 jobs in
+  if jobs = 1 then f None
+  else Engine.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
 (* ------------------------------------------------------------------ *)
 (* plan *)
 
@@ -186,14 +201,16 @@ let attack_cmd =
   let k_only =
     Arg.(value & opt int 2 & info [ "k"; "failures" ] ~docv:"K" ~doc:"Nodes to fail.")
   in
-  let run file s k =
+  let run file s k jobs =
     setup_logs ();
     match Placement.Codec.load file with
     | Error msg ->
         Fmt.epr "cannot load %s: %s@." file msg;
         exit 1
     | Ok layout ->
-        let attack = Placement.Adversary.best layout ~s ~k in
+        let attack =
+          with_pool jobs (fun pool -> Placement.Adversary.best ?pool layout ~s ~k)
+        in
         Fmt.pr "Worst-case attack on %s (b=%d, n=%d, r=%d)@." file
           (Placement.Layout.b layout)
           layout.Placement.Layout.n layout.Placement.Layout.r;
@@ -207,7 +224,7 @@ let attack_cmd =
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a layout exported with simulate --out.")
-    Term.(const run $ file_arg $ s_only $ k_only)
+    Term.(const run $ file_arg $ s_only $ k_only $ jobs_arg)
 
 let simulate_cmd =
   let strategy_arg =
@@ -225,7 +242,7 @@ let simulate_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also export the layout to a file.")
   in
-  let run (p : Placement.Params.t) strategy seed out =
+  let run (p : Placement.Params.t) strategy seed out jobs =
     setup_logs ();
     let rng = Combin.Rng.create seed in
     let layout =
@@ -234,8 +251,9 @@ let simulate_cmd =
       | `Random -> Placement.Random_placement.place ~rng p
     in
     let attack =
-      Placement.Adversary.best ~rng layout ~s:p.Placement.Params.s
-        ~k:p.Placement.Params.k
+      with_pool jobs (fun pool ->
+          Placement.Adversary.best ?pool ~rng layout ~s:p.Placement.Params.s
+            ~k:p.Placement.Params.k)
     in
     Fmt.pr "Simulated worst-case attack on a %s placement@."
       (match strategy with `Combo -> "Combo" | `Random -> "Random");
@@ -255,7 +273,7 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Materialize a placement and attack it.")
-    Term.(const run $ params_term $ strategy_arg $ seed_arg $ out_arg)
+    Term.(const run $ params_term $ strategy_arg $ seed_arg $ out_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recommend *)

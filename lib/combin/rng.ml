@@ -19,6 +19,16 @@ let split t =
   let seed = bits64 t in
   { state = mix seed }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n";
+  (* Explicit order: child i consumes the i-th draw of [t], so the result
+     is a pure function of [t]'s state and [n]. *)
+  let children = Array.make n t in
+  for i = 0 to n - 1 do
+    children.(i) <- split t
+  done;
+  children
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
   (* Rejection sampling on the top bits for exact uniformity. *)

@@ -15,6 +15,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     independent of [t]'s subsequent output. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] draws [n] independent child generators from [t], in
+    index order.  This is the seed-splitting discipline for parallel
+    work: split one child per task *before* dispatching so that every
+    task's stream — and hence every result — is independent of task
+    scheduling (see {!Engine.Pool}). *)
+
 val copy : t -> t
 
 val bits64 : t -> int64

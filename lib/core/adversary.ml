@@ -1,3 +1,8 @@
+let log_src =
+  Logs.Src.create "placement.adversary" ~doc:"worst-case adversary search"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type attack = {
   failed_nodes : int array;
   failed_objects : int;
@@ -13,13 +18,12 @@ type state = {
   mutable failed : int;
 }
 
+(* [node_objs] is immutable once built and can be shared read-only across
+   domains; each search task gets its own [hits]/[failed]. *)
+let state_of ~s ~node_objs ~b = { s; node_objs; hits = Array.make b 0; failed = 0 }
+
 let make_state layout ~s =
-  {
-    s;
-    node_objs = Layout.node_objects layout;
-    hits = Array.make (Layout.b layout) 0;
-    failed = 0;
-  }
+  state_of ~s ~node_objs:(Layout.node_objects layout) ~b:(Layout.b layout)
 
 let add_node st nd =
   Array.iter
@@ -38,48 +42,10 @@ let remove_node st nd =
 let eval layout ~s failed_nodes =
   Layout.failed_objects layout ~s ~failed_nodes
 
-let exact ?(budget = 50_000_000) layout ~s ~k =
-  let n = layout.Layout.n in
-  if k >= n then invalid_arg "Adversary.exact: k >= n";
-  let st = make_state layout ~s in
-  let degrees = Array.map Array.length st.node_objs in
-  (* top_deg.(start).(m): sum of the m largest degrees among nodes with id
-     >= start — an upper bound on additional damage from m more picks. *)
-  let top_deg =
-    Array.init (n + 1) (fun start ->
-        let suffix = Array.sub degrees start (n - start) in
-        Array.sort (fun a b -> compare b a) suffix;
-        let acc = Array.make (k + 1) 0 in
-        for m = 1 to k do
-          acc.(m) <- acc.(m - 1) + (if m - 1 < Array.length suffix then suffix.(m - 1) else 0)
-        done;
-        acc)
-  in
-  let best = ref (-1) and best_set = ref [||] in
-  let current = Array.make k 0 in
-  let nodes_visited = ref 0 in
-  let truncated = ref false in
-  let rec go start depth =
-    incr nodes_visited;
-    if !nodes_visited > budget then truncated := true
-    else if depth = k then begin
-      if st.failed > !best then begin
-        best := st.failed;
-        best_set := Array.copy current
-      end
-    end
-    else if st.failed + top_deg.(start).(k - depth) > !best then
-      for nd = start to n - (k - depth) do
-        if not !truncated then begin
-          current.(depth) <- nd;
-          add_node st nd;
-          go (nd + 1) (depth + 1);
-          remove_node st nd
-        end
-      done
-  in
-  go 0 0;
-  { failed_nodes = !best_set; failed_objects = !best; exact = not !truncated }
+let pmap pool f xs =
+  match pool with
+  | Some p -> Engine.Pool.parallel_map p f xs
+  | None -> Array.map f xs
 
 (* Marginal value of adding [nd]: (newly failed objects, progress toward
    s for not-yet-failed objects). *)
@@ -115,6 +81,86 @@ let greedy layout ~s ~k =
   done;
   let failed_nodes = Combin.Intset.of_array (Array.of_list !picks) in
   { failed_nodes; failed_objects = st.failed; exact = false }
+
+let exact ?(budget = 50_000_000) ?pool layout ~s ~k =
+  let n = layout.Layout.n in
+  if k >= n then invalid_arg "Adversary.exact: k >= n";
+  if k = 0 then { failed_nodes = [||]; failed_objects = 0; exact = true }
+  else begin
+    let node_objs = Layout.node_objects layout in
+    let b = Layout.b layout in
+    let degrees = Array.map Array.length node_objs in
+    (* top_deg.(start).(m): sum of the m largest degrees among nodes with id
+       >= start — an upper bound on additional damage from m more picks. *)
+    let top_deg =
+      Array.init (n + 1) (fun start ->
+          let suffix = Array.sub degrees start (n - start) in
+          Array.sort (fun a b -> compare b a) suffix;
+          let acc = Array.make (k + 1) 0 in
+          for m = 1 to k do
+            acc.(m) <- acc.(m - 1) + (if m - 1 < Array.length suffix then suffix.(m - 1) else 0)
+          done;
+          acc)
+    in
+    (* The greedy attack seeds the incumbent: every branch prunes against a
+       real attack from the first node visited, and a truncated search still
+       carries a valid (greedy or better) best set.  The incumbent cell is
+       read once here, before dispatch — branches publish improvements but
+       never re-read it, so pruning is identical at every [-j] (see
+       DESIGN.md §2 on the determinism discipline). *)
+    let g = greedy layout ~s ~k in
+    let incumbent = Engine.Bound.create g.failed_objects in
+    let seed_bound = Engine.Bound.get incumbent in
+    (* Parallelize over the top-level first-node choices; each branch owns
+       its budget share so truncation does not depend on scheduling. *)
+    let first_choices = Array.init (n - k + 1) Fun.id in
+    let branch_budget = max 1 (budget / Array.length first_choices) in
+    let run_branch nd0 =
+      let st = state_of ~s ~node_objs ~b in
+      let best = ref seed_bound and best_set = ref None in
+      let current = Array.make k 0 in
+      let visited = ref 0 in
+      let truncated = ref false in
+      let rec go start depth =
+        incr visited;
+        if !visited > branch_budget then truncated := true
+        else if depth = k then begin
+          if st.failed > !best then begin
+            best := st.failed;
+            best_set := Some (Array.copy current);
+            ignore (Engine.Bound.improve incumbent st.failed)
+          end
+        end
+        else if st.failed + top_deg.(start).(k - depth) > !best then
+          for nd = start to n - (k - depth) do
+            if not !truncated then begin
+              current.(depth) <- nd;
+              add_node st nd;
+              go (nd + 1) (depth + 1);
+              remove_node st nd
+            end
+          done
+      in
+      current.(0) <- nd0;
+      add_node st nd0;
+      go (nd0 + 1) 1;
+      (!best, !best_set, !truncated)
+    in
+    let results = pmap pool run_branch first_choices in
+    (* Deterministic fold: strict improvement, lowest branch wins ties. *)
+    let best = ref g.failed_objects and best_set = ref g.failed_nodes in
+    let truncated = ref false in
+    Array.iter
+      (fun (v, set, tr) ->
+        if tr then truncated := true;
+        match set with
+        | Some nodes when v > !best ->
+            best := v;
+            best_set := Combin.Intset.of_array nodes
+        | _ -> ())
+      results;
+    { failed_nodes = !best_set; failed_objects = !best; exact = not !truncated }
+  end
 
 let improve_to_local_opt layout st chosen =
   let n = layout.Layout.n in
@@ -164,37 +210,41 @@ let attack_of_state st chosen =
     exact = false;
   }
 
-let local_search ~rng ?(restarts = 8) layout ~s ~k =
+let local_search ~rng ?(restarts = 8) ?pool layout ~s ~k =
   let n = layout.Layout.n in
-  let best = ref None in
-  let consider a =
-    match !best with
-    | Some b when b.failed_objects >= a.failed_objects -> ()
-    | _ -> best := Some a
-  in
-  for restart = 0 to restarts - 1 do
-    let st = make_state layout ~s in
+  let restarts = max 1 restarts in
+  let node_objs = Layout.node_objects layout in
+  let b = Layout.b layout in
+  (* One pre-split RNG per restart: each restart's stream is a function of
+     its index alone, so the plan is bit-identical at any [-j].  Restart 0
+     is the deterministic greedy seed and draws nothing. *)
+  let rngs = Combin.Rng.split_n rng restarts in
+  let run_restart i =
+    let st = state_of ~s ~node_objs ~b in
     let chosen = Array.make n false in
-    if restart = 0 then begin
-      let g = greedy layout ~s ~k in
-      Array.iter
-        (fun nd ->
-          chosen.(nd) <- true;
-          add_node st nd)
-        g.failed_nodes
-    end
-    else
-      Array.iter
-        (fun nd ->
-          chosen.(nd) <- true;
-          add_node st nd)
-        (Combin.Rng.sample_distinct rng ~n ~k);
+    let seed_nodes =
+      if i = 0 then (greedy layout ~s ~k).failed_nodes
+      else Combin.Rng.sample_distinct rngs.(i) ~n ~k
+    in
+    Array.iter
+      (fun nd ->
+        chosen.(nd) <- true;
+        add_node st nd)
+      seed_nodes;
     improve_to_local_opt layout st chosen;
-    consider (attack_of_state st chosen)
-  done;
-  Option.get !best
+    attack_of_state st chosen
+  in
+  let indices = Array.init restarts Fun.id in
+  let candidates = pmap pool run_restart indices in
+  (* First-index-wins max: the earliest restart reaching the best damage
+     provides the reported node set, as in the sequential reference. *)
+  let best = ref candidates.(0) in
+  Array.iter
+    (fun a -> if a.failed_objects > !best.failed_objects then best := a)
+    candidates;
+  !best
 
-let best ?rng ?(exact_limit = 5e7) layout ~s ~k =
+let attack ?pool ?rng ?(restarts = 8) ?(exact_limit = 5e7) layout ~s ~k =
   let rng = match rng with Some r -> r | None -> Combin.Rng.create 0xADE5 in
   let n = layout.Layout.n in
   let combos =
@@ -207,7 +257,26 @@ let best ?rng ?(exact_limit = 5e7) layout ~s ~k =
   let avg_degree =
     float_of_int (layout.Layout.r * Layout.b layout) /. float_of_int n
   in
-  if combos *. avg_degree <= exact_limit then exact layout ~s ~k
-  else local_search ~rng layout ~s ~k
+  if combos *. avg_degree <= exact_limit then begin
+    let result = exact ?pool layout ~s ~k in
+    if not result.exact then
+      Log.warn (fun m ->
+          m
+            "exact adversary truncated by node budget on n=%d b=%d s=%d k=%d: \
+             reporting best-so-far (>= greedy) as a heuristic"
+            n (Layout.b layout) s k);
+    result
+  end
+  else begin
+    Log.debug (fun m ->
+        m
+          "adversary search space too large on n=%d b=%d s=%d k=%d \
+           (~%.3g evals): result is heuristic (local search, %d restarts)"
+          n (Layout.b layout) s k (combos *. avg_degree) restarts);
+    local_search ~rng ~restarts ?pool layout ~s ~k
+  end
+
+let best ?pool ?rng ?exact_limit layout ~s ~k =
+  attack ?pool ?rng ?exact_limit layout ~s ~k
 
 let avail layout ~s:_ attack = Layout.b layout - attack.failed_objects

@@ -7,7 +7,14 @@
     provide an exact branch-and-bound for small C(n,k) and a greedy +
     steepest-ascent-swap local search with multi-restart for the rest
     (see DESIGN.md §3 on how this substitutes for the paper's unspecified
-    "simulating the worst k failures"). *)
+    "simulating the worst k failures").
+
+    Both searches are fan-out shaped and accept an optional
+    {!Engine.Pool}: the branch-and-bound parallelizes over top-level
+    first-node choices, the local search over restarts.  Results are
+    bit-identical with and without a pool, at any pool size — parallelism
+    only changes wall-clock (see DESIGN.md §2, "parallelism &
+    determinism"). *)
 
 type attack = {
   failed_nodes : int array;  (** the chosen K, sorted, |K| = k *)
@@ -18,25 +25,43 @@ type attack = {
 val eval : Layout.t -> s:int -> int array -> int
 (** Number of objects failed by a given node set. *)
 
-val exact : ?budget:int -> Layout.t -> s:int -> k:int -> attack
+val exact : ?budget:int -> ?pool:Engine.Pool.t -> Layout.t -> s:int -> k:int -> attack
 (** Branch-and-bound over all C(n,k) failure sets with a degree-sum upper
-    bound for pruning.  [budget] caps the number of search nodes
-    (default 50 million); if exceeded, the best-so-far is returned with
-    [exact = false]. *)
+    bound for pruning, seeded with the {!greedy} incumbent.  [budget]
+    caps the number of search nodes (default 50 million), split evenly
+    over the top-level branches; if any branch exhausts its share the
+    result has [exact = false] but still carries the best set found,
+    which is never worse than greedy's. *)
 
 val greedy : Layout.t -> s:int -> k:int -> attack
 (** Add the node with the best marginal damage k times; ties broken by
     progress toward failing objects (sum of min(s, hits) increments). *)
 
 val local_search :
-  rng:Combin.Rng.t -> ?restarts:int -> Layout.t -> s:int -> k:int -> attack
+  rng:Combin.Rng.t -> ?restarts:int -> ?pool:Engine.Pool.t ->
+  Layout.t -> s:int -> k:int -> attack
 (** Greedy start (plus random restarts), then steepest-ascent single-node
-    swaps to a local optimum.  [restarts] defaults to 8. *)
+    swaps to a local optimum.  [restarts] defaults to 8; each restart
+    draws from its own pre-split child of [rng] (see
+    {!Combin.Rng.split_n}), so the result does not depend on [pool]. *)
 
-val best : ?rng:Combin.Rng.t -> ?exact_limit:float -> Layout.t -> s:int -> k:int -> attack
-(** Dispatcher: exact search when the estimated work C(n,k)·(r·b/n) is
-    below [exact_limit] (default 5e7), otherwise {!local_search}.  [rng]
-    defaults to a fixed seed, making the result deterministic. *)
+val attack :
+  ?pool:Engine.Pool.t -> ?rng:Combin.Rng.t -> ?restarts:int ->
+  ?exact_limit:float -> Layout.t -> s:int -> k:int -> attack
+(** The restart-plan front end: exact search when the estimated work
+    C(n,k)·(r·b/n) is below [exact_limit] (default 5e7), otherwise
+    {!local_search} with [restarts] (default 8).  [rng] defaults to a
+    fixed seed, making the result deterministic.  Logs (source
+    ["placement.adversary"]) a warning when a truncated exact search
+    falls back to best-so-far and a debug line when dispatching to the
+    heuristic, so callers can tell a heuristic answer from an exact
+    one. *)
+
+val best :
+  ?pool:Engine.Pool.t -> ?rng:Combin.Rng.t -> ?exact_limit:float ->
+  Layout.t -> s:int -> k:int -> attack
+(** [attack] without the restart override; kept for callers of the
+    pre-pool API. *)
 
 val avail : Layout.t -> s:int -> attack -> int
 (** [b - attack.failed_objects]: the (estimated) Avail(π) of Def. 1. *)

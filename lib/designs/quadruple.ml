@@ -69,22 +69,28 @@ let double (d : Block_design.t) =
     (Array.of_list !blocks)
 
 (* Base systems found by exact-cover search, cached after first use.  Both
-   searches complete in well under a second. *)
+   searches complete in well under a second.  The mutex keeps the memo
+   safe when designs are materialized from Engine.Pool tasks. *)
 let searched_base = Hashtbl.create 4
+let searched_mutex = Mutex.create ()
 
 let base_orders = [ 10; 14 ]
 
 let searched v =
-  match Hashtbl.find_opt searched_base v with
-  | Some d -> d
-  | None ->
-      let d =
-        match Packing_search.exact_steiner ~strength:3 ~v ~block_size:4 () with
-        | Some d -> d
-        | None -> failwith (Printf.sprintf "Quadruple: SQS(%d) search failed" v)
-      in
-      Hashtbl.add searched_base v d;
-      d
+  Mutex.lock searched_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock searched_mutex)
+    (fun () ->
+      match Hashtbl.find_opt searched_base v with
+      | Some d -> d
+      | None ->
+          let d =
+            match Packing_search.exact_steiner ~strength:3 ~v ~block_size:4 () with
+            | Some d -> d
+            | None -> failwith (Printf.sprintf "Quadruple: SQS(%d) search failed" v)
+          in
+          Hashtbl.add searched_base v d;
+          d)
 
 let rec constructible v =
   if not (admissible v) then false

@@ -1,0 +1,10 @@
+type t = int Atomic.t
+
+let create v = Atomic.make v
+let get t = Atomic.get t
+
+let rec improve t v =
+  let cur = Atomic.get t in
+  if v <= cur then false
+  else if Atomic.compare_and_set t cur v then true
+  else improve t v

@@ -1,0 +1,20 @@
+(** A monotonically increasing integer cell shared between domains: the
+    incumbent ("best so far") of a branch-and-bound search.
+
+    Reads and writes are atomic and lock-free.  The determinism
+    discipline (DESIGN.md §2) is: a cell read *during* a parallel batch
+    sees a timing-dependent value, so result-affecting reads must happen
+    either before the batch is dispatched or after it completes.
+    Publishing improvements from inside tasks is always safe. *)
+
+type t
+
+val create : int -> t
+(** [create v] is a cell holding [v]. *)
+
+val get : t -> int
+
+val improve : t -> int -> bool
+(** [improve t v] raises the cell to [v] if [v] is strictly greater than
+    the current value.  Returns [true] iff the cell changed.  The cell
+    never decreases. *)

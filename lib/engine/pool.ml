@@ -1,0 +1,178 @@
+exception Nested_use
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when the queue grows or on shutdown *)
+  batch_done : Condition.t;  (* signalled when a batch's last task ends *)
+  mutable queue : (unit -> unit) list;
+  mutable pending : int;  (* tasks of the current batch not yet finished *)
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+  busy : bool Atomic.t;  (* a batch is in flight: nested use is rejected *)
+}
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let pop_task t =
+  match t.queue with
+  | [] -> None
+  | task :: rest ->
+      t.queue <- rest;
+      Some task
+
+let finish_task t =
+  Mutex.lock t.mutex;
+  t.pending <- t.pending - 1;
+  if t.pending = 0 then Condition.broadcast t.batch_done;
+  Mutex.unlock t.mutex
+
+(* Worker domains sleep on [work] and drain the queue; each task is
+   responsible for decrementing [pending] (see [finish_task]). *)
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec next () =
+      match pop_task t with
+      | Some task ->
+          Mutex.unlock t.mutex;
+          task ();
+          finish_task t;
+          loop ()
+      | None ->
+          if t.live then begin
+            Condition.wait t.work t.mutex;
+            next ()
+          end
+          else Mutex.unlock t.mutex
+    in
+    next ()
+  in
+  loop ()
+
+let create ?domains () =
+  let domains =
+    match domains with None -> default_domains () | Some d -> max 1 d
+  in
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      batch_done = Condition.create ();
+      queue = [];
+      pending = 0;
+      live = true;
+      workers = [];
+      busy = Atomic.make false;
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = t.domains
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.live <- false;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [tasks.(i) ()] for every i, on the workers plus the calling domain,
+   and re-raise the first (lowest-indexed) exception once all tasks have
+   settled.  Tasks must not touch the pool: rejected via [busy]. *)
+let run_batch t tasks =
+  let ntasks = Array.length tasks in
+  if ntasks > 0 then begin
+    if not (Atomic.compare_and_set t.busy false true) then raise Nested_use;
+    Fun.protect
+      ~finally:(fun () -> Atomic.set t.busy false)
+      (fun () ->
+        let exns = Array.make ntasks None in
+        let wrap i task () =
+          match task () with
+          | () -> ()
+          | exception e -> exns.(i) <- Some e
+        in
+        Mutex.lock t.mutex;
+        t.pending <- ntasks;
+        (* The queue is empty here: [busy] admits one batch at a time. *)
+        t.queue <- Array.to_list (Array.mapi wrap tasks);
+        Condition.broadcast t.work;
+        (* The caller drains the queue alongside the workers, then blocks
+           until stragglers finish. *)
+        let rec drain () =
+          match pop_task t with
+          | Some task ->
+              Mutex.unlock t.mutex;
+              task ();
+              finish_task t;
+              Mutex.lock t.mutex;
+              drain ()
+          | None ->
+              while t.pending > 0 do
+                Condition.wait t.batch_done t.mutex
+              done;
+              Mutex.unlock t.mutex
+        in
+        drain ();
+        Array.iter (function Some e -> raise e | None -> ()) exns)
+  end
+
+(* Split [len] items into at most [domains * 4] contiguous chunks so that
+   uneven task costs still spread across domains; chunk boundaries are a
+   pure function of [len] and [domains], never of timing. *)
+let chunk_bounds t len =
+  let chunks = min len (t.domains * 4) in
+  Array.init chunks (fun c -> (c * len / chunks, (c + 1) * len / chunks))
+
+let parallel_map t f xs =
+  let len = Array.length xs in
+  if len = 0 then [||]
+  else if t.domains = 1 then begin
+    (* Reference sequential path: same busy discipline, same order. *)
+    if not (Atomic.compare_and_set t.busy false true) then raise Nested_use;
+    Fun.protect
+      ~finally:(fun () -> Atomic.set t.busy false)
+      (fun () -> Array.map f xs)
+  end
+  else begin
+    let results = Array.make len None in
+    let tasks =
+      Array.map
+        (fun (lo, hi) () ->
+          for i = lo to hi - 1 do
+            results.(i) <- Some (f xs.(i))
+          done)
+        (chunk_bounds t len)
+    in
+    run_batch t tasks;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_init t n f =
+  if n < 0 then invalid_arg "Pool.parallel_init";
+  parallel_map t f (Array.init n Fun.id)
+
+let parallel_reduce_max t ~score f xs =
+  if Array.length xs = 0 then invalid_arg "Pool.parallel_reduce_max: empty";
+  let ys = parallel_map t f xs in
+  (* Deterministic fold: the lowest index wins ties, independent of how
+     the map was scheduled. *)
+  let best = ref ys.(0) in
+  let best_score = ref (score ys.(0)) in
+  for i = 1 to Array.length ys - 1 do
+    let s = score ys.(i) in
+    if s > !best_score then begin
+      best := ys.(i);
+      best_score := s
+    end
+  done;
+  !best

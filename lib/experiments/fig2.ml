@@ -15,34 +15,39 @@ let x = 1
 
 let sk_pairs = [ (2, 2); (2, 3); (2, 4); (2, 5); (3, 3); (3, 4); (3, 5) ]
 
-let compute ?(bs = [ 600; 1200; 2400; 4800; 9600 ]) () =
+let compute ?pool ?(bs = [ 600; 1200; 2400; 4800; 9600 ]) () =
   (* One STS(69) shared across all points; Simple.of_design recopies it
-     per b. *)
+     per b.  Layouts are materialized up front, then the (b, s, k) grid
+     fans out through the pool — the adversary inside each point stays
+     sequential (pools reject nesting). *)
   let design = Designs.Steiner_triple.make 69 in
-  List.concat_map
-    (fun b ->
-      let simple = Placement.Simple.of_design design ~n ~b in
+  let grid =
+    List.concat_map
+      (fun b ->
+        let simple = Placement.Simple.of_design design ~n ~b in
+        List.map (fun (s, k) -> (b, simple, s, k)) sk_pairs)
+      bs
+  in
+  Grid.map ?pool
+    (fun (b, simple, s, k) ->
       let layout = simple.Placement.Simple.layout in
-      List.map
-        (fun (s, k) ->
-          let attack = Placement.Adversary.best layout ~s ~k in
-          let avail = Placement.Adversary.avail layout ~s attack in
-          let lb = Placement.Simple.lower_bound simple ~k ~s in
-          {
-            s;
-            k;
-            b;
-            lambda = simple.Placement.Simple.lambda;
-            avail;
-            lb;
-            gap = avail - lb;
-            exact = attack.Placement.Adversary.exact;
-          })
-        sk_pairs)
-    bs
+      let attack = Placement.Adversary.attack layout ~s ~k in
+      let avail = Placement.Adversary.avail layout ~s attack in
+      let lb = Placement.Simple.lower_bound simple ~k ~s in
+      {
+        s;
+        k;
+        b;
+        lambda = simple.Placement.Simple.lambda;
+        avail;
+        lb;
+        gap = avail - lb;
+        exact = attack.Placement.Adversary.exact;
+      })
+    grid
 
-let print fmt =
-  let points = compute () in
+let print ?pool fmt =
+  let points = compute ?pool () in
   Format.fprintf fmt
     "Fig. 2: Avail(pi) - lbAvail_si(x,lambda) for n=%d, x=%d, r=%d@." n x r;
   let rows =

@@ -17,6 +17,8 @@ type point = {
   exact : bool;
 }
 
-val compute : ?bs:int list -> unit -> point list
+val compute : ?pool:Engine.Pool.t -> ?bs:int list -> unit -> point list
+(** With [pool], the (b, s, k) grid points run as pool tasks; output is
+    bit-identical to the sequential run. *)
 
-val print : Format.formatter -> unit
+val print : ?pool:Engine.Pool.t -> Format.formatter -> unit

@@ -12,16 +12,21 @@ let curve ~r ~x ~max_mu ~n_lo ~n_hi =
   in
   { r; x; max_mu; cdf }
 
-let compute_fig5 ?(n_lo = 50) ?(n_hi = 800) () =
-  List.concat_map
-    (fun r -> List.init r (fun x -> curve ~r ~x ~max_mu:1 ~n_lo ~n_hi))
-    [ 2; 3; 4; 5 ]
+let compute_fig5 ?pool ?(n_lo = 50) ?(n_hi = 800) () =
+  let specs =
+    List.concat_map
+      (fun r -> List.init r (fun x -> (r, x, 1)))
+      [ 2; 3; 4; 5 ]
+  in
+  Grid.map ?pool (fun (r, x, max_mu) -> curve ~r ~x ~max_mu ~n_lo ~n_hi) specs
 
-let compute_fig6 ?(n_lo = 50) ?(n_hi = 800) () =
-  List.concat_map
-    (fun max_mu ->
-      List.map (fun x -> curve ~r:5 ~x ~max_mu ~n_lo ~n_hi) [ 2; 3 ])
-    [ 5; 10 ]
+let compute_fig6 ?pool ?(n_lo = 50) ?(n_hi = 800) () =
+  let specs =
+    List.concat_map
+      (fun max_mu -> List.map (fun x -> (5, x, max_mu)) [ 2; 3 ])
+      [ 5; 10 ]
+  in
+  Grid.map ?pool (fun (r, x, max_mu) -> curve ~r ~x ~max_mu ~n_lo ~n_hi) specs
 
 let fraction_below c threshold =
   List.fold_left
@@ -48,12 +53,12 @@ let print_curves fmt title curves =
          :: List.map (fun t -> Render.f2 t) thresholds)
        ~rows)
 
-let print_fig5 fmt =
+let print_fig5 ?pool fmt =
   print_curves fmt
     "Fig. 5: capacity-gap CDFs (mu=1, m<=3 chunks, n in [50,800])"
-    (compute_fig5 ())
+    (compute_fig5 ?pool ())
 
-let print_fig6 fmt =
+let print_fig6 ?pool fmt =
   print_curves fmt
     "Fig. 6: capacity-gap CDFs for r=5, x in {2,3}, allowing mu <= 5 / 10"
-    (compute_fig6 ())
+    (compute_fig6 ?pool ())

@@ -12,11 +12,14 @@ type curve = {
   cdf : (float * float) list;  (** (gap, fraction of n with gap ≤ it) *)
 }
 
-val compute_fig5 : ?n_lo:int -> ?n_hi:int -> unit -> curve list
-val compute_fig6 : ?n_lo:int -> ?n_hi:int -> unit -> curve list
+val compute_fig5 :
+  ?pool:Engine.Pool.t -> ?n_lo:int -> ?n_hi:int -> unit -> curve list
+val compute_fig6 :
+  ?pool:Engine.Pool.t -> ?n_lo:int -> ?n_hi:int -> unit -> curve list
+(** With [pool], each (r, x, μ) curve is computed as a pool task. *)
 
 val fraction_below : curve -> float -> float
 (** Fraction of system sizes with gap ≤ the given threshold. *)
 
-val print_fig5 : Format.formatter -> unit
-val print_fig6 : Format.formatter -> unit
+val print_fig5 : ?pool:Engine.Pool.t -> Format.formatter -> unit
+val print_fig6 : ?pool:Engine.Pool.t -> Format.formatter -> unit

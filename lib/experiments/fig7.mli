@@ -18,10 +18,15 @@ type point = {
 }
 
 val compute :
-  ?trials:int -> ?bs:int list -> ?cases:(int * int * int * int list) list ->
+  ?pool:Engine.Pool.t -> ?trials:int -> ?bs:int list ->
+  ?cases:(int * int * int * int list) list ->
   unit -> point list
 (** Defaults follow the paper: trials = 20,
     bs = {150, 300, ..., 9600},
-    cases = [(31,5,3,[3;4;5]); (71,5,2,[2;3;4;5])] as (n,r,s,ks). *)
+    cases = [(31,5,3,[3;4;5]); (71,5,2,[2;3;4;5])] as (n,r,s,ks).
+    With [pool], the (n,r,s,k,b) points run as pool tasks with unchanged
+    per-point seeds, so output is bit-identical at any pool size. *)
 
-val print : ?trials:int -> ?bs:int list -> Format.formatter -> unit
+val print :
+  ?pool:Engine.Pool.t -> ?trials:int -> ?bs:int list ->
+  Format.formatter -> unit

@@ -8,21 +8,9 @@ type cell = {
 
 type table = { n : int; r : int; s : int; cells : cell list }
 
-(* Level sets per (n, r) are b/k-independent; cache them. *)
-let levels_cache : (int * int * int, Placement.Combo.level array) Hashtbl.t =
-  Hashtbl.create 16
-
-let levels ~n ~r ~s =
-  match Hashtbl.find_opt levels_cache (n, r, s) with
-  | Some l -> l
-  | None ->
-      let l = Placement.Combo.default_levels ~n ~r ~s () in
-      Hashtbl.add levels_cache (n, r, s) l;
-      l
-
-let cell_value ~n ~r ~s ~k ~b =
+let cell ~levels ~n ~r ~s ~k ~b =
   let p = Placement.Params.make ~b ~r ~s ~n ~k in
-  let cfg = Placement.Combo.optimize ~levels:(levels ~n ~r ~s) p in
+  let cfg = Placement.Combo.optimize ~levels p in
   let pr = Placement.Random_analysis.pr_avail p in
   let pct =
     if b = pr then None
@@ -30,28 +18,37 @@ let cell_value ~n ~r ~s ~k ~b =
   in
   { b; k; lb = cfg.Placement.Combo.lb; pr_avail = pr; pct }
 
+let cell_value ~n ~r ~s ~k ~b =
+  cell ~levels:(Placement.Combo.default_levels ~n ~r ~s ()) ~n ~r ~s ~k ~b
+
 let default_bs = [ 600; 1200; 2400; 4800; 9600; 19200; 38400 ]
 
-let compute ?(ns = [ 71; 257 ]) ?(bs = default_bs) () =
-  List.concat_map
-    (fun n ->
+let compute ?pool ?(ns = [ 71; 257 ]) ?(bs = default_bs) () =
+  (* One pool task per (n, r, s) table; the level set, shared by every
+     cell of a table but by nothing else, is computed inside the task
+     (the old cross-call cache was a Hashtbl and not domain-safe). *)
+  let specs =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun r -> List.map (fun s -> (n, r, s)) (List.init (r - 1) (fun i -> i + 2)))
+          [ 2; 3; 4; 5 ])
+      ns
+  in
+  Grid.map ?pool
+    (fun (n, r, s) ->
       let k_max = if n <= 71 then 7 else 8 in
-      List.concat_map
-        (fun r ->
-          List.map
-            (fun s ->
-              let cells =
-                List.concat_map
-                  (fun b ->
-                    List.map
-                      (fun k -> cell_value ~n ~r ~s ~k ~b)
-                      (List.init (k_max - s + 1) (fun i -> s + i)))
-                  bs
-              in
-              { n; r; s; cells })
-            (List.init (r - 1) (fun i -> i + 2)))
-        [ 2; 3; 4; 5 ])
-    ns
+      let levels = Placement.Combo.default_levels ~n ~r ~s () in
+      let cells =
+        List.concat_map
+          (fun b ->
+            List.map
+              (fun k -> cell ~levels ~n ~r ~s ~k ~b)
+              (List.init (k_max - s + 1) (fun i -> s + i)))
+          bs
+      in
+      { n; r; s; cells })
+    specs
 
 let print_table fmt t =
   Format.fprintf fmt "n=%d r=%d s=%d@." t.n t.r t.s;
@@ -77,8 +74,8 @@ let print_table fmt t =
        ~headers:("b \\ k" :: List.map string_of_int ks)
        ~rows)
 
-let print fmt =
+let print ?pool fmt =
   Format.fprintf fmt
     "Fig. 9: (lbAvail_co - prAvail_rnd) as %% of (b - prAvail_rnd); \
      '=' means prAvail = b (nothing to improve)@.";
-  List.iter (print_table fmt) (compute ())
+  List.iter (print_table fmt) (compute ?pool ())

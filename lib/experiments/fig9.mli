@@ -20,10 +20,12 @@ type cell = {
 type table = { n : int; r : int; s : int; cells : cell list }
 
 val compute :
-  ?ns:int list -> ?bs:int list -> unit -> table list
+  ?pool:Engine.Pool.t -> ?ns:int list -> ?bs:int list -> unit -> table list
+(** With [pool], each (n, r, s) table is computed as a pool task (the
+    per-table level set is built inside the task). *)
 
 val cell_value :
   n:int -> r:int -> s:int -> k:int -> b:int -> cell
 (** One cell (exposed for tests). *)
 
-val print : Format.formatter -> unit
+val print : ?pool:Engine.Pool.t -> Format.formatter -> unit

@@ -1,0 +1,8 @@
+let map ?pool f xs =
+  let arr = Array.of_list xs in
+  let out =
+    match pool with
+    | Some p -> Engine.Pool.parallel_map p f arr
+    | None -> Array.map f arr
+  in
+  Array.to_list out

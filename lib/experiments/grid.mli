@@ -1,0 +1,10 @@
+(** Shared fan-out for experiment drivers: map a parameter grid through
+    an optional {!Engine.Pool}.
+
+    [map ?pool f points] is [List.map f points]; with [pool] the points
+    run as pool tasks (order preserved, results bit-identical — see
+    {!Engine.Pool.parallel_map}).  Point functions must not use the same
+    pool internally: keep inner layers (adversary, Monte-Carlo)
+    sequential and parallelize each driver at exactly one level. *)
+
+val map : ?pool:Engine.Pool.t -> ('a -> 'b) -> 'a list -> 'b list

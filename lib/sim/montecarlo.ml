@@ -19,21 +19,29 @@ let of_avails avails =
     max = int_of_float hi;
   }
 
-let run ~rng ~trials ~placement ~scenario ~semantics =
+let run ?pool ~rng ~trials ~placement ~scenario ~semantics () =
+  (* Pre-split one RNG per trial (Rng.split_n), so trial i's stream is a
+     function of the master seed and i alone: running the trials through a
+     pool of any size gives bit-identical avails.  The adversary inside a
+     trial stays sequential — Engine pools reject nesting. *)
+  let trial_rngs = Combin.Rng.split_n rng trials in
+  let one_trial trial_rng =
+    let layout = placement trial_rng in
+    let cluster = Cluster.create layout semantics in
+    Scenario.run ~rng:trial_rng cluster scenario
+  in
   let avails =
-    Array.init trials (fun _ ->
-        let trial_rng = Combin.Rng.split rng in
-        let layout = placement trial_rng in
-        let cluster = Cluster.create layout semantics in
-        Scenario.run ~rng:trial_rng cluster scenario)
+    match pool with
+    | Some p -> Engine.Pool.parallel_map p one_trial trial_rngs
+    | None -> Array.map one_trial trial_rngs
   in
   of_avails avails
 
-let avg_avail_random ~rng ~trials (p : Placement.Params.t) =
-  run ~rng ~trials
+let avg_avail_random ?pool ~rng ~trials (p : Placement.Params.t) =
+  run ?pool ~rng ~trials
     ~placement:(fun trial_rng -> Placement.Random_placement.place ~rng:trial_rng p)
     ~scenario:(Scenario.Adversarial p.k)
-    ~semantics:(Semantics.Threshold p.s)
+    ~semantics:(Semantics.Threshold p.s) ()
 
 let pp fmt r =
   Format.fprintf fmt "trials=%d mean=%.1f sd=%.1f min=%d max=%d" r.trials

@@ -13,14 +13,19 @@ type result = {
 }
 
 val run :
-  rng:Combin.Rng.t -> trials:int ->
+  ?pool:Engine.Pool.t -> rng:Combin.Rng.t -> trials:int ->
   placement:(Combin.Rng.t -> Placement.Layout.t) ->
-  scenario:Scenario.t -> semantics:Semantics.t -> result
-(** Each trial draws a fresh placement with a split of [rng], builds a
-    cluster, applies the scenario, and records available objects. *)
+  scenario:Scenario.t -> semantics:Semantics.t -> unit -> result
+(** Each trial draws a fresh placement with a pre-split child of [rng]
+    ({!Combin.Rng.split_n}), builds a cluster, applies the scenario, and
+    records available objects.  With [pool], trials run as pool tasks;
+    the result is bit-identical to the sequential run because trial
+    streams are split before dispatch.  Trials must not use the same
+    pool internally ({!Engine.Pool} rejects nesting). *)
 
 val avg_avail_random :
-  rng:Combin.Rng.t -> trials:int -> Placement.Params.t -> result
+  ?pool:Engine.Pool.t -> rng:Combin.Rng.t -> trials:int ->
+  Placement.Params.t -> result
 (** Fig. 7's avgAvail_rnd: Random placements under the adversarial
     scenario with the params' s and k. *)
 

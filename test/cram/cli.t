@@ -43,6 +43,17 @@ Simulate exports a layout; attack re-loads and re-attacks it.
   $ placement-tool attack --layout layout.txt -s 2 -k 4 | head -1
   Worst-case attack on layout.txt (b=100, n=31, r=3)
 
+The -j flag never changes output: simulate and attack at -j 2 are
+byte-identical to -j 1 (seeds are split before dispatch, results are
+placed by index).
+
+  $ placement-tool simulate -n 31 -b 100 -r 3 -s 2 -k 3 --strategy random --seed 7 -j 1 > j1.txt
+  $ placement-tool simulate -n 31 -b 100 -r 3 -s 2 -k 3 --strategy random --seed 7 -j 2 > j2.txt
+  $ diff j1.txt j2.txt
+  $ placement-tool attack --layout layout.txt -s 2 -k 4 -j 1 > aj1.txt
+  $ placement-tool attack --layout layout.txt -s 2 -k 4 -j 2 > aj2.txt
+  $ diff aj1.txt aj2.txt
+
 Malformed layouts are rejected with a line number.
 
   $ printf 'garbage\n' > bad.txt
