@@ -5,6 +5,7 @@
      bench/main.exe fig2                one artefact (see list below)
      bench/main.exe all --out results/  also write one file per artefact
      bench/main.exe quick               cheap subset (used by CI/tests)
+     bench/main.exe perf --quick        perf with small grids, no micro pass
      bench/main.exe -j 4 fig2           fan the artefact grids over 4 domains
 
    Artefacts: fig2..fig11, theorem1, ablation-adversary, ablation-random,
@@ -15,12 +16,14 @@
    Domain.recommended_domain_count) sizes the Engine.Pool shared by the
    parallel drivers (F2, F5/F6, F7, F9); outputs are bit-identical at any
    `-j`.  `perf` additionally times the adversary multi-restart at -j 1
-   vs -j N and appends the measurement to BENCH_adversary.json. *)
+   vs -j N (appended to BENCH_adversary.json) and the cached-vs-uncached
+   availability-analysis sweep (appended to BENCH_analysis.json). *)
 
 type ctx = {
   pool : Engine.Pool.t option;  (* None when running at -j 1 *)
   jobs : int;
   out : string option;
+  quick : bool;  (* perf --quick: small grids, no Bechamel micro pass *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -145,9 +148,116 @@ let run_adversary_scaling ctx fmt =
     (fun () -> output_string oc json);
   Format.fprintf fmt "(appended to %s)@." path
 
+(* ------------------------------------------------------------------ *)
+(* Cached vs uncached availability analysis: the Fig-9-style lbAvail_co
+   grid sweep through Placement.Instance (one table build per (n, r, s),
+   O(1) with_cell per grid cell, binomial columns hoisted out of the DP)
+   against a frozen copy of the pre-Instance path (level set respun and
+   exact binomials recomputed inside the DP inner loop for every cell —
+   what Fig9.cell_value compiled to before the refactor).  Both arms must
+   agree on every lb; the speedup line lands in BENCH_analysis.json. *)
+
+let uncached_lb ~n ~r ~s ~k ~b =
+  let levels = Placement.Combo.default_levels ~n ~r ~s () in
+  let loss (level : Placement.Combo.level) d =
+    d * level.Placement.Combo.mu
+    * Combin.Binomial.exact k (level.Placement.Combo.x + 1)
+    / Combin.Binomial.exact s (level.Placement.Combo.x + 1)
+  in
+  let neg_inf = min_int / 2 in
+  let lbav = Array.make_matrix s (b + 1) 0 in
+  let l0 = levels.(0) in
+  for b' = 1 to b do
+    if l0.Placement.Combo.cap_mu = 0 then lbav.(0).(b') <- neg_inf
+    else begin
+      let d = (b' + l0.Placement.Combo.cap_mu - 1) / l0.Placement.Combo.cap_mu in
+      lbav.(0).(b') <- max 0 (b' - loss l0 d)
+    end
+  done;
+  for x' = 1 to s - 1 do
+    let level = levels.(x') in
+    let cap = level.Placement.Combo.cap_mu in
+    for b' = 1 to b do
+      let best = ref neg_inf in
+      let d_max = if cap = 0 then 0 else (b' + cap - 1) / cap in
+      for d = 0 to d_max do
+        let hosted = min b' (d * cap) in
+        let rest = b' - (d * cap) in
+        let below = if rest <= 0 then 0 else lbav.(x' - 1).(rest) in
+        if below > neg_inf then begin
+          let value = below + hosted - loss level d in
+          if value > !best then best := value
+        end
+      done;
+      lbav.(x').(b') <- !best
+    done
+  done;
+  max 0 lbav.(s - 1).(b)
+
+let run_analysis_caching ctx fmt =
+  let n = 71 in
+  let bs = [ 600; 1200; 2400; 4800; 9600 ] in
+  let tables =
+    List.concat_map
+      (fun r -> List.map (fun s -> (r, s)) (List.init (r - 1) (fun i -> i + 2)))
+      [ 2; 3; 4; 5 ]
+  in
+  let ks s = List.init (7 - s + 1) (fun i -> s + i) in
+  let sweep_uncached () =
+    List.concat_map
+      (fun (r, s) ->
+        List.concat_map
+          (fun b -> List.map (fun k -> uncached_lb ~n ~r ~s ~k ~b) (ks s))
+          bs)
+      tables
+  in
+  let sweep_cached () =
+    List.concat_map
+      (fun (r, s) ->
+        let base = Placement.Instance.make ~b:(List.hd bs) ~r ~s ~n ~k:s () in
+        List.concat_map
+          (fun b ->
+            List.map
+              (fun k ->
+                (Placement.Instance.combo_config
+                   (Placement.Instance.with_cell base ~b ~k))
+                  .Placement.Combo.lb)
+              (ks s))
+          bs)
+      tables
+  in
+  (* Warm-up both arms once so neither is billed allocator start-up. *)
+  ignore (sweep_cached ());
+  ignore (sweep_uncached ());
+  let lbs_uncached, wall_uncached = wall sweep_uncached in
+  let lbs_cached, wall_cached = wall sweep_cached in
+  let identical = lbs_uncached = lbs_cached in
+  let cells = List.length lbs_cached in
+  let speedup = if wall_cached > 0.0 then wall_uncached /. wall_cached else 0.0 in
+  Format.fprintf fmt
+    "analysis grid sweep (n=%d, %d cells): %.3fs uncached (per-cell levels + \
+     exact binomials), %.3fs via Instance (speedup %.2fx, lbs %s)@."
+    n cells wall_uncached wall_cached speedup
+    (if identical then "identical" else "DIFFER");
+  let json =
+    Printf.sprintf
+      "{\"op\": \"combo_lb_grid_sweep\", \"n\": %d, \"cells\": %d, \
+       \"quick\": %b, \"wall_s_uncached\": %.6f, \"wall_s_cached\": %.6f, \
+       \"speedup\": %.4f, \"identical\": %b}\n"
+      n cells ctx.quick wall_uncached wall_cached speedup identical
+  in
+  let dir = match ctx.out with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_analysis.json" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Format.fprintf fmt "(appended to %s)@." path
+
 let run_perf ctx fmt =
   run_adversary_scaling ctx fmt;
-  run_micro fmt
+  run_analysis_caching ctx fmt;
+  if not ctx.quick then run_micro fmt
 
 (* ------------------------------------------------------------------ *)
 (* Artefact table                                                      *)
@@ -209,29 +319,30 @@ let run_quick ctx =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec split_flags acc out jobs = function
-    | "--out" :: dir :: rest -> split_flags acc (Some dir) jobs rest
+  let rec split_flags acc out jobs quick = function
+    | "--out" :: dir :: rest -> split_flags acc (Some dir) jobs quick rest
+    | "--quick" :: rest -> split_flags acc out jobs true rest
     | "-j" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some j -> split_flags acc out j rest
+        | Some j -> split_flags acc out j quick rest
         | None ->
             Format.eprintf "-j expects an integer, got %S@." n;
             exit 2)
-    | x :: rest -> split_flags (x :: acc) out jobs rest
-    | [] -> (List.rev acc, out, jobs)
+    | x :: rest -> split_flags (x :: acc) out jobs quick rest
+    | [] -> (List.rev acc, out, jobs, quick)
   in
-  let selectors, out, jobs =
-    split_flags [] None (Engine.Pool.default_domains ()) args
+  let selectors, out, jobs, quick =
+    split_flags [] None (Engine.Pool.default_domains ()) false args
   in
   let jobs = max 1 jobs in
   (match out with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
   let with_ctx f =
-    if jobs = 1 then f { pool = None; jobs; out }
+    if jobs = 1 then f { pool = None; jobs; out; quick }
     else
       Engine.Pool.with_pool ~domains:jobs (fun pool ->
-          f { pool = Some pool; jobs; out })
+          f { pool = Some pool; jobs; out; quick })
   in
   with_ctx (fun ctx ->
       match selectors with

@@ -1,12 +1,18 @@
 (* placement-tool: command-line front end to the replica-placement library.
 
    Subcommands:
-     plan      compute a Combo placement plan and its availability bound
-     analyze   worst-case analysis of Random placement (Theorem 2)
-     designs   list the design catalogue for given (x, r)
-     gap       chunked capacity plan for a system size (Observation 2)
-     simulate  materialize a placement and attack it
-*)
+     plan        compute a placement plan and its availability bound
+     analyze     worst-case analysis of a strategy (Theorem 2 for random)
+     designs     list the design catalogue for given (x, r)
+     gap         chunked capacity plan for a system size (Observation 2)
+     simulate    materialize a placement and attack it
+     attack      attack an exported layout, or a strategy directly
+     strategies  list the registered placement strategies
+     recommend   cheapest (r, s) meeting an availability target
+
+   Placement families are dispatched through the Placement.Strategies
+   registry: every subcommand taking --strategy accepts any registered
+   name and rejects unknown ones with the list of those available. *)
 
 open Cmdliner
 
@@ -34,9 +40,42 @@ let s_arg =
 let k_arg =
   Arg.(value & opt int 2 & info [ "k"; "failures" ] ~docv:"K" ~doc:"Number of node failures planned for.")
 
+(* Explicit, flag-naming rejections for the parameter mistakes users
+   actually make; Params.validate remains the backstop for the rest. *)
+let validate_params ~n ~b ~r ~s ~k =
+  let err fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  if b <= 0 then
+    err "b = %d: -b/--objects must be a positive object count" b
+  else if r <= 0 then
+    err "r = %d: -r/--replicas must be a positive replica count" r
+  else if s < 1 then
+    err "s = %d: -s/--fatal must be at least 1 (one replica loss can always be fatal)" s
+  else if s > r then
+    err
+      "s = %d exceeds r = %d: an object only has r replicas to lose, so \
+       -s/--fatal must satisfy 1 <= s <= r (raise -r or lower -s)"
+      s r
+  else if n < r then
+    err
+      "n = %d is smaller than r = %d: r replicas need r distinct nodes; \
+       raise -n/--nodes or lower -r/--replicas"
+      n r
+  else if k >= n then
+    err
+      "k = %d with only n = %d nodes: planning for every node (or more) to \
+       fail guarantees nothing survives; -k/--failures must satisfy s <= k < n"
+      k n
+  else if k < s then
+    err
+      "k = %d is below s = %d: fewer simultaneous failures than the fatality \
+       threshold cannot fail any object, so there is nothing to plan; raise \
+       -k/--failures"
+      k s
+  else Placement.Params.validate { Placement.Params.b; r; s; n; k }
+
 let params_term =
   let combine n b r s k =
-    match Placement.Params.validate { Placement.Params.b; r; s; n; k } with
+    match validate_params ~n ~b ~r ~s ~k with
     | Ok p -> `Ok p
     | Error msg -> `Error (false, "invalid parameters: " ^ msg)
   in
@@ -52,73 +91,138 @@ let jobs_arg =
            cores). Results are bit-identical at any $(docv); 1 runs the \
            sequential reference path.")
 
+let jobs_term =
+  let check j =
+    if j < 1 then
+      `Error
+        ( false,
+          Printf.sprintf
+            "-j %d: the worker-domain count must be at least 1 (use -j 1 for \
+             the sequential path, or omit -j to use every core)"
+            j )
+    else `Ok j
+  in
+  Term.(ret (const check $ jobs_arg))
+
 let with_pool jobs f =
-  let jobs = max 1 jobs in
   if jobs = 1 then f None
   else Engine.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
+(* --strategy NAME, resolved through the registry; unknown names list the
+   registered strategies. *)
+let strategy_arg ~default =
+  Arg.(
+    value
+    & opt string default
+    & info [ "strategy" ] ~docv:"STRAT"
+        ~doc:
+          "Placement strategy (see the $(b,strategies) subcommand for the \
+           registered names).")
+
+let strategy_term ~default =
+  let resolve name =
+    match Placement.Strategies.find name with
+    | Some s -> `Ok s
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown strategy %S; available strategies: %s" name
+              (String.concat ", " (Placement.Strategies.names ())) )
+  in
+  Term.(ret (const resolve $ strategy_arg ~default))
+
+let plan_layout (module S : Placement.Strategy.S) ?rng inst =
+  try Ok (S.plan ?rng inst) with
+  | Placement.Optimal.Too_large ->
+      Error
+        (Printf.sprintf
+           "strategy %s: instance too large for exhaustive search (cost %.3g); \
+            use a heuristic strategy instead"
+           S.name
+           (let p = Placement.Instance.params inst in
+            Placement.Optimal.search_cost ~n:p.Placement.Params.n
+              ~r:p.Placement.Params.r ~k:p.Placement.Params.k
+              ~b:p.Placement.Params.b))
+  | Invalid_argument msg -> Error (Printf.sprintf "strategy %s: %s" S.name msg)
 
 (* ------------------------------------------------------------------ *)
 (* plan *)
 
 let plan_cmd =
-  let run (p : Placement.Params.t) =
+  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) =
     setup_logs ();
-    let cfg = Placement.Combo.optimize p in
-    Fmt.pr "Combo placement plan for %a@." Placement.Params.pp p;
-    Array.iteri
-      (fun x lambda ->
-        if lambda > 0 then begin
-          let level = cfg.Placement.Combo.levels.(x) in
-          let name =
-            match level.Placement.Combo.entry with
-            | Some e -> e.Designs.Registry.name
-            | None -> "-"
-          in
-          Fmt.pr "  Simple(%d, %d): nx=%d design=%s objects=%d@." x lambda
-            level.Placement.Combo.nx name
-            cfg.Placement.Combo.assigned.(x)
-        end)
-      cfg.Placement.Combo.lambdas;
-    let pr_avail = Placement.Random_analysis.pr_avail p in
-    Fmt.pr "guaranteed available objects (worst %d failures): %d / %d@."
-      p.Placement.Params.k cfg.Placement.Combo.lb p.Placement.Params.b;
-    Fmt.pr "Random placement, probable availability:          %d / %d@."
-      pr_avail p.Placement.Params.b;
-    if cfg.Placement.Combo.lb > pr_avail then
-      Fmt.pr "=> Combo saves %d of the %d objects Random probably loses.@."
-        (cfg.Placement.Combo.lb - pr_avail)
-        (p.Placement.Params.b - pr_avail)
-    else if cfg.Placement.Combo.lb < pr_avail then
-      Fmt.pr "=> Random probably does better here (by %d objects).@."
-        (pr_avail - cfg.Placement.Combo.lb)
-    else Fmt.pr "=> Tie.@."
+    let inst = Placement.Instance.of_params p in
+    let display = Placement.Strategies.display_name (module S) in
+    Fmt.pr "%s placement plan for %a@." display Placement.Params.pp p;
+    List.iter (fun line -> Fmt.pr "  %s@." line) (S.explain inst);
+    let pr_avail = Placement.Instance.pr_avail inst in
+    match S.lower_bound inst with
+    | None ->
+        Fmt.pr "no worst-case guarantee for this strategy (probabilistic only)@.";
+        Fmt.pr "Random placement, probable availability:          %d / %d@."
+          pr_avail p.Placement.Params.b
+    | Some lb ->
+        Fmt.pr "guaranteed available objects (worst %d failures): %d / %d@."
+          p.Placement.Params.k lb p.Placement.Params.b;
+        Fmt.pr "Random placement, probable availability:          %d / %d@."
+          pr_avail p.Placement.Params.b;
+        if lb > pr_avail then
+          Fmt.pr "=> %s saves %d of the %d objects Random probably loses.@."
+            display (lb - pr_avail)
+            (p.Placement.Params.b - pr_avail)
+        else if lb < pr_avail then
+          Fmt.pr "=> Random probably does better here (by %d objects).@."
+            (pr_avail - lb)
+        else Fmt.pr "=> Tie.@."
   in
   Cmd.v
-    (Cmd.info "plan" ~doc:"Compute a Combo placement plan and its availability bound.")
-    Term.(const run $ params_term)
+    (Cmd.info "plan" ~doc:"Compute a placement plan and its availability bound.")
+    Term.(const run $ params_term $ strategy_term ~default:"combo")
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
 let analyze_cmd =
-  let run (p : Placement.Params.t) =
+  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) =
     setup_logs ();
-    let prob = Placement.Random_analysis.single_object_fail_probability p in
-    Fmt.pr "Worst-case analysis of load-balanced Random placement@.";
-    Fmt.pr "  parameters: %a@." Placement.Params.pp p;
-    Fmt.pr "  per-object kill probability under a fixed worst K: %.3e@." prob;
-    Fmt.pr "  prAvail_rnd (Definition 6): %d / %d (%.4f)@."
-      (Placement.Random_analysis.pr_avail p)
-      p.Placement.Params.b
-      (Placement.Random_analysis.pr_avail_fraction p);
-    if p.Placement.Params.s = 1 && 2 * p.Placement.Params.k < p.Placement.Params.n
-    then
-      Fmt.pr "  Lemma 4 upper bound (s = 1): %.1f@."
-        (Placement.Random_analysis.s1_upper_bound p)
+    let inst = Placement.Instance.of_params p in
+    if S.name = "random" then begin
+      let prob = Placement.Random_analysis.single_object_fail_probability p in
+      Fmt.pr "Worst-case analysis of load-balanced Random placement@.";
+      Fmt.pr "  parameters: %a@." Placement.Params.pp p;
+      Fmt.pr "  per-object kill probability under a fixed worst K: %.3e@." prob;
+      Fmt.pr "  prAvail_rnd (Definition 6): %d / %d (%.4f)@."
+        (Placement.Instance.pr_avail inst)
+        p.Placement.Params.b
+        (Placement.Instance.pr_avail_fraction inst);
+      if p.Placement.Params.s = 1 && 2 * p.Placement.Params.k < p.Placement.Params.n
+      then
+        Fmt.pr "  Lemma 4 upper bound (s = 1): %.1f@."
+          (Placement.Random_analysis.s1_upper_bound p)
+    end
+    else begin
+      Fmt.pr "Worst-case analysis of the %s strategy@."
+        (Placement.Strategies.display_name (module S));
+      Fmt.pr "  parameters: %a@." Placement.Params.pp p;
+      List.iter (fun line -> Fmt.pr "  %s@." line) (S.explain inst);
+      (match S.lower_bound inst with
+      | Some lb ->
+          Fmt.pr "  worst-case guarantee (Lemmas 2-3): %d / %d@." lb
+            p.Placement.Params.b
+      | None -> Fmt.pr "  no worst-case guarantee@.");
+      Fmt.pr "  upper bound for any placement: %d / %d@."
+        (Placement.Analysis.ub_avail_any ~b:p.Placement.Params.b
+           ~r:p.Placement.Params.r ~s:p.Placement.Params.s ~n:p.Placement.Params.n
+           ~k:p.Placement.Params.k)
+        p.Placement.Params.b;
+      Fmt.pr "  exact adversary affordable: %b (estimated work %.3g)@."
+        (Placement.Instance.exact_attack_affordable inst)
+        (Placement.Instance.attack_cost inst)
+    end
   in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"Worst-case availability analysis of Random placement.")
-    Term.(const run $ params_term)
+    (Cmd.info "analyze" ~doc:"Worst-case availability analysis of a strategy.")
+    Term.(const run $ params_term $ strategy_term ~default:"random")
 
 (* ------------------------------------------------------------------ *)
 (* designs *)
@@ -186,14 +290,43 @@ let gap_cmd =
     Term.(const run $ n_arg $ x_arg $ r_arg $ mu_arg)
 
 (* ------------------------------------------------------------------ *)
-(* simulate *)
+(* attack *)
+
+let print_attack ~source layout ~s attack =
+  Fmt.pr "Worst-case attack on %s (b=%d, n=%d, r=%d)@." source
+    (Placement.Layout.b layout)
+    layout.Placement.Layout.n layout.Placement.Layout.r;
+  Fmt.pr "  failed nodes: %a@."
+    Fmt.(brackets (array ~sep:comma int))
+    attack.Placement.Adversary.failed_nodes;
+  Fmt.pr "  available objects: %d / %d (adversary %s)@."
+    (Placement.Adversary.avail layout ~s attack)
+    (Placement.Layout.b layout)
+    (if attack.Placement.Adversary.exact then "exact" else "heuristic")
 
 let attack_cmd =
   let file_arg =
     Arg.(
-      required
+      value
       & opt (some file) None
       & info [ "layout" ] ~docv:"FILE" ~doc:"Layout file written by simulate --out.")
+  in
+  let strategy_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "strategy" ] ~docv:"STRAT"
+          ~doc:
+            "Attack a freshly planned strategy layout instead of a file \
+             (requires -n and -b).")
+  in
+  let n_opt = Arg.(value & opt (some int) None & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes (with --strategy).") in
+  let b_opt = Arg.(value & opt (some int) None & info [ "b"; "objects" ] ~docv:"B" ~doc:"Number of objects (with --strategy).") in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (with --strategy).")
+  in
+  let r_only =
+    Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~docv:"R" ~doc:"Replicas per object (with --strategy).")
   in
   let s_only =
     Arg.(value & opt int 2 & info [ "s"; "fatal" ] ~docv:"S" ~doc:"Fatality threshold.")
@@ -201,38 +334,60 @@ let attack_cmd =
   let k_only =
     Arg.(value & opt int 2 & info [ "k"; "failures" ] ~docv:"K" ~doc:"Nodes to fail.")
   in
-  let run file s k jobs =
+  let fail msg =
+    Fmt.epr "%s@." msg;
+    exit 1
+  in
+  let run file strategy n b r seed s k jobs =
     setup_logs ();
-    match Placement.Codec.load file with
-    | Error msg ->
-        Fmt.epr "cannot load %s: %s@." file msg;
-        exit 1
-    | Ok layout ->
-        let attack =
-          with_pool jobs (fun pool -> Placement.Adversary.best ?pool layout ~s ~k)
-        in
-        Fmt.pr "Worst-case attack on %s (b=%d, n=%d, r=%d)@." file
-          (Placement.Layout.b layout)
-          layout.Placement.Layout.n layout.Placement.Layout.r;
-        Fmt.pr "  failed nodes: %a@."
-          Fmt.(brackets (array ~sep:comma int))
-          attack.Placement.Adversary.failed_nodes;
-        Fmt.pr "  available objects: %d / %d (adversary %s)@."
-          (Placement.Adversary.avail layout ~s attack)
-          (Placement.Layout.b layout)
-          (if attack.Placement.Adversary.exact then "exact" else "heuristic")
+    let source, layout =
+      match (file, strategy) with
+      | Some _, Some _ -> fail "pass either --layout or --strategy, not both"
+      | None, None -> fail "one of --layout FILE or --strategy NAME is required"
+      | Some file, None -> (
+          match Placement.Codec.load file with
+          | Error msg -> fail (Printf.sprintf "cannot load %s: %s" file msg)
+          | Ok layout -> (file, layout))
+      | None, Some name -> (
+          let (module S) =
+            match Placement.Strategies.find name with
+            | Some s -> s
+            | None ->
+                fail
+                  (Printf.sprintf "unknown strategy %S; available strategies: %s"
+                     name
+                     (String.concat ", " (Placement.Strategies.names ())))
+          in
+          match (n, b) with
+          | None, _ | _, None -> fail "--strategy needs -n and -b to size the instance"
+          | Some n, Some b -> (
+              match validate_params ~n ~b ~r ~s ~k with
+              | Error msg -> fail ("invalid parameters: " ^ msg)
+              | Ok p -> (
+                  let inst = Placement.Instance.of_params p in
+                  let rng = Combin.Rng.create seed in
+                  match plan_layout (module S) ~rng inst with
+                  | Error msg -> fail msg
+                  | Ok layout ->
+                      (Printf.sprintf "a %s placement"
+                         (Placement.Strategies.display_name (module S)),
+                       layout))))
+    in
+    let attack =
+      with_pool jobs (fun pool -> Placement.Adversary.best ?pool layout ~s ~k)
+    in
+    print_attack ~source layout ~s attack
   in
   Cmd.v
-    (Cmd.info "attack" ~doc:"Attack a layout exported with simulate --out.")
-    Term.(const run $ file_arg $ s_only $ k_only $ jobs_arg)
+    (Cmd.info "attack" ~doc:"Attack a layout exported with simulate --out, or a strategy.")
+    Term.(
+      const run $ file_arg $ strategy_opt_arg $ n_opt $ b_opt $ r_only $ seed_arg
+      $ s_only $ k_only $ jobs_term)
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
 
 let simulate_cmd =
-  let strategy_arg =
-    Arg.(
-      value
-      & opt (enum [ ("combo", `Combo); ("random", `Random) ]) `Combo
-      & info [ "strategy" ] ~docv:"STRAT" ~doc:"Placement strategy: combo or random.")
-  in
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
@@ -242,13 +397,16 @@ let simulate_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also export the layout to a file.")
   in
-  let run (p : Placement.Params.t) strategy seed out jobs =
+  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) seed out jobs =
     setup_logs ();
+    let inst = Placement.Instance.of_params p in
     let rng = Combin.Rng.create seed in
     let layout =
-      match strategy with
-      | `Combo -> Placement.Combo.materialize (Placement.Combo.optimize p)
-      | `Random -> Placement.Random_placement.place ~rng p
+      match plan_layout (module S) ~rng inst with
+      | Ok layout -> layout
+      | Error msg ->
+          Fmt.epr "%s@." msg;
+          exit 1
     in
     let attack =
       with_pool jobs (fun pool ->
@@ -256,7 +414,7 @@ let simulate_cmd =
             ~k:p.Placement.Params.k)
     in
     Fmt.pr "Simulated worst-case attack on a %s placement@."
-      (match strategy with `Combo -> "Combo" | `Random -> "Random");
+      (Placement.Strategies.display_name (module S));
     Fmt.pr "  failed nodes: %a@."
       Fmt.(brackets (array ~sep:comma int))
       attack.Placement.Adversary.failed_nodes;
@@ -273,7 +431,29 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Materialize a placement and attack it.")
-    Term.(const run $ params_term $ strategy_arg $ seed_arg $ out_arg $ jobs_arg)
+    Term.(
+      const run $ params_term $ strategy_term ~default:"combo" $ seed_arg
+      $ out_arg $ jobs_term)
+
+(* ------------------------------------------------------------------ *)
+(* strategies *)
+
+let strategies_cmd =
+  let run () =
+    setup_logs ();
+    Fmt.pr "Registered placement strategies:@.";
+    List.iter
+      (fun (module S : Placement.Strategy.S) ->
+        Fmt.pr "  %-10s %-40s %s@." S.name
+          (Printf.sprintf "[%s]"
+             (String.concat ","
+                (List.map Placement.Strategy.capability_name S.capabilities)))
+          S.describe)
+      (Placement.Strategies.all ())
+  in
+  Cmd.v
+    (Cmd.info "strategies" ~doc:"List the registered placement strategies.")
+    Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
 (* recommend *)
@@ -301,7 +481,9 @@ let recommend_cmd =
                 match Placement.Params.validate { Placement.Params.b; r; s; n; k } with
                 | Error _ -> ()
                 | Ok p ->
-                    let cfg = Placement.Combo.optimize p in
+                    let cfg =
+                      Placement.Instance.combo_config (Placement.Instance.of_params p)
+                    in
                     let pct =
                       100.0 *. float_of_int cfg.Placement.Combo.lb /. float_of_int b
                     in
@@ -325,6 +507,9 @@ let main_cmd =
   let doc = "replica placement for availability in the worst case (ICDCS'15 reproduction)" in
   Cmd.group
     (Cmd.info "placement-tool" ~version:"1.0.0" ~doc)
-    [ plan_cmd; analyze_cmd; designs_cmd; gap_cmd; simulate_cmd; attack_cmd; recommend_cmd ]
+    [
+      plan_cmd; analyze_cmd; designs_cmd; gap_cmd; simulate_cmd; attack_cmd;
+      strategies_cmd; recommend_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

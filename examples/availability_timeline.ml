@@ -34,14 +34,13 @@ let () =
   Printf.printf
     "long-run churn on n=%d, b=%d, r=%d, majority quorums (same seed for all placements)\n"
     n b r;
-  let p = Placement.Params.make ~b ~r ~s ~n ~k:3 in
-  let combo = Placement.Combo.materialize (Placement.Combo.optimize p) in
+  let inst = Placement.Instance.make ~b ~r ~s ~n ~k:3 () in
+  let combo = Placement.Instance.combo_layout inst in
   simulate "combo" combo;
   let rng = Combin.Rng.create 99 in
-  let random = Placement.Random_placement.place ~rng p in
+  let random = Placement.Instance.random_layout ~rng inst in
   simulate "random" random;
-  let cs = Placement.Copyset.generate ~rng ~n ~r ~scatter_width:(2 * (r - 1)) in
-  let copyset = Placement.Copyset.place ~rng cs ~b in
+  let copyset = snd (Placement.Instance.copyset ~rng inst) in
   simulate "copyset" copyset;
   Printf.printf
     "\nnote: under RANDOM failures the three placements are nearly\n\

@@ -20,12 +20,15 @@ let () =
     "random (probable)";
   List.iter
     (fun (r, s, label) ->
+      (* One Instance per (r, s) row: its design levels and binomial
+         tables are shared by the whole k sweep via O(1) with_cell. *)
+      let base = Placement.Instance.make ~b ~r ~s ~n ~k:s () in
       List.iter
         (fun k ->
           if k >= s then begin
-            let params = Placement.Params.make ~b ~r ~s ~n ~k in
-            let plan = Placement.Combo.optimize params in
-            let pr = Placement.Random_analysis.pr_avail params in
+            let inst = Placement.Instance.with_cell base ~b ~k in
+            let plan = Placement.Instance.combo_config inst in
+            let pr = Placement.Instance.pr_avail inst in
             Printf.printf "%-14s k=%-4d %-22s %-22s%s\n" label k
               (Printf.sprintf "%d (%.2f%%)" plan.Placement.Combo.lb
                  (100.0 *. float_of_int plan.Placement.Combo.lb /. float_of_int b))
@@ -44,12 +47,12 @@ let () =
       (5, 3, "r=5 majority");
     ];
   (* How sensitive is the r=5 majority plan to the planned k? *)
-  let params = Placement.Params.make ~b ~r:5 ~s:3 ~n ~k:6 in
-  let plan = Placement.Combo.optimize params in
+  let inst = Placement.Instance.make ~b ~r:5 ~s:3 ~n ~k:6 () in
+  let plan = Placement.Instance.combo_config inst in
   Printf.printf
     "\nsensitivity of the r=5 s=3 plan (configured for k=6) to the actual k:\n";
   List.iter
     (fun k ->
       Printf.printf "  actual k=%d: bound %d\n" k
-        (Placement.Combo.lb_avail_co plan ~k))
+        (Placement.Combo.lb_avail_co ~choose:(Placement.Instance.choose inst) plan ~k))
     [ 4; 5; 6; 7; 8; 10 ]

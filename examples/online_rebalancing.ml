@@ -15,15 +15,16 @@ let r = 3
 let s = 2
 let k = 4
 
+(* One Instance for the cluster; per-snapshot cells share its tables. *)
+let base = Placement.Instance.make ~b:1 ~r ~s ~n ~k ()
+
 let report t label =
   let size = Placement.Adaptive.size t in
   let lb = Placement.Adaptive.lower_bound t in
   let opt = Placement.Adaptive.optimal_bound t in
   let pr =
     if size = 0 then 0
-    else
-      Placement.Random_analysis.pr_avail
-        (Placement.Params.make ~b:size ~r ~s ~n ~k)
+    else Placement.Instance.pr_avail (Placement.Instance.with_cell base ~b:size ~k)
   in
   Printf.printf "%-28s b=%-5d guarantee=%-5d offline-optimal=%-5d random-probable=%-5d%s\n"
     label size lb opt pr
@@ -65,7 +66,8 @@ let () =
 
   (* Verify the live guarantee against an actual adversary. *)
   let layout = Placement.Adaptive.layout t in
-  let attack = Placement.Adversary.best layout ~s ~k in
+  let inst = Placement.Instance.with_cell base ~b:(Placement.Adaptive.size t) ~k in
+  let attack = Placement.Instance.attack inst layout in
   Printf.printf
     "\nadversary check on the final layout: %d survive (guarantee was %d, adversary %s)\n"
     (Placement.Adversary.avail layout ~s attack)

@@ -6,13 +6,16 @@
 
 let () =
   (* 600 objects, 3 replicas each, an object dies once 2 of its replicas
-     do (majority quorum), and we plan for 3 simultaneous node failures. *)
-  let params = Placement.Params.make ~b:600 ~r:3 ~s:2 ~n:31 ~k:3 in
+     do (majority quorum), and we plan for 3 simultaneous node failures.
+     The Instance carries the problem parameters plus the cached design
+     levels and binomial tables every call below draws from. *)
+  let inst = Placement.Instance.make ~b:600 ~r:3 ~s:2 ~n:31 ~k:3 () in
+  let params = Placement.Instance.params inst in
 
   (* 1. Ask the library for the availability-optimal Combo placement.  The
      dynamic program picks how many objects to place at each overlap level
      x (Sec. III-B of the paper). *)
-  let plan = Placement.Combo.optimize params in
+  let plan = Placement.Instance.combo_config inst in
   Printf.printf "Combo plan: lower bound %d/%d objects survive any %d failures\n"
     plan.Placement.Combo.lb params.Placement.Params.b params.Placement.Params.k;
   Array.iteri
@@ -26,8 +29,8 @@ let () =
     plan.Placement.Combo.lambdas;
 
   (* 2. Materialize it into an actual node assignment and attack it. *)
-  let layout = Placement.Combo.materialize plan in
-  let attack = Placement.Adversary.best layout ~s:2 ~k:3 in
+  let layout = Placement.Instance.combo_layout ~config:plan inst in
+  let attack = Placement.Instance.attack inst layout in
   Printf.printf "adversary (%s) fails %d objects -> %d available\n"
     (if attack.Placement.Adversary.exact then "exact" else "heuristic")
     attack.Placement.Adversary.failed_objects
@@ -36,12 +39,12 @@ let () =
   (* 3. Compare with a load-balanced random placement under the same
      worst-case adversary. *)
   let rng = Combin.Rng.create 2025 in
-  let random_layout = Placement.Random_placement.place ~rng params in
-  let random_attack = Placement.Adversary.best ~rng random_layout ~s:2 ~k:3 in
+  let random_layout = Placement.Instance.random_layout ~rng inst in
+  let random_attack = Placement.Instance.attack ~rng inst random_layout in
   Printf.printf "random placement under the same adversary: %d available\n"
     (Placement.Adversary.avail random_layout ~s:2 random_attack);
   Printf.printf "analytic prediction for random (prAvail): %d\n"
-    (Placement.Random_analysis.pr_avail params);
+    (Placement.Instance.pr_avail inst);
 
   (* 4. Watch availability evolve on a live cluster as nodes fail. *)
   let cluster = Dsim.Cluster.create layout Dsim.Semantics.Majority in

@@ -34,18 +34,18 @@ let () =
   Printf.printf "== %d chunks, r=3, on %d storage nodes ==\n" chunks nodes;
 
   (* Combo placement optimized for majority quorums and 5 failures. *)
-  let params = Placement.Params.make ~b:chunks ~r:3 ~s:2 ~n:nodes ~k:5 in
-  let plan = Placement.Combo.optimize params in
+  let inst = Placement.Instance.make ~b:chunks ~r:3 ~s:2 ~n:nodes ~k:5 () in
+  let plan = Placement.Instance.combo_config inst in
   Printf.printf
     "combo plan (s=2, k=5): lower bound %d; lambda per level: %s\n"
     plan.Placement.Combo.lb
     (String.concat ","
        (Array.to_list (Array.map string_of_int plan.Placement.Combo.lambdas)));
-  let combo_layout = Placement.Combo.materialize plan in
+  let combo_layout = Placement.Instance.combo_layout ~config:plan inst in
   evaluate "combo (STS-based) placement" combo_layout;
 
   let rng = Combin.Rng.create 11 in
-  let random_layout = Placement.Random_placement.place ~rng params in
+  let random_layout = Placement.Instance.random_layout ~rng inst in
   evaluate "load-balanced random placement" random_layout;
 
   (* Maintenance what-if: drain two specific nodes for an upgrade.  The

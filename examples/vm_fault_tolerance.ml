@@ -14,29 +14,30 @@ let vms = 400
 let () =
   Printf.printf "== VM fault tolerance: %d primary/secondary VM pairs on %d hosts ==\n"
     vms hosts;
+  let base = Placement.Instance.make ~b:vms ~r:2 ~s:2 ~n:hosts ~k:2 () in
   List.iter
     (fun k ->
-      let params = Placement.Params.make ~b:vms ~r:2 ~s:2 ~n:hosts ~k in
-      let plan = Placement.Combo.optimize params in
-      let layout = Placement.Combo.materialize plan in
-      let attack = Placement.Adversary.best layout ~s:2 ~k in
+      let inst = Placement.Instance.with_cell base ~b:vms ~k in
+      let plan = Placement.Instance.combo_config inst in
+      let layout = Placement.Instance.combo_layout ~config:plan inst in
+      let attack = Placement.Instance.attack inst layout in
       let rng = Combin.Rng.create (100 + k) in
-      let random_layout = Placement.Random_placement.place ~rng params in
-      let random_attack = Placement.Adversary.best ~rng random_layout ~s:2 ~k in
+      let random_layout = Placement.Instance.random_layout ~rng inst in
+      let random_attack = Placement.Instance.attack ~rng inst random_layout in
       Printf.printf
         "k=%d hosts down: combo guarantees %d up (measured %d); random placement: %d up (predicted %d)\n"
         k plan.Placement.Combo.lb
         (Placement.Adversary.avail layout ~s:2 attack)
         (Placement.Adversary.avail random_layout ~s:2 random_attack)
-        (Placement.Random_analysis.pr_avail params))
+        (Placement.Instance.pr_avail inst))
     [ 2; 3; 4 ];
 
   (* Rack-correlated failure: put the 31 hosts in 8 racks of ~4 and fail
      two whole racks.  With r = 2 and s = 2 a VM dies only if both its
      hosts land in the failed racks. *)
-  let params = Placement.Params.make ~b:vms ~r:2 ~s:2 ~n:hosts ~k:8 in
-  let plan = Placement.Combo.optimize params in
-  let layout = Placement.Combo.materialize plan in
+  let inst = Placement.Instance.with_cell base ~b:vms ~k:8 in
+  let plan = Placement.Instance.combo_config inst in
+  let layout = Placement.Instance.combo_layout ~config:plan inst in
   let racks = Array.init hosts (fun h -> h mod 8) in
   let cluster =
     Dsim.Cluster.create ~racks layout (Dsim.Semantics.Threshold 2)
@@ -52,4 +53,5 @@ let () =
      many hosts (racks are a weaker adversary than a free choice). *)
   Printf.printf "guarantee against the worst %d arbitrary hosts: %d\n"
     (Array.length failed)
-    (Placement.Combo.lb_avail_co plan ~k:(Array.length failed))
+    (Placement.Combo.lb_avail_co ~choose:(Placement.Instance.choose inst) plan
+       ~k:(Array.length failed))

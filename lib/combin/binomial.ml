@@ -51,6 +51,25 @@ let ratio_exact n1 k1 n2 k2 =
   | Some num, Some den when den <> 0 && num mod den = 0 -> Some (num / den)
   | _ -> None
 
+let row_table ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Binomial.row_table: negative size";
+  (* Pascal's rule with a saturation sentinel: an entry that would
+     overflow is stored as -1, and so is anything derived from it, so a
+     lookup can fall back to {!exact} (which raises a precise
+     [Overflow]) instead of returning garbage. *)
+  let t = Array.make_matrix (rows + 1) (cols + 1) 0 in
+  for m = 0 to rows do
+    t.(m).(0) <- 1;
+    for j = 1 to min m cols do
+      let a = t.(m - 1).(j - 1) and b = t.(m - 1).(j) in
+      if a < 0 || b < 0 then t.(m).(j) <- -1
+      else
+        let sum = a + b in
+        t.(m).(j) <- (if sum < 0 then -1 else sum)
+    done
+  done;
+  t
+
 let falling n j =
   let acc = ref 1 in
   for i = 0 to j - 1 do

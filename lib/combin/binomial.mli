@@ -33,6 +33,14 @@ val ratio_exact : int -> int -> int -> int -> int option
     division is exact and nothing overflows, [None] otherwise.  This is the
     packing-capacity quantity of Lemma 1. *)
 
+val row_table : rows:int -> cols:int -> int array array
+(** [row_table ~rows ~cols] is the Pascal triangle [t] with
+    [t.(m).(j) = C(m,j)] for [0 <= m <= rows] and [0 <= j <= min m cols]
+    ([0] above the diagonal).  Entries that would overflow an OCaml [int]
+    are stored as [-1]; callers fall back to {!exact} for those.  Built
+    once and shared read-only — this is the memoized-binomial substrate
+    of {!Placement.Instance}. *)
+
 val falling : int -> int -> int
 (** [falling n j] is the falling factorial [n (n-1) ... (n-j+1)].
     @raise Overflow on overflow. *)

@@ -13,9 +13,8 @@ let lambda_min ~x ~nx ~r ~mu ~b =
   let copies = (b + cap - 1) / cap in
   max 1 copies * mu
 
-let lb_avail_si ~b ~x ~lambda ~k ~s =
-  b
-  - lambda * Combin.Binomial.exact k (x + 1) / Combin.Binomial.exact s (x + 1)
+let lb_avail_si ?(choose = Combin.Binomial.exact) ~b ~x ~lambda ~k ~s () =
+  b - (lambda * choose k (x + 1) / choose s (x + 1))
 
 type competitive = { c : float; alpha : float }
 

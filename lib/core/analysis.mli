@@ -11,10 +11,13 @@ val lambda_min : x:int -> nx:int -> r:int -> mu:int -> b:int -> int
     exists on nx nodes.  @raise Invalid_argument if
     [μ C(nx,x+1)/C(r,x+1)] is not integral. *)
 
-val lb_avail_si : b:int -> x:int -> lambda:int -> k:int -> s:int -> int
+val lb_avail_si :
+  ?choose:(int -> int -> int) ->
+  b:int -> x:int -> lambda:int -> k:int -> s:int -> unit -> int
 (** Lemma 2: [lbAvail_si = b - floor(λ C(k,x+1) / C(s,x+1))].  May be
     negative for extreme parameters (the bound is then vacuous); callers
-    clamp if needed. *)
+    clamp if needed.  [choose] defaults to {!Combin.Binomial.exact};
+    grid sweeps pass {!Instance.choose} to reuse one memoized table. *)
 
 type competitive = {
   c : float;  (** the competitive factor of Theorem 1 *)

@@ -31,7 +31,7 @@ let loss ~level ~d ~k ~s =
   d * level.mu * Combin.Binomial.exact k (level.x + 1)
   / Combin.Binomial.exact s (level.x + 1)
 
-let optimize ?levels (p : Params.t) =
+let optimize ?(choose = Combin.Binomial.exact) ?levels (p : Params.t) =
   let levels =
     match levels with
     | Some l -> l
@@ -43,6 +43,11 @@ let optimize ?levels (p : Params.t) =
     (fun x level -> if level.x <> x then invalid_arg "Combo.optimize: levels out of order")
     levels;
   let b = p.b in
+  (* The Lemma-2 loss constants μx·C(k,x+1) and C(s,x+1) depend only on
+     the level, not on b' or d — hoist them out of the DP's inner loops
+     (loss for λx = d·μx is then floor(d·mu_ck / cs)). *)
+  let mu_ck = Array.map (fun l -> l.mu * choose p.k (l.x + 1)) levels in
+  let cs = Array.map (fun l -> choose p.s (l.x + 1)) levels in
   (* lbav.(x').(b') per Eqns 5–7; choice records the copy count d. *)
   let lbav = Array.make_matrix p.s (b + 1) 0 in
   let choice = Array.make_matrix p.s (b + 1) 0 in
@@ -56,13 +61,14 @@ let optimize ?levels (p : Params.t) =
     end
     else begin
       let d = (b' + l0.cap_mu - 1) / l0.cap_mu in
-      lbav.(0).(b') <- max 0 (b' - loss ~level:l0 ~d ~k:p.k ~s:p.s);
+      lbav.(0).(b') <- max 0 (b' - (d * mu_ck.(0) / cs.(0)));
       choice.(0).(b') <- d
     end
   done;
   (* Levels x' > 0 (Eqn 7). *)
   for x' = 1 to p.s - 1 do
     let level = levels.(x') in
+    let mu_ck = mu_ck.(x') and cs = cs.(x') in
     for b' = 1 to b do
       let best = ref neg_inf and best_d = ref 0 in
       let d_max = if level.cap_mu = 0 then 0 else (b' + level.cap_mu - 1) / level.cap_mu in
@@ -71,7 +77,7 @@ let optimize ?levels (p : Params.t) =
         let rest = b' - (d * level.cap_mu) in
         let below = if rest <= 0 then 0 else lbav.(x' - 1).(rest) in
         if below > neg_inf then begin
-          let value = below + hosted - loss ~level ~d ~k:p.k ~s:p.s in
+          let value = below + hosted - (d * mu_ck / cs) in
           if value > !best then begin
             best := value;
             best_d := d
@@ -110,16 +116,13 @@ let optimize ?levels (p : Params.t) =
     lb = max 0 lbav.(p.s - 1).(b);
   }
 
-let lb_avail_co config ~k =
+let lb_avail_co ?(choose = Combin.Binomial.exact) config ~k =
   let p = config.params in
   let total_loss = ref 0 in
   Array.iteri
     (fun x lambda ->
       if lambda > 0 then
-        total_loss :=
-          !total_loss
-          + lambda * Combin.Binomial.exact k (x + 1)
-            / Combin.Binomial.exact p.s (x + 1))
+        total_loss := !total_loss + (lambda * choose k (x + 1) / choose p.s (x + 1)))
     config.lambdas;
   max 0 (p.b - !total_loss)
 

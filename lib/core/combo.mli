@@ -27,12 +27,17 @@ val default_levels :
     nx ≤ n (the paper's Sec. III-C selection).  Levels for which no
     design exists get [cap_mu = 0] and are never used by the DP. *)
 
-val optimize : ?levels:level array -> Params.t -> config
+val optimize :
+  ?choose:(int -> int -> int) -> ?levels:level array -> Params.t -> config
 (** The O(s·b) dynamic program (Eqns 5–7): maximizes lbAvail_co subject
     to the capacity constraint (Eqn 3).  [levels] defaults to
-    [default_levels] with the params' n, r, s. *)
+    [default_levels] with the params' n, r, s.  [choose] (default
+    {!Combin.Binomial.exact}) supplies the binomial coefficients; the
+    per-level columns C(k,x+1), C(s,x+1) are fetched once per level and
+    hoisted out of the DP's inner loops, so passing {!Instance.choose}
+    makes grid sweeps reuse one memoized table across cells. *)
 
-val lb_avail_co : config -> k:int -> int
+val lb_avail_co : ?choose:(int -> int -> int) -> config -> k:int -> int
 (** Lemma 3 / Eqn. 4 evaluated at an arbitrary failure count [k] (used by
     the Fig. 3 sensitivity study): [b − Σx floor(λx C(k,x+1)/C(s,x+1))],
     clamped at 0. *)

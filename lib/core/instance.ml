@@ -1,0 +1,99 @@
+(* All tables are built eagerly so a constructed instance is immutable
+   plain data: safe to share read-only across Engine.Pool domains (the
+   old per-driver Hashtbl caches were not).  with_cell aliases the
+   parent's tables, so deriving a grid cell is O(1). *)
+
+type tables = {
+  n : int;
+  r : int;
+  s : int;
+  max_mu : int;
+  choose_tbl : int array array;  (* C(m, j), m <= n, j <= max r s *)
+  log_tbl : float array array;   (* ln C(m, j), same index range *)
+  levels : Combo.level array;
+}
+
+type t = { params : Params.t; tables : tables }
+
+let build_tables ~max_mu ~n ~r ~s =
+  {
+    n;
+    r;
+    s;
+    max_mu;
+    choose_tbl = Combin.Binomial.row_table ~rows:n ~cols:(max r s);
+    log_tbl =
+      Array.init (n + 1) (fun m ->
+          Array.init (max r s + 1) (fun j -> Combin.Binomial.log m j));
+    levels = Combo.default_levels ~max_mu ~n ~r ~s ();
+  }
+
+let of_params ?(max_mu = 1) (p : Params.t) =
+  { params = p; tables = build_tables ~max_mu ~n:p.n ~r:p.r ~s:p.s }
+
+let make ?max_mu ~b ~r ~s ~n ~k () = of_params ?max_mu (Params.make ~b ~r ~s ~n ~k)
+
+let with_params t (p : Params.t) =
+  let { n; r; s; max_mu; _ } = t.tables in
+  if p.n = n && p.r = r && p.s = s then { t with params = p }
+  else { params = p; tables = build_tables ~max_mu ~n:p.n ~r:p.r ~s:p.s }
+
+let with_cell t ~b ~k =
+  let p = t.params in
+  { t with params = Params.make ~b ~r:p.r ~s:p.s ~n:p.n ~k }
+
+let params t = t.params
+let pp fmt t = Params.pp fmt t.params
+
+let choose t m j =
+  let tbl = t.tables.choose_tbl in
+  if m >= 0 && m < Array.length tbl && j >= 0 && j < Array.length tbl.(0) then begin
+    let v = tbl.(m).(j) in
+    if v >= 0 then v else Combin.Binomial.exact m j
+  end
+  else Combin.Binomial.exact m j
+
+let log_choose t m j =
+  let tbl = t.tables.log_tbl in
+  if m >= 0 && m < Array.length tbl && j >= 0 && j < Array.length tbl.(0) then
+    tbl.(m).(j)
+  else Combin.Binomial.log m j
+let levels t = t.tables.levels
+let level_capacity t ~x = t.tables.levels.(x).Combo.cap_mu
+let load_cap t = Params.load_cap t.params
+let average_load t = Params.average_load t.params
+
+let attack_cost t =
+  let p = t.params in
+  let combos =
+    match Combin.Binomial.exact_opt p.n p.k with
+    | Some c -> float_of_int c
+    | None -> infinity
+  in
+  combos *. (float_of_int (p.r * p.b) /. float_of_int p.n)
+
+let exact_attack_affordable ?(limit = 5e7) t = attack_cost t <= limit
+
+let combo_config t = Combo.optimize ~choose:(choose t) ~levels:t.tables.levels t.params
+
+let combo_layout ?spread ?config t =
+  let config = match config with Some c -> c | None -> combo_config t in
+  Combo.materialize ?spread config
+
+let random_layout ~rng t = Random_placement.place ~rng t.params
+
+let copyset ~rng ?scatter_width t =
+  let p = t.params in
+  let scatter_width =
+    match scatter_width with Some sw -> sw | None -> 2 * (p.r - 1)
+  in
+  let cs = Copyset.generate ~rng ~n:p.n ~r:p.r ~scatter_width in
+  (cs, Copyset.place ~rng cs ~b:p.b)
+
+let pr_avail t = Random_analysis.pr_avail t.params
+let pr_avail_fraction t = Random_analysis.pr_avail_fraction t.params
+
+let attack ?pool ?rng t layout =
+  Adversary.best ?pool ?rng layout ~s:t.params.s ~k:t.params.k
+
+let avail t layout atk = Adversary.avail layout ~s:t.params.s atk

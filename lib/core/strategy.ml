@@ -1,0 +1,34 @@
+type capability = Deterministic | Randomized | Load_balanced | Online | Exact_small
+
+let capability_name = function
+  | Deterministic -> "deterministic"
+  | Randomized -> "randomized"
+  | Load_balanced -> "load-balanced"
+  | Online -> "online"
+  | Exact_small -> "exact-small"
+
+module type S = sig
+  val name : string
+  val describe : string
+  val capabilities : capability list
+  val plan : ?rng:Combin.Rng.t -> Instance.t -> Layout.t
+  val lower_bound : ?layout:Layout.t -> Instance.t -> int option
+  val explain : Instance.t -> string list
+end
+
+(* The registry is populated at module-initialization time (Strategies
+   registers the built-ins before any consumer code runs) and read-only
+   afterwards, so plain mutable state needs no synchronization. *)
+let registry : (string, (module S)) Hashtbl.t = Hashtbl.create 16
+
+let register (module M : S) =
+  if Hashtbl.mem registry M.name then
+    invalid_arg ("Strategy.register: duplicate strategy " ^ M.name);
+  Hashtbl.replace registry M.name (module M : S)
+
+let find name = Hashtbl.find_opt registry name
+
+let names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry [] |> List.sort compare
+
+let all () = List.filter_map find (names ())

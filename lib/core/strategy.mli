@@ -1,0 +1,60 @@
+(** Pluggable placement strategies over a shared {!Instance}.
+
+    Every placement family in the repo — Simple, Combo, Random, Copyset,
+    Adaptive, Optimal — implements the one module type {!S}, and a
+    name-keyed registry makes them discoverable by every consumer layer
+    (CLI [--strategy] dispatch, experiment drivers, examples) without
+    hand-wired parameter plumbing per family.
+
+    Use {!Strategies} (which registers the six built-in families as a
+    side effect of linking) rather than this module directly when looking
+    strategies up; {!register} is exposed so tests and downstream code
+    can add their own families to the same dispatch surface. *)
+
+type capability =
+  | Deterministic  (** [plan] ignores its [rng] *)
+  | Randomized  (** [plan] draws from [rng] (default seed 42) *)
+  | Load_balanced
+      (** the planned layout provably respects the ⌈r·b/n⌉ load cap *)
+  | Online  (** supports incremental object arrival/departure *)
+  | Exact_small
+      (** exhaustive search; [plan] raises on instances over budget *)
+
+val capability_name : capability -> string
+
+module type S = sig
+  val name : string
+  (** Registry key, lowercase (e.g. ["combo"]). *)
+
+  val describe : string
+  (** One-line human description for listings. *)
+
+  val capabilities : capability list
+
+  val plan : ?rng:Combin.Rng.t -> Instance.t -> Layout.t
+  (** Produce a placement for the instance.  Strategies with
+      {!Randomized} default [rng] to [Combin.Rng.create 42]; strategies
+      with {!Exact_small} may raise (e.g. {!Optimal.Too_large}) when the
+      instance exceeds their search budget. *)
+
+  val lower_bound : ?layout:Layout.t -> Instance.t -> int option
+  (** Worst-case availability guarantee (Lemmas 2–3) for the planned
+      layout, or [None] when the family offers none.  For strategies
+      whose bound depends on the realized layout (Copyset), pass the
+      layout returned by [plan]; without it the bound refers to a plan
+      with the default rng. *)
+
+  val explain : Instance.t -> string list
+  (** Plan summary lines (design selection, λ per level, ...) for the
+      CLI's [plan] subcommand; may be empty. *)
+end
+
+val register : (module S) -> unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+val find : string -> (module S) option
+val names : unit -> string list
+(** Registered names, sorted. *)
+
+val all : unit -> (module S) list
+(** All registered strategies, in name order. *)

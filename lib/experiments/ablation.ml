@@ -12,8 +12,8 @@ let adversary_cases () =
   let simple b = (Placement.Simple.of_design sts ~n:31 ~b).Placement.Simple.layout in
   let rng = Combin.Rng.create 0xAB1A in
   let random b s k =
-    let p = Placement.Params.make ~b ~r:3 ~s ~n:31 ~k in
-    Placement.Random_placement.place ~rng p
+    let inst = Placement.Instance.make ~b ~r:3 ~s ~n:31 ~k () in
+    Placement.Instance.random_layout ~rng inst
   in
   [
     ("Simple(1,l) n=31 b=600", simple 600, 2, 3);
@@ -59,17 +59,17 @@ type random_row = {
 let random ?(trials = 10) () =
   List.map
     (fun (n, r, b, s, k) ->
-      let p = Placement.Params.make ~b ~r ~s ~n ~k in
+      let inst = Placement.Instance.make ~b ~r ~s ~n ~k () in
+      let p = Placement.Instance.params inst in
       let run place =
         let loads = ref 0 and avails = ref [] in
         for trial = 1 to trials do
           let rng = Combin.Rng.create (0xAB2A + trial) in
           let layout = place ~rng p in
           loads := max !loads (Placement.Layout.max_load layout);
-          let attack = Placement.Adversary.best ~rng layout ~s ~k in
+          let attack = Placement.Instance.attack ~rng inst layout in
           avails :=
-            float_of_int (Placement.Adversary.avail layout ~s attack)
-            :: !avails
+            float_of_int (Placement.Instance.avail inst layout attack) :: !avails
         done;
         (!loads, Combin.Stats.mean (Array.of_list !avails))
       in
@@ -122,15 +122,12 @@ let load_stats desc n b r layout =
 let load () =
   List.concat_map
     (fun (n, r, s, b, k) ->
-      let p = Placement.Params.make ~b ~r ~s ~n ~k in
-      let combo =
-        Placement.Combo.materialize (Placement.Combo.optimize p)
-      in
+      let inst = Placement.Instance.make ~b ~r ~s ~n ~k () in
+      let cfg = Placement.Instance.combo_config inst in
+      let combo = Placement.Instance.combo_layout ~config:cfg inst in
       let rng = Combin.Rng.create 0xAB3A in
-      let random = Placement.Random_placement.place ~rng p in
-      let spread =
-        Placement.Combo.materialize ~spread:true (Placement.Combo.optimize p)
-      in
+      let random = Placement.Instance.random_layout ~rng inst in
+      let spread = Placement.Instance.combo_layout ~spread:true ~config:cfg inst in
       [
         load_stats (Printf.sprintf "combo n=%d r=%d s=%d" n r s) n b r combo;
         load_stats (Printf.sprintf "combo+spread n=%d r=%d s=%d" n r s) n b r spread;

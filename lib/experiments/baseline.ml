@@ -11,24 +11,21 @@ type row = {
   copyset_wide_avail : int;
 }
 
-let attack_avail layout ~s ~k rng =
-  let attack = Placement.Adversary.best ~rng layout ~s ~k in
-  Placement.Adversary.avail layout ~s attack
+let attack_avail inst layout rng =
+  Placement.Instance.avail inst layout (Placement.Instance.attack ~rng inst layout)
 
 let compute () =
   List.map
     (fun (n, r, s, k, b) ->
-      let p = Placement.Params.make ~b ~r ~s ~n ~k in
+      let inst = Placement.Instance.make ~b ~r ~s ~n ~k () in
       let rng = Combin.Rng.create (0xC0 + n + k) in
-      let cfg = Placement.Combo.optimize p in
-      let combo_layout = Placement.Combo.materialize cfg in
-      let random_layout = Placement.Random_placement.place ~rng p in
-      let copyset_layout sw =
-        let cs = Placement.Copyset.generate ~rng ~n ~r ~scatter_width:sw in
-        Placement.Copyset.place ~rng cs ~b
+      let cfg = Placement.Instance.combo_config inst in
+      let combo_layout = Placement.Instance.combo_layout ~config:cfg inst in
+      let random_layout = Placement.Instance.random_layout ~rng inst in
+      let narrow = snd (Placement.Instance.copyset ~rng inst) in
+      let wide =
+        snd (Placement.Instance.copyset ~rng ~scatter_width:(4 * (r - 1)) inst)
       in
-      let narrow = copyset_layout (2 * (r - 1)) in
-      let wide = copyset_layout (4 * (r - 1)) in
       {
         n;
         r;
@@ -36,10 +33,10 @@ let compute () =
         k;
         b;
         combo_lb = cfg.Placement.Combo.lb;
-        combo_avail = attack_avail combo_layout ~s ~k rng;
-        random_avail = attack_avail random_layout ~s ~k rng;
-        copyset_avail = attack_avail narrow ~s ~k rng;
-        copyset_wide_avail = attack_avail wide ~s ~k rng;
+        combo_avail = attack_avail inst combo_layout rng;
+        random_avail = attack_avail inst random_layout rng;
+        copyset_avail = attack_avail inst narrow rng;
+        copyset_wide_avail = attack_avail inst wide rng;
       })
     [
       (31, 3, 2, 3, 600);

@@ -25,8 +25,12 @@ let compute ?(ns = [ 31; 71; 257 ])
         | Some l -> l
         | None -> if n <= 31 then [ 3; 4; 5; 6 ] else if n <= 71 then [ 3; 4; 5; 6; 7 ] else [ 3; 4; 5; 6; 7; 8 ]
       in
-      let levels = Placement.Combo.default_levels ~n ~r ~s () in
-      let simple_level x = levels.(x) in
+      (* One Instance per n: levels and binomial tables shared by every
+         (b, k) cell below. *)
+      let base =
+        Placement.Instance.make ~b:(List.hd bs) ~r ~s ~n ~k:(List.hd ks) ()
+      in
+      let simple_level x = (Placement.Instance.levels base).(x) in
       List.concat_map
         (fun b ->
           (* Minimal λ per level for hosting all b objects alone. *)
@@ -41,16 +45,18 @@ let compute ?(ns = [ 31; 71; 257 ])
           let lambda1 = lambda_for 1 and lambda2 = lambda_for 2 in
           List.map
             (fun k ->
-              let p = Placement.Params.make ~b ~r ~s ~n ~k in
-              let pr = Placement.Random_analysis.pr_avail p in
+              let inst = Placement.Instance.with_cell base ~b ~k in
+              let pr = Placement.Instance.pr_avail inst in
               let lb_simple x lambda =
                 if lambda = 0 then None
                 else
                   Some
                     (max 0
-                       (Placement.Analysis.lb_avail_si ~b ~x ~lambda ~k ~s))
+                       (Placement.Analysis.lb_avail_si
+                          ~choose:(Placement.Instance.choose inst) ~b ~x ~lambda
+                          ~k ~s ()))
               in
-              let cfg = Placement.Combo.optimize ~levels p in
+              let cfg = Placement.Instance.combo_config inst in
               {
                 n;
                 b;

@@ -17,22 +17,32 @@ let sk_pairs = [ (2, 2); (2, 3); (2, 4); (2, 5); (3, 3); (3, 4); (3, 5) ]
 
 let compute ?pool ?(bs = [ 600; 1200; 2400; 4800; 9600 ]) () =
   (* One STS(69) shared across all points; Simple.of_design recopies it
-     per b.  Layouts are materialized up front, then the (b, s, k) grid
-     fans out through the pool — the adversary inside each point stays
-     sequential (pools reject nesting). *)
+     per b.  Layouts and the per-(b, s, k) Instances are materialized up
+     front (instances are immutable, so the shared tables cross domains
+     safely), then the grid fans out through the pool — the adversary
+     inside each point stays sequential (pools reject nesting). *)
   let design = Designs.Steiner_triple.make 69 in
+  let base = Placement.Instance.make ~b:(List.hd bs) ~r ~s:2 ~n ~k:2 () in
   let grid =
     List.concat_map
       (fun b ->
         let simple = Placement.Simple.of_design design ~n ~b in
-        List.map (fun (s, k) -> (b, simple, s, k)) sk_pairs)
+        List.map
+          (fun (s, k) ->
+            let inst =
+              Placement.Instance.with_params base
+                (Placement.Params.make ~b ~r ~s ~n ~k)
+            in
+            (inst, simple))
+          sk_pairs)
       bs
   in
   Grid.map ?pool
-    (fun (b, simple, s, k) ->
+    (fun (inst, simple) ->
+      let { Placement.Params.b; s; k; _ } = Placement.Instance.params inst in
       let layout = simple.Placement.Simple.layout in
-      let attack = Placement.Adversary.attack layout ~s ~k in
-      let avail = Placement.Adversary.avail layout ~s attack in
+      let attack = Placement.Instance.attack inst layout in
+      let avail = Placement.Instance.avail inst layout attack in
       let lb = Placement.Simple.lower_bound simple ~k ~s in
       {
         s;

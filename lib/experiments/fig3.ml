@@ -13,19 +13,20 @@ let compute ?(r = 5) ?(s = 3) ?(k = 6)
     ?(k's = [ 4; 5; 6; 7; 8 ]) () =
   List.concat_map
     (fun (n, b) ->
-      let levels = Placement.Combo.default_levels ~n ~r ~s () in
-      let configured =
-        Placement.Combo.optimize ~levels (Placement.Params.make ~b ~r ~s ~n ~k)
-      in
+      (* One Instance per (n, b) case: the level set and binomial tables
+         are shared by the configured plan and every k' re-plan. *)
+      let base = Placement.Instance.make ~b ~r ~s ~n ~k () in
+      let choose = Placement.Instance.choose base in
+      let configured = Placement.Instance.combo_config base in
       List.map
         (fun k' ->
           let reconfigured =
-            Placement.Combo.optimize ~levels
-              (Placement.Params.make ~b ~r ~s ~n ~k:k')
+            Placement.Instance.combo_config
+              (Placement.Instance.with_cell base ~b ~k:k')
           in
-          let lb_configured = Placement.Combo.lb_avail_co configured ~k:k' in
+          let lb_configured = Placement.Combo.lb_avail_co ~choose configured ~k:k' in
           let lb_reconfigured =
-            Placement.Combo.lb_avail_co reconfigured ~k:k'
+            Placement.Combo.lb_avail_co ~choose reconfigured ~k:k'
           in
           {
             n;

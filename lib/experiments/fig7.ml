@@ -16,19 +16,26 @@ let compute ?pool ?(trials = 20)
     () =
   (* Each (n, r, s, k, b) point owns an explicitly seeded RNG, so the grid
      fans out through the pool with bit-identical results; the trials and
-     the per-trial adversary inside a point stay sequential. *)
+     the per-trial adversary inside a point stay sequential.  One Instance
+     per (n, r, s) case is built up front and its cells derived with
+     with_cell — instances are immutable, so sharing the cached tables
+     across pool domains is safe. *)
   let grid =
     List.concat_map
       (fun (n, r, s, ks) ->
-        List.concat_map (fun k -> List.map (fun b -> (n, r, s, k, b)) bs) ks)
+        let base = Placement.Instance.make ~b:(List.hd bs) ~r ~s ~n ~k:(List.hd ks) () in
+        List.concat_map
+          (fun k -> List.map (fun b -> Placement.Instance.with_cell base ~b ~k) bs)
+          ks)
       cases
   in
   Grid.map ?pool
-    (fun (n, r, s, k, b) ->
-      let p = Placement.Params.make ~b ~r ~s ~n ~k in
+    (fun inst ->
+      let p = Placement.Instance.params inst in
+      let { Placement.Params.n; r; s; k; b } = p in
       let rng = Combin.Rng.create (0xF16 + (1000 * n) + (10 * k) + b) in
       let mc = Dsim.Montecarlo.avg_avail_random ~rng ~trials p in
-      let pr_avail = Placement.Random_analysis.pr_avail p in
+      let pr_avail = Placement.Instance.pr_avail inst in
       {
         n;
         r;

@@ -8,25 +8,27 @@ type cell = {
 
 type table = { n : int; r : int; s : int; cells : cell list }
 
-let cell ~levels ~n ~r ~s ~k ~b =
-  let p = Placement.Params.make ~b ~r ~s ~n ~k in
-  let cfg = Placement.Combo.optimize ~levels p in
-  let pr = Placement.Random_analysis.pr_avail p in
+let cell inst =
+  let p = Placement.Instance.params inst in
+  let b = p.Placement.Params.b in
+  let cfg = Placement.Instance.combo_config inst in
+  let pr = Placement.Instance.pr_avail inst in
   let pct =
     if b = pr then None
     else Some (100.0 *. float_of_int (cfg.Placement.Combo.lb - pr) /. float_of_int (b - pr))
   in
-  { b; k; lb = cfg.Placement.Combo.lb; pr_avail = pr; pct }
+  { b; k = p.Placement.Params.k; lb = cfg.Placement.Combo.lb; pr_avail = pr; pct }
 
-let cell_value ~n ~r ~s ~k ~b =
-  cell ~levels:(Placement.Combo.default_levels ~n ~r ~s ()) ~n ~r ~s ~k ~b
+let cell_value ~n ~r ~s ~k ~b = cell (Placement.Instance.make ~b ~r ~s ~n ~k ())
 
 let default_bs = [ 600; 1200; 2400; 4800; 9600; 19200; 38400 ]
 
 let compute ?pool ?(ns = [ 71; 257 ]) ?(bs = default_bs) () =
-  (* One pool task per (n, r, s) table; the level set, shared by every
-     cell of a table but by nothing else, is computed inside the task
-     (the old cross-call cache was a Hashtbl and not domain-safe). *)
+  (* One pool task per (n, r, s) table; the Instance — level set plus
+     binomial tables, shared by every cell of a table but by nothing
+     else — is built once inside the task (immutable, so it could even
+     cross domains; the old cross-call Hashtbl cache could not) and the
+     b×k grid is derived with O(1) with_cell. *)
   let specs =
     List.concat_map
       (fun n ->
@@ -38,12 +40,12 @@ let compute ?pool ?(ns = [ 71; 257 ]) ?(bs = default_bs) () =
   Grid.map ?pool
     (fun (n, r, s) ->
       let k_max = if n <= 71 then 7 else 8 in
-      let levels = Placement.Combo.default_levels ~n ~r ~s () in
+      let base = Placement.Instance.make ~b:(List.hd bs) ~r ~s ~n ~k:s () in
       let cells =
         List.concat_map
           (fun b ->
             List.map
-              (fun k -> cell ~levels ~n ~r ~s ~k ~b)
+              (fun k -> cell (Placement.Instance.with_cell base ~b ~k))
               (List.init (k_max - s + 1) (fun i -> s + i)))
           bs
       in

@@ -1,0 +1,10 @@
+#!/bin/sh
+# One-shot health check: the full test suite plus the quick perf pass
+# (adversary -j scaling + the cached-vs-uncached analysis sweep, which
+# appends BENCH_adversary.json / BENCH_analysis.json in the repo root).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+dune exec bench/main.exe -- perf --quick

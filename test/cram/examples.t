@@ -1,0 +1,101 @@
+The bundled examples are pinned byte-for-byte: they double as end-to-end
+tests of the Instance-based API (every one builds its cluster context
+through Placement.Instance).
+
+  $ ../../examples/quickstart.exe
+  Combo plan: lower bound 588/600 objects survive any 3 failures
+    level x=1: lambda=4, 600 objects on a PG(4,2)
+  adversary (exact) fails 12 objects -> 588 available
+  random placement under the same adversary: 575 available
+  analytic prediction for random (prAvail): 575
+  [t0: all 31 nodes up] failed_nodes=0 available=600 unavailable=0
+  [t1: first node down] failed_nodes=1 available=600 unavailable=0
+  [t2: second node down] failed_nodes=2 available=596 unavailable=4
+  [t3: third node down (planned worst case)] failed_nodes=3 available=588 unavailable=12
+  [t4: recovered] failed_nodes=0 available=600 unavailable=0
+
+  $ ../../examples/vm_fault_tolerance.exe
+  == VM fault tolerance: 400 primary/secondary VM pairs on 31 hosts ==
+  k=2 hosts down: combo guarantees 399 up (measured 399); random placement: 396 up (predicted 396)
+  k=3 hosts down: combo guarantees 397 up (measured 397); random placement: 391 up (predicted 390)
+  k=4 hosts down: combo guarantees 394 up (measured 394); random placement: 384 up (predicted 384)
+  two random racks down (8 hosts): 378 / 400 VMs survive on the combo layout
+  guarantee against the worst 8 arbitrary hosts: 372
+
+  $ ../../examples/storage_cluster.exe
+  == 2400 chunks, r=3, on 71 storage nodes ==
+  combo plan (s=2, k=5): lower bound 2363; lambda per level: 3,3
+  -- combo (STS-based) placement --
+    majority quorum        k=3: 2388 / 2400 chunks survive (exact adversary)
+    majority quorum        k=5: 2364 / 2400 chunks survive (heuristic adversary)
+    read-any (primary-backup) k=3: 2394 / 2400 chunks survive (exact adversary)
+    read-any (primary-backup) k=5: 2391 / 2400 chunks survive (heuristic adversary)
+  -- load-balanced random placement --
+    majority quorum        k=3: 2378 / 2400 chunks survive (exact adversary)
+    majority quorum        k=5: 2346 / 2400 chunks survive (heuristic adversary)
+    read-any (primary-backup) k=3: 2397 / 2400 chunks survive (exact adversary)
+    read-any (primary-backup) k=5: 2394 / 2400 chunks survive (heuristic adversary)
+  draining nodes 12 and 40 for maintenance: 3 chunks lose majority
+
+  $ ../../examples/capacity_planner.exe
+  fleet: n=257 nodes, b=9600 objects; entries are objects surviving the worst k failures
+  config         k      combo (guaranteed)     random (probable)     
+  r=2 mirror     k=2    9599 (99.99%)          9596 (99.96%)           <- combo wins
+  r=2 mirror     k=4    9594 (99.94%)          9586 (99.85%)           <- combo wins
+  r=2 mirror     k=6    9585 (99.84%)          9575 (99.74%)           <- combo wins
+  r=2 mirror     k=8    9572 (99.71%)          9561 (99.59%)           <- combo wins
+  r=3 majority   k=2    9599 (99.99%)          9593 (99.93%)           <- combo wins
+  r=3 majority   k=4    9594 (99.94%)          9577 (99.76%)           <- combo wins
+  r=3 majority   k=6    9585 (99.84%)          9555 (99.53%)           <- combo wins
+  r=3 majority   k=8    9572 (99.71%)          9528 (99.25%)           <- combo wins
+  r=3 read-any   k=4    9598 (99.98%)          9597 (99.97%)           <- combo wins
+  r=3 read-any   k=6    9595 (99.95%)          9594 (99.94%)           <- combo wins
+  r=3 read-any   k=8    9591 (99.91%)          9590 (99.90%)           <- combo wins
+  r=4 quorum     k=2    9598 (99.98%)          9591 (99.91%)           <- combo wins
+  r=4 quorum     k=4    9588 (99.88%)          9567 (99.66%)           <- combo wins
+  r=4 quorum     k=6    9570 (99.69%)          9532 (99.29%)           <- combo wins
+  r=4 quorum     k=8    9544 (99.42%)          9489 (98.84%)           <- combo wins
+  r=5 majority   k=4    9596 (99.96%)          9594 (99.94%)           <- combo wins
+  r=5 majority   k=6    9580 (99.79%)          9588 (99.88%)           <- random wins
+  r=5 majority   k=8    9563 (99.61%)          9580 (99.79%)           <- random wins
+  
+  sensitivity of the r=5 s=3 plan (configured for k=6) to the actual k:
+    actual k=4: bound 9592
+    actual k=5: bound 9587
+    actual k=6: bound 9580
+    actual k=7: bound 9572
+    actual k=8: bound 9563
+    actual k=10: bound 9540
+
+  $ ../../examples/online_rebalancing.exe
+  adaptive Combo placement on n=71 nodes (r=3, s=2, planned k=4)
+  
+  initial provisioning (500)   b=500   guarantee=494   offline-optimal=494   random-probable=485    (no cost of being online)
+  growth burst (+800)          b=1300  guarantee=1288  offline-optimal=1288  random-probable=1273   (no cost of being online)
+  decommission wave (-400)     b=900   guarantee=888   offline-optimal=888   random-probable=879    (no cost of being online)
+  migration inflow (+1500)     b=2400  guarantee=2376  offline-optimal=2376  random-probable=2360   (no cost of being online)
+  cleanup (-1000)              b=1400  guarantee=1376  offline-optimal=1388  random-probable=1372 
+  steady growth (+2000)        b=3400  guarantee=3370  offline-optimal=3370  random-probable=3349   (no cost of being online)
+  
+  adversary check on the final layout: 3370 survive (guarantee was 3370, adversary heuristic)
+  effective lambda per level: 0,5
+
+  $ ../../examples/availability_timeline.exe
+  long-run churn on n=31, b=600, r=3, majority quorums (same seed for all placements)
+  combo      avg unavailable 5.507 / 600; peak 119 objs (9 nodes down); 1784 incidents; 2.04 nines
+  random     avg unavailable 5.594 / 600; peak 122 objs (9 nodes down); 1785 incidents; 2.03 nines
+  copyset    avg unavailable 5.297 / 600; peak 161 objs (9 nodes down); 871 incidents; 2.05 nines
+  
+  note: under RANDOM failures the three placements are nearly
+  indistinguishable on long-run nines -- the paper's point is that the
+  worst-case episode (see baseline-copyset bench) is where they differ.
+
+  $ ../../examples/erasure_coding.exe
+  (6,4) MDS coded stripes: a stripe dies after s = 3 fragment losses
+  k=3 nodes down: combo guarantees 595/600 stripes (measured 595); random: 590 (predicted 590)
+  k=4 nodes down: combo guarantees 580/600 stripes (measured 580); random: 578 (predicted 576)
+  k=5 nodes down: combo guarantees 550/600 stripes (measured 554); random: 560 (predicted 554)
+  
+  designs used at k=4:
+    x=2 lambda=5: spherical(5^2) (600 stripes)
+  cluster simulation agrees: 580 stripes reconstructable after the worst 4 failures

@@ -1,0 +1,42 @@
+Argument validation: each rejection names the offending flag and says how
+to fix it.  cmdliner reports term errors with exit status 124.
+
+A non-positive object count:
+
+  $ placement-tool plan -n 31 -b 0
+  placement-tool: invalid parameters: b = 0: -b/--objects must be a positive object count
+  [124]
+
+Planning for more failures than there are nodes:
+
+  $ placement-tool plan -n 31 -b 600 -k 40
+  placement-tool: invalid parameters: k = 40 with only n = 31 nodes: planning for every node (or more) to fail guarantees nothing survives; -k/--failures must satisfy s <= k < n
+  [124]
+
+A fatality threshold above the replica count:
+
+  $ placement-tool plan -n 31 -b 600 -r 3 -s 5
+  placement-tool: invalid parameters: s = 5 exceeds r = 3: an object only has r replicas to lose, so -s/--fatal must satisfy 1 <= s <= r (raise -r or lower -s)
+  [124]
+
+Fewer nodes than replicas:
+
+  $ placement-tool plan -n 2 -b 600 -r 3
+  placement-tool: invalid parameters: n = 2 is smaller than r = 3: r replicas need r distinct nodes; raise -n/--nodes or lower -r/--replicas
+  [124]
+
+Fewer planned failures than the fatality threshold:
+
+  $ placement-tool plan -n 31 -b 600 -r 3 -s 2 -k 1
+  placement-tool: invalid parameters: k = 1 is below s = 2: fewer simultaneous failures than the fatality threshold cannot fail any object, so there is nothing to plan; raise -k/--failures
+  [124]
+
+A non-positive worker-domain count (previously silently clamped to 1):
+
+  $ placement-tool simulate -n 31 -b 100 -j 0
+  placement-tool: -j 0: the worker-domain count must be at least 1 (use -j 1 for the sequential path, or omit -j to use every core)
+  [124]
+
+  $ placement-tool attack --strategy random -n 31 -b 100 --jobs=-2
+  placement-tool: -j -2: the worker-domain count must be at least 1 (use -j 1 for the sequential path, or omit -j to use every core)
+  [124]

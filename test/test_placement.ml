@@ -126,9 +126,9 @@ let test_lambda_min_eqn1 =
 let test_lb_avail_si () =
   (* b - floor(lambda C(k,2)/C(s,2)) for x = 1. *)
   Alcotest.(check int) "s=3,k=4,l=1" (600 - 2)
-    (Placement.Analysis.lb_avail_si ~b:600 ~x:1 ~lambda:1 ~k:4 ~s:3);
+    (Placement.Analysis.lb_avail_si ~b:600 ~x:1 ~lambda:1 ~k:4 ~s:3 ());
   Alcotest.(check int) "s=2,k=5,l=2" (1200 - 20)
-    (Placement.Analysis.lb_avail_si ~b:1200 ~x:1 ~lambda:2 ~k:5 ~s:2)
+    (Placement.Analysis.lb_avail_si ~b:1200 ~x:1 ~lambda:2 ~k:5 ~s:2 ())
 
 let test_theorem1 () =
   (match Placement.Analysis.theorem1 ~x:1 ~nx:69 ~r:3 ~s:3 ~k:5 ~mu:1 with
