@@ -105,6 +105,21 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Re-run a measured workload once with the Telemetry registry enabled
+   and return its deterministic search statistics as a compact JSON
+   object (the "values" section only: the part that is bit-identical
+   across -j and across machines), for embedding into BENCH_*.json
+   rows.  The extra run happens after the timed ones so collection never
+   perturbs the recorded walls. *)
+let stats_json_of f =
+  Telemetry.Registry.reset ();
+  Telemetry.Control.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.Control.set_enabled false)
+    (fun () -> ignore (f ()));
+  let snap = Telemetry.Registry.snapshot () in
+  Telemetry.Json.to_string (Telemetry.Export.values_json snap)
+
 let run_adversary_scaling ctx fmt =
   let n = 71 and b = 2400 and s = 2 and k = 5 and restarts = 32 in
   let design = Designs.Steiner_triple.make 69 in
@@ -137,8 +152,9 @@ let run_adversary_scaling ctx fmt =
       "{\"op\": \"adversary_local_search_multi_restart\", \"n\": %d, \
        \"b\": %d, \"s\": %d, \"k\": %d, \"restarts\": %d, \"jobs\": %d, \
        \"wall_s_j1\": %.6f, \"wall_s_jn\": %.6f, \"speedup\": %.4f, \
-       \"identical\": %b}\n"
+       \"identical\": %b, \"stats\": %s}\n"
       n b s k restarts ctx.jobs wall_j1 wall_jn speedup identical
+      (stats_json_of (fun () -> attack_with None))
   in
   let dir = match ctx.out with Some d -> d | None -> "." in
   let path = Filename.concat dir "BENCH_adversary.json" in
@@ -243,8 +259,9 @@ let run_analysis_caching ctx fmt =
     Printf.sprintf
       "{\"op\": \"combo_lb_grid_sweep\", \"n\": %d, \"cells\": %d, \
        \"quick\": %b, \"wall_s_uncached\": %.6f, \"wall_s_cached\": %.6f, \
-       \"speedup\": %.4f, \"identical\": %b}\n"
+       \"speedup\": %.4f, \"identical\": %b, \"stats\": %s}\n"
       n cells ctx.quick wall_uncached wall_cached speedup identical
+      (stats_json_of sweep_cached)
   in
   let dir = match ctx.out with Some d -> d | None -> "." in
   let path = Filename.concat dir "BENCH_analysis.json" in
@@ -254,9 +271,95 @@ let run_analysis_caching ctx fmt =
     (fun () -> output_string oc json);
   Format.fprintf fmt "(appended to %s)@." path
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead guard: the instrumentation must be disabled-by-
+   default free.  We time the adversary multi-restart with the registry
+   off and on; since the disabled paths do strictly less work than the
+   enabled ones (every probe is gated on Control.on), the enabled
+   overhead is an upper bound on the disabled overhead, and the guard
+   [disabled_ok] asserts it stays under 5%.  The ns/op of the two
+   disabled primitives (counter bump, span timer) is recorded alongside
+   for visibility.  check.sh greps the row's disabled_ok. *)
+
+let run_telemetry_overhead ctx fmt =
+  let n = 71 and b = 1200 and s = 2 and k = 4 and restarts = 16 in
+  let design = Designs.Steiner_triple.make 69 in
+  let layout = (Placement.Simple.of_design design ~n ~b).Placement.Simple.layout in
+  let workload () =
+    Placement.Adversary.local_search ~rng:(Combin.Rng.create 0x7E1E) ~restarts
+      layout ~s ~k
+  in
+  ignore (workload ());
+  let reps = if ctx.quick then 3 else 5 in
+  (* Min-of-reps: the least-perturbed run of each arm. *)
+  let time_reps () =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let _, w = wall workload in
+      if w < !best then best := w
+    done;
+    !best
+  in
+  let wall_disabled = time_reps () in
+  Telemetry.Registry.reset ();
+  Telemetry.Control.set_enabled true;
+  let wall_enabled =
+    Fun.protect
+      ~finally:(fun () -> Telemetry.Control.set_enabled false)
+      time_reps
+  in
+  let overhead_pct =
+    if wall_disabled > 0.0 then
+      max 0.0 (100.0 *. (wall_enabled -. wall_disabled) /. wall_disabled)
+    else 0.0
+  in
+  let disabled_ok = overhead_pct < 5.0 in
+  let ops = 10_000_000 in
+  let c = Telemetry.Registry.counter "bench/overhead/probe_counter" in
+  let (), w_counter =
+    wall (fun () ->
+        for _ = 1 to ops do
+          Telemetry.Counter.incr c
+        done)
+  in
+  let sp = Telemetry.Registry.span "bench/overhead/probe_span" in
+  let (), w_span =
+    wall (fun () ->
+        for _ = 1 to ops do
+          Telemetry.Span.time sp ignore
+        done)
+  in
+  let counter_ns = w_counter *. 1e9 /. float_of_int ops in
+  let span_ns = w_span *. 1e9 /. float_of_int ops in
+  Format.fprintf fmt
+    "telemetry overhead (n=%d b=%d s=%d k=%d restarts=%d, min of %d): \
+     %.3fs disabled, %.3fs enabled (+%.2f%%, %s); disabled probes: \
+     counter %.2f ns/op, span %.2f ns/op@."
+    n b s k restarts reps wall_disabled wall_enabled overhead_pct
+    (if disabled_ok then "ok" else "OVER BUDGET")
+    counter_ns span_ns;
+  let json =
+    Printf.sprintf
+      "{\"op\": \"telemetry_overhead\", \"n\": %d, \"b\": %d, \"s\": %d, \
+       \"k\": %d, \"restarts\": %d, \"reps\": %d, \"wall_s_disabled\": %.6f, \
+       \"wall_s_enabled\": %.6f, \"overhead_pct\": %.4f, \
+       \"counter_ns_disabled\": %.4f, \"span_ns_disabled\": %.4f, \
+       \"disabled_ok\": %b}\n"
+      n b s k restarts reps wall_disabled wall_enabled overhead_pct counter_ns
+      span_ns disabled_ok
+  in
+  let dir = match ctx.out with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_telemetry.json" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Format.fprintf fmt "(appended to %s)@." path
+
 let run_perf ctx fmt =
   run_adversary_scaling ctx fmt;
   run_analysis_caching ctx fmt;
+  run_telemetry_overhead ctx fmt;
   if not ctx.quick then run_micro fmt
 
 (* ------------------------------------------------------------------ *)

@@ -108,6 +108,87 @@ let with_pool jobs f =
   if jobs = 1 then f None
   else Engine.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry and structured output.
+
+   --metrics/--trace enable the (otherwise disabled, near-zero-cost)
+   Telemetry registry around the subcommand body and export its snapshot
+   when the body finishes: metrics as a placement/v1 JSON envelope,
+   traces in the Chrome trace-event format (deliberately unwrapped —
+   chrome://tracing and Perfetto expect the raw format). *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write run telemetry (search statistics, cache hits, pool \
+           utilization) to $(docv) as a placement/v1 JSON document; use - \
+           for stdout.  Deterministic counts appear under \"values\", \
+           wall-clock and scheduling data under \"timings\".")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the run's timed spans to \
+           $(docv) (load it in chrome://tracing or Perfetto); use - for \
+           stdout.  Implies collecting telemetry.")
+
+let json_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit a machine-readable placement/v1 JSON envelope instead of the \
+           human-readable report.")
+
+let write_doc path content =
+  if path = "-" then print_string content
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content)
+  end
+
+let print_envelope ~command data =
+  print_string
+    (Telemetry.Json.to_string ~indent:2
+       (Placement.Codec.json_envelope ~command data)
+    ^ "\n")
+
+let with_telemetry ~metrics ~trace f =
+  match (metrics, trace) with
+  | None, None -> f ()
+  | _ ->
+      Telemetry.Registry.reset ();
+      Telemetry.Control.set_enabled true;
+      if trace <> None then Telemetry.Control.set_tracing true;
+      Fun.protect
+        ~finally:(fun () ->
+          Telemetry.Control.set_enabled false;
+          Telemetry.Control.set_tracing false;
+          (match metrics with
+          | None -> ()
+          | Some path ->
+              let snap = Telemetry.Registry.snapshot () in
+              write_doc path
+                (Telemetry.Json.to_string ~indent:2
+                   (Placement.Codec.json_envelope ~command:"metrics"
+                      (Telemetry.Export.metrics_json snap))
+                ^ "\n"));
+          match trace with
+          | None -> ()
+          | Some path ->
+              write_doc path
+                (Telemetry.Json.to_string (Telemetry.Export.trace_json ()) ^ "\n"))
+        f
+
 (* --strategy NAME, resolved through the registry; unknown names list the
    registered strategies. *)
 let strategy_arg ~default =
@@ -149,56 +230,88 @@ let plan_layout (module S : Placement.Strategy.S) ?rng inst =
 (* plan *)
 
 let plan_cmd =
-  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) =
+  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) json
+      metrics trace =
     setup_logs ();
+    with_telemetry ~metrics ~trace @@ fun () ->
     let inst = Placement.Instance.of_params p in
     let display = Placement.Strategies.display_name (module S) in
-    Fmt.pr "%s placement plan for %a@." display Placement.Params.pp p;
-    List.iter (fun line -> Fmt.pr "  %s@." line) (S.explain inst);
     let pr_avail = Placement.Instance.pr_avail inst in
-    match S.lower_bound inst with
-    | None ->
-        Fmt.pr "no worst-case guarantee for this strategy (probabilistic only)@.";
-        Fmt.pr "Random placement, probable availability:          %d / %d@."
-          pr_avail p.Placement.Params.b
-    | Some lb ->
-        Fmt.pr "guaranteed available objects (worst %d failures): %d / %d@."
-          p.Placement.Params.k lb p.Placement.Params.b;
-        Fmt.pr "Random placement, probable availability:          %d / %d@."
-          pr_avail p.Placement.Params.b;
-        if lb > pr_avail then
-          Fmt.pr "=> %s saves %d of the %d objects Random probably loses.@."
-            display (lb - pr_avail)
-            (p.Placement.Params.b - pr_avail)
-        else if lb < pr_avail then
-          Fmt.pr "=> Random probably does better here (by %d objects).@."
-            (pr_avail - lb)
-        else Fmt.pr "=> Tie.@."
+    if json then begin
+      let report = Placement.Strategy.report (module S) inst in
+      print_envelope ~command:"plan"
+        (Telemetry.Json.Obj
+           [
+             ("report", Placement.Codec.report_json report);
+             ("pr_avail", Telemetry.Json.Int pr_avail);
+           ])
+    end
+    else begin
+      Fmt.pr "%s placement plan for %a@." display Placement.Params.pp p;
+      List.iter (fun line -> Fmt.pr "  %s@." line) (S.explain inst);
+      match S.lower_bound inst with
+      | None ->
+          Fmt.pr "no worst-case guarantee for this strategy (probabilistic only)@.";
+          Fmt.pr "Random placement, probable availability:          %d / %d@."
+            pr_avail p.Placement.Params.b
+      | Some lb ->
+          Fmt.pr "guaranteed available objects (worst %d failures): %d / %d@."
+            p.Placement.Params.k lb p.Placement.Params.b;
+          Fmt.pr "Random placement, probable availability:          %d / %d@."
+            pr_avail p.Placement.Params.b;
+          if lb > pr_avail then
+            Fmt.pr "=> %s saves %d of the %d objects Random probably loses.@."
+              display (lb - pr_avail)
+              (p.Placement.Params.b - pr_avail)
+          else if lb < pr_avail then
+            Fmt.pr "=> Random probably does better here (by %d objects).@."
+              (pr_avail - lb)
+          else Fmt.pr "=> Tie.@."
+    end
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Compute a placement plan and its availability bound.")
-    Term.(const run $ params_term $ strategy_term ~default:"combo")
+    Term.(
+      const run $ params_term $ strategy_term ~default:"combo" $ json_flag
+      $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
 let analyze_cmd =
-  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) =
+  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) json
+      metrics trace =
     setup_logs ();
+    with_telemetry ~metrics ~trace @@ fun () ->
     let inst = Placement.Instance.of_params p in
-    if S.name = "random" then begin
-      let prob = Placement.Random_analysis.single_object_fail_probability p in
+    if json then begin
+      let report = Placement.Strategy.report (module S) inst in
+      let fields =
+        [ ("report", Placement.Codec.report_json report) ]
+        @ (if S.name = "random" then
+             [ ("random", Placement.Codec.rnd_report_json
+                   (Placement.Instance.rnd_report inst)) ]
+           else [])
+        @ [
+            ( "exact_adversary_affordable",
+              Telemetry.Json.Bool (Placement.Instance.exact_attack_affordable inst) );
+            ("attack_cost", Telemetry.Json.Float (Placement.Instance.attack_cost inst));
+          ]
+      in
+      print_envelope ~command:"analyze" (Telemetry.Json.Obj fields)
+    end
+    else if S.name = "random" then begin
+      let rnd = Placement.Instance.rnd_report inst in
       Fmt.pr "Worst-case analysis of load-balanced Random placement@.";
       Fmt.pr "  parameters: %a@." Placement.Params.pp p;
-      Fmt.pr "  per-object kill probability under a fixed worst K: %.3e@." prob;
+      Fmt.pr "  per-object kill probability under a fixed worst K: %.3e@."
+        rnd.Placement.Random_analysis.p_fail;
       Fmt.pr "  prAvail_rnd (Definition 6): %d / %d (%.4f)@."
-        (Placement.Instance.pr_avail inst)
-        p.Placement.Params.b
-        (Placement.Instance.pr_avail_fraction inst);
-      if p.Placement.Params.s = 1 && 2 * p.Placement.Params.k < p.Placement.Params.n
-      then
-        Fmt.pr "  Lemma 4 upper bound (s = 1): %.1f@."
-          (Placement.Random_analysis.s1_upper_bound p)
+        rnd.Placement.Random_analysis.pr_avail p.Placement.Params.b
+        rnd.Placement.Random_analysis.fraction;
+      match rnd.Placement.Random_analysis.lemma4_upper with
+      | Some u -> Fmt.pr "  Lemma 4 upper bound (s = 1): %.1f@." u
+      | None -> ()
     end
     else begin
       Fmt.pr "Worst-case analysis of the %s strategy@."
@@ -222,7 +335,9 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Worst-case availability analysis of a strategy.")
-    Term.(const run $ params_term $ strategy_term ~default:"random")
+    Term.(
+      const run $ params_term $ strategy_term ~default:"random" $ json_flag
+      $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* designs *)
@@ -338,8 +453,9 @@ let attack_cmd =
     Fmt.epr "%s@." msg;
     exit 1
   in
-  let run file strategy n b r seed s k jobs =
+  let run file strategy n b r seed s k jobs json metrics trace =
     setup_logs ();
+    with_telemetry ~metrics ~trace @@ fun () ->
     let source, layout =
       match (file, strategy) with
       | Some _, Some _ -> fail "pass either --layout or --strategy, not both"
@@ -376,13 +492,20 @@ let attack_cmd =
     let attack =
       with_pool jobs (fun pool -> Placement.Adversary.best ?pool layout ~s ~k)
     in
-    print_attack ~source layout ~s attack
+    if json then
+      print_envelope ~command:"attack"
+        (Telemetry.Json.Obj
+           [
+             ("source", Telemetry.Json.Str source);
+             ("attack", Placement.Codec.attack_json ~s layout attack);
+           ])
+    else print_attack ~source layout ~s attack
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a layout exported with simulate --out, or a strategy.")
     Term.(
       const run $ file_arg $ strategy_opt_arg $ n_opt $ b_opt $ r_only $ seed_arg
-      $ s_only $ k_only $ jobs_term)
+      $ s_only $ k_only $ jobs_term $ json_flag $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -397,8 +520,10 @@ let simulate_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also export the layout to a file.")
   in
-  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) seed out jobs =
+  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) seed out
+      jobs json metrics trace =
     setup_logs ();
+    with_telemetry ~metrics ~trace @@ fun () ->
     let inst = Placement.Instance.of_params p in
     let rng = Combin.Rng.create seed in
     let layout =
@@ -413,27 +538,39 @@ let simulate_cmd =
           Placement.Adversary.best ?pool ~rng layout ~s:p.Placement.Params.s
             ~k:p.Placement.Params.k)
     in
-    Fmt.pr "Simulated worst-case attack on a %s placement@."
-      (Placement.Strategies.display_name (module S));
-    Fmt.pr "  failed nodes: %a@."
-      Fmt.(brackets (array ~sep:comma int))
-      attack.Placement.Adversary.failed_nodes;
-    Fmt.pr "  failed objects: %d / %d  (adversary %s)@."
-      attack.Placement.Adversary.failed_objects p.Placement.Params.b
-      (if attack.Placement.Adversary.exact then "exact" else "heuristic");
-    Fmt.pr "  available: %d@."
-      (Placement.Adversary.avail layout ~s:p.Placement.Params.s attack);
+    if json then
+      print_envelope ~command:"simulate"
+        (Telemetry.Json.Obj
+           [
+             ("strategy", Telemetry.Json.Str S.name);
+             ("params", Placement.Codec.params_json p);
+             ( "attack",
+               Placement.Codec.attack_json ~s:p.Placement.Params.s layout attack
+             );
+           ])
+    else begin
+      Fmt.pr "Simulated worst-case attack on a %s placement@."
+        (Placement.Strategies.display_name (module S));
+      Fmt.pr "  failed nodes: %a@."
+        Fmt.(brackets (array ~sep:comma int))
+        attack.Placement.Adversary.failed_nodes;
+      Fmt.pr "  failed objects: %d / %d  (adversary %s)@."
+        attack.Placement.Adversary.failed_objects p.Placement.Params.b
+        (if attack.Placement.Adversary.exact then "exact" else "heuristic");
+      Fmt.pr "  available: %d@."
+        (Placement.Adversary.avail layout ~s:p.Placement.Params.s attack)
+    end;
     match out with
     | None -> ()
     | Some path ->
         Placement.Codec.save path layout;
-        Fmt.pr "  layout written to %s@." path
+        if not json then Fmt.pr "  layout written to %s@." path
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Materialize a placement and attack it.")
     Term.(
       const run $ params_term $ strategy_term ~default:"combo" $ seed_arg
-      $ out_arg $ jobs_term)
+      $ out_arg $ jobs_term $ json_flag $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* strategies *)

@@ -9,6 +9,28 @@ type attack = {
   exact : bool;
 }
 
+(* Search statistics.  Everything below is Stable: node visits, prunes and
+   improvements are a pure function of the instance because branches never
+   re-read the shared incumbent and budgets are pre-split per branch — so
+   the counts are bit-identical at any -j.  Hot loops accumulate plain
+   local ints and flush once per branch/run; the atomic counters are
+   touched O(#branches) times, not O(#nodes). *)
+let m_bb_branches = Telemetry.Registry.counter "core/adversary/bb/branches"
+let m_bb_nodes = Telemetry.Registry.counter "core/adversary/bb/nodes_expanded"
+let m_bb_leaves = Telemetry.Registry.counter "core/adversary/bb/leaves"
+let m_bb_prunes = Telemetry.Registry.counter "core/adversary/bb/bound_prunes"
+let m_bb_improves = Telemetry.Registry.counter "core/adversary/bb/improvements"
+let m_bb_truncated = Telemetry.Registry.counter "core/adversary/bb/truncated_branches"
+let m_bb_branch_nodes = Telemetry.Registry.histogram "core/adversary/bb/branch_nodes"
+let m_greedy_runs = Telemetry.Registry.counter "core/adversary/greedy/runs"
+let m_greedy_evals = Telemetry.Registry.counter "core/adversary/greedy/marginal_evals"
+let m_ls_restarts = Telemetry.Registry.counter "core/adversary/local_search/restarts"
+let m_ls_passes = Telemetry.Registry.counter "core/adversary/local_search/passes"
+let m_ls_swaps = Telemetry.Registry.counter "core/adversary/local_search/swaps"
+let m_attack_exact = Telemetry.Registry.counter "core/adversary/attack/exact_dispatch"
+let m_attack_heur = Telemetry.Registry.counter "core/adversary/attack/heuristic_dispatch"
+let m_attack_span = Telemetry.Registry.span "core/adversary/attack"
+
 (* Incremental damage tracker: per-object replica-failure counts and the
    running number of failed objects. *)
 type state = {
@@ -64,11 +86,13 @@ let greedy layout ~s ~k =
   let st = make_state layout ~s in
   let chosen = Array.make n false in
   let picks = ref [] in
+  let evals = ref 0 in
   for _ = 1 to k do
     let best_nd = ref (-1) and best_val = ref (-1, -1) in
     for nd = 0 to n - 1 do
       if not chosen.(nd) then begin
         let v = marginal st nd in
+        incr evals;
         if v > !best_val then begin
           best_val := v;
           best_nd := nd
@@ -79,6 +103,8 @@ let greedy layout ~s ~k =
     add_node st !best_nd;
     picks := !best_nd :: !picks
   done;
+  Telemetry.Counter.incr m_greedy_runs;
+  Telemetry.Counter.add m_greedy_evals !evals;
   let failed_nodes = Combin.Intset.of_array (Array.of_list !picks) in
   { failed_nodes; failed_objects = st.failed; exact = false }
 
@@ -120,12 +146,15 @@ let exact ?(budget = 50_000_000) ?pool layout ~s ~k =
       let best = ref seed_bound and best_set = ref None in
       let current = Array.make k 0 in
       let visited = ref 0 in
+      let leaves = ref 0 and prunes = ref 0 and improves = ref 0 in
       let truncated = ref false in
       let rec go start depth =
         incr visited;
         if !visited > branch_budget then truncated := true
         else if depth = k then begin
+          incr leaves;
           if st.failed > !best then begin
+            incr improves;
             best := st.failed;
             best_set := Some (Array.copy current);
             ignore (Engine.Bound.improve incumbent st.failed)
@@ -140,18 +169,31 @@ let exact ?(budget = 50_000_000) ?pool layout ~s ~k =
               remove_node st nd
             end
           done
+        else incr prunes
       in
       current.(0) <- nd0;
       add_node st nd0;
       go (nd0 + 1) 1;
-      (!best, !best_set, !truncated)
+      ( !best,
+        !best_set,
+        !truncated,
+        (!visited, !leaves, !prunes, !improves) )
     in
     let results = pmap pool run_branch first_choices in
-    (* Deterministic fold: strict improvement, lowest branch wins ties. *)
+    (* Deterministic fold: strict improvement, lowest branch wins ties.
+       Branch statistics are flushed here, in branch order, on the calling
+       domain — the hot loop above touches only plain local ints. *)
     let best = ref g.failed_objects and best_set = ref g.failed_nodes in
     let truncated = ref false in
     Array.iter
-      (fun (v, set, tr) ->
+      (fun (v, set, tr, (visited, leaves, prunes, improves)) ->
+        Telemetry.Counter.incr m_bb_branches;
+        Telemetry.Counter.add m_bb_nodes visited;
+        Telemetry.Counter.add m_bb_leaves leaves;
+        Telemetry.Counter.add m_bb_prunes prunes;
+        Telemetry.Counter.add m_bb_improves improves;
+        if tr then Telemetry.Counter.incr m_bb_truncated;
+        Telemetry.Histogram.observe m_bb_branch_nodes visited;
         if tr then truncated := true;
         match set with
         | Some nodes when v > !best ->
@@ -162,11 +204,15 @@ let exact ?(budget = 50_000_000) ?pool layout ~s ~k =
     { failed_nodes = !best_set; failed_objects = !best; exact = not !truncated }
   end
 
+(* Returns (passes, swaps): full sweeps of the outer loop and accepted
+   swap moves — plain locals, flushed by the caller. *)
 let improve_to_local_opt layout st chosen =
   let n = layout.Layout.n in
   let improved = ref true in
+  let passes = ref 0 and swaps = ref 0 in
   while !improved do
     improved := false;
+    incr passes;
     (try
        for nd_in = 0 to n - 1 do
          if chosen.(nd_in) then begin
@@ -189,6 +235,7 @@ let improve_to_local_opt layout st chosen =
            if !found >= 0 && !found_gain > back_gain then begin
              chosen.(!found) <- true;
              add_node st !found;
+             incr swaps;
              improved := true;
              raise Exit
            end
@@ -199,7 +246,8 @@ let improve_to_local_opt layout st chosen =
          end
        done
      with Exit -> ())
-  done
+  done;
+  (!passes, !swaps)
 
 let attack_of_state st chosen =
   let nodes = ref [] in
@@ -231,11 +279,19 @@ let local_search ~rng ?(restarts = 8) ?pool layout ~s ~k =
         chosen.(nd) <- true;
         add_node st nd)
       seed_nodes;
-    improve_to_local_opt layout st chosen;
-    attack_of_state st chosen
+    let passes, swaps = improve_to_local_opt layout st chosen in
+    (attack_of_state st chosen, passes, swaps)
   in
   let indices = Array.init restarts Fun.id in
-  let candidates = pmap pool run_restart indices in
+  let results = pmap pool run_restart indices in
+  let candidates = Array.map (fun (a, _, _) -> a) results in
+  (* Per-restart stats flushed in restart order on the calling domain. *)
+  Array.iter
+    (fun (_, passes, swaps) ->
+      Telemetry.Counter.incr m_ls_restarts;
+      Telemetry.Counter.add m_ls_passes passes;
+      Telemetry.Counter.add m_ls_swaps swaps)
+    results;
   (* First-index-wins max: the earliest restart reaching the best damage
      provides the reported node set, as in the sequential reference. *)
   let best = ref candidates.(0) in
@@ -245,6 +301,7 @@ let local_search ~rng ?(restarts = 8) ?pool layout ~s ~k =
   !best
 
 let attack ?pool ?rng ?(restarts = 8) ?(exact_limit = 5e7) layout ~s ~k =
+  Telemetry.Span.time m_attack_span @@ fun () ->
   let rng = match rng with Some r -> r | None -> Combin.Rng.create 0xADE5 in
   let n = layout.Layout.n in
   let combos =
@@ -258,6 +315,7 @@ let attack ?pool ?rng ?(restarts = 8) ?(exact_limit = 5e7) layout ~s ~k =
     float_of_int (layout.Layout.r * Layout.b layout) /. float_of_int n
   in
   if combos *. avg_degree <= exact_limit then begin
+    Telemetry.Counter.incr m_attack_exact;
     let result = exact ?pool layout ~s ~k in
     if not result.exact then
       Log.warn (fun m ->
@@ -268,6 +326,7 @@ let attack ?pool ?rng ?(restarts = 8) ?(exact_limit = 5e7) layout ~s ~k =
     result
   end
   else begin
+    Telemetry.Counter.incr m_attack_heur;
     Log.debug (fun m ->
         m
           "adversary search space too large on n=%d b=%d s=%d k=%d \

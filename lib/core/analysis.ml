@@ -13,8 +13,20 @@ let lambda_min ~x ~nx ~r ~mu ~b =
   let copies = (b + cap - 1) / cap in
   max 1 copies * mu
 
-let lb_avail_si ?(choose = Combin.Binomial.exact) ~b ~x ~lambda ~k ~s () =
-  b - (lambda * choose k (x + 1) / choose s (x + 1))
+type lb_report = {
+  lb : int;
+  lb_clamped : int;
+  failed_ub : int;
+  vacuous : bool;
+}
+
+let lb_avail_si_report ?(choose = Combin.Binomial.exact) ~b ~x ~lambda ~k ~s () =
+  let failed_ub = lambda * choose k (x + 1) / choose s (x + 1) in
+  let lb = b - failed_ub in
+  { lb; lb_clamped = max 0 lb; failed_ub; vacuous = lb <= 0 }
+
+let lb_avail_si ?choose ~b ~x ~lambda ~k ~s () =
+  (lb_avail_si_report ?choose ~b ~x ~lambda ~k ~s ()).lb
 
 type competitive = { c : float; alpha : float }
 

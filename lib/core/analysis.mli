@@ -11,13 +11,31 @@ val lambda_min : x:int -> nx:int -> r:int -> mu:int -> b:int -> int
     exists on nx nodes.  @raise Invalid_argument if
     [μ C(nx,x+1)/C(r,x+1)] is not integral. *)
 
+type lb_report = {
+  lb : int;  (** the raw Lemma-2 bound; negative means vacuous *)
+  lb_clamped : int;  (** [max 0 lb], the usable guarantee *)
+  failed_ub : int;
+      (** the subtracted term [⌊λ C(k,x+1) / C(s,x+1)⌋]: an upper bound
+          on objects the worst-case adversary can fail *)
+  vacuous : bool;  (** [lb <= 0]: the bound says nothing *)
+}
+(** Labeled result of Lemma 2, replacing the bare [int] of
+    {!lb_avail_si}: call sites name the field they mean instead of
+    re-deriving clamping and vacuity ad hoc. *)
+
+val lb_avail_si_report :
+  ?choose:(int -> int -> int) ->
+  b:int -> x:int -> lambda:int -> k:int -> s:int -> unit -> lb_report
+(** Lemma 2: [lbAvail_si = b - floor(λ C(k,x+1) / C(s,x+1))].  [choose]
+    defaults to {!Combin.Binomial.exact}; grid sweeps pass
+    {!Instance.choose} to reuse one memoized table. *)
+
 val lb_avail_si :
   ?choose:(int -> int -> int) ->
   b:int -> x:int -> lambda:int -> k:int -> s:int -> unit -> int
-(** Lemma 2: [lbAvail_si = b - floor(λ C(k,x+1) / C(s,x+1))].  May be
-    negative for extreme parameters (the bound is then vacuous); callers
-    clamp if needed.  [choose] defaults to {!Combin.Binomial.exact};
-    grid sweeps pass {!Instance.choose} to reuse one memoized table. *)
+[@@ocaml.alert deprecated "use lb_avail_si_report (returns .lb)"]
+(** @deprecated Positional form of {!lb_avail_si_report}; returns the raw
+    (unclamped) [.lb] field. *)
 
 type competitive = {
   c : float;  (** the competitive factor of Theorem 1 *)

@@ -1,4 +1,56 @@
 let magic = "# replica-placement layout v1"
+let schema = "placement/v1"
+
+module J = Telemetry.Json
+
+let json_envelope ~command data =
+  J.Obj [ ("schema", J.Str schema); ("command", J.Str command); ("data", data) ]
+
+let params_json (p : Params.t) =
+  J.Obj
+    [
+      ("n", J.Int p.n);
+      ("b", J.Int p.b);
+      ("r", J.Int p.r);
+      ("s", J.Int p.s);
+      ("k", J.Int p.k);
+    ]
+
+let opt_int = function Some v -> J.Int v | None -> J.Null
+let opt_float = function Some v -> J.Float v | None -> J.Null
+
+let rnd_report_json (r : Random_analysis.rnd_report) =
+  J.Obj
+    [
+      ("p_fail", J.Float r.p_fail);
+      ("pr_avail", J.Int r.pr_avail);
+      ("fraction", J.Float r.fraction);
+      ("lemma4_upper", opt_float r.lemma4_upper);
+    ]
+
+let report_json (r : Strategy.report) =
+  J.Obj
+    [
+      ("strategy", J.Str r.strategy);
+      ( "capabilities",
+        J.List
+          (List.map
+             (fun c -> J.Str (Strategy.capability_name c))
+             r.capabilities) );
+      ("params", params_json r.params);
+      ("lower_bound", opt_int r.lower_bound);
+      ("upper_bound", J.Int r.upper_bound);
+      ("notes", J.List (List.map (fun l -> J.Str l) r.notes));
+    ]
+
+let attack_json ~s layout (a : Adversary.attack) =
+  J.Obj
+    [
+      ("failed_nodes", J.List (List.map (fun nd -> J.Int nd) (Array.to_list a.failed_nodes)));
+      ("failed_objects", J.Int a.failed_objects);
+      ("available", J.Int (Adversary.avail layout ~s a));
+      ("exact", J.Bool a.exact);
+    ]
 
 let to_string (layout : Layout.t) =
   let buf = Buffer.create (32 * Layout.b layout) in

@@ -17,6 +17,22 @@
     space-separated and may be in any order (they are normalized on
     read). *)
 
+val schema : string
+(** ["placement/v1"]: the version tag on every JSON document the tool
+    emits.  Bump only on breaking changes to the envelope or payloads. *)
+
+val json_envelope : command:string -> Telemetry.Json.t -> Telemetry.Json.t
+(** [{"schema": "placement/v1", "command": command, "data": data}] — the
+    one wrapper every machine-readable output goes through, so consumers
+    can dispatch on [schema]/[command] before touching the payload. *)
+
+val params_json : Params.t -> Telemetry.Json.t
+val rnd_report_json : Random_analysis.rnd_report -> Telemetry.Json.t
+val report_json : Strategy.report -> Telemetry.Json.t
+
+val attack_json : s:int -> Layout.t -> Adversary.attack -> Telemetry.Json.t
+(** The attack outcome plus the derived availability at threshold [s]. *)
+
 val to_string : Layout.t -> string
 
 val of_string : string -> (Layout.t, string) result

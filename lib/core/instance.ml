@@ -15,7 +15,14 @@ type tables = {
 
 type t = { params : Params.t; tables : tables }
 
+(* Cache-effectiveness stats: table builds are the expensive path,
+   cell_aliases / param_reuses the O(1) sharing hits.  All Stable. *)
+let m_builds = Telemetry.Registry.counter "core/instance/table_builds"
+let m_aliases = Telemetry.Registry.counter "core/instance/cell_aliases"
+let m_reuses = Telemetry.Registry.counter "core/instance/param_reuses"
+
 let build_tables ~max_mu ~n ~r ~s =
+  Telemetry.Counter.incr m_builds;
   {
     n;
     r;
@@ -35,11 +42,15 @@ let make ?max_mu ~b ~r ~s ~n ~k () = of_params ?max_mu (Params.make ~b ~r ~s ~n 
 
 let with_params t (p : Params.t) =
   let { n; r; s; max_mu; _ } = t.tables in
-  if p.n = n && p.r = r && p.s = s then { t with params = p }
+  if p.n = n && p.r = r && p.s = s then begin
+    Telemetry.Counter.incr m_reuses;
+    { t with params = p }
+  end
   else { params = p; tables = build_tables ~max_mu ~n:p.n ~r:p.r ~s:p.s }
 
 let with_cell t ~b ~k =
   let p = t.params in
+  Telemetry.Counter.incr m_aliases;
   { t with params = Params.make ~b ~r:p.r ~s:p.s ~n:p.n ~k }
 
 let params t = t.params
@@ -91,7 +102,8 @@ let copyset ~rng ?scatter_width t =
   (cs, Copyset.place ~rng cs ~b:p.b)
 
 let pr_avail t = Random_analysis.pr_avail t.params
-let pr_avail_fraction t = Random_analysis.pr_avail_fraction t.params
+let pr_avail_fraction t = (Random_analysis.report t.params).Random_analysis.fraction
+let rnd_report t = Random_analysis.report t.params
 
 let attack ?pool ?rng t layout =
   Adversary.best ?pool ?rng layout ~s:t.params.s ~k:t.params.k

@@ -99,6 +99,9 @@ val pr_avail : t -> int
 
 val pr_avail_fraction : t -> float
 
+val rnd_report : t -> Random_analysis.rnd_report
+(** The full {!Random_analysis.report} for these parameters. *)
+
 val attack : ?pool:Engine.Pool.t -> ?rng:Combin.Rng.t -> t -> Layout.t -> Adversary.attack
 (** {!Adversary.best} at this instance's s and k. *)
 

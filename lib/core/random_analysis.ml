@@ -43,3 +43,20 @@ let s1_upper_bound (p : Params.t) =
   let ell = p.r * p.b / p.n in
   let b = float_of_int p.b in
   b *. ((1.0 -. (1.0 /. b)) ** float_of_int (p.k * ell))
+
+type rnd_report = {
+  p_fail : float;
+  pr_avail : int;
+  fraction : float;
+  lemma4_upper : float option;
+}
+
+let report (p : Params.t) =
+  let pr = pr_avail p in
+  {
+    p_fail = single_object_fail_probability p;
+    pr_avail = pr;
+    fraction = float_of_int pr /. float_of_int p.Params.b;
+    lemma4_upper =
+      (if p.s = 1 && 2 * p.k < p.n then Some (s1_upper_bound p) else None);
+  }

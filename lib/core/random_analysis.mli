@@ -16,9 +16,24 @@ val alpha : n:int -> k:int -> r:int -> s:int -> float
 (** α(n,k,r,s): the number of r-subsets placing ≥ s replicas inside a
     fixed k-set.  Computed in floating point from exact binomials. *)
 
+type rnd_report = {
+  p_fail : float;
+      (** p = α / C(n,r): probability that one object (placed uniformly
+          on r distinct nodes) loses ≥ s replicas to a fixed k-set *)
+  pr_avail : int;  (** Definition 6's prAvail_rnd, in [0, b] *)
+  fraction : float;  (** [pr_avail / b], the quantity plotted in Fig. 8 *)
+  lemma4_upper : float option;
+      (** Lemma 4's upper bound [b (1 − 1/b)^(k·⌊ℓ⌋)]; [Some] exactly
+          when it applies (s = 1 and 2k < n) *)
+}
+(** The full worst-case characterization of Random placement for one
+    parameter cell, replacing the positional one-float-per-call API. *)
+
+val report : Params.t -> rnd_report
+
 val single_object_fail_probability : Params.t -> float
-(** p = α / C(n,r): the probability that one object (placed uniformly on
-    r distinct nodes) loses ≥ s replicas to a fixed k-node failure. *)
+[@@ocaml.alert deprecated "use report (field p_fail)"]
+(** @deprecated See {!rnd_report.p_fail}. *)
 
 val log_vuln : Params.t -> f:int -> float
 (** ln Vuln_rnd(f) in the Theorem-2 limit. *)
@@ -29,9 +44,13 @@ val pr_avail : Params.t -> int
     [0, b].) *)
 
 val pr_avail_fraction : Params.t -> float
-(** [pr_avail / b], the quantity plotted in Fig. 8. *)
+[@@ocaml.alert deprecated "use report (field fraction)"]
+(** @deprecated See {!rnd_report.fraction}. *)
 
 val s1_upper_bound : Params.t -> float
+[@@ocaml.alert deprecated "use report (field lemma4_upper)"]
 (** Lemma 4's bound for s = 1 and k < n/2:
     [prAvail_rnd ≤ b (1 − 1/b)^(k·⌊ℓ⌋)] with ℓ = rb/n.
-    @raise Invalid_argument if [s <> 1] or [k >= n/2]. *)
+    @raise Invalid_argument if [s <> 1] or [k >= n/2].
+    @deprecated See {!rnd_report.lemma4_upper}, which carries the
+    applicability test instead of raising. *)

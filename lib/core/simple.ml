@@ -69,5 +69,6 @@ let of_entry ?(spread = false) (e : Designs.Registry.entry) ~n ~b =
   else of_design ~spread (Designs.Registry.materialize e) ~n ~b
 
 let lower_bound t ~k ~s =
-  max 0
-    (Analysis.lb_avail_si ~b:(Layout.b t.layout) ~x:t.x ~lambda:t.lambda ~k ~s ())
+  (Analysis.lb_avail_si_report ~b:(Layout.b t.layout) ~x:t.x ~lambda:t.lambda
+     ~k ~s ())
+    .Analysis.lb_clamped

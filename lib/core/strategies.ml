@@ -14,9 +14,9 @@ let default_rng rng = match rng with Some r -> r | None -> Combin.Rng.create 42
 (* Lemma 2 at x = 0 with λ = the layout's max load (clamped at 0). *)
 let load_bound inst lambda =
   let p = Instance.params inst in
-  max 0
-    (Analysis.lb_avail_si ~choose:(Instance.choose inst) ~b:p.Params.b
-       ~x:0 ~lambda ~k:p.Params.k ~s:p.Params.s ())
+  (Analysis.lb_avail_si_report ~choose:(Instance.choose inst) ~b:p.Params.b
+     ~x:0 ~lambda ~k:p.Params.k ~s:p.Params.s ())
+    .Analysis.lb_clamped
 
 module Combo_s = struct
   let name = "combo"
@@ -70,10 +70,10 @@ module Simple_s = struct
             let copies = (p.Params.b + level.Combo.cap_mu - 1) / level.Combo.cap_mu in
             let lambda = max 1 copies * level.Combo.mu in
             let lb =
-              max 0
-                (Analysis.lb_avail_si ~choose:(Instance.choose inst)
-                   ~b:p.Params.b ~x:level.Combo.x ~lambda ~k:p.Params.k
-                   ~s:p.Params.s ())
+              (Analysis.lb_avail_si_report ~choose:(Instance.choose inst)
+                 ~b:p.Params.b ~x:level.Combo.x ~lambda ~k:p.Params.k
+                 ~s:p.Params.s ())
+                .Analysis.lb_clamped
             in
             (match !best with
             | Some (_, _, best_lb) when best_lb >= lb -> ()

@@ -28,6 +28,45 @@ let register (module M : S) =
 
 let find name = Hashtbl.find_opt registry name
 
+(* Re-exports: the analysis layer's labeled records, surfaced here so
+   consumers of the strategy API never import Analysis/Random_analysis
+   just to name a result field. *)
+type lb_report = Analysis.lb_report = {
+  lb : int;
+  lb_clamped : int;
+  failed_ub : int;
+  vacuous : bool;
+}
+
+type rnd_report = Random_analysis.rnd_report = {
+  p_fail : float;
+  pr_avail : int;
+  fraction : float;
+  lemma4_upper : float option;
+}
+
+type report = {
+  strategy : string;
+  capabilities : capability list;
+  params : Params.t;
+  lower_bound : int option;
+  upper_bound : int;
+  notes : string list;
+}
+
+let report ?layout (module M : S) inst =
+  let p = Instance.params inst in
+  {
+    strategy = M.name;
+    capabilities = M.capabilities;
+    params = p;
+    lower_bound = M.lower_bound ?layout inst;
+    upper_bound =
+      Analysis.ub_avail_any ~b:p.Params.b ~r:p.Params.r ~s:p.Params.s
+        ~n:p.Params.n ~k:p.Params.k;
+    notes = M.explain inst;
+  }
+
 let names () =
   Hashtbl.fold (fun name _ acc -> name :: acc) registry [] |> List.sort compare
 

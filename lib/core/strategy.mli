@@ -49,6 +49,38 @@ module type S = sig
       CLI's [plan] subcommand; may be empty. *)
 end
 
+type lb_report = Analysis.lb_report = {
+  lb : int;
+  lb_clamped : int;
+  failed_ub : int;
+  vacuous : bool;
+}
+(** Re-export of {!Analysis.lb_report} (Lemma 2). *)
+
+type rnd_report = Random_analysis.rnd_report = {
+  p_fail : float;
+  pr_avail : int;
+  fraction : float;
+  lemma4_upper : float option;
+}
+(** Re-export of {!Random_analysis.rnd_report} (Theorem 2 / Lemma 4). *)
+
+type report = {
+  strategy : string;  (** registry name *)
+  capabilities : capability list;
+  params : Params.t;  (** the analyzed cell *)
+  lower_bound : int option;  (** the family's worst-case guarantee *)
+  upper_bound : int;  (** {!Analysis.ub_avail_any}: valid for any π *)
+  notes : string list;  (** the strategy's [explain] lines *)
+}
+(** One strategy's structured answer for one instance: what every
+    consumer (CLI JSON envelope, experiment tables, tests) reads instead
+    of re-assembling positional pieces per family. *)
+
+val report : ?layout:Layout.t -> (module S) -> Instance.t -> report
+(** Assemble a {!report}; [layout] is forwarded to [lower_bound] for
+    families whose bound depends on the realized layout. *)
+
 val register : (module S) -> unit
 (** @raise Invalid_argument on a duplicate name. *)
 

@@ -10,7 +10,44 @@ type t = {
   mutable live : bool;
   mutable workers : unit Domain.t list;
   busy : bool Atomic.t;  (* a batch is in flight: nested use is rejected *)
+  slot_tasks : Telemetry.Counter.t array;  (* per-domain task counts *)
 }
+
+(* Scheduling metrics are volatile by construction: chunk counts and
+   per-domain attribution depend on -j and on timing, so none of them may
+   claim the Stable (bit-identical across -j) contract. *)
+let m_batches = Telemetry.Registry.counter ~kind:Volatile "engine/pool/batches"
+let m_tasks = Telemetry.Registry.counter ~kind:Volatile "engine/pool/tasks"
+let m_busy_ns = Telemetry.Registry.counter ~kind:Volatile "engine/pool/busy_ns"
+let m_batch = Telemetry.Registry.span ~kind:Volatile "engine/pool/batch"
+let m_util = Telemetry.Registry.gauge "engine/pool/utilization"
+
+let slot_counter i =
+  Telemetry.Registry.counter ~kind:Volatile
+    (Printf.sprintf "engine/pool/domain/%d/tasks" i)
+
+(* Run one queued task on behalf of domain slot [slot] (0 = the caller,
+   1.. = spawned workers), attributing its wall time to the pool. *)
+let run_task t slot task =
+  if Telemetry.Control.on () then begin
+    let t0 = Telemetry.Control.now_ns () in
+    task ();
+    Telemetry.Counter.add m_busy_ns (Telemetry.Control.now_ns () - t0);
+    Telemetry.Counter.incr t.slot_tasks.(slot);
+    Telemetry.Counter.incr m_tasks
+  end
+  else task ()
+
+(* Cumulative utilization: busy time over wall time across all domains of
+   this pool, folded over every batch so far. *)
+let update_utilization t =
+  if Telemetry.Control.on () then begin
+    let wall = Telemetry.Span.total_ns m_batch in
+    if wall > 0 then
+      Telemetry.Gauge.set m_util
+        (float_of_int (Telemetry.Counter.value m_busy_ns)
+        /. (float_of_int wall *. float_of_int t.domains))
+  end
 
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
@@ -29,14 +66,14 @@ let finish_task t =
 
 (* Worker domains sleep on [work] and drain the queue; each task is
    responsible for decrementing [pending] (see [finish_task]). *)
-let worker_loop t =
+let worker_loop t slot =
   let rec loop () =
     Mutex.lock t.mutex;
     let rec next () =
       match pop_task t with
       | Some task ->
           Mutex.unlock t.mutex;
-          task ();
+          run_task t slot task;
           finish_task t;
           loop ()
       | None ->
@@ -65,10 +102,12 @@ let create ?domains () =
       live = true;
       workers = [];
       busy = Atomic.make false;
+      slot_tasks = Array.init domains slot_counter;
     }
   in
   t.workers <-
-    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    List.init (domains - 1)
+      (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
 
 let domains t = t.domains
@@ -95,35 +134,38 @@ let run_batch t tasks =
     Fun.protect
       ~finally:(fun () -> Atomic.set t.busy false)
       (fun () ->
-        let exns = Array.make ntasks None in
-        let wrap i task () =
-          match task () with
-          | () -> ()
-          | exception e -> exns.(i) <- Some e
-        in
-        Mutex.lock t.mutex;
-        t.pending <- ntasks;
-        (* The queue is empty here: [busy] admits one batch at a time. *)
-        t.queue <- Array.to_list (Array.mapi wrap tasks);
-        Condition.broadcast t.work;
-        (* The caller drains the queue alongside the workers, then blocks
-           until stragglers finish. *)
-        let rec drain () =
-          match pop_task t with
-          | Some task ->
-              Mutex.unlock t.mutex;
-              task ();
-              finish_task t;
-              Mutex.lock t.mutex;
-              drain ()
-          | None ->
-              while t.pending > 0 do
-                Condition.wait t.batch_done t.mutex
-              done;
-              Mutex.unlock t.mutex
-        in
-        drain ();
-        Array.iter (function Some e -> raise e | None -> ()) exns)
+        Telemetry.Counter.incr m_batches;
+        Telemetry.Span.time m_batch (fun () ->
+            let exns = Array.make ntasks None in
+            let wrap i task () =
+              match task () with
+              | () -> ()
+              | exception e -> exns.(i) <- Some e
+            in
+            Mutex.lock t.mutex;
+            t.pending <- ntasks;
+            (* The queue is empty here: [busy] admits one batch at a time. *)
+            t.queue <- Array.to_list (Array.mapi wrap tasks);
+            Condition.broadcast t.work;
+            (* The caller drains the queue alongside the workers, then blocks
+               until stragglers finish. *)
+            let rec drain () =
+              match pop_task t with
+              | Some task ->
+                  Mutex.unlock t.mutex;
+                  run_task t 0 task;
+                  finish_task t;
+                  Mutex.lock t.mutex;
+                  drain ()
+              | None ->
+                  while t.pending > 0 do
+                    Condition.wait t.batch_done t.mutex
+                  done;
+                  Mutex.unlock t.mutex
+            in
+            drain ();
+            Array.iter (function Some e -> raise e | None -> ()) exns);
+        update_utilization t)
   end
 
 (* Split [len] items into at most [domains * 4] contiguous chunks so that
@@ -141,7 +183,13 @@ let parallel_map t f xs =
     if not (Atomic.compare_and_set t.busy false true) then raise Nested_use;
     Fun.protect
       ~finally:(fun () -> Atomic.set t.busy false)
-      (fun () -> Array.map f xs)
+      (fun () ->
+        Telemetry.Counter.incr m_batches;
+        let r = ref [||] in
+        Telemetry.Span.time m_batch (fun () ->
+            run_task t 0 (fun () -> r := Array.map f xs));
+        update_utilization t;
+        !r)
   end
   else begin
     let results = Array.make len None in

@@ -51,10 +51,10 @@ let compute ?(ns = [ 31; 71; 257 ])
                 if lambda = 0 then None
                 else
                   Some
-                    (max 0
-                       (Placement.Analysis.lb_avail_si
-                          ~choose:(Placement.Instance.choose inst) ~b ~x ~lambda
-                          ~k ~s ()))
+                    (Placement.Analysis.lb_avail_si_report
+                       ~choose:(Placement.Instance.choose inst) ~b ~x ~lambda
+                       ~k ~s ())
+                      .Placement.Analysis.lb_clamped
               in
               let cfg = Placement.Instance.combo_config inst in
               {

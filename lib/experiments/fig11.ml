@@ -17,13 +17,18 @@ let compute ?(b = 38400) () =
         (fun k ->
           let p = Placement.Params.make ~b ~r ~s:1 ~n ~k in
           let cfg = Placement.Combo.optimize p in
+          let rnd = Placement.Random_analysis.report p in
+          let lemma4 =
+            match rnd.Placement.Random_analysis.lemma4_upper with
+            | Some u -> u /. float_of_int b
+            | None -> invalid_arg "fig11: Lemma 4 requires s = 1 and 2k < n"
+          in
           {
             n;
             r;
             k;
-            lemma4_fraction =
-              Placement.Random_analysis.s1_upper_bound p /. float_of_int b;
-            pr_avail_fraction = Placement.Random_analysis.pr_avail_fraction p;
+            lemma4_fraction = lemma4;
+            pr_avail_fraction = rnd.Placement.Random_analysis.fraction;
             simple0_fraction =
               float_of_int cfg.Placement.Combo.lb /. float_of_int b;
           })

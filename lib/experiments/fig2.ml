@@ -37,7 +37,7 @@ let compute ?pool ?(bs = [ 600; 1200; 2400; 4800; 9600 ]) () =
           sk_pairs)
       bs
   in
-  Grid.map ?pool
+  Grid.map ?pool ~span:(Grid.cell_span "fig2")
     (fun (inst, simple) ->
       let { Placement.Params.b; s; k; _ } = Placement.Instance.params inst in
       let layout = simple.Placement.Simple.layout in

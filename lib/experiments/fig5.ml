@@ -18,7 +18,9 @@ let compute_fig5 ?pool ?(n_lo = 50) ?(n_hi = 800) () =
       (fun r -> List.init r (fun x -> (r, x, 1)))
       [ 2; 3; 4; 5 ]
   in
-  Grid.map ?pool (fun (r, x, max_mu) -> curve ~r ~x ~max_mu ~n_lo ~n_hi) specs
+  Grid.map ?pool ~span:(Grid.cell_span "fig5")
+    (fun (r, x, max_mu) -> curve ~r ~x ~max_mu ~n_lo ~n_hi)
+    specs
 
 let compute_fig6 ?pool ?(n_lo = 50) ?(n_hi = 800) () =
   let specs =
@@ -26,7 +28,9 @@ let compute_fig6 ?pool ?(n_lo = 50) ?(n_hi = 800) () =
       (fun max_mu -> List.map (fun x -> (5, x, max_mu)) [ 2; 3 ])
       [ 5; 10 ]
   in
-  Grid.map ?pool (fun (r, x, max_mu) -> curve ~r ~x ~max_mu ~n_lo ~n_hi) specs
+  Grid.map ?pool ~span:(Grid.cell_span "fig6")
+    (fun (r, x, max_mu) -> curve ~r ~x ~max_mu ~n_lo ~n_hi)
+    specs
 
 let fraction_below c threshold =
   List.fold_left

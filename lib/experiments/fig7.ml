@@ -29,7 +29,7 @@ let compute ?pool ?(trials = 20)
           ks)
       cases
   in
-  Grid.map ?pool
+  Grid.map ?pool ~span:(Grid.cell_span "fig7")
     (fun inst ->
       let p = Placement.Instance.params inst in
       let { Placement.Params.n; r; s; k; b } = p in

@@ -15,8 +15,8 @@ let compute ?(b = 38400) () =
               if k < s then None
               else begin
                 let p = Placement.Params.make ~b ~r ~s ~n ~k in
-                Some
-                  { s; n; r; k; fraction = Placement.Random_analysis.pr_avail_fraction p }
+                let rnd = Placement.Random_analysis.report p in
+                Some { s; n; r; k; fraction = rnd.Placement.Random_analysis.fraction }
               end)
             (List.init 10 (fun i -> i + 1)))
         (curves_for_s s))

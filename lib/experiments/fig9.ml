@@ -37,7 +37,7 @@ let compute ?pool ?(ns = [ 71; 257 ]) ?(bs = default_bs) () =
           [ 2; 3; 4; 5 ])
       ns
   in
-  Grid.map ?pool
+  Grid.map ?pool ~span:(Grid.cell_span "fig9")
     (fun (n, r, s) ->
       let k_max = if n <= 71 then 7 else 8 in
       let base = Placement.Instance.make ~b:(List.hd bs) ~r ~s ~n ~k:s () in

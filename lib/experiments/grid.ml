@@ -1,4 +1,9 @@
-let map ?pool f xs =
+let map ?pool ?span f xs =
+  let f =
+    match span with
+    | None -> f
+    | Some sp -> fun x -> Telemetry.Span.time sp (fun () -> f x)
+  in
   let arr = Array.of_list xs in
   let out =
     match pool with
@@ -6,3 +11,6 @@ let map ?pool f xs =
     | None -> Array.map f arr
   in
   Array.to_list out
+
+let cell_span name =
+  Telemetry.Registry.span (Printf.sprintf "experiments/%s/cell" name)

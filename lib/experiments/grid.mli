@@ -7,4 +7,12 @@
     pool internally: keep inner layers (adversary, Monte-Carlo)
     sequential and parallelize each driver at exactly one level. *)
 
-val map : ?pool:Engine.Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?pool:Engine.Pool.t -> ?span:Telemetry.Span.t -> ('a -> 'b) -> 'a list -> 'b list
+(** [span], when given, times each grid point (per-cell wall time shows
+    up under the span's path in [--metrics] output; cell {e counts} are
+    deterministic, cell durations are not). *)
+
+val cell_span : string -> Telemetry.Span.t
+(** [cell_span "fig2"] is the conventional per-cell span for a driver:
+    path ["experiments/fig2/cell"], Stable call count. *)

@@ -19,13 +19,22 @@ let of_avails avails =
     max = int_of_float hi;
   }
 
+(* Trial counts are Stable (a function of the requested [trials] alone);
+   per-trial durations land with the volatile timings. *)
+let m_runs = Telemetry.Registry.counter "sim/montecarlo/runs"
+let m_trials = Telemetry.Registry.counter "sim/montecarlo/trials"
+let m_trial_span = Telemetry.Registry.span "sim/montecarlo/trial"
+
 let run ?pool ~rng ~trials ~placement ~scenario ~semantics () =
   (* Pre-split one RNG per trial (Rng.split_n), so trial i's stream is a
      function of the master seed and i alone: running the trials through a
      pool of any size gives bit-identical avails.  The adversary inside a
      trial stays sequential — Engine pools reject nesting. *)
+  Telemetry.Counter.incr m_runs;
+  Telemetry.Counter.add m_trials trials;
   let trial_rngs = Combin.Rng.split_n rng trials in
   let one_trial trial_rng =
+    Telemetry.Span.time m_trial_span @@ fun () ->
     let layout = placement trial_rng in
     let cluster = Cluster.create layout semantics in
     Scenario.run ~rng:trial_rng cluster scenario

@@ -1,0 +1,9 @@
+type kind = Stable | Volatile
+
+let enabled = Atomic.make false
+let tracing = Atomic.make false
+let on () = Atomic.get enabled
+let set_enabled b = Atomic.set enabled b
+let trace_on () = Atomic.get tracing
+let set_tracing b = Atomic.set tracing b
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

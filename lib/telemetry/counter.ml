@@ -1,0 +1,9 @@
+type t = { path : string; kind : Control.kind; cell : int Atomic.t }
+
+let make ~path ~kind = { path; kind; cell = Atomic.make 0 }
+let add t n = if Control.on () && n <> 0 then ignore (Atomic.fetch_and_add t.cell n)
+let incr t = add t 1
+let value t = Atomic.get t.cell
+let reset t = Atomic.set t.cell 0
+let path t = t.path
+let kind t = t.kind

@@ -1,0 +1,23 @@
+(** An atomic monotonically-increasing counter.
+
+    Sums are order-independent, so a counter fed from many pool domains
+    aggregates to the same value at any [-j] — provided the *set* of
+    increments is itself deterministic, which is what its
+    {!Control.kind} declares.  Hot loops should accumulate into a plain
+    local [int] and {!add} once per task rather than paying an atomic
+    RMW per event (see the branch fold of [Placement.Adversary.exact]). *)
+
+type t
+
+val make : path:string -> kind:Control.kind -> t
+(** Use {!Registry.counter} instead: metrics must live in the registry
+    to appear in snapshots. *)
+
+val add : t -> int -> unit
+(** No-op while telemetry is disabled ({!Control.on}). *)
+
+val incr : t -> unit
+val value : t -> int
+val reset : t -> unit
+val path : t -> string
+val kind : t -> Control.kind

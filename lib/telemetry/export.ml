@@ -1,0 +1,82 @@
+let value_json : Registry.value -> Json.t = function
+  | Registry.Count n -> Json.Int n
+  | Registry.Value f -> Json.Float f
+  | Registry.Dist { Histogram.count; sum; buckets } ->
+      Json.Obj
+        [
+          ("count", Json.Int count);
+          ("sum", Json.Int sum);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (lo, n) -> Json.List [ Json.Int lo; Json.Int n ])
+                 buckets) );
+        ]
+
+let section entries = Json.Obj (List.map (fun (p, v) -> (p, value_json v)) entries)
+
+let metrics_json (snap : Registry.snapshot) =
+  Json.Obj [ ("values", section snap.values); ("timings", section snap.timings) ]
+
+let values_json (snap : Registry.snapshot) = section snap.values
+
+let value_str : Registry.value -> string = function
+  | Registry.Count n -> string_of_int n
+  | Registry.Value f -> Printf.sprintf "%.4f" f
+  | Registry.Dist { Histogram.count; sum; buckets } ->
+      let bs =
+        List.map (fun (lo, n) -> Printf.sprintf "%d+:%d" lo n) buckets
+      in
+      Printf.sprintf "count=%d sum=%d [%s]" count sum (String.concat " " bs)
+
+let table (snap : Registry.snapshot) =
+  let buf = Buffer.create 1024 in
+  let render title entries =
+    if entries <> [] then begin
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n';
+      let width =
+        List.fold_left (fun w (p, _) -> max w (String.length p)) 0 entries
+      in
+      List.iter
+        (fun (p, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s  %s\n" width p (value_str v)))
+        entries
+    end
+  in
+  render "values" snap.Registry.values;
+  render "timings" snap.Registry.timings;
+  Buffer.contents buf
+
+let trace_json ?(process_name = "placement") () =
+  let events, dropped = Trace.snapshot () in
+  let event (e : Trace.event) =
+    Json.Obj
+      [
+        ("name", Json.Str e.Trace.name);
+        ("ph", Json.Str "X");
+        ("ts", Json.Float (float_of_int e.Trace.ts_ns /. 1e3));
+        ("dur", Json.Float (float_of_int e.Trace.dur_ns /. 1e3));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int e.Trace.tid);
+      ]
+  in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+      ]
+  in
+  let fields =
+    [ ("traceEvents", Json.List (meta :: List.map event events)) ]
+  in
+  let fields =
+    if dropped > 0 then fields @ [ ("droppedEvents", Json.Int dropped) ]
+    else fields
+  in
+  Json.Obj fields

@@ -1,0 +1,25 @@
+(** Render a registry snapshot for humans (aligned table) or machines
+    (JSON object, Chrome trace-event file).
+
+    The JSON form prints the deterministic ["values"] object before the
+    volatile ["timings"] object, so a consumer (or a cram test) that
+    only cares about reproducible search statistics can stop reading at
+    the ["timings"] key. *)
+
+val metrics_json : Registry.snapshot -> Json.t
+(** [{ "values": {path: v, ...}, "timings": {path: v, ...} }] with keys
+    sorted by path.  Histograms become
+    [{ "count": n, "sum": s, "buckets": [[lo, n], ...] }]. *)
+
+val values_json : Registry.snapshot -> Json.t
+(** Just the deterministic ["values"] object — what bench rows embed so
+    recorded search statistics diff cleanly across machines. *)
+
+val table : Registry.snapshot -> string
+(** Human-readable two-section table ("values" then "timings"),
+    one metric per line, aligned. *)
+
+val trace_json : ?process_name:string -> unit -> Json.t
+(** Drain the {!Trace} buffer into a Chrome trace-event JSON document
+    (load via [chrome://tracing] or Perfetto).  Timestamps and durations
+    are microseconds, as the format requires. *)

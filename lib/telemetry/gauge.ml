@@ -1,0 +1,8 @@
+type t = { path : string; kind : Control.kind; cell : float Atomic.t }
+
+let make ~path ~kind = { path; kind; cell = Atomic.make Float.nan }
+let set t v = if Control.on () then Atomic.set t.cell v
+let value t = Atomic.get t.cell
+let reset t = Atomic.set t.cell Float.nan
+let path t = t.path
+let kind t = t.kind

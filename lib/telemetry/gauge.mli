@@ -1,0 +1,21 @@
+(** A last-writer-wins float gauge (e.g. pool utilization).
+
+    Gauges are {!Control.Volatile} by nature in this codebase — they
+    summarize scheduling (utilization, speedup) — but the kind is still
+    explicit so a future deterministic gauge lands in the right export
+    section.  An unset gauge (still NaN) is omitted from snapshots. *)
+
+type t
+
+val make : path:string -> kind:Control.kind -> t
+(** Use {!Registry.gauge} instead. *)
+
+val set : t -> float -> unit
+(** No-op while telemetry is disabled. *)
+
+val value : t -> float
+(** NaN until the first {!set}. *)
+
+val reset : t -> unit
+val path : t -> string
+val kind : t -> Control.kind

@@ -1,0 +1,57 @@
+type t = {
+  path : string;
+  kind : Control.kind;
+  buckets : int Atomic.t array;
+  sum : int Atomic.t;
+}
+
+type snapshot = { count : int; sum : int; buckets : (int * int) list }
+
+let nbuckets = 64
+
+let make ~path ~kind =
+  {
+    path;
+    kind;
+    buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+    sum = Atomic.make 0;
+  }
+
+(* Bucket index: 0 for v <= 0, otherwise floor(log2 v) + 1 (so bucket i
+   starts at 2^(i-1)), capped at the last bucket. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      incr i;
+      v := !v lsr 1
+    done;
+    min !i (nbuckets - 1)
+  end
+
+let bucket_lo i = if i = 0 then 0 else 1 lsl (i - 1)
+
+let observe (t : t) v =
+  if Control.on () then begin
+    ignore (Atomic.fetch_and_add t.buckets.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add t.sum v)
+  end
+
+let snapshot (t : t) =
+  let count = ref 0 and buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    let c = Atomic.get t.buckets.(i) in
+    if c > 0 then begin
+      count := !count + c;
+      buckets := (bucket_lo i, c) :: !buckets
+    end
+  done;
+  { count = !count; sum = Atomic.get t.sum; buckets = !buckets }
+
+let reset (t : t) =
+  Array.iter (fun b -> Atomic.set b 0) t.buckets;
+  Atomic.set t.sum 0
+
+let path (t : t) = t.path
+let kind (t : t) = t.kind

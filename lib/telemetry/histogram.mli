@@ -1,0 +1,30 @@
+(** A fixed-bucket (power-of-two) histogram of non-negative integers.
+
+    64 buckets: bucket 0 holds observations ≤ 0, bucket i ≥ 1 holds
+    [2^(i-1) .. 2^i - 1].  Buckets are atomic, so concurrent observation
+    from pool domains aggregates to the same counts at any [-j] when the
+    observed multiset is deterministic (kind {!Control.Stable} — e.g.
+    per-branch search-node counts); duration histograms are
+    {!Control.Volatile}. *)
+
+type t
+
+type snapshot = {
+  count : int;  (** total observations *)
+  sum : int;  (** sum of observed values *)
+  buckets : (int * int) list;
+      (** (inclusive lower bound, count), non-empty buckets only, in
+          increasing bound order *)
+}
+
+val make : path:string -> kind:Control.kind -> t
+(** Use {!Registry.histogram} instead. *)
+
+val observe : t -> int -> unit
+(** No-op while telemetry is disabled.  Negative values land in bucket
+    0 and contribute their (negative) value to [sum]. *)
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+val path : t -> string
+val kind : t -> Control.kind

@@ -1,0 +1,22 @@
+(** A minimal JSON document builder (no third-party dependency).
+
+    Only what the telemetry exporters and {!Placement.Codec}'s versioned
+    envelope need: construction and deterministic printing.  Object keys
+    are emitted in the order given — callers sort when they want sorted
+    output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** printed with [%.6g]; non-finite values as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-escape the contents (no surrounding quotes). *)
+
+val to_string : ?indent:int -> t -> string
+(** Render; [indent] (spaces per level, e.g. 2) selects pretty-printed
+    output with one scalar per line, otherwise compact one-line JSON. *)

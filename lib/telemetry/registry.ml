@@ -1,0 +1,109 @@
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+  | Span of Span.t
+
+type value = Count of int | Value of float | Dist of Histogram.snapshot
+type snapshot = { values : (string * value) list; timings : (string * value) list }
+
+let mutex = Mutex.create ()
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let intern path make unwrap describe =
+  Mutex.lock mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex)
+    (fun () ->
+      match Hashtbl.find_opt table path with
+      | Some m -> (
+          match unwrap m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Telemetry.Registry: %s already registered with another \
+                    metric type (wanted %s)"
+                   path describe))
+      | None ->
+          let v = make () in
+          v)
+
+let counter ?(kind = Control.Stable) path =
+  intern path
+    (fun () ->
+      let c = Counter.make ~path ~kind in
+      Hashtbl.replace table path (Counter c);
+      c)
+    (function Counter c -> Some c | _ -> None)
+    "counter"
+
+let gauge ?(kind = Control.Volatile) path =
+  intern path
+    (fun () ->
+      let g = Gauge.make ~path ~kind in
+      Hashtbl.replace table path (Gauge g);
+      g)
+    (function Gauge g -> Some g | _ -> None)
+    "gauge"
+
+let histogram ?(kind = Control.Stable) path =
+  intern path
+    (fun () ->
+      let h = Histogram.make ~path ~kind in
+      Hashtbl.replace table path (Histogram h);
+      h)
+    (function Histogram h -> Some h | _ -> None)
+    "histogram"
+
+let span ?(kind = Control.Stable) path =
+  intern path
+    (fun () ->
+      let s = Span.make ~path ~kind in
+      Hashtbl.replace table path (Span s);
+      s)
+    (function Span s -> Some s | _ -> None)
+    "span"
+
+let snapshot () =
+  Mutex.lock mutex;
+  let metrics = Hashtbl.fold (fun _ m acc -> m :: acc) table [] in
+  Mutex.unlock mutex;
+  let values = ref [] and timings = ref [] in
+  let put kind entry =
+    match (kind : Control.kind) with
+    | Stable -> values := entry :: !values
+    | Volatile -> timings := entry :: !timings
+  in
+  List.iter
+    (function
+      | Counter c ->
+          let v = Counter.value c in
+          if v <> 0 then put (Counter.kind c) (Counter.path c, Count v)
+      | Gauge g ->
+          let v = Gauge.value g in
+          if Float.is_finite v then put (Gauge.kind g) (Gauge.path g, Value v)
+      | Histogram h ->
+          let snap = Histogram.snapshot h in
+          if snap.Histogram.count > 0 then
+            put (Histogram.kind h) (Histogram.path h, Dist snap)
+      | Span s ->
+          if Span.count s > 0 then begin
+            put (Span.kind s) (Span.path s ^ "/calls", Count (Span.count s));
+            timings := (Span.path s ^ "/total_ns", Count (Span.total_ns s)) :: !timings
+          end)
+    metrics;
+  let by_path (a, _) (b, _) = compare a b in
+  { values = List.sort by_path !values; timings = List.sort by_path !timings }
+
+let reset () =
+  Mutex.lock mutex;
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> Counter.reset c
+      | Gauge g -> Gauge.reset g
+      | Histogram h -> Histogram.reset h
+      | Span s -> Span.reset s)
+    table;
+  Mutex.unlock mutex;
+  Trace.reset ()

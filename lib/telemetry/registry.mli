@@ -1,0 +1,50 @@
+(** The global metric registry: one process-wide table of named metrics,
+    snapshotted into a deterministic tree of scopes.
+
+    Paths are '/'-separated scopes, lowercase, e.g.
+    ["core/adversary/bb/nodes_expanded"].  Metrics are find-or-create:
+    the registering module calls {!counter}/{!span}/... at module
+    initialization (or lazily from worker code — the table is
+    mutex-guarded) and holds on to the handle; re-requesting a path
+    returns the existing metric, and requesting it as a different
+    metric type raises [Invalid_argument].
+
+    {!snapshot} splits the world into [values] (kind
+    {!Control.Stable}: bit-identical at any [-j] — the determinism suite
+    diffs exactly this list) and [timings] (everything wall-clock or
+    scheduling shaped).  Both lists are sorted by path, so the exported
+    scope tree never depends on registration or completion order. *)
+
+type value =
+  | Count of int  (** counter, or a span's call count / total ns *)
+  | Value of float  (** gauge *)
+  | Dist of Histogram.snapshot
+
+type snapshot = {
+  values : (string * value) list;  (** deterministic, sorted by path *)
+  timings : (string * value) list;  (** volatile, sorted by path *)
+}
+
+val counter : ?kind:Control.kind -> string -> Counter.t
+(** Find-or-create; [kind] defaults to [Stable] and is ignored when the
+    metric already exists. *)
+
+val gauge : ?kind:Control.kind -> string -> Gauge.t
+(** [kind] defaults to [Volatile]. *)
+
+val histogram : ?kind:Control.kind -> string -> Histogram.t
+(** [kind] defaults to [Stable]. *)
+
+val span : ?kind:Control.kind -> string -> Span.t
+(** [kind] (default [Stable]) classifies the call count; the span's
+    accumulated duration is always exported under [timings] as
+    ["<path>/total_ns"]. *)
+
+val snapshot : unit -> snapshot
+(** Zero-valued counters/histograms/spans and unset gauges are omitted,
+    so the snapshot is the tree of scopes that actually did work. *)
+
+val reset : unit -> unit
+(** Zero every metric and drop buffered trace events.  Registered
+    metrics stay registered (handles held by instrumented modules remain
+    valid). *)

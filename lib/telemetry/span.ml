@@ -1,0 +1,44 @@
+type t = {
+  path : string;
+  kind : Control.kind;
+  calls : int Atomic.t;
+  ns : int Atomic.t;
+}
+
+let make ~path ~kind =
+  { path; kind; calls = Atomic.make 0; ns = Atomic.make 0 }
+
+let record_ns t dur =
+  if Control.on () then begin
+    ignore (Atomic.fetch_and_add t.calls 1);
+    ignore (Atomic.fetch_and_add t.ns dur)
+  end
+
+let time t f =
+  if not (Control.on ()) then f ()
+  else begin
+    let t0 = Control.now_ns () in
+    let finish () =
+      let dur = Control.now_ns () - t0 in
+      ignore (Atomic.fetch_and_add t.calls 1);
+      ignore (Atomic.fetch_and_add t.ns dur);
+      if Control.trace_on () then Trace.emit ~name:t.path ~ts_ns:t0 ~dur_ns:dur
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let count t = Atomic.get t.calls
+let total_ns t = Atomic.get t.ns
+
+let reset t =
+  Atomic.set t.calls 0;
+  Atomic.set t.ns 0
+
+let path t = t.path
+let kind t = t.kind

@@ -1,0 +1,26 @@
+(** A monotonic span timer: aggregate call count and total duration,
+    plus an optional per-call trace event ({!Trace}) when tracing is on.
+
+    The call *count* is deterministic whenever the instrumented call
+    sites are (declare it {!Control.Stable}); the accumulated duration
+    is always wall-clock and exported with the volatile metrics.  Spans
+    are safe to enter concurrently from many domains. *)
+
+type t
+
+val make : path:string -> kind:Control.kind -> t
+(** [kind] classifies the {e count}; durations are always volatile.
+    Use {!Registry.span} instead. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** Run the thunk, recording one call and its duration (also on
+    exception).  While telemetry is disabled this is exactly [f ()]. *)
+
+val record_ns : t -> int -> unit
+(** Record an externally-measured duration (no trace event). *)
+
+val count : t -> int
+val total_ns : t -> int
+val reset : t -> unit
+val path : t -> string
+val kind : t -> Control.kind

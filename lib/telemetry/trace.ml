@@ -1,0 +1,30 @@
+type event = { name : string; ts_ns : int; dur_ns : int; tid : int }
+
+let capacity = 65536
+let mutex = Mutex.create ()
+let events : event list ref = ref []
+let count = ref 0
+let dropped = ref 0
+
+let emit ~name ~ts_ns ~dur_ns =
+  let tid = (Domain.self () :> int) in
+  Mutex.lock mutex;
+  if !count < capacity then begin
+    events := { name; ts_ns; dur_ns; tid } :: !events;
+    incr count
+  end
+  else incr dropped;
+  Mutex.unlock mutex
+
+let snapshot () =
+  Mutex.lock mutex;
+  let evs = !events and dropped = !dropped in
+  Mutex.unlock mutex;
+  (List.sort (fun a b -> compare (a.ts_ns, a.tid) (b.ts_ns, b.tid)) evs, dropped)
+
+let reset () =
+  Mutex.lock mutex;
+  events := [];
+  count := 0;
+  dropped := 0;
+  Mutex.unlock mutex

@@ -1,0 +1,23 @@
+(** Bounded buffer of per-call span events for Chrome [about://tracing]
+    (or Perfetto) export.
+
+    Events are recorded by {!Span.time} only while {!Control.trace_on};
+    the buffer holds the first {!capacity} events and counts the rest as
+    dropped rather than growing without bound. *)
+
+type event = {
+  name : string;  (** span path *)
+  ts_ns : int;  (** wall-clock start *)
+  dur_ns : int;
+  tid : int;  (** runtime domain id of the recording domain *)
+}
+
+val capacity : int
+
+val emit : name:string -> ts_ns:int -> dur_ns:int -> unit
+(** Thread-safe; drops (and counts) once the buffer is full. *)
+
+val snapshot : unit -> event list * int
+(** Buffered events in chronological start order, plus the drop count. *)
+
+val reset : unit -> unit

@@ -1,10 +1,25 @@
 #!/bin/sh
 # One-shot health check: the full test suite plus the quick perf pass
 # (adversary -j scaling + the cached-vs-uncached analysis sweep, which
-# appends BENCH_adversary.json / BENCH_analysis.json in the repo root).
+# appends BENCH_adversary.json / BENCH_analysis.json in the repo root),
+# then a telemetry smoke run: the --metrics output must carry the
+# placement/v1 envelope and the disabled-instrumentation overhead guard
+# (BENCH_telemetry.json, written by the perf pass) must hold.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
 dune exec bench/main.exe -- perf --quick
+
+metrics=$(dune exec bin/placement_tool.exe -- attack --strategy combo \
+  -n 31 -b 600 -r 3 -s 2 -k 3 --metrics -)
+echo "$metrics" | grep -q '"schema": "placement/v1"' ||
+  { echo "check.sh: --metrics output missing placement/v1 envelope" >&2; exit 1; }
+echo "$metrics" | grep -q '"core/adversary/bb/nodes_expanded"' ||
+  { echo "check.sh: --metrics output missing B&B search statistics" >&2; exit 1; }
+
+tail -n 1 BENCH_telemetry.json | grep -q '"disabled_ok": true' ||
+  { echo "check.sh: disabled-telemetry overhead guard failed (see BENCH_telemetry.json)" >&2; exit 1; }
+
+echo "check.sh: all good"

@@ -1,0 +1,192 @@
+Every JSON-emitting subcommand wraps its payload in the versioned
+placement/v1 envelope: {"schema", "command", "data"}.
+
+  $ placement-tool plan -n 31 -b 600 -r 3 -s 2 -k 3 --json
+  {
+    "schema": "placement/v1",
+    "command": "plan",
+    "data": {
+      "report": {
+        "strategy": "combo",
+        "capabilities": [
+          "deterministic"
+        ],
+        "params": {
+          "n": 31,
+          "b": 600,
+          "r": 3,
+          "s": 2,
+          "k": 3
+        },
+        "lower_bound": 588,
+        "upper_bound": 600,
+        "notes": [
+          "Simple(1, 4): nx=31 design=PG(4,2) objects=600"
+        ]
+      },
+      "pr_avail": 575
+    }
+  }
+
+  $ placement-tool analyze --strategy random -n 31 -b 600 -r 3 -s 2 -k 3 --json
+  {
+    "schema": "placement/v1",
+    "command": "analyze",
+    "data": {
+      "report": {
+        "strategy": "random",
+        "capabilities": [
+          "randomized",
+          "load-balanced"
+        ],
+        "params": {
+          "n": 31,
+          "b": 600,
+          "r": 3,
+          "s": 2,
+          "k": 3
+        },
+        "lower_bound": 512,
+        "upper_bound": 600,
+        "notes": [
+          "load cap ceil(r*b/n) = 59 replicas/node (Definition 4)",
+          "probable availability (Definition 6): 575 / 600"
+        ]
+      },
+      "random": {
+        "p_fail": 0.0189099,
+        "pr_avail": 575,
+        "fraction": 0.958333,
+        "lemma4_upper": null
+      },
+      "exact_adversary_affordable": true,
+      "attack_cost": 261000.0
+    }
+  }
+
+  $ placement-tool attack --strategy combo -n 31 -b 600 -r 3 -s 2 -k 3 --json
+  {
+    "schema": "placement/v1",
+    "command": "attack",
+    "data": {
+      "source": "a Combo placement",
+      "attack": {
+        "failed_nodes": [
+          2,
+          12,
+          14
+        ],
+        "failed_objects": 12,
+        "available": 588,
+        "exact": true
+      }
+    }
+  }
+
+  $ placement-tool simulate --strategy combo -n 31 -b 600 -r 3 -s 2 -k 3 --json
+  {
+    "schema": "placement/v1",
+    "command": "simulate",
+    "data": {
+      "strategy": "combo",
+      "params": {
+        "n": 31,
+        "b": 600,
+        "r": 3,
+        "s": 2,
+        "k": 3
+      },
+      "attack": {
+        "failed_nodes": [
+          2,
+          12,
+          14
+        ],
+        "failed_objects": 12,
+        "available": 588,
+        "exact": true
+      }
+    }
+  }
+
+--metrics - appends the metrics envelope to stdout.  The "values"
+section is the deterministic span tree: branch-and-bound node counts,
+greedy evaluations, instance table builds — pinned here byte-for-byte
+(the "timings" section is wall-clock and machine-dependent, so the
+output is cut at its key).
+
+  $ placement-tool attack --strategy combo -n 31 -b 600 -r 3 -s 2 -k 3 --metrics - | sed -n '/"timings"/q;p'
+  Worst-case attack on a Combo placement (b=600, n=31, r=3)
+    failed nodes: [2, 12, 14]
+    available objects: 588 / 600 (adversary exact)
+  {
+    "schema": "placement/v1",
+    "command": "metrics",
+    "data": {
+      "values": {
+        "core/adversary/attack/calls": 1,
+        "core/adversary/attack/exact_dispatch": 1,
+        "core/adversary/bb/branch_nodes": {
+          "count": 29,
+          "sum": 4959,
+          "buckets": [
+            [
+              2,
+              1
+            ],
+            [
+              4,
+              1
+            ],
+            [
+              8,
+              2
+            ],
+            [
+              16,
+              2
+            ],
+            [
+              32,
+              3
+            ],
+            [
+              64,
+              5
+            ],
+            [
+              128,
+              7
+            ],
+            [
+              256,
+              8
+            ]
+          ]
+        },
+        "core/adversary/bb/branches": 29,
+        "core/adversary/bb/leaves": 4495,
+        "core/adversary/bb/nodes_expanded": 4959,
+        "core/adversary/greedy/marginal_evals": 90,
+        "core/adversary/greedy/runs": 1,
+        "core/instance/table_builds": 1
+      },
+
+The "values" section is bit-identical at any -j (the determinism
+contract); only "timings" may differ.
+
+  $ placement-tool attack --strategy combo -n 31 -b 600 -r 3 -s 2 -k 3 -j 1 --metrics j1.json > /dev/null
+  $ placement-tool attack --strategy combo -n 31 -b 600 -r 3 -s 2 -k 3 -j 2 --metrics j2.json > /dev/null
+  $ sed -n '/"values"/,/"timings"/{/"timings"/!p;}' j1.json > v1.txt
+  $ sed -n '/"values"/,/"timings"/{/"timings"/!p;}' j2.json > v2.txt
+  $ diff v1.txt v2.txt && echo VALUES_IDENTICAL
+  VALUES_IDENTICAL
+
+--trace writes a Chrome trace-event file (not enveloped: it is an
+external format loaded by chrome://tracing / Perfetto).
+
+  $ placement-tool attack --strategy combo -n 31 -b 600 -r 3 -s 2 -k 3 --trace trace.json > /dev/null
+  $ grep -o '"name": "core/adversary/attack"' trace.json
+  "name": "core/adversary/attack"
+  $ grep -c traceEvents trace.json
+  1

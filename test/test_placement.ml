@@ -125,10 +125,42 @@ let test_lambda_min_eqn1 =
 
 let test_lb_avail_si () =
   (* b - floor(lambda C(k,2)/C(s,2)) for x = 1. *)
-  Alcotest.(check int) "s=3,k=4,l=1" (600 - 2)
+  let r1 = Placement.Analysis.lb_avail_si_report ~b:600 ~x:1 ~lambda:1 ~k:4 ~s:3 () in
+  Alcotest.(check int) "s=3,k=4,l=1" (600 - 2) r1.Placement.Analysis.lb;
+  Alcotest.(check int) "failed_ub" 2 r1.Placement.Analysis.failed_ub;
+  Alcotest.(check bool) "not vacuous" false r1.Placement.Analysis.vacuous;
+  let r2 = Placement.Analysis.lb_avail_si_report ~b:1200 ~x:1 ~lambda:2 ~k:5 ~s:2 () in
+  Alcotest.(check int) "s=2,k=5,l=2" (1200 - 20) r2.Placement.Analysis.lb;
+  (* A vacuous cell: the adversary bound exceeds b. *)
+  let r3 = Placement.Analysis.lb_avail_si_report ~b:5 ~x:1 ~lambda:4 ~k:6 ~s:2 () in
+  Alcotest.(check bool) "vacuous" true r3.Placement.Analysis.vacuous;
+  Alcotest.(check int) "clamped to 0" 0 r3.Placement.Analysis.lb_clamped
+
+(* The deprecated positional aliases must keep compiling and agreeing
+   with the labeled reports they wrap. *)
+[@@@ocaml.alert "-deprecated"]
+
+let test_deprecated_aliases () =
+  Alcotest.(check int) "lb_avail_si = report.lb"
+    (Placement.Analysis.lb_avail_si_report ~b:600 ~x:1 ~lambda:1 ~k:4 ~s:3 ())
+      .Placement.Analysis.lb
     (Placement.Analysis.lb_avail_si ~b:600 ~x:1 ~lambda:1 ~k:4 ~s:3 ());
-  Alcotest.(check int) "s=2,k=5,l=2" (1200 - 20)
-    (Placement.Analysis.lb_avail_si ~b:1200 ~x:1 ~lambda:2 ~k:5 ~s:2 ())
+  let p = Placement.Params.make ~b:600 ~r:3 ~s:2 ~n:31 ~k:3 in
+  let rnd = Placement.Random_analysis.report p in
+  Alcotest.(check (float 0.0)) "single_object_fail_probability = report.p_fail"
+    rnd.Placement.Random_analysis.p_fail
+    (Placement.Random_analysis.single_object_fail_probability p);
+  Alcotest.(check (float 0.0)) "pr_avail_fraction = report.fraction"
+    rnd.Placement.Random_analysis.fraction
+    (Placement.Random_analysis.pr_avail_fraction p);
+  let p1 = Placement.Params.make ~b:600 ~r:3 ~s:1 ~n:31 ~k:4 in
+  match (Placement.Random_analysis.report p1).Placement.Random_analysis.lemma4_upper with
+  | None -> Alcotest.fail "Lemma 4 should apply at s=1, 2k<n"
+  | Some u ->
+      Alcotest.(check (float 0.0)) "s1_upper_bound = report.lemma4_upper" u
+        (Placement.Random_analysis.s1_upper_bound p1)
+
+[@@@ocaml.alert "+deprecated"]
 
 let test_theorem1 () =
   (match Placement.Analysis.theorem1 ~x:1 ~nx:69 ~r:3 ~s:3 ~k:5 ~mu:1 with
@@ -766,7 +798,7 @@ let test_fail_probability_in_unit =
       let* b = int_range 1 500 in
       return (Placement.Params.make ~b ~r:(min r n) ~s ~n ~k))
     (fun p ->
-      let prob = Placement.Random_analysis.single_object_fail_probability p in
+      let prob = (Placement.Random_analysis.report p).Placement.Random_analysis.p_fail in
       prob >= 0.0 && prob <= 1.0 +. 1e-9)
 
 let test_pr_avail_range_and_monotone () =
@@ -790,30 +822,25 @@ let test_pr_avail_k_equals_n_minus_one () =
 let test_lemma4_upper_bounds_pr_avail () =
   List.iter
     (fun (n, r, b, k) ->
-      let p = Placement.Params.make ~b ~r ~s:1 ~n ~k in
-      let bound = Placement.Random_analysis.s1_upper_bound p in
-      let pr = float_of_int (Placement.Random_analysis.pr_avail p) in
-      Alcotest.(check bool)
-        (Printf.sprintf "Lemma4 >= prAvail at n=%d r=%d b=%d k=%d" n r b k)
-        true
-        (bound >= pr -. 1e-6))
+      let rnd =
+        Placement.Random_analysis.report (Placement.Params.make ~b ~r ~s:1 ~n ~k)
+      in
+      match rnd.Placement.Random_analysis.lemma4_upper with
+      | None -> Alcotest.fail "Lemma 4 should apply at s=1, 2k<n"
+      | Some bound ->
+          let pr = float_of_int rnd.Placement.Random_analysis.pr_avail in
+          Alcotest.(check bool)
+            (Printf.sprintf "Lemma4 >= prAvail at n=%d r=%d b=%d k=%d" n r b k)
+            true
+            (bound >= pr -. 1e-6))
     [ (71, 3, 2400, 3); (71, 5, 2400, 5); (257, 3, 9600, 8); (31, 3, 600, 4) ]
 
 let test_lemma4_preconditions () =
-  Alcotest.(check bool) "s<>1 rejected" true
-    (try
-       ignore
-         (Placement.Random_analysis.s1_upper_bound
-            (Placement.Params.make ~b:100 ~r:3 ~s:2 ~n:10 ~k:3));
-       false
-     with Invalid_argument _ -> true);
-  Alcotest.(check bool) "k >= n/2 rejected" true
-    (try
-       ignore
-         (Placement.Random_analysis.s1_upper_bound
-            (Placement.Params.make ~b:100 ~r:3 ~s:1 ~n:10 ~k:5));
-       false
-     with Invalid_argument _ -> true)
+  let upper p = (Placement.Random_analysis.report p).Placement.Random_analysis.lemma4_upper in
+  Alcotest.(check bool) "s<>1 -> None" true
+    (upper (Placement.Params.make ~b:100 ~r:3 ~s:2 ~n:10 ~k:3) = None);
+  Alcotest.(check bool) "k >= n/2 -> None" true
+    (upper (Placement.Params.make ~b:100 ~r:3 ~s:1 ~n:10 ~k:5) = None)
 
 let test_log_vuln_decreasing =
   qtest ~count:20 "Vuln nonincreasing in f"
@@ -828,6 +855,59 @@ let test_log_vuln_decreasing =
         prev := v
       done;
       !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Instance: derived cells alias the parent's tables *)
+
+let test_with_cell_matches_fresh =
+  qtest ~count:40 "with_cell = fresh build"
+    QCheck2.Gen.(
+      let* n = oneofl [ 15; 31; 71 ] in
+      let* r = int_range 3 5 in
+      let* s = int_range 2 r in
+      let* b1 = int_range 1 1200 in
+      let* k1 = int_range s (n / 2) in
+      let* b2 = int_range 1 1200 in
+      let* k2 = int_range s (n / 2) in
+      return (n, r, s, b1, k1, b2, k2))
+    (fun (n, r, s, b1, k1, b2, k2) ->
+      let base = Placement.Instance.make ~b:b1 ~r ~s ~n ~k:k1 () in
+      let cell = Placement.Instance.with_cell base ~b:b2 ~k:k2 in
+      let fresh = Placement.Instance.make ~b:b2 ~r ~s ~n ~k:k2 () in
+      (* Everything derived from the aliased tables must agree with a
+         from-scratch build: binomials (inside and outside the cached
+         rows), log-binomials, the level table, and the DP result. *)
+      let choose_agrees =
+        List.for_all
+          (fun (m, j) ->
+            Placement.Instance.choose cell m j = Placement.Instance.choose fresh m j
+            && Placement.Instance.log_choose cell m j
+               = Placement.Instance.log_choose fresh m j)
+          [ (n, 2); (n - 1, r); (k2, s); (n + 7, 2); (n, r + s) ]
+      in
+      let level_eq (a : Placement.Combo.level) (b : Placement.Combo.level) =
+        a.Placement.Combo.x = b.Placement.Combo.x
+        && a.Placement.Combo.nx = b.Placement.Combo.nx
+        && a.Placement.Combo.mu = b.Placement.Combo.mu
+        && a.Placement.Combo.cap_mu = b.Placement.Combo.cap_mu
+      in
+      let levels_agree =
+        let lc = Placement.Instance.levels cell
+        and lf = Placement.Instance.levels fresh in
+        Array.length lc = Array.length lf
+        && Array.for_all2 level_eq lc lf
+      in
+      let params_agree =
+        Placement.Instance.params cell = Placement.Instance.params fresh
+      in
+      let combo_agree =
+        let cc = Placement.Instance.combo_config cell
+        and cf = Placement.Instance.combo_config fresh in
+        cc.Placement.Combo.lambdas = cf.Placement.Combo.lambdas
+        && cc.Placement.Combo.assigned = cf.Placement.Combo.assigned
+        && cc.Placement.Combo.lb = cf.Placement.Combo.lb
+      in
+      choose_agrees && levels_agree && params_agree && combo_agree)
 
 let () =
   Alcotest.run "placement"
@@ -849,6 +929,7 @@ let () =
           Alcotest.test_case "lambda_min values" `Quick test_lambda_min;
           test_lambda_min_eqn1;
           Alcotest.test_case "lbAvail_si" `Quick test_lb_avail_si;
+          Alcotest.test_case "deprecated aliases" `Quick test_deprecated_aliases;
           Alcotest.test_case "theorem 1" `Quick test_theorem1;
           Alcotest.test_case "competitive limit" `Quick test_competitive_limit;
         ] );
@@ -912,6 +993,8 @@ let () =
           Alcotest.test_case "upper bound sanity" `Quick test_ub_any_placement_sane;
           Alcotest.test_case "budget guard" `Quick test_optimal_too_large;
         ] );
+      ( "instance",
+        [ test_with_cell_matches_fresh ] );
       ( "random_analysis",
         [
           test_alpha_vs_bruteforce;
