@@ -9,7 +9,7 @@
      bench/main.exe -j 4 fig2           fan the artefact grids over 4 domains
 
    Artefacts: fig2..fig11, theorem1, ablation-adversary, ablation-random,
-   ablation-load, ablation-online, baseline-copyset, perf.
+   ablation-load, ablation-online, baseline-copyset, domain-grid, perf.
 
    Each figN prints the rows/series of the corresponding figure or table
    of the paper (see DESIGN.md §4 and EXPERIMENTS.md).  `-j N` (default:
@@ -356,9 +356,60 @@ let run_telemetry_overhead ctx fmt =
     (fun () -> output_string oc json);
   Format.fprintf fmt "(appended to %s)@." path
 
+(* ------------------------------------------------------------------ *)
+(* Domain-adversary scaling: the topology branch-and-bound at -j 1 vs
+   -j N.  The rack budget is set so C(racks, j) forces the B&B path
+   (exhaustive_limit 0 would too, but a genuinely large subset space is
+   the honest workload); the determinism contract says the two walls
+   bracket identical outputs. *)
+
+let run_topology_scaling ctx fmt =
+  let n = 71 and b = 2400 and s = 2 and racks = 24 and j = 7 in
+  let design = Designs.Steiner_triple.make 69 in
+  let layout = (Placement.Simple.of_design design ~n ~b).Placement.Simple.layout in
+  let tree = Topology.Build.partition ~n ~domains:racks () in
+  let attack_with pool =
+    Topology.Adversary.exact ?pool layout ~s tree ~level:1 ~j
+  in
+  ignore (attack_with None);
+  let seq, wall_j1 = wall (fun () -> attack_with None) in
+  let par, wall_jn =
+    match ctx.pool with
+    | Some _ -> wall (fun () -> attack_with ctx.pool)
+    | None -> wall (fun () -> attack_with None)
+  in
+  let identical =
+    seq.Topology.Adversary.failed_objects = par.Topology.Adversary.failed_objects
+    && seq.Topology.Adversary.failed_domains
+       = par.Topology.Adversary.failed_domains
+  in
+  let speedup = if wall_jn > 0.0 then wall_j1 /. wall_jn else 0.0 in
+  Format.fprintf fmt
+    "domain adversary B&B (n=%d b=%d s=%d, worst %d of %d racks): \
+     %.3fs at -j1, %.3fs at -j%d (speedup %.2fx, outputs %s)@."
+    n b s j racks wall_j1 wall_jn ctx.jobs speedup
+    (if identical then "identical" else "DIFFER");
+  let json =
+    Printf.sprintf
+      "{\"op\": \"topology_domain_adversary_bb\", \"n\": %d, \"b\": %d, \
+       \"s\": %d, \"racks\": %d, \"j\": %d, \"jobs\": %d, \
+       \"wall_s_j1\": %.6f, \"wall_s_jn\": %.6f, \"speedup\": %.4f, \
+       \"identical\": %b, \"stats\": %s}\n"
+      n b s racks j ctx.jobs wall_j1 wall_jn speedup identical
+      (stats_json_of (fun () -> attack_with None))
+  in
+  let dir = match ctx.out with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_topology.json" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Format.fprintf fmt "(appended to %s)@." path
+
 let run_perf ctx fmt =
   run_adversary_scaling ctx fmt;
   run_analysis_caching ctx fmt;
+  run_topology_scaling ctx fmt;
   run_telemetry_overhead ctx fmt;
   if not ctx.quick then run_micro fmt
 
@@ -388,6 +439,8 @@ let artefacts : (string * string * (ctx -> Format.formatter -> unit)) list =
       fun _ fmt -> Experiments.Ablation.print_online fmt );
     ( "baseline-copyset", "Baseline: copyset replication",
       fun _ fmt -> Experiments.Baseline.print fmt );
+    ( "domain-grid", "Domain grid: node vs rack adversary",
+      fun ctx fmt -> Experiments.Domain_grid.print ?pool:ctx.pool fmt );
     ("perf", "Perf (scaling + Bechamel micro-benchmarks)", run_perf);
   ]
 

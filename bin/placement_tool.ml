@@ -9,16 +9,28 @@
      attack      attack an exported layout, or a strategy directly
      strategies  list the registered placement strategies
      recommend   cheapest (r, s) meeting an availability target
+     topology    parse and describe a fault-domain topology spec
 
    Placement families are dispatched through the Placement.Strategies
    registry: every subcommand taking --strategy accepts any registered
-   name and rejects unknown ones with the list of those available. *)
+   name and rejects unknown ones with the list of those available.
+   --topology SPEC on plan/analyze/attack/simulate installs a
+   fault-domain tree: the spread strategies plan against it and the
+   domain adversary reports the worst j same-level domain failures. *)
 
 open Cmdliner
+
+(* The spread families register themselves at module-init time; force
+   the linker to keep lib/topology's Strategies module. *)
+let () = Topology.Strategies.ensure_registered ()
 
 let setup_logs () =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ())
+
+let die msg =
+  Fmt.epr "%s@." msg;
+  exit 1
 
 (* Shared arguments, paper notation. *)
 let n_arg =
@@ -149,12 +161,13 @@ let json_flag =
 
 let write_doc path content =
   if path = "-" then print_string content
-  else begin
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc content)
-  end
+  else
+    match open_out path with
+    | exception Sys_error msg -> die (Printf.sprintf "cannot write %s" msg)
+    | oc ->
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc content)
 
 let print_envelope ~command data =
   print_string
@@ -224,16 +237,171 @@ let plan_layout (module S : Placement.Strategy.S) ?rng inst =
             Placement.Optimal.search_cost ~n:p.Placement.Params.n
               ~r:p.Placement.Params.r ~k:p.Placement.Params.k
               ~b:p.Placement.Params.b))
-  | Invalid_argument msg -> Error (Printf.sprintf "strategy %s: %s" S.name msg)
+  | Invalid_argument msg ->
+      (* The spread families already prefix their own name. *)
+      Error
+        (if String.starts_with ~prefix:S.name msg then msg
+         else Printf.sprintf "strategy %s: %s" S.name msg)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-domain topologies (--topology and friends).
+
+   The flags resolve to an optional (tree, level, j) context once the
+   instance size is known: the tree must cover exactly n nodes, the
+   level defaults to the first one above the nodes, and resolving also
+   installs the ambient Topology.Strategies configuration so
+   --strategy simple-spread/random-spread can plan. *)
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "topology" ] ~docv:"SPEC"
+        ~doc:
+          "Fault-domain topology, coarsest level first, e.g. \
+           $(b,zone:2/rack:4/node:8) (see the $(b,topology) subcommand).  \
+           The spec's counts must multiply out to -n.")
+
+let topology_term =
+  let parse = function
+    | None -> `Ok None
+    | Some spec -> (
+        match Topology.Spec.parse spec with
+        | Ok tree -> `Ok (Some tree)
+        | Error msg -> `Error (false, "invalid --topology: " ^ msg))
+  in
+  Term.(ret (const parse $ topology_arg))
+
+let domain_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "domain-level" ] ~docv:"NAME"
+        ~doc:
+          "Topology level the adversary and the spread constraint act on \
+           (default: the first level above the nodes).")
+
+let fail_domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "fail-domains" ] ~docv:"J"
+        ~doc:"Domain-failure budget of the topology adversary (default 1).")
+
+let spread_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "spread" ] ~docv:"T"
+        ~doc:
+          "Max replicas per domain for the spread strategies (default 1).")
+
+let resolve_topology ~n topo level_name fail_domains spread =
+  match topo with
+  | None ->
+      if level_name <> None then
+        die "--domain-level needs --topology SPEC to name a level of";
+      None
+  | Some tree ->
+      if Topology.Tree.n tree <> n then
+        die
+          (Printf.sprintf
+             "--topology describes %d nodes but the instance has n = %d; make \
+              the spec's counts multiply out to n"
+             (Topology.Tree.n tree) n);
+      let level =
+        match level_name with
+        | None -> min 1 (Topology.Tree.depth tree - 1)
+        | Some name -> (
+            match Topology.Tree.find_level tree name with
+            | Some l -> l
+            | None ->
+                die
+                  (Printf.sprintf
+                     "--domain-level %s: no such level; this topology has: %s"
+                     name
+                     (String.concat ", "
+                        (Array.to_list (Topology.Tree.level_names tree)))))
+      in
+      let domains = Topology.Tree.domain_count tree ~level in
+      if fail_domains < 1 || fail_domains > domains then
+        die
+          (Printf.sprintf
+             "--fail-domains %d: must be between 1 and the %d %s domain(s)"
+             fail_domains domains
+             (Topology.Tree.level_name tree level));
+      if spread < 1 then
+        die
+          (Printf.sprintf "--spread %d: must allow at least 1 replica per domain"
+             spread);
+      Topology.Strategies.configure ~level ~cap:spread tree;
+      Some (tree, level, fail_domains)
+
+let domain_bound_json tree ~level (rep : Topology.Bound.report) =
+  Telemetry.Json.Obj
+    [
+      ("level", Telemetry.Json.Str (Topology.Tree.level_name tree level));
+      ("fail_domains", Telemetry.Json.Int rep.Topology.Bound.j);
+      ("covered_nodes", Telemetry.Json.Int rep.Topology.Bound.covered_nodes);
+      ("naive_nodes", Telemetry.Json.Int rep.Topology.Bound.naive_nodes);
+      ( "guaranteed_available",
+        Telemetry.Json.Int
+          rep.Topology.Bound.si.Placement.Analysis.lb_clamped );
+    ]
+
+let domain_attack_json tree ~level layout (a : Topology.Adversary.attack) =
+  let ints xs =
+    Telemetry.Json.List (List.map (fun i -> Telemetry.Json.Int i) (Array.to_list xs))
+  in
+  Telemetry.Json.Obj
+    [
+      ("level", Telemetry.Json.Str (Topology.Tree.level_name tree level));
+      ("failed_domains", ints a.Topology.Adversary.failed_domains);
+      ("failed_nodes", ints a.Topology.Adversary.failed_nodes);
+      ("failed_objects", Telemetry.Json.Int a.Topology.Adversary.failed_objects);
+      ("available", Telemetry.Json.Int (Topology.Adversary.avail layout a));
+      ("exact", Telemetry.Json.Bool a.Topology.Adversary.exact);
+    ]
+
+let print_domain_bound (p : Placement.Params.t) tree ~level ~j =
+  let rep =
+    Topology.Bound.load_report ~b:p.Placement.Params.b ~r:p.Placement.Params.r
+      ~s:p.Placement.Params.s tree ~level ~j
+  in
+  Fmt.pr "  domain failures: worst %d %s(s) cover <= %d node(s); any \
+          load-balanced placement keeps >= %d / %d@."
+    j
+    (Topology.Tree.level_name tree level)
+    rep.Topology.Bound.covered_nodes
+    rep.Topology.Bound.si.Placement.Analysis.lb_clamped p.Placement.Params.b;
+  rep
+
+let print_domain_attack tree ~level ~j layout atk =
+  Fmt.pr "  domain adversary (worst %d %s(s)):@." j
+    (Topology.Tree.level_name tree level);
+  Fmt.pr "    failed domains: %a@."
+    Fmt.(brackets (array ~sep:comma int))
+    atk.Topology.Adversary.failed_domains;
+  Fmt.pr "    failed nodes: %a@."
+    Fmt.(brackets (array ~sep:comma int))
+    atk.Topology.Adversary.failed_nodes;
+  Fmt.pr "    available: %d / %d (adversary %s)@."
+    (Topology.Adversary.avail layout atk)
+    (Placement.Layout.b layout)
+    (if atk.Topology.Adversary.exact then "exact" else "heuristic")
 
 (* ------------------------------------------------------------------ *)
 (* plan *)
 
 let plan_cmd =
-  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) json
-      metrics trace =
+  let run (p : Placement.Params.t) topo level_name fail_domains spread
+      (module S : Placement.Strategy.S) json metrics trace =
     setup_logs ();
     with_telemetry ~metrics ~trace @@ fun () ->
+    let topo_ctx =
+      resolve_topology ~n:p.Placement.Params.n topo level_name fail_domains
+        spread
+    in
     let inst = Placement.Instance.of_params p in
     let display = Placement.Strategies.display_name (module S) in
     let pr_avail = Placement.Instance.pr_avail inst in
@@ -241,14 +409,28 @@ let plan_cmd =
       let report = Placement.Strategy.report (module S) inst in
       print_envelope ~command:"plan"
         (Telemetry.Json.Obj
-           [
-             ("report", Placement.Codec.report_json report);
-             ("pr_avail", Telemetry.Json.Int pr_avail);
-           ])
+           ([
+              ("report", Placement.Codec.report_json report);
+              ("pr_avail", Telemetry.Json.Int pr_avail);
+            ]
+           @
+           match topo_ctx with
+           | None -> []
+           | Some (tree, level, j) ->
+               let rep =
+                 Topology.Bound.load_report ~b:p.Placement.Params.b
+                   ~r:p.Placement.Params.r ~s:p.Placement.Params.s tree ~level
+                   ~j
+               in
+               [ ("topology", domain_bound_json tree ~level rep) ]))
     end
     else begin
       Fmt.pr "%s placement plan for %a@." display Placement.Params.pp p;
       List.iter (fun line -> Fmt.pr "  %s@." line) (S.explain inst);
+      (match topo_ctx with
+      | None -> ()
+      | Some (tree, level, j) ->
+          ignore (print_domain_bound p tree ~level ~j));
       match S.lower_bound inst with
       | None ->
           Fmt.pr "no worst-case guarantee for this strategy (probabilistic only)@.";
@@ -272,17 +454,22 @@ let plan_cmd =
   Cmd.v
     (Cmd.info "plan" ~doc:"Compute a placement plan and its availability bound.")
     Term.(
-      const run $ params_term $ strategy_term ~default:"combo" $ json_flag
-      $ metrics_arg $ trace_arg)
+      const run $ params_term $ topology_term $ domain_level_arg
+      $ fail_domains_arg $ spread_arg $ strategy_term ~default:"combo"
+      $ json_flag $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
 let analyze_cmd =
-  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) json
-      metrics trace =
+  let run (p : Placement.Params.t) topo level_name fail_domains spread
+      (module S : Placement.Strategy.S) json metrics trace =
     setup_logs ();
     with_telemetry ~metrics ~trace @@ fun () ->
+    let topo_ctx =
+      resolve_topology ~n:p.Placement.Params.n topo level_name fail_domains
+        spread
+    in
     let inst = Placement.Instance.of_params p in
     if json then begin
       let report = Placement.Strategy.report (module S) inst in
@@ -297,6 +484,15 @@ let analyze_cmd =
               Telemetry.Json.Bool (Placement.Instance.exact_attack_affordable inst) );
             ("attack_cost", Telemetry.Json.Float (Placement.Instance.attack_cost inst));
           ]
+        @
+        match topo_ctx with
+        | None -> []
+        | Some (tree, level, j) ->
+            let rep =
+              Topology.Bound.load_report ~b:p.Placement.Params.b
+                ~r:p.Placement.Params.r ~s:p.Placement.Params.s tree ~level ~j
+            in
+            [ ("topology", domain_bound_json tree ~level rep) ]
       in
       print_envelope ~command:"analyze" (Telemetry.Json.Obj fields)
     end
@@ -309,9 +505,12 @@ let analyze_cmd =
       Fmt.pr "  prAvail_rnd (Definition 6): %d / %d (%.4f)@."
         rnd.Placement.Random_analysis.pr_avail p.Placement.Params.b
         rnd.Placement.Random_analysis.fraction;
-      match rnd.Placement.Random_analysis.lemma4_upper with
+      (match rnd.Placement.Random_analysis.lemma4_upper with
       | Some u -> Fmt.pr "  Lemma 4 upper bound (s = 1): %.1f@." u
+      | None -> ());
+      match topo_ctx with
       | None -> ()
+      | Some (tree, level, j) -> ignore (print_domain_bound p tree ~level ~j)
     end
     else begin
       Fmt.pr "Worst-case analysis of the %s strategy@."
@@ -330,14 +529,18 @@ let analyze_cmd =
         p.Placement.Params.b;
       Fmt.pr "  exact adversary affordable: %b (estimated work %.3g)@."
         (Placement.Instance.exact_attack_affordable inst)
-        (Placement.Instance.attack_cost inst)
+        (Placement.Instance.attack_cost inst);
+      match topo_ctx with
+      | None -> ()
+      | Some (tree, level, j) -> ignore (print_domain_bound p tree ~level ~j)
     end
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Worst-case availability analysis of a strategy.")
     Term.(
-      const run $ params_term $ strategy_term ~default:"random" $ json_flag
-      $ metrics_arg $ trace_arg)
+      const run $ params_term $ topology_term $ domain_level_arg
+      $ fail_domains_arg $ spread_arg $ strategy_term ~default:"random"
+      $ json_flag $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* designs *)
@@ -449,63 +652,86 @@ let attack_cmd =
   let k_only =
     Arg.(value & opt int 2 & info [ "k"; "failures" ] ~docv:"K" ~doc:"Nodes to fail.")
   in
-  let fail msg =
-    Fmt.epr "%s@." msg;
-    exit 1
-  in
-  let run file strategy n b r seed s k jobs json metrics trace =
+  let run file strategy n b r seed s k topo level_name fail_domains spread jobs
+      json metrics trace =
     setup_logs ();
     with_telemetry ~metrics ~trace @@ fun () ->
-    let source, layout =
+    (* The spread strategies need the ambient configuration installed
+       before they plan, so resolve as soon as n is known. *)
+    let resolve n =
+      resolve_topology ~n topo level_name fail_domains spread
+    in
+    let source, layout, topo_ctx =
       match (file, strategy) with
-      | Some _, Some _ -> fail "pass either --layout or --strategy, not both"
-      | None, None -> fail "one of --layout FILE or --strategy NAME is required"
+      | Some _, Some _ -> die "pass either --layout or --strategy, not both"
+      | None, None -> die "one of --layout FILE or --strategy NAME is required"
       | Some file, None -> (
           match Placement.Codec.load file with
-          | Error msg -> fail (Printf.sprintf "cannot load %s: %s" file msg)
-          | Ok layout -> (file, layout))
+          | Error msg -> die (Printf.sprintf "cannot load %s: %s" file msg)
+          | Ok layout -> (file, layout, resolve layout.Placement.Layout.n))
       | None, Some name -> (
           let (module S) =
             match Placement.Strategies.find name with
             | Some s -> s
             | None ->
-                fail
+                die
                   (Printf.sprintf "unknown strategy %S; available strategies: %s"
                      name
                      (String.concat ", " (Placement.Strategies.names ())))
           in
           match (n, b) with
-          | None, _ | _, None -> fail "--strategy needs -n and -b to size the instance"
+          | None, _ | _, None -> die "--strategy needs -n and -b to size the instance"
           | Some n, Some b -> (
               match validate_params ~n ~b ~r ~s ~k with
-              | Error msg -> fail ("invalid parameters: " ^ msg)
+              | Error msg -> die ("invalid parameters: " ^ msg)
               | Ok p -> (
+                  let ctx = resolve p.Placement.Params.n in
                   let inst = Placement.Instance.of_params p in
                   let rng = Combin.Rng.create seed in
                   match plan_layout (module S) ~rng inst with
-                  | Error msg -> fail msg
+                  | Error msg -> die msg
                   | Ok layout ->
                       (Printf.sprintf "a %s placement"
                          (Placement.Strategies.display_name (module S)),
-                       layout))))
+                       layout, ctx))))
     in
-    let attack =
-      with_pool jobs (fun pool -> Placement.Adversary.best ?pool layout ~s ~k)
+    let attack, domain_attack =
+      with_pool jobs (fun pool ->
+          let atk = Placement.Adversary.best ?pool layout ~s ~k in
+          let datk =
+            Option.map
+              (fun (tree, level, j) ->
+                Topology.Adversary.attack ?pool layout ~s tree ~level ~j)
+              topo_ctx
+          in
+          (atk, datk))
     in
     if json then
       print_envelope ~command:"attack"
         (Telemetry.Json.Obj
-           [
-             ("source", Telemetry.Json.Str source);
-             ("attack", Placement.Codec.attack_json ~s layout attack);
-           ])
-    else print_attack ~source layout ~s attack
+           ([
+              ("source", Telemetry.Json.Str source);
+              ("attack", Placement.Codec.attack_json ~s layout attack);
+            ]
+           @
+           match (topo_ctx, domain_attack) with
+           | Some (tree, level, _), Some datk ->
+               [ ("topology", domain_attack_json tree ~level layout datk) ]
+           | _ -> []))
+    else begin
+      print_attack ~source layout ~s attack;
+      match (topo_ctx, domain_attack) with
+      | Some (tree, level, j), Some datk ->
+          print_domain_attack tree ~level ~j layout datk
+      | _ -> ()
+    end
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a layout exported with simulate --out, or a strategy.")
     Term.(
       const run $ file_arg $ strategy_opt_arg $ n_opt $ b_opt $ r_only $ seed_arg
-      $ s_only $ k_only $ jobs_term $ json_flag $ metrics_arg $ trace_arg)
+      $ s_only $ k_only $ topology_term $ domain_level_arg $ fail_domains_arg
+      $ spread_arg $ jobs_term $ json_flag $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -520,34 +746,51 @@ let simulate_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Also export the layout to a file.")
   in
-  let run (p : Placement.Params.t) (module S : Placement.Strategy.S) seed out
-      jobs json metrics trace =
+  let run (p : Placement.Params.t) topo level_name fail_domains spread
+      (module S : Placement.Strategy.S) seed out jobs json metrics trace =
     setup_logs ();
     with_telemetry ~metrics ~trace @@ fun () ->
+    let topo_ctx =
+      resolve_topology ~n:p.Placement.Params.n topo level_name fail_domains
+        spread
+    in
     let inst = Placement.Instance.of_params p in
     let rng = Combin.Rng.create seed in
     let layout =
       match plan_layout (module S) ~rng inst with
       | Ok layout -> layout
-      | Error msg ->
-          Fmt.epr "%s@." msg;
-          exit 1
+      | Error msg -> die msg
     in
-    let attack =
+    let attack, domain_attack =
       with_pool jobs (fun pool ->
-          Placement.Adversary.best ?pool ~rng layout ~s:p.Placement.Params.s
-            ~k:p.Placement.Params.k)
+          let atk =
+            Placement.Adversary.best ?pool ~rng layout ~s:p.Placement.Params.s
+              ~k:p.Placement.Params.k
+          in
+          let datk =
+            Option.map
+              (fun (tree, level, j) ->
+                Topology.Adversary.attack ?pool layout ~s:p.Placement.Params.s
+                  tree ~level ~j)
+              topo_ctx
+          in
+          (atk, datk))
     in
     if json then
       print_envelope ~command:"simulate"
         (Telemetry.Json.Obj
-           [
-             ("strategy", Telemetry.Json.Str S.name);
-             ("params", Placement.Codec.params_json p);
-             ( "attack",
-               Placement.Codec.attack_json ~s:p.Placement.Params.s layout attack
-             );
-           ])
+           ([
+              ("strategy", Telemetry.Json.Str S.name);
+              ("params", Placement.Codec.params_json p);
+              ( "attack",
+                Placement.Codec.attack_json ~s:p.Placement.Params.s layout
+                  attack );
+            ]
+           @
+           match (topo_ctx, domain_attack) with
+           | Some (tree, level, _), Some datk ->
+               [ ("topology", domain_attack_json tree ~level layout datk) ]
+           | _ -> []))
     else begin
       Fmt.pr "Simulated worst-case attack on a %s placement@."
         (Placement.Strategies.display_name (module S));
@@ -558,7 +801,11 @@ let simulate_cmd =
         attack.Placement.Adversary.failed_objects p.Placement.Params.b
         (if attack.Placement.Adversary.exact then "exact" else "heuristic");
       Fmt.pr "  available: %d@."
-        (Placement.Adversary.avail layout ~s:p.Placement.Params.s attack)
+        (Placement.Adversary.avail layout ~s:p.Placement.Params.s attack);
+      match (topo_ctx, domain_attack) with
+      | Some (tree, level, j), Some datk ->
+          print_domain_attack tree ~level ~j layout datk
+      | _ -> ()
     end;
     match out with
     | None -> ()
@@ -569,8 +816,9 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Materialize a placement and attack it.")
     Term.(
-      const run $ params_term $ strategy_term ~default:"combo" $ seed_arg
-      $ out_arg $ jobs_term $ json_flag $ metrics_arg $ trace_arg)
+      const run $ params_term $ topology_term $ domain_level_arg
+      $ fail_domains_arg $ spread_arg $ strategy_term ~default:"combo"
+      $ seed_arg $ out_arg $ jobs_term $ json_flag $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* strategies *)
@@ -640,13 +888,51 @@ let recommend_cmd =
        ~doc:"Find the cheapest replication config meeting an availability target.")
     Term.(const run $ n_arg $ b_arg $ k_arg $ target_arg)
 
+(* ------------------------------------------------------------------ *)
+(* topology *)
+
+let topology_cmd =
+  let spec_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "Topology spec, coarsest level first: NAME:COUNT/NAME:COUNT/... \
+             e.g. $(b,zone:2/rack:4/node:8).")
+  in
+  let run spec json =
+    setup_logs ();
+    match Topology.Spec.parse spec with
+    | Error msg -> die ("invalid topology spec: " ^ msg)
+    | Ok tree ->
+        if json then print_envelope ~command:"topology" (Topology.Spec.json tree)
+        else begin
+          Fmt.pr "%s@." (Topology.Spec.summary tree);
+          for level = Topology.Tree.depth tree - 1 downto 0 do
+            let sizes = Topology.Tree.sizes tree ~level in
+            let lo = Array.fold_left min sizes.(0) sizes in
+            let hi = Array.fold_left max sizes.(0) sizes in
+            Fmt.pr "  %-8s %6d domain(s), %s@."
+              (Topology.Tree.level_name tree level)
+              (Topology.Tree.domain_count tree ~level)
+              (if lo = hi then Printf.sprintf "%d node(s) each" lo
+               else Printf.sprintf "%d-%d node(s)" lo hi)
+          done
+        end
+  in
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:"Parse a fault-domain topology spec and describe its levels.")
+    Term.(const run $ spec_pos $ json_flag)
+
 let main_cmd =
   let doc = "replica placement for availability in the worst case (ICDCS'15 reproduction)" in
   Cmd.group
     (Cmd.info "placement-tool" ~version:"1.0.0" ~doc)
     [
       plan_cmd; analyze_cmd; designs_cmd; gap_cmd; simulate_cmd; attack_cmd;
-      strategies_cmd; recommend_cmd;
+      strategies_cmd; recommend_cmd; topology_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

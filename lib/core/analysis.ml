@@ -25,9 +25,6 @@ let lb_avail_si_report ?(choose = Combin.Binomial.exact) ~b ~x ~lambda ~k ~s () 
   let lb = b - failed_ub in
   { lb; lb_clamped = max 0 lb; failed_ub; vacuous = lb <= 0 }
 
-let lb_avail_si ?choose ~b ~x ~lambda ~k ~s () =
-  (lb_avail_si_report ?choose ~b ~x ~lambda ~k ~s ()).lb
-
 type competitive = { c : float; alpha : float }
 
 let theorem1 ~x ~nx ~r ~s ~k ~mu =

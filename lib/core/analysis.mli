@@ -19,8 +19,8 @@ type lb_report = {
           on objects the worst-case adversary can fail *)
   vacuous : bool;  (** [lb <= 0]: the bound says nothing *)
 }
-(** Labeled result of Lemma 2, replacing the bare [int] of
-    {!lb_avail_si}: call sites name the field they mean instead of
+(** Labeled result of Lemma 2, replacing the bare [int] of the old
+    positional API: call sites name the field they mean instead of
     re-deriving clamping and vacuity ad hoc. *)
 
 val lb_avail_si_report :
@@ -29,13 +29,6 @@ val lb_avail_si_report :
 (** Lemma 2: [lbAvail_si = b - floor(λ C(k,x+1) / C(s,x+1))].  [choose]
     defaults to {!Combin.Binomial.exact}; grid sweeps pass
     {!Instance.choose} to reuse one memoized table. *)
-
-val lb_avail_si :
-  ?choose:(int -> int -> int) ->
-  b:int -> x:int -> lambda:int -> k:int -> s:int -> unit -> int
-[@@ocaml.alert deprecated "use lb_avail_si_report (returns .lb)"]
-(** @deprecated Positional form of {!lb_avail_si_report}; returns the raw
-    (unclamped) [.lb] field. *)
 
 type competitive = {
   c : float;  (** the competitive factor of Theorem 1 *)

@@ -51,7 +51,7 @@ val choose : t -> int -> int -> int
 (** [choose t m j] is C(m, j) by table lookup for m ≤ n and j ≤ max r s,
     falling back to {!Combin.Binomial.exact} outside the table (or where
     the table saturated).  Pass this to {!Combo.optimize},
-    {!Combo.lb_avail_co} and {!Analysis.lb_avail_si}. *)
+    {!Combo.lb_avail_co} and {!Analysis.lb_avail_si_report}. *)
 
 val log_choose : t -> int -> int -> float
 (** ln C(m, j), via the globally cached log-factorials. *)

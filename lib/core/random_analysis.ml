@@ -35,8 +35,6 @@ let pr_avail (p : Params.t) =
    with Exit -> ());
   p.b - !max_f
 
-let pr_avail_fraction p = float_of_int (pr_avail p) /. float_of_int p.Params.b
-
 let s1_upper_bound (p : Params.t) =
   if p.s <> 1 then invalid_arg "Random_analysis.s1_upper_bound: s <> 1";
   if 2 * p.k >= p.n then invalid_arg "Random_analysis.s1_upper_bound: k >= n/2";

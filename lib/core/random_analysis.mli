@@ -31,10 +31,6 @@ type rnd_report = {
 
 val report : Params.t -> rnd_report
 
-val single_object_fail_probability : Params.t -> float
-[@@ocaml.alert deprecated "use report (field p_fail)"]
-(** @deprecated See {!rnd_report.p_fail}. *)
-
 val log_vuln : Params.t -> f:int -> float
 (** ln Vuln_rnd(f) in the Theorem-2 limit. *)
 
@@ -42,15 +38,3 @@ val pr_avail : Params.t -> int
 (** Definition 6's prAvail_rnd: [b − max {f : Vuln_rnd(f) ≥ 1}].
     (Vuln_rnd(0) ≥ 1 always, so the result is well defined and in
     [0, b].) *)
-
-val pr_avail_fraction : Params.t -> float
-[@@ocaml.alert deprecated "use report (field fraction)"]
-(** @deprecated See {!rnd_report.fraction}. *)
-
-val s1_upper_bound : Params.t -> float
-[@@ocaml.alert deprecated "use report (field lemma4_upper)"]
-(** Lemma 4's bound for s = 1 and k < n/2:
-    [prAvail_rnd ≤ b (1 − 1/b)^(k·⌊ℓ⌋)] with ℓ = rb/n.
-    @raise Invalid_argument if [s <> 1] or [k >= n/2].
-    @deprecated See {!rnd_report.lemma4_upper}, which carries the
-    applicability test instead of raising. *)

@@ -1,0 +1,30 @@
+(** Node adversary vs rack (domain) adversary on the Fig. 4 concrete
+    designs.
+
+    Not a paper artefact: the paper's adversary fails any [k] nodes;
+    real clusters fail in racks.  This grid puts the two on one axis —
+    for each design cell, partition the nodes into racks, let the
+    domain adversary ({!Topology.Adversary}) pick the worst [j] racks,
+    and compare with the node adversary given the same node budget
+    ([k] = the nodes those racks cover, {!Topology.Bound}'s refined
+    reduction).  The gap is the price of correlation: how much damage
+    the rack structure denies an adversary who must fail whole racks. *)
+
+type row = {
+  n : int;
+  r : int;
+  s : int;
+  b : int;
+  racks : int;  (** rack count of the {!Topology.Build.partition} tree *)
+  j : int;  (** rack budget of the domain adversary *)
+  covered : int;  (** nodes in the worst-case [j] racks (refined K) *)
+  rack_avail : int;  (** domain-adversary availability *)
+  rack_exact : bool;
+  node_avail : int;  (** node-adversary availability at [k = covered] *)
+  node_exact : bool;
+  lb : int;  (** Lemma 2 at x=0, λ = max load, k = covered *)
+}
+
+val compute : ?pool:Engine.Pool.t -> unit -> row list
+
+val print : ?pool:Engine.Pool.t -> Format.formatter -> unit

@@ -2,27 +2,48 @@ type t = {
   layout : Placement.Layout.t;
   semantics : Semantics.t;
   s : int;
-  racks : int array;
+  topology : Topology.Tree.t;
+  rack_level : int;
+  rack_label : int array;  (* rack-level domain id -> caller's rack id *)
   node_objs : int array array;
   up : bool array;
   lost : int array;  (* failed replicas per object *)
   mutable failed_objects : int;
 }
 
-let create ?racks layout semantics =
+let create ?racks ?topology layout semantics =
   let n = layout.Placement.Layout.n in
-  let racks =
-    match racks with
-    | None -> Array.init n (fun i -> i)
-    | Some r ->
+  let topology, rack_label =
+    match (racks, topology) with
+    | Some _, Some _ ->
+        invalid_arg "Cluster.create: pass either ~racks or ~topology, not both"
+    | None, Some topo ->
+        if Topology.Tree.n topo <> n then
+          invalid_arg
+            (Printf.sprintf
+               "Cluster.create: topology has %d nodes but the layout has %d"
+               (Topology.Tree.n topo) n);
+        let level = min 1 (Topology.Tree.depth topo - 1) in
+        (topo, Array.init (Topology.Tree.domain_count topo ~level) Fun.id)
+    | Some r, None ->
         if Array.length r <> n then invalid_arg "Cluster.create: racks length";
-        Array.copy r
+        (* The caller's (arbitrary) rack ids become the rack-level
+           domains of a flat one-level tree; Tree.make normalizes ids in
+           ascending order, so label domain d with the d-th distinct
+           id — rack_of/rack_ids/rack_nodes then answer in the caller's
+           vocabulary, byte-identical to the pre-topology rack model. *)
+        (Topology.Build.of_racks r, Combin.Intset.of_array r)
+    | None, None ->
+        (Topology.Build.flat n, Array.init n Fun.id)
   in
+  let rack_level = min 1 (Topology.Tree.depth topology - 1) in
   {
     layout;
     semantics;
     s = Semantics.fatality_threshold semantics ~r:layout.Placement.Layout.r;
-    racks;
+    topology;
+    rack_level;
+    rack_label;
     node_objs = Placement.Layout.node_objects layout;
     up = Array.make n true;
     lost = Array.make (Placement.Layout.b layout) 0;
@@ -34,6 +55,8 @@ let semantics t = t.semantics
 let fatality_threshold t = t.s
 let n t = t.layout.Placement.Layout.n
 let b t = Placement.Layout.b t.layout
+let topology t = t.topology
+let rack_level t = t.rack_level
 let node_up t nd = t.up.(nd)
 
 let failed_nodes t =
@@ -63,22 +86,39 @@ let recover_node t nd =
       t.node_objs.(nd)
   end
 
-let fail_rack t rack =
-  Array.iteri (fun nd r -> if r = rack then fail_node t nd) t.racks
-
-let rack_of t nd = t.racks.(nd)
-
-let rack_ids t = Combin.Intset.of_array t.racks
+(* Rack-level domain holding the caller's rack id, if any (binary search
+   in the sorted label array). *)
+let rack_domain t rack =
+  let lo = ref 0 and hi = ref (Array.length t.rack_label - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let id = t.rack_label.(mid) in
+    if id = rack then found := Some mid
+    else if id < rack then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
 
 let rack_nodes t rack =
-  let out = ref [] in
-  Array.iteri (fun nd r -> if r = rack then out := nd :: !out) t.racks;
-  Combin.Intset.of_array (Array.of_list !out)
+  match rack_domain t rack with
+  | None -> [||]
+  | Some d -> Array.copy (Topology.Tree.members t.topology ~level:t.rack_level d)
+
+let fail_rack t rack = Array.iter (fail_node t) (rack_nodes t rack)
+
+let rack_of t nd =
+  t.rack_label.(Topology.Tree.domain_of t.topology ~level:t.rack_level nd)
+
+let rack_ids t = Array.copy t.rack_label
 
 let recover_all t =
   for nd = 0 to n t - 1 do
     recover_node t nd
   done
+
+let fail_domain t ~level d =
+  Array.iter (fail_node t) (Topology.Tree.members t.topology ~level d)
 
 let object_available t obj = t.lost.(obj) < t.s
 

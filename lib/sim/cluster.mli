@@ -4,14 +4,26 @@
     This is the executable model behind the examples and the empirical
     experiments: fail nodes (by choice, at random, or adversarially),
     observe which objects remain available under a given access
-    semantics, recover, repeat. *)
+    semantics, recover, repeat.
+
+    Every cluster carries a {!Topology.Tree} of fault domains.  The
+    historical rack model is the special case of a one-level tree: the
+    [~racks] array becomes the rack level (and the default — no racks,
+    no topology — is {!Topology.Build.flat}, one rack per node), so the
+    rack accessors below answer through the topology while keeping
+    their pre-topology byte-for-byte behavior. *)
 
 type t
 
-val create : ?racks:int array -> Placement.Layout.t -> Semantics.t -> t
+val create :
+  ?racks:int array -> ?topology:Topology.Tree.t -> Placement.Layout.t ->
+  Semantics.t -> t
 (** [create layout sem] starts with all nodes up.  [racks], if given,
     assigns node [i] to rack [racks.(i)] (length n) for correlated
-    failures; default is one rack per node. *)
+    failures; [topology] installs a full fault-domain tree instead
+    (its first level above the nodes acts as the rack level).
+    @raise Invalid_argument if both are given, or on a length/node
+    mismatch. *)
 
 val layout : t -> Placement.Layout.t
 val semantics : t -> Semantics.t
@@ -19,6 +31,13 @@ val fatality_threshold : t -> int
 
 val n : t -> int
 val b : t -> int
+
+val topology : t -> Topology.Tree.t
+(** The cluster's fault-domain tree. *)
+
+val rack_level : t -> int
+(** The tree level acting as "racks": the first level above the nodes
+    (the node level itself on a depth-1 tree). *)
 
 val node_up : t -> int -> bool
 val failed_nodes : t -> int array
@@ -31,7 +50,10 @@ val recover_node : t -> int -> unit
 (** Idempotent. *)
 
 val fail_rack : t -> int -> unit
-(** Fail every node of a rack. *)
+(** Fail every node of a rack (no-op on an unknown rack id). *)
+
+val fail_domain : t -> level:int -> int -> unit
+(** Fail every node of a domain of the topology. *)
 
 val rack_of : t -> int -> int
 (** Rack id of a node. *)
@@ -40,7 +62,7 @@ val rack_ids : t -> int array
 (** Distinct rack ids, ascending. *)
 
 val rack_nodes : t -> int -> int array
-(** Nodes of a rack, ascending. *)
+(** Nodes of a rack, ascending ([[||]] for an unknown rack id). *)
 
 val recover_all : t -> unit
 

@@ -2,12 +2,15 @@ type t =
   | Adversarial of int
   | Random_nodes of int
   | Random_racks of int
+  | Domain_failure of int * int
   | Explicit of int array
 
 let describe = function
   | Adversarial k -> Printf.sprintf "worst-case failure of %d nodes" k
   | Random_nodes k -> Printf.sprintf "random failure of %d nodes" k
   | Random_racks j -> Printf.sprintf "random failure of %d racks" j
+  | Domain_failure (level, j) ->
+      Printf.sprintf "worst-case failure of %d level-%d domains" j level
   | Explicit nodes ->
       Printf.sprintf "explicit failure of %d nodes" (Array.length nodes)
 
@@ -24,16 +27,23 @@ let apply ~rng cluster t =
     | Random_nodes k ->
         Combin.Rng.sample_distinct rng ~n:(Cluster.n cluster) ~k
     | Random_racks j ->
-        let racks = Cluster.rack_ids cluster in
-        let nr = Array.length racks in
+        (* Routed through the cluster's topology: racks are the domains
+           of the rack level, in the same ascending order as the
+           pre-topology rack_ids — one sample_distinct draw, identical
+           streams, identical node sets. *)
+        let topo = Cluster.topology cluster in
+        let level = Cluster.rack_level cluster in
+        let nr = Topology.Tree.domain_count topo ~level in
         if j > nr then invalid_arg "Scenario.apply: more racks than exist";
         let picked = Combin.Rng.sample_distinct rng ~n:nr ~k:j in
-        let nodes =
-          Array.concat
-            (Array.to_list
-               (Array.map (fun i -> Cluster.rack_nodes cluster racks.(i)) picked))
+        Topology.Failset.nodes topo ~level picked
+    | Domain_failure (level, j) ->
+        let attack =
+          Topology.Adversary.attack (Cluster.layout cluster)
+            ~s:(Cluster.fatality_threshold cluster)
+            (Cluster.topology cluster) ~level ~j
         in
-        Combin.Intset.of_array nodes
+        attack.Topology.Adversary.failed_nodes
     | Explicit nodes -> Combin.Intset.of_array nodes
   in
   Array.iter (fun nd -> Cluster.fail_node cluster nd) nodes;

@@ -2,22 +2,27 @@
 
     The paper's adversary is {!Adversarial}; the others exist for the
     example applications and ablation studies (random failures are the
-    model of the prior work the paper contrasts with, rack failures a
-    common correlated-failure pattern in data centers). *)
+    model of the prior work the paper contrasts with, rack and domain
+    failures the correlated-failure patterns of data centers). *)
 
 type t =
   | Adversarial of int  (** worst-case choice of k nodes (Definition 1) *)
   | Random_nodes of int  (** k nodes, uniformly at random *)
   | Random_racks of int  (** j racks, uniformly at random *)
+  | Domain_failure of int * int
+      (** [Domain_failure (level, j)]: worst-case choice of [j] domains
+          at [level] of the cluster's topology
+          ({!Topology.Adversary}) *)
   | Explicit of int array  (** a fixed node set *)
 
 val describe : t -> string
 
 val apply : rng:Combin.Rng.t -> Cluster.t -> t -> int array
 (** Apply the scenario to a (fully recovered) cluster: fails the selected
-    nodes and returns them (sorted).  The adversarial scenario uses
-    {!Placement.Adversary.best} against the cluster's layout and
-    fatality threshold. *)
+    nodes and returns them (sorted).  The adversarial scenarios use
+    {!Placement.Adversary.best} / {!Topology.Adversary.attack} against
+    the cluster's layout and fatality threshold; rack scenarios draw
+    their domains from the cluster's topology. *)
 
 val run : rng:Combin.Rng.t -> Cluster.t -> t -> int
 (** [apply] then report {!Cluster.available_objects}; the cluster is

@@ -12,7 +12,7 @@ type snapshot = {
   unavailable : int;
 }
 
-let replay cluster events =
+let replay ?(restore = false) cluster events =
   let snaps = ref [] in
   List.iter
     (fun ev ->
@@ -32,6 +32,7 @@ let replay cluster events =
             }
             :: !snaps)
     events;
+  if restore then Cluster.recover_all cluster;
   List.rev !snaps
 
 let pp_snapshot fmt s =

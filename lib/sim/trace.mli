@@ -18,8 +18,10 @@ type snapshot = {
   unavailable : int;
 }
 
-val replay : Cluster.t -> event list -> snapshot list
-(** Apply events in order; each [Measure] appends a snapshot.  The cluster
-    is left in its final state. *)
+val replay : ?restore:bool -> Cluster.t -> event list -> snapshot list
+(** Apply events in order; each [Measure] appends a snapshot.  The
+    cluster is left in its final state — unless [restore] (default
+    false) is set, which recovers every node afterwards so the cluster
+    can be reused without a manual {!Cluster.recover_all}. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,292 @@
+let log_src =
+  Logs.Src.create "topology.adversary" ~doc:"domain-aware worst-case adversary"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type attack = {
+  failed_domains : int array;
+  failed_nodes : int array;
+  failed_objects : int;
+  exact : bool;
+}
+
+(* Search statistics, Stable like the node adversary's: branches never
+   re-read the shared incumbent and budgets are pre-split per branch, so
+   every count is a pure function of (layout, tree, level, j).  Hot
+   loops accumulate plain local ints, flushed once per branch in branch
+   order. *)
+let m_bb_branches = Telemetry.Registry.counter "topology/adversary/bb/branches"
+let m_bb_nodes = Telemetry.Registry.counter "topology/adversary/bb/nodes_expanded"
+let m_bb_leaves = Telemetry.Registry.counter "topology/adversary/bb/leaves"
+let m_bb_prunes = Telemetry.Registry.counter "topology/adversary/bb/bound_prunes"
+let m_bb_improves = Telemetry.Registry.counter "topology/adversary/bb/improvements"
+let m_bb_truncated =
+  Telemetry.Registry.counter "topology/adversary/bb/truncated_branches"
+let m_exh_subsets =
+  Telemetry.Registry.counter "topology/adversary/exhaustive/subsets"
+let m_greedy_runs = Telemetry.Registry.counter "topology/adversary/greedy/runs"
+let m_greedy_evals =
+  Telemetry.Registry.counter "topology/adversary/greedy/marginal_evals"
+let m_attack_exh =
+  Telemetry.Registry.counter "topology/adversary/attack/exhaustive_dispatch"
+let m_attack_bb =
+  Telemetry.Registry.counter "topology/adversary/attack/bb_dispatch"
+let m_attack_span = Telemetry.Registry.span "topology/adversary/attack"
+
+(* Incremental damage tracker over domains: [domain_objs.(d)] lists one
+   entry per replica hosted inside domain [d] (same-level domains are
+   disjoint node sets, so failing domain [d] fails each entry once). *)
+type state = {
+  s : int;
+  domain_objs : int array array;
+  hits : int array;
+  mutable failed : int;
+}
+
+let domain_objs_of layout tree ~level =
+  let node_objs = Placement.Layout.node_objects layout in
+  Array.map
+    (fun members ->
+      Array.concat (Array.to_list (Array.map (fun nd -> node_objs.(nd)) members)))
+    (Array.init (Tree.domain_count tree ~level) (Tree.members tree ~level))
+
+let state_of ~s ~domain_objs ~b =
+  { s; domain_objs; hits = Array.make b 0; failed = 0 }
+
+let add_domain st d =
+  Array.iter
+    (fun obj ->
+      st.hits.(obj) <- st.hits.(obj) + 1;
+      if st.hits.(obj) = st.s then st.failed <- st.failed + 1)
+    st.domain_objs.(d)
+
+let remove_domain st d =
+  Array.iter
+    (fun obj ->
+      if st.hits.(obj) = st.s then st.failed <- st.failed - 1;
+      st.hits.(obj) <- st.hits.(obj) - 1)
+    st.domain_objs.(d)
+
+let marginal st d =
+  let newly = ref 0 and progress = ref 0 in
+  Array.iter
+    (fun obj ->
+      let h = st.hits.(obj) in
+      if h + 1 = st.s then incr newly;
+      if h < st.s then incr progress)
+    st.domain_objs.(d);
+  (!newly, !progress)
+
+let check layout tree ~level ~j =
+  if layout.Placement.Layout.n <> Tree.n tree then
+    invalid_arg
+      (Printf.sprintf
+         "Topology.Adversary: layout has n=%d but the topology has %d nodes"
+         layout.Placement.Layout.n (Tree.n tree));
+  Failset.validate tree ~level ~j
+
+let of_domains tree ~level domains ~failed_objects ~exact =
+  {
+    failed_domains = Combin.Intset.of_array domains;
+    failed_nodes = Failset.nodes tree ~level domains;
+    failed_objects;
+    exact;
+  }
+
+let eval layout ~s tree ~level domains =
+  Placement.Layout.failed_objects layout ~s
+    ~failed_nodes:(Failset.nodes tree ~level domains)
+
+let pmap pool f xs =
+  match pool with
+  | Some p -> Engine.Pool.parallel_map p f xs
+  | None -> Array.map f xs
+
+let greedy layout ~s tree ~level ~j =
+  check layout tree ~level ~j;
+  let nd = Tree.domain_count tree ~level in
+  let domain_objs = domain_objs_of layout tree ~level in
+  let st = state_of ~s ~domain_objs ~b:(Placement.Layout.b layout) in
+  let chosen = Array.make nd false in
+  let picks = ref [] in
+  let evals = ref 0 in
+  for _ = 1 to j do
+    let best_d = ref (-1) and best_val = ref (-1, -1) in
+    for d = 0 to nd - 1 do
+      if not chosen.(d) then begin
+        let v = marginal st d in
+        incr evals;
+        if v > !best_val then begin
+          best_val := v;
+          best_d := d
+        end
+      end
+    done;
+    chosen.(!best_d) <- true;
+    add_domain st !best_d;
+    picks := !best_d :: !picks
+  done;
+  Telemetry.Counter.incr m_greedy_runs;
+  Telemetry.Counter.add m_greedy_evals !evals;
+  of_domains tree ~level
+    (Array.of_list !picks)
+    ~failed_objects:st.failed ~exact:false
+
+let exhaustive layout ~s tree ~level ~j =
+  check layout tree ~level ~j;
+  if j = 0 then
+    of_domains tree ~level [||] ~failed_objects:0 ~exact:true
+  else begin
+    (* Greedy seed + strict lexicographic improvement: the reported set
+       is the greedy one unless some subset strictly beats it, exactly
+       as the branch-and-bound path resolves ties. *)
+    let g = greedy layout ~s tree ~level ~j in
+    let domain_objs = domain_objs_of layout tree ~level in
+    let st = state_of ~s ~domain_objs ~b:(Placement.Layout.b layout) in
+    let best = ref g.failed_objects and best_set = ref None in
+    let subsets = ref 0 in
+    let nd = Tree.domain_count tree ~level in
+    let current = Array.make j 0 in
+    let rec go start depth =
+      if depth = j then begin
+        incr subsets;
+        if st.failed > !best then begin
+          best := st.failed;
+          best_set := Some (Array.copy current)
+        end
+      end
+      else
+        for d = start to nd - (j - depth) do
+          current.(depth) <- d;
+          add_domain st d;
+          go (d + 1) (depth + 1);
+          remove_domain st d
+        done
+    in
+    go 0 0;
+    Telemetry.Counter.add m_exh_subsets !subsets;
+    match !best_set with
+    | Some domains ->
+        of_domains tree ~level domains ~failed_objects:!best ~exact:true
+    | None -> { g with exact = true }
+  end
+
+let exact ?(budget = 50_000_000) ?pool layout ~s tree ~level ~j =
+  check layout tree ~level ~j;
+  if j = 0 then
+    of_domains tree ~level [||] ~failed_objects:0 ~exact:true
+  else begin
+    let nd = Tree.domain_count tree ~level in
+    let domain_objs = domain_objs_of layout tree ~level in
+    let b = Placement.Layout.b layout in
+    let degrees = Array.map Array.length domain_objs in
+    (* top_deg.(start).(m): sum of the m largest domain degrees with id
+       >= start — an upper bound on the damage of m more picks. *)
+    let top_deg =
+      Array.init (nd + 1) (fun start ->
+          let suffix = Array.sub degrees start (nd - start) in
+          Array.sort (fun a b -> compare b a) suffix;
+          let acc = Array.make (j + 1) 0 in
+          for m = 1 to j do
+            acc.(m) <-
+              acc.(m - 1)
+              + (if m - 1 < Array.length suffix then suffix.(m - 1) else 0)
+          done;
+          acc)
+    in
+    (* Greedy seeds the incumbent; the bound cell is read once here,
+       before dispatch — branches publish improvements but never re-read
+       it, so pruning (and hence every statistic and the reported set)
+       is identical at every -j. *)
+    let g = greedy layout ~s tree ~level ~j in
+    let incumbent = Engine.Bound.create g.failed_objects in
+    let seed_bound = Engine.Bound.get incumbent in
+    let first_choices = Array.init (nd - j + 1) Fun.id in
+    let branch_budget = max 1 (budget / Array.length first_choices) in
+    let run_branch d0 =
+      let st = state_of ~s ~domain_objs ~b in
+      let best = ref seed_bound and best_set = ref None in
+      let current = Array.make j 0 in
+      let visited = ref 0 in
+      let leaves = ref 0 and prunes = ref 0 and improves = ref 0 in
+      let truncated = ref false in
+      let rec go start depth =
+        incr visited;
+        if !visited > branch_budget then truncated := true
+        else if depth = j then begin
+          incr leaves;
+          if st.failed > !best then begin
+            incr improves;
+            best := st.failed;
+            best_set := Some (Array.copy current);
+            ignore (Engine.Bound.improve incumbent st.failed)
+          end
+        end
+        else if st.failed + top_deg.(start).(j - depth) > !best then
+          for d = start to nd - (j - depth) do
+            if not !truncated then begin
+              current.(depth) <- d;
+              add_domain st d;
+              go (d + 1) (depth + 1);
+              remove_domain st d
+            end
+          done
+        else incr prunes
+      in
+      current.(0) <- d0;
+      add_domain st d0;
+      go (d0 + 1) 1;
+      (!best, !best_set, !truncated, (!visited, !leaves, !prunes, !improves))
+    in
+    let results = pmap pool run_branch first_choices in
+    (* Deterministic fold: strict improvement, lowest branch wins ties;
+       statistics flushed here in branch order on the calling domain. *)
+    let best = ref g.failed_objects and best_set = ref None in
+    let truncated = ref false in
+    Array.iter
+      (fun (v, set, tr, (visited, leaves, prunes, improves)) ->
+        Telemetry.Counter.incr m_bb_branches;
+        Telemetry.Counter.add m_bb_nodes visited;
+        Telemetry.Counter.add m_bb_leaves leaves;
+        Telemetry.Counter.add m_bb_prunes prunes;
+        Telemetry.Counter.add m_bb_improves improves;
+        if tr then Telemetry.Counter.incr m_bb_truncated;
+        if tr then truncated := true;
+        match set with
+        | Some domains when v > !best ->
+            best := v;
+            best_set := Some domains
+        | _ -> ())
+      results;
+    match !best_set with
+    | Some domains ->
+        of_domains tree ~level domains ~failed_objects:!best
+          ~exact:(not !truncated)
+    | None -> { g with exact = not !truncated }
+  end
+
+let attack ?pool ?budget ?(exhaustive_limit = 20_000) layout ~s tree ~level ~j =
+  Telemetry.Span.time m_attack_span @@ fun () ->
+  check layout tree ~level ~j;
+  let small =
+    match Failset.count tree ~level ~j with
+    | Some c -> c <= exhaustive_limit
+    | None -> false
+  in
+  if small then begin
+    Telemetry.Counter.incr m_attack_exh;
+    exhaustive layout ~s tree ~level ~j
+  end
+  else begin
+    Telemetry.Counter.incr m_attack_bb;
+    let result = exact ?budget ?pool layout ~s tree ~level ~j in
+    if not result.exact then
+      Log.warn (fun m ->
+          m
+            "domain adversary truncated by node budget at level %S j=%d: \
+             reporting best-so-far (>= greedy) as a heuristic"
+            (Tree.level_name tree level) j);
+    result
+  end
+
+let avail layout attack = Placement.Layout.b layout - attack.failed_objects

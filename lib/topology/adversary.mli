@@ -1,0 +1,59 @@
+(** The domain-aware worst-case adversary: fail the [j] domains at one
+    level of a fault-domain tree that kill the most objects.
+
+    This is the paper's Definition-1 adversary with its choice set
+    restricted from arbitrary [k]-node subsets to unions of [j]
+    same-level domains.  On a {!Build.flat} tree (singleton racks) the
+    rack-level adversary therefore {e is} the node adversary and finds
+    the same availability.
+
+    Search discipline (identical to {!Placement.Adversary}, see
+    DESIGN.md §6/§9): exhaustive enumeration when [C(domains, j)] is
+    small, otherwise branch-and-bound parallelized over the first-domain
+    choices through {!Engine.Pool}, seeded by the greedy attack, with
+    the shared {!Engine.Bound} incumbent read once before dispatch and
+    per-branch pre-split node budgets — so the result is bit-identical
+    at any [-j]. *)
+
+type attack = {
+  failed_domains : int array;  (** chosen domain ids, ascending *)
+  failed_nodes : int array;  (** their member nodes, ascending *)
+  failed_objects : int;
+  exact : bool;  (** false only when the branch budget truncated *)
+}
+
+val eval :
+  Placement.Layout.t -> s:int -> Tree.t -> level:int -> int array -> int
+(** Objects killed by failing the given domains. *)
+
+val greedy :
+  Placement.Layout.t -> s:int -> Tree.t -> level:int -> j:int -> attack
+(** Pick domains one at a time by marginal damage ([exact = false]). *)
+
+val exhaustive :
+  Placement.Layout.t -> s:int -> Tree.t -> level:int -> j:int -> attack
+(** Sequential enumeration of every [j]-subset of domains in
+    lexicographic order, greedy-seeded with strict improvement; always
+    exact.  Meant for small [C(domains, j)] — {!attack} dispatches. *)
+
+val exact :
+  ?budget:int ->
+  ?pool:Engine.Pool.t ->
+  Placement.Layout.t -> s:int -> Tree.t -> level:int -> j:int -> attack
+(** Branch-and-bound over domain subsets ([budget]: total search-node
+    allowance, default 5e7, pre-split per branch).  Returns the same
+    attack as {!exhaustive} whenever it completes ([exact = true]). *)
+
+val attack :
+  ?pool:Engine.Pool.t ->
+  ?budget:int ->
+  ?exhaustive_limit:int ->
+  Placement.Layout.t -> s:int -> Tree.t -> level:int -> j:int -> attack
+(** Dispatch: {!exhaustive} when [C(domains, j) <= exhaustive_limit]
+    (default 20,000), else {!exact}.  Telemetry lands under
+    [topology/adversary/...].
+    @raise Invalid_argument when the layout and tree disagree on [n],
+    or [j] is out of range. *)
+
+val avail : Placement.Layout.t -> attack -> int
+(** [b − failed_objects]. *)

@@ -1,0 +1,40 @@
+type report = {
+  level : int;
+  j : int;
+  covered_nodes : int;
+  naive_nodes : int;
+  si : Placement.Analysis.lb_report;
+}
+
+let sorted_sizes_desc tree ~level =
+  let sizes = Tree.sizes tree ~level in
+  Array.sort (fun a b -> compare b a) sizes;
+  sizes
+
+let covered_nodes tree ~level ~j =
+  Failset.validate tree ~level ~j;
+  let sizes = sorted_sizes_desc tree ~level in
+  let acc = ref 0 in
+  for i = 0 to j - 1 do
+    acc := !acc + sizes.(i)
+  done;
+  !acc
+
+let si_report ?choose ~b ~x ~lambda ~s tree ~level ~j =
+  Failset.validate tree ~level ~j;
+  let sizes = sorted_sizes_desc tree ~level in
+  let covered = ref 0 in
+  for i = 0 to j - 1 do
+    covered := !covered + sizes.(i)
+  done;
+  let naive = if j = 0 then 0 else j * sizes.(0) in
+  let si =
+    Placement.Analysis.lb_avail_si_report ?choose ~b ~x ~lambda ~k:!covered ~s
+      ()
+  in
+  { level; j; covered_nodes = !covered; naive_nodes = naive; si }
+
+let load_report ?choose ~b ~r ~s tree ~level ~j =
+  let n = Tree.n tree in
+  let lambda = ((r * b) + n - 1) / n in
+  si_report ?choose ~b ~x:0 ~lambda ~s tree ~level ~j

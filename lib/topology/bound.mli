@@ -1,0 +1,41 @@
+(** The domain-failure analogue of Lemma 2's [lbAvail_si].
+
+    Failing [j] domains at level [l] fails at most the nodes those
+    domains contain, so the worst [j]-domain failure can never beat the
+    worst [K]-node failure where [K] bounds the covered node count.
+    Two reductions, coarse to tight:
+
+    - naive: [K = j × max domain size] at the level;
+    - per-level refinement: [K = sum of the j largest domain sizes] at
+      the level — strictly tighter whenever domains are uneven (and the
+      value actually fed to Lemma 2 here).
+
+    Both are sound because the adversary picks {e some} [j] domains; the
+    refinement just refuses to pretend every pick is maximal.  With
+    [K] in hand, a Simple(x, λ) placement keeps at least
+    [b − ⌊λ·C(K, x+1)/C(s, x+1)⌋] objects ({!Placement.Analysis}). *)
+
+type report = {
+  level : int;
+  j : int;
+  covered_nodes : int;  (** the refined K: sum of the j largest sizes *)
+  naive_nodes : int;  (** j × max domain size, for comparison *)
+  si : Placement.Analysis.lb_report;  (** Lemma 2 at [k = covered_nodes] *)
+}
+
+val covered_nodes : Tree.t -> level:int -> j:int -> int
+(** The refined K. *)
+
+val si_report :
+  ?choose:(int -> int -> int) ->
+  b:int -> x:int -> lambda:int -> s:int ->
+  Tree.t -> level:int -> j:int -> report
+(** The Simple(x, λ) domain-failure guarantee.  [choose] as in
+    {!Placement.Analysis.lb_avail_si_report}. *)
+
+val load_report :
+  ?choose:(int -> int -> int) ->
+  b:int -> r:int -> s:int -> Tree.t -> level:int -> j:int -> report
+(** [si_report] at [x = 0] with [λ = ⌈r·b/n⌉]: a guarantee valid for
+    {e any} load-balanced placement (Definition 4's cap), which is what
+    the CLI reports when only the parameters are known. *)

@@ -1,0 +1,44 @@
+let flat n = Tree.make ~n [ ("rack", Array.init n Fun.id) ]
+
+let regular ~racks ~nodes_per_rack =
+  if racks < 1 || nodes_per_rack < 1 then
+    invalid_arg "Topology.Build.regular: racks and nodes_per_rack must be >= 1";
+  let n = racks * nodes_per_rack in
+  Tree.make ~n [ ("rack", Array.init n (fun nd -> nd / nodes_per_rack)) ]
+
+let of_racks ?(name = "rack") racks =
+  Tree.make ~n:(Array.length racks) [ (name, Array.copy racks) ]
+
+let partition ?(name = "rack") ~n ~domains () =
+  if domains < 1 || domains > n then
+    invalid_arg "Topology.Build.partition: need 1 <= domains <= n";
+  (* Contiguous fair split: node nd lands in group ⌊nd·domains/n⌋, so
+     group sizes differ by at most one. *)
+  Tree.make ~n [ (name, Array.init n (fun nd -> nd * domains / n)) ]
+
+let nested components =
+  if components = [] then invalid_arg "Topology.Build.nested: empty spec";
+  List.iter
+    (fun (name, c) ->
+      if c < 1 then
+        invalid_arg
+          (Printf.sprintf "Topology.Build.nested: level %S has count %d < 1"
+             name c))
+    components;
+  let n = List.fold_left (fun acc (_, c) -> acc * c) 1 components in
+  let leaf_name = fst (List.nth components (List.length components - 1)) in
+  (* Interior levels, coarsest first, skipping the leaf component.  A
+     level whose subtree holds [stride] leaves assigns node nd to domain
+     nd / stride. *)
+  let interior = ref [] in
+  let stride = ref n in
+  List.iteri
+    (fun i (name, c) ->
+      if i < List.length components - 1 then begin
+        stride := !stride / c;
+        let stride = !stride in
+        interior := (name, Array.init n (fun nd -> nd / stride)) :: !interior
+      end)
+    components;
+  (* !interior is now finest-first, as Tree.make expects. *)
+  Tree.make ~leaf_name ~n !interior

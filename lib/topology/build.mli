@@ -1,0 +1,32 @@
+(** Constructors for the common fault-domain shapes.
+
+    Everything funnels into {!Tree.make}; these builders only decide the
+    grouping.  The compact textual form is parsed by {!Spec}. *)
+
+val flat : int -> Tree.t
+(** [flat n]: every node is its own rack (levels [node], [rack] with
+    singleton racks).  This is {!Dsim.Cluster}'s historical default rack
+    model; the rack-level adversary on a flat tree is exactly the
+    paper's node adversary. *)
+
+val regular : racks:int -> nodes_per_rack:int -> Tree.t
+(** [regular ~racks ~nodes_per_rack]: [racks × nodes_per_rack] nodes in
+    equal contiguous racks. *)
+
+val of_racks : ?name:string -> int array -> Tree.t
+(** [of_racks racks]: one interior level (default name ["rack"]) from a
+    per-node rack-id array ([racks.(nd)] is node [nd]'s rack; arbitrary
+    non-negative ids, normalized in ascending order). *)
+
+val partition : ?name:string -> n:int -> domains:int -> unit -> Tree.t
+(** [partition ~n ~domains ()]: [n] nodes in [domains] contiguous
+    near-even groups (sizes differ by at most one) — the builder for
+    node counts that do not factor, e.g. 31 nodes in 8 racks. *)
+
+val nested : (string * int) list -> Tree.t
+(** [nested [(name_0, c_0); ...; (name_m, c_m)]], coarsest first: [c_0]
+    domains of level [name_0], each containing [c_1] of [name_1], ...;
+    the last component counts the leaves, so [n = c_0·…·c_m] and the
+    leaf level is named [name_m].  [nested [("rack", 4); ("node", 5)]]
+    is [regular ~racks:4 ~nodes_per_rack:5].
+    @raise Invalid_argument on an empty list or counts < 1. *)

@@ -1,0 +1,25 @@
+let validate tree ~level ~j =
+  let d = Tree.domain_count tree ~level in
+  if j < 0 || j > d then
+    invalid_arg
+      (Printf.sprintf
+         "Topology.Failset: j=%d out of range [0, %d] at level %S" j d
+         (Tree.level_name tree level))
+
+let count tree ~level ~j =
+  Combin.Binomial.exact_opt (Tree.domain_count tree ~level) j
+
+let nodes tree ~level domains =
+  (* Domains at one level are disjoint: concatenation has no duplicates
+     and Intset.of_array only sorts. *)
+  Combin.Intset.of_array
+    (Array.concat
+       (Array.to_list (Array.map (Tree.members tree ~level) domains)))
+
+let iter tree ~level ~j f =
+  validate tree ~level ~j;
+  Combin.Subset.iter ~n:(Tree.domain_count tree ~level) ~k:j f
+
+let sample ~rng tree ~level ~j =
+  validate tree ~level ~j;
+  Combin.Rng.sample_distinct rng ~n:(Tree.domain_count tree ~level) ~k:j

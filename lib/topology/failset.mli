@@ -1,0 +1,25 @@
+(** Domain-budget failure sets: "fail any [j] domains at level [l]".
+
+    The domain adversary ({!Adversary}), the random rack scenario
+    ({!Dsim.Scenario}) and the exhaustive enumeration all draw their
+    candidate failure sets from here, so the node sets they fail are
+    provably the same family. *)
+
+val validate : Tree.t -> level:int -> j:int -> unit
+(** @raise Invalid_argument unless [0 <= j <= domain_count] and the
+    level exists. *)
+
+val count : Tree.t -> level:int -> j:int -> int option
+(** [C(domain_count, j)], or [None] on overflow. *)
+
+val nodes : Tree.t -> level:int -> int array -> int array
+(** Union of the member nodes of the given domains (sorted; the domains
+    of one level are disjoint). *)
+
+val iter : Tree.t -> level:int -> j:int -> (int array -> unit) -> unit
+(** Every [j]-subset of domain ids in lexicographic order; the array is
+    reused between calls ({!Combin.Subset.iter}). *)
+
+val sample : rng:Combin.Rng.t -> Tree.t -> level:int -> j:int -> int array
+(** A uniformly random [j]-subset of domain ids, sorted.  Consumes
+    exactly one {!Combin.Rng.sample_distinct} draw. *)

@@ -1,0 +1,109 @@
+let slots tree ~level ~cap =
+  Array.fold_left
+    (fun acc size -> acc + min cap size)
+    0
+    (Tree.sizes tree ~level)
+
+let check_feasible tree ~level ~cap ~r =
+  if cap < 1 then Error (Printf.sprintf "spread cap %d must be >= 1" cap)
+  else begin
+    let available = slots tree ~level ~cap in
+    if available >= r then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "cannot place r=%d replicas with at most %d per %s: the %d %ss \
+            offer only %d replica slots (sum of min(cap, size)); raise the \
+            spread cap or use a finer topology"
+           r cap
+           (Tree.level_name tree level)
+           (Tree.domain_count tree ~level)
+           (Tree.level_name tree level)
+           available)
+  end
+
+let feasible_exn ~who tree ~level ~cap ~r =
+  match check_feasible tree ~level ~cap ~r with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (who ^ ": " ^ msg)
+
+(* Round-robin skeleton shared by both planners.  Per object: visit
+   domains cyclically in [order], taking one node per eligible visit
+   ([pick] chooses among the object's unused members of the domain)
+   until r replicas are placed.  One-node-per-visit keeps replicas
+   maximally spread even when the cap would allow clustering; the
+   feasibility check guarantees termination within r cycles. *)
+let place ~who ~order ~pick tree ~level ~cap ~b ~r =
+  feasible_exn ~who tree ~level ~cap ~r;
+  let n = Tree.n tree in
+  let nd = Tree.domain_count tree ~level in
+  let replicas =
+    Array.init b (fun o ->
+        let visit = order ~obj:o ~domains:nd in
+        let used = Array.make nd 0 in
+        let taken = Array.make n false in
+        let chosen = ref [] in
+        let needed = ref r in
+        let i = ref 0 in
+        while !needed > 0 do
+          let d = visit !i in
+          let m = Tree.members tree ~level d in
+          if used.(d) < min cap (Array.length m) then begin
+            let node = pick ~obj:o ~members:m ~taken in
+            taken.(node) <- true;
+            used.(d) <- used.(d) + 1;
+            chosen := node :: !chosen;
+            decr needed
+          end;
+          incr i
+        done;
+        Combin.Intset.of_array (Array.of_list !chosen))
+  in
+  Placement.Layout.make ~n ~r replicas
+
+let simple tree ~level ~cap ~b ~r =
+  let loads = Array.make (Tree.n tree) 0 in
+  let order ~obj ~domains i = (obj + i) mod domains in
+  (* Least-loaded unused member, ties to the lowest node id. *)
+  let pick ~obj:_ ~members ~taken =
+    let best = ref (-1) in
+    Array.iter
+      (fun node ->
+        if not taken.(node) then
+          if !best = -1 || loads.(node) < loads.(!best) then best := node)
+      members;
+    loads.(!best) <- loads.(!best) + 1;
+    !best
+  in
+  place ~who:"Topology.Spread.simple" ~order ~pick tree ~level ~cap ~b ~r
+
+let random ~rng tree ~level ~cap ~b ~r =
+  let order ~obj:_ ~domains =
+    let perm = Array.init domains Fun.id in
+    Combin.Rng.shuffle rng perm;
+    fun i -> perm.(i mod domains)
+  in
+  let pick ~obj:_ ~members ~taken =
+    let unused = Array.of_list (List.filter (fun node -> not taken.(node)) (Array.to_list members)) in
+    unused.(Combin.Rng.int rng (Array.length unused))
+  in
+  place ~who:"Topology.Spread.random" ~order ~pick tree ~level ~cap ~b ~r
+
+let max_per_domain layout tree ~level =
+  if layout.Placement.Layout.n <> Tree.n tree then
+    invalid_arg "Topology.Spread.max_per_domain: layout/topology n mismatch";
+  let worst = ref 0 in
+  let counts = Array.make (Tree.domain_count tree ~level) 0 in
+  Array.iter
+    (fun replicas ->
+      Array.iter
+        (fun node ->
+          let d = Tree.domain_of tree ~level node in
+          counts.(d) <- counts.(d) + 1;
+          if counts.(d) > !worst then worst := counts.(d))
+        replicas;
+      Array.iter
+        (fun node -> counts.(Tree.domain_of tree ~level node) <- 0)
+        replicas)
+    layout.Placement.Layout.replicas;
+  !worst

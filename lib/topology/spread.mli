@@ -1,0 +1,35 @@
+(** Topology-constrained replica planners: at most [cap] replicas of
+    any one object inside each domain of a chosen level.
+
+    A spread-capped placement buys domain-failure immunity directly:
+    failing [j] domains removes at most [j·cap] replicas of any object,
+    so for [j ≤ ⌊(s−1)/cap⌋] no object can die.  {!Strategies} wraps
+    these planners as registry strategies. *)
+
+val slots : Tree.t -> level:int -> cap:int -> int
+(** [Σ_d min(cap, |d|)]: how many replicas of one object the topology
+    admits under the constraint. *)
+
+val check_feasible :
+  Tree.t -> level:int -> cap:int -> r:int -> (unit, string) result
+(** [Ok ()] iff [slots >= r]; the error is a one-line actionable
+    message naming the level, cap and shortfall. *)
+
+val simple :
+  Tree.t -> level:int -> cap:int -> b:int -> r:int -> Placement.Layout.t
+(** Deterministic round-robin: object [o] starts at domain
+    [o mod domains] and cycles, taking the least-loaded unused node of
+    each eligible domain (ties to the lowest id), one per visit, until
+    [r] replicas are placed.  @raise Invalid_argument when infeasible
+    (message of {!check_feasible}). *)
+
+val random :
+  rng:Combin.Rng.t ->
+  Tree.t -> level:int -> cap:int -> b:int -> r:int -> Placement.Layout.t
+(** Randomized variant: per object a fresh domain permutation, one
+    uniformly random unused node per visit, same cap discipline.
+    @raise Invalid_argument when infeasible. *)
+
+val max_per_domain : Placement.Layout.t -> Tree.t -> level:int -> int
+(** The realized spread: the largest number of replicas any object has
+    inside one domain of the level (for tests and [explain]). *)

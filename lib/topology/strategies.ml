@@ -1,0 +1,140 @@
+module Strategy = Placement.Strategy
+module Instance = Placement.Instance
+module Layout = Placement.Layout
+module Analysis = Placement.Analysis
+module Params = Placement.Params
+
+type config = { tree : Tree.t; level : int; cap : int }
+
+let current : config option ref = ref None
+
+let default_level tree = min 1 (Tree.depth tree - 1)
+
+let configure ?level ?cap tree =
+  let level = match level with Some l -> l | None -> default_level tree in
+  let cap = match cap with Some c -> c | None -> 1 in
+  if level < 0 || level >= Tree.depth tree then
+    invalid_arg
+      (Printf.sprintf "Topology.Strategies.configure: level %d out of range"
+         level);
+  if cap < 1 then
+    invalid_arg "Topology.Strategies.configure: cap must be >= 1";
+  current := Some { tree; level; cap }
+
+let config () = !current
+let clear_config () = current := None
+
+let require_config ~name inst =
+  match !current with
+  | None ->
+      invalid_arg
+        (name
+       ^ ": no topology configured; pass --topology SPEC (or call \
+          Topology.Strategies.configure) so the spread family has fault \
+          domains to place against")
+  | Some cfg ->
+      let n = (Instance.params inst).Params.n in
+      if Tree.n cfg.tree <> n then
+        invalid_arg
+          (Printf.sprintf
+             "%s: the configured topology has %d nodes but n = %d; the \
+              topology must cover exactly the cluster's nodes"
+             name (Tree.n cfg.tree) n);
+      (match
+         Spread.check_feasible cfg.tree ~level:cfg.level ~cap:cfg.cap
+           ~r:(Instance.params inst).Params.r
+       with
+      | Ok () -> ()
+      | Error msg -> invalid_arg (name ^ ": " ^ msg));
+      cfg
+
+let default_rng rng = match rng with Some r -> r | None -> Combin.Rng.create 42
+
+(* Lemma 2 at x = 0 with λ = the planned layout's max load, like the
+   registry's Random/Copyset families. *)
+let load_bound inst layout =
+  let p = Instance.params inst in
+  (Analysis.lb_avail_si_report ~choose:(Instance.choose inst) ~b:p.Params.b
+     ~x:0
+     ~lambda:(Layout.max_load layout)
+     ~k:p.Params.k ~s:p.Params.s ())
+    .Analysis.lb_clamped
+
+let explain_of ~name inst =
+  match !current with
+  | None -> [ "no topology configured; pass --topology SPEC" ]
+  | Some cfg ->
+      let p = Instance.params inst in
+      let level_name = Tree.level_name cfg.tree cfg.level in
+      let immune = (p.Params.s - 1) / cfg.cap in
+      [
+        Printf.sprintf "topology: %s" (Spec.summary cfg.tree);
+        Printf.sprintf "constraint: at most %d replica(s) per %s (%s)" cfg.cap
+          level_name name;
+        (if immune > 0 then
+           Printf.sprintf
+             "any %d simultaneous %s failure(s) kill zero objects (j*cap < \
+              s=%d)"
+             immune level_name p.Params.s
+         else
+           Printf.sprintf
+             "no domain-failure immunity at cap %d (s=%d)" cfg.cap p.Params.s);
+      ]
+
+module Simple_spread = struct
+  let name = "simple-spread"
+
+  let describe =
+    "deterministic round-robin across fault domains, at most cap replicas per \
+     domain (requires --topology)"
+
+  let capabilities = [ Strategy.Deterministic ]
+
+  let plan ?rng:_ inst =
+    let cfg = require_config ~name inst in
+    let p = Instance.params inst in
+    Spread.simple cfg.tree ~level:cfg.level ~cap:cfg.cap ~b:p.Params.b
+      ~r:p.Params.r
+
+  (* Declines (None) rather than raising when the configuration cannot
+     plan this instance — report assembly must stay total. *)
+  let lower_bound ?layout inst =
+    match (!current, layout) with
+    | None, _ -> None
+    | Some _, Some l -> Some (load_bound inst l)
+    | Some _, None -> (
+        try Some (load_bound inst (plan inst)) with Invalid_argument _ -> None)
+
+  let explain inst = explain_of ~name inst
+end
+
+module Random_spread = struct
+  let name = "random-spread"
+
+  let describe =
+    "randomized placement constrained to at most cap replicas per fault \
+     domain (requires --topology)"
+
+  let capabilities = [ Strategy.Randomized ]
+
+  let plan ?rng inst =
+    let cfg = require_config ~name inst in
+    let p = Instance.params inst in
+    Spread.random ~rng:(default_rng rng) cfg.tree ~level:cfg.level ~cap:cfg.cap
+      ~b:p.Params.b ~r:p.Params.r
+
+  let lower_bound ?layout inst =
+    match (!current, layout) with
+    | None, _ -> None
+    | Some _, Some l -> Some (load_bound inst l)
+    | Some _, None -> (
+        try Some (load_bound inst (plan inst)) with Invalid_argument _ -> None)
+
+  let explain inst = explain_of ~name inst
+end
+
+let () =
+  List.iter Strategy.register
+    [ (module Simple_spread : Strategy.S); (module Random_spread : Strategy.S) ]
+
+let ensure_registered () = ()

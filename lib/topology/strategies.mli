@@ -1,0 +1,31 @@
+(** The spread families as {!Placement.Strategy} registry entries.
+
+    [simple-spread] and [random-spread] plan through {!Spread} against
+    an ambient topology configuration — the registry's [plan] signature
+    has no topology parameter, so consumers install one first
+    ({!configure}; the CLI does this from [--topology]/[--spread]).
+    Without a configuration both families decline loudly
+    ([Invalid_argument] with a one-line fix), per the registry's
+    "strategies may decline, not lie" rule (DESIGN.md §7).
+
+    Linking this module registers both families; call
+    {!ensure_registered} from binaries that only reach them through the
+    registry so the module is linked at all. *)
+
+type config = { tree : Tree.t; level : int; cap : int }
+
+val configure : ?level:int -> ?cap:int -> Tree.t -> unit
+(** Install the ambient topology.  [level] defaults to the first level
+    above the nodes (or the node level on a depth-1 tree), [cap] — the
+    max replicas per domain — to 1.
+    @raise Invalid_argument on a bad level or [cap < 1]. *)
+
+val config : unit -> config option
+val clear_config : unit -> unit
+
+module Simple_spread : Placement.Strategy.S
+module Random_spread : Placement.Strategy.S
+
+val ensure_registered : unit -> unit
+(** No-op whose call forces this module (and hence the registrations)
+    to be linked. *)

@@ -1,10 +1,12 @@
 #!/bin/sh
 # One-shot health check: the full test suite plus the quick perf pass
-# (adversary -j scaling + the cached-vs-uncached analysis sweep, which
-# appends BENCH_adversary.json / BENCH_analysis.json in the repo root),
-# then a telemetry smoke run: the --metrics output must carry the
-# placement/v1 envelope and the disabled-instrumentation overhead guard
-# (BENCH_telemetry.json, written by the perf pass) must hold.
+# (adversary -j scaling, the cached-vs-uncached analysis sweep and the
+# domain-adversary B&B scaling, which append BENCH_adversary.json /
+# BENCH_analysis.json / BENCH_topology.json in the repo root), then a
+# telemetry smoke run (--metrics must carry the placement/v1 envelope,
+# the disabled-instrumentation overhead guard must hold) and a topology
+# smoke run (rack adversary vs node adversary sanity inequality, domain
+# adversary -j determinism).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,5 +23,18 @@ echo "$metrics" | grep -q '"core/adversary/bb/nodes_expanded"' ||
 
 tail -n 1 BENCH_telemetry.json | grep -q '"disabled_ok": true' ||
   { echo "check.sh: disabled-telemetry overhead guard failed (see BENCH_telemetry.json)" >&2; exit 1; }
+
+# Topology smoke: on a regular 4x5 topology the rack adversary (worst 1
+# rack = 5 nodes) can never beat the node adversary given the same 5-node
+# budget, so its availability must be >= the node adversary's.
+topo=$(dune exec bin/placement_tool.exe -- attack --strategy simple \
+  -n 20 -b 100 -r 3 -s 2 -k 5 --topology rack:4/node:5 --fail-domains 1)
+node_avail=$(echo "$topo" | sed -n 's/^ *available objects: \([0-9]*\) .*/\1/p')
+rack_avail=$(echo "$topo" | sed -n 's/^ *available: \([0-9]*\) .*/\1/p')
+[ -n "$node_avail" ] && [ -n "$rack_avail" ] && [ "$rack_avail" -ge "$node_avail" ] ||
+  { echo "check.sh: topology smoke failed (rack adversary $rack_avail < node adversary $node_avail)" >&2; exit 1; }
+
+tail -n 1 BENCH_topology.json | grep -q '"identical": true' ||
+  { echo "check.sh: domain adversary -j determinism guard failed (see BENCH_topology.json)" >&2; exit 1; }
 
 echo "check.sh: all good"

@@ -82,8 +82,11 @@ through Placement.Instance).
 
   $ ../../examples/availability_timeline.exe
   long-run churn on n=31, b=600, r=3, majority quorums (same seed for all placements)
+  combo      worst episode, objects up after each failure: 600 (node 2 down) 596 (node 12 down) 588 (node 14 down)
   combo      avg unavailable 5.507 / 600; peak 119 objs (9 nodes down); 1784 incidents; 2.04 nines
+  random     worst episode, objects up after each failure: 600 (node 1 down) 597 (node 23 down) 577 (node 29 down)
   random     avg unavailable 5.594 / 600; peak 122 objs (9 nodes down); 1785 incidents; 2.03 nines
+  copyset    worst episode, objects up after each failure: 600 (node 6 down) 564 (node 13 down) 531 (node 25 down)
   copyset    avg unavailable 5.297 / 600; peak 161 objs (9 nodes down); 871 incidents; 2.05 nines
   
   note: under RANDOM failures the three placements are nearly

@@ -7,13 +7,15 @@ The strategies subcommand lists every registered placement family.
     copyset    [randomized]                             copyset replication (Cidon et al. 2013), scatter width 2(r-1); a Simple(0, lambda) placement in the paper's vocabulary
     optimal    [deterministic,exact-small]              exhaustive search for the availability-optimal placement (tiny instances only; raises over budget)
     random     [randomized,load-balanced]               load-balanced uniform placement (Definition 4); guarantee from the ceil(r*b/n) load cap, probable availability from Theorem 2
+    random-spread [randomized]                             randomized placement constrained to at most cap replicas per fault domain (requires --topology)
     simple     [deterministic]                          best single Simple(x, lambda) level: the materialized design maximizing the Lemma 2 bound
+    simple-spread [deterministic]                          deterministic round-robin across fault domains, at most cap replicas per domain (requires --topology)
 
 Every subcommand taking --strategy rejects unknown names with the list of
 registered ones.
 
   $ placement-tool plan -n 31 -b 600 --strategy bogus
-  placement-tool: unknown strategy "bogus"; available strategies: adaptive, combo, copyset, optimal, random, simple
+  placement-tool: unknown strategy "bogus"; available strategies: adaptive, combo, copyset, optimal, random, random-spread, simple, simple-spread
   [124]
 
 plan dispatches through the registry; the default is still combo.

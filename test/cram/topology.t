@@ -1,0 +1,135 @@
+The topology subcommand parses a spec and describes its levels,
+coarsest first.
+
+  $ placement-tool topology zone:2/rack:4/node:8
+  64 nodes, 3 levels: zone x2, rack x8, node x64
+    zone          2 domain(s), 32 node(s) each
+    rack          8 domain(s), 8 node(s) each
+    node         64 domain(s), 1 node(s) each
+
+  $ placement-tool topology zone:2/rack:4/node:8 --json
+  {
+    "schema": "placement/v1",
+    "command": "topology",
+    "data": {
+      "nodes": 64,
+      "levels": [
+        {
+          "name": "zone",
+          "domains": 2,
+          "min_size": 32,
+          "max_size": 32
+        },
+        {
+          "name": "rack",
+          "domains": 8,
+          "min_size": 8,
+          "max_size": 8
+        },
+        {
+          "name": "node",
+          "domains": 64,
+          "min_size": 1,
+          "max_size": 1
+        }
+      ]
+    }
+  }
+
+A malformed spec is a one-line actionable error.
+
+  $ placement-tool topology 'rack:'
+  invalid topology spec: component "rack:" must have an integer COUNT >= 1
+  [1]
+
+--topology on plan installs the fault-domain tree: the spread strategies
+plan against it and the domain-failure lower bound is reported.
+
+  $ placement-tool plan -n 20 -b 100 -r 3 -s 2 -k 4 \
+  >   --topology rack:4/node:5 --fail-domains 2 --strategy simple-spread
+  Simple-spread placement plan for {b=100; r=3; s=2; n=20; k=4}
+    topology: 20 nodes, 2 levels: rack x4, node x20
+    constraint: at most 1 replica(s) per rack (simple-spread)
+    any 1 simultaneous rack failure(s) kill zero objects (j*cap < s=2)
+    domain failures: worst 2 rack(s) cover <= 10 node(s); any load-balanced placement keeps >= 25 / 100
+  guaranteed available objects (worst 4 failures): 70 / 100
+  Random placement, probable availability:          80 / 100
+  => Random probably does better here (by 10 objects).
+
+simulate additionally runs the domain adversary; at spread cap 1 with
+s = 2, one rack failure kills nothing even though the node adversary
+with the same k still does damage.
+
+  $ placement-tool simulate -n 20 -b 100 -r 3 -s 2 -k 4 \
+  >   --topology rack:4/node:5 --strategy simple-spread
+  Simulated worst-case attack on a Simple-spread placement
+    failed nodes: [0, 5, 6, 11]
+    failed objects: 25 / 100  (adversary exact)
+    available: 75
+    domain adversary (worst 1 rack(s)):
+      failed domains: [0]
+      failed nodes: [0, 1, 2, 3, 4]
+      available: 100 / 100 (adversary exact)
+
+The domain adversary is bit-identical at any -j, including through the
+branch-and-bound path (C(20,6) = 38760 exceeds the exhaustive limit).
+
+  $ placement-tool attack --strategy combo -n 60 -b 300 -r 3 -s 2 -k 4 \
+  >   --topology rack:20/node:3 --fail-domains 6 -j 1 > j1.out
+  $ placement-tool attack --strategy combo -n 60 -b 300 -r 3 -s 2 -k 4 \
+  >   --topology rack:20/node:3 --fail-domains 6 -j 4 > j4.out
+  $ diff j1.out j4.out
+  $ cat j1.out
+  Worst-case attack on a Combo placement (b=300, n=60, r=3)
+    failed nodes: [30, 33, 36, 39]
+    available objects: 294 / 300 (adversary exact)
+    domain adversary (worst 6 rack(s)):
+      failed domains: [5, 7, 10, 11, 14, 16]
+      failed nodes: [15, 16, 17, 21, 22, 23, 30, 31, 32, 33, 34, 35, 42, 43,
+                     44, 48, 49, 50]
+      available: 189 / 300 (adversary exact)
+
+Error paths are one-line and actionable, with non-zero exit.
+
+An infeasible spread constraint (r = 5 replicas, 4 racks, cap 1):
+
+  $ placement-tool simulate -n 20 -b 100 -r 5 -s 2 -k 5 \
+  >   --topology rack:4/node:5 --strategy simple-spread
+  simple-spread: cannot place r=5 replicas with at most 1 per rack: the 4 racks offer only 4 replica slots (sum of min(cap, size)); raise the spread cap or use a finer topology
+  [1]
+
+A topology whose node count does not match the instance:
+
+  $ placement-tool plan -n 31 -b 600 -r 3 -s 2 -k 3 --topology rack:4/node:5
+  --topology describes 20 nodes but the instance has n = 31; make the spec's counts multiply out to n
+  [1]
+
+An unknown --domain-level:
+
+  $ placement-tool plan -n 20 -b 100 -r 3 -s 2 -k 4 \
+  >   --topology rack:4/node:5 --domain-level zone
+  --domain-level zone: no such level; this topology has: node, rack
+  [1]
+
+A --fail-domains budget beyond the domain count:
+
+  $ placement-tool attack --strategy combo -n 20 -b 100 -r 3 -s 2 -k 4 \
+  >   --topology rack:4/node:5 --fail-domains 9
+  --fail-domains 9: must be between 1 and the 4 rack domain(s)
+  [1]
+
+A malformed --topology flag is rejected at parse time (cmdliner exit):
+
+  $ placement-tool simulate -n 20 -b 100 -r 3 -s 2 -k 4 --topology 'rack:4/bogus'
+  placement-tool: invalid --topology: component "bogus" must be NAME:COUNT (e.g. rack:4)
+  [124]
+
+Unwritable --metrics and --trace files fail cleanly instead of crashing:
+
+  $ placement-tool plan -n 20 -b 100 -r 3 -s 2 -k 4 --metrics /no/such/dir/m.json > /dev/null
+  cannot write /no/such/dir/m.json: No such file or directory
+  [1]
+
+  $ placement-tool plan -n 20 -b 100 -r 3 -s 2 -k 4 --trace /no/such/dir/t.json > /dev/null
+  cannot write /no/such/dir/t.json: No such file or directory
+  [1]

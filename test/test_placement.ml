@@ -136,32 +136,6 @@ let test_lb_avail_si () =
   Alcotest.(check bool) "vacuous" true r3.Placement.Analysis.vacuous;
   Alcotest.(check int) "clamped to 0" 0 r3.Placement.Analysis.lb_clamped
 
-(* The deprecated positional aliases must keep compiling and agreeing
-   with the labeled reports they wrap. *)
-[@@@ocaml.alert "-deprecated"]
-
-let test_deprecated_aliases () =
-  Alcotest.(check int) "lb_avail_si = report.lb"
-    (Placement.Analysis.lb_avail_si_report ~b:600 ~x:1 ~lambda:1 ~k:4 ~s:3 ())
-      .Placement.Analysis.lb
-    (Placement.Analysis.lb_avail_si ~b:600 ~x:1 ~lambda:1 ~k:4 ~s:3 ());
-  let p = Placement.Params.make ~b:600 ~r:3 ~s:2 ~n:31 ~k:3 in
-  let rnd = Placement.Random_analysis.report p in
-  Alcotest.(check (float 0.0)) "single_object_fail_probability = report.p_fail"
-    rnd.Placement.Random_analysis.p_fail
-    (Placement.Random_analysis.single_object_fail_probability p);
-  Alcotest.(check (float 0.0)) "pr_avail_fraction = report.fraction"
-    rnd.Placement.Random_analysis.fraction
-    (Placement.Random_analysis.pr_avail_fraction p);
-  let p1 = Placement.Params.make ~b:600 ~r:3 ~s:1 ~n:31 ~k:4 in
-  match (Placement.Random_analysis.report p1).Placement.Random_analysis.lemma4_upper with
-  | None -> Alcotest.fail "Lemma 4 should apply at s=1, 2k<n"
-  | Some u ->
-      Alcotest.(check (float 0.0)) "s1_upper_bound = report.lemma4_upper" u
-        (Placement.Random_analysis.s1_upper_bound p1)
-
-[@@@ocaml.alert "+deprecated"]
-
 let test_theorem1 () =
   (match Placement.Analysis.theorem1 ~x:1 ~nx:69 ~r:3 ~s:3 ~k:5 ~mu:1 with
   | None -> Alcotest.fail "precondition should hold"
@@ -929,7 +903,6 @@ let () =
           Alcotest.test_case "lambda_min values" `Quick test_lambda_min;
           test_lambda_min_eqn1;
           Alcotest.test_case "lbAvail_si" `Quick test_lb_avail_si;
-          Alcotest.test_case "deprecated aliases" `Quick test_deprecated_aliases;
           Alcotest.test_case "theorem 1" `Quick test_theorem1;
           Alcotest.test_case "competitive limit" `Quick test_competitive_limit;
         ] );

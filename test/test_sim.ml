@@ -140,6 +140,36 @@ let test_scenario_racks () =
   let nodes = Dsim.Scenario.apply ~rng c (Dsim.Scenario.Random_racks 2) in
   Alcotest.(check int) "6 nodes failed" 6 (Array.length nodes)
 
+let test_scenario_apply_wellformed =
+  (* Every constructor must return a sorted, duplicate-free node array
+     within [0, n), agreeing with the cluster's failed set. *)
+  qtest ~count:60 "apply returns a sorted distinct node set"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 4))
+    (fun (seed, which) ->
+      let topology = Topology.Build.regular ~racks:3 ~nodes_per_rack:3 in
+      let c =
+        Dsim.Cluster.create ~topology (mk_layout ()) Dsim.Semantics.Majority
+      in
+      let rng = Combin.Rng.create seed in
+      let k = 1 + (seed mod 4) and j = 1 + (seed mod 3) in
+      let scenario =
+        match which with
+        | 0 -> Dsim.Scenario.Adversarial k
+        | 1 -> Dsim.Scenario.Random_nodes k
+        | 2 -> Dsim.Scenario.Random_racks j
+        | 3 -> Dsim.Scenario.Domain_failure (1, j)
+        | _ -> Dsim.Scenario.Explicit [| 7; 2; 2; 5 |]
+      in
+      let nodes = Dsim.Scenario.apply ~rng c scenario in
+      let n = Dsim.Cluster.n c in
+      let sorted_distinct = ref true in
+      Array.iteri
+        (fun i nd ->
+          if nd < 0 || nd >= n then sorted_distinct := false;
+          if i > 0 && nodes.(i - 1) >= nd then sorted_distinct := false)
+        nodes;
+      !sorted_distinct && Dsim.Cluster.failed_nodes c = nodes)
+
 (* ------------------------------------------------------------------ *)
 (* Trace *)
 
@@ -295,6 +325,7 @@ let () =
           Alcotest.test_case "adversarial beats random" `Quick
             test_scenario_adversarial_beats_random;
           Alcotest.test_case "racks" `Quick test_scenario_racks;
+          test_scenario_apply_wellformed;
         ] );
       ("trace", [ Alcotest.test_case "replay" `Quick test_trace_replay ]);
       ( "repair",

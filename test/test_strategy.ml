@@ -8,6 +8,11 @@ let qtest ?(count = 100) name gen prop =
     ~rand:(Random.State.make [| 0x57A7 |])
     (QCheck2.Test.make ~count ~name gen prop)
 
+(* Link the topology spread families so the registry is complete; they
+   decline every plan here (no ambient topology configured), which the
+   decline-tolerant harness below treats as a skip, not a failure. *)
+let () = Topology.Strategies.ensure_registered ()
+
 let strategies = Placement.Strategies.all ()
 
 (* A strategy may legitimately decline an instance (Simple with no
@@ -131,8 +136,11 @@ let test_codec_round_trip =
 
 let test_registry () =
   Alcotest.(check (list string))
-    "all six families registered"
-    [ "adaptive"; "combo"; "copyset"; "optimal"; "random"; "simple" ]
+    "all eight families registered"
+    [
+      "adaptive"; "combo"; "copyset"; "optimal"; "random"; "random-spread";
+      "simple"; "simple-spread";
+    ]
     (Placement.Strategies.names ());
   (match Placement.Strategies.find "combo" with
   | Some (module S) -> Alcotest.(check string) "find resolves" "combo" S.name
@@ -140,7 +148,7 @@ let test_registry () =
   Alcotest.check_raises "unknown name raises with the available list"
     (Invalid_argument
        "unknown strategy \"bogus\"; available: adaptive, combo, copyset, \
-        optimal, random, simple")
+        optimal, random, random-spread, simple, simple-spread")
     (fun () -> ignore (Placement.Strategies.get "bogus"));
   let module Dup = struct
     let name = "combo"
