@@ -16,7 +16,8 @@
    Domain.recommended_domain_count) sizes the Engine.Pool shared by the
    parallel drivers (F2, F5/F6, F7, F9); outputs are bit-identical at any
    `-j`.  `perf` additionally times the adversary multi-restart at -j 1
-   vs -j N (appended to BENCH_adversary.json) and the cached-vs-uncached
+   vs -j N and the incremental kernel against the frozen naive greedy
+   (both appended to BENCH_adversary.json), plus the cached-vs-uncached
    availability-analysis sweep (appended to BENCH_analysis.json). *)
 
 type ctx = {
@@ -406,8 +407,133 @@ let run_topology_scaling ctx fmt =
     (fun () -> output_string oc json);
   Format.fprintf fmt "(appended to %s)@." path
 
+(* ------------------------------------------------------------------ *)
+(* Kernel vs naive adversary: the incremental-counter greedy
+   (Kernel.select_greedy, CELF heap) against a frozen copy of the
+   stateless pre-kernel formulation — every marginal recounted from the
+   replica lists, Layout.failed_objects-style, with no hit counters
+   carried between candidates.  Both arms compute the same
+   (newly, progress) lexicographic objective with lowest-id ties, so
+   their pick sequences must match node for node; the walls quantify
+   what the kernel buys on the Fig-4 sweep instance.  A second segment
+   times the kernel-threaded branch-and-bound and reports nodes/s. *)
+
+let naive_scan_greedy layout ~s ~k =
+  let n = layout.Placement.Layout.n in
+  let node_objs = Placement.Layout.node_objects layout in
+  let replicas = layout.Placement.Layout.replicas in
+  let chosen = Array.make n false in
+  let evals = ref 0 in
+  let out =
+    Array.init k (fun _ ->
+        let best = ref (-1) and bne = ref (-1) and bpr = ref (-1) in
+        for u = 0 to n - 1 do
+          if not chosen.(u) then begin
+            incr evals;
+            let ne = ref 0 and pr = ref 0 in
+            Array.iter
+              (fun obj ->
+                let h =
+                  Array.fold_left
+                    (fun c nd -> if chosen.(nd) then c + 1 else c)
+                    0 replicas.(obj)
+                in
+                if h + 1 = s then incr ne;
+                if h < s then incr pr)
+              node_objs.(u);
+            if !ne > !bne || (!ne = !bne && !pr > !bpr) then begin
+              best := u;
+              bne := !ne;
+              bpr := !pr
+            end
+          end
+        done;
+        chosen.(!best) <- true;
+        !best)
+  in
+  (out, !evals)
+
+let run_kernel_bench ctx fmt =
+  let n = 71 and b = 2400 and s = 2 and k = 5 in
+  let reps = if ctx.quick then 20 else 100 in
+  let design = Designs.Steiner_triple.make 69 in
+  let layout = (Placement.Simple.of_design design ~n ~b).Placement.Simple.layout in
+  ignore (Placement.Layout.node_objects layout);
+  let kernel_run () =
+    let kn = Placement.Kernel.make layout ~s in
+    Placement.Kernel.select_greedy kn ~picks:k
+  in
+  let naive_run () = naive_scan_greedy layout ~s ~k in
+  (* Warm-up both arms, and check pick-sequence identity once. *)
+  let kernel_picks, kstats = kernel_run () in
+  let naive_picks, naive_evals = naive_run () in
+  let identical = kernel_picks = naive_picks in
+  let _, wall_kernel =
+    wall (fun () -> for _ = 1 to reps do ignore (kernel_run ()) done)
+  in
+  let _, wall_naive =
+    wall (fun () -> for _ = 1 to reps do ignore (naive_run ()) done)
+  in
+  let ns_per arm_wall evals =
+    if evals > 0 then arm_wall *. 1e9 /. float_of_int (reps * evals) else 0.0
+  in
+  let speedup = if wall_kernel > 0.0 then wall_naive /. wall_kernel else 0.0 in
+  Format.fprintf fmt
+    "kernel vs naive greedy (n=%d b=%d s=%d k=%d, %d reps): \
+     %.1f us kernel (%d evals) vs %.1f us naive (%d evals) per run \
+     (speedup %.2fx, picks %s)@."
+    n b s k reps
+    (wall_kernel *. 1e6 /. float_of_int reps)
+    kstats.Placement.Kernel.evals
+    (wall_naive *. 1e6 /. float_of_int reps)
+    naive_evals speedup
+    (if identical then "identical" else "DIFFER");
+  (* Branch-and-bound throughput: the exact adversary now threads one
+     kernel copy per branch; nodes/s is the honest scalar for it. *)
+  let m_bb_nodes = Telemetry.Registry.counter "core/adversary/bb/nodes_expanded" in
+  let bb_k = 3 in
+  Telemetry.Registry.reset ();
+  Telemetry.Control.set_enabled true;
+  let bb, bb_wall =
+    Fun.protect
+      ~finally:(fun () -> Telemetry.Control.set_enabled false)
+      (fun () -> wall (fun () -> Placement.Adversary.exact layout ~s ~k:bb_k))
+  in
+  let bb_nodes = Telemetry.Counter.value m_bb_nodes in
+  let bb_rate = if bb_wall > 0.0 then float_of_int bb_nodes /. bb_wall else 0.0 in
+  Format.fprintf fmt
+    "kernel-threaded B&B (n=%d b=%d s=%d k=%d): %d nodes in %.3fs \
+     (%.0f nodes/s, exact=%b)@."
+    n b s bb_k bb_nodes bb_wall bb_rate bb.Placement.Adversary.exact;
+  let json =
+    Printf.sprintf
+      "{\"op\": \"adversary_kernel_vs_naive\", \"n\": %d, \"b\": %d, \
+       \"s\": %d, \"k\": %d, \"reps\": %d, \"wall_s_kernel\": %.6f, \
+       \"wall_s_naive\": %.6f, \"ns_per_eval_kernel\": %.1f, \
+       \"ns_per_eval_naive\": %.1f, \"kernel_evals\": %d, \
+       \"naive_evals\": %d, \"speedup\": %.4f, \"identical\": %b, \
+       \"bb_k\": %d, \"bb_nodes\": %d, \"bb_wall_s\": %.6f, \
+       \"bb_nodes_per_s\": %.0f, \"stats\": %s}\n"
+      n b s k reps wall_kernel wall_naive
+      (ns_per wall_kernel kstats.Placement.Kernel.evals)
+      (ns_per wall_naive naive_evals)
+      kstats.Placement.Kernel.evals naive_evals speedup identical bb_k bb_nodes
+      bb_wall bb_rate
+      (* Adversary.greedy is select_greedy plus the telemetry flush, so
+         its stats carry the kernel counters for this exact workload. *)
+      (stats_json_of (fun () -> Placement.Adversary.greedy layout ~s ~k))
+  in
+  let dir = match ctx.out with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_adversary.json" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Format.fprintf fmt "(appended to %s)@." path
+
 let run_perf ctx fmt =
   run_adversary_scaling ctx fmt;
+  run_kernel_bench ctx fmt;
   run_analysis_caching ctx fmt;
   run_topology_scaling ctx fmt;
   run_telemetry_overhead ctx fmt;

@@ -1,0 +1,108 @@
+(* 63 bits per word: a bitset over [0, capacity) fits in
+   ceil(capacity/63) immediate ints — no boxing, no Int64. *)
+
+let bits = 63
+
+type t = { capacity : int; words : int array }
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity; words = Array.make ((capacity + bits - 1) / bits) 0 }
+
+let capacity t = t.capacity
+let copy t = { t with words = Array.copy t.words }
+
+let check t x op =
+  if x < 0 || x >= t.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: %d out of [0, %d)" op x t.capacity)
+
+let mem t x =
+  check t x "mem";
+  t.words.(x / bits) land (1 lsl (x mod bits)) <> 0
+
+let add t x =
+  check t x "add";
+  t.words.(x / bits) <- t.words.(x / bits) lor (1 lsl (x mod bits))
+
+let remove t x =
+  check t x "remove";
+  t.words.(x / bits) <- t.words.(x / bits) land lnot (1 lsl (x mod bits))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+(* Table-driven popcount: one 65536-entry byte table, four lookups per
+   63-bit word.  Built eagerly at module load (64 KiB, branch-free
+   lookups afterwards). *)
+let pop16 =
+  let tbl = Bytes.make 65536 '\000' in
+  for i = 1 to 65535 do
+    Bytes.unsafe_set tbl i
+      (Char.chr (Char.code (Bytes.unsafe_get tbl (i lsr 1)) + (i land 1)))
+  done;
+  tbl
+
+let popcount w =
+  Char.code (Bytes.unsafe_get pop16 (w land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 48) land 0x7fff))
+
+let count t =
+  let c = ref 0 in
+  Array.iter (fun w -> c := !c + popcount w) t.words;
+  !c
+
+let check_pair a b op =
+  if a.capacity <> b.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: capacities %d <> %d" op a.capacity b.capacity)
+
+let inter_count a b =
+  check_pair a b "inter_count";
+  let c = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    c := !c + popcount (Array.unsafe_get a.words i land Array.unsafe_get b.words i)
+  done;
+  !c
+
+let zip op a b =
+  { capacity = a.capacity; words = Array.map2 op a.words b.words }
+
+let inter a b = check_pair a b "inter"; zip ( land ) a b
+let union a b = check_pair a b "union"; zip ( lor ) a b
+let diff a b = check_pair a b "diff"; zip (fun x y -> x land lnot y) a b
+
+let equal a b = a.capacity = b.capacity && a.words = b.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let iter f t =
+  Array.iteri
+    (fun i w ->
+      let w = ref w in
+      while !w <> 0 do
+        let low = !w land -(!w) in
+        (* log2 of a one-hot word via popcount of low - 1 *)
+        f ((i * bits) + popcount (low - 1));
+        w := !w lxor low
+      done)
+    t.words
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let of_array ~capacity xs =
+  let t = create capacity in
+  Array.iter (fun x -> add t x) xs;
+  t
+
+let to_array t =
+  let out = Array.make (count t) 0 in
+  let i = ref 0 in
+  iter
+    (fun x ->
+      out.(!i) <- x;
+      incr i)
+    t;
+  out

@@ -1,0 +1,58 @@
+(** Fixed-capacity mutable bitsets packed into OCaml ints (63 bits per
+    word), with a table-driven popcount.
+
+    The attack kernel ({!Placement.Kernel}) keeps one bitset per object
+    (the nodes hosting its replicas) and one for the current failure
+    set: membership, one-shot threshold counts and set algebra then run
+    over a handful of machine words instead of sorted-array merges.
+    Capacity is fixed at creation; all elements must lie in
+    [0, capacity).  Operations over two bitsets require equal
+    capacities. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over [0, capacity).
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val clear : t -> unit
+(** Remove every element. *)
+
+val count : t -> int
+(** Cardinality, via a 16-bit lookup table (no hardware popcount in
+    vanilla OCaml). *)
+
+val inter_count : t -> t -> int
+(** [inter_count a b] is [|a ∩ b|] without allocating. *)
+
+val inter : t -> t -> t
+
+val union : t -> t -> t
+
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Elements in increasing order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** Elements in increasing order. *)
+
+val of_array : capacity:int -> int array -> t
+(** @raise Invalid_argument if an element is out of range. *)
+
+val to_array : t -> int array
+(** Sorted, distinct. *)

@@ -18,3 +18,27 @@ val pop : 'a t -> (float * 'a) option
     order are not guaranteed. *)
 
 val peek : 'a t -> (float * 'a) option
+
+(** An int-keyed max-heap over int payloads with a deterministic total
+    order: larger key first, ties to the {e smaller} payload.
+
+    Backs the CELF lazy-greedy adversary ({!Placement.Adversary}):
+    payloads are node ids, keys are stale upper bounds on marginal
+    damage, and the tie order reproduces the reference scan's
+    lowest-id-wins rule exactly. *)
+module Int_max : sig
+  type t
+
+  val create : unit -> t
+  val is_empty : t -> bool
+  val size : t -> int
+
+  val push : t -> key:int -> int -> unit
+  (** [push h ~key payload]. *)
+
+  val pop : t -> (int * int) option
+  (** Remove and return the maximum entry as [(key, payload)]; among
+      equal keys the smallest payload is returned first. *)
+
+  val peek : t -> (int * int) option
+end

@@ -31,91 +31,45 @@ let m_attack_exact = Telemetry.Registry.counter "core/adversary/attack/exact_dis
 let m_attack_heur = Telemetry.Registry.counter "core/adversary/attack/heuristic_dispatch"
 let m_attack_span = Telemetry.Registry.span "core/adversary/attack"
 
-(* Incremental damage tracker: per-object replica-failure counts and the
-   running number of failed objects. *)
-type state = {
-  s : int;
-  node_objs : int array array;
-  hits : int array;
-  mutable failed : int;
-}
+(* Kernel counters (see Kernel and DESIGN.md §10): incremental add/remove
+   updates, CELF heap activity, and how deep the B&B unwinds state.  All
+   Stable — flushed per run or per branch in deterministic order. *)
+let m_kernel_updates = Telemetry.Registry.counter "core/adversary/kernel/updates"
+let m_kernel_pops = Telemetry.Registry.counter "core/adversary/kernel/heap_pops"
+let m_kernel_stale =
+  Telemetry.Registry.counter "core/adversary/kernel/stale_reevals"
+let m_kernel_undos = Telemetry.Registry.counter "core/adversary/kernel/bb_undos"
+let m_kernel_undo_depth =
+  Telemetry.Registry.histogram "core/adversary/kernel/bb_undo_depth"
 
-(* [node_objs] is immutable once built and can be shared read-only across
-   domains; each search task gets its own [hits]/[failed]. *)
-let state_of ~s ~node_objs ~b = { s; node_objs; hits = Array.make b 0; failed = 0 }
-
-let make_state layout ~s =
-  state_of ~s ~node_objs:(Layout.node_objects layout) ~b:(Layout.b layout)
-
-let add_node st nd =
-  Array.iter
-    (fun obj ->
-      st.hits.(obj) <- st.hits.(obj) + 1;
-      if st.hits.(obj) = st.s then st.failed <- st.failed + 1)
-    st.node_objs.(nd)
-
-let remove_node st nd =
-  Array.iter
-    (fun obj ->
-      if st.hits.(obj) = st.s then st.failed <- st.failed - 1;
-      st.hits.(obj) <- st.hits.(obj) - 1)
-    st.node_objs.(nd)
-
-let eval layout ~s failed_nodes =
-  Layout.failed_objects layout ~s ~failed_nodes
+let eval layout ~s failed_nodes = Kernel.check (Kernel.make layout ~s) failed_nodes
 
 let pmap pool f xs =
   match pool with
   | Some p -> Engine.Pool.parallel_map p f xs
   | None -> Array.map f xs
 
-(* Marginal value of adding [nd]: (newly failed objects, progress toward
-   s for not-yet-failed objects). *)
-let marginal st nd =
-  let newly = ref 0 and progress = ref 0 in
-  Array.iter
-    (fun obj ->
-      let h = st.hits.(obj) in
-      if h + 1 = st.s then incr newly;
-      if h < st.s then incr progress)
-    st.node_objs.(nd);
-  (!newly, !progress)
-
 let greedy layout ~s ~k =
-  let n = layout.Layout.n in
-  let st = make_state layout ~s in
-  let chosen = Array.make n false in
-  let picks = ref [] in
-  let evals = ref 0 in
-  for _ = 1 to k do
-    let best_nd = ref (-1) and best_val = ref (-1, -1) in
-    for nd = 0 to n - 1 do
-      if not chosen.(nd) then begin
-        let v = marginal st nd in
-        incr evals;
-        if v > !best_val then begin
-          best_val := v;
-          best_nd := nd
-        end
-      end
-    done;
-    chosen.(!best_nd) <- true;
-    add_node st !best_nd;
-    picks := !best_nd :: !picks
-  done;
+  let kn = Kernel.make layout ~s in
+  let picks, stats = Kernel.select_greedy kn ~picks:k in
   Telemetry.Counter.incr m_greedy_runs;
-  Telemetry.Counter.add m_greedy_evals !evals;
-  let failed_nodes = Combin.Intset.of_array (Array.of_list !picks) in
-  { failed_nodes; failed_objects = st.failed; exact = false }
+  Telemetry.Counter.add m_greedy_evals stats.Kernel.evals;
+  Telemetry.Counter.add m_kernel_pops stats.Kernel.heap_pops;
+  Telemetry.Counter.add m_kernel_stale stats.Kernel.stale_reevals;
+  Telemetry.Counter.add m_kernel_updates (Kernel.updates kn);
+  {
+    failed_nodes = Combin.Intset.of_array picks;
+    failed_objects = Kernel.killed kn;
+    exact = false;
+  }
 
 let exact ?(budget = 50_000_000) ?pool layout ~s ~k =
   let n = layout.Layout.n in
   if k >= n then invalid_arg "Adversary.exact: k >= n";
   if k = 0 then { failed_nodes = [||]; failed_objects = 0; exact = true }
   else begin
-    let node_objs = Layout.node_objects layout in
-    let b = Layout.b layout in
-    let degrees = Array.map Array.length node_objs in
+    let kn0 = Kernel.make layout ~s in
+    let degrees = Array.init n (Kernel.degree kn0) in
     (* top_deg.(start).(m): sum of the m largest degrees among nodes with id
        >= start — an upper bound on additional damage from m more picks. *)
     let top_deg =
@@ -138,46 +92,53 @@ let exact ?(budget = 50_000_000) ?pool layout ~s ~k =
     let incumbent = Engine.Bound.create g.failed_objects in
     let seed_bound = Engine.Bound.get incumbent in
     (* Parallelize over the top-level first-node choices; each branch owns
-       its budget share so truncation does not depend on scheduling. *)
+       its budget share so truncation does not depend on scheduling.  Each
+       branch threads its own kernel copy down and up the tree: a leaf
+       evaluation is the O(load) delta of the last pick, never a fresh
+       O(b·r) rescan. *)
     let first_choices = Array.init (n - k + 1) Fun.id in
     let branch_budget = max 1 (budget / Array.length first_choices) in
     let run_branch nd0 =
-      let st = state_of ~s ~node_objs ~b in
+      let st = Kernel.copy kn0 in
       let best = ref seed_bound and best_set = ref None in
       let current = Array.make k 0 in
       let visited = ref 0 in
       let leaves = ref 0 and prunes = ref 0 and improves = ref 0 in
+      let undos = ref 0 and max_undo_depth = ref 0 in
       let truncated = ref false in
       let rec go start depth =
         incr visited;
         if !visited > branch_budget then truncated := true
         else if depth = k then begin
           incr leaves;
-          if st.failed > !best then begin
+          if Kernel.killed st > !best then begin
             incr improves;
-            best := st.failed;
+            best := Kernel.killed st;
             best_set := Some (Array.copy current);
-            ignore (Engine.Bound.improve incumbent st.failed)
+            ignore (Engine.Bound.improve incumbent (Kernel.killed st))
           end
         end
-        else if st.failed + top_deg.(start).(k - depth) > !best then
+        else if Kernel.killed st + top_deg.(start).(k - depth) > !best then
           for nd = start to n - (k - depth) do
             if not !truncated then begin
               current.(depth) <- nd;
-              add_node st nd;
+              Kernel.add st nd;
               go (nd + 1) (depth + 1);
-              remove_node st nd
+              Kernel.remove st nd;
+              incr undos;
+              if depth + 1 > !max_undo_depth then max_undo_depth := depth + 1
             end
           done
         else incr prunes
       in
       current.(0) <- nd0;
-      add_node st nd0;
+      Kernel.add st nd0;
       go (nd0 + 1) 1;
       ( !best,
         !best_set,
         !truncated,
-        (!visited, !leaves, !prunes, !improves) )
+        (!visited, !leaves, !prunes, !improves),
+        (Kernel.updates st, !undos, !max_undo_depth) )
     in
     let results = pmap pool run_branch first_choices in
     (* Deterministic fold: strict improvement, lowest branch wins ties.
@@ -186,12 +147,16 @@ let exact ?(budget = 50_000_000) ?pool layout ~s ~k =
     let best = ref g.failed_objects and best_set = ref g.failed_nodes in
     let truncated = ref false in
     Array.iter
-      (fun (v, set, tr, (visited, leaves, prunes, improves)) ->
+      (fun (v, set, tr, (visited, leaves, prunes, improves),
+            (updates, undos, max_undo_depth)) ->
         Telemetry.Counter.incr m_bb_branches;
         Telemetry.Counter.add m_bb_nodes visited;
         Telemetry.Counter.add m_bb_leaves leaves;
         Telemetry.Counter.add m_bb_prunes prunes;
         Telemetry.Counter.add m_bb_improves improves;
+        Telemetry.Counter.add m_kernel_updates updates;
+        Telemetry.Counter.add m_kernel_undos undos;
+        Telemetry.Histogram.observe m_kernel_undo_depth max_undo_depth;
         if tr then Telemetry.Counter.incr m_bb_truncated;
         Telemetry.Histogram.observe m_bb_branch_nodes visited;
         if tr then truncated := true;
@@ -206,8 +171,8 @@ let exact ?(budget = 50_000_000) ?pool layout ~s ~k =
 
 (* Returns (passes, swaps): full sweeps of the outer loop and accepted
    swap moves — plain locals, flushed by the caller. *)
-let improve_to_local_opt layout st chosen =
-  let n = layout.Layout.n in
+let improve_to_local_opt st chosen =
+  let n = Array.length chosen in
   let improved = ref true in
   let passes = ref 0 and swaps = ref 0 in
   while !improved do
@@ -216,13 +181,13 @@ let improve_to_local_opt layout st chosen =
     (try
        for nd_in = 0 to n - 1 do
          if chosen.(nd_in) then begin
-           remove_node st nd_in;
+           Kernel.remove st nd_in;
            chosen.(nd_in) <- false;
            (* First-improvement swap search. *)
            let found = ref (-1) and found_gain = ref 0 in
            for nd_out = 0 to n - 1 do
              if (not chosen.(nd_out)) && nd_out <> nd_in then begin
-               let newly, _ = marginal st nd_out in
+               let newly, _ = Kernel.marginal st nd_out in
                if newly > !found_gain then begin
                  found := nd_out;
                  found_gain := newly
@@ -231,17 +196,17 @@ let improve_to_local_opt layout st chosen =
            done;
            (* Putting nd_in back yields damage gain (its own marginal); a
               swap wins only if some other node strictly beats it. *)
-           let back_gain, _ = marginal st nd_in in
+           let back_gain, _ = Kernel.marginal st nd_in in
            if !found >= 0 && !found_gain > back_gain then begin
              chosen.(!found) <- true;
-             add_node st !found;
+             Kernel.add st !found;
              incr swaps;
              improved := true;
              raise Exit
            end
            else begin
              chosen.(nd_in) <- true;
-             add_node st nd_in
+             Kernel.add st nd_in
            end
          end
        done
@@ -254,21 +219,20 @@ let attack_of_state st chosen =
   Array.iteri (fun nd c -> if c then nodes := nd :: !nodes) chosen;
   {
     failed_nodes = Combin.Intset.of_array (Array.of_list !nodes);
-    failed_objects = st.failed;
+    failed_objects = Kernel.killed st;
     exact = false;
   }
 
 let local_search ~rng ?(restarts = 8) ?pool layout ~s ~k =
   let n = layout.Layout.n in
   let restarts = max 1 restarts in
-  let node_objs = Layout.node_objects layout in
-  let b = Layout.b layout in
+  let kn0 = Kernel.make layout ~s in
   (* One pre-split RNG per restart: each restart's stream is a function of
      its index alone, so the plan is bit-identical at any [-j].  Restart 0
      is the deterministic greedy seed and draws nothing. *)
   let rngs = Combin.Rng.split_n rng restarts in
   let run_restart i =
-    let st = state_of ~s ~node_objs ~b in
+    let st = Kernel.copy kn0 in
     let chosen = Array.make n false in
     let seed_nodes =
       if i = 0 then (greedy layout ~s ~k).failed_nodes
@@ -277,20 +241,21 @@ let local_search ~rng ?(restarts = 8) ?pool layout ~s ~k =
     Array.iter
       (fun nd ->
         chosen.(nd) <- true;
-        add_node st nd)
+        Kernel.add st nd)
       seed_nodes;
-    let passes, swaps = improve_to_local_opt layout st chosen in
-    (attack_of_state st chosen, passes, swaps)
+    let passes, swaps = improve_to_local_opt st chosen in
+    (attack_of_state st chosen, passes, swaps, Kernel.updates st)
   in
   let indices = Array.init restarts Fun.id in
   let results = pmap pool run_restart indices in
-  let candidates = Array.map (fun (a, _, _) -> a) results in
+  let candidates = Array.map (fun (a, _, _, _) -> a) results in
   (* Per-restart stats flushed in restart order on the calling domain. *)
   Array.iter
-    (fun (_, passes, swaps) ->
+    (fun (_, passes, swaps, updates) ->
       Telemetry.Counter.incr m_ls_restarts;
       Telemetry.Counter.add m_ls_passes passes;
-      Telemetry.Counter.add m_ls_swaps swaps)
+      Telemetry.Counter.add m_ls_swaps swaps;
+      Telemetry.Counter.add m_kernel_updates updates)
     results;
   (* First-index-wins max: the earliest restart reaching the best damage
      provides the reported node set, as in the sequential reference. *)

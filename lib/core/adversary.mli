@@ -23,7 +23,8 @@ type attack = {
 }
 
 val eval : Layout.t -> s:int -> int array -> int
-(** Number of objects failed by a given node set. *)
+(** Number of objects failed by a given node set (a one-shot
+    {!Kernel.check}, not an O(b·r) merge pass). *)
 
 val exact : ?budget:int -> ?pool:Engine.Pool.t -> Layout.t -> s:int -> k:int -> attack
 (** Branch-and-bound over all C(n,k) failure sets with a degree-sum upper
@@ -35,7 +36,11 @@ val exact : ?budget:int -> ?pool:Engine.Pool.t -> Layout.t -> s:int -> k:int -> 
 
 val greedy : Layout.t -> s:int -> k:int -> attack
 (** Add the node with the best marginal damage k times; ties broken by
-    progress toward failing objects (sum of min(s, hits) increments). *)
+    progress toward failing objects, then by lowest node id.  Runs as
+    CELF lazy-greedy over the attack kernel ({!Kernel.select_greedy}):
+    candidates sit in a bound-keyed heap and are re-checked exactly at
+    pop, so the chosen nodes are bit-identical to a full rescan per
+    pick while touching far fewer marginals on large instances. *)
 
 val local_search :
   rng:Combin.Rng.t -> ?restarts:int -> ?pool:Engine.Pool.t ->

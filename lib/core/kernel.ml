@@ -1,0 +1,221 @@
+type incidence =
+  | Unknown  (* not yet needed: only {!check} pays for the bitsets *)
+  | Multiplicity
+      (* some unit hosts an object more than once (e.g. a fault domain
+         with two replicas of it): popcounts would undercount hits *)
+  | Bitsets of Combin.Bitset.t array  (* object -> units hosting it *)
+
+type t = {
+  s : int;
+  b : int;
+  unit_objs : int array array;  (* shared incidence: unit -> replicas *)
+  mutable incidence : incidence;
+  hits : int array;
+  failed : Combin.Bitset.t;
+  mutable killed : int;
+  mutable updates : int;
+}
+
+(* Built on first use: the incremental paths (add/remove/marginal and
+   select_greedy) never touch the bitsets, so greedy-only callers skip
+   the O(b·units/63) allocation entirely.  Duplicate detection is fused
+   into the build — a second occurrence of (obj, u) sees its bit set. *)
+let incidence t =
+  match t.incidence with
+  | (Multiplicity | Bitsets _) as inc -> inc
+  | Unknown ->
+      let units = Array.length t.unit_objs in
+      let out = Array.init t.b (fun _ -> Combin.Bitset.create units) in
+      let inc =
+        try
+          Array.iteri
+            (fun u objs ->
+              Array.iter
+                (fun obj ->
+                  if Combin.Bitset.mem out.(obj) u then raise Exit;
+                  Combin.Bitset.add out.(obj) u)
+                objs)
+            t.unit_objs;
+          Bitsets out
+        with Exit -> Multiplicity
+      in
+      t.incidence <- inc;
+      inc
+
+let of_groups ~s ~b groups =
+  {
+    s;
+    b;
+    unit_objs = groups;
+    incidence = Unknown;
+    hits = Array.make b 0;
+    failed = Combin.Bitset.create (Array.length groups);
+    (* s <= 0 kills every object unconditionally, matching
+       Layout.failed_objects' >= s count. *)
+    killed = (if s <= 0 then b else 0);
+    updates = 0;
+  }
+
+let make layout ~s =
+  of_groups ~s ~b:(Layout.b layout) (Layout.node_objects layout)
+
+let copy t =
+  {
+    t with
+    hits = Array.make t.b 0;
+    failed = Combin.Bitset.create (Array.length t.unit_objs);
+    killed = (if t.s <= 0 then t.b else 0);
+    updates = 0;
+  }
+
+let reset t =
+  Array.fill t.hits 0 t.b 0;
+  Combin.Bitset.clear t.failed;
+  t.killed <- (if t.s <= 0 then t.b else 0)
+
+let units t = Array.length t.unit_objs
+let objects t = t.b
+let threshold t = t.s
+let degree t u = Array.length t.unit_objs.(u)
+let killed t = t.killed
+let hits t obj = t.hits.(obj)
+let failed_units t = Combin.Bitset.to_array t.failed
+let updates t = t.updates
+
+let add t u =
+  if Combin.Bitset.mem t.failed u then
+    invalid_arg "Kernel.add: unit already failed";
+  Combin.Bitset.add t.failed u;
+  t.updates <- t.updates + 1;
+  let hits = t.hits and s = t.s in
+  Array.iter
+    (fun obj ->
+      let h = hits.(obj) + 1 in
+      hits.(obj) <- h;
+      if h = s then t.killed <- t.killed + 1)
+    t.unit_objs.(u)
+
+let remove t u =
+  if not (Combin.Bitset.mem t.failed u) then
+    invalid_arg "Kernel.remove: unit not failed";
+  Combin.Bitset.remove t.failed u;
+  t.updates <- t.updates + 1;
+  let hits = t.hits and s = t.s in
+  Array.iter
+    (fun obj ->
+      let h = hits.(obj) in
+      if h = s then t.killed <- t.killed - 1;
+      hits.(obj) <- h - 1)
+    t.unit_objs.(u)
+
+let marginal t u =
+  let newly = ref 0 and progress = ref 0 in
+  let hits = t.hits and s = t.s in
+  Array.iter
+    (fun obj ->
+      let h = hits.(obj) in
+      if h + 1 = s then incr newly;
+      if h < s then incr progress)
+    t.unit_objs.(u);
+  (!newly, !progress)
+
+let check t set =
+  if not (Combin.Intset.is_sorted_distinct set) then
+    invalid_arg "Kernel.check: unit set not sorted/distinct";
+  if t.s <= 0 then t.b
+  else
+    match incidence t with
+    | Bitsets obj_units ->
+        (* Popcount-threshold over the per-object incidence bitsets. *)
+        let fail = Combin.Bitset.of_array ~capacity:(units t) set in
+        let dead = ref 0 in
+        Array.iter
+          (fun hosts ->
+            if Combin.Bitset.inter_count hosts fail >= t.s then incr dead)
+          obj_units;
+        !dead
+    | Unknown | Multiplicity ->
+        (* Multiplicity-bearing incidence: one scratch counter pass. *)
+        let counts = Array.make t.b 0 in
+        let dead = ref 0 in
+        Array.iter
+          (fun u ->
+            Array.iter
+              (fun obj ->
+                let h = counts.(obj) + 1 in
+                counts.(obj) <- h;
+                if h = t.s then incr dead)
+              t.unit_objs.(u))
+          set;
+        !dead
+
+(* ------------------------------------------------------------------ *)
+(* CELF lazy-greedy selection.
+
+   The scan objective is the pair (newly, progress), lexicographic,
+   ties to the lowest unit id.  Pack it into one int,
+   P(ne,pr) = ne·(b+1) + pr, so pair order = int order.  [newly] is not
+   monotone under set growth (an object two short of s contributes 0
+   today and 1 after another hit), so a stale exact value is NOT a
+   valid cache — but [progress] never grows (hits only increase while a
+   unit stays unchosen), hence B(pr) = P(pr,pr) ≥ every future exact
+   value of that unit.  The heap therefore stores progress-derived
+   bounds only; each pop pays an exact O(load) re-check, and a round
+   closes only when the best exact value seen cannot be beaten or
+   tied-with-lower-id by any remaining bound.  (B = P forces
+   newly = progress, so the tie test against a bound is exact.) *)
+
+type greedy_stats = { evals : int; heap_pops : int; stale_reevals : int }
+
+let select_greedy t ~picks =
+  let n = units t in
+  if picks > n - Combin.Bitset.count t.failed then
+    invalid_arg "Kernel.select_greedy: more picks than unchosen units";
+  let base = t.b + 1 in
+  let packed ne pr = (ne * base) + pr in
+  let heap = Combin.Heap.Int_max.create () in
+  let evals = ref 0 and pops = ref 0 and stale = ref 0 in
+  for u = 0 to n - 1 do
+    if not (Combin.Bitset.mem t.failed u) then begin
+      let _, pr = marginal t u in
+      incr evals;
+      Combin.Heap.Int_max.push heap ~key:(packed pr pr) u
+    end
+  done;
+  let out = Array.make picks 0 in
+  for pick = 0 to picks - 1 do
+    let best_key = ref (-1) and best_id = ref (-1) in
+    let popped = ref [] in
+    let stop = ref false in
+    while not !stop do
+      match Combin.Heap.Int_max.peek heap with
+      | None -> stop := true
+      | Some (key, u) ->
+          (* Remaining exact values are ≤ key; they lose outright when
+             key < best, and on key = best any exact tie sits at an id
+             above [u] > [best_id], which the scan would also reject. *)
+          if key < !best_key || (key = !best_key && u > !best_id) then
+            stop := true
+          else begin
+            ignore (Combin.Heap.Int_max.pop heap);
+            incr pops;
+            let ne, pr = marginal t u in
+            incr evals;
+            let exact = packed ne pr in
+            if packed pr pr < key then incr stale;
+            popped := (u, pr) :: !popped;
+            if exact > !best_key || (exact = !best_key && u < !best_id) then begin
+              best_key := exact;
+              best_id := u
+            end
+          end
+    done;
+    (* Losers re-enter with refreshed bounds; the winner is consumed. *)
+    List.iter
+      (fun (u, pr) ->
+        if u <> !best_id then Combin.Heap.Int_max.push heap ~key:(packed pr pr) u)
+      !popped;
+    add t !best_id;
+    out.(pick) <- !best_id
+  done;
+  (out, { evals = !evals; heap_pops = !pops; stale_reevals = !stale })

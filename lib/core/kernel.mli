@@ -1,0 +1,101 @@
+(** The incremental attack-evaluation kernel.
+
+    Definition 1 scores a failure set by counting objects with ≥ s
+    replicas inside it.  Instead of re-evaluating that count from
+    scratch per candidate set (an O(b·r) pass over every replica list),
+    the kernel keeps per-object hit counters and a running dead-object
+    tally, updated in O(load(u)) when unit [u] enters or leaves the
+    failure set — the marginal-gain structure that copyset-style
+    analyses and CELF lazy-greedy selection exploit.
+
+    A kernel is built once per {!Layout.t} (over nodes, from the
+    memoized {!Layout.node_objects} index) or once per domain level
+    (over fault domains, via {!of_groups}); {!copy} then yields
+    independent search states sharing the immutable incidence index, so
+    parallel branch-and-bound branches each thread their own counters
+    down and up the search tree.  Alongside the counters the node path
+    lazily derives one {!Combin.Bitset} per object (the units hosting
+    its replicas), giving {!check} a popcount-threshold evaluation of
+    arbitrary failure sets without touching the counter state.
+
+    Kernels are single-domain mutable state; share only via {!copy}.
+    All counts are exact, so every algorithm rebuilt on the kernel is
+    bit-identical to its naive {!Layout.failed_objects} formulation. *)
+
+type t
+
+val make : Layout.t -> s:int -> t
+(** Attack units are the layout's nodes.  Shares the layout's memoized
+    inverted index; O(b) fresh counter state. *)
+
+val of_groups : s:int -> b:int -> int array array -> t
+(** Attack units are arbitrary groups: [groups.(u)] lists one entry per
+    replica hosted inside unit [u] (entries may repeat when a unit holds
+    several replicas of the same object — e.g. fault domains).  The
+    incidence arrays are shared, not copied. *)
+
+val copy : t -> t
+(** A fresh all-up state over the same shared incidence index. *)
+
+val reset : t -> unit
+(** Return to the all-up state. *)
+
+val units : t -> int
+val objects : t -> int
+val threshold : t -> int
+
+val degree : t -> int -> int
+(** Replicas hosted by a unit: an upper bound on its marginal damage. *)
+
+val add : t -> int -> unit
+(** Fail one unit: O(load).  Units are not reference-counted; adding a
+    unit already in the failure set double-counts.  @raise
+    Invalid_argument in that case. *)
+
+val remove : t -> int -> unit
+(** Undo {!add}. *)
+
+val killed : t -> int
+(** Objects with ≥ s replicas inside the current failure set. *)
+
+val hits : t -> int -> int
+(** Failed replicas of one object. *)
+
+val failed_units : t -> int array
+(** The current failure set, sorted. *)
+
+val marginal : t -> int -> int * int
+(** [(newly, progress)]: objects this unit would push to exactly [s]
+    hits, and objects it touches that are still below [s] — the greedy
+    objective pair, compared lexicographically. *)
+
+val check : t -> int array -> int
+(** One-shot: objects killed by the given unit set (sorted, distinct).
+    Uses the per-object incidence bitsets when the incidence is
+    multiplicity-free — built lazily on the first [check], so
+    greedy/B&B-only callers never pay for them — and a scratch counter
+    pass otherwise; either way equals {!Layout.failed_objects} on the
+    node kernel.  Never reads the counter state. *)
+
+type greedy_stats = {
+  evals : int;  (** marginal recomputations *)
+  heap_pops : int;  (** candidate pops from the CELF heap *)
+  stale_reevals : int;
+      (** pops whose cached bound had decayed since it was pushed *)
+}
+
+val select_greedy : t -> picks:int -> int array * greedy_stats
+(** CELF lazy-greedy: pick [picks] units one at a time, each maximizing
+    [(newly, progress)] with ties to the lowest unit id — bit-identical
+    to a full rescan per pick (the pre-kernel greedy).  Candidates live
+    in a {!Combin.Heap.Int_max} keyed by a monotone upper bound (the
+    progress component, which never grows as the failure set does); a
+    popped candidate is re-evaluated exactly and the round stops only
+    when no remaining bound can beat or tie the best exact value (see
+    DESIGN.md §10 for the determinism argument).  The kernel ends with
+    the picks applied; the returned array is in pick order.
+    @raise Invalid_argument if [picks] exceeds the unchosen units. *)
+
+val updates : t -> int
+(** Lifetime {!add} + {!remove} count on this state (not its copies) —
+    drained by callers into telemetry. *)

@@ -1,4 +1,9 @@
-type t = { n : int; r : int; replicas : int array array }
+type t = {
+  n : int;
+  r : int;
+  replicas : int array array;
+  mutable node_objs : int array array option;
+}
 
 let make ~n ~r replicas =
   if r < 1 || n < r then invalid_arg "Layout.make: need 1 <= r <= n";
@@ -11,11 +16,11 @@ let make ~n ~r replicas =
       if rep.(0) < 0 || rep.(r - 1) >= n then
         invalid_arg "Layout.make: node out of range")
     replicas;
-  { n; r; replicas }
+  { n; r; replicas; node_objs = None }
 
 let b t = Array.length t.replicas
 
-let node_objects t =
+let build_node_objects t =
   let counts = Array.make t.n 0 in
   Array.iter (fun rep -> Array.iter (fun nd -> counts.(nd) <- counts.(nd) + 1) rep) t.replicas;
   let out = Array.init t.n (fun nd -> Array.make counts.(nd) 0) in
@@ -29,6 +34,17 @@ let node_objects t =
         rep)
     t.replicas;
   out
+
+let node_objects t =
+  match t.node_objs with
+  | Some idx -> idx
+  | None ->
+      let idx = build_node_objects t in
+      (* Benign race under domains: the index is a pure function of the
+         (immutable) replica table, so concurrent builders store
+         structurally identical arrays and one pointer write wins. *)
+      t.node_objs <- Some idx;
+      idx
 
 let loads t =
   let counts = Array.make t.n 0 in
@@ -77,6 +93,7 @@ let concat = function
       {
         first with
         replicas = Array.concat (List.map (fun p -> p.replicas) parts);
+        node_objs = None;
       }
 
 let shift t ~offset ~n =
@@ -85,4 +102,5 @@ let shift t ~offset ~n =
     n;
     r = t.r;
     replicas = Array.map (fun rep -> Array.map (fun nd -> nd + offset) rep) t.replicas;
+    node_objs = None;
   }

@@ -7,6 +7,8 @@ type t = private {
   replicas : int array array;
       (** [replicas.(obj)] is the sorted array of the r nodes hosting
           replicas of [obj] *)
+  mutable node_objs : int array array option;
+      (** memoized inverted index; use {!node_objects}, never this field *)
 }
 
 val make : n:int -> r:int -> int array array -> t
@@ -18,7 +20,9 @@ val b : t -> int
 
 val node_objects : t -> int array array
 (** Inverted index: [(node_objects t).(nd)] lists the objects with a
-    replica on node [nd].  O(n + r·b); compute once and share. *)
+    replica on node [nd].  Built in O(n + r·b) on first use and memoized
+    in the layout, so every caller shares one physical index — treat the
+    result as read-only. *)
 
 val loads : t -> int array
 (** Replica count per node. *)

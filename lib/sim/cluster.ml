@@ -5,10 +5,9 @@ type t = {
   topology : Topology.Tree.t;
   rack_level : int;
   rack_label : int array;  (* rack-level domain id -> caller's rack id *)
-  node_objs : int array array;
+  kernel : Placement.Kernel.t;
+      (* per-object hit counters + dead tally, O(load) per node event *)
   up : bool array;
-  lost : int array;  (* failed replicas per object *)
-  mutable failed_objects : int;
 }
 
 let create ?racks ?topology layout semantics =
@@ -37,17 +36,16 @@ let create ?racks ?topology layout semantics =
         (Topology.Build.flat n, Array.init n Fun.id)
   in
   let rack_level = min 1 (Topology.Tree.depth topology - 1) in
+  let s = Semantics.fatality_threshold semantics ~r:layout.Placement.Layout.r in
   {
     layout;
     semantics;
-    s = Semantics.fatality_threshold semantics ~r:layout.Placement.Layout.r;
+    s;
     topology;
     rack_level;
     rack_label;
-    node_objs = Placement.Layout.node_objects layout;
+    kernel = Placement.Kernel.make layout ~s;
     up = Array.make n true;
-    lost = Array.make (Placement.Layout.b layout) 0;
-    failed_objects = 0;
   }
 
 let layout t = t.layout
@@ -69,21 +67,13 @@ let failed_nodes t =
 let fail_node t nd =
   if t.up.(nd) then begin
     t.up.(nd) <- false;
-    Array.iter
-      (fun obj ->
-        t.lost.(obj) <- t.lost.(obj) + 1;
-        if t.lost.(obj) = t.s then t.failed_objects <- t.failed_objects + 1)
-      t.node_objs.(nd)
+    Placement.Kernel.add t.kernel nd
   end
 
 let recover_node t nd =
   if not t.up.(nd) then begin
     t.up.(nd) <- true;
-    Array.iter
-      (fun obj ->
-        if t.lost.(obj) = t.s then t.failed_objects <- t.failed_objects - 1;
-        t.lost.(obj) <- t.lost.(obj) - 1)
-      t.node_objs.(nd)
+    Placement.Kernel.remove t.kernel nd
   end
 
 (* Rack-level domain holding the caller's rack id, if any (binary search
@@ -120,15 +110,16 @@ let recover_all t =
 let fail_domain t ~level d =
   Array.iter (fail_node t) (Topology.Tree.members t.topology ~level d)
 
-let object_available t obj = t.lost.(obj) < t.s
+let object_available t obj = Placement.Kernel.hits t.kernel obj < t.s
 
-let available_objects t = b t - t.failed_objects
+let available_objects t = b t - Placement.Kernel.killed t.kernel
 
 let unavailable_objects t =
   let out = ref [] in
   for obj = b t - 1 downto 0 do
-    if t.lost.(obj) >= t.s then out := obj :: !out
+    if not (object_available t obj) then out := obj :: !out
   done;
   !out
 
-let live_replicas t obj = t.layout.Placement.Layout.r - t.lost.(obj)
+let live_replicas t obj =
+  t.layout.Placement.Layout.r - Placement.Kernel.hits t.kernel obj

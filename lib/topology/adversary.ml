@@ -33,16 +33,24 @@ let m_attack_bb =
   Telemetry.Registry.counter "topology/adversary/attack/bb_dispatch"
 let m_attack_span = Telemetry.Registry.span "topology/adversary/attack"
 
-(* Incremental damage tracker over domains: [domain_objs.(d)] lists one
-   entry per replica hosted inside domain [d] (same-level domains are
-   disjoint node sets, so failing domain [d] fails each entry once). *)
-type state = {
-  s : int;
-  domain_objs : int array array;
-  hits : int array;
-  mutable failed : int;
-}
+(* Kernel counters, mirroring core/adversary/kernel/* (Stable, flushed
+   per run or per branch in deterministic order). *)
+let m_kernel_updates =
+  Telemetry.Registry.counter "topology/adversary/kernel/updates"
+let m_kernel_pops =
+  Telemetry.Registry.counter "topology/adversary/kernel/heap_pops"
+let m_kernel_stale =
+  Telemetry.Registry.counter "topology/adversary/kernel/stale_reevals"
+let m_kernel_undos =
+  Telemetry.Registry.counter "topology/adversary/kernel/bb_undos"
+let m_kernel_undo_depth =
+  Telemetry.Registry.histogram "topology/adversary/kernel/bb_undo_depth"
 
+(* Attack units are same-level fault domains: [domain_objs.(d)] lists one
+   entry per replica hosted inside domain [d] (same-level domains are
+   disjoint node sets, so failing domain [d] fails each entry once).  The
+   incidence feeds the shared incremental kernel; domains may hold
+   several replicas of one object, so the kernel keeps multiplicities. *)
 let domain_objs_of layout tree ~level =
   let node_objs = Placement.Layout.node_objects layout in
   Array.map
@@ -50,32 +58,9 @@ let domain_objs_of layout tree ~level =
       Array.concat (Array.to_list (Array.map (fun nd -> node_objs.(nd)) members)))
     (Array.init (Tree.domain_count tree ~level) (Tree.members tree ~level))
 
-let state_of ~s ~domain_objs ~b =
-  { s; domain_objs; hits = Array.make b 0; failed = 0 }
-
-let add_domain st d =
-  Array.iter
-    (fun obj ->
-      st.hits.(obj) <- st.hits.(obj) + 1;
-      if st.hits.(obj) = st.s then st.failed <- st.failed + 1)
-    st.domain_objs.(d)
-
-let remove_domain st d =
-  Array.iter
-    (fun obj ->
-      if st.hits.(obj) = st.s then st.failed <- st.failed - 1;
-      st.hits.(obj) <- st.hits.(obj) - 1)
-    st.domain_objs.(d)
-
-let marginal st d =
-  let newly = ref 0 and progress = ref 0 in
-  Array.iter
-    (fun obj ->
-      let h = st.hits.(obj) in
-      if h + 1 = st.s then incr newly;
-      if h < st.s then incr progress)
-    st.domain_objs.(d);
-  (!newly, !progress)
+let kernel_of layout tree ~level ~s =
+  Placement.Kernel.of_groups ~s ~b:(Placement.Layout.b layout)
+    (domain_objs_of layout tree ~level)
 
 let check layout tree ~level ~j =
   if layout.Placement.Layout.n <> Tree.n tree then
@@ -94,8 +79,7 @@ let of_domains tree ~level domains ~failed_objects ~exact =
   }
 
 let eval layout ~s tree ~level domains =
-  Placement.Layout.failed_objects layout ~s
-    ~failed_nodes:(Failset.nodes tree ~level domains)
+  Placement.Kernel.check (kernel_of layout tree ~level ~s) domains
 
 let pmap pool f xs =
   match pool with
@@ -104,33 +88,16 @@ let pmap pool f xs =
 
 let greedy layout ~s tree ~level ~j =
   check layout tree ~level ~j;
-  let nd = Tree.domain_count tree ~level in
-  let domain_objs = domain_objs_of layout tree ~level in
-  let st = state_of ~s ~domain_objs ~b:(Placement.Layout.b layout) in
-  let chosen = Array.make nd false in
-  let picks = ref [] in
-  let evals = ref 0 in
-  for _ = 1 to j do
-    let best_d = ref (-1) and best_val = ref (-1, -1) in
-    for d = 0 to nd - 1 do
-      if not chosen.(d) then begin
-        let v = marginal st d in
-        incr evals;
-        if v > !best_val then begin
-          best_val := v;
-          best_d := d
-        end
-      end
-    done;
-    chosen.(!best_d) <- true;
-    add_domain st !best_d;
-    picks := !best_d :: !picks
-  done;
+  let kn = kernel_of layout tree ~level ~s in
+  let picks, stats = Placement.Kernel.select_greedy kn ~picks:j in
   Telemetry.Counter.incr m_greedy_runs;
-  Telemetry.Counter.add m_greedy_evals !evals;
-  of_domains tree ~level
-    (Array.of_list !picks)
-    ~failed_objects:st.failed ~exact:false
+  Telemetry.Counter.add m_greedy_evals stats.Placement.Kernel.evals;
+  Telemetry.Counter.add m_kernel_pops stats.Placement.Kernel.heap_pops;
+  Telemetry.Counter.add m_kernel_stale stats.Placement.Kernel.stale_reevals;
+  Telemetry.Counter.add m_kernel_updates (Placement.Kernel.updates kn);
+  of_domains tree ~level picks
+    ~failed_objects:(Placement.Kernel.killed kn)
+    ~exact:false
 
 let exhaustive layout ~s tree ~level ~j =
   check layout tree ~level ~j;
@@ -141,8 +108,7 @@ let exhaustive layout ~s tree ~level ~j =
        is the greedy one unless some subset strictly beats it, exactly
        as the branch-and-bound path resolves ties. *)
     let g = greedy layout ~s tree ~level ~j in
-    let domain_objs = domain_objs_of layout tree ~level in
-    let st = state_of ~s ~domain_objs ~b:(Placement.Layout.b layout) in
+    let st = kernel_of layout tree ~level ~s in
     let best = ref g.failed_objects and best_set = ref None in
     let subsets = ref 0 in
     let nd = Tree.domain_count tree ~level in
@@ -150,21 +116,22 @@ let exhaustive layout ~s tree ~level ~j =
     let rec go start depth =
       if depth = j then begin
         incr subsets;
-        if st.failed > !best then begin
-          best := st.failed;
+        if Placement.Kernel.killed st > !best then begin
+          best := Placement.Kernel.killed st;
           best_set := Some (Array.copy current)
         end
       end
       else
         for d = start to nd - (j - depth) do
           current.(depth) <- d;
-          add_domain st d;
+          Placement.Kernel.add st d;
           go (d + 1) (depth + 1);
-          remove_domain st d
+          Placement.Kernel.remove st d
         done
     in
     go 0 0;
     Telemetry.Counter.add m_exh_subsets !subsets;
+    Telemetry.Counter.add m_kernel_updates (Placement.Kernel.updates st);
     match !best_set with
     | Some domains ->
         of_domains tree ~level domains ~failed_objects:!best ~exact:true
@@ -177,9 +144,8 @@ let exact ?(budget = 50_000_000) ?pool layout ~s tree ~level ~j =
     of_domains tree ~level [||] ~failed_objects:0 ~exact:true
   else begin
     let nd = Tree.domain_count tree ~level in
-    let domain_objs = domain_objs_of layout tree ~level in
-    let b = Placement.Layout.b layout in
-    let degrees = Array.map Array.length domain_objs in
+    let kn0 = kernel_of layout tree ~level ~s in
+    let degrees = Array.init nd (Placement.Kernel.degree kn0) in
     (* top_deg.(start).(m): sum of the m largest domain degrees with id
        >= start — an upper bound on the damage of m more picks. *)
     let top_deg =
@@ -204,39 +170,47 @@ let exact ?(budget = 50_000_000) ?pool layout ~s tree ~level ~j =
     let first_choices = Array.init (nd - j + 1) Fun.id in
     let branch_budget = max 1 (budget / Array.length first_choices) in
     let run_branch d0 =
-      let st = state_of ~s ~domain_objs ~b in
+      let st = Placement.Kernel.copy kn0 in
       let best = ref seed_bound and best_set = ref None in
       let current = Array.make j 0 in
       let visited = ref 0 in
       let leaves = ref 0 and prunes = ref 0 and improves = ref 0 in
+      let undos = ref 0 and max_undo_depth = ref 0 in
       let truncated = ref false in
       let rec go start depth =
         incr visited;
         if !visited > branch_budget then truncated := true
         else if depth = j then begin
           incr leaves;
-          if st.failed > !best then begin
+          if Placement.Kernel.killed st > !best then begin
             incr improves;
-            best := st.failed;
+            best := Placement.Kernel.killed st;
             best_set := Some (Array.copy current);
-            ignore (Engine.Bound.improve incumbent st.failed)
+            ignore (Engine.Bound.improve incumbent (Placement.Kernel.killed st))
           end
         end
-        else if st.failed + top_deg.(start).(j - depth) > !best then
+        else if Placement.Kernel.killed st + top_deg.(start).(j - depth) > !best
+        then
           for d = start to nd - (j - depth) do
             if not !truncated then begin
               current.(depth) <- d;
-              add_domain st d;
+              Placement.Kernel.add st d;
               go (d + 1) (depth + 1);
-              remove_domain st d
+              Placement.Kernel.remove st d;
+              incr undos;
+              if depth + 1 > !max_undo_depth then max_undo_depth := depth + 1
             end
           done
         else incr prunes
       in
       current.(0) <- d0;
-      add_domain st d0;
+      Placement.Kernel.add st d0;
       go (d0 + 1) 1;
-      (!best, !best_set, !truncated, (!visited, !leaves, !prunes, !improves))
+      ( !best,
+        !best_set,
+        !truncated,
+        (!visited, !leaves, !prunes, !improves),
+        (Placement.Kernel.updates st, !undos, !max_undo_depth) )
     in
     let results = pmap pool run_branch first_choices in
     (* Deterministic fold: strict improvement, lowest branch wins ties;
@@ -244,12 +218,16 @@ let exact ?(budget = 50_000_000) ?pool layout ~s tree ~level ~j =
     let best = ref g.failed_objects and best_set = ref None in
     let truncated = ref false in
     Array.iter
-      (fun (v, set, tr, (visited, leaves, prunes, improves)) ->
+      (fun (v, set, tr, (visited, leaves, prunes, improves),
+            (updates, undos, max_undo_depth)) ->
         Telemetry.Counter.incr m_bb_branches;
         Telemetry.Counter.add m_bb_nodes visited;
         Telemetry.Counter.add m_bb_leaves leaves;
         Telemetry.Counter.add m_bb_prunes prunes;
         Telemetry.Counter.add m_bb_improves improves;
+        Telemetry.Counter.add m_kernel_updates updates;
+        Telemetry.Counter.add m_kernel_undos undos;
+        Telemetry.Histogram.observe m_kernel_undo_depth max_undo_depth;
         if tr then Telemetry.Counter.incr m_bb_truncated;
         if tr then truncated := true;
         match set with

@@ -1,8 +1,9 @@
 #!/bin/sh
 # One-shot health check: the full test suite plus the quick perf pass
-# (adversary -j scaling, the cached-vs-uncached analysis sweep and the
-# domain-adversary B&B scaling, which append BENCH_adversary.json /
-# BENCH_analysis.json / BENCH_topology.json in the repo root), then a
+# (adversary -j scaling, the kernel-vs-naive greedy comparison, the
+# cached-vs-uncached analysis sweep and the domain-adversary B&B
+# scaling, which append BENCH_adversary.json / BENCH_analysis.json /
+# BENCH_topology.json in the repo root), then a
 # telemetry smoke run (--metrics must carry the placement/v1 envelope,
 # the disabled-instrumentation overhead guard must hold) and a topology
 # smoke run (rack adversary vs node adversary sanity inequality, domain
@@ -23,6 +24,19 @@ echo "$metrics" | grep -q '"core/adversary/bb/nodes_expanded"' ||
 
 tail -n 1 BENCH_telemetry.json | grep -q '"disabled_ok": true' ||
   { echo "check.sh: disabled-telemetry overhead guard failed (see BENCH_telemetry.json)" >&2; exit 1; }
+
+# Kernel guard: the incremental-counter greedy must pick the same nodes
+# as the frozen naive rescan and be at least 2x faster on the Fig-4
+# sweep instance (see the adversary_kernel_vs_naive row the perf pass
+# just appended).
+kernel_row=$(grep '"op": "adversary_kernel_vs_naive"' BENCH_adversary.json | tail -n 1)
+[ -n "$kernel_row" ] ||
+  { echo "check.sh: no adversary_kernel_vs_naive row in BENCH_adversary.json" >&2; exit 1; }
+echo "$kernel_row" | grep -q '"identical": true' ||
+  { echo "check.sh: kernel greedy picks differ from the naive rescan (see BENCH_adversary.json)" >&2; exit 1; }
+kernel_speedup=$(echo "$kernel_row" | sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p')
+[ -n "$kernel_speedup" ] && awk "BEGIN { exit !($kernel_speedup >= 2.0) }" ||
+  { echo "check.sh: kernel greedy speedup $kernel_speedup < 2x over naive (see BENCH_adversary.json)" >&2; exit 1; }
 
 # Topology smoke: on a regular 4x5 topology the rack adversary (worst 1
 # rack = 5 nodes) can never beat the node adversary given the same 5-node

@@ -1,0 +1,45 @@
+The incremental attack kernel pins: the CELF lazy-greedy seed and the
+kernel-backed branch-and-bound must stay byte-identical to the naive
+full-rescan adversary they replaced, at any -j.
+
+Node-level attack, Fig.-4-scale Combo instance: C(71,6) far exceeds the
+exact-work limit, so this dispatches to local search seeded by the
+lazy-greedy (kernel heap) path.
+
+  $ placement-tool attack --strategy combo -n 71 -b 1200 -r 3 -s 2 -k 6 -j 1 > nj1.out
+  $ placement-tool attack --strategy combo -n 71 -b 1200 -r 3 -s 2 -k 6 -j 4 > nj4.out
+  $ diff nj1.out nj4.out
+  $ cat nj1.out
+  Worst-case attack on a Combo placement (b=1200, n=71, r=3)
+    failed nodes: [36, 39, 42, 45, 48, 59]
+    available objects: 1170 / 1200 (adversary heuristic)
+
+A smaller instance inside the exact-work limit takes the kernel-threaded
+branch-and-bound path (greedy seed + per-branch counter state).
+
+  $ placement-tool attack --strategy combo -n 31 -b 150 -r 3 -s 2 -k 4 -j 1 > ej1.out
+  $ placement-tool attack --strategy combo -n 31 -b 150 -r 3 -s 2 -k 4 -j 4 > ej4.out
+  $ diff ej1.out ej4.out
+  $ cat ej1.out
+  Worst-case attack on a Combo placement (b=150, n=31, r=3)
+    failed nodes: [11, 12, 13, 14]
+    available objects: 144 / 150 (adversary exact)
+
+Domain-level attack through --topology: fault domains carry replica
+multiplicities, so the kernel runs its counter path (no per-object
+bitsets); output is still -j invariant.
+
+  $ placement-tool attack --strategy combo -n 72 -b 600 -r 3 -s 2 -k 4 \
+  >   --topology rack:24/node:3 --fail-domains 7 -j 1 > tj1.out
+  $ placement-tool attack --strategy combo -n 72 -b 600 -r 3 -s 2 -k 4 \
+  >   --topology rack:24/node:3 --fail-domains 7 -j 4 > tj4.out
+  $ diff tj1.out tj4.out
+  $ cat tj1.out
+  Worst-case attack on a Combo placement (b=600, n=72, r=3)
+    failed nodes: [36, 39, 57, 60]
+    available objects: 594 / 600 (adversary exact)
+    domain adversary (worst 7 rack(s)):
+      failed domains: [6, 8, 12, 13, 14, 17, 19]
+      failed nodes: [18, 19, 20, 24, 25, 26, 36, 37, 38, 39, 40, 41, 42, 43,
+                     44, 51, 52, 53, 57, 58, 59]
+      available: 423 / 600 (adversary exact)

@@ -167,8 +167,22 @@ output is cut at its key).
         "core/adversary/bb/branches": 29,
         "core/adversary/bb/leaves": 4495,
         "core/adversary/bb/nodes_expanded": 4959,
-        "core/adversary/greedy/marginal_evals": 90,
+        "core/adversary/greedy/marginal_evals": 121,
         "core/adversary/greedy/runs": 1,
+        "core/adversary/kernel/bb_undo_depth": {
+          "count": 29,
+          "sum": 87,
+          "buckets": [
+            [
+              2,
+              29
+            ]
+          ]
+        },
+        "core/adversary/kernel/bb_undos": 4930,
+        "core/adversary/kernel/heap_pops": 90,
+        "core/adversary/kernel/stale_reevals": 1,
+        "core/adversary/kernel/updates": 9892,
         "core/instance/table_builds": 1
       },
 

@@ -323,6 +323,113 @@ let test_heap_interleaved () =
   Alcotest.(check int) "size" 2 (Combin.Heap.size h);
   Alcotest.(check bool) "not empty" false (Combin.Heap.is_empty h)
 
+let test_int_max_heap_order =
+  qtest "Int_max pops key-desc, ties payload-asc"
+    QCheck2.Gen.(list_size (int_range 0 200) (pair (int_range 0 20) (int_range 0 50)))
+    (fun entries ->
+      let h = Combin.Heap.Int_max.create () in
+      List.iter (fun (key, p) -> Combin.Heap.Int_max.push h ~key p) entries;
+      let rec drain prev acc =
+        match Combin.Heap.Int_max.pop h with
+        | None -> List.rev acc
+        | Some ((key, p) as e) ->
+            (match prev with
+            | Some (pk, pp) when key > pk || (key = pk && p < pp) -> raise Exit
+            | _ -> ());
+            drain (Some e) (e :: acc)
+      in
+      match drain None [] with
+      | drained ->
+          List.length drained = List.length entries
+          && List.sort compare (List.map (fun (k, p) -> (k, p)) entries)
+             = List.sort compare drained
+      | exception Exit -> false)
+
+let test_int_max_heap_peek () =
+  let h = Combin.Heap.Int_max.create () in
+  Alcotest.(check bool) "empty" true (Combin.Heap.Int_max.is_empty h);
+  Combin.Heap.Int_max.push h ~key:3 10;
+  Combin.Heap.Int_max.push h ~key:7 20;
+  Combin.Heap.Int_max.push h ~key:7 5;
+  Alcotest.(check (option (pair int int))) "peek max, low payload"
+    (Some (7, 5)) (Combin.Heap.Int_max.peek h);
+  Alcotest.(check (option (pair int int))) "pop" (Some (7, 5))
+    (Combin.Heap.Int_max.pop h);
+  Alcotest.(check (option (pair int int))) "then high payload" (Some (7, 20))
+    (Combin.Heap.Int_max.pop h);
+  Alcotest.(check int) "size" 1 (Combin.Heap.Int_max.size h)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset *)
+
+let bitset_model_gen =
+  (* A capacity plus a sequence of add/remove ops to interleave. *)
+  QCheck2.Gen.(
+    let* cap = int_range 1 200 in
+    let* ops = list_size (int_range 0 120) (pair bool (int_range 0 (cap - 1))) in
+    return (cap, ops))
+
+let test_bitset_vs_model =
+  qtest "add/remove/mem/count/iter match a set model" bitset_model_gen
+    (fun (cap, ops) ->
+      let t = Combin.Bitset.create cap in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, x) ->
+          if add then begin
+            Combin.Bitset.add t x;
+            Hashtbl.replace model x ()
+          end
+          else begin
+            Combin.Bitset.remove t x;
+            Hashtbl.remove model x
+          end)
+        ops;
+      let expect =
+        Hashtbl.fold (fun x () acc -> x :: acc) model [] |> Array.of_list
+        |> Combin.Intset.of_array
+      in
+      Combin.Bitset.count t = Array.length expect
+      && Combin.Bitset.to_array t = expect
+      && Array.for_all (fun x -> Combin.Bitset.mem t x) expect
+      && Combin.Bitset.is_empty t = (Array.length expect = 0))
+
+let test_bitset_algebra =
+  qtest "inter/union/diff/inter_count match Intset"
+    QCheck2.Gen.(
+      let* cap = int_range 1 150 in
+      let* xs = list_size (int_range 0 80) (int_range 0 (cap - 1)) in
+      let* ys = list_size (int_range 0 80) (int_range 0 (cap - 1)) in
+      return (cap, Array.of_list xs, Array.of_list ys))
+    (fun (cap, xs, ys) ->
+      let sa = Combin.Intset.of_array xs and sb = Combin.Intset.of_array ys in
+      let a = Combin.Bitset.of_array ~capacity:cap xs in
+      let b = Combin.Bitset.of_array ~capacity:cap ys in
+      Combin.Bitset.to_array (Combin.Bitset.inter a b) = Combin.Intset.inter sa sb
+      && Combin.Bitset.to_array (Combin.Bitset.union a b) = Combin.Intset.union sa sb
+      && Combin.Bitset.to_array (Combin.Bitset.diff a b) = Combin.Intset.diff sa sb
+      && Combin.Bitset.inter_count a b = Combin.Intset.inter_size sa sb
+      && Combin.Bitset.equal a (Combin.Bitset.copy a))
+
+let test_bitset_edges () =
+  let t = Combin.Bitset.create 64 in
+  (* Word boundaries: 62/63 straddle the first 63-bit word. *)
+  List.iter (Combin.Bitset.add t) [ 0; 62; 63 ];
+  Alcotest.(check int) "count" 3 (Combin.Bitset.count t);
+  Alcotest.(check (array int)) "boundary bits" [| 0; 62; 63 |]
+    (Combin.Bitset.to_array t);
+  Combin.Bitset.remove t 62;
+  Alcotest.(check bool) "62 gone" false (Combin.Bitset.mem t 62);
+  Alcotest.(check bool) "63 kept" true (Combin.Bitset.mem t 63);
+  Combin.Bitset.clear t;
+  Alcotest.(check bool) "cleared" true (Combin.Bitset.is_empty t);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bitset.add: 64 out of [0, 64)") (fun () ->
+      Combin.Bitset.add t 64);
+  Alcotest.check_raises "capacity mismatch"
+    (Invalid_argument "Bitset.inter_count: capacities 64 <> 63") (fun () ->
+      ignore (Combin.Bitset.inter_count t (Combin.Bitset.create 63)))
+
 (* ------------------------------------------------------------------ *)
 (* Stats *)
 
@@ -408,6 +515,14 @@ let () =
         [
           test_heap_sorts;
           Alcotest.test_case "interleaved ops" `Quick test_heap_interleaved;
+          test_int_max_heap_order;
+          Alcotest.test_case "int_max peek/pop" `Quick test_int_max_heap_peek;
+        ] );
+      ( "bitset",
+        [
+          test_bitset_vs_model;
+          test_bitset_algebra;
+          Alcotest.test_case "edges" `Quick test_bitset_edges;
         ] );
       ( "stats",
         [

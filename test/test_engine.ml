@@ -121,6 +121,18 @@ let test_exact_deterministic =
       let par = Engine.Pool.with_pool ~domains:4 (fun p -> run (Some p)) in
       same_attack seq par)
 
+let test_attack_deterministic =
+  qtest ~count:20 "Adversary.attack (lazy-greedy seed): -j 1 = -j 4"
+    layout_case_gen
+    (fun (layout, seed, s, k) ->
+      let run pool =
+        Placement.Adversary.attack ?pool ~rng:(Combin.Rng.create seed)
+          layout ~s ~k
+      in
+      let seq = run None in
+      let par = Engine.Pool.with_pool ~domains:4 (fun p -> run (Some p)) in
+      same_attack seq par)
+
 let test_montecarlo_deterministic =
   qtest ~count:15 "Montecarlo.avg_avail_random: -j 1 = -j 4"
     QCheck2.Gen.(
@@ -162,6 +174,7 @@ let () =
         [
           test_local_search_deterministic;
           test_exact_deterministic;
+          test_attack_deterministic;
           test_montecarlo_deterministic;
         ] );
     ]

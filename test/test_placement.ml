@@ -536,6 +536,128 @@ let test_adversary_attack_shape =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Kernel *)
+
+let test_layout_node_objects_memoized =
+  qtest ~count:30 "node_objects is memoized (physically equal)" layout_gen
+    (fun layout ->
+      Placement.Layout.node_objects layout == Placement.Layout.node_objects layout)
+
+(* Naive mirror of the kernel: a plain per-object counter array updated
+   from the inverted index, with killed recounted from scratch. *)
+let naive_killed layout ~s failed =
+  Placement.Layout.failed_objects layout ~s
+    ~failed_nodes:(Combin.Intset.of_array (Array.of_list failed))
+
+let test_kernel_incremental_vs_naive =
+  qtest ~count:60 "incremental killed = naive failed_objects under churn"
+    QCheck2.Gen.(triple layout_gen (int_range 1 4) (int_range 0 10000))
+    (fun (layout, s, seed) ->
+      let s = min s layout.Placement.Layout.r in
+      let n = layout.Placement.Layout.n in
+      let rng = Combin.Rng.create seed in
+      let kn = Placement.Kernel.make layout ~s in
+      let failed = ref [] in
+      let ok = ref true in
+      (* Interleaved add/remove: bias toward adds so the set grows, with
+         enough removes to exercise the undo path. *)
+      for _ = 1 to 60 do
+        let nd = Combin.Rng.int rng n in
+        if List.mem nd !failed then begin
+          Placement.Kernel.remove kn nd;
+          failed := List.filter (fun x -> x <> nd) !failed
+        end
+        else if Combin.Rng.int rng 4 < 3 then begin
+          Placement.Kernel.add kn nd;
+          failed := nd :: !failed
+        end;
+        if Placement.Kernel.killed kn <> naive_killed layout ~s !failed then
+          ok := false
+      done;
+      (* One-shot check agrees with the incremental state, and hits
+         match a per-object recount. *)
+      let set = Combin.Intset.of_array (Array.of_list !failed) in
+      !ok
+      && Placement.Kernel.check kn set = Placement.Kernel.killed kn
+      && Placement.Kernel.failed_units kn = set
+      && Array.for_all
+           (fun obj ->
+             let rep = layout.Placement.Layout.replicas.(obj) in
+             let h =
+               Array.fold_left
+                 (fun c nd -> if Combin.Intset.mem set nd then c + 1 else c)
+                 0 rep
+             in
+             Placement.Kernel.hits kn obj = h)
+           (Array.init (Placement.Layout.b layout) Fun.id))
+
+(* Reference greedy: full rescan per pick over a hand-maintained hit
+   counter array — the pre-kernel algorithm, (newly, progress) lex with
+   lowest-id ties.  select_greedy must be byte-identical. *)
+let scan_greedy layout ~s ~k =
+  let n = layout.Placement.Layout.n in
+  let node_objs = Placement.Layout.node_objects layout in
+  let hits = Array.make (Placement.Layout.b layout) 0 in
+  let chosen = Array.make n false in
+  Array.init k (fun _ ->
+      let best = ref (-1) and best_ne = ref (-1) and best_pr = ref (-1) in
+      for nd = 0 to n - 1 do
+        if not chosen.(nd) then begin
+          let ne = ref 0 and pr = ref 0 in
+          Array.iter
+            (fun obj ->
+              if hits.(obj) + 1 = s then incr ne;
+              if hits.(obj) < s then incr pr)
+            node_objs.(nd);
+          (* Strict lex improvement only: ascending scan keeps the
+             lowest id on ties. *)
+          if !ne > !best_ne || (!ne = !best_ne && !pr > !best_pr) then begin
+            best := nd;
+            best_ne := !ne;
+            best_pr := !pr
+          end
+        end
+      done;
+      chosen.(!best) <- true;
+      Array.iter (fun obj -> hits.(obj) <- hits.(obj) + 1) node_objs.(!best);
+      !best)
+
+let test_kernel_lazy_greedy_identical =
+  qtest ~count:60 "CELF lazy-greedy = full-rescan greedy, pick by pick"
+    QCheck2.Gen.(triple layout_gen (int_range 1 4) (int_range 1 6))
+    (fun (layout, s, k) ->
+      let s = min s layout.Placement.Layout.r in
+      let k = min k (layout.Placement.Layout.n - 1) in
+      let kn = Placement.Kernel.make layout ~s in
+      let picks, _ = Placement.Kernel.select_greedy kn ~picks:k in
+      picks = scan_greedy layout ~s ~k)
+
+let test_kernel_double_add () =
+  let layout =
+    Placement.Layout.make ~n:4 ~r:2 [| [| 0; 1 |]; [| 2; 3 |]; [| 0; 2 |] |]
+  in
+  let kn = Placement.Kernel.make layout ~s:2 in
+  Placement.Kernel.add kn 0;
+  Alcotest.check_raises "double add"
+    (Invalid_argument "Kernel.add: unit already failed") (fun () ->
+      Placement.Kernel.add kn 0);
+  Alcotest.check_raises "remove absent"
+    (Invalid_argument "Kernel.remove: unit not failed") (fun () ->
+      Placement.Kernel.remove kn 1);
+  Placement.Kernel.add kn 2;
+  (* failed = {0,2}: obj 2 on {0,2} dead *)
+  Alcotest.(check int) "one dead" 1 (Placement.Kernel.killed kn);
+  Placement.Kernel.add kn 1;
+  (* failed = {0,1,2}: obj 0 on {0,1} dead, obj 2 on {0,2} dead *)
+  Alcotest.(check int) "two dead" 2 (Placement.Kernel.killed kn);
+  let copy = Placement.Kernel.copy kn in
+  Alcotest.(check int) "copy starts all-up" 0 (Placement.Kernel.killed copy);
+  Placement.Kernel.reset kn;
+  Alcotest.(check int) "reset" 0 (Placement.Kernel.killed kn);
+  Alcotest.(check (array int)) "no failed units" [||]
+    (Placement.Kernel.failed_units kn)
+
+(* ------------------------------------------------------------------ *)
 (* Codec *)
 
 let test_codec_roundtrip =
@@ -943,6 +1065,13 @@ let () =
           test_adversary_exact_is_optimal;
           test_adversary_ordering;
           test_adversary_attack_shape;
+        ] );
+      ( "kernel",
+        [
+          test_layout_node_objects_memoized;
+          test_kernel_incremental_vs_naive;
+          test_kernel_lazy_greedy_identical;
+          Alcotest.test_case "add/remove guards" `Quick test_kernel_double_add;
         ] );
       ( "codec",
         [
