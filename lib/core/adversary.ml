@@ -42,7 +42,11 @@ let m_kernel_undos = Telemetry.Registry.counter "core/adversary/kernel/bb_undos"
 let m_kernel_undo_depth =
   Telemetry.Registry.histogram "core/adversary/kernel/bb_undo_depth"
 
-let eval layout ~s failed_nodes = Kernel.check (Kernel.make layout ~s) failed_nodes
+(* One-shot scoring: a single O(b·r) merge pass with no allocation.
+   Routing this through a throwaway Kernel would rebuild the per-object
+   incidence bitsets on every call; repeated-eval callers should hold a
+   {!Kernel.t} across calls instead (Kernel.check, or add + killed). *)
+let eval layout ~s failed_nodes = Layout.failed_objects layout ~s ~failed_nodes
 
 let pmap pool f xs =
   match pool with

@@ -23,8 +23,10 @@ type attack = {
 }
 
 val eval : Layout.t -> s:int -> int array -> int
-(** Number of objects failed by a given node set (a one-shot
-    {!Kernel.check}, not an O(b·r) merge pass). *)
+(** Number of objects failed by a given node set: a one-shot O(b·r)
+    merge pass ({!Layout.failed_objects}) with no kernel construction.
+    Callers that score many sets over one layout should hold a
+    {!Kernel.t} and use {!Kernel.check} instead. *)
 
 val exact : ?budget:int -> ?pool:Engine.Pool.t -> Layout.t -> s:int -> k:int -> attack
 (** Branch-and-bound over all C(n,k) failure sets with a degree-sum upper

@@ -154,16 +154,22 @@ let check t set =
 
    The scan objective is the pair (newly, progress), lexicographic,
    ties to the lowest unit id.  Pack it into one int,
-   P(ne,pr) = ne·(b+1) + pr, so pair order = int order.  [newly] is not
-   monotone under set growth (an object two short of s contributes 0
-   today and 1 after another hit), so a stale exact value is NOT a
-   valid cache — but [progress] never grows (hits only increase while a
-   unit stays unchosen), hence B(pr) = P(pr,pr) ≥ every future exact
-   value of that unit.  The heap therefore stores progress-derived
-   bounds only; each pop pays an exact O(load) re-check, and a round
-   closes only when the best exact value seen cannot be beaten or
-   tied-with-lower-id by any remaining bound.  (B = P forces
-   newly = progress, so the tie test against a bound is exact.) *)
+   P(ne,pr) = ne·base + pr, so pair order = int order — provided base
+   exceeds every reachable progress value.  Both components count
+   *occurrences* in unit_objs.(u), so on a group kernel (fault domains
+   holding up to r replicas per object) they range up to degree(u),
+   which can exceed b (e.g. 2 datacenters with r = 3 give degree
+   ≈ 1.5·b); b+1 is NOT a safe base there, hence base is derived from
+   the largest unit degree.  [newly] is not monotone under set growth
+   (an object two short of s contributes 0 today and 1 after another
+   hit), so a stale exact value is NOT a valid cache — but [progress]
+   never grows (hits only increase while a unit stays unchosen), hence
+   B(pr) = P(pr,pr) ≥ every future exact value of that unit.  The heap
+   therefore stores progress-derived bounds only; each pop pays an
+   exact O(load) re-check, and a round closes only when the best exact
+   value seen cannot be beaten or tied-with-lower-id by any remaining
+   bound.  (B = P forces newly = progress, so the tie test against a
+   bound is exact.) *)
 
 type greedy_stats = { evals : int; heap_pops : int; stale_reevals : int }
 
@@ -171,7 +177,9 @@ let select_greedy t ~picks =
   let n = units t in
   if picks > n - Combin.Bitset.count t.failed then
     invalid_arg "Kernel.select_greedy: more picks than unchosen units";
-  let base = t.b + 1 in
+  let base =
+    1 + Array.fold_left (fun m objs -> max m (Array.length objs)) 0 t.unit_objs
+  in
   let packed ne pr = (ne * base) + pr in
   let heap = Combin.Heap.Int_max.create () in
   let evals = ref 0 and pops = ref 0 and stale = ref 0 in

@@ -78,8 +78,12 @@ let of_domains tree ~level domains ~failed_objects ~exact =
     exact;
   }
 
+(* One-shot scoring: expand the domains to their node set and run the
+   plain O(b·r) merge — no per-call rebuild of the domain incidence.
+   Repeated-eval callers should hold a kernel from {!kernel_of}. *)
 let eval layout ~s tree ~level domains =
-  Placement.Kernel.check (kernel_of layout tree ~level ~s) domains
+  Placement.Layout.failed_objects layout ~s
+    ~failed_nodes:(Failset.nodes tree ~level domains)
 
 let pmap pool f xs =
   match pool with

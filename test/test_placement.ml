@@ -632,6 +632,97 @@ let test_kernel_lazy_greedy_identical =
       let picks, _ = Placement.Kernel.select_greedy kn ~picks:k in
       picks = scan_greedy layout ~s ~k)
 
+(* Group kernel with multiplicity: partition the nodes into fewer
+   domains than r, so a domain holds several replicas of each object and
+   its (newly, progress) counts range up to its degree ≈ r·b/domains — in
+   particular past b.  Regression for the packed-objective base: with
+   base b+1, packed(1, 0) = packed(0, b+1), and the lazy-greedy could
+   prefer a domain with large progress over one that actually kills an
+   object.  The reference is the pre-kernel full rescan over domains. *)
+let scan_greedy_groups ~s ~b groups ~picks =
+  let nu = Array.length groups in
+  let hits = Array.make b 0 in
+  let chosen = Array.make nu false in
+  Array.init picks (fun _ ->
+      let best = ref (-1) and best_ne = ref (-1) and best_pr = ref (-1) in
+      for u = 0 to nu - 1 do
+        if not chosen.(u) then begin
+          let ne = ref 0 and pr = ref 0 in
+          Array.iter
+            (fun obj ->
+              if hits.(obj) + 1 = s then incr ne;
+              if hits.(obj) < s then incr pr)
+            groups.(u);
+          if !ne > !best_ne || (!ne = !best_ne && !pr > !best_pr) then begin
+            best := u;
+            best_ne := !ne;
+            best_pr := !pr
+          end
+        end
+      done;
+      chosen.(!best) <- true;
+      Array.iter (fun obj -> hits.(obj) <- hits.(obj) + 1) groups.(!best);
+      !best)
+
+let test_kernel_group_greedy_identical =
+  qtest ~count:80 "group lazy-greedy = rescan when domains < r"
+    QCheck2.Gen.(
+      let* layout = layout_gen in
+      let* domains = int_range 2 (max 2 (layout.Placement.Layout.r - 1)) in
+      let* s = int_range 1 layout.Placement.Layout.r in
+      let* seed = int_range 0 10000 in
+      return (layout, domains, s, seed))
+    (fun (layout, domains, s, seed) ->
+      let n = layout.Placement.Layout.n in
+      let domains = min domains (n - 1) in
+      let node_objs = Placement.Layout.node_objects layout in
+      let rng = Combin.Rng.create seed in
+      (* Skewed partition: a node permutation split at random cut points,
+         so domain degrees (and hence progress values) vary widely and
+         routinely exceed b; coinciding cuts yield empty domains. *)
+      let perm = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = Combin.Rng.int rng (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      let cuts =
+        Array.init (domains - 1) (fun _ -> 1 + Combin.Rng.int rng (n - 1))
+      in
+      Array.sort compare cuts;
+      let bounds = Array.concat [ [| 0 |]; cuts; [| n |] ] in
+      let groups =
+        Array.init domains (fun d ->
+            Array.concat
+              (List.init
+                 (bounds.(d + 1) - bounds.(d))
+                 (fun i -> node_objs.(perm.(bounds.(d) + i)))))
+      in
+      let b = Placement.Layout.b layout in
+      let picks = 1 + Combin.Rng.int rng (domains - 1) in
+      let kn = Placement.Kernel.of_groups ~s ~b groups in
+      let kernel_picks, _ = Placement.Kernel.select_greedy kn ~picks in
+      kernel_picks = scan_greedy_groups ~s ~b groups ~picks
+      && Placement.Kernel.killed kn
+         = Placement.Kernel.check (Placement.Kernel.of_groups ~s ~b groups)
+             (Combin.Intset.of_array kernel_picks))
+
+(* The misordering pinned exactly: b = 3, s = 2.  Unit 0 wins pick 1 on
+   progress (degree 8) and leaves object 1 one hit short of s.  At pick
+   2 the lex objective prefers unit 1 ((newly 1, progress 1): object 1
+   dies) over unit 2 ((0, 6): six copies of object 0, all below s) —
+   but packing with base b+1 = 4 scores them 5 vs 6 and flips the
+   pick, which is why the base must exceed the largest unit degree. *)
+let test_kernel_group_packed_base () =
+  let groups =
+    [| [| 2; 2; 2; 2; 2; 2; 2; 1 |]; [| 1 |]; [| 0; 0; 0; 0; 0; 0 |] |]
+  in
+  let kn = Placement.Kernel.of_groups ~s:2 ~b:3 groups in
+  let picks, _ = Placement.Kernel.select_greedy kn ~picks:2 in
+  Alcotest.(check (array int)) "lex picks" [| 0; 1 |] picks;
+  Alcotest.(check int) "killed" 2 (Placement.Kernel.killed kn)
+
 let test_kernel_double_add () =
   let layout =
     Placement.Layout.make ~n:4 ~r:2 [| [| 0; 1 |]; [| 2; 3 |]; [| 0; 2 |] |]
@@ -1071,6 +1162,9 @@ let () =
           test_layout_node_objects_memoized;
           test_kernel_incremental_vs_naive;
           test_kernel_lazy_greedy_identical;
+          test_kernel_group_greedy_identical;
+          Alcotest.test_case "packed base > unit degree" `Quick
+            test_kernel_group_packed_base;
           Alcotest.test_case "add/remove guards" `Quick test_kernel_double_add;
         ] );
       ( "codec",
