@@ -531,8 +531,118 @@ let run_kernel_bench ctx fmt =
     (fun () -> output_string oc json);
   Format.fprintf fmt "(appended to %s)@." path
 
+(* ------------------------------------------------------------------ *)
+(* Web-scale greedy scaling sweep: the flat-CSR kernel plus sharded CELF
+   over an n×b grid, one synthetic Random and one spread Simple(x)
+   instance per cell.  The sequential select_greedy is the reference
+   oracle; the sharded path runs over the ctx pool and must reproduce
+   its picks bit-for-bit (shard count is a pure function of the unit
+   count, so this holds at any -j — DESIGN.md §11).  One JSON row with a
+   per-cell array lands in BENCH_adversary.json; check.sh hard-fails on
+   any pick mismatch and warns when the largest cell's speedup drops
+   below the nominal floor.  Peak RSS (VmHWM, monotone within the
+   process) is recorded per cell and for the sweep. *)
+
+let run_scaling ctx fmt =
+  let grid =
+    if ctx.quick then [ (500, 10_000); (2_000, 50_000) ]
+    else [ (1_000, 50_000); (4_000, 250_000); (10_000, 1_000_000) ]
+  in
+  let picks = 16 and r = 3 and s = 2 in
+  let sts = Designs.Steiner_triple.make 69 in
+  let rss () =
+    match Telemetry.Resource.peak_rss_kb () with Some kb -> kb | None -> 0
+  in
+  let cells = ref [] in
+  let all_identical = ref true in
+  let last_speedup = ref 0.0 and last_label = ref "" in
+  List.iter
+    (fun (n, b) ->
+      let families =
+        [
+          ( "random",
+            fun () ->
+              let params = Placement.Params.make ~b ~r ~s ~n ~k:picks in
+              Placement.Random_placement.place
+                ~rng:(Combin.Rng.create 0x5CA1E) params );
+          ( "simple",
+            fun () ->
+              (Placement.Simple.of_design ~spread:true sts ~n ~b)
+                .Placement.Simple.layout );
+        ]
+      in
+      List.iter
+        (fun (family, build) ->
+          let layout = build () in
+          let kn0 = Placement.Kernel.make layout ~s in
+          (* Touch the kernel once so the shared CSR build and the page
+             faults of the fresh planes are billed to neither arm. *)
+          ignore (Placement.Kernel.marginal kn0 0);
+          let (picks_seq, stats_seq), wall_j1 =
+            wall (fun () ->
+                Placement.Kernel.select_greedy (Placement.Kernel.copy kn0)
+                  ~picks)
+          in
+          let (picks_par, stats_par), wall_jn =
+            wall (fun () ->
+                Placement.Kernel.select_greedy_sharded ?pool:ctx.pool
+                  (Placement.Kernel.copy kn0) ~picks)
+          in
+          let identical = picks_seq = picks_par in
+          if not identical then all_identical := false;
+          let speedup = if wall_jn > 0.0 then wall_j1 /. wall_jn else 0.0 in
+          last_speedup := speedup;
+          last_label := Printf.sprintf "%s_%dx%d" family n b;
+          let ns_per_eval =
+            if stats_seq.Placement.Kernel.evals > 0 then
+              wall_j1 *. 1e9 /. float_of_int stats_seq.Placement.Kernel.evals
+            else 0.0
+          in
+          let cell_rss = rss () in
+          Format.fprintf fmt
+            "greedy %s n=%d b=%d (%d picks): %.3fs seq, %.3fs sharded at \
+             -j%d (speedup %.2fx, %.0f ns/eval, %d heap pops, picks %s, \
+             peak RSS %d kB)@."
+            family n b picks wall_j1 wall_jn ctx.jobs speedup ns_per_eval
+            stats_par.Placement.Kernel.heap_pops
+            (if identical then "identical" else "DIFFER")
+            cell_rss;
+          cells :=
+            Printf.sprintf
+              "{\"family\": \"%s\", \"n\": %d, \"b\": %d, \"picks\": %d, \
+               \"wall_s_j1\": %.6f, \"wall_s_jn\": %.6f, \"speedup\": %.4f, \
+               \"ns_per_eval_j1\": %.1f, \"evals_j1\": %d, \"evals_jn\": %d, \
+               \"heap_pops_j1\": %d, \"heap_pops_jn\": %d, \
+               \"stale_reevals_jn\": %d, \"identical\": %b, \
+               \"peak_rss_kb\": %d}"
+              family n b picks wall_j1 wall_jn speedup ns_per_eval
+              stats_seq.Placement.Kernel.evals stats_par.Placement.Kernel.evals
+              stats_seq.Placement.Kernel.heap_pops
+              stats_par.Placement.Kernel.heap_pops
+              stats_par.Placement.Kernel.stale_reevals identical cell_rss
+            :: !cells)
+        families)
+    grid;
+  let json =
+    Printf.sprintf
+      "{\"op\": \"adversary_scaling_sweep\", \"jobs\": %d, \"quick\": %b, \
+       \"picks\": %d, \"identical_all\": %b, \"largest_cell\": \"%s\", \
+       \"largest_cell_speedup\": %.4f, \"peak_rss_kb\": %d, \"cells\": [%s]}\n"
+      ctx.jobs ctx.quick picks !all_identical !last_label !last_speedup
+      (rss ())
+      (String.concat ", " (List.rev !cells))
+  in
+  let dir = match ctx.out with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_adversary.json" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Format.fprintf fmt "(appended to %s)@." path
+
 let run_perf ctx fmt =
   run_adversary_scaling ctx fmt;
+  run_scaling ctx fmt;
   run_kernel_bench ctx fmt;
   run_analysis_caching ctx fmt;
   run_topology_scaling ctx fmt;
@@ -568,6 +678,8 @@ let artefacts : (string * string * (ctx -> Format.formatter -> unit)) list =
     ( "domain-grid", "Domain grid: node vs rack adversary",
       fun ctx fmt -> Experiments.Domain_grid.print ?pool:ctx.pool fmt );
     ("perf", "Perf (scaling + Bechamel micro-benchmarks)", run_perf);
+    ( "scaling", "Adversary scaling sweep (n×b grid, CSR + sharded CELF)",
+      run_scaling );
   ]
 
 let run_one ctx (name, title, print) =

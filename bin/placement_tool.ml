@@ -184,6 +184,9 @@ let with_telemetry ~metrics ~trace f =
       if trace <> None then Telemetry.Control.set_tracing true;
       Fun.protect
         ~finally:(fun () ->
+          (* Gauges no-op once telemetry is off, so the resource sample
+             must land before the switch. *)
+          Telemetry.Resource.sample ();
           Telemetry.Control.set_enabled false;
           Telemetry.Control.set_tracing false;
           (match metrics with
@@ -201,6 +204,38 @@ let with_telemetry ~metrics ~trace f =
               write_doc path
                 (Telemetry.Json.to_string (Telemetry.Export.trace_json ()) ^ "\n"))
         f
+
+(* --random N,B,R,SEED: a synthetic load-balanced Random instance, the
+   scaling workhorse — attack and analyze accept it in place of a layout
+   file or explicit -n/-b, so large instances need no on-disk export. *)
+
+let random_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "random" ] ~docv:"N,B,R,SEED"
+        ~doc:
+          "Generate a synthetic load-balanced Random placement of $(docv) \
+           (nodes, objects, replicas, PRNG seed) and run on it instead of a \
+           layout file or an explicit instance.")
+
+let parse_random spec =
+  match List.map String.trim (String.split_on_char ',' spec) with
+  | [ n; b; r; seed ] -> (
+      match
+        ( int_of_string_opt n,
+          int_of_string_opt b,
+          int_of_string_opt r,
+          int_of_string_opt seed )
+      with
+      | Some n, Some b, Some r, Some seed -> Ok (n, b, r, seed)
+      | _ ->
+          Error
+            (Printf.sprintf "--random %s: all four fields must be integers" spec))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "--random %s: expected four comma-separated fields N,B,R,SEED" spec)
 
 (* --strategy NAME, resolved through the registry; unknown names list the
    registered strategies. *)
@@ -462,10 +497,56 @@ let plan_cmd =
 (* analyze *)
 
 let analyze_cmd =
-  let run (p : Placement.Params.t) topo level_name fail_domains spread
+  let n_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let b_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "b"; "objects" ] ~docv:"B" ~doc:"Number of objects.")
+  in
+  let run n b r s k random topo level_name fail_domains spread
       (module S : Placement.Strategy.S) json metrics trace =
     setup_logs ();
     with_telemetry ~metrics ~trace @@ fun () ->
+    (* --random supplies (n, b, r) and additionally materializes one
+       seeded instance so the analytic prAvail can be read next to a
+       realized greedy attack. *)
+    let p, synth_seed =
+      match random with
+      | Some spec -> (
+          match parse_random spec with
+          | Error msg -> die msg
+          | Ok (rn, rb, rr, rseed) -> (
+              if n <> None || b <> None then
+                die "--random carries its own N and B; drop -n/-b";
+              match validate_params ~n:rn ~b:rb ~r:rr ~s ~k with
+              | Error msg -> die ("invalid parameters: " ^ msg)
+              | Ok p -> (p, Some rseed)))
+      | None -> (
+          match (n, b) with
+          | Some n, Some b -> (
+              match validate_params ~n ~b ~r ~s ~k with
+              | Error msg -> die ("invalid parameters: " ^ msg)
+              | Ok p -> (p, None))
+          | _ -> die "analyze needs -n and -b (or --random N,B,R,SEED)")
+    in
+    let synth =
+      Option.map
+        (fun seed ->
+          let rng = Combin.Rng.create seed in
+          let layout = Placement.Random_placement.place ~rng p in
+          let atk =
+            Placement.Adversary.greedy layout ~s:p.Placement.Params.s
+              ~k:p.Placement.Params.k
+          in
+          (seed, layout, atk))
+        synth_seed
+    in
     let topo_ctx =
       resolve_topology ~n:p.Placement.Params.n topo level_name fail_domains
         spread
@@ -484,6 +565,25 @@ let analyze_cmd =
               Telemetry.Json.Bool (Placement.Instance.exact_attack_affordable inst) );
             ("attack_cost", Telemetry.Json.Float (Placement.Instance.attack_cost inst));
           ]
+        @ (match synth with
+          | None -> []
+          | Some (seed, layout, atk) ->
+              [
+                ( "synthetic",
+                  Telemetry.Json.Obj
+                    [
+                      ("seed", Telemetry.Json.Int seed);
+                      ( "max_load",
+                        Telemetry.Json.Int (Placement.Layout.max_load layout) );
+                      ( "greedy_failed_objects",
+                        Telemetry.Json.Int
+                          atk.Placement.Adversary.failed_objects );
+                      ( "greedy_available",
+                        Telemetry.Json.Int
+                          (Placement.Adversary.avail layout
+                             ~s:p.Placement.Params.s atk) );
+                    ] );
+              ])
         @
         match topo_ctx with
         | None -> []
@@ -496,7 +596,18 @@ let analyze_cmd =
       in
       print_envelope ~command:"analyze" (Telemetry.Json.Obj fields)
     end
-    else if S.name = "random" then begin
+    else begin
+      let print_synth () =
+        match synth with
+        | None -> ()
+        | Some (seed, layout, atk) ->
+            Fmt.pr "  synthetic instance (seed %d): max load %d@." seed
+              (Placement.Layout.max_load layout);
+            Fmt.pr "  greedy attack on it leaves: %d / %d@."
+              (Placement.Adversary.avail layout ~s:p.Placement.Params.s atk)
+              p.Placement.Params.b
+      in
+      if S.name = "random" then begin
       let rnd = Placement.Instance.rnd_report inst in
       Fmt.pr "Worst-case analysis of load-balanced Random placement@.";
       Fmt.pr "  parameters: %a@." Placement.Params.pp p;
@@ -508,6 +619,7 @@ let analyze_cmd =
       (match rnd.Placement.Random_analysis.lemma4_upper with
       | Some u -> Fmt.pr "  Lemma 4 upper bound (s = 1): %.1f@." u
       | None -> ());
+      print_synth ();
       match topo_ctx with
       | None -> ()
       | Some (tree, level, j) -> ignore (print_domain_bound p tree ~level ~j)
@@ -530,17 +642,19 @@ let analyze_cmd =
       Fmt.pr "  exact adversary affordable: %b (estimated work %.3g)@."
         (Placement.Instance.exact_attack_affordable inst)
         (Placement.Instance.attack_cost inst);
+      print_synth ();
       match topo_ctx with
       | None -> ()
       | Some (tree, level, j) -> ignore (print_domain_bound p tree ~level ~j)
+    end
     end
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Worst-case availability analysis of a strategy.")
     Term.(
-      const run $ params_term $ topology_term $ domain_level_arg
-      $ fail_domains_arg $ spread_arg $ strategy_term ~default:"random"
-      $ json_flag $ metrics_arg $ trace_arg)
+      const run $ n_opt $ b_opt $ r_arg $ s_arg $ k_arg $ random_arg
+      $ topology_term $ domain_level_arg $ fail_domains_arg $ spread_arg
+      $ strategy_term ~default:"random" $ json_flag $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* designs *)
@@ -652,8 +766,8 @@ let attack_cmd =
   let k_only =
     Arg.(value & opt int 2 & info [ "k"; "failures" ] ~docv:"K" ~doc:"Nodes to fail.")
   in
-  let run file strategy n b r seed s k topo level_name fail_domains spread jobs
-      json metrics trace =
+  let run file strategy random n b r seed s k topo level_name fail_domains
+      spread jobs json metrics trace =
     setup_logs ();
     with_telemetry ~metrics ~trace @@ fun () ->
     (* The spread strategies need the ambient configuration installed
@@ -662,14 +776,30 @@ let attack_cmd =
       resolve_topology ~n topo level_name fail_domains spread
     in
     let source, layout, topo_ctx =
-      match (file, strategy) with
-      | Some _, Some _ -> die "pass either --layout or --strategy, not both"
-      | None, None -> die "one of --layout FILE or --strategy NAME is required"
-      | Some file, None -> (
+      match (file, strategy, random) with
+      | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+          die "pass only one of --layout, --strategy and --random"
+      | None, None, None ->
+          die "one of --layout FILE, --strategy NAME or --random N,B,R,SEED is required"
+      | _, _, Some spec -> (
+          match parse_random spec with
+          | Error msg -> die msg
+          | Ok (rn, rb, rr, rseed) -> (
+              if n <> None || b <> None then
+                die "--random carries its own N and B; drop -n/-b";
+              match validate_params ~n:rn ~b:rb ~r:rr ~s ~k with
+              | Error msg -> die ("invalid parameters: " ^ msg)
+              | Ok p ->
+                  let ctx = resolve p.Placement.Params.n in
+                  let rng = Combin.Rng.create rseed in
+                  let layout = Placement.Random_placement.place ~rng p in
+                  ( Printf.sprintf "a synthetic random instance (seed %d)" rseed,
+                    layout, ctx )))
+      | Some file, None, None -> (
           match Placement.Codec.load file with
           | Error msg -> die (Printf.sprintf "cannot load %s: %s" file msg)
           | Ok layout -> (file, layout, resolve layout.Placement.Layout.n))
-      | None, Some name -> (
+      | None, Some name, None -> (
           let (module S) =
             match Placement.Strategies.find name with
             | Some s -> s
@@ -727,11 +857,15 @@ let attack_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "attack" ~doc:"Attack a layout exported with simulate --out, or a strategy.")
+    (Cmd.info "attack"
+       ~doc:
+         "Attack a layout exported with simulate --out, a strategy, or a \
+          synthetic --random instance.")
     Term.(
-      const run $ file_arg $ strategy_opt_arg $ n_opt $ b_opt $ r_only $ seed_arg
-      $ s_only $ k_only $ topology_term $ domain_level_arg $ fail_domains_arg
-      $ spread_arg $ jobs_term $ json_flag $ metrics_arg $ trace_arg)
+      const run $ file_arg $ strategy_opt_arg $ random_arg $ n_opt $ b_opt
+      $ r_only $ seed_arg $ s_only $ k_only $ topology_term $ domain_level_arg
+      $ fail_domains_arg $ spread_arg $ jobs_term $ json_flag $ metrics_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)

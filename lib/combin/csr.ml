@@ -1,0 +1,112 @@
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : buf;
+  entries : buf;
+  max_degree : int;
+}
+
+let alloc len = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len
+
+let finish ~rows ~cols row_ptr entries =
+  let max_degree = ref 0 in
+  for u = 0 to rows - 1 do
+    let d = row_ptr.{u + 1} - row_ptr.{u} in
+    if d > !max_degree then max_degree := d
+  done;
+  { rows; cols; row_ptr; entries; max_degree = !max_degree }
+
+let of_arrays ~cols arr =
+  let rows = Array.length arr in
+  let row_ptr = alloc (rows + 1) in
+  row_ptr.{0} <- 0;
+  Array.iteri (fun u r -> row_ptr.{u + 1} <- row_ptr.{u} + Array.length r) arr;
+  let entries = alloc row_ptr.{rows} in
+  Array.iteri
+    (fun u r ->
+      let base = row_ptr.{u} in
+      Array.iteri
+        (fun i c ->
+          if c < 0 || c >= cols then invalid_arg "Csr.of_arrays: entry out of range";
+          entries.{base + i} <- c)
+        r)
+    arr;
+  finish ~rows ~cols row_ptr entries
+
+let invert ~rows sets =
+  let cols = Array.length sets in
+  (* Counting sort: degree pass, prefix sums, fill pass.  The fill
+     cursor reuses the offsets array shifted by one so the build needs
+     no extra O(rows) scratch. *)
+  let row_ptr = alloc (rows + 1) in
+  Bigarray.Array1.fill row_ptr 0;
+  Array.iter
+    (Array.iter (fun u ->
+         if u < 0 || u >= rows then invalid_arg "Csr.invert: member out of range";
+         row_ptr.{u + 1} <- row_ptr.{u + 1} + 1))
+    sets;
+  for u = 0 to rows - 1 do
+    row_ptr.{u + 1} <- row_ptr.{u + 1} + row_ptr.{u}
+  done;
+  let entries = alloc row_ptr.{rows} in
+  let fill = Array.make rows 0 in
+  Array.iteri
+    (fun i set ->
+      Array.iter
+        (fun u ->
+          entries.{row_ptr.{u} + fill.(u)} <- i;
+          fill.(u) <- fill.(u) + 1)
+        set)
+    sets;
+  finish ~rows ~cols row_ptr entries
+
+let group t members =
+  let rows = Array.length members in
+  let row_ptr = alloc (rows + 1) in
+  row_ptr.{0} <- 0;
+  Array.iteri
+    (fun g ms ->
+      let len = ref 0 in
+      Array.iter
+        (fun u ->
+          if u < 0 || u >= t.rows then invalid_arg "Csr.group: member out of range";
+          len := !len + (t.row_ptr.{u + 1} - t.row_ptr.{u}))
+        ms;
+      row_ptr.{g + 1} <- row_ptr.{g} + !len)
+    members;
+  let entries = alloc row_ptr.{rows} in
+  Array.iteri
+    (fun g ms ->
+      let cursor = ref row_ptr.{g} in
+      Array.iter
+        (fun u ->
+          let lo = t.row_ptr.{u} and hi = t.row_ptr.{u + 1} in
+          if hi > lo then begin
+            Bigarray.Array1.blit
+              (Bigarray.Array1.sub t.entries lo (hi - lo))
+              (Bigarray.Array1.sub entries !cursor (hi - lo));
+            cursor := !cursor + (hi - lo)
+          end)
+        ms)
+    members;
+  finish ~rows ~cols:t.cols row_ptr entries
+
+let rows t = t.rows
+let cols t = t.cols
+let degree t u = t.row_ptr.{u + 1} - t.row_ptr.{u}
+let max_degree t = t.max_degree
+let entries_total t = t.row_ptr.{t.rows}
+
+let iter_row t u f =
+  for i = t.row_ptr.{u} to t.row_ptr.{u + 1} - 1 do
+    f t.entries.{i}
+  done
+
+let row t u =
+  let lo = t.row_ptr.{u} in
+  Array.init (degree t u) (fun i -> t.entries.{lo + i})
+
+let memory_bytes t =
+  8 * (Bigarray.Array1.dim t.row_ptr + Bigarray.Array1.dim t.entries)

@@ -1,0 +1,66 @@
+(** Flat CSR (compressed sparse row) incidence matrices over [Bigarray].
+
+    A CSR value stores a ragged [rows × cols] incidence — row [u] is a
+    list of column ids, duplicates allowed, one entry per incidence —
+    as two flat native-int bigarrays: an offsets array [row_ptr] of
+    length [rows + 1] and an entries array of length
+    [row_ptr.(rows)].  Compared to the boxed [int array array] it
+    replaces in the attack kernel ({!Placement.Kernel}), the flat form
+    has no per-row headers or pointer indirection, scans rows with unit
+    stride, lives outside the OCaml heap (never scanned by the GC, safe
+    to share across domains), and is immutable after construction —
+    one build is shared untouched by every kernel copy and every
+    branch-and-bound branch.
+
+    Rows are attack units (nodes or fault domains), columns are
+    objects; entries of row [u] list the objects with a replica on
+    unit [u], in object order for {!invert} (ascending) and in input
+    order otherwise. *)
+
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = private {
+  rows : int;
+  cols : int;
+  row_ptr : buf;  (** length [rows + 1]; row [u] is [row_ptr.(u) .. row_ptr.(u+1) - 1] *)
+  entries : buf;  (** length [row_ptr.(rows)]; column ids in [0, cols) *)
+  max_degree : int;  (** largest row length (0 for an empty matrix) *)
+}
+
+val of_arrays : cols:int -> int array array -> t
+(** Pack a boxed ragged array; row order and within-row entry order are
+    preserved.  @raise Invalid_argument on an entry outside [0, cols). *)
+
+val invert : rows:int -> int array array -> t
+(** [invert ~rows sets] is the transposed incidence: row [u] of the
+    result lists every index [i] with [u ∈ sets.(i)], in ascending [i]
+    (an occurrence per appearance, so duplicate members of one set
+    yield duplicate entries).  This is the one-pass counting-sort
+    build of the node → objects index used by {!Placement.Kernel},
+    going straight from the replica table to the flat form without
+    materializing a boxed intermediate.
+    @raise Invalid_argument on a member outside [0, rows). *)
+
+val group : t -> int array array -> t
+(** [group t members] regroups rows: row [g] of the result is the
+    concatenation of [t]'s rows [members.(g)], in member order — how
+    the fault-domain kernel derives a domain-level incidence from the
+    node-level one without touching the boxed index.
+    @raise Invalid_argument on a member outside [0, rows t). *)
+
+val rows : t -> int
+val cols : t -> int
+val degree : t -> int -> int
+val max_degree : t -> int
+
+val entries_total : t -> int
+(** Total entry count, [row_ptr.(rows)]. *)
+
+val iter_row : t -> int -> (int -> unit) -> unit
+(** Apply to every entry of one row, in storage order. *)
+
+val row : t -> int -> int array
+(** One row as a fresh boxed array (tests and cold paths only). *)
+
+val memory_bytes : t -> int
+(** Off-heap footprint of the two bigarrays, in bytes. *)

@@ -36,6 +36,16 @@ module Int_max : sig
   val push : t -> key:int -> int -> unit
   (** [push h ~key payload]. *)
 
+  val push_many : t -> keys:int array -> payloads:int array -> count:int -> unit
+  (** Insert the first [count] entries of [keys]/[payloads] in one
+      batch: bulk append plus a bottom-up (Floyd) heapify, O(size +
+      count) against O(count·log size) for repeated {!push}; small
+      batches fall back to repeated pushes when that is cheaper.  The heap
+      order is a strict total order, so the subsequent pop sequence is
+      identical to pushing one at a time.  Backs the CELF greedy's
+      per-round loser re-push ({!Placement.Kernel.select_greedy}).
+      @raise Invalid_argument if [count] exceeds either array. *)
+
   val pop : t -> (int * int) option
   (** Remove and return the maximum entry as [(key, payload)]; among
       equal keys the smallest payload is returned first. *)

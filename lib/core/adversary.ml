@@ -53,9 +53,9 @@ let pmap pool f xs =
   | Some p -> Engine.Pool.parallel_map p f xs
   | None -> Array.map f xs
 
-let greedy layout ~s ~k =
+let greedy ?pool layout ~s ~k =
   let kn = Kernel.make layout ~s in
-  let picks, stats = Kernel.select_greedy kn ~picks:k in
+  let picks, stats = Kernel.select_greedy_sharded ?pool kn ~picks:k in
   Telemetry.Counter.incr m_greedy_runs;
   Telemetry.Counter.add m_greedy_evals stats.Kernel.evals;
   Telemetry.Counter.add m_kernel_pops stats.Kernel.heap_pops;
@@ -75,16 +75,40 @@ let exact ?(budget = 50_000_000) ?pool layout ~s ~k =
     let kn0 = Kernel.make layout ~s in
     let degrees = Array.init n (Kernel.degree kn0) in
     (* top_deg.(start).(m): sum of the m largest degrees among nodes with id
-       >= start — an upper bound on additional damage from m more picks. *)
+       >= start — an upper bound on additional damage from m more picks.
+       Built by one suffix sweep that maintains the k largest degrees seen
+       so far in a sorted scratch row (insertion is O(k)), for O(n·k) total
+       against the O(n²·log n) of sorting every suffix; only the top k of a
+       suffix ever enter a bound, so the values are identical. *)
     let top_deg =
-      Array.init (n + 1) (fun start ->
-          let suffix = Array.sub degrees start (n - start) in
-          Array.sort (fun a b -> compare b a) suffix;
-          let acc = Array.make (k + 1) 0 in
-          for m = 1 to k do
-            acc.(m) <- acc.(m - 1) + (if m - 1 < Array.length suffix then suffix.(m - 1) else 0)
+      let acc = Array.make_matrix (n + 1) (k + 1) 0 in
+      let top = Array.make k 0 in
+      let top_len = ref 0 in
+      for start = n - 1 downto 0 do
+        let d = degrees.(start) in
+        if !top_len < k then begin
+          let i = ref !top_len in
+          while !i > 0 && top.(!i - 1) < d do
+            top.(!i) <- top.(!i - 1);
+            decr i
           done;
-          acc)
+          top.(!i) <- d;
+          incr top_len
+        end
+        else if k > 0 && d > top.(k - 1) then begin
+          let i = ref (k - 1) in
+          while !i > 0 && top.(!i - 1) < d do
+            top.(!i) <- top.(!i - 1);
+            decr i
+          done;
+          top.(!i) <- d
+        end;
+        let row = acc.(start) in
+        for m = 1 to k do
+          row.(m) <- row.(m - 1) + (if m - 1 < !top_len then top.(m - 1) else 0)
+        done
+      done;
+      acc
     in
     (* The greedy attack seeds the incumbent: every branch prunes against a
        real attack from the first node visited, and a truncated search still
@@ -92,7 +116,7 @@ let exact ?(budget = 50_000_000) ?pool layout ~s ~k =
        read once here, before dispatch — branches publish improvements but
        never re-read it, so pruning is identical at every [-j] (see
        DESIGN.md §2 on the determinism discipline). *)
-    let g = greedy layout ~s ~k in
+    let g = greedy ?pool layout ~s ~k in
     let incumbent = Engine.Bound.create g.failed_objects in
     let seed_bound = Engine.Bound.get incumbent in
     (* Parallelize over the top-level first-node choices; each branch owns

@@ -36,13 +36,17 @@ val exact : ?budget:int -> ?pool:Engine.Pool.t -> Layout.t -> s:int -> k:int -> 
     result has [exact = false] but still carries the best set found,
     which is never worse than greedy's. *)
 
-val greedy : Layout.t -> s:int -> k:int -> attack
+val greedy : ?pool:Engine.Pool.t -> Layout.t -> s:int -> k:int -> attack
 (** Add the node with the best marginal damage k times; ties broken by
     progress toward failing objects, then by lowest node id.  Runs as
-    CELF lazy-greedy over the attack kernel ({!Kernel.select_greedy}):
-    candidates sit in a bound-keyed heap and are re-checked exactly at
-    pop, so the chosen nodes are bit-identical to a full rescan per
-    pick while touching far fewer marginals on large instances. *)
+    sharded CELF lazy-greedy over the attack kernel
+    ({!Kernel.select_greedy_sharded}): candidates sit in bound-keyed
+    heaps partitioned by node id, each shard re-checks its popped
+    candidates exactly, and the per-pick reduce applies the sequential
+    scan's own total order — so the chosen nodes AND the search
+    statistics are bit-identical to a full rescan per pick, at any
+    [pool] size, while touching far fewer marginals on large
+    instances. *)
 
 val local_search :
   rng:Combin.Rng.t -> ?restarts:int -> ?pool:Engine.Pool.t ->

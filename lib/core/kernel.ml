@@ -5,12 +5,15 @@ type incidence =
          with two replicas of it): popcounts would undercount hits *)
   | Bitsets of Combin.Bitset.t array  (* object -> units hosting it *)
 
+type hits_plane =
+  (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   s : int;
   b : int;
-  unit_objs : int array array;  (* shared incidence: unit -> replicas *)
-  mutable incidence : incidence;
-  hits : int array;
+  csr : Combin.Csr.t;  (* shared flat incidence: unit -> replicas *)
+  inc : incidence ref;  (* lazy bitset cache, shared across copies *)
+  hits : hits_plane;  (* per-object failed-replica counters *)
   failed : Combin.Bitset.t;
   mutable killed : int;
   mutable updates : int;
@@ -19,105 +22,153 @@ type t = {
 (* Built on first use: the incremental paths (add/remove/marginal and
    select_greedy) never touch the bitsets, so greedy-only callers skip
    the O(b·units/63) allocation entirely.  Duplicate detection is fused
-   into the build — a second occurrence of (obj, u) sees its bit set. *)
+   into the build — a second occurrence of (obj, u) sees its bit set.
+   The cache cell is shared by every copy, so one build serves all
+   branches of a search. *)
 let incidence t =
-  match t.incidence with
+  match !(t.inc) with
   | (Multiplicity | Bitsets _) as inc -> inc
   | Unknown ->
-      let units = Array.length t.unit_objs in
+      let units = Combin.Csr.rows t.csr in
       let out = Array.init t.b (fun _ -> Combin.Bitset.create units) in
       let inc =
         try
-          Array.iteri
-            (fun u objs ->
-              Array.iter
-                (fun obj ->
-                  if Combin.Bitset.mem out.(obj) u then raise Exit;
-                  Combin.Bitset.add out.(obj) u)
-                objs)
-            t.unit_objs;
+          for u = 0 to units - 1 do
+            Combin.Csr.iter_row t.csr u (fun obj ->
+                if Combin.Bitset.mem out.(obj) u then raise Exit;
+                Combin.Bitset.add out.(obj) u)
+          done;
           Bitsets out
         with Exit -> Multiplicity
       in
-      t.incidence <- inc;
+      t.inc := inc;
       inc
 
-let of_groups ~s ~b groups =
+let fresh_hits b =
+  let h = Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout b in
+  Bigarray.Array1.fill h 0;
+  h
+
+let of_csr ~s csr =
   {
     s;
-    b;
-    unit_objs = groups;
-    incidence = Unknown;
-    hits = Array.make b 0;
-    failed = Combin.Bitset.create (Array.length groups);
+    b = Combin.Csr.cols csr;
+    csr;
+    inc = ref Unknown;
+    hits = fresh_hits (Combin.Csr.cols csr);
+    failed = Combin.Bitset.create (Combin.Csr.rows csr);
     (* s <= 0 kills every object unconditionally, matching
        Layout.failed_objects' >= s count. *)
-    killed = (if s <= 0 then b else 0);
+    killed = (if s <= 0 then Combin.Csr.cols csr else 0);
     updates = 0;
   }
 
-let make layout ~s =
-  of_groups ~s ~b:(Layout.b layout) (Layout.node_objects layout)
+let of_groups ~s ~b groups = of_csr ~s (Combin.Csr.of_arrays ~cols:b groups)
+let make layout ~s = of_csr ~s (Layout.incidence layout)
 
+(* An exact duplicate of the current attack state: the counter plane is
+   one blit, the incidence is shared untouched.  Copying an all-up
+   kernel (the only use in-tree) therefore yields an all-up kernel, as
+   the pre-CSR copy did. *)
 let copy t =
-  {
-    t with
-    hits = Array.make t.b 0;
-    failed = Combin.Bitset.create (Array.length t.unit_objs);
-    killed = (if t.s <= 0 then t.b else 0);
-    updates = 0;
-  }
+  let hits = fresh_hits t.b in
+  Bigarray.Array1.blit t.hits hits;
+  { t with hits; failed = Combin.Bitset.copy t.failed; updates = 0 }
 
 let reset t =
-  Array.fill t.hits 0 t.b 0;
+  Bigarray.Array1.fill t.hits 0;
   Combin.Bitset.clear t.failed;
   t.killed <- (if t.s <= 0 then t.b else 0)
 
-let units t = Array.length t.unit_objs
+let units t = Combin.Csr.rows t.csr
 let objects t = t.b
 let threshold t = t.s
-let degree t u = Array.length t.unit_objs.(u)
+let csr t = t.csr
 let killed t = t.killed
-let hits t obj = t.hits.(obj)
+let hits t obj = t.hits.{obj}
 let failed_units t = Combin.Bitset.to_array t.failed
 let updates t = t.updates
 
+let check_unit t u name =
+  if u < 0 || u >= units t then
+    invalid_arg (Printf.sprintf "Kernel.%s: unit %d out of range" name u)
+
+let degree t u =
+  check_unit t u "degree";
+  Combin.Csr.degree t.csr u
+
 let add t u =
+  check_unit t u "add";
   if Combin.Bitset.mem t.failed u then
     invalid_arg "Kernel.add: unit already failed";
   Combin.Bitset.add t.failed u;
   t.updates <- t.updates + 1;
   let hits = t.hits and s = t.s in
-  Array.iter
-    (fun obj ->
-      let h = hits.(obj) + 1 in
-      hits.(obj) <- h;
-      if h = s then t.killed <- t.killed + 1)
-    t.unit_objs.(u)
+  let row = t.csr.Combin.Csr.row_ptr and ents = t.csr.Combin.Csr.entries in
+  let lo = Bigarray.Array1.unsafe_get row u
+  and hi = Bigarray.Array1.unsafe_get row (u + 1) in
+  let killed = ref t.killed in
+  for i = lo to hi - 1 do
+    let obj = Bigarray.Array1.unsafe_get ents i in
+    let h = Bigarray.Array1.unsafe_get hits obj + 1 in
+    Bigarray.Array1.unsafe_set hits obj h;
+    if h = s then incr killed
+  done;
+  t.killed <- !killed
 
 let remove t u =
+  check_unit t u "remove";
   if not (Combin.Bitset.mem t.failed u) then
     invalid_arg "Kernel.remove: unit not failed";
   Combin.Bitset.remove t.failed u;
   t.updates <- t.updates + 1;
   let hits = t.hits and s = t.s in
-  Array.iter
-    (fun obj ->
-      let h = hits.(obj) in
-      if h = s then t.killed <- t.killed - 1;
-      hits.(obj) <- h - 1)
-    t.unit_objs.(u)
+  let row = t.csr.Combin.Csr.row_ptr and ents = t.csr.Combin.Csr.entries in
+  let lo = Bigarray.Array1.unsafe_get row u
+  and hi = Bigarray.Array1.unsafe_get row (u + 1) in
+  let killed = ref t.killed in
+  for i = lo to hi - 1 do
+    let obj = Bigarray.Array1.unsafe_get ents i in
+    let h = Bigarray.Array1.unsafe_get hits obj in
+    if h = s then decr killed;
+    Bigarray.Array1.unsafe_set hits obj (h - 1)
+  done;
+  t.killed <- !killed
 
 let marginal t u =
+  check_unit t u "marginal";
   let newly = ref 0 and progress = ref 0 in
   let hits = t.hits and s = t.s in
-  Array.iter
-    (fun obj ->
-      let h = hits.(obj) in
-      if h + 1 = s then incr newly;
-      if h < s then incr progress)
-    t.unit_objs.(u);
+  let row = t.csr.Combin.Csr.row_ptr and ents = t.csr.Combin.Csr.entries in
+  let lo = Bigarray.Array1.unsafe_get row u
+  and hi = Bigarray.Array1.unsafe_get row (u + 1) in
+  for i = lo to hi - 1 do
+    let h =
+      Bigarray.Array1.unsafe_get hits (Bigarray.Array1.unsafe_get ents i)
+    in
+    if h + 1 = s then incr newly;
+    if h < s then incr progress
+  done;
   (!newly, !progress)
+
+(* Multiplicity-bearing (or forced) evaluation: one scratch counter pass
+   over the rows of the set.  O(b) scratch, one-shot callers only. *)
+let scratch_count t set =
+  let counts = Array.make t.b 0 in
+  let dead = ref 0 in
+  Array.iter
+    (fun u ->
+      Combin.Csr.iter_row t.csr u (fun obj ->
+          let h = counts.(obj) + 1 in
+          counts.(obj) <- h;
+          if h = t.s then incr dead))
+    set;
+  !dead
+
+let check_scratch t set =
+  if not (Combin.Intset.is_sorted_distinct set) then
+    invalid_arg "Kernel.check_scratch: unit set not sorted/distinct";
+  if t.s <= 0 then t.b else scratch_count t set
 
 let check t set =
   if not (Combin.Intset.is_sorted_distinct set) then
@@ -134,20 +185,7 @@ let check t set =
             if Combin.Bitset.inter_count hosts fail >= t.s then incr dead)
           obj_units;
         !dead
-    | Unknown | Multiplicity ->
-        (* Multiplicity-bearing incidence: one scratch counter pass. *)
-        let counts = Array.make t.b 0 in
-        let dead = ref 0 in
-        Array.iter
-          (fun u ->
-            Array.iter
-              (fun obj ->
-                let h = counts.(obj) + 1 in
-                counts.(obj) <- h;
-                if h = t.s then incr dead)
-              t.unit_objs.(u))
-          set;
-        !dead
+    | Unknown | Multiplicity -> scratch_count t set
 
 (* ------------------------------------------------------------------ *)
 (* CELF lazy-greedy selection.
@@ -156,30 +194,92 @@ let check t set =
    ties to the lowest unit id.  Pack it into one int,
    P(ne,pr) = ne·base + pr, so pair order = int order — provided base
    exceeds every reachable progress value.  Both components count
-   *occurrences* in unit_objs.(u), so on a group kernel (fault domains
-   holding up to r replicas per object) they range up to degree(u),
-   which can exceed b (e.g. 2 datacenters with r = 3 give degree
-   ≈ 1.5·b); b+1 is NOT a safe base there, hence base is derived from
-   the largest unit degree.  [newly] is not monotone under set growth
-   (an object two short of s contributes 0 today and 1 after another
-   hit), so a stale exact value is NOT a valid cache — but [progress]
-   never grows (hits only increase while a unit stays unchosen), hence
-   B(pr) = P(pr,pr) ≥ every future exact value of that unit.  The heap
-   therefore stores progress-derived bounds only; each pop pays an
-   exact O(load) re-check, and a round closes only when the best exact
-   value seen cannot be beaten or tied-with-lower-id by any remaining
-   bound.  (B = P forces newly = progress, so the tie test against a
-   bound is exact.) *)
+   *occurrences* in the unit's CSR row, so on a group kernel (fault
+   domains holding up to r replicas per object) they range up to
+   degree(u), which can exceed b (e.g. 2 datacenters with r = 3 give
+   degree ≈ 1.5·b); b+1 is NOT a safe base there, hence base is derived
+   from the largest row degree.  [newly] is not monotone under set
+   growth (an object two short of s contributes 0 today and 1 after
+   another hit), so a stale exact value is NOT a valid cache — but
+   [progress] never grows (hits only increase while a unit stays
+   unchosen), hence B(pr) = P(pr,pr) ≥ every future exact value of that
+   unit.  The heap therefore stores progress-derived bounds only; each
+   pop pays an exact O(load) re-check, and a round closes only when the
+   best exact value seen cannot be beaten or tied-with-lower-id by any
+   remaining bound.  (B = P forces newly = progress, so the tie test
+   against a bound is exact.) *)
 
 type greedy_stats = { evals : int; heap_pops : int; stale_reevals : int }
+
+(* One selection round over [heap] against the counter state [st]: pop
+   candidates while a remaining bound could beat or tie-with-lower-id
+   the best exact value seen, then re-push every popped loser with a
+   refreshed bound in ONE batch (Heap.Int_max.push_many) while the
+   winner stays out.  The batch changes only heap internals — the heap
+   order is total, so pops (and hence picks and stats) are identical to
+   the one-push-per-loser formulation, minus its per-loser sift cost.
+   Returns best_id = -1 on an empty heap (sharded callers own shards
+   that may run dry; select_greedy guards against it up front). *)
+let round_scan st heap ~packed =
+  let best_key = ref (-1) and best_id = ref (-1) and best_pr = ref 0 in
+  let evals = ref 0 and pops = ref 0 and stale = ref 0 in
+  let cap = ref 16 and cnt = ref 0 and best_slot = ref (-1) in
+  let lkeys = ref (Array.make 16 0) and lpays = ref (Array.make 16 0) in
+  let record_popped key u =
+    if !cnt = !cap then begin
+      cap := 2 * !cap;
+      let k2 = Array.make !cap 0 and p2 = Array.make !cap 0 in
+      Array.blit !lkeys 0 k2 0 !cnt;
+      Array.blit !lpays 0 p2 0 !cnt;
+      lkeys := k2;
+      lpays := p2
+    end;
+    !lkeys.(!cnt) <- key;
+    !lpays.(!cnt) <- u;
+    incr cnt
+  in
+  let stop = ref false in
+  while not !stop do
+    match Combin.Heap.Int_max.peek heap with
+    | None -> stop := true
+    | Some (key, u) ->
+        (* Remaining exact values are ≤ key; they lose outright when
+           key < best, and on key = best any exact tie sits at an id
+           above [u] > [best_id], which the scan would also reject. *)
+        if key < !best_key || (key = !best_key && u > !best_id) then
+          stop := true
+        else begin
+          ignore (Combin.Heap.Int_max.pop heap);
+          incr pops;
+          let ne, pr = marginal st u in
+          incr evals;
+          let exact = packed ne pr in
+          if packed pr pr < key then incr stale;
+          record_popped (packed pr pr) u;
+          if exact > !best_key || (exact = !best_key && u < !best_id) then begin
+            best_key := exact;
+            best_id := u;
+            best_pr := pr;
+            best_slot := !cnt - 1
+          end
+        end
+  done;
+  (* Losers re-enter with refreshed bounds in one batch; the winner is
+     swapped to the tail and withheld. *)
+  if !best_slot >= 0 then begin
+    let last = !cnt - 1 in
+    !lkeys.(!best_slot) <- !lkeys.(last);
+    !lpays.(!best_slot) <- !lpays.(last);
+    cnt := last
+  end;
+  Combin.Heap.Int_max.push_many heap ~keys:!lkeys ~payloads:!lpays ~count:!cnt;
+  (!best_key, !best_id, !best_pr, !evals, !pops, !stale)
 
 let select_greedy t ~picks =
   let n = units t in
   if picks > n - Combin.Bitset.count t.failed then
     invalid_arg "Kernel.select_greedy: more picks than unchosen units";
-  let base =
-    1 + Array.fold_left (fun m objs -> max m (Array.length objs)) 0 t.unit_objs
-  in
+  let base = 1 + Combin.Csr.max_degree t.csr in
   let packed ne pr = (ne * base) + pr in
   let heap = Combin.Heap.Int_max.create () in
   let evals = ref 0 and pops = ref 0 and stale = ref 0 in
@@ -192,38 +292,146 @@ let select_greedy t ~picks =
   done;
   let out = Array.make picks 0 in
   for pick = 0 to picks - 1 do
-    let best_key = ref (-1) and best_id = ref (-1) in
-    let popped = ref [] in
-    let stop = ref false in
-    while not !stop do
-      match Combin.Heap.Int_max.peek heap with
-      | None -> stop := true
-      | Some (key, u) ->
-          (* Remaining exact values are ≤ key; they lose outright when
-             key < best, and on key = best any exact tie sits at an id
-             above [u] > [best_id], which the scan would also reject. *)
-          if key < !best_key || (key = !best_key && u > !best_id) then
-            stop := true
-          else begin
-            ignore (Combin.Heap.Int_max.pop heap);
-            incr pops;
-            let ne, pr = marginal t u in
-            incr evals;
-            let exact = packed ne pr in
-            if packed pr pr < key then incr stale;
-            popped := (u, pr) :: !popped;
-            if exact > !best_key || (exact = !best_key && u < !best_id) then begin
-              best_key := exact;
-              best_id := u
-            end
-          end
-    done;
-    (* Losers re-enter with refreshed bounds; the winner is consumed. *)
-    List.iter
-      (fun (u, pr) ->
-        if u <> !best_id then Combin.Heap.Int_max.push heap ~key:(packed pr pr) u)
-      !popped;
-    add t !best_id;
-    out.(pick) <- !best_id
+    let _, best_id, _, e, p, st = round_scan t heap ~packed in
+    evals := !evals + e;
+    pops := !pops + p;
+    stale := !stale + st;
+    add t best_id;
+    out.(pick) <- best_id
   done;
   (out, { evals = !evals; heap_pops = !pops; stale_reevals = !stale })
+
+(* ------------------------------------------------------------------ *)
+(* Sharded CELF: partition the unit ids into contiguous shards, give
+   each shard its own bound heap, and per pick let every shard produce
+   its exact-checked local argmax in parallel; the caller reduces with
+   the global (packed value desc, unit id asc) order.  The winning
+   unit's id is the lowest id attaining the global exact maximum —
+   exactly the sequential scan's choice — so picks are bit-identical to
+   {!select_greedy} at any pool size.
+
+   All shards read the caller's ONE counter state: within a round the
+   kernel is never mutated (marginal is read-only; a shard mutates only
+   its own heap), and the winner's O(load) add lands on the calling
+   domain between rounds — so rounds are data-race free and the hits
+   plane stays a single cache-resident copy instead of a per-shard
+   mirror (which costs ~2× wall on b ~ 10^6 planes from the extra
+   memory traffic alone).  The shard count is a pure function of the
+   unit count (never of the pool), so the eval/pop statistics are
+   themselves deterministic at any -j (the Stable telemetry contract);
+   see DESIGN.md §11. *)
+
+type shard = {
+  heap : Combin.Heap.Int_max.t;
+  lo : int;
+  hi : int;  (* owned unit ids: [lo, hi) *)
+  mutable filled : bool;
+  mutable held : int;  (* local best withheld from the heap; -1 = none *)
+  mutable held_pr : int;  (* its progress at the exact eval, a valid bound *)
+  mutable s_evals : int;
+  mutable s_pops : int;
+  mutable s_stale : int;
+}
+
+(* ~512 units per shard: small enough that a 10^4-node instance spreads
+   over ~20 shards, large enough that a shard amortizes its batch
+   dispatch; capped so shard state stays bounded.  Must stay a pure
+   function of [units] — see above. *)
+let default_shards units = min 64 (max 1 (units / 512))
+
+let pmap pool f xs =
+  match pool with
+  | Some p -> Engine.Pool.parallel_map p f xs
+  | None -> Array.map f xs
+
+let select_greedy_sharded ?pool ?shards t ~picks =
+  let n = units t in
+  if picks > n - Combin.Bitset.count t.failed then
+    invalid_arg "Kernel.select_greedy: more picks than unchosen units";
+  let nshards =
+    match shards with Some s -> max 1 s | None -> default_shards n
+  in
+  if nshards = 1 then select_greedy t ~picks
+  else begin
+    let base = 1 + Combin.Csr.max_degree t.csr in
+    let packed ne pr = (ne * base) + pr in
+    let shards_arr =
+      Array.init nshards (fun i ->
+          {
+            heap = Combin.Heap.Int_max.create ();
+            lo = i * n / nshards;
+            hi = (i + 1) * n / nshards;
+            filled = false;
+            held = -1;
+            held_pr = 0;
+            s_evals = 0;
+            s_pops = 0;
+            s_stale = 0;
+          })
+    in
+    let out = Array.make picks 0 in
+    let pending = ref (-1) in
+    for pick = 0 to picks - 1 do
+      (* The previous winner's damage lands once, here, on the calling
+         domain: the in-flight round then only reads the kernel. *)
+      if !pending >= 0 then add t !pending;
+      let results =
+        pmap pool
+          (fun sh ->
+            (* A held local best that lost the previous global reduce
+               re-enters with its (still valid) refreshed bound. *)
+            if sh.held >= 0 && sh.held <> !pending then
+              Combin.Heap.Int_max.push sh.heap
+                ~key:(packed sh.held_pr sh.held_pr) sh.held;
+            sh.held <- -1;
+            if not sh.filled then begin
+              (* Deferred initial fill: the O(units·load) bound pass is
+                 the bulk of a greedy run, so it rides the first
+                 parallel round. *)
+              sh.filled <- true;
+              for u = sh.lo to sh.hi - 1 do
+                if not (Combin.Bitset.mem t.failed u) then begin
+                  let _, pr = marginal t u in
+                  sh.s_evals <- sh.s_evals + 1;
+                  Combin.Heap.Int_max.push sh.heap ~key:(packed pr pr) u
+                end
+              done
+            end;
+            let best_key, best_id, best_pr, e, p, st =
+              round_scan t sh.heap ~packed
+            in
+            sh.s_evals <- sh.s_evals + e;
+            sh.s_pops <- sh.s_pops + p;
+            sh.s_stale <- sh.s_stale + st;
+            if best_id >= 0 then begin
+              sh.held <- best_id;
+              sh.held_pr <- best_pr
+            end;
+            (best_key, best_id))
+          shards_arr
+      in
+      (* Reduce: greatest exact value, ties to the lowest unit id — the
+         same total order the sequential scan applies globally. *)
+      let bk = ref (-1) and bid = ref (-1) in
+      Array.iter
+        (fun (key, id) ->
+          if id >= 0 && (key > !bk || (key = !bk && id < !bid)) then begin
+            bk := key;
+            bid := id
+          end)
+        results;
+      out.(pick) <- !bid;
+      pending := !bid
+    done;
+    (* The final winner's add: the kernel ends with every pick applied,
+       per the {!select_greedy} contract. *)
+    if !pending >= 0 then add t !pending;
+    let evals = ref 0 and pops = ref 0 and stale = ref 0 in
+    Array.iter
+      (fun sh ->
+        evals := !evals + sh.s_evals;
+        pops := !pops + sh.s_pops;
+        stale := !stale + sh.s_stale)
+      shards_arr;
+    (out, { evals = !evals; heap_pops = !pops; stale_reevals = !stale })
+  end

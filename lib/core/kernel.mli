@@ -8,10 +8,16 @@
     failure set — the marginal-gain structure that copyset-style
     analyses and CELF lazy-greedy selection exploit.
 
+    Storage is web-scale flat (DESIGN.md §11): the unit → replicas
+    incidence is one {!Combin.Csr.t} — two off-heap [Bigarray] planes
+    shared untouched by every {!copy} — and the per-object counters are
+    a [Bigarray] int16 plane, so a branch copy is a single blit with no
+    per-object boxing at n ~ 10^4 nodes, b ~ 10^6 objects.
+
     A kernel is built once per {!Layout.t} (over nodes, from the
-    memoized {!Layout.node_objects} index) or once per domain level
-    (over fault domains, via {!of_groups}); {!copy} then yields
-    independent search states sharing the immutable incidence index, so
+    memoized {!Layout.incidence} CSR) or once per domain level (over
+    fault domains, via {!of_groups} or {!of_csr}); {!copy} then yields
+    independent search states sharing the immutable incidence, so
     parallel branch-and-bound branches each thread their own counters
     down and up the search tree.  Alongside the counters the node path
     lazily derives one {!Combin.Bitset} per object (the units hosting
@@ -26,16 +32,26 @@ type t
 
 val make : Layout.t -> s:int -> t
 (** Attack units are the layout's nodes.  Shares the layout's memoized
-    inverted index; O(b) fresh counter state. *)
+    {!Layout.incidence} CSR; O(b) fresh counter state. *)
 
 val of_groups : s:int -> b:int -> int array array -> t
 (** Attack units are arbitrary groups: [groups.(u)] lists one entry per
     replica hosted inside unit [u] (entries may repeat when a unit holds
-    several replicas of the same object — e.g. fault domains).  The
-    incidence arrays are shared, not copied. *)
+    several replicas of the same object — e.g. fault domains).  Packs
+    the groups into a private CSR; prefer {!of_csr} when the caller
+    already holds one (e.g. {!Combin.Csr.group}). *)
+
+val of_csr : s:int -> Combin.Csr.t -> t
+(** Attack units are the CSR's rows, objects its column space.  The CSR
+    is shared, not copied — treat it as immutable afterwards. *)
+
+val csr : t -> Combin.Csr.t
+(** The shared incidence (unit → replica entries). *)
 
 val copy : t -> t
-(** A fresh all-up state over the same shared incidence index. *)
+(** An independent duplicate of the {e current} attack state over the
+    same shared incidence: the counter plane is one [Bigarray] blit.
+    Copying an all-up kernel yields an all-up kernel. *)
 
 val reset : t -> unit
 (** Return to the all-up state. *)
@@ -77,6 +93,12 @@ val check : t -> int array -> int
     pass otherwise; either way equals {!Layout.failed_objects} on the
     node kernel.  Never reads the counter state. *)
 
+val check_scratch : t -> int array -> int
+(** {!check} forced down the scratch-counter path (one O(b) counting
+    pass over the set's CSR rows), bypassing the bitset cache.  Always
+    equal to {!check}; exposed as the property-test oracle for the
+    bitset path. *)
+
 type greedy_stats = {
   evals : int;  (** marginal recomputations *)
   heap_pops : int;  (** candidate pops from the CELF heap *)
@@ -92,9 +114,23 @@ val select_greedy : t -> picks:int -> int array * greedy_stats
     progress component, which never grows as the failure set does); a
     popped candidate is re-evaluated exactly and the round stops only
     when no remaining bound can beat or tie the best exact value (see
-    DESIGN.md §10 for the determinism argument).  The kernel ends with
-    the picks applied; the returned array is in pick order.
+    DESIGN.md §10 for the determinism argument).  Per-round loser
+    re-pushes are batched through {!Combin.Heap.Int_max.push_many}.
+    The kernel ends with the picks applied; the returned array is in
+    pick order.
     @raise Invalid_argument if [picks] exceeds the unchosen units. *)
+
+val select_greedy_sharded :
+  ?pool:Engine.Pool.t -> ?shards:int -> t -> picks:int -> int array * greedy_stats
+(** {!select_greedy} with the candidate heap sharded across contiguous
+    unit-id blocks: per pick every shard produces its exact-checked
+    local argmax (in parallel over [pool] when given), and the reduce
+    takes the greatest packed value with ties to the lowest unit id —
+    the sequential scan's own order, so picks AND stats are
+    bit-identical to {!select_greedy} and to any other [pool] size.
+    [shards] defaults to a pure function of the unit count (never of
+    the pool), preserving the Stable-telemetry -j invariance; pass it
+    explicitly only in tests.  See DESIGN.md §11. *)
 
 val updates : t -> int
 (** Lifetime {!add} + {!remove} count on this state (not its copies) —

@@ -3,6 +3,7 @@ type t = {
   r : int;
   replicas : int array array;
   mutable node_objs : int array array option;
+  mutable node_csr : Combin.Csr.t option;
 }
 
 let make ~n ~r replicas =
@@ -16,7 +17,7 @@ let make ~n ~r replicas =
       if rep.(0) < 0 || rep.(r - 1) >= n then
         invalid_arg "Layout.make: node out of range")
     replicas;
-  { n; r; replicas; node_objs = None }
+  { n; r; replicas; node_objs = None; node_csr = None }
 
 let b t = Array.length t.replicas
 
@@ -45,6 +46,16 @@ let node_objects t =
          structurally identical arrays and one pointer write wins. *)
       t.node_objs <- Some idx;
       idx
+
+let incidence t =
+  match t.node_csr with
+  | Some csr -> csr
+  | None ->
+      let csr = Combin.Csr.invert ~rows:t.n t.replicas in
+      (* Benign race under domains, as for node_objs: the CSR is a pure
+         function of the immutable replica table. *)
+      t.node_csr <- Some csr;
+      csr
 
 let loads t =
   let counts = Array.make t.n 0 in
@@ -94,6 +105,7 @@ let concat = function
         first with
         replicas = Array.concat (List.map (fun p -> p.replicas) parts);
         node_objs = None;
+        node_csr = None;
       }
 
 let shift t ~offset ~n =
@@ -103,4 +115,5 @@ let shift t ~offset ~n =
     r = t.r;
     replicas = Array.map (fun rep -> Array.map (fun nd -> nd + offset) rep) t.replicas;
     node_objs = None;
+    node_csr = None;
   }

@@ -9,6 +9,8 @@ type t = private {
           replicas of [obj] *)
   mutable node_objs : int array array option;
       (** memoized inverted index; use {!node_objects}, never this field *)
+  mutable node_csr : Combin.Csr.t option;
+      (** memoized flat inverted index; use {!incidence}, never this field *)
 }
 
 val make : n:int -> r:int -> int array array -> t
@@ -23,6 +25,13 @@ val node_objects : t -> int array array
     replica on node [nd].  Built in O(n + r·b) on first use and memoized
     in the layout, so every caller shares one physical index — treat the
     result as read-only. *)
+
+val incidence : t -> Combin.Csr.t
+(** The node → objects inverted index as a flat {!Combin.Csr.t}: row
+    [nd] lists the objects with a replica on node [nd], ascending.
+    Built by one counting-sort pass over the replica table (no boxed
+    intermediate) and memoized, so every {!Kernel.t} over this layout
+    shares one off-heap index.  Treat the result as immutable. *)
 
 val loads : t -> int array
 (** Replica count per node. *)

@@ -1,0 +1,28 @@
+(* VmHWM ("high water mark") is the peak resident set of the process;
+   /proc/self/status lines look like "VmHWM:      123456 kB". *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              let rest = String.sub line 6 (String.length line - 6) in
+              int_of_string_opt
+                (String.trim
+                   (match String.index_opt rest 'k' with
+                   | Some i -> String.sub rest 0 i
+                   | None -> rest))
+            else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let m_peak_rss = Registry.gauge "process/peak_rss_kb"
+
+let sample () =
+  if Control.on () then
+    match peak_rss_kb () with
+    | Some kb -> Gauge.set m_peak_rss (float_of_int kb)
+    | None -> ()

@@ -46,21 +46,19 @@ let m_kernel_undos =
 let m_kernel_undo_depth =
   Telemetry.Registry.histogram "topology/adversary/kernel/bb_undo_depth"
 
-(* Attack units are same-level fault domains: [domain_objs.(d)] lists one
-   entry per replica hosted inside domain [d] (same-level domains are
-   disjoint node sets, so failing domain [d] fails each entry once).  The
-   incidence feeds the shared incremental kernel; domains may hold
-   several replicas of one object, so the kernel keeps multiplicities. *)
-let domain_objs_of layout tree ~level =
-  let node_objs = Placement.Layout.node_objects layout in
-  Array.map
-    (fun members ->
-      Array.concat (Array.to_list (Array.map (fun nd -> node_objs.(nd)) members)))
-    (Array.init (Tree.domain_count tree ~level) (Tree.members tree ~level))
-
+(* Attack units are same-level fault domains: row [d] of the domain CSR
+   lists one entry per replica hosted inside domain [d] (same-level
+   domains are disjoint node sets, so failing domain [d] fails each
+   entry once).  The rows are regrouped off-heap from the layout's
+   memoized node CSR ({!Combin.Csr.group}) — no boxed per-domain
+   intermediate; domains may hold several replicas of one object, so
+   the kernel keeps multiplicities. *)
 let kernel_of layout tree ~level ~s =
-  Placement.Kernel.of_groups ~s ~b:(Placement.Layout.b layout)
-    (domain_objs_of layout tree ~level)
+  let members =
+    Array.init (Tree.domain_count tree ~level) (Tree.members tree ~level)
+  in
+  Placement.Kernel.of_csr ~s
+    (Combin.Csr.group (Placement.Layout.incidence layout) members)
 
 let check layout tree ~level ~j =
   if layout.Placement.Layout.n <> Tree.n tree then
@@ -90,10 +88,10 @@ let pmap pool f xs =
   | Some p -> Engine.Pool.parallel_map p f xs
   | None -> Array.map f xs
 
-let greedy layout ~s tree ~level ~j =
+let greedy ?pool layout ~s tree ~level ~j =
   check layout tree ~level ~j;
   let kn = kernel_of layout tree ~level ~s in
-  let picks, stats = Placement.Kernel.select_greedy kn ~picks:j in
+  let picks, stats = Placement.Kernel.select_greedy_sharded ?pool kn ~picks:j in
   Telemetry.Counter.incr m_greedy_runs;
   Telemetry.Counter.add m_greedy_evals stats.Placement.Kernel.evals;
   Telemetry.Counter.add m_kernel_pops stats.Placement.Kernel.heap_pops;
@@ -151,24 +149,44 @@ let exact ?(budget = 50_000_000) ?pool layout ~s tree ~level ~j =
     let kn0 = kernel_of layout tree ~level ~s in
     let degrees = Array.init nd (Placement.Kernel.degree kn0) in
     (* top_deg.(start).(m): sum of the m largest domain degrees with id
-       >= start — an upper bound on the damage of m more picks. *)
+       >= start — an upper bound on the damage of m more picks.  One
+       suffix sweep maintaining the j largest degrees in a sorted
+       scratch row: O(nd·j), same values as sorting every suffix. *)
     let top_deg =
-      Array.init (nd + 1) (fun start ->
-          let suffix = Array.sub degrees start (nd - start) in
-          Array.sort (fun a b -> compare b a) suffix;
-          let acc = Array.make (j + 1) 0 in
-          for m = 1 to j do
-            acc.(m) <-
-              acc.(m - 1)
-              + (if m - 1 < Array.length suffix then suffix.(m - 1) else 0)
+      let acc = Array.make_matrix (nd + 1) (j + 1) 0 in
+      let top = Array.make j 0 in
+      let top_len = ref 0 in
+      for start = nd - 1 downto 0 do
+        let d = degrees.(start) in
+        if !top_len < j then begin
+          let i = ref !top_len in
+          while !i > 0 && top.(!i - 1) < d do
+            top.(!i) <- top.(!i - 1);
+            decr i
           done;
-          acc)
+          top.(!i) <- d;
+          incr top_len
+        end
+        else if j > 0 && d > top.(j - 1) then begin
+          let i = ref (j - 1) in
+          while !i > 0 && top.(!i - 1) < d do
+            top.(!i) <- top.(!i - 1);
+            decr i
+          done;
+          top.(!i) <- d
+        end;
+        let row = acc.(start) in
+        for m = 1 to j do
+          row.(m) <- row.(m - 1) + (if m - 1 < !top_len then top.(m - 1) else 0)
+        done
+      done;
+      acc
     in
     (* Greedy seeds the incumbent; the bound cell is read once here,
        before dispatch — branches publish improvements but never re-read
        it, so pruning (and hence every statistic and the reported set)
        is identical at every -j. *)
-    let g = greedy layout ~s tree ~level ~j in
+    let g = greedy ?pool layout ~s tree ~level ~j in
     let incumbent = Engine.Bound.create g.failed_objects in
     let seed_bound = Engine.Bound.get incumbent in
     let first_choices = Array.init (nd - j + 1) Fun.id in

@@ -27,8 +27,12 @@ val eval :
 (** Objects killed by failing the given domains. *)
 
 val greedy :
+  ?pool:Engine.Pool.t ->
   Placement.Layout.t -> s:int -> Tree.t -> level:int -> j:int -> attack
-(** Pick domains one at a time by marginal damage ([exact = false]). *)
+(** Pick domains one at a time by marginal damage ([exact = false]).
+    Runs sharded CELF over the domain kernel
+    ({!Placement.Kernel.select_greedy_sharded}); picks and statistics
+    are bit-identical at any [pool] size. *)
 
 val exhaustive :
   Placement.Layout.t -> s:int -> Tree.t -> level:int -> j:int -> attack

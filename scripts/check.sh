@@ -47,6 +47,28 @@ if awk "BEGIN { exit !($kernel_speedup < 2.0) }"; then
   echo "check.sh: advisory: kernel greedy wall-clock speedup $kernel_speedup < nominal 2x (see BENCH_adversary.json)" >&2
 fi
 
+# Scaling sweep gate: the quick perf pass appends an
+# adversary_scaling_sweep row (the n x b grid over the CSR kernel and
+# the sharded CELF path).  Hard gate: the row must exist and every cell
+# must report bit-identical picks between the sequential scan and the
+# sharded reduce ("identical_all": true) — that is the determinism
+# contract.  Wall-clock parallel speedup depends on the host's core
+# count (a 1-core container can never exceed 1x), so the speedup floor
+# is advisory only, per the nominal 0.5x sanity line: the sharded path
+# sharing one counter plane should never cost more than ~2x the
+# sequential scan even under full core contention.
+scaling_row=$(grep '"op": "adversary_scaling_sweep"' BENCH_adversary.json | tail -n 1)
+[ -n "$scaling_row" ] ||
+  { echo "check.sh: no adversary_scaling_sweep row in BENCH_adversary.json" >&2; exit 1; }
+echo "$scaling_row" | grep -q '"identical_all": true' ||
+  { echo "check.sh: sharded greedy picks differ from sequential in the scaling sweep (see BENCH_adversary.json)" >&2; exit 1; }
+echo "$scaling_row" | grep -q '"peak_rss_kb"' ||
+  { echo "check.sh: scaling sweep row is missing peak_rss_kb (see BENCH_adversary.json)" >&2; exit 1; }
+scaling_speedup=$(echo "$scaling_row" | sed -n 's/.*"largest_cell_speedup": \([0-9.]*\).*/\1/p')
+if [ -n "$scaling_speedup" ] && awk "BEGIN { exit !($scaling_speedup < 0.5) }"; then
+  echo "check.sh: advisory: sharded greedy speedup $scaling_speedup < nominal 0.5x on the largest cell (see BENCH_adversary.json)" >&2
+fi
+
 # Topology smoke: on a regular 4x5 topology the rack adversary (worst 1
 # rack = 5 nodes) can never beat the node adversary given the same 5-node
 # budget, so its availability must be >= the node adversary's.

@@ -65,7 +65,7 @@ attack can plan-and-attack a strategy directly instead of loading a file.
 but refuses ambiguous or under-specified invocations:
 
   $ placement-tool attack
-  one of --layout FILE or --strategy NAME is required
+  one of --layout FILE, --strategy NAME or --random N,B,R,SEED is required
   [1]
 
   $ placement-tool attack --strategy random

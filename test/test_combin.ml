@@ -359,6 +359,121 @@ let test_int_max_heap_peek () =
     (Combin.Heap.Int_max.pop h);
   Alcotest.(check int) "size" 1 (Combin.Heap.Int_max.size h)
 
+let test_int_max_push_many =
+  (* Heap order is a strict total order, so a batch insert must yield
+     the exact pop sequence of one-at-a-time pushes — the property the
+     CELF loser re-push relies on. *)
+  qtest "push_many pops identically to repeated push"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60) (pair (int_range 0 15) (int_range 0 40)))
+        (list_size (int_range 0 60) (pair (int_range 0 15) (int_range 0 40))))
+    (fun (pre, batch) ->
+      let one = Combin.Heap.Int_max.create () in
+      let many = Combin.Heap.Int_max.create () in
+      List.iter
+        (fun (key, p) ->
+          Combin.Heap.Int_max.push one ~key p;
+          Combin.Heap.Int_max.push many ~key p)
+        pre;
+      List.iter (fun (key, p) -> Combin.Heap.Int_max.push one ~key p) batch;
+      let keys = Array.of_list (List.map fst batch) in
+      let payloads = Array.of_list (List.map snd batch) in
+      Combin.Heap.Int_max.push_many many ~keys ~payloads
+        ~count:(Array.length keys);
+      let drain h =
+        let rec go acc =
+          match Combin.Heap.Int_max.pop h with
+          | None -> List.rev acc
+          | Some e -> go (e :: acc)
+        in
+        go []
+      in
+      drain one = drain many)
+
+(* ------------------------------------------------------------------ *)
+(* Csr *)
+
+let test_csr_of_arrays () =
+  let rows = [| [| 3; 1; 3 |]; [||]; [| 0 |] |] in
+  let c = Combin.Csr.of_arrays ~cols:4 rows in
+  Alcotest.(check int) "rows" 3 (Combin.Csr.rows c);
+  Alcotest.(check int) "cols" 4 (Combin.Csr.cols c);
+  Alcotest.(check int) "entries_total" 4 (Combin.Csr.entries_total c);
+  Alcotest.(check int) "max_degree" 3 (Combin.Csr.max_degree c);
+  Alcotest.(check int) "degree 1" 0 (Combin.Csr.degree c 1);
+  (* Row order and within-row entry order (duplicates included) are
+     preserved verbatim. *)
+  Array.iteri
+    (fun u expect ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "row %d" u)
+        expect (Combin.Csr.row c u))
+    rows;
+  Alcotest.check_raises "entry out of range"
+    (Invalid_argument "Csr.of_arrays: entry out of range") (fun () ->
+      ignore (Combin.Csr.of_arrays ~cols:2 [| [| 2 |] |]))
+
+let csr_sets_gen =
+  (* [rows] units and a pile of member sets over them, duplicates
+     allowed (a set may hold the same unit twice — multiplicity). *)
+  QCheck2.Gen.(
+    let* rows = int_range 1 20 in
+    let* sets =
+      list_size (int_range 0 40)
+        (list_size (int_range 0 6) (int_range 0 (rows - 1)))
+    in
+    return (rows, Array.of_list (List.map Array.of_list sets)))
+
+let test_csr_invert_transposes =
+  qtest "invert is the transposed incidence"
+    csr_sets_gen
+    (fun (rows, sets) ->
+      let c = Combin.Csr.invert ~rows sets in
+      let expect u =
+        (* Every i with u ∈ sets.(i), ascending, once per occurrence. *)
+        let acc = ref [] in
+        Array.iteri
+          (fun i set ->
+            Array.iter (fun m -> if m = u then acc := i :: !acc) set)
+          sets;
+        List.rev !acc
+      in
+      Combin.Csr.rows c = rows
+      && Combin.Csr.cols c = Array.length sets
+      && (let ok = ref true in
+          for u = 0 to rows - 1 do
+            if Array.to_list (Combin.Csr.row c u) <> expect u then ok := false
+          done;
+          !ok))
+
+let test_csr_group =
+  qtest "group concatenates member rows in order"
+    QCheck2.Gen.(
+      let* rows = int_range 1 12 in
+      let* boxed =
+        array_size (return rows)
+          (array_size (int_range 0 5) (int_range 0 9))
+      in
+      let* members =
+        array_size (int_range 1 4)
+          (array_size (int_range 0 6) (int_range 0 (rows - 1)))
+      in
+      return (boxed, members))
+    (fun (boxed, members) ->
+      let c = Combin.Csr.of_arrays ~cols:10 boxed in
+      let g = Combin.Csr.group c members in
+      let ok = ref (Combin.Csr.rows g = Array.length members
+                    && Combin.Csr.cols g = 10) in
+      Array.iteri
+        (fun gi ms ->
+          let expect =
+            Array.concat (Array.to_list (Array.map (fun u -> boxed.(u)) ms))
+          in
+          if Combin.Csr.row g gi <> expect then ok := false)
+        members;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Bitset *)
 
@@ -517,6 +632,13 @@ let () =
           Alcotest.test_case "interleaved ops" `Quick test_heap_interleaved;
           test_int_max_heap_order;
           Alcotest.test_case "int_max peek/pop" `Quick test_int_max_heap_peek;
+          test_int_max_push_many;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "of_arrays" `Quick test_csr_of_arrays;
+          test_csr_invert_transposes;
+          test_csr_group;
         ] );
       ( "bitset",
         [

@@ -708,6 +708,106 @@ let test_kernel_group_greedy_identical =
          = Placement.Kernel.check (Placement.Kernel.of_groups ~s ~b groups)
              (Combin.Intset.of_array kernel_picks))
 
+(* Arbitrary multiplicity groups, no layout behind them: [domains]
+   units each holding a bag of object ids in [0, b), duplicates
+   allowed. *)
+let groups_gen =
+  QCheck2.Gen.(
+    let* b = int_range 1 40 in
+    let* domains = int_range 1 8 in
+    let* groups =
+      array_size (return domains)
+        (array_size (int_range 0 12) (int_range 0 (b - 1)))
+    in
+    let* s = int_range 1 4 in
+    let* seed = int_range 0 10000 in
+    return (b, s, groups, seed))
+
+let test_kernel_group_churn =
+  qtest ~count:80 "of_groups counters = naive bag recount under churn"
+    groups_gen
+    (fun (b, s, groups, seed) ->
+      let nu = Array.length groups in
+      let rng = Combin.Rng.create seed in
+      let kn = Placement.Kernel.of_groups ~s ~b groups in
+      let hits = Array.make b 0 in
+      let failed = ref [] in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let u = Combin.Rng.int rng nu in
+        if List.mem u !failed then begin
+          Placement.Kernel.remove kn u;
+          Array.iter (fun obj -> hits.(obj) <- hits.(obj) - 1) groups.(u);
+          failed := List.filter (fun x -> x <> u) !failed
+        end
+        else if Combin.Rng.int rng 4 < 3 then begin
+          Placement.Kernel.add kn u;
+          Array.iter (fun obj -> hits.(obj) <- hits.(obj) + 1) groups.(u);
+          failed := u :: !failed
+        end;
+        let killed = ref 0 in
+        Array.iter (fun h -> if h >= s then incr killed) hits;
+        if Placement.Kernel.killed kn <> !killed then ok := false
+      done;
+      !ok)
+
+let test_kernel_check_bitset_vs_scratch =
+  (* [check] takes the per-object bitset path on multiplicity-free
+     incidences and falls back to the scratch counters otherwise; both
+     flavours must agree with [check_scratch] on every unit set. *)
+  qtest ~count:80 "check = check_scratch on both incidence flavours"
+    QCheck2.Gen.(
+      let* layout = layout_gen in
+      let* s = int_range 1 layout.Placement.Layout.r in
+      let* seed = int_range 0 10000 in
+      return (layout, s, seed))
+    (fun (layout, s, seed) ->
+      let n = layout.Placement.Layout.n in
+      let rng = Combin.Rng.create seed in
+      let subset () =
+        Combin.Intset.of_array
+          (Array.of_list
+             (List.filter
+                (fun _ -> Combin.Rng.int rng 3 = 0)
+                (List.init n Fun.id)))
+      in
+      let kn = Placement.Kernel.make layout ~s in
+      let node_objs = Placement.Layout.node_objects layout in
+      (* Duplicated rows force multiplicity, hence the scratch path. *)
+      let groups = Array.init n (fun u -> Array.append node_objs.(u) node_objs.(u)) in
+      let gn = Placement.Kernel.of_groups ~s ~b:(Placement.Layout.b layout) groups in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let set = subset () in
+        if Placement.Kernel.check kn set <> Placement.Kernel.check_scratch kn set
+        then ok := false;
+        if Placement.Kernel.check gn set <> Placement.Kernel.check_scratch gn set
+        then ok := false
+      done;
+      !ok)
+
+let test_kernel_sharded_identical =
+  (* Forcing shards > 1 on instances far below the automatic sharding
+     threshold: the sharded reduce must reproduce the sequential scan's
+     picks (and hence final killed) exactly, pool or no pool. *)
+  qtest ~count:60 "select_greedy_sharded = select_greedy, forced shards"
+    QCheck2.Gen.(
+      let* layout = layout_gen in
+      let* s = int_range 1 layout.Placement.Layout.r in
+      let* shards = int_range 2 5 in
+      let* picks = int_range 1 4 in
+      return (layout, s, shards, picks))
+    (fun (layout, s, shards, picks) ->
+      let picks = min picks layout.Placement.Layout.n in
+      let seq = Placement.Kernel.make layout ~s in
+      let sh = Placement.Kernel.make layout ~s in
+      let seq_picks, _ = Placement.Kernel.select_greedy seq ~picks in
+      let sh_picks, _ =
+        Placement.Kernel.select_greedy_sharded ~shards sh ~picks
+      in
+      seq_picks = sh_picks
+      && Placement.Kernel.killed seq = Placement.Kernel.killed sh)
+
 (* The misordering pinned exactly: b = 3, s = 2.  Unit 0 wins pick 1 on
    progress (degree 8) and leaves object 1 one hit short of s.  At pick
    2 the lex objective prefers unit 1 ((newly 1, progress 1): object 1
@@ -742,7 +842,10 @@ let test_kernel_double_add () =
   (* failed = {0,1,2}: obj 0 on {0,1} dead, obj 2 on {0,2} dead *)
   Alcotest.(check int) "two dead" 2 (Placement.Kernel.killed kn);
   let copy = Placement.Kernel.copy kn in
-  Alcotest.(check int) "copy starts all-up" 0 (Placement.Kernel.killed copy);
+  Alcotest.(check int) "copy duplicates state" 2 (Placement.Kernel.killed copy);
+  Placement.Kernel.remove copy 1;
+  Alcotest.(check int) "copy is independent" 2 (Placement.Kernel.killed kn);
+  Alcotest.(check int) "copied counters undo" 1 (Placement.Kernel.killed copy);
   Placement.Kernel.reset kn;
   Alcotest.(check int) "reset" 0 (Placement.Kernel.killed kn);
   Alcotest.(check (array int)) "no failed units" [||]
@@ -1163,6 +1266,9 @@ let () =
           test_kernel_incremental_vs_naive;
           test_kernel_lazy_greedy_identical;
           test_kernel_group_greedy_identical;
+          test_kernel_group_churn;
+          test_kernel_check_bitset_vs_scratch;
+          test_kernel_sharded_identical;
           Alcotest.test_case "packed base > unit degree" `Quick
             test_kernel_group_packed_base;
           Alcotest.test_case "add/remove guards" `Quick test_kernel_double_add;

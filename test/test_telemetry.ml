@@ -206,6 +206,30 @@ let test_values_experiment_grid () =
   check_j_independent "fig2" (fun pool ->
       ignore (Experiments.Fig2.compute ?pool ~bs:[ 300; 600 ] ()))
 
+(* ------------------------------------------------------------------ *)
+(* Resource *)
+
+let test_resource_peak_rss () =
+  (* The test runs on Linux, so procfs is there and the process has
+     certainly touched more than a megabyte by now. *)
+  match T.Resource.peak_rss_kb () with
+  | None -> Alcotest.fail "peak_rss_kb returned None on Linux"
+  | Some kb ->
+      Alcotest.(check bool) "plausible magnitude" true (kb > 1024)
+
+let test_resource_sample_gate () =
+  with_clean_telemetry @@ fun () ->
+  let g = T.Registry.gauge "process/peak_rss_kb" in
+  Alcotest.(check bool) "starts unset" true (Float.is_nan (T.Gauge.value g));
+  T.Resource.sample ();
+  Alcotest.(check bool) "sample records a positive gauge" true
+    (T.Gauge.value g > 0.0);
+  T.Gauge.reset g;
+  T.Control.set_enabled false;
+  T.Resource.sample ();
+  Alcotest.(check bool) "disabled sample is a no-op" true
+    (Float.is_nan (T.Gauge.value g))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -223,6 +247,11 @@ let () =
           Alcotest.test_case "find-or-create" `Quick test_registry_find_or_create;
           Alcotest.test_case "snapshot shape" `Quick test_registry_snapshot_shape;
           Alcotest.test_case "export forms" `Quick test_export_forms;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "peak_rss_kb" `Quick test_resource_peak_rss;
+          Alcotest.test_case "sample gate" `Quick test_resource_sample_gate;
         ] );
       ( "determinism",
         [
