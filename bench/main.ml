@@ -640,10 +640,108 @@ let run_scaling ctx fmt =
     (fun () -> output_string oc json);
   Format.fprintf fmt "(appended to %s)@." path
 
+(* ------------------------------------------------------------------ *)
+(* Continuous churn trace: the event-sourced engine on an n=10^3,
+   b=10^5 population.  The apply arm measures event throughput and
+   checks the bounded-data-movement contract (no event moves more than
+   r replicas); the re-score arms pit the incremental Dyn adversary
+   against a full from-scratch rebuild (Kernel.make + select_greedy)
+   on the final population.  The two must agree on picks, damage and
+   scan stats — Churn.check re-verifies the whole stack — and check.sh
+   gates on both booleans. *)
+
+let run_churn_bench ctx fmt =
+  let n = 1_000 and r = 3 and s = 2 and k = 8 in
+  let prepop = if ctx.quick then 20_000 else 100_000 in
+  let count = if ctx.quick then 2_000 else 10_000 in
+  let eng = Dsim.Churn.create ~n ~r ~s ~k () in
+  for _ = 1 to prepop do
+    ignore (Dsim.Churn.apply eng Dsim.Event.Object_create)
+  done;
+  let events =
+    Dsim.Event.seeded ~rng:(Combin.Rng.create 0xC4AF) ~n ~initial:prepop
+      ~count ~measure_every:0 ()
+  in
+  let moved0 = Dsim.Churn.moved_replicas eng in
+  let moved_bounded = ref true in
+  let (), wall_apply =
+    wall (fun () ->
+        List.iter
+          (fun ev ->
+            let step = Dsim.Churn.apply eng ev in
+            if step.Dsim.Churn.moved > r then moved_bounded := false)
+          events)
+  in
+  let events_per_s =
+    if wall_apply > 0.0 then float_of_int count /. wall_apply else 0.0
+  in
+  let moved_per_event =
+    float_of_int (Dsim.Churn.moved_replicas eng - moved0) /. float_of_int count
+  in
+  let incr_run () = Dsim.Churn.rescore eng in
+  let scratch_run () =
+    let kn = Placement.Kernel.make (Dsim.Churn.layout eng) ~s in
+    Placement.Kernel.select_greedy kn ~picks:k
+  in
+  (* Warm-up, then check incremental ≡ scratch on picks, damage and —
+     via the full engine oracle — hit planes and scan stats. *)
+  let rs = incr_run () in
+  let kn = Placement.Kernel.make (Dsim.Churn.layout eng) ~s in
+  let picks_ref, _ = Placement.Kernel.select_greedy kn ~picks:k in
+  let incremental_eq_scratch =
+    rs.Dsim.Churn.attack = picks_ref
+    && rs.Dsim.Churn.worst_available
+       = Dsim.Churn.live eng - Placement.Kernel.killed kn
+    && match Dsim.Churn.check eng with
+       | () -> true
+       | exception Failure _ -> false
+  in
+  let reps = if ctx.quick then 3 else 5 in
+  let (), wall_incr =
+    wall (fun () -> for _ = 1 to reps do ignore (incr_run ()) done)
+  in
+  let (), wall_scratch =
+    wall (fun () -> for _ = 1 to reps do ignore (scratch_run ()) done)
+  in
+  let speedup = if wall_incr > 0.0 then wall_scratch /. wall_incr else 0.0 in
+  Format.fprintf fmt
+    "churn trace (n=%d prepop=%d events=%d r=%d s=%d k=%d): %.0f events/s \
+     apply, %.2f moved replicas/event (%s); re-score %.1f ms incremental vs \
+     %.1f ms from-scratch per run (speedup %.2fx, outputs %s)@."
+    n prepop count r s k events_per_s moved_per_event
+    (if !moved_bounded then "bounded by r" else "BOUND VIOLATED")
+    (wall_incr *. 1e3 /. float_of_int reps)
+    (wall_scratch *. 1e3 /. float_of_int reps)
+    speedup
+    (if incremental_eq_scratch then "identical" else "DIFFER");
+  let json =
+    Printf.sprintf
+      "{\"op\": \"churn_trace\", \"n\": %d, \"prepop\": %d, \"events\": %d, \
+       \"r\": %d, \"s\": %d, \"k\": %d, \"quick\": %b, \
+       \"events_per_s\": %.0f, \"moved_per_event\": %.4f, \
+       \"moved_bounded\": %b, \"wall_s_incremental\": %.6f, \
+       \"wall_s_scratch\": %.6f, \"rescore_speedup\": %.4f, \
+       \"incremental_eq_scratch\": %b, \"stats\": %s}\n"
+      n prepop count r s k ctx.quick events_per_s moved_per_event
+      !moved_bounded
+      (wall_incr /. float_of_int reps)
+      (wall_scratch /. float_of_int reps)
+      speedup incremental_eq_scratch
+      (stats_json_of (fun () -> incr_run ()))
+  in
+  let dir = match ctx.out with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_churn.json" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Format.fprintf fmt "(appended to %s)@." path
+
 let run_perf ctx fmt =
   run_adversary_scaling ctx fmt;
   run_scaling ctx fmt;
   run_kernel_bench ctx fmt;
+  run_churn_bench ctx fmt;
   run_analysis_caching ctx fmt;
   run_topology_scaling ctx fmt;
   run_telemetry_overhead ctx fmt;
@@ -680,6 +778,8 @@ let artefacts : (string * string * (ctx -> Format.formatter -> unit)) list =
     ("perf", "Perf (scaling + Bechamel micro-benchmarks)", run_perf);
     ( "scaling", "Adversary scaling sweep (n×b grid, CSR + sharded CELF)",
       run_scaling );
+    ( "churn-trace", "Churn trace (continuous engine, incremental re-score)",
+      run_churn_bench );
   ]
 
 let run_one ctx (name, title, print) =

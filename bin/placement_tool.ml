@@ -7,6 +7,8 @@
      gap         chunked capacity plan for a system size (Observation 2)
      simulate    materialize a placement and attack it
      attack      attack an exported layout, or a strategy directly
+     churn       replay an event stream through the continuous placement
+                 engine with per-event incremental worst-case re-scoring
      strategies  list the registered placement strategies
      recommend   cheapest (r, s) meeting an availability target
      topology    parse and describe a fault-domain topology spec
@@ -1060,13 +1062,276 @@ let topology_cmd =
        ~doc:"Parse a fault-domain topology spec and describe its levels.")
     Term.(const run $ spec_pos $ json_flag)
 
+(* ------------------------------------------------------------------ *)
+(* churn *)
+
+let churn_cmd =
+  let seed_arg =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed of the synthetic event stream.")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "count" ] ~docv:"M"
+          ~doc:"Number of synthetic events to generate (ignored with \
+                $(b,--events)).")
+  in
+  let measure_arg =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "measure-every" ] ~docv:"E"
+          ~doc:
+            "Emit a measurement row every $(docv) synthetic events (0 \
+             disables the pulse; ignored with $(b,--events), where \
+             $(b,measure) lines drive the rows).")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Replay $(docv) instead of a seeded stream: one event per line — \
+             $(b,fail N), $(b,recover N), $(b,fail-domain LEVEL D), \
+             $(b,create), $(b,delete ID), $(b,measure LABEL) — with blank \
+             lines and #-comments ignored.")
+  in
+  let run n r s k topo seed count measure_every events_file jobs json metrics
+      trace =
+    setup_logs ();
+    with_telemetry ~metrics ~trace @@ fun () ->
+    (match validate_params ~n ~b:1 ~r ~s ~k with
+    | Ok _ -> ()
+    | Error msg -> die ("invalid parameters: " ^ msg));
+    if count < 0 then
+      die
+        (Printf.sprintf "--count %d: the event count must be non-negative"
+           count);
+    if measure_every < 0 then
+      die
+        (Printf.sprintf
+           "--measure-every %d: the measurement period must be non-negative"
+           measure_every);
+    let topology =
+      match topo with
+      | None -> None
+      | Some tree ->
+          if Topology.Tree.n tree <> n then
+            die
+              (Printf.sprintf
+                 "--topology describes %d nodes but the instance has n = %d; \
+                  make the spec's counts multiply out to n"
+                 (Topology.Tree.n tree) n);
+          Some tree
+    in
+    let events, source_json, source_human =
+      match events_file with
+      | Some path ->
+          let content =
+            match open_in_bin path with
+            | exception Sys_error msg -> die ("cannot read " ^ msg)
+            | ic ->
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          let events =
+            match Dsim.Event.parse_string content with
+            | Ok evs -> evs
+            | Error (line, msg) ->
+                die (Printf.sprintf "%s:%d: %s" path line msg)
+          in
+          ( events,
+            Telemetry.Json.Obj
+              [
+                ("kind", Telemetry.Json.Str "file");
+                ("path", Telemetry.Json.Str path);
+                ("events", Telemetry.Json.Int (List.length events));
+              ],
+            Printf.sprintf "event file %s (%d events)" path
+              (List.length events) )
+      | None ->
+          let events =
+            Dsim.Event.seeded
+              ~rng:(Combin.Rng.create seed)
+              ~n ~count ~measure_every ()
+          in
+          ( events,
+            Telemetry.Json.Obj
+              [
+                ("kind", Telemetry.Json.Str "seeded");
+                ("seed", Telemetry.Json.Int seed);
+                ("count", Telemetry.Json.Int count);
+                ("measure_every", Telemetry.Json.Int measure_every);
+              ],
+            Printf.sprintf "seeded stream (seed %d, %d events, measure every %d)"
+              seed count measure_every )
+    in
+    let eng =
+      match Dsim.Churn.create ?topology ~n ~r ~s ~k () with
+      | eng -> eng
+      | exception Invalid_argument msg -> die msg
+    in
+    (* The engine is sequential by construction (DESIGN.md §12): -j is
+       accepted for interface symmetry and the output is byte-identical
+       at any value — the cram suite pins -j1 ≡ -j4. *)
+    with_pool jobs @@ fun _pool ->
+    let rows = ref [] in
+    let creates = ref 0
+    and deletes = ref 0
+    and node_fails = ref 0
+    and node_recovers = ref 0
+    and domain_fails = ref 0
+    and measures = ref 0 in
+    let min_worst = ref max_int in
+    List.iter
+      (fun ev ->
+        let step =
+          match Dsim.Churn.apply eng ev with
+          | step -> step
+          | exception Invalid_argument msg -> die msg
+        in
+        (* Per-event incremental worst-case re-score: no rebuild, and
+           the minimum over each measurement window surfaces transient
+           dips that measurement-time-only scoring would miss. *)
+        let rs = Dsim.Churn.rescore eng in
+        if rs.Dsim.Churn.worst_available < !min_worst then
+          min_worst := rs.Dsim.Churn.worst_available;
+        match ev with
+        | Dsim.Event.Object_create -> incr creates
+        | Dsim.Event.Object_delete _ -> incr deletes
+        | Dsim.Event.Node_fail _ -> incr node_fails
+        | Dsim.Event.Node_recover _ -> incr node_recovers
+        | Dsim.Event.Domain_fail _ -> incr domain_fails
+        | Dsim.Event.Measure label ->
+            incr measures;
+            rows :=
+              ( step.Dsim.Churn.seq,
+                label,
+                step.Dsim.Churn.live,
+                step.Dsim.Churn.available,
+                step.Dsim.Churn.failed_nodes,
+                step.Dsim.Churn.lower_bound,
+                Dsim.Churn.moved_replicas eng,
+                rs.Dsim.Churn.worst_available,
+                !min_worst )
+              :: !rows;
+            min_worst := max_int)
+      events;
+    let rows = List.rev !rows in
+    let final = Dsim.Churn.rescore eng in
+    if json then
+      print_envelope ~command:"churn"
+        (Telemetry.Json.Obj
+           [
+             ( "params",
+               Telemetry.Json.Obj
+                 [
+                   ("n", Telemetry.Json.Int n);
+                   ("r", Telemetry.Json.Int r);
+                   ("s", Telemetry.Json.Int s);
+                   ("k", Telemetry.Json.Int k);
+                 ] );
+             ("source", source_json);
+             ( "rows",
+               Telemetry.Json.List
+                 (List.map
+                    (fun ( seq,
+                           label,
+                           live,
+                           avail,
+                           failed,
+                           lb,
+                           moved,
+                           worst,
+                           min_worst ) ->
+                      Telemetry.Json.Obj
+                        [
+                          ("seq", Telemetry.Json.Int seq);
+                          ("label", Telemetry.Json.Str label);
+                          ("live", Telemetry.Json.Int live);
+                          ("available", Telemetry.Json.Int avail);
+                          ("failed_nodes", Telemetry.Json.Int failed);
+                          ("lower_bound", Telemetry.Json.Int lb);
+                          ("moved_replicas", Telemetry.Json.Int moved);
+                          ("worst_available", Telemetry.Json.Int worst);
+                          ( "min_worst_available",
+                            Telemetry.Json.Int min_worst );
+                        ])
+                    rows) );
+             ( "summary",
+               Telemetry.Json.Obj
+                 [
+                   ("events", Telemetry.Json.Int (Dsim.Churn.events eng));
+                   ("creates", Telemetry.Json.Int !creates);
+                   ("deletes", Telemetry.Json.Int !deletes);
+                   ("node_fails", Telemetry.Json.Int !node_fails);
+                   ("node_recovers", Telemetry.Json.Int !node_recovers);
+                   ("domain_fails", Telemetry.Json.Int !domain_fails);
+                   ("measures", Telemetry.Json.Int !measures);
+                   ( "moved_replicas",
+                     Telemetry.Json.Int (Dsim.Churn.moved_replicas eng) );
+                   ("live", Telemetry.Json.Int (Dsim.Churn.live eng));
+                   ("available", Telemetry.Json.Int (Dsim.Churn.available eng));
+                   ( "worst_available",
+                     Telemetry.Json.Int final.Dsim.Churn.worst_available );
+                   ( "lower_bound",
+                     Telemetry.Json.Int (Dsim.Churn.lower_bound eng) );
+                 ] );
+           ])
+    else begin
+      Fmt.pr "Continuous churn replay on n=%d nodes (r=%d, s=%d, k=%d)@." n r
+        s k;
+      Fmt.pr "  source: %s@." source_human;
+      List.iter
+        (fun (seq, label, live, avail, failed, lb, moved, worst, min_worst) ->
+          Fmt.pr
+            "  [%s] seq=%d live=%d avail=%d worst=%d min_worst=%d lb=%d \
+             failed_nodes=%d moved=%d@."
+            label seq live avail worst min_worst lb failed moved)
+        rows;
+      Fmt.pr
+        "  events: %d (%d creates, %d deletes, %d fails, %d recovers, %d \
+         domain, %d measures)@."
+        (Dsim.Churn.events eng)
+        !creates !deletes !node_fails !node_recovers !domain_fails !measures;
+      Fmt.pr "  moved replicas: %d (exactly r=%d per create, none otherwise)@."
+        (Dsim.Churn.moved_replicas eng)
+        r;
+      Fmt.pr
+        "  final: live=%d available=%d worst-case available=%d lower \
+         bound=%d@."
+        (Dsim.Churn.live eng)
+        (Dsim.Churn.available eng)
+        final.Dsim.Churn.worst_available
+        (Dsim.Churn.lower_bound eng)
+    end
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Replay an event stream (node/domain outages, recoveries, object \
+          create/delete) through the continuous placement engine, \
+          re-scoring worst-case availability incrementally after every \
+          event.")
+    Term.(
+      const run $ n_arg $ r_arg $ s_arg $ k_arg $ topology_term $ seed_arg
+      $ count_arg $ measure_arg $ events_arg $ jobs_term $ json_flag
+      $ metrics_arg $ trace_arg)
+
 let main_cmd =
   let doc = "replica placement for availability in the worst case (ICDCS'15 reproduction)" in
   Cmd.group
     (Cmd.info "placement-tool" ~version:"1.0.0" ~doc)
     [
       plan_cmd; analyze_cmd; designs_cmd; gap_cmd; simulate_cmd; attack_cmd;
-      strategies_cmd; recommend_cmd; topology_cmd;
+      churn_cmd; strategies_cmd; recommend_cmd; topology_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

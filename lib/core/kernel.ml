@@ -219,8 +219,16 @@ type greedy_stats = { evals : int; heap_pops : int; stale_reevals : int }
    order is total, so pops (and hence picks and stats) are identical to
    the one-push-per-loser formulation, minus its per-loser sift cost.
    Returns best_id = -1 on an empty heap (sharded callers own shards
-   that may run dry; select_greedy guards against it up front). *)
-let round_scan st heap ~packed =
+   that may run dry; select_greedy guards against it up front).
+
+   [marginal] abstracts the counter state being scanned: the flat kernel
+   passes [marginal t], the dynamic kernel ({!Dyn.worst_case}) a closure
+   over its scratch plane.  Every comparison below is a lexicographic
+   (newly, progress) pair comparison — valid for ANY packing base
+   exceeding the largest reachable component — so two callers whose
+   marginals agree pointwise produce identical pops, picks and stats
+   even when their packing bases differ. *)
+let round_scan ~marginal heap ~packed =
   let best_key = ref (-1) and best_id = ref (-1) and best_pr = ref 0 in
   let evals = ref 0 and pops = ref 0 and stale = ref 0 in
   let cap = ref 16 and cnt = ref 0 and best_slot = ref (-1) in
@@ -251,7 +259,7 @@ let round_scan st heap ~packed =
         else begin
           ignore (Combin.Heap.Int_max.pop heap);
           incr pops;
-          let ne, pr = marginal st u in
+          let ne, pr = marginal u in
           incr evals;
           let exact = packed ne pr in
           if packed pr pr < key then incr stale;
@@ -292,7 +300,7 @@ let select_greedy t ~picks =
   done;
   let out = Array.make picks 0 in
   for pick = 0 to picks - 1 do
-    let _, best_id, _, e, p, st = round_scan t heap ~packed in
+    let _, best_id, _, e, p, st = round_scan ~marginal:(marginal t) heap ~packed in
     evals := !evals + e;
     pops := !pops + p;
     stale := !stale + st;
@@ -398,7 +406,7 @@ let select_greedy_sharded ?pool ?shards t ~picks =
               done
             end;
             let best_key, best_id, best_pr, e, p, st =
-              round_scan t sh.heap ~packed
+              round_scan ~marginal:(marginal t) sh.heap ~packed
             in
             sh.s_evals <- sh.s_evals + e;
             sh.s_pops <- sh.s_pops + p;
@@ -435,3 +443,294 @@ let select_greedy_sharded ?pool ?shards t ~picks =
       shards_arr;
     (out, { evals = !evals; heap_pops = !pops; stale_reevals = !stale })
   end
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic kernel: the object population itself churns. *)
+
+type kernel = t
+
+module Dyn = struct
+  (* The flat kernel's CSR is immutable — the right trade for one-shot
+     attacks, the wrong one for a churn engine that creates and deletes
+     objects every event.  Dyn keeps the same split of state (per-object
+     hit counters + failed bitset + dead tally) but stores the unit →
+     objects incidence as per-unit rows grown in amortized-doubling
+     blocks, with per-object back-pointers so a delete detaches all r
+     entries by swap-remove in O(r).  Object slots stay dense: the last
+     slot moves into a freed one (callers track the move via
+     {!remove_object}'s return), so the hits plane never fragments.
+
+     Greedy parity: {!worst_case} runs the same CELF round_scan over a
+     scratch all-up plane.  Its packing base is 1 + max_degree where
+     max_degree is a MONOTONE high-water mark of row length — possibly
+     larger than the current max degree after deletes, but any base
+     exceeding every reachable (newly, progress) component yields the
+     same lexicographic comparisons (see round_scan), so picks and stats
+     are bit-identical to [select_greedy] on a freshly built flat kernel
+     over the same live objects. *)
+
+  type nonrec t = {
+    s : int;
+    units : int;
+    mutable b : int;  (* live objects, dense slots [0, b) *)
+    mutable cap : int;  (* slot capacity of the planes below *)
+    mutable hits : hits_plane;
+    mutable obj_units : int array array;  (* slot -> hosting units *)
+    mutable pos : int array array;  (* slot -> entry index in rows.(u) *)
+    rows : int array array;  (* unit -> live slots, length row_len.(u) *)
+    row_len : int array;
+    failed : Combin.Bitset.t;
+    mutable killed : int;
+    mutable max_degree : int;  (* monotone row-length high-water mark *)
+    mutable moves : int;  (* lifetime object add/remove count *)
+  }
+
+  let create ~units ~s =
+    if units < 0 then invalid_arg "Kernel.Dyn.create: negative unit count";
+    if s < 1 then invalid_arg "Kernel.Dyn.create: threshold s must be >= 1";
+    {
+      s;
+      units;
+      b = 0;
+      cap = 0;
+      hits = fresh_hits 0;
+      obj_units = [||];
+      pos = [||];
+      rows = Array.make units [||];
+      row_len = Array.make units 0;
+      failed = Combin.Bitset.create units;
+      killed = 0;
+      max_degree = 0;
+      moves = 0;
+    }
+
+  let units t = t.units
+  let objects t = t.b
+  let threshold t = t.s
+  let killed t = t.killed
+  let hits t slot = t.hits.{slot}
+  let failed_units t = Combin.Bitset.to_array t.failed
+  let moves t = t.moves
+  let replicas t slot = Array.copy t.obj_units.(slot)
+
+  let ensure_slot_capacity t =
+    if t.b = t.cap then begin
+      let cap = max 16 (2 * t.cap) in
+      let hits = fresh_hits cap in
+      Bigarray.Array1.blit t.hits (Bigarray.Array1.sub hits 0 t.cap);
+      let obj_units = Array.make cap [||] in
+      Array.blit t.obj_units 0 obj_units 0 t.b;
+      let pos = Array.make cap [||] in
+      Array.blit t.pos 0 pos 0 t.b;
+      t.hits <- hits;
+      t.obj_units <- obj_units;
+      t.pos <- pos;
+      t.cap <- cap
+    end
+
+  (* Append [slot] to unit [u]'s row, doubling the block when full;
+     returns the entry index (the back-pointer remove_object needs). *)
+  let row_push t u slot =
+    let len = t.row_len.(u) in
+    let row = t.rows.(u) in
+    let row =
+      if len = Array.length row then begin
+        let grown = Array.make (max 8 (2 * len)) 0 in
+        Array.blit row 0 grown 0 len;
+        t.rows.(u) <- grown;
+        grown
+      end
+      else row
+    in
+    row.(len) <- slot;
+    t.row_len.(u) <- len + 1;
+    if len + 1 > t.max_degree then t.max_degree <- len + 1;
+    len
+
+  let add_object t units_arr =
+    Array.iteri
+      (fun i u ->
+        if u < 0 || u >= t.units then
+          invalid_arg "Kernel.Dyn.add_object: unit out of range";
+        for j = 0 to i - 1 do
+          if units_arr.(j) = u then
+            invalid_arg "Kernel.Dyn.add_object: duplicate unit"
+        done)
+      units_arr;
+    ensure_slot_capacity t;
+    let slot = t.b in
+    t.b <- slot + 1;
+    let deg = Array.length units_arr in
+    t.obj_units.(slot) <- Array.copy units_arr;
+    let pos = Array.make deg 0 in
+    let h = ref 0 in
+    Array.iteri
+      (fun i u ->
+        pos.(i) <- row_push t u slot;
+        if Combin.Bitset.mem t.failed u then incr h)
+      units_arr;
+    t.pos.(slot) <- pos;
+    t.hits.{slot} <- !h;
+    if !h >= t.s then t.killed <- t.killed + 1;
+    t.moves <- t.moves + 1;
+    slot
+
+  (* The swap-remove in unit [u]'s row moved object [moved]'s entry from
+     index [from] to [to_]; repair its back-pointer.  [moved]'s units
+     are distinct, so exactly one of its entries lives in [u]'s row. *)
+  let fix_pos t moved u ~from ~to_ =
+    let ous = t.obj_units.(moved) and ps = t.pos.(moved) in
+    let n = Array.length ous in
+    let i = ref 0 in
+    while !i < n && not (ous.(!i) = u && ps.(!i) = from) do incr i done;
+    if !i = n then failwith "Kernel.Dyn: incidence back-pointer out of sync";
+    ps.(!i) <- to_
+
+  let remove_object t slot =
+    if slot < 0 || slot >= t.b then
+      invalid_arg "Kernel.Dyn.remove_object: object slot out of range";
+    if t.hits.{slot} >= t.s then t.killed <- t.killed - 1;
+    (* Detach every row entry by swap-remove. *)
+    let ous = t.obj_units.(slot) and ps = t.pos.(slot) in
+    Array.iteri
+      (fun i u ->
+        let p = ps.(i) in
+        let last = t.row_len.(u) - 1 in
+        let row = t.rows.(u) in
+        let moved = row.(last) in
+        row.(p) <- moved;
+        t.row_len.(u) <- last;
+        if p <> last then fix_pos t moved u ~from:last ~to_:p)
+      ous;
+    (* Keep slots dense: the last object moves into the freed slot. *)
+    let lastslot = t.b - 1 in
+    if slot <> lastslot then begin
+      t.hits.{slot} <- t.hits.{lastslot};
+      t.obj_units.(slot) <- t.obj_units.(lastslot);
+      t.pos.(slot) <- t.pos.(lastslot);
+      Array.iteri
+        (fun i u -> t.rows.(u).(t.pos.(slot).(i)) <- slot)
+        t.obj_units.(slot)
+    end;
+    t.obj_units.(lastslot) <- [||];
+    t.pos.(lastslot) <- [||];
+    t.b <- lastslot;
+    t.moves <- t.moves + 1;
+    lastslot
+
+  let check_unit t u name =
+    if u < 0 || u >= t.units then
+      invalid_arg (Printf.sprintf "Kernel.Dyn.%s: unit %d out of range" name u)
+
+  let fail_unit t u =
+    check_unit t u "fail_unit";
+    if Combin.Bitset.mem t.failed u then
+      invalid_arg "Kernel.Dyn.fail_unit: unit already failed";
+    Combin.Bitset.add t.failed u;
+    let row = t.rows.(u) and s = t.s in
+    for i = 0 to t.row_len.(u) - 1 do
+      let slot = Array.unsafe_get row i in
+      let h = t.hits.{slot} + 1 in
+      t.hits.{slot} <- h;
+      if h = s then t.killed <- t.killed + 1
+    done
+
+  let recover_unit t u =
+    check_unit t u "recover_unit";
+    if not (Combin.Bitset.mem t.failed u) then
+      invalid_arg "Kernel.Dyn.recover_unit: unit not failed";
+    Combin.Bitset.remove t.failed u;
+    let row = t.rows.(u) and s = t.s in
+    for i = 0 to t.row_len.(u) - 1 do
+      let slot = Array.unsafe_get row i in
+      let h = t.hits.{slot} in
+      if h = s then t.killed <- t.killed - 1;
+      t.hits.{slot} <- h - 1
+    done
+
+  let marginal t u =
+    check_unit t u "marginal";
+    let newly = ref 0 and progress = ref 0 in
+    let row = t.rows.(u) and s = t.s in
+    for i = 0 to t.row_len.(u) - 1 do
+      let h = t.hits.{Array.unsafe_get row i} in
+      if h + 1 = s then incr newly;
+      if h < s then incr progress
+    done;
+    (!newly, !progress)
+
+  (* The from-scratch oracle: recount every object's hits straight from
+     its replica list and the failed bitset, verifying the incremental
+     plane on the way.  O(b·r); tests and gates only. *)
+  let check_scratch t =
+    let dead = ref 0 in
+    for slot = 0 to t.b - 1 do
+      let h = ref 0 in
+      Array.iter
+        (fun u -> if Combin.Bitset.mem t.failed u then incr h)
+        t.obj_units.(slot);
+      if !h <> t.hits.{slot} then
+        failwith "Kernel.Dyn: hits plane out of sync with the incidence";
+      if !h >= t.s then incr dead
+    done;
+    !dead
+
+  (* Pack the live rows into a flat kernel and replay the failure set:
+     the from-scratch arm of the incremental ≡ scratch equivalence. *)
+  let freeze t =
+    let groups =
+      Array.init t.units (fun u -> Array.sub t.rows.(u) 0 t.row_len.(u))
+    in
+    let kn = of_groups ~s:t.s ~b:t.b groups in
+    Array.iter (fun u -> add kn u) (Combin.Bitset.to_array t.failed);
+    kn
+
+  let worst_case t ~k =
+    if k < 0 || k > t.units then
+      invalid_arg "Kernel.Dyn.worst_case: more picks than units";
+    (* All-up scratch plane: the adversary attacks the current object
+       population from zero failures, never the live failure state. *)
+    let scratch = fresh_hits (max 1 t.b) in
+    let s = t.s in
+    let dead = ref 0 in
+    let marginal_scratch u =
+      let newly = ref 0 and progress = ref 0 in
+      let row = t.rows.(u) in
+      for i = 0 to t.row_len.(u) - 1 do
+        let h = scratch.{Array.unsafe_get row i} in
+        if h + 1 = s then incr newly;
+        if h < s then incr progress
+      done;
+      (!newly, !progress)
+    in
+    let apply u =
+      let row = t.rows.(u) in
+      for i = 0 to t.row_len.(u) - 1 do
+        let slot = Array.unsafe_get row i in
+        let h = scratch.{slot} + 1 in
+        scratch.{slot} <- h;
+        if h = s then incr dead
+      done
+    in
+    let base = 1 + t.max_degree in
+    let packed ne pr = (ne * base) + pr in
+    let heap = Combin.Heap.Int_max.create () in
+    let evals = ref 0 and pops = ref 0 and stale = ref 0 in
+    for u = 0 to t.units - 1 do
+      let _, pr = marginal_scratch u in
+      incr evals;
+      Combin.Heap.Int_max.push heap ~key:(packed pr pr) u
+    done;
+    let out = Array.make k 0 in
+    for pick = 0 to k - 1 do
+      let _, best_id, _, e, p, st =
+        round_scan ~marginal:marginal_scratch heap ~packed
+      in
+      evals := !evals + e;
+      pops := !pops + p;
+      stale := !stale + st;
+      apply best_id;
+      out.(pick) <- best_id
+    done;
+    (out, !dead, { evals = !evals; heap_pops = !pops; stale_reevals = !stale })
+end

@@ -135,3 +135,89 @@ val select_greedy_sharded :
 val updates : t -> int
 (** Lifetime {!add} + {!remove} count on this state (not its copies) —
     drained by callers into telemetry. *)
+
+type kernel = t
+(** Alias so {!Dyn} can name the flat kernel it freezes into. *)
+
+(** The dynamic kernel: same hit-counter state machine, but the object
+    population itself churns.  Where the flat kernel's CSR incidence is
+    immutable (built once per layout), [Dyn] stores the unit → objects
+    incidence as per-unit rows grown in amortized-doubling blocks with
+    per-object back-pointers, so a churn engine can create and delete
+    objects in O(r) per event and fail/recover units in O(load) —
+    re-scoring availability and the lazy-greedy adversary after every
+    event without ever rebuilding (DESIGN.md §12). *)
+module Dyn : sig
+  type t
+
+  val create : units:int -> s:int -> t
+  (** An empty population over a fixed unit universe.
+      @raise Invalid_argument when [units < 0] or [s < 1] (a
+      non-positive threshold kills every object; the churn engine has no
+      use for that degenerate regime). *)
+
+  val units : t -> int
+  val objects : t -> int
+  (** Live objects; their slots are dense in [0, objects t). *)
+
+  val threshold : t -> int
+
+  val add_object : t -> int array -> int
+  (** Register one object hosted by the given (distinct) units; returns
+      its slot, always [objects t] before the call.  O(r) amortized; the
+      hit counter is seeded from the current failure set, so an object
+      created inside an outage is born dead when ≥ s of its hosts are
+      down.  @raise Invalid_argument on an out-of-range or repeated
+      unit. *)
+
+  val remove_object : t -> int -> int
+  (** Delete the object in the given slot, O(r).  Slots stay dense: the
+      last slot's object moves into the freed slot, and the PREVIOUS
+      last slot index ([objects t] after the call) is returned so
+      callers tracking external ids can update their slot map — when the
+      returned index equals the removed slot, nothing moved.
+      @raise Invalid_argument on an out-of-range slot. *)
+
+  val replicas : t -> int -> int array
+  (** The hosting units of a live slot (a fresh copy). *)
+
+  val fail_unit : t -> int -> unit
+  (** Fail one unit: O(load).  @raise Invalid_argument if already
+      failed. *)
+
+  val recover_unit : t -> int -> unit
+  (** Undo {!fail_unit}. *)
+
+  val killed : t -> int
+  (** Objects with ≥ s replicas inside the current failure set. *)
+
+  val hits : t -> int -> int
+  val failed_units : t -> int array
+  val marginal : t -> int -> int * int
+
+  val moves : t -> int
+  (** Lifetime object creates + deletes — drained into telemetry. *)
+
+  val check_scratch : t -> int
+  (** From-scratch recount of {!killed} straight from each object's
+      replica list and the failed bitset, verifying the incremental hits
+      plane entry by entry on the way ([Failure] on any divergence).
+      O(b·r) — the oracle proving incremental ≡ from-scratch. *)
+
+  val freeze : t -> kernel
+  (** Pack the live rows into a flat {!kernel} (same slot numbering) and
+      replay the current failure set onto it — the from-scratch rebuild
+      the incremental state is tested against, and what a one-shot
+      caller should use for B&B or sharded attacks. *)
+
+  val worst_case : t -> k:int -> int array * int * greedy_stats
+  (** CELF lazy-greedy adversary over the CURRENT object population,
+      attacking from all-up on a scratch counter plane (the live failure
+      state is left untouched and does not bias the adversary): returns
+      the k picks in order, the objects they kill, and the scan stats.
+      Picks and stats are bit-identical to {!select_greedy} on a freshly
+      built flat kernel over the same live objects — the packing base
+      differs (a monotone degree high-water mark) but every CELF
+      comparison is base-invariant (see DESIGN.md §12).
+      @raise Invalid_argument when [k] exceeds the unit count. *)
+end

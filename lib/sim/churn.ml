@@ -1,0 +1,222 @@
+let m_events = Telemetry.Registry.counter "sim/churn/events"
+let m_moved = Telemetry.Registry.counter "sim/churn/moved_replicas"
+let m_rescore_evals = Telemetry.Registry.counter "sim/churn/rescore/evals"
+let m_rescore_pops = Telemetry.Registry.counter "sim/churn/rescore/heap_pops"
+let sp_apply = Telemetry.Registry.span "sim/churn/apply"
+let sp_rescore = Telemetry.Registry.span "sim/churn/rescore"
+
+type t = {
+  n : int;
+  r : int;
+  s : int;
+  k : int;
+  topology : Topology.Tree.t;
+  placement : Placement.Adaptive.t;
+  dyn : Placement.Kernel.Dyn.t;
+  up : bool array;
+  id_slot : (int, int) Hashtbl.t;  (* adaptive object id -> dyn slot *)
+  mutable slot_id : int array;  (* dyn slot -> adaptive object id *)
+  mutable events : int;
+  mutable moved : int;
+}
+
+type step = {
+  seq : int;
+  event : Event.t;
+  moved : int;
+  live : int;
+  available : int;
+  failed_nodes : int;
+  lower_bound : int;
+}
+
+type rescore = { attack : int array; worst_available : int }
+
+let create ?levels ?topology ~n ~r ~s ~k () =
+  let topology =
+    match topology with
+    | None -> Topology.Build.flat n
+    | Some topo ->
+        if Topology.Tree.n topo <> n then
+          invalid_arg
+            (Printf.sprintf
+               "Churn.create: topology has %d nodes but n is %d"
+               (Topology.Tree.n topo) n);
+        topo
+  in
+  {
+    n;
+    r;
+    s;
+    k;
+    topology;
+    placement = Placement.Adaptive.create ?levels ~n ~r ~s ~k ();
+    dyn = Placement.Kernel.Dyn.create ~units:n ~s;
+    up = Array.make n true;
+    id_slot = Hashtbl.create 64;
+    slot_id = [||];
+    events = 0;
+    moved = 0;
+  }
+
+let n t = t.n
+let r t = t.r
+let s t = t.s
+let k t = t.k
+let topology t = t.topology
+let live t = Placement.Kernel.Dyn.objects t.dyn
+let events t = t.events
+let moved_replicas (t : t) = t.moved
+let node_up t nd = t.up.(nd)
+let available t = live t - Placement.Kernel.Dyn.killed t.dyn
+let lower_bound t = Placement.Adaptive.lower_bound t.placement
+let layout t = Placement.Adaptive.layout t.placement
+
+let failed_nodes t =
+  let out = ref [] in
+  for nd = t.n - 1 downto 0 do
+    if not t.up.(nd) then out := nd :: !out
+  done;
+  Array.of_list !out
+
+let check_node t nd =
+  if nd < 0 || nd >= t.n then
+    invalid_arg
+      (Printf.sprintf "Churn: node %d out of range (n = %d)" nd t.n)
+
+let fail_node t nd =
+  check_node t nd;
+  if t.up.(nd) then begin
+    t.up.(nd) <- false;
+    Placement.Kernel.Dyn.fail_unit t.dyn nd
+  end
+
+let recover_node t nd =
+  check_node t nd;
+  if not t.up.(nd) then begin
+    t.up.(nd) <- true;
+    Placement.Kernel.Dyn.recover_unit t.dyn nd
+  end
+
+let create_object t =
+  let id = Placement.Adaptive.add t.placement in
+  let rs = Placement.Adaptive.replica_set t.placement id in
+  let slot = Placement.Kernel.Dyn.add_object t.dyn rs in
+  if slot = Array.length t.slot_id then begin
+    let grown = Array.make (max 16 (2 * slot)) (-1) in
+    Array.blit t.slot_id 0 grown 0 slot;
+    t.slot_id <- grown
+  end;
+  t.slot_id.(slot) <- id;
+  Hashtbl.replace t.id_slot id slot;
+  Array.length rs
+
+let delete_object t id =
+  match Hashtbl.find_opt t.id_slot id with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Churn: delete of unknown object id %d (never created or already \
+            deleted)"
+           id)
+  | Some slot ->
+      Placement.Adaptive.remove t.placement id;
+      let lastslot = Placement.Kernel.Dyn.remove_object t.dyn slot in
+      Hashtbl.remove t.id_slot id;
+      (* Dyn keeps slots dense: the object in [lastslot] (if any) moved
+         into [slot] — mirror that in the id maps. *)
+      if lastslot <> slot then begin
+        let moved_id = t.slot_id.(lastslot) in
+        t.slot_id.(slot) <- moved_id;
+        Hashtbl.replace t.id_slot moved_id slot
+      end;
+      t.slot_id.(lastslot) <- -1
+
+let apply t ev =
+  Telemetry.Span.time sp_apply @@ fun () ->
+  let moved =
+    match ev with
+    | Event.Node_fail nd ->
+        fail_node t nd;
+        0
+    | Event.Node_recover nd ->
+        recover_node t nd;
+        0
+    | Event.Domain_fail (level, d) ->
+        let depth = Topology.Tree.depth t.topology in
+        if level < 0 || level >= depth then
+          invalid_arg
+            (Printf.sprintf
+               "Churn: domain level %d out of range (topology depth %d)"
+               level depth);
+        if d < 0 || d >= Topology.Tree.domain_count t.topology ~level then
+          invalid_arg
+            (Printf.sprintf
+               "Churn: domain %d out of range at level %d (%d domains)"
+               d level
+               (Topology.Tree.domain_count t.topology ~level));
+        Array.iter (fail_node t) (Topology.Tree.members t.topology ~level d);
+        0
+    | Event.Object_create -> create_object t
+    | Event.Object_delete id ->
+        delete_object t id;
+        0
+    | Event.Measure _ -> 0
+  in
+  t.events <- t.events + 1;
+  t.moved <- t.moved + moved;
+  Telemetry.Counter.incr m_events;
+  Telemetry.Counter.add m_moved moved;
+  {
+    seq = t.events;
+    event = ev;
+    moved;
+    live = live t;
+    available = available t;
+    failed_nodes = Array.length (failed_nodes t);
+    lower_bound = lower_bound t;
+  }
+
+let rescore t =
+  Telemetry.Span.time sp_rescore @@ fun () ->
+  let picks, dead, stats = Placement.Kernel.Dyn.worst_case t.dyn ~k:t.k in
+  Telemetry.Counter.add m_rescore_evals stats.Placement.Kernel.evals;
+  Telemetry.Counter.add m_rescore_pops stats.Placement.Kernel.heap_pops;
+  { attack = picks; worst_available = live t - dead }
+
+(* The incremental ≡ from-scratch oracle, every layer at once:
+   - the Dyn hits plane and dead tally against a straight recount;
+   - the Adaptive bookkeeping invariants;
+   - current availability against a freshly built flat Kernel over the
+     live layout, evaluated one-shot on the failed-node set;
+   - the incremental adversary's picks, damage and scan stats against
+     select_greedy on that fresh kernel.
+   O(b·r + greedy); tests and gates only. *)
+let check t =
+  let dyn_killed = Placement.Kernel.Dyn.killed t.dyn in
+  let recount = Placement.Kernel.Dyn.check_scratch t.dyn in
+  if recount <> dyn_killed then
+    failwith
+      (Printf.sprintf "Churn.check: incremental killed %d <> recount %d"
+         dyn_killed recount);
+  Placement.Adaptive.check_invariants t.placement;
+  let layout = Placement.Adaptive.layout t.placement in
+  let kn = Placement.Kernel.make layout ~s:t.s in
+  let scratch_killed = Placement.Kernel.check kn (failed_nodes t) in
+  if scratch_killed <> dyn_killed then
+    failwith
+      (Printf.sprintf
+         "Churn.check: incremental killed %d <> from-scratch kernel %d"
+         dyn_killed scratch_killed);
+  let picks, dead, stats = Placement.Kernel.Dyn.worst_case t.dyn ~k:t.k in
+  let picks_ref, stats_ref = Placement.Kernel.select_greedy kn ~picks:t.k in
+  let dead_ref = Placement.Kernel.killed kn in
+  if picks <> picks_ref then
+    failwith "Churn.check: incremental adversary picks differ from scratch";
+  if dead <> dead_ref then
+    failwith
+      (Printf.sprintf
+         "Churn.check: incremental adversary kills %d <> scratch %d" dead
+         dead_ref);
+  if stats <> stats_ref then
+    failwith "Churn.check: incremental adversary scan stats differ from scratch"

@@ -1,0 +1,98 @@
+(** The continuous placement engine: a live {!Placement.Adaptive}
+    placement, the node up/down state, and an incremental
+    {!Placement.Kernel.Dyn} worst-case kernel, all advanced one
+    {!Event.t} at a time (DESIGN.md §12).
+
+    Where {!Cluster} replays infrastructure events against a fixed
+    layout, this engine also consumes the object-churn events: an
+    [Object_create] routes the new object through the adaptive Combo
+    placement (moving exactly r replicas — the bounded-data-movement
+    contract: no event ever relocates an existing object) and registers
+    it with the kernel in O(r); an [Object_delete] retires it in O(r).
+    After every event the engine can report the live Lemma-3
+    {!lower_bound} and re-run the lazy-greedy adversary incrementally
+    ({!rescore}) without rebuilding any state — bit-identical to a
+    from-scratch {!Placement.Kernel} evaluation, which {!check}
+    verifies.
+
+    Determinism: the engine never consults a pool or the clock; a
+    replay of the same event stream is bit-identical at any [-j]. *)
+
+type t
+
+type step = {
+  seq : int;  (** 1-based event sequence number *)
+  event : Event.t;
+  moved : int;  (** replicas moved by this event: r on create, else 0 *)
+  live : int;  (** live objects after the event *)
+  available : int;  (** live objects not killed by the current outages *)
+  failed_nodes : int;
+  lower_bound : int;  (** the live Lemma-3 guarantee *)
+}
+
+type rescore = {
+  attack : int array;  (** the k greedy picks, in pick order *)
+  worst_available : int;
+      (** objects surviving that attack on the current population *)
+}
+
+val create :
+  ?levels:Placement.Combo.level array ->
+  ?topology:Topology.Tree.t ->
+  n:int ->
+  r:int ->
+  s:int ->
+  k:int ->
+  unit ->
+  t
+(** An empty engine over [n] nodes, all up.  [topology] (default
+    {!Topology.Build.flat}) resolves [Domain_fail] events.
+    @raise Invalid_argument on a node-count mismatch or unusable
+    parameters. *)
+
+val n : t -> int
+val r : t -> int
+val s : t -> int
+val k : t -> int
+val topology : t -> Topology.Tree.t
+
+val live : t -> int
+(** Live objects. *)
+
+val events : t -> int
+(** Events applied so far. *)
+
+val moved_replicas : t -> int
+(** Total replicas moved over the engine's lifetime. *)
+
+val node_up : t -> int -> bool
+val failed_nodes : t -> int array
+
+val available : t -> int
+(** Live objects not killed by the current outages (incremental). *)
+
+val lower_bound : t -> int
+val layout : t -> Placement.Layout.t
+(** Snapshot of the live placement (increasing object-id order). *)
+
+val apply : t -> Event.t -> step
+(** Advance by one event.  Node failures/recoveries are idempotent
+    (mirroring {!Cluster}); [Measure] changes nothing and exists so
+    callers can snapshot at the producer's chosen points.
+    @raise Invalid_argument on an out-of-range node/domain or an
+    unknown object id — one actionable sentence, surfaced verbatim by
+    the CLI. *)
+
+val rescore : t -> rescore
+(** Re-run the worst-case adversary on the current population without
+    rebuilding: CELF lazy-greedy over the dynamic kernel, attacking
+    from all-up.  Picks and scan stats are bit-identical to
+    {!Placement.Kernel.select_greedy} on a freshly built kernel over
+    {!layout}. *)
+
+val check : t -> unit
+(** The incremental ≡ from-scratch oracle: recounts the dynamic
+    kernel's hit plane, re-checks the adaptive invariants, and compares
+    availability, adversary picks and scan stats against a fresh flat
+    {!Placement.Kernel} built from {!layout}.  [Failure] on any
+    divergence.  O(b·r + greedy) — test-suite and gate hook. *)

@@ -110,6 +110,20 @@ let recover_all t =
 let fail_domain t ~level d =
   Array.iter (fail_node t) (Topology.Tree.members t.topology ~level d)
 
+(* The unified event vocabulary (see Event): a cluster consumes the
+   infrastructure events; object churn needs the adaptive engine
+   (Churn) because this layout is fixed at creation. *)
+let apply_event t ev =
+  match ev with
+  | Event.Node_fail nd -> fail_node t nd
+  | Event.Node_recover nd -> recover_node t nd
+  | Event.Domain_fail (level, d) -> fail_domain t ~level d
+  | Event.Measure _ -> ()
+  | Event.Object_create | Event.Object_delete _ ->
+      invalid_arg
+        "Cluster.apply_event: object churn needs Dsim.Churn (a cluster's \
+         layout is fixed)"
+
 let object_available t obj = Placement.Kernel.hits t.kernel obj < t.s
 
 let available_objects t = b t - Placement.Kernel.killed t.kernel

@@ -55,6 +55,18 @@ val fail_rack : t -> int -> unit
 val fail_domain : t -> level:int -> int -> unit
 (** Fail every node of a domain of the topology. *)
 
+val apply_event : t -> Event.t -> unit
+(** Consume one unified event ({!Event.t}): node failures/recoveries
+    and domain failures route to the operations above, [Measure] is a
+    no-op (callers snapshot around it — see {!Trace.replay}).
+    @raise Invalid_argument on object churn events: a cluster's layout
+    is fixed, use {!Churn} for the object-churn regime. *)
+
+val rack_domain : t -> int -> int option
+(** Normalized rack-level domain id holding the caller's rack id, if
+    any — the fault-domain id {!Trace} snapshots attribute rack
+    failures to. *)
+
 val rack_of : t -> int -> int
 (** Rack id of a node. *)
 

@@ -1,0 +1,154 @@
+type t =
+  | Node_fail of int
+  | Node_recover of int
+  | Domain_fail of int * int
+  | Object_create
+  | Object_delete of int
+  | Measure of string
+
+let describe = function
+  | Node_fail nd -> Printf.sprintf "fail node %d" nd
+  | Node_recover nd -> Printf.sprintf "recover node %d" nd
+  | Domain_fail (level, d) -> Printf.sprintf "fail level-%d domain %d" level d
+  | Object_create -> "create object"
+  | Object_delete id -> Printf.sprintf "delete object %d" id
+  | Measure label -> Printf.sprintf "measure %S" label
+
+let to_line = function
+  | Node_fail nd -> Printf.sprintf "fail %d" nd
+  | Node_recover nd -> Printf.sprintf "recover %d" nd
+  | Domain_fail (level, d) -> Printf.sprintf "fail-domain %d %d" level d
+  | Object_create -> "create"
+  | Object_delete id -> Printf.sprintf "delete %d" id
+  | Measure label -> if label = "" then "measure" else "measure " ^ label
+
+(* One event per line, [to_line]'s spelling; blank lines and #-comments
+   are skipped.  Errors are single actionable sentences — the CLI
+   prefixes them with FILE:LINE. *)
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    let words =
+      String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+    in
+    let int_arg ~what v k =
+      match int_of_string_opt v with
+      | Some i -> k i
+      | None -> Error (Printf.sprintf "%s expects an integer, got %S" what v)
+    in
+    match words with
+    | "fail" :: rest -> (
+        match rest with
+        | [ nd ] ->
+            int_arg ~what:"fail" nd (fun nd -> Ok (Some (Node_fail nd)))
+        | _ -> Error "fail expects exactly one node id (e.g. \"fail 3\")")
+    | "recover" :: rest -> (
+        match rest with
+        | [ nd ] ->
+            int_arg ~what:"recover" nd (fun nd -> Ok (Some (Node_recover nd)))
+        | _ -> Error "recover expects exactly one node id (e.g. \"recover 3\")")
+    | "fail-domain" :: rest -> (
+        match rest with
+        | [ level; d ] ->
+            int_arg ~what:"fail-domain" level (fun level ->
+                int_arg ~what:"fail-domain" d (fun d ->
+                    Ok (Some (Domain_fail (level, d)))))
+        | _ ->
+            Error
+              "fail-domain expects a level and a domain id (e.g. \
+               \"fail-domain 1 0\")")
+    | [ "create" ] -> Ok (Some Object_create)
+    | "create" :: _ -> Error "create takes no arguments"
+    | "delete" :: rest -> (
+        match rest with
+        | [ id ] ->
+            int_arg ~what:"delete" id (fun id -> Ok (Some (Object_delete id)))
+        | _ ->
+            Error "delete expects exactly one object id (e.g. \"delete 17\")")
+    | "measure" :: rest -> Ok (Some (Measure (String.concat " " rest)))
+    | cmd :: _ ->
+        Error
+          (Printf.sprintf
+             "unknown event %S (expected fail, recover, fail-domain, create, \
+              delete or measure)"
+             cmd)
+    | [] -> assert false
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line line with
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some ev) -> go (lineno + 1) (ev :: acc) rest
+        | Error msg -> Error (lineno, msg))
+  in
+  go 1 [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Seeded synthetic churn.
+
+   The generator tracks its own shadow of the engine state — the live
+   object ids (the engine hands them out sequentially from [initial])
+   and the node up/down set — so every emitted event is valid by
+   construction: deletes name a live id, fails hit an up node, recovers
+   a down one.  Create-biased so the population grows over the trace.
+   Pure function of (rng, n, initial, count, measure_every). *)
+let seeded ~rng ~n ?(initial = 0) ~count ~measure_every () =
+  if n < 1 then invalid_arg "Event.seeded: need at least one node";
+  if initial < 0 || count < 0 then
+    invalid_arg "Event.seeded: negative event count";
+  let live = ref (Array.init (max 16 initial) Fun.id) in
+  let nlive = ref initial in
+  let next_id = ref initial in
+  let up = Array.make n true in
+  let ndown = ref 0 in
+  let out = ref [] in
+  let emit ev = out := ev :: !out in
+  let create () =
+    if !nlive = Array.length !live then begin
+      let grown = Array.make (2 * !nlive) 0 in
+      Array.blit !live 0 grown 0 !nlive;
+      live := grown
+    end;
+    !live.(!nlive) <- !next_id;
+    incr nlive;
+    incr next_id;
+    emit Object_create
+  in
+  for i = 1 to count do
+    let d = Combin.Rng.int rng 100 in
+    if d < 55 || (d < 70 && !nlive = 0) || (d >= 85 && !ndown = 0) then
+      create ()
+    else if d < 70 then begin
+      let slot = Combin.Rng.int rng !nlive in
+      emit (Object_delete !live.(slot));
+      decr nlive;
+      !live.(slot) <- !live.(!nlive)
+    end
+    else if d < 85 && !ndown < n then begin
+      (* Rejection-sample an up node: deterministic given the rng. *)
+      let nd = ref (Combin.Rng.int rng n) in
+      while not up.(!nd) do nd := Combin.Rng.int rng n done;
+      up.(!nd) <- false;
+      incr ndown;
+      emit (Node_fail !nd)
+    end
+    else begin
+      (* Recover the [pick]-th currently-down node (ascending scan). *)
+      let pick = ref (Combin.Rng.int rng !ndown) in
+      let nd = ref 0 in
+      while up.(!nd) || !pick > 0 do
+        if not up.(!nd) then decr pick;
+        incr nd
+      done;
+      up.(!nd) <- true;
+      decr ndown;
+      emit (Node_recover !nd)
+    end;
+    if measure_every > 0 && i mod measure_every = 0 then
+      emit (Measure (Printf.sprintf "t%d" i))
+  done;
+  List.rev !out

@@ -1,0 +1,51 @@
+(** The unified change vocabulary of the simulation layer.
+
+    One event type covers every way the system changes: node and
+    fault-domain outages, node recoveries, object creation/deletion
+    (the churn regime of {!Churn}), and labelled measurement pulses.
+    {!Trace}, {!Scenario} and {!Repair} produce or consume this stream
+    (their historical vocabularies lower onto it byte-identically), and
+    {!Churn} replays it against a live adaptive placement; see
+    DESIGN.md §12. *)
+
+type t =
+  | Node_fail of int  (** one node goes down *)
+  | Node_recover of int  (** one node comes back *)
+  | Domain_fail of int * int
+      (** [Domain_fail (level, d)]: every node of domain [d] at tree
+          level [level] goes down *)
+  | Object_create  (** a new object enters; ids are assigned
+          sequentially by the consumer *)
+  | Object_delete of int  (** object [id] leaves *)
+  | Measure of string  (** record a labelled observation *)
+
+val describe : t -> string
+
+val to_line : t -> string
+(** The one-line file spelling: [fail 3], [recover 3],
+    [fail-domain 1 0], [create], [delete 17], [measure LABEL]. *)
+
+val parse_line : string -> (t option, string) result
+(** Parse one line of an event file.  [Ok None] on a blank line or a
+    [#] comment; [Error msg] carries a single actionable sentence. *)
+
+val parse_string : string -> (t list, int * string) result
+(** Parse a whole event file.  The error carries the 1-based line
+    number of the first malformed line. *)
+
+val seeded :
+  rng:Combin.Rng.t ->
+  n:int ->
+  ?initial:int ->
+  count:int ->
+  measure_every:int ->
+  unit ->
+  t list
+(** A deterministic synthetic churn trace of [count] events over [n]
+    nodes: create-biased object churn (ids sequential from [initial],
+    which declares how many objects the consumer already holds) mixed
+    with node failures and recoveries, every event valid by
+    construction (deletes name live ids, failures hit up nodes).  When
+    [measure_every > 0], a [Measure "t<i>"] pulse follows every
+    [measure_every]-th event (so the returned list is slightly longer
+    than [count]).  Same arguments, same stream. *)

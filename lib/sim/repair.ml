@@ -17,6 +17,9 @@ let nines s =
   if s.object_downtime_fraction <= 0.0 then infinity
   else -.log10 s.object_downtime_fraction
 
+(* The queue payload is a *scheduled* occurrence; when it fires, the
+   state change itself goes through the unified Event vocabulary
+   (Cluster.apply_event), like every other producer in this layer. *)
 type event = Fail of int | Repair of int
 
 let exponential rng mean = -.mean *. log (1.0 -. Combin.Rng.float rng)
@@ -58,7 +61,7 @@ let run ~rng cluster config =
         (match ev with
         | Fail nd ->
             if Cluster.node_up cluster nd then begin
-              Cluster.fail_node cluster nd;
+              Cluster.apply_event cluster (Event.Node_fail nd);
               Combin.Heap.push queue
                 (t +. exponential rng config.mean_repair)
                 (Repair nd)
@@ -70,7 +73,7 @@ let run ~rng cluster config =
                 (t +. exponential rng (1.0 /. config.failure_rate))
                 (Fail nd)
         | Repair nd ->
-            Cluster.recover_node cluster nd;
+            Cluster.apply_event cluster (Event.Node_recover nd);
             Combin.Heap.push queue
               (t +. exponential rng (1.0 /. config.failure_rate))
               (Fail nd));

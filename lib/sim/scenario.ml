@@ -14,39 +14,53 @@ let describe = function
   | Explicit nodes ->
       Printf.sprintf "explicit failure of %d nodes" (Array.length nodes)
 
-let apply ~rng cluster t =
-  Cluster.recover_all cluster;
-  let nodes =
-    match t with
-    | Adversarial k ->
-        let attack =
-          Placement.Adversary.best ~rng (Cluster.layout cluster)
-            ~s:(Cluster.fatality_threshold cluster) ~k
-        in
-        attack.Placement.Adversary.failed_nodes
-    | Random_nodes k ->
-        Combin.Rng.sample_distinct rng ~n:(Cluster.n cluster) ~k
-    | Random_racks j ->
-        (* Routed through the cluster's topology: racks are the domains
-           of the rack level, in the same ascending order as the
-           pre-topology rack_ids — one sample_distinct draw, identical
-           streams, identical node sets. *)
-        let topo = Cluster.topology cluster in
-        let level = Cluster.rack_level cluster in
-        let nr = Topology.Tree.domain_count topo ~level in
-        if j > nr then invalid_arg "Scenario.apply: more racks than exist";
-        let picked = Combin.Rng.sample_distinct rng ~n:nr ~k:j in
-        Topology.Failset.nodes topo ~level picked
-    | Domain_failure (level, j) ->
-        let attack =
-          Topology.Adversary.attack (Cluster.layout cluster)
-            ~s:(Cluster.fatality_threshold cluster)
-            (Cluster.topology cluster) ~level ~j
-        in
-        attack.Topology.Adversary.failed_nodes
-    | Explicit nodes -> Combin.Intset.of_array nodes
+(* The node set a scenario would fail.  Pure selection: reads the
+   layout/topology (never the up/down state) and the rng, mutates
+   nothing — so producing events before applying them consumes the
+   same rng stream as the historical recover-then-fail order. *)
+let select ~rng cluster t =
+  match t with
+  | Adversarial k ->
+      let attack =
+        Placement.Adversary.best ~rng (Cluster.layout cluster)
+          ~s:(Cluster.fatality_threshold cluster) ~k
+      in
+      attack.Placement.Adversary.failed_nodes
+  | Random_nodes k -> Combin.Rng.sample_distinct rng ~n:(Cluster.n cluster) ~k
+  | Random_racks j ->
+      (* Routed through the cluster's topology: racks are the domains
+         of the rack level, in the same ascending order as the
+         pre-topology rack_ids — one sample_distinct draw, identical
+         streams, identical node sets. *)
+      let topo = Cluster.topology cluster in
+      let level = Cluster.rack_level cluster in
+      let nr = Topology.Tree.domain_count topo ~level in
+      if j > nr then invalid_arg "Scenario.apply: more racks than exist";
+      let picked = Combin.Rng.sample_distinct rng ~n:nr ~k:j in
+      Topology.Failset.nodes topo ~level picked
+  | Domain_failure (level, j) ->
+      let attack =
+        Topology.Adversary.attack (Cluster.layout cluster)
+          ~s:(Cluster.fatality_threshold cluster)
+          (Cluster.topology cluster) ~level ~j
+      in
+      attack.Topology.Adversary.failed_nodes
+  | Explicit nodes -> Combin.Intset.of_array nodes
+
+(* Scenario → unified event stream: a reset (recover whatever is down
+   right now) followed by the selected failures. *)
+let events ~rng cluster t =
+  let reset =
+    Array.to_list (Cluster.failed_nodes cluster)
+    |> List.map (fun nd -> Event.Node_recover nd)
   in
-  Array.iter (fun nd -> Cluster.fail_node cluster nd) nodes;
+  let nodes = select ~rng cluster t in
+  ( reset @ (Array.to_list nodes |> List.map (fun nd -> Event.Node_fail nd)),
+    nodes )
+
+let apply ~rng cluster t =
+  let evs, nodes = events ~rng cluster t in
+  List.iter (Cluster.apply_event cluster) evs;
   nodes
 
 let run ~rng cluster t =

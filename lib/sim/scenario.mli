@@ -17,6 +17,14 @@ type t =
 
 val describe : t -> string
 
+val events : rng:Combin.Rng.t -> Cluster.t -> t -> Event.t list * int array
+(** Lower the scenario onto the unified {!Event} stream against the
+    cluster's current state: recoveries for whatever is down now, then
+    the selected failures.  Returns the stream and the selected nodes
+    (sorted); applying the stream via {!Cluster.apply_event} is
+    byte-identical to {!apply} (selection reads only the layout,
+    topology and rng — never the up/down state). *)
+
 val apply : rng:Combin.Rng.t -> Cluster.t -> t -> int array
 (** Apply the scenario to a (fully recovered) cluster: fails the selected
     nodes and returns them (sorted).  The adversarial scenarios use

@@ -10,31 +10,62 @@ type snapshot = {
   failed_nodes : int;
   available : int;
   unavailable : int;
+  acting_domain : int option;
 }
+
+(* Compatibility shim: the historical vocabulary lowers onto the
+   unified Event stream.  Fail_rack resolves the caller's rack id to
+   its rack-level fault domain (an unknown rack stays the historical
+   no-op); Recover_all expands to the currently-failed nodes, so the
+   lowering is computed against the cluster state at application time.
+   Every branch reproduces the pre-event-sourcing operations node for
+   node — replay outputs are byte-identical. *)
+let lower cluster = function
+  | Fail nd -> [ Event.Node_fail nd ]
+  | Recover nd -> [ Event.Node_recover nd ]
+  | Fail_rack rk -> (
+      match Cluster.rack_domain cluster rk with
+      | None -> []
+      | Some d -> [ Event.Domain_fail (Cluster.rack_level cluster, d) ])
+  | Recover_all ->
+      Array.to_list (Cluster.failed_nodes cluster)
+      |> List.map (fun nd -> Event.Node_recover nd)
+  | Measure label -> [ Event.Measure label ]
 
 let replay ?(restore = false) cluster events =
   let snaps = ref [] in
+  let acting = ref None in
   List.iter
     (fun ev ->
-      match ev with
-      | Fail nd -> Cluster.fail_node cluster nd
-      | Recover nd -> Cluster.recover_node cluster nd
-      | Fail_rack rk -> Cluster.fail_rack cluster rk
-      | Recover_all -> Cluster.recover_all cluster
-      | Measure label ->
-          let available = Cluster.available_objects cluster in
-          snaps :=
-            {
-              label;
-              failed_nodes = Array.length (Cluster.failed_nodes cluster);
-              available;
-              unavailable = Cluster.b cluster - available;
-            }
-            :: !snaps)
+      (match ev with
+      | Fail_rack rk -> (
+          match Cluster.rack_domain cluster rk with
+          | Some d -> acting := Some d
+          | None -> ())
+      | _ -> ());
+      List.iter
+        (fun uev ->
+          match uev with
+          | Event.Measure label ->
+              let available = Cluster.available_objects cluster in
+              snaps :=
+                {
+                  label;
+                  failed_nodes = Array.length (Cluster.failed_nodes cluster);
+                  available;
+                  unavailable = Cluster.b cluster - available;
+                  acting_domain = !acting;
+                }
+                :: !snaps
+          | uev -> Cluster.apply_event cluster uev)
+        (lower cluster ev))
     events;
   if restore then Cluster.recover_all cluster;
   List.rev !snaps
 
 let pp_snapshot fmt s =
   Format.fprintf fmt "[%s] failed_nodes=%d available=%d unavailable=%d"
-    s.label s.failed_nodes s.available s.unavailable
+    s.label s.failed_nodes s.available s.unavailable;
+  match s.acting_domain with
+  | None -> ()
+  | Some d -> Format.fprintf fmt " domain=%d" d

@@ -2,7 +2,13 @@
 
     A thin event-sequencing layer over {!Cluster} for the example
     applications: script a sequence of failures/recoveries with
-    measurement points and get back the availability at each point. *)
+    measurement points and get back the availability at each point.
+
+    The historical vocabulary below is now a compatibility shim over
+    the unified {!Event} stream: {!replay} lowers each event onto
+    {!Event.t} values and drives the cluster through
+    {!Cluster.apply_event}, byte-identically to the pre-event-sourcing
+    behavior (DESIGN.md §12). *)
 
 type event =
   | Fail of int
@@ -16,6 +22,12 @@ type snapshot = {
   failed_nodes : int;
   available : int;
   unavailable : int;
+  acting_domain : int option;
+      (** the rack-level fault domain of the most recent [Fail_rack]
+          preceding this snapshot (resolved via
+          {!Cluster.rack_domain}), if any — making topology traces
+          attributable.  [None] on purely node-level timelines, so
+          existing traces render unchanged. *)
 }
 
 val replay : ?restore:bool -> Cluster.t -> event list -> snapshot list
@@ -25,3 +37,5 @@ val replay : ?restore:bool -> Cluster.t -> event list -> snapshot list
     can be reused without a manual {!Cluster.recover_all}. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
+(** The historical one-line rendering, with [ domain=<d>] appended only
+    when [acting_domain] is set. *)

@@ -7,7 +7,11 @@
 # telemetry smoke run (--metrics must carry the placement/v1 envelope,
 # the disabled-instrumentation overhead guard must hold) and a topology
 # smoke run (rack adversary vs node adversary sanity inequality, domain
-# adversary -j determinism).
+# adversary -j determinism), and a churn smoke (a 10^4-event seeded
+# trace replayed through the continuous engine, diffed byte-for-byte
+# against the pinned envelope in scripts/churn_smoke.expected; the
+# churn_trace row in BENCH_churn.json must report incremental ≡
+# from-scratch re-scores and bounded per-event data movement).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -81,5 +85,36 @@ rack_avail=$(echo "$topo" | sed -n 's/^ *available: \([0-9]*\) .*/\1/p')
 
 tail -n 1 BENCH_topology.json | grep -q '"identical": true' ||
   { echo "check.sh: domain adversary -j determinism guard failed (see BENCH_topology.json)" >&2; exit 1; }
+
+# Churn gates: the quick perf pass appends a churn_trace row (the
+# continuous engine on an n=10^3 population).  Hard gates: the
+# incremental per-event re-score must be bit-identical to a from-scratch
+# kernel rebuild ("incremental_eq_scratch": true — picks, damage and
+# scan stats, re-verified by the engine's own oracle), and no event may
+# move more than r replicas ("moved_bounded": true — the
+# bounded-data-movement contract).  The re-score speedup is what the
+# incremental kernel buys and is recorded in the row, but it is
+# wall-clock and therefore advisory only.
+churn_row=$(grep '"op": "churn_trace"' BENCH_churn.json | tail -n 1)
+[ -n "$churn_row" ] ||
+  { echo "check.sh: no churn_trace row in BENCH_churn.json" >&2; exit 1; }
+echo "$churn_row" | grep -q '"incremental_eq_scratch": true' ||
+  { echo "check.sh: incremental churn re-score differs from from-scratch evaluation (see BENCH_churn.json)" >&2; exit 1; }
+echo "$churn_row" | grep -q '"moved_bounded": true' ||
+  { echo "check.sh: churn trace moved more than r replicas on one event (see BENCH_churn.json)" >&2; exit 1; }
+churn_speedup=$(echo "$churn_row" | sed -n 's/.*"rescore_speedup": \([0-9.]*\).*/\1/p')
+if [ -n "$churn_speedup" ] && awk "BEGIN { exit !($churn_speedup < 1.0) }"; then
+  echo "check.sh: advisory: incremental re-score speedup $churn_speedup < 1x over from-scratch (see BENCH_churn.json)" >&2
+fi
+
+# Churn smoke: a 10^4-event seeded trace through the continuous engine,
+# with per-event incremental worst-case re-scoring, must reproduce the
+# pinned placement/v1 envelope byte for byte (determinism contract:
+# same stream, same bytes, at any -j).
+dune exec bin/placement_tool.exe -- churn -n 50 -r 3 -s 2 -k 3 \
+  --seed 7 --count 10000 --measure-every 500 --json > churn_smoke.json
+diff scripts/churn_smoke.expected churn_smoke.json ||
+  { echo "check.sh: churn smoke diverged from the pinned envelope (scripts/churn_smoke.expected)" >&2; exit 1; }
+rm -f churn_smoke.json
 
 echo "check.sh: all good"

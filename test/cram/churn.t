@@ -1,0 +1,149 @@
+The continuous churn engine: seeded replay is deterministic and
+byte-identical at any -j.
+
+  $ placement-tool churn -n 20 -r 3 -s 2 -k 3 --seed 7 --count 200 --measure-every 50
+  Continuous churn replay on n=20 nodes (r=3, s=2, k=3)
+    source: seeded stream (seed 7, 200 events, measure every 50)
+    [t50] seq=51 live=23 avail=19 worst=20 min_worst=0 lb=20 failed_nodes=5 moved=87
+    [t100] seq=102 live=33 avail=31 worst=30 min_worst=20 lb=30 failed_nodes=3 moved=153
+    [t150] seq=153 live=57 avail=35 worst=54 min_worst=30 lb=54 failed_nodes=9 moved=243
+    [t200] seq=204 live=78 avail=67 worst=72 min_worst=53 lb=72 failed_nodes=6 moved=333
+    events: 204 (111 creates, 33 deletes, 31 fails, 25 recovers, 0 domain, 4 measures)
+    moved replicas: 333 (exactly r=3 per create, none otherwise)
+    final: live=78 available=67 worst-case available=72 lower bound=72
+
+  $ placement-tool churn -n 20 -r 3 -s 2 -k 3 --seed 7 --count 200 --measure-every 50 --json -j1 > j1.json
+  $ placement-tool churn -n 20 -r 3 -s 2 -k 3 --seed 7 --count 200 --measure-every 50 --json -j4 > j4.json
+  $ cmp j1.json j4.json && echo identical
+  identical
+  $ cat j1.json
+  {
+    "schema": "placement/v1",
+    "command": "churn",
+    "data": {
+      "params": {
+        "n": 20,
+        "r": 3,
+        "s": 2,
+        "k": 3
+      },
+      "source": {
+        "kind": "seeded",
+        "seed": 7,
+        "count": 200,
+        "measure_every": 50
+      },
+      "rows": [
+        {
+          "seq": 51,
+          "label": "t50",
+          "live": 23,
+          "available": 19,
+          "failed_nodes": 5,
+          "lower_bound": 20,
+          "moved_replicas": 87,
+          "worst_available": 20,
+          "min_worst_available": 0
+        },
+        {
+          "seq": 102,
+          "label": "t100",
+          "live": 33,
+          "available": 31,
+          "failed_nodes": 3,
+          "lower_bound": 30,
+          "moved_replicas": 153,
+          "worst_available": 30,
+          "min_worst_available": 20
+        },
+        {
+          "seq": 153,
+          "label": "t150",
+          "live": 57,
+          "available": 35,
+          "failed_nodes": 9,
+          "lower_bound": 54,
+          "moved_replicas": 243,
+          "worst_available": 54,
+          "min_worst_available": 30
+        },
+        {
+          "seq": 204,
+          "label": "t200",
+          "live": 78,
+          "available": 67,
+          "failed_nodes": 6,
+          "lower_bound": 72,
+          "moved_replicas": 333,
+          "worst_available": 72,
+          "min_worst_available": 53
+        }
+      ],
+      "summary": {
+        "events": 204,
+        "creates": 111,
+        "deletes": 33,
+        "node_fails": 31,
+        "node_recovers": 25,
+        "domain_fails": 0,
+        "measures": 4,
+        "moved_replicas": 333,
+        "live": 78,
+        "available": 67,
+        "worst_available": 72,
+        "lower_bound": 72
+      }
+    }
+  }
+
+Replaying an explicit event file, with domain failures resolved
+against a declared topology.
+
+  $ cat > events.txt <<'EOF'
+  > # warm up: three objects, then lose a rack
+  > create
+  > create
+  > create
+  > measure warm
+  > fail-domain 1 0
+  > measure degraded
+  > recover 0
+  > recover 1
+  > delete 1
+  > measure healed
+  > EOF
+  $ placement-tool churn -n 6 -r 2 -s 1 -k 2 --topology rack:3/node:2 --events events.txt
+  Continuous churn replay on n=6 nodes (r=2, s=1, k=2)
+    source: event file events.txt (10 events)
+    [warm] seq=4 live=3 avail=3 worst=1 min_worst=0 lb=1 failed_nodes=0 moved=6
+    [degraded] seq=6 live=3 avail=2 worst=1 min_worst=1 lb=1 failed_nodes=2 moved=6
+    [healed] seq=10 live=2 avail=2 worst=0 min_worst=0 lb=0 failed_nodes=0 moved=6
+    events: 10 (3 creates, 1 deletes, 0 fails, 2 recovers, 1 domain, 3 measures)
+    moved replicas: 6 (exactly r=2 per create, none otherwise)
+    final: live=2 available=2 worst-case available=0 lower bound=0
+
+Malformed event files die with one actionable line.
+
+  $ placement-tool churn -n 10 --events missing.txt
+  cannot read missing.txt: No such file or directory
+  [1]
+
+  $ printf 'create\nfrobnicate 3\n' > bad.txt
+  $ placement-tool churn -n 10 --events bad.txt
+  bad.txt:2: unknown event "frobnicate" (expected fail, recover, fail-domain, create, delete or measure)
+  [1]
+
+  $ printf 'fail\n' > arity.txt
+  $ placement-tool churn -n 10 --events arity.txt
+  arity.txt:1: fail expects exactly one node id (e.g. "fail 3")
+  [1]
+
+  $ printf 'create\ndelete 99\n' > unknown.txt
+  $ placement-tool churn -n 10 --events unknown.txt
+  Churn: delete of unknown object id 99 (never created or already deleted)
+  [1]
+
+  $ printf 'fail 12\n' > range.txt
+  $ placement-tool churn -n 10 --events range.txt
+  Churn: node 12 out of range (n = 10)
+  [1]

@@ -353,7 +353,11 @@ let test_adaptive_bound_sound () =
     <= Placement.Adversary.avail layout ~s:2 attack)
 
 let test_adaptive_churn_invariants =
-  qtest ~count:25 "invariants survive random churn"
+  (* The churn-engine contract: not just at the end, but after EVERY
+     add/remove the bookkeeping must be consistent and the live Lemma-3
+     bound must stay at or below what the offline DP would promise for
+     the same population. *)
+  qtest ~count:25 "invariants survive random churn at every step"
     QCheck2.Gen.(pair (int_range 0 10000) (int_range 10 120))
     (fun (seed, ops) ->
       let rng = Combin.Rng.create seed in
@@ -367,11 +371,13 @@ let test_adaptive_churn_invariants =
           let victim = arr.(Combin.Rng.int rng (Array.length arr)) in
           Placement.Adaptive.remove t victim;
           live := List.filter (fun id -> id <> victim) !live
-        end
+        end;
+        Placement.Adaptive.check_invariants t;
+        assert (
+          Placement.Adaptive.lower_bound t
+          <= Placement.Adaptive.optimal_bound t)
       done;
-      Placement.Adaptive.check_invariants t;
       Placement.Adaptive.size t = List.length !live
-      && Placement.Adaptive.lower_bound t <= Placement.Adaptive.optimal_bound t
       && List.for_all
            (fun id ->
              let rep = Placement.Adaptive.replica_set t id in
@@ -852,6 +858,113 @@ let test_kernel_double_add () =
     (Placement.Kernel.failed_units kn)
 
 (* ------------------------------------------------------------------ *)
+(* Dynamic kernel (Kernel.Dyn): object churn *)
+
+(* Random interleaving of object creates/deletes and unit
+   fails/recovers; after every operation the incremental state must
+   agree with the from-scratch recount, and the incremental adversary
+   must be bit-identical (picks, damage, scan stats) to select_greedy
+   on a freshly frozen flat kernel over the same live objects. *)
+let test_kernel_dyn_oracle =
+  qtest ~count:30 "Dyn ≡ from-scratch under random churn"
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 10 150))
+    (fun (seed, ops) ->
+      let n = 10 and r = 3 and s = 2 and k = 3 in
+      let rng = Combin.Rng.create seed in
+      let dyn = Placement.Kernel.Dyn.create ~units:n ~s in
+      for _ = 1 to ops do
+        let b = Placement.Kernel.Dyn.objects dyn in
+        let nfailed =
+          Array.length (Placement.Kernel.Dyn.failed_units dyn)
+        in
+        let d = Combin.Rng.int rng 100 in
+        if d < 50 || b = 0 then
+          ignore
+            (Placement.Kernel.Dyn.add_object dyn
+               (Combin.Rng.sample_distinct rng ~n ~k:r))
+        else if d < 70 then
+          ignore
+            (Placement.Kernel.Dyn.remove_object dyn (Combin.Rng.int rng b))
+        else if d < 85 && nfailed < n then begin
+          let u = ref (Combin.Rng.int rng n) in
+          let failed = Placement.Kernel.Dyn.failed_units dyn in
+          while Array.exists (fun f -> f = !u) failed do
+            u := Combin.Rng.int rng n
+          done;
+          Placement.Kernel.Dyn.fail_unit dyn !u
+        end
+        else if nfailed > 0 then begin
+          let failed = Placement.Kernel.Dyn.failed_units dyn in
+          Placement.Kernel.Dyn.recover_unit dyn
+            failed.(Combin.Rng.int rng nfailed)
+        end;
+        (* Oracle 1: recount straight from the replica lists. *)
+        let recount = Placement.Kernel.Dyn.check_scratch dyn in
+        assert (recount = Placement.Kernel.Dyn.killed dyn);
+        (* Oracle 2: the frozen flat kernel agrees on the dead tally. *)
+        let frozen = Placement.Kernel.Dyn.freeze dyn in
+        assert (Placement.Kernel.killed frozen = recount);
+        (* Oracle 3: incremental adversary ≡ scratch adversary. *)
+        let picks, dead, stats = Placement.Kernel.Dyn.worst_case dyn ~k in
+        Placement.Kernel.reset frozen;
+        let picks_ref, stats_ref =
+          Placement.Kernel.select_greedy frozen ~picks:k
+        in
+        assert (picks = picks_ref);
+        assert (dead = Placement.Kernel.killed frozen);
+        assert (stats = stats_ref)
+      done;
+      true)
+
+let test_kernel_dyn_guards () =
+  let dyn = Placement.Kernel.Dyn.create ~units:4 ~s:2 in
+  Alcotest.check_raises "s < 1"
+    (Invalid_argument "Kernel.Dyn.create: threshold s must be >= 1")
+    (fun () -> ignore (Placement.Kernel.Dyn.create ~units:4 ~s:0));
+  Alcotest.check_raises "duplicate unit"
+    (Invalid_argument "Kernel.Dyn.add_object: duplicate unit") (fun () ->
+      ignore (Placement.Kernel.Dyn.add_object dyn [| 1; 1 |]));
+  Alcotest.check_raises "unit out of range"
+    (Invalid_argument "Kernel.Dyn.add_object: unit out of range") (fun () ->
+      ignore (Placement.Kernel.Dyn.add_object dyn [| 0; 4 |]));
+  let slot = Placement.Kernel.Dyn.add_object dyn [| 0; 1 |] in
+  Alcotest.(check int) "dense slot" 0 slot;
+  Placement.Kernel.Dyn.fail_unit dyn 0;
+  Alcotest.check_raises "double fail"
+    (Invalid_argument "Kernel.Dyn.fail_unit: unit already failed") (fun () ->
+      Placement.Kernel.Dyn.fail_unit dyn 0);
+  Alcotest.check_raises "recover up unit"
+    (Invalid_argument "Kernel.Dyn.recover_unit: unit not failed") (fun () ->
+      Placement.Kernel.Dyn.recover_unit dyn 1);
+  Alcotest.check_raises "slot out of range"
+    (Invalid_argument "Kernel.Dyn.remove_object: object slot out of range")
+    (fun () -> ignore (Placement.Kernel.Dyn.remove_object dyn 1))
+
+let test_kernel_dyn_swap_remove () =
+  let dyn = Placement.Kernel.Dyn.create ~units:4 ~s:2 in
+  let _ = Placement.Kernel.Dyn.add_object dyn [| 0; 1 |] in
+  let _ = Placement.Kernel.Dyn.add_object dyn [| 1; 2 |] in
+  let _ = Placement.Kernel.Dyn.add_object dyn [| 2; 3 |] in
+  Placement.Kernel.Dyn.fail_unit dyn 2;
+  Placement.Kernel.Dyn.fail_unit dyn 3;
+  (* Object 2 on {2,3} is dead. *)
+  Alcotest.(check int) "one dead" 1 (Placement.Kernel.Dyn.killed dyn);
+  (* Delete slot 0: the last object (slot 2, the dead one) moves in. *)
+  let moved_from = Placement.Kernel.Dyn.remove_object dyn 0 in
+  Alcotest.(check int) "last slot moved" 2 moved_from;
+  Alcotest.(check int) "still dead after the move" 1
+    (Placement.Kernel.Dyn.killed dyn);
+  Alcotest.(check (array int)) "moved replicas intact" [| 2; 3 |]
+    (Placement.Kernel.Dyn.replicas dyn 0);
+  Alcotest.(check int) "recount agrees" 1
+    (Placement.Kernel.Dyn.check_scratch dyn);
+  (* Born-dead object: both replica units already failed. *)
+  let slot = Placement.Kernel.Dyn.add_object dyn [| 2; 3 |] in
+  Alcotest.(check int) "two dead" 2 (Placement.Kernel.Dyn.killed dyn);
+  ignore (Placement.Kernel.Dyn.remove_object dyn slot);
+  Alcotest.(check int) "back to one" 1 (Placement.Kernel.Dyn.killed dyn)
+
+(* ------------------------------------------------------------------ *)
 (* Codec *)
 
 let test_codec_roundtrip =
@@ -1272,6 +1385,10 @@ let () =
           Alcotest.test_case "packed base > unit degree" `Quick
             test_kernel_group_packed_base;
           Alcotest.test_case "add/remove guards" `Quick test_kernel_double_add;
+          test_kernel_dyn_oracle;
+          Alcotest.test_case "dyn guards" `Quick test_kernel_dyn_guards;
+          Alcotest.test_case "dyn swap-remove" `Quick
+            test_kernel_dyn_swap_remove;
         ] );
       ( "codec",
         [

@@ -195,6 +195,187 @@ let test_trace_replay () =
       Alcotest.(check int) "recovered" 12 c'.Dsim.Trace.available
   | _ -> Alcotest.fail "expected 3 snapshots")
 
+let test_trace_rack_attribution () =
+  let racks = [| 0; 0; 0; 1; 1; 1; 2; 2; 2 |] in
+  let c =
+    Dsim.Cluster.create ~racks (mk_layout ()) Dsim.Semantics.Write_all
+  in
+  let snaps =
+    Dsim.Trace.replay c
+      [
+        Dsim.Trace.Measure "initial";
+        Dsim.Trace.Fail_rack 1;
+        Dsim.Trace.Measure "rack 1 down";
+        Dsim.Trace.Fail_rack 99;
+        (* unknown rack: historical no-op, attribution unchanged *)
+        Dsim.Trace.Measure "still rack 1";
+      ]
+  in
+  match snaps with
+  | [ a; b; c' ] ->
+      Alcotest.(check (option int)) "no acting domain yet" None
+        a.Dsim.Trace.acting_domain;
+      Alcotest.(check (option int)) "rack 1 is domain 1" (Some 1)
+        b.Dsim.Trace.acting_domain;
+      Alcotest.(check int) "three nodes down" 3 b.Dsim.Trace.failed_nodes;
+      Alcotest.(check (option int)) "unknown rack keeps attribution" (Some 1)
+        c'.Dsim.Trace.acting_domain
+  | _ -> Alcotest.fail "expected 3 snapshots"
+
+(* ------------------------------------------------------------------ *)
+(* Unified events *)
+
+let test_event_codec () =
+  let evs =
+    [
+      Dsim.Event.Node_fail 3;
+      Dsim.Event.Node_recover 3;
+      Dsim.Event.Domain_fail (1, 0);
+      Dsim.Event.Object_create;
+      Dsim.Event.Object_delete 17;
+      Dsim.Event.Measure "after outage";
+    ]
+  in
+  let text =
+    String.concat "\n" (List.map Dsim.Event.to_line evs) ^ "\n# comment\n\n"
+  in
+  (match Dsim.Event.parse_string text with
+  | Ok parsed -> Alcotest.(check bool) "round-trip" true (parsed = evs)
+  | Error (line, msg) ->
+      Alcotest.failf "unexpected parse error at line %d: %s" line msg);
+  match Dsim.Event.parse_string "create\nfrobnicate 3\n" with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error (line, msg) ->
+      Alcotest.(check int) "error line" 2 line;
+      Alcotest.(check bool) "actionable message" true
+        (String.length msg > 0 && String.index_opt msg '\n' = None)
+
+let test_event_parse_errors () =
+  let expect_error text =
+    match Dsim.Event.parse_string text with
+    | Ok _ -> Alcotest.failf "accepted malformed %S" text
+    | Error (_, msg) ->
+        Alcotest.(check bool) "one-line message" true
+          (String.index_opt msg '\n' = None)
+  in
+  List.iter expect_error
+    [ "fail"; "fail x"; "recover 1 2"; "fail-domain 1"; "delete"; "create 3" ]
+
+let test_cluster_apply_event () =
+  let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Write_all in
+  Dsim.Cluster.apply_event c (Dsim.Event.Node_fail 0);
+  Alcotest.(check int) "one node down" 1
+    (Array.length (Dsim.Cluster.failed_nodes c));
+  Dsim.Cluster.apply_event c (Dsim.Event.Node_recover 0);
+  Alcotest.(check int) "recovered" 12 (Dsim.Cluster.available_objects c);
+  Alcotest.(check bool) "object churn rejected" true
+    (try
+       Dsim.Cluster.apply_event c Dsim.Event.Object_create;
+       false
+     with Invalid_argument _ -> true)
+
+let test_scenario_events_equiv =
+  qtest ~count:40 "scenario events ≡ direct apply"
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 1 5))
+    (fun (seed, kf) ->
+      let layout = mk_layout () in
+      let c1 = Dsim.Cluster.create layout Dsim.Semantics.Majority in
+      let c2 = Dsim.Cluster.create layout Dsim.Semantics.Majority in
+      (* Start both from the same dirty state. *)
+      Dsim.Cluster.fail_node c1 2;
+      Dsim.Cluster.fail_node c2 2;
+      let scen = Dsim.Scenario.Random_nodes kf in
+      let nodes1 =
+        Dsim.Scenario.apply ~rng:(Combin.Rng.create seed) c1 scen
+      in
+      let evs, nodes2 =
+        Dsim.Scenario.events ~rng:(Combin.Rng.create seed) c2 scen
+      in
+      List.iter (Dsim.Cluster.apply_event c2) evs;
+      nodes1 = nodes2
+      && Dsim.Cluster.failed_nodes c1 = Dsim.Cluster.failed_nodes c2
+      && Dsim.Cluster.available_objects c1
+         = Dsim.Cluster.available_objects c2)
+
+let test_event_seeded_valid () =
+  (* Every seeded event must replay cleanly: deletes name live ids,
+     failures hit up nodes — validity by construction. *)
+  let evs =
+    Dsim.Event.seeded
+      ~rng:(Combin.Rng.create 11)
+      ~n:9 ~count:500 ~measure_every:50 ()
+  in
+  let eng = Dsim.Churn.create ~n:9 ~r:3 ~s:2 ~k:2 () in
+  List.iter (fun ev -> ignore (Dsim.Churn.apply eng ev)) evs;
+  Alcotest.(check bool) "applied all" true (Dsim.Churn.events eng >= 500);
+  Alcotest.(check bool) "population grew" true (Dsim.Churn.live eng > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Churn engine *)
+
+let test_churn_oracle =
+  qtest ~count:15 "incremental ≡ from-scratch at every step"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let eng = Dsim.Churn.create ~n:9 ~r:3 ~s:2 ~k:3 () in
+      let evs =
+        Dsim.Event.seeded
+          ~rng:(Combin.Rng.create seed)
+          ~n:9 ~count:120 ~measure_every:0 ()
+      in
+      List.iter
+        (fun ev ->
+          let step = Dsim.Churn.apply eng ev in
+          (* The oracle: Dyn hits plane, Adaptive invariants, scratch
+             kernel availability, and adversary picks/stats. *)
+          Dsim.Churn.check eng;
+          assert (step.Dsim.Churn.moved <= 3);
+          assert (step.Dsim.Churn.available <= step.Dsim.Churn.live);
+          assert (
+            step.Dsim.Churn.lower_bound
+            <= (Dsim.Churn.rescore eng).Dsim.Churn.worst_available))
+        evs;
+      true)
+
+let test_churn_bounded_movement () =
+  let eng = Dsim.Churn.create ~n:9 ~r:3 ~s:2 ~k:2 () in
+  let evs =
+    Dsim.Event.seeded
+      ~rng:(Combin.Rng.create 5)
+      ~n:9 ~count:300 ~measure_every:0 ()
+  in
+  let max_moved = ref 0 in
+  List.iter
+    (fun ev ->
+      let step = Dsim.Churn.apply eng ev in
+      if step.Dsim.Churn.moved > !max_moved then
+        max_moved := step.Dsim.Churn.moved)
+    evs;
+  Alcotest.(check bool) "moved <= r per event" true (!max_moved <= 3);
+  Alcotest.(check bool) "creates move exactly r" true (!max_moved = 3)
+
+let test_churn_delete_unknown () =
+  let eng = Dsim.Churn.create ~n:9 ~r:3 ~s:2 ~k:2 () in
+  ignore (Dsim.Churn.apply eng Dsim.Event.Object_create);
+  Alcotest.(check bool) "unknown delete rejected" true
+    (try
+       ignore (Dsim.Churn.apply eng (Dsim.Event.Object_delete 42));
+       false
+     with Invalid_argument _ -> true);
+  ignore (Dsim.Churn.apply eng (Dsim.Event.Object_delete 0));
+  Alcotest.(check int) "empty again" 0 (Dsim.Churn.live eng)
+
+let test_churn_dead_on_arrival () =
+  (* An object created while >= s of its replica nodes are down must be
+     born unavailable — the hit counter is seeded from the failure set. *)
+  let eng = Dsim.Churn.create ~n:9 ~r:3 ~s:1 ~k:1 () in
+  for nd = 0 to 8 do
+    ignore (Dsim.Churn.apply eng (Dsim.Event.Node_fail nd))
+  done;
+  ignore (Dsim.Churn.apply eng Dsim.Event.Object_create);
+  Alcotest.(check int) "born dead" 0 (Dsim.Churn.available eng);
+  Dsim.Churn.check eng
+
 (* ------------------------------------------------------------------ *)
 (* Repair (failure/repair timeline) *)
 
@@ -327,7 +508,31 @@ let () =
           Alcotest.test_case "racks" `Quick test_scenario_racks;
           test_scenario_apply_wellformed;
         ] );
-      ("trace", [ Alcotest.test_case "replay" `Quick test_trace_replay ]);
+      ( "trace",
+        [
+          Alcotest.test_case "replay" `Quick test_trace_replay;
+          Alcotest.test_case "rack attribution" `Quick
+            test_trace_rack_attribution;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "codec" `Quick test_event_codec;
+          Alcotest.test_case "parse errors" `Quick test_event_parse_errors;
+          Alcotest.test_case "cluster apply_event" `Quick
+            test_cluster_apply_event;
+          test_scenario_events_equiv;
+          Alcotest.test_case "seeded stream valid" `Quick
+            test_event_seeded_valid;
+        ] );
+      ( "churn",
+        [
+          test_churn_oracle;
+          Alcotest.test_case "bounded movement" `Quick
+            test_churn_bounded_movement;
+          Alcotest.test_case "unknown delete" `Quick test_churn_delete_unknown;
+          Alcotest.test_case "dead on arrival" `Quick
+            test_churn_dead_on_arrival;
+        ] );
       ( "repair",
         [
           Alcotest.test_case "restores cluster" `Quick test_repair_restores_cluster;
