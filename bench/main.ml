@@ -737,11 +737,101 @@ let run_churn_bench ctx fmt =
     (fun () -> output_string oc json);
   Format.fprintf fmt "(appended to %s)@." path
 
+(* Serve protocol overhead: the same seeded stream consumed two ways —
+   raw Churn.apply calls (the batch floor) and the full serve loop
+   (line framing, request parse, Api.exec, one placement/v1 envelope
+   written per event).  The gap is the price of the wire protocol; the
+   engines must land in the same state, which pins serve ≡ batch
+   beyond what the CLI byte-diff in check.sh already covers. *)
+
+let run_serve_bench ctx fmt =
+  let n = 1_000 and r = 3 and s = 2 and k = 8 in
+  let prepop = if ctx.quick then 20_000 else 100_000 in
+  let count = if ctx.quick then 2_000 else 10_000 in
+  let mk () =
+    let eng = Dsim.Churn.create ~n ~r ~s ~k () in
+    for _ = 1 to prepop do
+      ignore (Dsim.Churn.apply eng Dsim.Event.Object_create)
+    done;
+    eng
+  in
+  let events =
+    Dsim.Event.seeded ~rng:(Combin.Rng.create 0xC4AF) ~n ~initial:prepop
+      ~count ~measure_every:0 ()
+  in
+  let batch = mk () in
+  let (), wall_batch =
+    wall (fun () ->
+        List.iter (fun ev -> ignore (Dsim.Churn.apply batch ev)) events)
+  in
+  let served = mk () in
+  let script =
+    String.concat "\n" (List.map Dsim.Event.to_line events) ^ "\n"
+  in
+  let path = Filename.temp_file "serve_bench" ".txt" in
+  let outcome, wall_serve =
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out_bin path in
+        output_string oc script;
+        close_out oc;
+        let input = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+        let output = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close input;
+            Unix.close output)
+          (fun () ->
+            let session = Dsim.Api.make served in
+            wall (fun () -> Dsim.Serve.run session ~input ~output)))
+  in
+  let per_s w = if w > 0.0 then float_of_int count /. w else 0.0 in
+  let engines_agree =
+    outcome.Dsim.Serve.reason = Dsim.Serve.Eof
+    && outcome.Dsim.Serve.requests = count
+    && Dsim.Churn.live served = Dsim.Churn.live batch
+    && Dsim.Churn.available served = Dsim.Churn.available batch
+    && Dsim.Churn.lower_bound served = Dsim.Churn.lower_bound batch
+    && Dsim.Churn.moved_replicas served = Dsim.Churn.moved_replicas batch
+  in
+  let overhead =
+    if wall_batch > 0.0 then wall_serve /. wall_batch else 0.0
+  in
+  let peak_rss_kb =
+    match Telemetry.Resource.peak_rss_kb () with Some kb -> kb | None -> 0
+  in
+  Format.fprintf fmt
+    "serve protocol (n=%d prepop=%d events=%d): %.0f events/s over the \
+     serve loop vs %.0f events/s raw applies (%.2fx protocol overhead, \
+     states %s, peak RSS %d kB)@."
+    n prepop count (per_s wall_serve) (per_s wall_batch) overhead
+    (if engines_agree then "identical" else "DIFFER")
+    peak_rss_kb;
+  let json =
+    Printf.sprintf
+      "{\"op\": \"serve_pipe\", \"n\": %d, \"prepop\": %d, \"events\": %d, \
+       \"r\": %d, \"s\": %d, \"k\": %d, \"quick\": %b, \
+       \"serve_events_per_s\": %.0f, \"apply_events_per_s\": %.0f, \
+       \"protocol_overhead\": %.4f, \"engines_agree\": %b, \
+       \"peak_rss_kb\": %d}\n"
+      n prepop count r s k ctx.quick (per_s wall_serve) (per_s wall_batch)
+      overhead engines_agree peak_rss_kb
+  in
+  let dir = match ctx.out with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_churn.json" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Format.fprintf fmt "(appended to %s)@." path
+
 let run_perf ctx fmt =
   run_adversary_scaling ctx fmt;
   run_scaling ctx fmt;
   run_kernel_bench ctx fmt;
   run_churn_bench ctx fmt;
+  run_serve_bench ctx fmt;
   run_analysis_caching ctx fmt;
   run_topology_scaling ctx fmt;
   run_telemetry_overhead ctx fmt;
@@ -780,6 +870,8 @@ let artefacts : (string * string * (ctx -> Format.formatter -> unit)) list =
       run_scaling );
     ( "churn-trace", "Churn trace (continuous engine, incremental re-score)",
       run_churn_bench );
+    ( "serve-pipe", "Serve protocol overhead (serve loop vs raw applies)",
+      run_serve_bench );
   ]
 
 let run_one ctx (name, title, print) =

@@ -207,6 +207,21 @@ let with_telemetry ~metrics ~trace f =
                 (Telemetry.Json.to_string (Telemetry.Export.trace_json ()) ^ "\n"))
         f
 
+(* The shared per-command I/O surface: every subcommand that emits a
+   machine-readable envelope and/or telemetry threads this one record,
+   so the flags parse, validate and initialize identically everywhere
+   ([with_io] replaces the per-command setup_logs/with_telemetry
+   boilerplate). *)
+type io = { json : bool; metrics : string option; trace : string option }
+
+let io_term =
+  let combine json metrics trace = { json; metrics; trace } in
+  Term.(const combine $ json_flag $ metrics_arg $ trace_arg)
+
+let with_io io f =
+  setup_logs ();
+  with_telemetry ~metrics:io.metrics ~trace:io.trace f
+
 (* --random N,B,R,SEED: a synthetic load-balanced Random instance, the
    scaling workhorse — attack and analyze accept it in place of a layout
    file or explicit -n/-b, so large instances need no on-disk export. *)
@@ -430,11 +445,11 @@ let print_domain_attack tree ~level ~j layout atk =
 (* ------------------------------------------------------------------ *)
 (* plan *)
 
-let plan_cmd =
+let plan_term =
   let run (p : Placement.Params.t) topo level_name fail_domains spread
-      (module S : Placement.Strategy.S) json metrics trace =
-    setup_logs ();
-    with_telemetry ~metrics ~trace @@ fun () ->
+      (module S : Placement.Strategy.S) io =
+    with_io io @@ fun () ->
+    let json = io.json in
     let topo_ctx =
       resolve_topology ~n:p.Placement.Params.n topo level_name fail_domains
         spread
@@ -488,17 +503,14 @@ let plan_cmd =
           else Fmt.pr "=> Tie.@."
     end
   in
-  Cmd.v
-    (Cmd.info "plan" ~doc:"Compute a placement plan and its availability bound.")
-    Term.(
-      const run $ params_term $ topology_term $ domain_level_arg
-      $ fail_domains_arg $ spread_arg $ strategy_term ~default:"combo"
-      $ json_flag $ metrics_arg $ trace_arg)
+  Term.(
+    const run $ params_term $ topology_term $ domain_level_arg
+    $ fail_domains_arg $ spread_arg $ strategy_term ~default:"combo" $ io_term)
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
-let analyze_cmd =
+let analyze_term =
   let n_opt =
     Arg.(
       value
@@ -512,9 +524,9 @@ let analyze_cmd =
       & info [ "b"; "objects" ] ~docv:"B" ~doc:"Number of objects.")
   in
   let run n b r s k random topo level_name fail_domains spread
-      (module S : Placement.Strategy.S) json metrics trace =
-    setup_logs ();
-    with_telemetry ~metrics ~trace @@ fun () ->
+      (module S : Placement.Strategy.S) io =
+    with_io io @@ fun () ->
+    let json = io.json in
     (* --random supplies (n, b, r) and additionally materializes one
        seeded instance so the analytic prAvail can be read next to a
        realized greedy attack. *)
@@ -651,17 +663,15 @@ let analyze_cmd =
     end
     end
   in
-  Cmd.v
-    (Cmd.info "analyze" ~doc:"Worst-case availability analysis of a strategy.")
-    Term.(
-      const run $ n_opt $ b_opt $ r_arg $ s_arg $ k_arg $ random_arg
-      $ topology_term $ domain_level_arg $ fail_domains_arg $ spread_arg
-      $ strategy_term ~default:"random" $ json_flag $ metrics_arg $ trace_arg)
+  Term.(
+    const run $ n_opt $ b_opt $ r_arg $ s_arg $ k_arg $ random_arg
+    $ topology_term $ domain_level_arg $ fail_domains_arg $ spread_arg
+    $ strategy_term ~default:"random" $ io_term)
 
 (* ------------------------------------------------------------------ *)
 (* designs *)
 
-let designs_cmd =
+let designs_term =
   let x_arg =
     Arg.(value & opt int 1 & info [ "x" ] ~docv:"X" ~doc:"Overlap bound (strength t = x+1).")
   in
@@ -686,14 +696,12 @@ let designs_cmd =
            else "[literature]"))
       entries
   in
-  Cmd.v
-    (Cmd.info "designs" ~doc:"List the design catalogue for a given (x, r).")
-    Term.(const run $ x_arg $ r_arg $ max_v_arg $ mu_arg)
+  Term.(const run $ x_arg $ r_arg $ max_v_arg $ mu_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gap *)
 
-let gap_cmd =
+let gap_term =
   let x_arg =
     Arg.(value & opt int 1 & info [ "x" ] ~docv:"X" ~doc:"Overlap bound (strength t = x+1).")
   in
@@ -719,9 +727,7 @@ let gap_cmd =
              ~lambda:plan.Designs.Chunking.lambda n)
           (Designs.Chunking.capacity_gap ~strength:(x + 1) ~block_size:r ~n plan)
   in
-  Cmd.v
-    (Cmd.info "gap" ~doc:"Chunked capacity plan for a system size (Observation 2).")
-    Term.(const run $ n_arg $ x_arg $ r_arg $ mu_arg)
+  Term.(const run $ n_arg $ x_arg $ r_arg $ mu_arg)
 
 (* ------------------------------------------------------------------ *)
 (* attack *)
@@ -738,7 +744,7 @@ let print_attack ~source layout ~s attack =
     (Placement.Layout.b layout)
     (if attack.Placement.Adversary.exact then "exact" else "heuristic")
 
-let attack_cmd =
+let attack_term =
   let file_arg =
     Arg.(
       value
@@ -769,9 +775,9 @@ let attack_cmd =
     Arg.(value & opt int 2 & info [ "k"; "failures" ] ~docv:"K" ~doc:"Nodes to fail.")
   in
   let run file strategy random n b r seed s k topo level_name fail_domains
-      spread jobs json metrics trace =
-    setup_logs ();
-    with_telemetry ~metrics ~trace @@ fun () ->
+      spread jobs io =
+    with_io io @@ fun () ->
+    let json = io.json in
     (* The spread strategies need the ambient configuration installed
        before they plan, so resolve as soon as n is known. *)
     let resolve n =
@@ -858,21 +864,15 @@ let attack_cmd =
       | _ -> ()
     end
   in
-  Cmd.v
-    (Cmd.info "attack"
-       ~doc:
-         "Attack a layout exported with simulate --out, a strategy, or a \
-          synthetic --random instance.")
-    Term.(
-      const run $ file_arg $ strategy_opt_arg $ random_arg $ n_opt $ b_opt
-      $ r_only $ seed_arg $ s_only $ k_only $ topology_term $ domain_level_arg
-      $ fail_domains_arg $ spread_arg $ jobs_term $ json_flag $ metrics_arg
-      $ trace_arg)
+  Term.(
+    const run $ file_arg $ strategy_opt_arg $ random_arg $ n_opt $ b_opt
+    $ r_only $ seed_arg $ s_only $ k_only $ topology_term $ domain_level_arg
+    $ fail_domains_arg $ spread_arg $ jobs_term $ io_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
 
-let simulate_cmd =
+let simulate_term =
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
@@ -883,9 +883,9 @@ let simulate_cmd =
       & info [ "out" ] ~docv:"FILE" ~doc:"Also export the layout to a file.")
   in
   let run (p : Placement.Params.t) topo level_name fail_domains spread
-      (module S : Placement.Strategy.S) seed out jobs json metrics trace =
-    setup_logs ();
-    with_telemetry ~metrics ~trace @@ fun () ->
+      (module S : Placement.Strategy.S) seed out jobs io =
+    with_io io @@ fun () ->
+    let json = io.json in
     let topo_ctx =
       resolve_topology ~n:p.Placement.Params.n topo level_name fail_domains
         spread
@@ -949,17 +949,15 @@ let simulate_cmd =
         Placement.Codec.save path layout;
         if not json then Fmt.pr "  layout written to %s@." path
   in
-  Cmd.v
-    (Cmd.info "simulate" ~doc:"Materialize a placement and attack it.")
-    Term.(
-      const run $ params_term $ topology_term $ domain_level_arg
-      $ fail_domains_arg $ spread_arg $ strategy_term ~default:"combo"
-      $ seed_arg $ out_arg $ jobs_term $ json_flag $ metrics_arg $ trace_arg)
+  Term.(
+    const run $ params_term $ topology_term $ domain_level_arg
+    $ fail_domains_arg $ spread_arg $ strategy_term ~default:"combo"
+    $ seed_arg $ out_arg $ jobs_term $ io_term)
 
 (* ------------------------------------------------------------------ *)
 (* strategies *)
 
-let strategies_cmd =
+let strategies_term =
   let run () =
     setup_logs ();
     Fmt.pr "Registered placement strategies:@.";
@@ -972,14 +970,12 @@ let strategies_cmd =
           S.describe)
       (Placement.Strategies.all ())
   in
-  Cmd.v
-    (Cmd.info "strategies" ~doc:"List the registered placement strategies.")
-    Term.(const run $ const ())
+  Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
 (* recommend *)
 
-let recommend_cmd =
+let recommend_term =
   let target_arg =
     Arg.(
       value
@@ -1019,15 +1015,12 @@ let recommend_cmd =
     if not !found then
       Fmt.pr "  no configuration with r <= 5 reaches the target; lower the target or k.@."
   in
-  Cmd.v
-    (Cmd.info "recommend"
-       ~doc:"Find the cheapest replication config meeting an availability target.")
-    Term.(const run $ n_arg $ b_arg $ k_arg $ target_arg)
+  Term.(const run $ n_arg $ b_arg $ k_arg $ target_arg)
 
 (* ------------------------------------------------------------------ *)
 (* topology *)
 
-let topology_cmd =
+let topology_cmd_term =
   let spec_pos =
     Arg.(
       required
@@ -1057,22 +1050,61 @@ let topology_cmd =
           done
         end
   in
-  Cmd.v
-    (Cmd.info "topology"
-       ~doc:"Parse a fault-domain topology spec and describe its levels.")
-    Term.(const run $ spec_pos $ json_flag)
+  Term.(const run $ spec_pos $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* churn *)
 
-let churn_cmd =
-  let seed_arg =
-    Arg.(
-      value
-      & opt int 42
-      & info [ "seed" ] ~docv:"SEED"
-          ~doc:"PRNG seed of the synthetic event stream.")
+let churn_seed_arg =
+  Arg.(
+    value
+    & opt int 42
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"PRNG seed of the synthetic event stream.")
+
+let join_weight_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "join-weight" ] ~docv:"W"
+        ~doc:
+          "Relative weight of node-join events in the synthetic stream \
+           (default 0: no membership churn, byte-identical to historical \
+           streams).")
+
+let leave_weight_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "leave-weight" ] ~docv:"W"
+        ~doc:
+          "Relative weight of permanent node-leave events in the synthetic \
+           stream (default 0).")
+
+(* Shared by churn (batch) and serve (online): build the engine after
+   the usual parameter/topology validation. *)
+let make_engine ~n ~r ~s ~k topo =
+  (match validate_params ~n ~b:1 ~r ~s ~k with
+  | Ok _ -> ()
+  | Error msg -> die ("invalid parameters: " ^ msg));
+  let topology =
+    match topo with
+    | None -> None
+    | Some tree ->
+        if Topology.Tree.n tree <> n then
+          die
+            (Printf.sprintf
+               "--topology describes %d nodes but the instance has n = %d; \
+                make the spec's counts multiply out to n"
+               (Topology.Tree.n tree) n);
+        Some tree
   in
+  match Dsim.Churn.create ?topology ~n ~r ~s ~k () with
+  | eng -> eng
+  | exception Invalid_argument msg -> die msg
+
+let churn_term =
+  let seed_arg = churn_seed_arg in
   let count_arg =
     Arg.(
       value
@@ -1099,16 +1131,24 @@ let churn_cmd =
           ~doc:
             "Replay $(docv) instead of a seeded stream: one event per line — \
              $(b,fail N), $(b,recover N), $(b,fail-domain LEVEL D), \
-             $(b,create), $(b,delete ID), $(b,measure LABEL) — with blank \
-             lines and #-comments ignored.")
+             $(b,join N), $(b,leave N), $(b,create), $(b,delete ID), \
+             $(b,measure LABEL) — with blank lines and #-comments ignored.")
   in
-  let run n r s k topo seed count measure_every events_file jobs json metrics
-      trace =
-    setup_logs ();
-    with_telemetry ~metrics ~trace @@ fun () ->
-    (match validate_params ~n ~b:1 ~r ~s ~k with
-    | Ok _ -> ()
-    | Error msg -> die ("invalid parameters: " ^ msg));
+  let responses_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "responses" ]
+          ~doc:
+            "Answer the $(b,--events) file as a serve request script: one \
+             single-line placement/v1 envelope per line (queries and stats \
+             allowed), byte-identical to piping the same script into \
+             $(b,placement-tool serve).")
+  in
+  let run n r s k topo seed count measure_every events_file join_weight
+      leave_weight responses jobs io =
+    with_io io @@ fun () ->
+    let json = io.json in
     if count < 0 then
       die
         (Printf.sprintf "--count %d: the event count must be non-negative"
@@ -1118,18 +1158,37 @@ let churn_cmd =
         (Printf.sprintf
            "--measure-every %d: the measurement period must be non-negative"
            measure_every);
-    let topology =
-      match topo with
-      | None -> None
-      | Some tree ->
-          if Topology.Tree.n tree <> n then
+    if join_weight < 0 || leave_weight < 0 then
+      die "--join-weight/--leave-weight must be non-negative";
+    let eng = make_engine ~n ~r ~s ~k topo in
+    (* The engine is sequential by construction (DESIGN.md §12): -j is
+       accepted for interface symmetry and the output is byte-identical
+       at any value — the cram suite pins -j1 ≡ -j4. *)
+    with_pool jobs @@ fun _pool ->
+    if responses then begin
+      (* Batch replay of the serve protocol: same parser, same executor,
+         same wire format — diffable byte-for-byte against the daemon. *)
+      let path =
+        match events_file with
+        | Some path -> path
+        | None -> die "--responses needs --events FILE (the request script)"
+      in
+      let fd =
+        match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+        | fd -> fd
+        | exception Unix.Unix_error (err, _, _) ->
             die
-              (Printf.sprintf
-                 "--topology describes %d nodes but the instance has n = %d; \
-                  make the spec's counts multiply out to n"
-                 (Topology.Tree.n tree) n);
-          Some tree
-    in
+              (Printf.sprintf "cannot read %s: %s" path
+                 (Unix.error_message err))
+      in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let session = Dsim.Api.make eng in
+          ignore
+            (Dsim.Serve.run session ~input:fd ~output:Unix.stdout))
+    end
+    else begin
     let events, source_json, source_human =
       match events_file with
       | Some path ->
@@ -1144,8 +1203,7 @@ let churn_cmd =
           let events =
             match Dsim.Event.parse_string content with
             | Ok evs -> evs
-            | Error (line, msg) ->
-                die (Printf.sprintf "%s:%d: %s" path line msg)
+            | Error err -> die (Dsim.Event.format_error ~file:path err)
           in
           ( events,
             Telemetry.Json.Obj
@@ -1160,42 +1218,44 @@ let churn_cmd =
           let events =
             Dsim.Event.seeded
               ~rng:(Combin.Rng.create seed)
-              ~n ~count ~measure_every ()
+              ~n ~join_weight ~leave_weight ~count ~measure_every ()
           in
           ( events,
             Telemetry.Json.Obj
-              [
-                ("kind", Telemetry.Json.Str "seeded");
-                ("seed", Telemetry.Json.Int seed);
-                ("count", Telemetry.Json.Int count);
-                ("measure_every", Telemetry.Json.Int measure_every);
-              ],
-            Printf.sprintf "seeded stream (seed %d, %d events, measure every %d)"
-              seed count measure_every )
+              ([
+                 ("kind", Telemetry.Json.Str "seeded");
+                 ("seed", Telemetry.Json.Int seed);
+                 ("count", Telemetry.Json.Int count);
+                 ("measure_every", Telemetry.Json.Int measure_every);
+               ]
+              @
+              if join_weight > 0 || leave_weight > 0 then
+                [
+                  ("join_weight", Telemetry.Json.Int join_weight);
+                  ("leave_weight", Telemetry.Json.Int leave_weight);
+                ]
+              else []),
+            Printf.sprintf
+              "seeded stream (seed %d, %d events, measure every %d)%s" seed
+              count measure_every
+              (if join_weight > 0 || leave_weight > 0 then
+                 Printf.sprintf ", join/leave weights %d/%d" join_weight
+                   leave_weight
+               else "") )
     in
-    let eng =
-      match Dsim.Churn.create ?topology ~n ~r ~s ~k () with
-      | eng -> eng
-      | exception Invalid_argument msg -> die msg
-    in
-    (* The engine is sequential by construction (DESIGN.md §12): -j is
-       accepted for interface symmetry and the output is byte-identical
-       at any value — the cram suite pins -j1 ≡ -j4. *)
-    with_pool jobs @@ fun _pool ->
+    (* One entry point into the engine: batch replay drives the same
+       Api session the serve daemon does, so the counters in the
+       summary are the session's own. *)
+    let session = Dsim.Api.make eng in
     let rows = ref [] in
-    let creates = ref 0
-    and deletes = ref 0
-    and node_fails = ref 0
-    and node_recovers = ref 0
-    and domain_fails = ref 0
-    and measures = ref 0 in
     let min_worst = ref max_int in
     List.iter
       (fun ev ->
         let step =
-          match Dsim.Churn.apply eng ev with
-          | step -> step
-          | exception Invalid_argument msg -> die msg
+          match Dsim.Api.exec session (Dsim.Api.Apply ev) with
+          | Dsim.Api.Applied step -> step
+          | Dsim.Api.Rejected { message; _ } -> die message
+          | _ -> assert false
         in
         (* Per-event incremental worst-case re-score: no rebuild, and
            the minimum over each measurement window surfaces transient
@@ -1204,13 +1264,7 @@ let churn_cmd =
         if rs.Dsim.Churn.worst_available < !min_worst then
           min_worst := rs.Dsim.Churn.worst_available;
         match ev with
-        | Dsim.Event.Object_create -> incr creates
-        | Dsim.Event.Object_delete _ -> incr deletes
-        | Dsim.Event.Node_fail _ -> incr node_fails
-        | Dsim.Event.Node_recover _ -> incr node_recovers
-        | Dsim.Event.Domain_fail _ -> incr domain_fails
         | Dsim.Event.Measure label ->
-            incr measures;
             rows :=
               ( step.Dsim.Churn.seq,
                 label,
@@ -1222,10 +1276,20 @@ let churn_cmd =
                 rs.Dsim.Churn.worst_available,
                 !min_worst )
               :: !rows;
-            min_worst := max_int)
+            min_worst := max_int
+        | _ -> ())
       events;
     let rows = List.rev !rows in
     let final = Dsim.Churn.rescore eng in
+    let st = Dsim.Api.stats session in
+    let creates = ref st.Dsim.Api.creates
+    and deletes = ref st.Dsim.Api.deletes
+    and node_fails = ref st.Dsim.Api.node_fails
+    and node_recovers = ref st.Dsim.Api.node_recovers
+    and domain_fails = ref st.Dsim.Api.domain_fails
+    and joins = ref st.Dsim.Api.joins
+    and leaves = ref st.Dsim.Api.leaves
+    and measures = ref st.Dsim.Api.measures in
     if json then
       print_envelope ~command:"churn"
         (Telemetry.Json.Obj
@@ -1274,6 +1338,8 @@ let churn_cmd =
                    ("node_fails", Telemetry.Json.Int !node_fails);
                    ("node_recovers", Telemetry.Json.Int !node_recovers);
                    ("domain_fails", Telemetry.Json.Int !domain_fails);
+                   ("joins", Telemetry.Json.Int !joins);
+                   ("leaves", Telemetry.Json.Int !leaves);
                    ("measures", Telemetry.Json.Int !measures);
                    ( "moved_replicas",
                      Telemetry.Json.Int (Dsim.Churn.moved_replicas eng) );
@@ -1298,10 +1364,13 @@ let churn_cmd =
         rows;
       Fmt.pr
         "  events: %d (%d creates, %d deletes, %d fails, %d recovers, %d \
-         domain, %d measures)@."
+         domain, %d joins, %d leaves, %d measures)@."
         (Dsim.Churn.events eng)
-        !creates !deletes !node_fails !node_recovers !domain_fails !measures;
-      Fmt.pr "  moved replicas: %d (exactly r=%d per create, none otherwise)@."
+        !creates !deletes !node_fails !node_recovers !domain_fails !joins
+        !leaves !measures;
+      Fmt.pr
+        "  moved replicas: %d (r=%d per create, at most r*load per leave, \
+         none otherwise)@."
         (Dsim.Churn.moved_replicas eng)
         r;
       Fmt.pr
@@ -1312,26 +1381,216 @@ let churn_cmd =
         final.Dsim.Churn.worst_available
         (Dsim.Churn.lower_bound eng)
     end
+    end
   in
-  Cmd.v
-    (Cmd.info "churn"
-       ~doc:
-         "Replay an event stream (node/domain outages, recoveries, object \
-          create/delete) through the continuous placement engine, \
-          re-scoring worst-case availability incrementally after every \
-          event.")
-    Term.(
-      const run $ n_arg $ r_arg $ s_arg $ k_arg $ topology_term $ seed_arg
-      $ count_arg $ measure_arg $ events_arg $ jobs_term $ json_flag
-      $ metrics_arg $ trace_arg)
+  Term.(
+    const run $ n_arg $ r_arg $ s_arg $ k_arg $ topology_term $ seed_arg
+    $ count_arg $ measure_arg $ events_arg $ join_weight_arg
+    $ leave_weight_arg $ responses_arg $ jobs_term $ io_term)
+
+let serve_term =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) and serve \
+             connections one at a time against a single long-lived engine \
+             (default: serve stdin/stdout once).")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "End the session gracefully when nothing arrives for $(docv) \
+             seconds (0 disables the idle timeout).")
+  in
+  let max_events_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-events" ] ~docv:"M"
+          ~doc:
+            "Guard rail: refuse further events after $(docv) have been \
+             applied and drain the session.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"E"
+          ~doc:
+            "Emit a snapshot envelope (running stats) after every $(docv) \
+             applied events.")
+  in
+  let run n r s k topo socket timeout max_events snapshot_every jobs metrics
+      trace =
+    setup_logs ();
+    with_telemetry ~metrics ~trace @@ fun () ->
+    (match max_events with
+    | Some m when m < 0 ->
+        die (Printf.sprintf "--max-events %d: the cap must be non-negative" m)
+    | _ -> ());
+    (match snapshot_every with
+    | Some e when e <= 0 ->
+        die
+          (Printf.sprintf "--snapshot-every %d: the period must be positive" e)
+    | _ -> ());
+    if timeout < 0. then
+      die
+        (Printf.sprintf "--timeout %g: the idle timeout must be non-negative"
+           timeout);
+    let eng = make_engine ~n ~r ~s ~k topo in
+    (* One session for the daemon's lifetime: a reconnecting client sees
+       the same engine and the same running stats. *)
+    let session = Dsim.Api.make eng in
+    with_pool jobs @@ fun _pool ->
+    Dsim.Serve.install_signals ();
+    let serve_fds ~input ~output =
+      Dsim.Serve.run ?max_events ?snapshot_every ~timeout session ~input
+        ~output
+    in
+    match socket with
+    | None ->
+        let outcome = serve_fds ~input:Unix.stdin ~output:Unix.stdout in
+        Logs.info (fun m ->
+            m "serve session over stdin ended (%s): %d requests, %d responses"
+              (Dsim.Serve.reason_label outcome.Dsim.Serve.reason)
+              outcome.Dsim.Serve.requests outcome.Dsim.Serve.responses)
+    | Some path ->
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (if Sys.file_exists path then
+           try Unix.unlink path with Unix.Unix_error _ -> ());
+        (try
+           Unix.bind sock (Unix.ADDR_UNIX path);
+           Unix.listen sock 8
+         with Unix.Unix_error (err, _, _) ->
+           die
+             (Printf.sprintf "cannot listen on %s: %s" path
+                (Unix.error_message err)));
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close sock with Unix.Unix_error _ -> ());
+            try Unix.unlink path with Unix.Unix_error _ -> ())
+          (fun () ->
+            Logs.app (fun m -> m "serving on %s" path);
+            let running = ref true in
+            while !running && not (Dsim.Serve.stop_requested ()) do
+              (* Poll accept so a delivered signal is noticed within a
+                 second even with no client connecting. *)
+              match Unix.select [ sock ] [] [] 1.0 with
+              | [], _, _ -> ()
+              | _ -> (
+                  match Unix.accept sock with
+                  | client, _ ->
+                      let outcome =
+                        Fun.protect
+                          ~finally:(fun () ->
+                            try Unix.close client
+                            with Unix.Unix_error _ -> ())
+                          (fun () ->
+                            serve_fds ~input:client ~output:client)
+                      in
+                      Logs.info (fun m ->
+                          m "connection ended (%s): %d requests"
+                            (Dsim.Serve.reason_label
+                               outcome.Dsim.Serve.reason)
+                            outcome.Dsim.Serve.requests);
+                      (match outcome.Dsim.Serve.reason with
+                      | Dsim.Serve.Signal | Dsim.Serve.Max_events ->
+                          running := false
+                      | Dsim.Serve.Eof | Dsim.Serve.Timeout -> ())
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            done)
+  in
+  Term.(
+    const run $ n_arg $ r_arg $ s_arg $ k_arg $ topology_term $ socket_arg
+    $ timeout_arg $ max_events_arg $ snapshot_arg $ jobs_term $ metrics_arg
+    $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* The command table: one declarative row per subcommand, so the verb
+   list, help text and wiring live in one place. *)
+
+type spec = { name : string; doc : string; term : unit Term.t }
+
+let specs =
+  [
+    {
+      name = "plan";
+      doc = "Compute a placement plan and its availability bound.";
+      term = plan_term;
+    };
+    {
+      name = "analyze";
+      doc = "Worst-case availability analysis of a strategy.";
+      term = analyze_term;
+    };
+    {
+      name = "designs";
+      doc = "List the design catalogue for a given (x, r).";
+      term = designs_term;
+    };
+    {
+      name = "gap";
+      doc = "Chunked capacity plan for a system size (Observation 2).";
+      term = gap_term;
+    };
+    {
+      name = "simulate";
+      doc = "Materialize a placement and attack it.";
+      term = simulate_term;
+    };
+    {
+      name = "attack";
+      doc =
+        "Attack a layout exported with simulate --out, a strategy, or a \
+         synthetic --random instance.";
+      term = attack_term;
+    };
+    {
+      name = "churn";
+      doc =
+        "Replay an event stream (node/domain outages, recoveries, object \
+         create/delete) through the continuous placement engine, re-scoring \
+         worst-case availability incrementally after every event.";
+      term = churn_term;
+    };
+    {
+      name = "serve";
+      doc =
+        "Run the continuous placement engine as a long-lived daemon: \
+         newline-delimited events and queries in (stdin or a Unix socket), \
+         one placement/v1 envelope per request out.";
+      term = serve_term;
+    };
+    {
+      name = "strategies";
+      doc = "List the registered placement strategies.";
+      term = strategies_term;
+    };
+    {
+      name = "recommend";
+      doc =
+        "Find the cheapest replication config meeting an availability \
+         target.";
+      term = recommend_term;
+    };
+    {
+      name = "topology";
+      doc = "Parse a fault-domain topology spec and describe its levels.";
+      term = topology_cmd_term;
+    };
+  ]
 
 let main_cmd =
   let doc = "replica placement for availability in the worst case (ICDCS'15 reproduction)" in
   Cmd.group
     (Cmd.info "placement-tool" ~version:"1.0.0" ~doc)
-    [
-      plan_cmd; analyze_cmd; designs_cmd; gap_cmd; simulate_cmd; attack_cmd;
-      churn_cmd; strategies_cmd; recommend_cmd; topology_cmd;
-    ]
+    (List.map (fun s -> Cmd.v (Cmd.info s.name ~doc:s.doc) s.term) specs)
 
 let () = exit (Cmd.eval main_cmd)

@@ -2,7 +2,17 @@
    materialized up front; the complete (x = r-1) level appends fresh
    lexicographic r-subsets on demand.  [usage] counts live objects per
    block; [hist] is a histogram of usages so the maximum (and hence the
-   effective λ) is maintained under both adds and removes. *)
+   effective λ) is maintained under both adds and removes.
+
+   Node retirement (permanent leave): a block containing a retired node
+   is BLOCKED — never routed to — and the churn engine immediately
+   re-places every object assigned to it, so outside that transient a
+   blocked block always has usage 0.  [blocked] counts retired members
+   per block (a node may rejoin, unblocking blocks that contain no other
+   retired node); [nblocked] is the number of blocked blocks, so the
+   eligible pool size is nblocks - nblocked.  Since blocked blocks sit
+   at usage 0 in steady state, the usage histogram (which only tracks
+   usage >= 1) and hence the effective λ accounting are untouched. *)
 type level_state = {
   spec : Combo.level;
   mutable blocks : int array array;  (* pool, grows for the lazy level *)
@@ -12,6 +22,8 @@ type level_state = {
   mutable max_usage : int;
   mutable live : int;  (* objects at this level *)
   mutable open_blocks : int list;  (* candidates with usage < max_usage *)
+  mutable blocked : int array;  (* retired member nodes per block *)
+  mutable nblocked : int;  (* blocks with blocked > 0 *)
   fresh : (unit -> int array option) option;  (* lazy block source *)
 }
 
@@ -24,20 +36,33 @@ type t = {
   k : int;
   levels : level_state array;
   assignments : (int, assignment) Hashtbl.t;
+  retired : bool array;
+  mutable nretired : int;
   mutable next_id : int;
 }
 
-let grow_pool st block =
+let block_blocked st i = st.blocked.(i) > 0
+
+let blocked_count retired block =
+  Array.fold_left (fun acc nd -> if retired.(nd) then acc + 1 else acc) 0 block
+
+let grow_pool t st block =
   if st.nblocks = Array.length st.blocks then begin
     let cap = max 8 (2 * Array.length st.blocks) in
     let blocks = Array.make cap [||] in
     Array.blit st.blocks 0 blocks 0 st.nblocks;
     let usage = Array.make cap 0 in
     Array.blit st.usage 0 usage 0 st.nblocks;
+    let blocked = Array.make cap 0 in
+    Array.blit st.blocked 0 blocked 0 st.nblocks;
     st.blocks <- blocks;
-    st.usage <- usage
+    st.usage <- usage;
+    st.blocked <- blocked
   end;
   st.blocks.(st.nblocks) <- block;
+  let bc = blocked_count t.retired block in
+  st.blocked.(st.nblocks) <- bc;
+  if bc > 0 then st.nblocked <- st.nblocked + 1;
   st.nblocks <- st.nblocks + 1;
   st.nblocks - 1
 
@@ -91,10 +116,12 @@ let make_level ~n (spec : Combo.level) =
     max_usage = 0;
     live = 0;
     open_blocks = [];
+    blocked = Array.make (max 1 (Array.length fixed_blocks)) 0;
+    nblocked = 0;
     fresh;
   }
 
-let usable st = st.nblocks > 0 || st.fresh <> None
+let usable st = st.nblocks - st.nblocked > 0 || st.fresh <> None
 
 let create ?levels ~n ~r ~s ~k () =
   let specs =
@@ -105,35 +132,71 @@ let create ?levels ~n ~r ~s ~k () =
   let levels = Array.map (make_level ~n) specs in
   if not (Array.exists usable levels) then
     invalid_arg "Adaptive.create: no materializable level";
-  { n; r; s; k; levels; assignments = Hashtbl.create 256; next_id = 0 }
+  {
+    n;
+    r;
+    s;
+    k;
+    levels;
+    assignments = Hashtbl.create 256;
+    retired = Array.make n false;
+    nretired = 0;
+    next_id = 0;
+  }
 
 let n t = t.n
 let r t = t.r
 let s t = t.s
 let size t = Hashtbl.length t.assignments
+let retired t nd = t.retired.(nd)
+let has_capacity t = Array.exists usable t.levels
 
 let effective_lambda st = st.spec.Combo.mu * st.max_usage
 
 let lambdas t = Array.map effective_lambda t.levels
 
-(* Find a block index with usage < max_usage (or any block when
-   max_usage = 0); None if the level is saturated at the current λ and
-   cannot produce a fresh block. *)
+(* Find an eligible block index with usage < max_usage (or any eligible
+   block when max_usage = 0); None if the level is saturated at the
+   current λ and cannot produce a fresh eligible block.  Blocked blocks
+   (containing a retired node) are skipped everywhere. *)
 let rec pop_open st =
   match st.open_blocks with
   | i :: rest ->
       st.open_blocks <- rest;
-      if st.usage.(i) < st.max_usage then Some i else pop_open st
+      if st.usage.(i) < st.max_usage && not (block_blocked st i) then Some i
+      else pop_open st
   | [] -> None
 
-let find_slot st =
+(* Pull fresh lazy blocks until one is eligible; blocked pulls stay in
+   the pool (they unblock if their retired node rejoins). *)
+let rec pull_fresh t st next =
+  match next () with
+  | None -> None
+  | Some blk ->
+      let i = grow_pool t st blk in
+      if block_blocked st i then pull_fresh t st next else Some i
+
+let scan_eligible st pred =
+  let found = ref None in
+  (try
+     for i = 0 to st.nblocks - 1 do
+       if (not (block_blocked st i)) && pred i then begin
+         found := Some i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !found
+
+let find_slot t st =
   if st.max_usage = 0 then begin
-    (* Everything is empty; take block 0 or a fresh one. *)
-    if st.nblocks > 0 then Some 0
-    else
-      match st.fresh with
-      | Some next -> Option.map (fun blk -> grow_pool st blk) (next ())
-      | None -> None
+    (* Everything is empty; take the first eligible block or a fresh one. *)
+    match scan_eligible st (fun _ -> true) with
+    | Some _ as r -> r
+    | None -> (
+        match st.fresh with
+        | Some next -> pull_fresh t st next
+        | None -> None)
   end
   else
     match pop_open st with
@@ -143,29 +206,17 @@ let find_slot st =
            else a linear rescan (open_blocks may have gone stale), else
            report saturation. *)
         (match st.fresh with
-        | Some next -> (
-            match next () with
-            | Some blk -> Some (grow_pool st blk)
-            | None -> None)
+        | Some next -> pull_fresh t st next
         | None -> None)
         |> function
         | Some i -> Some i
-        | None ->
-            let found = ref None in
-            (try
-               for i = 0 to st.nblocks - 1 do
-                 if st.usage.(i) < st.max_usage then begin
-                   found := Some i;
-                   raise Exit
-                 end
-               done
-             with Exit -> ());
-            (match !found with
+        | None -> (
+            match scan_eligible st (fun i -> st.usage.(i) < st.max_usage) with
             | Some _ as r -> r
             | None ->
                 (* Level saturated at the current λ: growing λ by μ means
-                   any block will do. *)
-                if st.nblocks > 0 then Some 0 else None)
+                   any eligible block will do. *)
+                scan_eligible st (fun _ -> true))
 
 (* Marginal increase of the total loss bound if one object lands on level
    x.  λ grows by μ only when the level has no open slot. *)
@@ -186,11 +237,14 @@ let routing_key t st =
   if not (usable st) then None
   else begin
     (* hist.(max_usage) counts the blocks sitting at the maximum; the
-       level has a free slot unless every block is there and no fresh
-       block (usage 0) can be generated. *)
+       level has a free slot unless every eligible block is there and no
+       fresh block (usage 0) can be generated.  Blocked blocks sit at
+       usage 0 in steady state, so the eligible pool is
+       nblocks - nblocked. *)
     let saturated =
       st.max_usage = 0
-      || (Option.is_none st.fresh && st.nblocks = st.hist.(st.max_usage))
+      || (Option.is_none st.fresh
+          && st.nblocks - st.nblocked = st.hist.(st.max_usage))
     in
     let needs_bump = if saturated then 1 else 0 in
     let cap_mu =
@@ -203,7 +257,9 @@ let routing_key t st =
     Some (needs_bump, rate, st.live)
   end
 
-let add t =
+(* Destination choice shared by {!add} and {!replace}: the level whose
+   routing key is smallest, then a block within it. *)
+let route t ~what =
   let best = ref None in
   Array.iteri
     (fun x st ->
@@ -215,25 +271,43 @@ let add t =
           | _ -> best := Some (key, x)))
     t.levels;
   match !best with
-  | None -> invalid_arg "Adaptive.add: no usable level"
-  | Some (_, x) ->
+  | None -> invalid_arg (Printf.sprintf "Adaptive.%s: no usable level" what)
+  | Some (_, x) -> (
       let st = t.levels.(x) in
-      let block =
-        match find_slot st with
-        | Some i -> i
-        | None -> failwith "Adaptive.add: level reported usable but has no slot"
-      in
-      let old = st.usage.(block) in
-      st.usage.(block) <- old + 1;
-      hist_remove st old;
-      hist_add st (old + 1);
-      if st.usage.(block) < st.max_usage then
-        st.open_blocks <- block :: st.open_blocks;
-      st.live <- st.live + 1;
-      let id = t.next_id in
-      t.next_id <- id + 1;
-      Hashtbl.replace t.assignments id { level = x; block };
-      id
+      match find_slot t st with
+      | Some i -> (x, i)
+      | None ->
+          failwith
+            (Printf.sprintf
+               "Adaptive.%s: level reported usable but has no slot" what))
+
+let occupy t x block =
+  let st = t.levels.(x) in
+  let old = st.usage.(block) in
+  st.usage.(block) <- old + 1;
+  hist_remove st old;
+  hist_add st (old + 1);
+  if st.usage.(block) < st.max_usage then
+    st.open_blocks <- block :: st.open_blocks;
+  st.live <- st.live + 1
+
+let vacate t x block =
+  let st = t.levels.(x) in
+  let old = st.usage.(block) in
+  st.usage.(block) <- old - 1;
+  hist_remove st old;
+  hist_add st (old - 1);
+  if st.usage.(block) < st.max_usage then
+    st.open_blocks <- block :: st.open_blocks;
+  st.live <- st.live - 1
+
+let add t =
+  let x, block = route t ~what:"add" in
+  occupy t x block;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.assignments id { level = x; block };
+  id
 
 let add_many t count = List.init count (fun _ -> add t)
 
@@ -241,14 +315,7 @@ let remove t id =
   match Hashtbl.find_opt t.assignments id with
   | None -> raise Not_found
   | Some { level; block } ->
-      let st = t.levels.(level) in
-      let old = st.usage.(block) in
-      st.usage.(block) <- old - 1;
-      hist_remove st old;
-      hist_add st (old - 1);
-      if st.usage.(block) < st.max_usage then
-        st.open_blocks <- block :: st.open_blocks;
-      st.live <- st.live - 1;
+      vacate t level block;
       Hashtbl.remove t.assignments id
 
 let assignment t id =
@@ -261,6 +328,62 @@ let replica_set t id =
   Array.copy t.levels.(a.level).blocks.(a.block)
 
 let level_of t id = (assignment t id).level
+
+let replace t id =
+  let a = assignment t id in
+  (* Choose the destination before touching the old assignment, so a
+     routing failure leaves the placement untouched.  The old block is
+     blocked (that is why the object is being replaced), so the route
+     can never hand it back. *)
+  let x, block = route t ~what:"replace" in
+  vacate t a.level a.block;
+  occupy t x block;
+  Hashtbl.replace t.assignments id { level = x; block }
+
+let retire_node t nd =
+  if nd < 0 || nd >= t.n then
+    invalid_arg (Printf.sprintf "Adaptive.retire_node: node %d out of range" nd);
+  if t.retired.(nd) then
+    invalid_arg
+      (Printf.sprintf "Adaptive.retire_node: node %d is already retired" nd);
+  t.retired.(nd) <- true;
+  t.nretired <- t.nretired + 1;
+  Array.iter
+    (fun st ->
+      for i = 0 to st.nblocks - 1 do
+        if Array.exists (fun m -> m = nd) st.blocks.(i) then begin
+          if st.blocked.(i) = 0 then st.nblocked <- st.nblocked + 1;
+          st.blocked.(i) <- st.blocked.(i) + 1
+        end
+      done)
+    t.levels;
+  (* The evictees: live objects whose block hosts the retiree. *)
+  let evicted = ref [] in
+  Hashtbl.iter
+    (fun id { level; block } ->
+      if Array.exists (fun m -> m = nd) t.levels.(level).blocks.(block) then
+        evicted := id :: !evicted)
+    t.assignments;
+  List.sort compare !evicted
+
+let unretire_node t nd =
+  if nd < 0 || nd >= t.n then
+    invalid_arg
+      (Printf.sprintf "Adaptive.unretire_node: node %d out of range" nd);
+  if not t.retired.(nd) then
+    invalid_arg
+      (Printf.sprintf "Adaptive.unretire_node: node %d is not retired" nd);
+  t.retired.(nd) <- false;
+  t.nretired <- t.nretired - 1;
+  Array.iter
+    (fun st ->
+      for i = 0 to st.nblocks - 1 do
+        if Array.exists (fun m -> m = nd) st.blocks.(i) then begin
+          st.blocked.(i) <- st.blocked.(i) - 1;
+          if st.blocked.(i) = 0 then st.nblocked <- st.nblocked - 1
+        end
+      done)
+    t.levels
 
 let lower_bound ?k t =
   let k = Option.value ~default:t.k k in
@@ -301,16 +424,27 @@ let check_invariants t =
     (fun _ { level; block } ->
       recount.(level).(block) <- recount.(level).(block) + 1)
     t.assignments;
+  let nretired = ref 0 in
+  Array.iter (fun b -> if b then incr nretired) t.retired;
+  ensure (t.nretired = !nretired) "retired count mismatch";
   Array.iteri
     (fun x st ->
-      let live = ref 0 and maxu = ref 0 in
+      let live = ref 0 and maxu = ref 0 and nblocked = ref 0 in
       for i = 0 to st.nblocks - 1 do
         ensure (st.usage.(i) = recount.(x).(i)) "usage mismatch";
+        ensure
+          (st.blocked.(i) = blocked_count t.retired st.blocks.(i))
+          "blocked count mismatch";
+        if st.blocked.(i) > 0 then begin
+          incr nblocked;
+          ensure (st.usage.(i) = 0) "blocked block still holds objects"
+        end;
         live := !live + st.usage.(i);
         if st.usage.(i) > !maxu then maxu := st.usage.(i)
       done;
       ensure (st.live = !live) "live count mismatch";
-      ensure (st.max_usage = !maxu) "max usage mismatch")
+      ensure (st.max_usage = !maxu) "max usage mismatch";
+      ensure (st.nblocked = !nblocked) "blocked block tally mismatch")
     t.levels;
   (* The layout must satisfy Definition 2 per level at the effective λ:
      spot-checked via the per-level usage bound already; full check left

@@ -41,6 +41,34 @@ val add_many : t -> int -> int list
 val remove : t -> int -> unit
 (** @raise Not_found if the id is not live. *)
 
+val replace : t -> int -> unit
+(** Re-route a live object to a fresh block chosen by the usual routing
+    rule, keeping its id.  Used when the object's current block was
+    blocked by {!retire_node}.  The destination is chosen {e before} the
+    old slot is released, so a routing failure ([Invalid_argument], no
+    usable level) leaves the placement untouched.
+    @raise Not_found if the id is not live. *)
+
+val retire_node : t -> int -> int list
+(** Permanently retire a node: every block containing it becomes
+    ineligible for placement.  Returns the sorted ids of live objects
+    currently assigned to a newly blocked block — the caller must
+    {!replace} (or {!remove}) each of them to restore the invariant that
+    blocked blocks hold no objects.  @raise Invalid_argument if the node
+    is out of range or already retired. *)
+
+val unretire_node : t -> int -> unit
+(** Undo {!retire_node} (node re-joins): blocks containing no other
+    retired node become eligible again.  @raise Invalid_argument if the
+    node is out of range or not retired. *)
+
+val retired : t -> int -> bool
+(** Whether a node is currently retired. *)
+
+val has_capacity : t -> bool
+(** Some level can still accept an object (an eligible block exists or
+    can be generated).  When false, {!add} and {!replace} raise. *)
+
 val replica_set : t -> int -> int array
 (** The nodes hosting a live object's replicas.
     @raise Not_found if the id is not live. *)

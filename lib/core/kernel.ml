@@ -648,6 +648,10 @@ module Dyn = struct
       t.hits.{slot} <- h - 1
     done
 
+  let load t u =
+    check_unit t u "load";
+    t.row_len.(u)
+
   let marginal t u =
     check_unit t u "marginal";
     let newly = ref 0 and progress = ref 0 in

@@ -191,6 +191,10 @@ module Dyn : sig
   val killed : t -> int
   (** Objects with ≥ s replicas inside the current failure set. *)
 
+  val load : t -> int -> int
+  (** Live objects hosting a replica on the given unit — the movement
+      budget of a permanent departure. *)
+
   val hits : t -> int -> int
   val failed_units : t -> int array
   val marginal : t -> int -> int * int

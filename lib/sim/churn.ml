@@ -14,6 +14,7 @@ type t = {
   placement : Placement.Adaptive.t;
   dyn : Placement.Kernel.Dyn.t;
   up : bool array;
+  in_service : bool array;  (* false once a node permanently leaves *)
   id_slot : (int, int) Hashtbl.t;  (* adaptive object id -> dyn slot *)
   mutable slot_id : int array;  (* dyn slot -> adaptive object id *)
   mutable events : int;
@@ -53,6 +54,7 @@ let create ?levels ?topology ~n ~r ~s ~k () =
     placement = Placement.Adaptive.create ?levels ~n ~r ~s ~k ();
     dyn = Placement.Kernel.Dyn.create ~units:n ~s;
     up = Array.make n true;
+    in_service = Array.make n true;
     id_slot = Hashtbl.create 64;
     slot_id = [||];
     events = 0;
@@ -68,6 +70,12 @@ let live t = Placement.Kernel.Dyn.objects t.dyn
 let events t = t.events
 let moved_replicas (t : t) = t.moved
 let node_up t nd = t.up.(nd)
+let node_in_service t nd = t.in_service.(nd)
+let node_load t nd = Placement.Kernel.Dyn.load t.dyn nd
+
+let nodes_in_service t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.in_service
+
 let available t = live t - Placement.Kernel.Dyn.killed t.dyn
 let lower_bound t = Placement.Adaptive.lower_bound t.placement
 let layout t = Placement.Adaptive.layout t.placement
@@ -84,8 +92,15 @@ let check_node t nd =
     invalid_arg
       (Printf.sprintf "Churn: node %d out of range (n = %d)" nd t.n)
 
+let check_in_service t nd what =
+  if not t.in_service.(nd) then
+    invalid_arg
+      (Printf.sprintf "Churn: cannot %s node %d (it has left the cluster)"
+         what nd)
+
 let fail_node t nd =
   check_node t nd;
+  check_in_service t nd "fail";
   if t.up.(nd) then begin
     t.up.(nd) <- false;
     Placement.Kernel.Dyn.fail_unit t.dyn nd
@@ -93,14 +108,15 @@ let fail_node t nd =
 
 let recover_node t nd =
   check_node t nd;
+  check_in_service t nd "recover";
   if not t.up.(nd) then begin
     t.up.(nd) <- true;
     Placement.Kernel.Dyn.recover_unit t.dyn nd
   end
 
-let create_object t =
-  let id = Placement.Adaptive.add t.placement in
-  let rs = Placement.Adaptive.replica_set t.placement id in
+(* Register [id]'s replica set with the kernel and bind the id↔slot
+   maps. *)
+let bind_object t id rs =
   let slot = Placement.Kernel.Dyn.add_object t.dyn rs in
   if slot = Array.length t.slot_id then begin
     let grown = Array.make (max 16 (2 * slot)) (-1) in
@@ -108,7 +124,25 @@ let create_object t =
     t.slot_id <- grown
   end;
   t.slot_id.(slot) <- id;
-  Hashtbl.replace t.id_slot id slot;
+  Hashtbl.replace t.id_slot id slot
+
+(* Drop [id]'s kernel registration (the adaptive assignment is the
+   caller's business).  Dyn keeps slots dense: the object in [lastslot]
+   (if any) moved into [slot] — mirror that in the id maps. *)
+let unbind_object t id slot =
+  let lastslot = Placement.Kernel.Dyn.remove_object t.dyn slot in
+  Hashtbl.remove t.id_slot id;
+  if lastslot <> slot then begin
+    let moved_id = t.slot_id.(lastslot) in
+    t.slot_id.(slot) <- moved_id;
+    Hashtbl.replace t.id_slot moved_id slot
+  end;
+  t.slot_id.(lastslot) <- -1
+
+let create_object t =
+  let id = Placement.Adaptive.add t.placement in
+  let rs = Placement.Adaptive.replica_set t.placement id in
+  bind_object t id rs;
   Array.length rs
 
 let delete_object t id =
@@ -121,16 +155,62 @@ let delete_object t id =
            id)
   | Some slot ->
       Placement.Adaptive.remove t.placement id;
-      let lastslot = Placement.Kernel.Dyn.remove_object t.dyn slot in
-      Hashtbl.remove t.id_slot id;
-      (* Dyn keeps slots dense: the object in [lastslot] (if any) moved
-         into [slot] — mirror that in the id maps. *)
-      if lastslot <> slot then begin
-        let moved_id = t.slot_id.(lastslot) in
-        t.slot_id.(slot) <- moved_id;
-        Hashtbl.replace t.id_slot moved_id slot
-      end;
-      t.slot_id.(lastslot) <- -1
+      unbind_object t id slot
+
+(* Count the replicas of [nw] that are not already in [old] — the data
+   actually shipped by a relocation. *)
+let moved_replicas_between old nw =
+  Array.fold_left
+    (fun acc u -> if Array.exists (fun v -> v = u) old then acc else acc + 1)
+    0 nw
+
+(* Permanent departure.  Bounded movement: only the objects hosting a
+   replica on [nd] are touched (load nd of them), each re-placed
+   wholesale by the adaptive routing rule, so at most r replicas ship
+   per evicted object and nothing else moves.  The node's blocks are
+   blocked first (retire), so the re-route can never hand an object
+   back to the leaver; if the placement has no capacity left for the
+   relocations the retirement is rolled back and nothing has changed. *)
+let leave_node t nd =
+  check_node t nd;
+  check_in_service t nd "leave";
+  let evicted = Placement.Adaptive.retire_node t.placement nd in
+  if evicted <> [] && not (Placement.Adaptive.has_capacity t.placement) then begin
+    Placement.Adaptive.unretire_node t.placement nd;
+    invalid_arg
+      (Printf.sprintf
+         "Churn: cannot relocate node %d's replicas (no placement capacity \
+          left)"
+         nd)
+  end;
+  let moved = ref 0 in
+  List.iter
+    (fun id ->
+      let slot = Hashtbl.find t.id_slot id in
+      let old_rs = Placement.Kernel.Dyn.replicas t.dyn slot in
+      Placement.Adaptive.replace t.placement id;
+      let new_rs = Placement.Adaptive.replica_set t.placement id in
+      unbind_object t id slot;
+      bind_object t id new_rs;
+      moved := !moved + moved_replicas_between old_rs new_rs)
+    evicted;
+  (* The leaver's row is empty now; a down node that leaves stops
+     counting as failed (its loss is permanent, not an outage). *)
+  if not t.up.(nd) then begin
+    t.up.(nd) <- true;
+    Placement.Kernel.Dyn.recover_unit t.dyn nd
+  end;
+  t.in_service.(nd) <- false;
+  !moved
+
+let join_node t nd =
+  check_node t nd;
+  if t.in_service.(nd) then
+    invalid_arg
+      (Printf.sprintf "Churn: node %d is already in service (join expects a \
+                       node that left)" nd);
+  Placement.Adaptive.unretire_node t.placement nd;
+  t.in_service.(nd) <- true
 
 let apply t ev =
   Telemetry.Span.time sp_apply @@ fun () ->
@@ -155,8 +235,15 @@ let apply t ev =
                "Churn: domain %d out of range at level %d (%d domains)"
                d level
                (Topology.Tree.domain_count t.topology ~level));
-        Array.iter (fail_node t) (Topology.Tree.members t.topology ~level d);
+        (* A left node is no longer part of the domain's blast radius. *)
+        Array.iter
+          (fun m -> if t.in_service.(m) then fail_node t m)
+          (Topology.Tree.members t.topology ~level d);
         0
+    | Event.Node_join nd ->
+        join_node t nd;
+        0
+    | Event.Node_leave nd -> leave_node t nd
     | Event.Object_create -> create_object t
     | Event.Object_delete id ->
         delete_object t id;
@@ -177,9 +264,10 @@ let apply t ev =
     lower_bound = lower_bound t;
   }
 
-let rescore t =
+let rescore ?k t =
   Telemetry.Span.time sp_rescore @@ fun () ->
-  let picks, dead, stats = Placement.Kernel.Dyn.worst_case t.dyn ~k:t.k in
+  let k = Option.value ~default:t.k k in
+  let picks, dead, stats = Placement.Kernel.Dyn.worst_case t.dyn ~k in
   Telemetry.Counter.add m_rescore_evals stats.Placement.Kernel.evals;
   Telemetry.Counter.add m_rescore_pops stats.Placement.Kernel.heap_pops;
   { attack = picks; worst_available = live t - dead }
@@ -200,6 +288,14 @@ let check t =
       (Printf.sprintf "Churn.check: incremental killed %d <> recount %d"
          dyn_killed recount);
   Placement.Adaptive.check_invariants t.placement;
+  for nd = 0 to t.n - 1 do
+    if t.in_service.(nd) = Placement.Adaptive.retired t.placement nd then
+      failwith
+        (Printf.sprintf
+           "Churn.check: node %d in-service flag out of sync with placement \
+            retirement"
+           nd)
+  done;
   let layout = Placement.Adaptive.layout t.placement in
   let kn = Placement.Kernel.make layout ~s:t.s in
   let scratch_killed = Placement.Kernel.check kn (failed_nodes t) in

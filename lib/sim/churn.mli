@@ -23,7 +23,10 @@ type t
 type step = {
   seq : int;  (** 1-based event sequence number *)
   event : Event.t;
-  moved : int;  (** replicas moved by this event: r on create, else 0 *)
+  moved : int;
+      (** replicas moved by this event: r on create, at most
+          r · load(nd) on a leave of node nd (each of its load(nd)
+          evicted objects re-placed wholesale), 0 otherwise *)
   live : int;  (** live objects after the event *)
   available : int;  (** live objects not killed by the current outages *)
   failed_nodes : int;
@@ -68,6 +71,16 @@ val moved_replicas : t -> int
 val node_up : t -> int -> bool
 val failed_nodes : t -> int array
 
+val node_in_service : t -> int -> bool
+(** False once the node has permanently left (until a re-join). *)
+
+val nodes_in_service : t -> int
+(** Nodes that have not left. *)
+
+val node_load : t -> int -> int
+(** Live objects with a replica on the node — the movement budget a
+    leave of that node may spend. *)
+
 val available : t -> int
 (** Live objects not killed by the current outages (incremental). *)
 
@@ -79,16 +92,29 @@ val apply : t -> Event.t -> step
 (** Advance by one event.  Node failures/recoveries are idempotent
     (mirroring {!Cluster}); [Measure] changes nothing and exists so
     callers can snapshot at the producer's chosen points.
-    @raise Invalid_argument on an out-of-range node/domain or an
-    unknown object id — one actionable sentence, surfaced verbatim by
-    the CLI. *)
 
-val rescore : t -> rescore
+    [Node_leave nd] is a permanent departure with bounded-movement
+    re-replication: the node's placement blocks are blocked, the
+    load(nd) objects hosting a replica there — and nothing else — are
+    each re-placed wholesale by the adaptive routing rule (≤ r replicas
+    shipped per object), and a down leaver stops counting as failed.
+    If the placement has no capacity left for the relocations the event
+    raises and changes nothing.  [Node_join nd] re-admits a node that
+    left (it returns up, hosting nothing).  A left node cannot fail or
+    recover, and is skipped by [Domain_fail]'s blast radius.
+
+    @raise Invalid_argument on an out-of-range node/domain, an unknown
+    object id, a leave/fail/recover of a left node, or a join of an
+    in-service node — one actionable sentence, surfaced verbatim by the
+    CLI. *)
+
+val rescore : ?k:int -> t -> rescore
 (** Re-run the worst-case adversary on the current population without
     rebuilding: CELF lazy-greedy over the dynamic kernel, attacking
-    from all-up.  Picks and scan stats are bit-identical to
-    {!Placement.Kernel.select_greedy} on a freshly built kernel over
-    {!layout}. *)
+    from all-up.  [k] (default: the configured budget) is the attack
+    size — online queries may probe any k.  Picks and scan stats are
+    bit-identical to {!Placement.Kernel.select_greedy} on a freshly
+    built kernel over {!layout}. *)
 
 val check : t -> unit
 (** The incremental ≡ from-scratch oracle: recounts the dynamic

@@ -123,6 +123,10 @@ let apply_event t ev =
       invalid_arg
         "Cluster.apply_event: object churn needs Dsim.Churn (a cluster's \
          layout is fixed)"
+  | Event.Node_join _ | Event.Node_leave _ ->
+      invalid_arg
+        "Cluster.apply_event: membership churn needs Dsim.Churn (a cluster's \
+         node set is fixed)"
 
 let object_available t obj = Placement.Kernel.hits t.kernel obj < t.s
 

@@ -1,6 +1,8 @@
 type t =
   | Node_fail of int
   | Node_recover of int
+  | Node_join of int
+  | Node_leave of int
   | Domain_fail of int * int
   | Object_create
   | Object_delete of int
@@ -9,6 +11,8 @@ type t =
 let describe = function
   | Node_fail nd -> Printf.sprintf "fail node %d" nd
   | Node_recover nd -> Printf.sprintf "recover node %d" nd
+  | Node_join nd -> Printf.sprintf "join node %d" nd
+  | Node_leave nd -> Printf.sprintf "leave node %d" nd
   | Domain_fail (level, d) -> Printf.sprintf "fail level-%d domain %d" level d
   | Object_create -> "create object"
   | Object_delete id -> Printf.sprintf "delete object %d" id
@@ -17,10 +21,16 @@ let describe = function
 let to_line = function
   | Node_fail nd -> Printf.sprintf "fail %d" nd
   | Node_recover nd -> Printf.sprintf "recover %d" nd
+  | Node_join nd -> Printf.sprintf "join %d" nd
+  | Node_leave nd -> Printf.sprintf "leave %d" nd
   | Domain_fail (level, d) -> Printf.sprintf "fail-domain %d %d" level d
   | Object_create -> "create"
   | Object_delete id -> Printf.sprintf "delete %d" id
   | Measure label -> if label = "" then "measure" else "measure " ^ label
+
+let verbs =
+  [ "fail"; "recover"; "fail-domain"; "join"; "leave"; "create"; "delete";
+    "measure" ]
 
 (* One event per line, [to_line]'s spelling; blank lines and #-comments
    are skipped.  Errors are single actionable sentences — the CLI
@@ -48,6 +58,16 @@ let parse_line line =
         | [ nd ] ->
             int_arg ~what:"recover" nd (fun nd -> Ok (Some (Node_recover nd)))
         | _ -> Error "recover expects exactly one node id (e.g. \"recover 3\")")
+    | "join" :: rest -> (
+        match rest with
+        | [ nd ] ->
+            int_arg ~what:"join" nd (fun nd -> Ok (Some (Node_join nd)))
+        | _ -> Error "join expects exactly one node id (e.g. \"join 3\")")
+    | "leave" :: rest -> (
+        match rest with
+        | [ nd ] ->
+            int_arg ~what:"leave" nd (fun nd -> Ok (Some (Node_leave nd)))
+        | _ -> Error "leave expects exactly one node id (e.g. \"leave 3\")")
     | "fail-domain" :: rest -> (
         match rest with
         | [ level; d ] ->
@@ -70,8 +90,8 @@ let parse_line line =
     | cmd :: _ ->
         Error
           (Printf.sprintf
-             "unknown event %S (expected fail, recover, fail-domain, create, \
-              delete or measure)"
+             "unknown event %S (expected fail, recover, fail-domain, join, \
+              leave, create, delete or measure)"
              cmd)
     | [] -> assert false
 
@@ -87,6 +107,9 @@ let parse_string text =
   in
   go 1 [] lines
 
+let format_error ~file (lineno, msg) =
+  Printf.sprintf "%s:%d: %s" file lineno msg
+
 (* ------------------------------------------------------------------ *)
 (* Seeded synthetic churn.
 
@@ -95,16 +118,30 @@ let parse_string text =
    and the node up/down set — so every emitted event is valid by
    construction: deletes name a live id, fails hit an up node, recovers
    a down one.  Create-biased so the population grows over the trace.
-   Pure function of (rng, n, initial, count, measure_every). *)
-let seeded ~rng ~n ?(initial = 0) ~count ~measure_every () =
+   Join/leave are opt-in via weights (default 0): the draw range grows
+   to 100 + join_weight + leave_weight, so with both weights 0 the rng
+   consumption — and hence the stream — is byte-identical to the
+   original generator.  Left nodes are shadowed as up-but-out-of-service
+   so the fail/recover samplers skip them; leaves are throttled so at
+   least n - max(1, n/4) nodes stay in service (keeping placement
+   capacity for reasonable r).
+
+   Pure function of (rng, n, initial, count, measure_every, weights). *)
+let seeded ~rng ~n ?(initial = 0) ?(join_weight = 0) ?(leave_weight = 0) ~count
+    ~measure_every () =
   if n < 1 then invalid_arg "Event.seeded: need at least one node";
   if initial < 0 || count < 0 then
     invalid_arg "Event.seeded: negative event count";
+  if join_weight < 0 || leave_weight < 0 then
+    invalid_arg "Event.seeded: negative join/leave weight";
   let live = ref (Array.init (max 16 initial) Fun.id) in
   let nlive = ref initial in
   let next_id = ref initial in
   let up = Array.make n true in
   let ndown = ref 0 in
+  let inserv = Array.make n true in
+  let ninserv = ref n in
+  let floor_inserv = n - max 1 (n / 4) in
   let out = ref [] in
   let emit ev = out := ev :: !out in
   let create () =
@@ -119,24 +156,31 @@ let seeded ~rng ~n ?(initial = 0) ~count ~measure_every () =
     emit Object_create
   in
   for i = 1 to count do
-    let d = Combin.Rng.int rng 100 in
-    if d < 55 || (d < 70 && !nlive = 0) || (d >= 85 && !ndown = 0) then
-      create ()
+    let d = Combin.Rng.int rng (100 + join_weight + leave_weight) in
+    if
+      d < 55
+      || (d < 70 && !nlive = 0)
+      || (d >= 85 && d < 100 && !ndown = 0)
+      || (d >= 100 && d < 100 + leave_weight && !ninserv <= floor_inserv)
+      || (d >= 100 + leave_weight && !ninserv = n)
+    then create ()
     else if d < 70 then begin
       let slot = Combin.Rng.int rng !nlive in
       emit (Object_delete !live.(slot));
       decr nlive;
       !live.(slot) <- !live.(!nlive)
     end
-    else if d < 85 && !ndown < n then begin
-      (* Rejection-sample an up node: deterministic given the rng. *)
+    else if d < 85 && !ndown < !ninserv then begin
+      (* Rejection-sample an up in-service node: deterministic given the
+         rng (left nodes shadow as up, so the extra check is free when
+         no node has left). *)
       let nd = ref (Combin.Rng.int rng n) in
-      while not up.(!nd) do nd := Combin.Rng.int rng n done;
+      while not (up.(!nd) && inserv.(!nd)) do nd := Combin.Rng.int rng n done;
       up.(!nd) <- false;
       incr ndown;
       emit (Node_fail !nd)
     end
-    else begin
+    else if d < 100 then begin
       (* Recover the [pick]-th currently-down node (ascending scan). *)
       let pick = ref (Combin.Rng.int rng !ndown) in
       let nd = ref 0 in
@@ -147,6 +191,32 @@ let seeded ~rng ~n ?(initial = 0) ~count ~measure_every () =
       up.(!nd) <- true;
       decr ndown;
       emit (Node_recover !nd)
+    end
+    else if d < 100 + leave_weight then begin
+      (* Permanent leave of an in-service node (up or down). *)
+      let nd = ref (Combin.Rng.int rng n) in
+      while not inserv.(!nd) do nd := Combin.Rng.int rng n done;
+      if not up.(!nd) then begin
+        (* A down node that leaves stops counting as failed. *)
+        up.(!nd) <- true;
+        decr ndown
+      end;
+      inserv.(!nd) <- false;
+      decr ninserv;
+      emit (Node_leave !nd)
+    end
+    else begin
+      (* Re-join the [pick]-th left node (ascending scan); it returns
+         up with an empty replica row. *)
+      let pick = ref (Combin.Rng.int rng (n - !ninserv)) in
+      let nd = ref 0 in
+      while inserv.(!nd) || !pick > 0 do
+        if not inserv.(!nd) then decr pick;
+        incr nd
+      done;
+      inserv.(!nd) <- true;
+      incr ninserv;
+      emit (Node_join !nd)
     end;
     if measure_every > 0 && i mod measure_every = 0 then
       emit (Measure (Printf.sprintf "t%d" i))

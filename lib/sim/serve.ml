@@ -1,0 +1,208 @@
+module J = Telemetry.Json
+
+let m_requests = Telemetry.Registry.counter "sim/serve/requests"
+let m_responses = Telemetry.Registry.counter "sim/serve/responses"
+let m_parse_errors = Telemetry.Registry.counter "sim/serve/parse_errors"
+let m_rejected = Telemetry.Registry.counter "sim/serve/rejected"
+let sp_request = Telemetry.Registry.span "sim/serve/request"
+
+type reason = Eof | Signal | Timeout | Max_events
+
+let reason_label = function
+  | Eof -> "eof"
+  | Signal -> "signal"
+  | Timeout -> "timeout"
+  | Max_events -> "max-events"
+
+type outcome = {
+  reason : reason;
+  requests : int;
+  responses : int;
+  parse_errors : int;
+  rejected : int;
+}
+
+(* One flag for the whole process: signal handlers are global state, so
+   installing twice is harmless and nested serve loops share the flag. *)
+let stop = ref false
+let signals_installed = ref false
+
+let install_signals () =
+  if not !signals_installed then begin
+    signals_installed := true;
+    let handle = Sys.Signal_handle (fun _ -> stop := true) in
+    Sys.set_signal Sys.sigterm handle;
+    Sys.set_signal Sys.sigint handle;
+    (* A vanished peer must read as EPIPE (handled as end-of-session),
+       not kill the daemon. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  end
+
+let stop_requested () = !stop
+
+(* ------------------------------------------------------------------ *)
+(* Writing: full-buffer writes with EINTR retry.  A closed peer (EPIPE)
+   reads as end-of-session, not a crash. *)
+
+exception Peer_gone
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd b !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EPIPE, _, _) -> raise Peer_gone
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The daemon loop.
+
+   Reads newline-delimited requests from [input], answers each on
+   [output] as a single-line placement/v1 envelope, and keeps going
+   until EOF, an idle timeout, a delivered SIGTERM/SIGINT (drain: the
+   lines already buffered are still answered), or the [max_events]
+   guard.  Parse errors are answered inline with their 1-based line
+   number and never kill the session.  Everything is deterministic for
+   a given request stream — the timing only decides when the session
+   ends, never what a response contains. *)
+let run ?max_events ?snapshot_every ?(timeout = 0.) session ~input ~output =
+  let responses = ref 0 in
+  let lineno = ref 0 in
+  let applied = ref 0 in
+  let finished = ref None in
+  let finish reason = if !finished = None then finished := Some reason in
+  let respond resp =
+    Telemetry.Counter.incr m_responses;
+    incr responses;
+    write_all output (Api.response_to_line resp ^ "\n")
+  in
+  let snapshot () =
+    match snapshot_every with
+    | Some every when every > 0 && !applied mod every = 0 ->
+        Telemetry.Counter.incr m_responses;
+        incr responses;
+        write_all output
+          (J.to_string
+             (Placement.Codec.json_envelope ~command:"snapshot"
+                (J.Obj
+                   [
+                     ("after_events", J.Int !applied);
+                     ("stats", Api.stats_json (Api.stats session));
+                   ]))
+          ^ "\n")
+    | _ -> ()
+  in
+  let handle_line line =
+    if !finished = None then begin
+      incr lineno;
+      Telemetry.Span.time sp_request @@ fun () ->
+      match Api.parse_request line with
+      | Ok None -> ()
+      | Error msg ->
+          Telemetry.Counter.incr m_requests;
+          Telemetry.Counter.incr m_parse_errors;
+          respond (Api.parse_error session !lineno msg)
+      | Ok (Some req) -> (
+          Telemetry.Counter.incr m_requests;
+          match req with
+          | Api.Apply _
+            when match max_events with
+                 | Some cap -> !applied >= cap
+                 | None -> false ->
+              Telemetry.Counter.incr m_rejected;
+              respond
+                (Api.reject_line session !lineno
+                   (Printf.sprintf
+                      "event limit reached (--max-events %d); draining"
+                      (Option.get max_events)));
+              finish Max_events
+          | _ ->
+              let resp = Api.exec session req in
+              (match resp with
+              | Api.Rejected _ -> Telemetry.Counter.incr m_rejected
+              | Api.Applied _ ->
+                  incr applied
+              | _ -> ());
+              respond resp;
+              (match resp with Api.Applied _ -> snapshot () | _ -> ()))
+    end
+  in
+  (* Line framing over raw reads: accumulate chunks, split on '\n'.  A
+     trailing unterminated line is still processed at EOF. *)
+  let pending = Buffer.create 256 in
+  let chunk = Bytes.create 65536 in
+  let drain_pending_lines () =
+    let data = Buffer.contents pending in
+    Buffer.clear pending;
+    let rec go start =
+      match String.index_from_opt data start '\n' with
+      | Some nl ->
+          handle_line (String.sub data start (nl - start));
+          go (nl + 1)
+      | None ->
+          Buffer.add_substring pending data start (String.length data - start)
+    in
+    go 0
+  in
+  (try
+     let eof = ref false in
+     while (not !eof) && !finished = None do
+       if !stop then finish Signal
+       else begin
+         (* Ready: data (or EOF) to read.  Idle: the timeout elapsed.
+            Retry: a signal interrupted the wait — loop to re-check the
+            stop flag before anything else. *)
+         let readable =
+           match
+             Unix.select [ input ] [] []
+               (if timeout > 0. then timeout else -1.)
+           with
+           | [], _, _ -> `Idle
+           | _ -> `Ready
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Retry
+         in
+         if !stop then finish Signal
+         else
+           match readable with
+           | `Idle -> finish Timeout
+           | `Retry -> ()
+           | `Ready -> (
+               match Unix.read input chunk 0 (Bytes.length chunk) with
+               | 0 -> eof := true
+               | n ->
+                   Buffer.add_subbytes pending chunk 0 n;
+                   drain_pending_lines ()
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+       end
+     done;
+     (* Drain: answer what was already buffered, even on a signal. *)
+     if Buffer.length pending > 0 then begin
+       Buffer.add_char pending '\n';
+       drain_pending_lines ()
+     end
+   with Peer_gone -> finish Eof);
+  let reason =
+    match !finished with Some reason -> reason | None -> Eof
+  in
+  let st = Api.stats session in
+  (try
+     write_all output
+       (J.to_string
+          (Placement.Codec.json_envelope ~command:"summary"
+             (J.Obj
+                [
+                  ("reason", J.Str (reason_label reason));
+                  ("stats", Api.stats_json st);
+                ]))
+       ^ "\n")
+   with Peer_gone -> ());
+  {
+    reason;
+    requests = st.Api.requests;
+    responses = !responses;
+    parse_errors = st.Api.parse_errors;
+    rejected = st.Api.rejected;
+  }

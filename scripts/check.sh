@@ -11,7 +11,12 @@
 # trace replayed through the continuous engine, diffed byte-for-byte
 # against the pinned envelope in scripts/churn_smoke.expected; the
 # churn_trace row in BENCH_churn.json must report incremental ≡
-# from-scratch re-scores and bounded per-event data movement).
+# from-scratch re-scores and bounded per-event data movement), and
+# finally the serve gates (a fixed event+query script answered over
+# stdin must be byte-identical to the batch churn --responses replay
+# at -j1 and -j4, a SIGTERM mid-session must still flush a summary
+# envelope naming the signal, and the serve_pipe row in
+# BENCH_churn.json must report matching engine states with peak-RSS).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -116,5 +121,77 @@ dune exec bin/placement_tool.exe -- churn -n 50 -r 3 -s 2 -k 3 \
 diff scripts/churn_smoke.expected churn_smoke.json ||
   { echo "check.sh: churn smoke diverged from the pinned envelope (scripts/churn_smoke.expected)" >&2; exit 1; }
 rm -f churn_smoke.json
+
+# Serve gates.  (1) Protocol determinism: a fixed event+query script
+# piped into the serve daemon over stdin must answer byte-identically
+# to the batch `churn --events FILE --responses` replay, at -j1 and
+# -j4 — serve and batch share one Api path, and this is the contract
+# that keeps them honest.
+cat > serve_script.txt <<'EOF'
+create
+create
+create
+fail 1
+query avail
+query worst 3
+leave 1
+query lower-bound
+join 1
+create
+delete 0
+query worst
+stats
+EOF
+dune exec bin/placement_tool.exe -- serve -n 12 -r 3 -s 2 -k 2 \
+  < serve_script.txt > serve_stdin.out
+dune exec bin/placement_tool.exe -- churn -n 12 -r 3 -s 2 -k 2 \
+  --events serve_script.txt --responses > serve_batch.out
+cmp serve_stdin.out serve_batch.out ||
+  { echo "check.sh: serve over stdin diverged from batch churn --responses" >&2; exit 1; }
+dune exec bin/placement_tool.exe -- serve -n 12 -r 3 -s 2 -k 2 -j4 \
+  < serve_script.txt > serve_j4.out
+cmp serve_stdin.out serve_j4.out ||
+  { echo "check.sh: serve output differs between -j1 and -j4" >&2; exit 1; }
+rm -f serve_script.txt serve_stdin.out serve_batch.out serve_j4.out
+
+# (2) Graceful drain: SIGTERM mid-session must still flush a valid
+# final summary envelope naming the signal.  The daemon reads from a
+# FIFO held open by a sleeping writer, so only the signal can end it.
+serve_fifo=$(mktemp -u serve_fifo.XXXXXX)
+mkfifo "$serve_fifo"
+sleep 5 > "$serve_fifo" &
+fifo_holder=$!
+_build/default/bin/placement_tool.exe serve -n 8 -r 3 -s 2 -k 2 \
+  < "$serve_fifo" > serve_sigterm.out &
+serve_pid=$!
+sleep 1
+kill -TERM "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+kill "$fifo_holder" 2>/dev/null || true
+wait "$fifo_holder" 2>/dev/null || true
+rm -f "$serve_fifo"
+grep -q '"command": "summary"' serve_sigterm.out ||
+  { echo "check.sh: SIGTERM drain emitted no summary envelope" >&2; exit 1; }
+grep -q '"reason": "signal"' serve_sigterm.out ||
+  { echo "check.sh: SIGTERM drain summary does not name the signal" >&2; exit 1; }
+rm -f serve_sigterm.out
+
+# (3) Serve throughput row: the quick perf pass appends a serve_pipe
+# row (the serve loop vs raw applies on the same stream).  Hard gate:
+# both engines must land in the same state ("engines_agree": true) and
+# the row must carry peak_rss_kb; the protocol-overhead ratio is
+# wall-clock and advisory only, per the nominal 2x line — parsing and
+# envelope rendering should stay within 2x of raw applies.
+serve_row=$(grep '"op": "serve_pipe"' BENCH_churn.json | tail -n 1)
+[ -n "$serve_row" ] ||
+  { echo "check.sh: no serve_pipe row in BENCH_churn.json" >&2; exit 1; }
+echo "$serve_row" | grep -q '"engines_agree": true' ||
+  { echo "check.sh: serve loop and raw applies landed in different engine states (see BENCH_churn.json)" >&2; exit 1; }
+echo "$serve_row" | grep -q '"peak_rss_kb"' ||
+  { echo "check.sh: serve_pipe row is missing peak_rss_kb (see BENCH_churn.json)" >&2; exit 1; }
+serve_overhead=$(echo "$serve_row" | sed -n 's/.*"protocol_overhead": \([0-9.]*\).*/\1/p')
+if [ -n "$serve_overhead" ] && awk "BEGIN { exit !($serve_overhead > 2.0) }"; then
+  echo "check.sh: advisory: serve protocol overhead ${serve_overhead}x > nominal 2x over raw applies (see BENCH_churn.json)" >&2
+fi
 
 echo "check.sh: all good"

@@ -8,8 +8,8 @@ byte-identical at any -j.
     [t100] seq=102 live=33 avail=31 worst=30 min_worst=20 lb=30 failed_nodes=3 moved=153
     [t150] seq=153 live=57 avail=35 worst=54 min_worst=30 lb=54 failed_nodes=9 moved=243
     [t200] seq=204 live=78 avail=67 worst=72 min_worst=53 lb=72 failed_nodes=6 moved=333
-    events: 204 (111 creates, 33 deletes, 31 fails, 25 recovers, 0 domain, 4 measures)
-    moved replicas: 333 (exactly r=3 per create, none otherwise)
+    events: 204 (111 creates, 33 deletes, 31 fails, 25 recovers, 0 domain, 0 joins, 0 leaves, 4 measures)
+    moved replicas: 333 (r=3 per create, at most r*load per leave, none otherwise)
     final: live=78 available=67 worst-case available=72 lower bound=72
 
   $ placement-tool churn -n 20 -r 3 -s 2 -k 3 --seed 7 --count 200 --measure-every 50 --json -j1 > j1.json
@@ -86,6 +86,8 @@ byte-identical at any -j.
         "node_fails": 31,
         "node_recovers": 25,
         "domain_fails": 0,
+        "joins": 0,
+        "leaves": 0,
         "measures": 4,
         "moved_replicas": 333,
         "live": 78,
@@ -118,9 +120,41 @@ against a declared topology.
     [warm] seq=4 live=3 avail=3 worst=1 min_worst=0 lb=1 failed_nodes=0 moved=6
     [degraded] seq=6 live=3 avail=2 worst=1 min_worst=1 lb=1 failed_nodes=2 moved=6
     [healed] seq=10 live=2 avail=2 worst=0 min_worst=0 lb=0 failed_nodes=0 moved=6
-    events: 10 (3 creates, 1 deletes, 0 fails, 2 recovers, 1 domain, 3 measures)
-    moved replicas: 6 (exactly r=2 per create, none otherwise)
+    events: 10 (3 creates, 1 deletes, 0 fails, 2 recovers, 1 domain, 0 joins, 0 leaves, 3 measures)
+    moved replicas: 6 (r=2 per create, at most r*load per leave, none otherwise)
     final: live=2 available=2 worst-case available=0 lower bound=0
+
+Membership churn: a leave re-homes the departing node's replicas (at
+most r per object it held) and a join re-admits it empty.
+
+  $ cat > members.txt <<'EOF'
+  > create
+  > create
+  > create
+  > leave 0
+  > measure shrunk
+  > join 0
+  > measure back
+  > EOF
+  $ placement-tool churn -n 4 -r 2 -s 1 -k 1 --events members.txt
+  Continuous churn replay on n=4 nodes (r=2, s=1, k=1)
+    source: event file members.txt (7 events)
+    [shrunk] seq=5 live=3 avail=3 worst=0 min_worst=0 lb=0 failed_nodes=0 moved=10
+    [back] seq=7 live=3 avail=3 worst=0 min_worst=0 lb=0 failed_nodes=0 moved=10
+    events: 7 (3 creates, 0 deletes, 0 fails, 0 recovers, 0 domain, 1 joins, 1 leaves, 2 measures)
+    moved replicas: 10 (r=2 per create, at most r*load per leave, none otherwise)
+    final: live=3 available=3 worst-case available=0 lower bound=0
+
+The seeded stream accepts join/leave weights; weight 0 (the default)
+leaves historical streams byte-identical.
+
+  $ placement-tool churn -n 20 -r 3 -s 2 -k 3 --seed 7 --count 200 --measure-every 50 --join-weight 0 --leave-weight 0 > w0.txt
+  $ placement-tool churn -n 20 -r 3 -s 2 -k 3 --seed 7 --count 200 --measure-every 50 > def.txt
+  $ cmp w0.txt def.txt && echo identical
+  identical
+  $ placement-tool churn -n 20 -r 3 -s 2 -k 3 --seed 7 --count 200 --measure-every 50 --join-weight 10 --leave-weight 10 | head -2
+  Continuous churn replay on n=20 nodes (r=3, s=2, k=3)
+    source: seeded stream (seed 7, 200 events, measure every 50), join/leave weights 10/10
 
 Malformed event files die with one actionable line.
 
@@ -130,7 +164,7 @@ Malformed event files die with one actionable line.
 
   $ printf 'create\nfrobnicate 3\n' > bad.txt
   $ placement-tool churn -n 10 --events bad.txt
-  bad.txt:2: unknown event "frobnicate" (expected fail, recover, fail-domain, create, delete or measure)
+  bad.txt:2: unknown event "frobnicate" (expected fail, recover, fail-domain, join, leave, create, delete or measure)
   [1]
 
   $ printf 'fail\n' > arity.txt

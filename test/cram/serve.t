@@ -1,0 +1,89 @@
+The serve daemon: newline-delimited events and queries in, one
+placement/v1 envelope per request out, and the whole conversation is
+byte-identical to a batch `churn --events FILE --responses` replay.
+
+  $ cat > script.txt <<'EOF'
+  > # a serve session: grow, break, ask, heal
+  > create
+  > create
+  > create
+  > fail 1
+  > query avail
+  > query worst 2
+  > leave 1
+  > query lower-bound
+  > join 1
+  > stats
+  > EOF
+
+  $ placement-tool serve -n 8 -r 3 -s 2 -k 2 < script.txt
+  {"schema": "placement/v1","command": "apply","data": {"seq": 1,"event": "create","moved": 3,"live": 1,"available": 1,"failed_nodes": 0,"lower_bound": 0}}
+  {"schema": "placement/v1","command": "apply","data": {"seq": 2,"event": "create","moved": 3,"live": 2,"available": 2,"failed_nodes": 0,"lower_bound": 1}}
+  {"schema": "placement/v1","command": "apply","data": {"seq": 3,"event": "create","moved": 3,"live": 3,"available": 3,"failed_nodes": 0,"lower_bound": 2}}
+  {"schema": "placement/v1","command": "apply","data": {"seq": 4,"event": "fail 1","moved": 0,"live": 3,"available": 3,"failed_nodes": 1,"lower_bound": 2}}
+  {"schema": "placement/v1","command": "query","data": {"query": "avail","live": 3,"available": 3,"failed_nodes": 1,"nodes_in_service": 8}}
+  {"schema": "placement/v1","command": "query","data": {"query": "worst","k": 2,"attack": [2,4],"worst_available": 2,"live": 3}}
+  {"schema": "placement/v1","command": "apply","data": {"seq": 5,"event": "leave 1","moved": 2,"live": 3,"available": 3,"failed_nodes": 0,"lower_bound": 2}}
+  {"schema": "placement/v1","command": "query","data": {"query": "lower-bound","lower_bound": 2,"live": 3}}
+  {"schema": "placement/v1","command": "apply","data": {"seq": 6,"event": "join 1","moved": 0,"live": 3,"available": 3,"failed_nodes": 0,"lower_bound": 2}}
+  {"schema": "placement/v1","command": "stats","data": {"requests": 10,"events": 6,"parse_errors": 0,"rejected": 0,"creates": 3,"deletes": 0,"node_fails": 1,"node_recovers": 0,"domain_fails": 0,"joins": 1,"leaves": 1,"measures": 0,"moved_replicas": 11,"live": 3,"available": 3,"failed_nodes": 0,"nodes_in_service": 8,"lower_bound": 2}}
+  {"schema": "placement/v1","command": "summary","data": {"reason": "eof","stats": {"requests": 10,"events": 6,"parse_errors": 0,"rejected": 0,"creates": 3,"deletes": 0,"node_fails": 1,"node_recovers": 0,"domain_fails": 0,"joins": 1,"leaves": 1,"measures": 0,"moved_replicas": 11,"live": 3,"available": 3,"failed_nodes": 0,"nodes_in_service": 8,"lower_bound": 2}}}
+
+The batch replay answers the same script with the same bytes, at any -j.
+
+  $ placement-tool serve -n 8 -r 3 -s 2 -k 2 < script.txt > serve.out
+  $ placement-tool churn -n 8 -r 3 -s 2 -k 2 --events script.txt --responses > batch.out
+  $ cmp serve.out batch.out && echo identical
+  identical
+  $ placement-tool serve -n 8 -r 3 -s 2 -k 2 -j4 < script.txt > serve4.out
+  $ cmp serve.out serve4.out && echo identical
+  identical
+
+Bad lines are answered inline with their line number — the session
+survives and keeps serving.
+
+  $ printf 'create\nfrobnicate 1\nfail\nquery avail\n' | placement-tool serve -n 4 -r 2 -s 1 -k 1
+  {"schema": "placement/v1","command": "apply","data": {"seq": 1,"event": "create","moved": 2,"live": 1,"available": 1,"failed_nodes": 0,"lower_bound": 0}}
+  {"schema": "placement/v1","command": "error","data": {"line": 2,"message": "unknown request \"frobnicate\" (expected an event — fail, recover, fail-domain, join, leave, create, delete, measure — or query worst/avail/lower-bound, or stats)"}}
+  {"schema": "placement/v1","command": "error","data": {"line": 3,"message": "fail expects exactly one node id (e.g. \"fail 3\")"}}
+  {"schema": "placement/v1","command": "query","data": {"query": "avail","live": 1,"available": 1,"failed_nodes": 0,"nodes_in_service": 4}}
+  {"schema": "placement/v1","command": "summary","data": {"reason": "eof","stats": {"requests": 4,"events": 1,"parse_errors": 2,"rejected": 2,"creates": 1,"deletes": 0,"node_fails": 0,"node_recovers": 0,"domain_fails": 0,"joins": 0,"leaves": 0,"measures": 0,"moved_replicas": 2,"live": 1,"available": 1,"failed_nodes": 0,"nodes_in_service": 4,"lower_bound": 0}}}
+
+Engine rejections are envelopes too, not crashes.
+
+  $ printf 'fail 99\nleave 0\nleave 0\n' | placement-tool serve -n 4 -r 2 -s 1 -k 1
+  {"schema": "placement/v1","command": "error","data": {"message": "Churn: node 99 out of range (n = 4)"}}
+  {"schema": "placement/v1","command": "apply","data": {"seq": 1,"event": "leave 0","moved": 0,"live": 0,"available": 0,"failed_nodes": 0,"lower_bound": 0}}
+  {"schema": "placement/v1","command": "error","data": {"message": "Churn: cannot leave node 0 (it has left the cluster)"}}
+  {"schema": "placement/v1","command": "summary","data": {"reason": "eof","stats": {"requests": 3,"events": 1,"parse_errors": 0,"rejected": 2,"creates": 0,"deletes": 0,"node_fails": 0,"node_recovers": 0,"domain_fails": 0,"joins": 0,"leaves": 1,"measures": 0,"moved_replicas": 0,"live": 0,"available": 0,"failed_nodes": 0,"nodes_in_service": 3,"lower_bound": 0}}}
+
+The --max-events guard rail refuses further events and drains.
+
+  $ printf 'create\ncreate\ncreate\n' | placement-tool serve -n 4 -r 2 -s 1 -k 1 --max-events 2
+  {"schema": "placement/v1","command": "apply","data": {"seq": 1,"event": "create","moved": 2,"live": 1,"available": 1,"failed_nodes": 0,"lower_bound": 0}}
+  {"schema": "placement/v1","command": "apply","data": {"seq": 2,"event": "create","moved": 2,"live": 2,"available": 2,"failed_nodes": 0,"lower_bound": 1}}
+  {"schema": "placement/v1","command": "error","data": {"line": 3,"message": "event limit reached (--max-events 2); draining"}}
+  {"schema": "placement/v1","command": "summary","data": {"reason": "max-events","stats": {"requests": 3,"events": 2,"parse_errors": 0,"rejected": 1,"creates": 2,"deletes": 0,"node_fails": 0,"node_recovers": 0,"domain_fails": 0,"joins": 0,"leaves": 0,"measures": 0,"moved_replicas": 4,"live": 2,"available": 2,"failed_nodes": 0,"nodes_in_service": 4,"lower_bound": 1}}}
+
+Snapshots interleave with the responses every N applied events.
+
+  $ printf 'create\ncreate\n' | placement-tool serve -n 4 -r 2 -s 1 -k 1 --snapshot-every 2 | grep -c snapshot
+  1
+
+--responses without --events has nothing to answer.
+
+  $ placement-tool churn -n 4 --responses
+  --responses needs --events FILE (the request script)
+  [1]
+
+Flag validation dies before the daemon starts.
+
+  $ placement-tool serve -n 4 --max-events=-1 < /dev/null
+  --max-events -1: the cap must be non-negative
+  [1]
+  $ placement-tool serve -n 4 --snapshot-every 0 < /dev/null
+  --snapshot-every 0: the period must be positive
+  [1]
+  $ placement-tool serve -n 4 --timeout=-1 < /dev/null
+  --timeout -1: the idle timeout must be non-negative
+  [1]

@@ -259,7 +259,54 @@ let test_event_parse_errors () =
           (String.index_opt msg '\n' = None)
   in
   List.iter expect_error
-    [ "fail"; "fail x"; "recover 1 2"; "fail-domain 1"; "delete"; "create 3" ]
+    [
+      "fail"; "fail x"; "recover 1 2"; "fail-domain 1"; "delete"; "create 3";
+      "join"; "join a b"; "leave"; "leave 1 2";
+    ]
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_event_error_messages () =
+  (* Per-verb arity errors name the verb and show an example; the
+     unknown-verb error enumerates the whole vocabulary. *)
+  let error_of text =
+    match Dsim.Event.parse_string text with
+    | Ok _ -> Alcotest.failf "accepted malformed %S" text
+    | Error (line, msg) ->
+        Alcotest.(check int) "error on its own line" 1 line;
+        msg
+  in
+  List.iter
+    (fun (text, verb) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S names its verb" text)
+        true
+        (contains ~sub:verb (error_of text)))
+    [
+      ("fail 1 2", "fail"); ("recover", "recover"); ("join x", "join");
+      ("leave", "leave"); ("delete 1 2", "delete"); ("create 3", "create");
+      ("fail-domain 1", "fail-domain");
+    ];
+  let unknown = error_of "frobnicate 3" in
+  List.iter
+    (fun verb ->
+      Alcotest.(check bool)
+        (Printf.sprintf "unknown-verb error lists %s" verb)
+        true (contains ~sub:verb unknown))
+    Dsim.Event.verbs;
+  (* Blank lines and comments never error, whatever surrounds them. *)
+  match Dsim.Event.parse_string "# a comment\n\n   \ncreate\n" with
+  | Ok [ Dsim.Event.Object_create ] -> ()
+  | Ok _ -> Alcotest.fail "comment/blank handling changed the events"
+  | Error (line, msg) -> Alcotest.failf "rejected comment: %d: %s" line msg
+
+let test_event_format_error () =
+  Alcotest.(check string)
+    "FILE:LINE: MSG" "events.txt:7: boom"
+    (Dsim.Event.format_error ~file:"events.txt" (7, "boom"))
 
 let test_cluster_apply_event () =
   let c = Dsim.Cluster.create (mk_layout ()) Dsim.Semantics.Write_all in
@@ -310,6 +357,41 @@ let test_event_seeded_valid () =
   Alcotest.(check bool) "applied all" true (Dsim.Churn.events eng >= 500);
   Alcotest.(check bool) "population grew" true (Dsim.Churn.live eng > 0)
 
+let test_event_seeded_weights_zero_identical () =
+  (* join/leave weights default to 0 and weight 0 must not perturb the
+     rng draws: historical streams stay byte-identical. *)
+  let gen ?jw ?lw () =
+    Dsim.Event.seeded
+      ~rng:(Combin.Rng.create 11)
+      ~n:9 ?join_weight:jw ?leave_weight:lw ~count:400 ~measure_every:50 ()
+  in
+  Alcotest.(check bool) "explicit 0 weights = defaults" true
+    (gen () = gen ~jw:0 ~lw:0 ())
+
+let test_event_seeded_membership_valid () =
+  (* With non-zero weights the stream contains joins and leaves and
+     still replays cleanly — leaves never target a node holding the
+     last capacity, joins only re-admit nodes that left. *)
+  let evs =
+    Dsim.Event.seeded
+      ~rng:(Combin.Rng.create 3)
+      ~n:12 ~join_weight:15 ~leave_weight:15 ~count:800 ~measure_every:0 ()
+  in
+  let joins =
+    List.length
+      (List.filter (function Dsim.Event.Node_join _ -> true | _ -> false) evs)
+  and leaves =
+    List.length
+      (List.filter
+         (function Dsim.Event.Node_leave _ -> true | _ -> false)
+         evs)
+  in
+  Alcotest.(check bool) "stream has joins" true (joins > 0);
+  Alcotest.(check bool) "stream has leaves" true (leaves > 0);
+  let eng = Dsim.Churn.create ~n:12 ~r:3 ~s:2 ~k:2 () in
+  List.iter (fun ev -> ignore (Dsim.Churn.apply eng ev)) evs;
+  Dsim.Churn.check eng
+
 (* ------------------------------------------------------------------ *)
 (* Churn engine *)
 
@@ -353,6 +435,91 @@ let test_churn_bounded_movement () =
     evs;
   Alcotest.(check bool) "moved <= r per event" true (!max_moved <= 3);
   Alcotest.(check bool) "creates move exactly r" true (!max_moved = 3)
+
+let test_churn_membership_oracle =
+  qtest ~count:12 "join/leave keeps the oracle and movement bound"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let r = 3 in
+      let eng = Dsim.Churn.create ~n:12 ~r ~s:2 ~k:3 () in
+      let evs =
+        Dsim.Event.seeded
+          ~rng:(Combin.Rng.create seed)
+          ~n:12 ~join_weight:20 ~leave_weight:20 ~count:150 ~measure_every:0
+          ()
+      in
+      List.iter
+        (fun ev ->
+          (* The movement bound is stated against the pre-event load:
+             a leave relocates at most the departing node's replicas,
+             each re-placed across r nodes. *)
+          let budget =
+            match ev with
+            | Dsim.Event.Object_create -> r
+            | Dsim.Event.Node_leave nd -> r * Dsim.Churn.node_load eng nd
+            | _ -> 0
+          in
+          let step = Dsim.Churn.apply eng ev in
+          assert (step.Dsim.Churn.moved <= budget);
+          (match ev with
+          | Dsim.Event.Node_leave nd ->
+              assert (not (Dsim.Churn.node_in_service eng nd));
+              assert (Dsim.Churn.node_load eng nd = 0)
+          | Dsim.Event.Node_join nd ->
+              assert (Dsim.Churn.node_in_service eng nd)
+          | _ -> ());
+          (* Full oracle: Dyn hit plane ≡ scratch kernel, Adaptive
+             invariants, in_service ≡ not-retired. *)
+          Dsim.Churn.check eng)
+        evs;
+      true)
+
+let test_churn_membership_guards () =
+  let eng = Dsim.Churn.create ~n:6 ~r:2 ~s:1 ~k:1 () in
+  let rejected ev =
+    try
+      ignore (Dsim.Churn.apply eng ev);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "join of an in-service node rejected" true
+    (rejected (Dsim.Event.Node_join 0));
+  ignore (Dsim.Churn.apply eng (Dsim.Event.Node_leave 0));
+  Alcotest.(check bool) "double leave rejected" true
+    (rejected (Dsim.Event.Node_leave 0));
+  Alcotest.(check bool) "failing a departed node rejected" true
+    (rejected (Dsim.Event.Node_fail 0));
+  Alcotest.(check bool) "recovering a departed node rejected" true
+    (rejected (Dsim.Event.Node_recover 0));
+  ignore (Dsim.Churn.apply eng (Dsim.Event.Node_join 0));
+  Alcotest.(check bool) "re-admitted" true (Dsim.Churn.node_in_service eng 0);
+  Dsim.Churn.check eng
+
+let test_churn_leave_relocates () =
+  (* A populated node's departure re-homes every object it held; the
+     objects stay live and available. *)
+  let eng = Dsim.Churn.create ~n:8 ~r:3 ~s:2 ~k:2 () in
+  for _ = 1 to 20 do
+    ignore (Dsim.Churn.apply eng Dsim.Event.Object_create)
+  done;
+  let victim =
+    (* Pick the most loaded node so the relocation is non-trivial. *)
+    let best = ref 0 in
+    for nd = 1 to 7 do
+      if Dsim.Churn.node_load eng nd > Dsim.Churn.node_load eng !best then
+        best := nd
+    done;
+    !best
+  in
+  let load = Dsim.Churn.node_load eng victim in
+  Alcotest.(check bool) "victim is loaded" true (load > 0);
+  let step = Dsim.Churn.apply eng (Dsim.Event.Node_leave victim) in
+  Alcotest.(check bool) "something moved" true (step.Dsim.Churn.moved > 0);
+  Alcotest.(check bool) "movement bounded" true
+    (step.Dsim.Churn.moved <= 3 * load);
+  Alcotest.(check int) "no object lost" 20 (Dsim.Churn.live eng);
+  Alcotest.(check int) "all available" 20 (Dsim.Churn.available eng);
+  Dsim.Churn.check eng
 
 let test_churn_delete_unknown () =
   let eng = Dsim.Churn.create ~n:9 ~r:3 ~s:2 ~k:2 () in
@@ -486,6 +653,251 @@ let test_montecarlo_bounded_by_b () =
     (fun a -> Alcotest.(check bool) "in [0,b]" true (a >= 0 && a <= 40))
     r.Dsim.Montecarlo.avails
 
+(* ------------------------------------------------------------------ *)
+(* Api: the request/response surface shared by churn --responses and
+   serve. *)
+
+let mk_session () = Dsim.Api.make (Dsim.Churn.create ~n:8 ~r:3 ~s:2 ~k:2 ())
+
+let test_api_parse_request () =
+  let ok line =
+    match Dsim.Api.parse_request line with
+    | Ok (Some req) -> req
+    | Ok None -> Alcotest.failf "%S parsed to nothing" line
+    | Error msg -> Alcotest.failf "%S rejected: %s" line msg
+  in
+  Alcotest.(check bool) "worst default k" true
+    (ok "query worst" = Dsim.Api.Query (Dsim.Api.Worst None));
+  Alcotest.(check bool) "worst explicit k" true
+    (ok "query worst 3" = Dsim.Api.Query (Dsim.Api.Worst (Some 3)));
+  Alcotest.(check bool) "avail" true
+    (ok "query avail" = Dsim.Api.Query Dsim.Api.Avail);
+  Alcotest.(check bool) "lower-bound" true
+    (ok "query lower-bound" = Dsim.Api.Query Dsim.Api.Lower_bound);
+  Alcotest.(check bool) "stats" true (ok "stats" = Dsim.Api.Stats);
+  Alcotest.(check bool) "event" true
+    (ok "fail 3" = Dsim.Api.Apply (Dsim.Event.Node_fail 3));
+  Alcotest.(check bool) "leave event" true
+    (ok "leave 2" = Dsim.Api.Apply (Dsim.Event.Node_leave 2));
+  (match Dsim.Api.parse_request "# comment" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "comment not skipped");
+  (match Dsim.Api.parse_request "   " with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "blank not skipped");
+  let err line =
+    match Dsim.Api.parse_request line with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.failf "%S accepted" line
+  in
+  Alcotest.(check bool) "bad k diagnosed" true
+    (contains ~sub:"integer" (err "query worst x"));
+  Alcotest.(check bool) "unknown query form" true
+    (contains ~sub:"query" (err "query everything"));
+  Alcotest.(check bool) "stats takes no args" true
+    (contains ~sub:"stats" (err "stats now"));
+  Alcotest.(check bool) "unknown request lists the vocabulary" true
+    (List.for_all
+       (fun verb -> contains ~sub:verb (err "frobnicate"))
+       Dsim.Event.verbs)
+
+let test_api_request_roundtrip () =
+  List.iter
+    (fun line ->
+      match Dsim.Api.parse_request line with
+      | Ok (Some req) ->
+          Alcotest.(check string) "canonical spelling" line
+            (Dsim.Api.request_to_line req)
+      | _ -> Alcotest.failf "%S did not parse" line)
+    [
+      "query worst"; "query worst 3"; "query avail"; "query lower-bound";
+      "stats"; "fail 3"; "recover 3"; "join 1"; "leave 1"; "create";
+      "delete 17"; "fail-domain 1 0";
+    ]
+
+let test_api_exec () =
+  let s = mk_session () in
+  (match Dsim.Api.exec s (Dsim.Api.Apply Dsim.Event.Object_create) with
+  | Dsim.Api.Applied step ->
+      Alcotest.(check int) "create moved r" 3 step.Dsim.Churn.moved
+  | _ -> Alcotest.fail "create not applied");
+  (* Engine rejections come back as responses, never exceptions, and
+     the session keeps serving. *)
+  (match Dsim.Api.exec s (Dsim.Api.Apply (Dsim.Event.Node_fail 99)) with
+  | Dsim.Api.Rejected { line = None; message } ->
+      Alcotest.(check bool) "names the node" true (contains ~sub:"99" message)
+  | _ -> Alcotest.fail "out-of-range fail not rejected");
+  (match Dsim.Api.exec s (Dsim.Api.Query (Dsim.Api.Worst (Some 99))) with
+  | Dsim.Api.Rejected { message; _ } ->
+      Alcotest.(check bool) "k bound diagnosed" true
+        (contains ~sub:"attack budget" message)
+  | _ -> Alcotest.fail "oversized k not rejected");
+  (match Dsim.Api.exec s (Dsim.Api.Query (Dsim.Api.Worst None)) with
+  | Dsim.Api.Worst_case { k; attack; _ } ->
+      Alcotest.(check int) "session k" 2 k;
+      Alcotest.(check int) "attack has k nodes" 2 (Array.length attack)
+  | _ -> Alcotest.fail "worst query failed");
+  (match Dsim.Api.exec s (Dsim.Api.Query Dsim.Api.Avail) with
+  | Dsim.Api.Availability { live; available; nodes_in_service; _ } ->
+      Alcotest.(check int) "live" 1 live;
+      Alcotest.(check int) "available" 1 available;
+      Alcotest.(check int) "in service" 8 nodes_in_service
+  | _ -> Alcotest.fail "avail query failed");
+  let st = Dsim.Api.stats s in
+  Alcotest.(check int) "requests counted" 5 st.Dsim.Api.requests;
+  Alcotest.(check int) "rejections counted" 2 st.Dsim.Api.rejected;
+  Alcotest.(check int) "one event applied" 1 st.Dsim.Api.events;
+  Alcotest.(check int) "one create" 1 st.Dsim.Api.creates
+
+let test_api_response_lines () =
+  (* The wire format: every response is one line of placement/v1. *)
+  let s = mk_session () in
+  let one_line resp =
+    let line = Dsim.Api.response_to_line resp in
+    Alcotest.(check bool) "single line" true
+      (String.index_opt line '\n' = None);
+    Alcotest.(check bool) "placement/v1" true
+      (contains ~sub:"\"schema\": \"placement/v1\"" line);
+    line
+  in
+  let l =
+    one_line (Dsim.Api.exec s (Dsim.Api.Apply Dsim.Event.Object_create))
+  in
+  Alcotest.(check bool) "apply envelope" true
+    (contains ~sub:"\"command\": \"apply\"" l);
+  let l = one_line (Dsim.Api.exec s (Dsim.Api.Query Dsim.Api.Avail)) in
+  Alcotest.(check bool) "query envelope" true
+    (contains ~sub:"\"command\": \"query\"" l
+    && contains ~sub:"\"query\": \"avail\"" l);
+  let l = one_line (Dsim.Api.exec s Dsim.Api.Stats) in
+  Alcotest.(check bool) "stats envelope" true
+    (contains ~sub:"\"command\": \"stats\"" l);
+  let l = one_line (Dsim.Api.parse_error s 7 "bad line") in
+  Alcotest.(check bool) "error envelope carries the line number" true
+    (contains ~sub:"\"command\": \"error\"" l
+    && contains ~sub:"\"line\": 7" l)
+
+(* ------------------------------------------------------------------ *)
+(* Serve: the daemon loop over real file descriptors. *)
+
+let with_serve ?max_events ?snapshot_every ?timeout script f =
+  (* Feed [script] through a pipe, capture the responses from another.
+     Writing the whole script before running is safe here: scripts are
+     tiny against the pipe buffer. *)
+  let in_r, in_w = Unix.pipe ~cloexec:false () in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let session = mk_session () in
+  let script = Bytes.of_string script in
+  let n = Unix.write in_w script 0 (Bytes.length script) in
+  Alcotest.(check int) "script fed whole" (Bytes.length script) n;
+  Unix.close in_w;
+  let outcome =
+    Dsim.Serve.run ?max_events ?snapshot_every ?timeout session ~input:in_r
+      ~output:out_w
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec slurp () =
+    match Unix.read out_r chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        slurp ()
+  in
+  slurp ();
+  Unix.close out_r;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  f outcome lines
+
+let test_serve_eof () =
+  with_serve "create\nquery avail\nbogus 1\ncreate" @@ fun outcome lines ->
+  Alcotest.(check bool) "ends at eof" true
+    (outcome.Dsim.Serve.reason = Dsim.Serve.Eof);
+  Alcotest.(check int) "four requests" 4 outcome.Dsim.Serve.requests;
+  (* 4 responses + the summary; the unterminated trailing line still
+     gets processed. *)
+  Alcotest.(check int) "responses + summary" 5 (List.length lines);
+  Alcotest.(check int) "one parse error" 1 outcome.Dsim.Serve.parse_errors;
+  let last = List.nth lines 4 in
+  Alcotest.(check bool) "summary last" true
+    (contains ~sub:"\"command\": \"summary\"" last
+    && contains ~sub:"\"reason\": \"eof\"" last);
+  Alcotest.(check bool) "parse error answered inline" true
+    (contains ~sub:"\"line\": 3" (List.nth lines 2))
+
+let test_serve_max_events () =
+  with_serve ~max_events:2 "create\ncreate\ncreate\nquery avail\n"
+  @@ fun outcome lines ->
+  Alcotest.(check bool) "capped" true
+    (outcome.Dsim.Serve.reason = Dsim.Serve.Max_events);
+  Alcotest.(check int) "third event rejected" 1 outcome.Dsim.Serve.rejected;
+  Alcotest.(check bool) "cap named in the refusal" true
+    (List.exists (fun l -> contains ~sub:"event limit reached" l) lines);
+  Alcotest.(check bool) "summary says max-events" true
+    (contains ~sub:"\"reason\": \"max-events\"" (List.nth lines 3))
+
+let test_serve_snapshots () =
+  with_serve ~snapshot_every:2 "create\ncreate\ncreate\ncreate\n"
+  @@ fun _outcome lines ->
+  let snaps =
+    List.filter
+      (fun l -> contains ~sub:"\"command\": \"snapshot\"" l)
+      lines
+  in
+  Alcotest.(check int) "snapshot every 2 applies" 2 (List.length snaps);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "snapshot carries running stats" true
+        (contains ~sub:"\"after_events\"" l && contains ~sub:"\"stats\"" l))
+    snaps
+
+let test_serve_timeout () =
+  (* Leave the write end open but idle: only the timeout can end it. *)
+  let in_r, in_w = Unix.pipe ~cloexec:false () in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let session = mk_session () in
+  let outcome =
+    Dsim.Serve.run ~timeout:0.05 session ~input:in_r ~output:out_w
+  in
+  Unix.close in_w;
+  Unix.close in_r;
+  Unix.close out_w;
+  let buf = Bytes.create 4096 in
+  let n = Unix.read out_r buf 0 4096 in
+  Unix.close out_r;
+  Alcotest.(check bool) "timed out" true
+    (outcome.Dsim.Serve.reason = Dsim.Serve.Timeout);
+  Alcotest.(check bool) "summary still written" true
+    (contains ~sub:"\"reason\": \"timeout\"" (Bytes.sub_string buf 0 n))
+
+let test_serve_session_persists () =
+  (* A socket daemon reuses one session across connections: the second
+     run continues the first's counters and engine state. *)
+  let session = mk_session () in
+  let round script =
+    let in_r, in_w = Unix.pipe ~cloexec:false () in
+    let out_r, out_w = Unix.pipe ~cloexec:false () in
+    let b = Bytes.of_string script in
+    ignore (Unix.write in_w b 0 (Bytes.length b));
+    Unix.close in_w;
+    let outcome = Dsim.Serve.run session ~input:in_r ~output:out_w in
+    Unix.close in_r;
+    Unix.close out_w;
+    Unix.close out_r;
+    outcome
+  in
+  let o1 = round "create\ncreate\n" in
+  let o2 = round "query avail\n" in
+  Alcotest.(check int) "first round requests" 2 o1.Dsim.Serve.requests;
+  Alcotest.(check int) "counters carried over" 3 o2.Dsim.Serve.requests;
+  Alcotest.(check int) "engine carried over" 2
+    (Dsim.Churn.live (Dsim.Api.engine session))
+
 let () =
   Alcotest.run "dsim"
     [
@@ -518,20 +930,48 @@ let () =
         [
           Alcotest.test_case "codec" `Quick test_event_codec;
           Alcotest.test_case "parse errors" `Quick test_event_parse_errors;
+          Alcotest.test_case "error messages" `Quick test_event_error_messages;
+          Alcotest.test_case "format_error" `Quick test_event_format_error;
           Alcotest.test_case "cluster apply_event" `Quick
             test_cluster_apply_event;
           test_scenario_events_equiv;
           Alcotest.test_case "seeded stream valid" `Quick
             test_event_seeded_valid;
+          Alcotest.test_case "seeded weights 0 identical" `Quick
+            test_event_seeded_weights_zero_identical;
+          Alcotest.test_case "seeded membership valid" `Quick
+            test_event_seeded_membership_valid;
         ] );
       ( "churn",
         [
           test_churn_oracle;
           Alcotest.test_case "bounded movement" `Quick
             test_churn_bounded_movement;
+          test_churn_membership_oracle;
+          Alcotest.test_case "membership guards" `Quick
+            test_churn_membership_guards;
+          Alcotest.test_case "leave relocates" `Quick
+            test_churn_leave_relocates;
           Alcotest.test_case "unknown delete" `Quick test_churn_delete_unknown;
           Alcotest.test_case "dead on arrival" `Quick
             test_churn_dead_on_arrival;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "parse_request" `Quick test_api_parse_request;
+          Alcotest.test_case "request round-trip" `Quick
+            test_api_request_roundtrip;
+          Alcotest.test_case "exec" `Quick test_api_exec;
+          Alcotest.test_case "response lines" `Quick test_api_response_lines;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "eof session" `Quick test_serve_eof;
+          Alcotest.test_case "max-events" `Quick test_serve_max_events;
+          Alcotest.test_case "snapshots" `Quick test_serve_snapshots;
+          Alcotest.test_case "timeout" `Quick test_serve_timeout;
+          Alcotest.test_case "session persists" `Quick
+            test_serve_session_persists;
         ] );
       ( "repair",
         [
