@@ -826,12 +826,88 @@ let run_serve_bench ctx fmt =
     (fun () -> output_string oc json);
   Format.fprintf fmt "(appended to %s)@." path
 
+(* Deterministic simulation sweep: full dst runs — scenario
+   generation, the Api surface, fault injection armed, every invariant
+   checked each step (replay and per-strategy checks at the pulse
+   cadence) — fanned through the pool.  The row reports invariant-
+   checked event throughput; check.sh gates on zero violations. *)
+
+let run_dst_bench ctx fmt =
+  let n = 64 and seeds = if ctx.quick then 3 else 6 in
+  let steps = if ctx.quick then 400 else 1_500 in
+  let profiles =
+    List.filter_map Dst.Profile.find [ "steady"; "storm"; "membership" ]
+  in
+  let configs =
+    Array.of_list
+      (List.concat_map
+         (fun profile ->
+           List.init seeds (fun i ->
+               {
+                 Dst.Harness.n;
+                 r = 3;
+                 s = 2;
+                 k = 4;
+                 seed = 1 + i;
+                 steps;
+                 measure_every = steps / 4;
+                 profile;
+                 strategy = None;
+                 inject_rate = 50;
+                 break_invariants = [];
+                 extra_invariants = [];
+               }))
+         profiles)
+  in
+  let outcomes, wall_s =
+    wall (fun () -> Dst.Harness.sweep ?pool:ctx.pool configs)
+  in
+  let sum f = Array.fold_left (fun acc o -> acc + f o) 0 outcomes in
+  let events = sum (fun o -> o.Dst.Harness.events) in
+  let applied = sum (fun o -> o.Dst.Harness.applied) in
+  let rejected = sum (fun o -> o.Dst.Harness.rejected) in
+  let fired = sum (fun o -> o.Dst.Harness.injected_fired) in
+  let violations =
+    sum (fun o -> match o.Dst.Harness.violation with Some _ -> 1 | None -> 0)
+  in
+  let events_per_s =
+    if wall_s > 0.0 then float_of_int events /. wall_s else 0.0
+  in
+  let peak_rss_kb =
+    match Telemetry.Resource.peak_rss_kb () with Some kb -> kb | None -> 0
+  in
+  Format.fprintf fmt
+    "dst sweep (%d runs: n=%d, %d steps, %d profiles, inject 1/50, -j%d): \
+     %d events at %.0f invariant-checked events/s, %d rejected (%d injected \
+     faults), %d violations, peak RSS %d kB@."
+    (Array.length configs) n steps (List.length profiles) ctx.jobs events
+    events_per_s rejected fired violations peak_rss_kb;
+  let json =
+    Printf.sprintf
+      "{\"op\": \"dst_sweep\", \"runs\": %d, \"n\": %d, \"steps\": %d, \
+       \"seeds\": %d, \"profiles\": %d, \"inject_rate\": 50, \"jobs\": %d, \
+       \"quick\": %b, \"events\": %d, \"applied\": %d, \"rejected\": %d, \
+       \"injected_fired\": %d, \"events_per_s\": %.0f, \"violations\": %d, \
+       \"zero_violations\": %b, \"wall_s\": %.6f, \"peak_rss_kb\": %d}\n"
+      (Array.length configs) n steps seeds (List.length profiles) ctx.jobs
+      ctx.quick events applied rejected fired events_per_s violations
+      (violations = 0) wall_s peak_rss_kb
+  in
+  let dir = match ctx.out with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_dst.json" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Format.fprintf fmt "(appended to %s)@." path
+
 let run_perf ctx fmt =
   run_adversary_scaling ctx fmt;
   run_scaling ctx fmt;
   run_kernel_bench ctx fmt;
   run_churn_bench ctx fmt;
   run_serve_bench ctx fmt;
+  run_dst_bench ctx fmt;
   run_analysis_caching ctx fmt;
   run_topology_scaling ctx fmt;
   run_telemetry_overhead ctx fmt;
@@ -872,6 +948,8 @@ let artefacts : (string * string * (ctx -> Format.formatter -> unit)) list =
       run_churn_bench );
     ( "serve-pipe", "Serve protocol overhead (serve loop vs raw applies)",
       run_serve_bench );
+    ( "dst-sweep", "Deterministic simulation sweep (invariant-checked runs)",
+      run_dst_bench );
   ]
 
 let run_one ctx (name, title, print) =

@@ -1331,7 +1331,13 @@ let churn_term =
                     rows) );
              ( "summary",
                Telemetry.Json.Obj
-                 [
+                 ((* Echo the generator seed so a reported run is
+                     reproducible from its summary alone (file replays
+                     carry the path in "source" instead). *)
+                  (match events_file with
+                  | None -> [ ("seed", Telemetry.Json.Int seed) ]
+                  | Some _ -> [])
+                 @ [
                    ("events", Telemetry.Json.Int (Dsim.Churn.events eng));
                    ("creates", Telemetry.Json.Int !creates);
                    ("deletes", Telemetry.Json.Int !deletes);
@@ -1349,7 +1355,7 @@ let churn_term =
                      Telemetry.Json.Int final.Dsim.Churn.worst_available );
                    ( "lower_bound",
                      Telemetry.Json.Int (Dsim.Churn.lower_bound eng) );
-                 ] );
+                 ]) );
            ])
     else begin
       Fmt.pr "Continuous churn replay on n=%d nodes (r=%d, s=%d, k=%d)@." n r
@@ -1512,6 +1518,441 @@ let serve_term =
     $ timeout_arg $ max_events_arg $ snapshot_arg $ jobs_term $ metrics_arg
     $ trace_arg)
 
+let dst_term =
+  let n_arg =
+    Arg.(
+      value
+      & opt int 24
+      & info [ "n" ] ~docv:"N" ~doc:"Number of nodes in each simulation.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Base seed: run $(i,i) of a sweep uses SEED+$(i,i), driving \
+             both the scenario generator and the fault-injection plan.")
+  in
+  let runs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "runs" ] ~docv:"RUNS"
+          ~doc:"Seeds per (profile, strategy) combination.")
+  in
+  let steps_arg =
+    Arg.(
+      value
+      & opt int 300
+      & info [ "steps" ] ~docv:"STEPS"
+          ~doc:"Weighted event draws per simulation.")
+  in
+  let measure_arg =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "measure-every" ] ~docv:"E"
+          ~doc:
+            "Measurement pulse period: pulse-cadence invariants (replay, \
+             in-service, per-strategy) run on these events (0 disables \
+             them).")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt string "steady"
+      & info [ "profile" ] ~docv:"NAMES"
+          ~doc:
+            (Printf.sprintf
+               "Comma-separated scenario profiles to sweep: %s."
+               (String.concat ", " Dst.Profile.names)))
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt string "combo"
+      & info [ "strategy" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated strategies whose auto-discovered \
+             strategy/NAME invariants run at each pulse ($(b,none) checks \
+             only the engine invariants).")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "inject" ] ~docv:"RATE"
+          ~doc:
+            "Arm fault injection: every registered dst/* point fires with \
+             probability 1/RATE, deterministically from the run seed (0 \
+             disarms).")
+  in
+  let break_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "break" ] ~docv:"NAMES"
+          ~doc:
+            "Enable comma-separated canary (deliberately broken) \
+             invariants — shrinker drills.")
+  in
+  let shrink_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "shrink" ]
+          ~doc:
+            "On the first violation, ddmin-minimize its history and write \
+             a replayable repro file ($(b,--repro)).")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt string "dst_repro.events"
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:"Where $(b,--shrink) writes the minimized repro.")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Replay $(docv) (one event per line, #-comments ignored — the \
+             format the shrinker writes) instead of generating a history; \
+             uses the base seed and the first profile/strategy only.")
+  in
+  let run n r s k seed runs steps measure_every profiles_s strategies_s
+      inject break_s shrink repro_path events_file jobs io =
+    with_io io @@ fun () ->
+    let json = io.json in
+    (match validate_params ~n ~b:1 ~r ~s ~k with
+    | Ok _ -> ()
+    | Error msg -> die ("invalid parameters: " ^ msg));
+    if runs < 1 then
+      die (Printf.sprintf "--runs %d: need at least one run" runs);
+    if steps < 0 then
+      die (Printf.sprintf "--steps %d: the step count must be non-negative"
+             steps);
+    if measure_every < 0 then
+      die
+        (Printf.sprintf
+           "--measure-every %d: the measurement period must be non-negative"
+           measure_every);
+    if inject < 0 then
+      die (Printf.sprintf "--inject %d: the rate must be non-negative" inject);
+    let split_names what s =
+      match
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+      with
+      | [] -> die (Printf.sprintf "%s needs at least one name" what)
+      | names -> names
+    in
+    let profiles =
+      List.map
+        (fun nm ->
+          match Dst.Profile.find nm with
+          | Some p -> p
+          | None ->
+              die
+                (Printf.sprintf "unknown profile %S; available: %s" nm
+                   (String.concat ", " Dst.Profile.names)))
+        (split_names "--profile" profiles_s)
+    in
+    let strategies =
+      List.map
+        (fun nm ->
+          if nm = "none" then None
+          else
+            match Placement.Strategies.find nm with
+            | Some m -> Some m
+            | None ->
+                die
+                  (Printf.sprintf
+                     "unknown strategy %S; available: %s, none" nm
+                     (String.concat ", " (Placement.Strategies.names ()))))
+        (split_names "--strategy" strategies_s)
+    in
+    let breaks =
+      match break_s with
+      | None -> []
+      | Some s ->
+          let names = split_names "--break" s in
+          List.iter
+            (fun nm ->
+              if Dst.Invariant.find_canary nm = None then
+                die
+                  (Printf.sprintf
+                     "unknown canary invariant %S; available: %s" nm
+                     (String.concat ", " Dst.Invariant.canary_names)))
+            names;
+          names
+    in
+    let mk_config cfg_seed profile strategy =
+      {
+        Dst.Harness.n;
+        r;
+        s;
+        k;
+        seed = cfg_seed;
+        steps;
+        measure_every;
+        profile;
+        strategy;
+        inject_rate = inject;
+        break_invariants = breaks;
+        extra_invariants = [];
+      }
+    in
+    let replay_history =
+      match events_file with
+      | None -> None
+      | Some path -> (
+          let content =
+            match open_in_bin path with
+            | exception Sys_error msg -> die ("cannot read " ^ msg)
+            | ic ->
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match Dsim.Event.parse_string content with
+          | Ok evs -> Some evs
+          | Error err -> die (Dsim.Event.format_error ~file:path err))
+    in
+    let configs =
+      match replay_history with
+      | Some _ ->
+          [| mk_config seed (List.hd profiles) (List.hd strategies) |]
+      | None ->
+          List.concat_map
+            (fun profile ->
+              List.concat_map
+                (fun strategy ->
+                  List.init runs (fun i ->
+                      mk_config (seed + i) profile strategy))
+                strategies)
+            profiles
+          |> Array.of_list
+    in
+    let outcomes =
+      match replay_history with
+      | Some history -> [| Dst.Harness.run ~history configs.(0) |]
+      | None ->
+          (* The sweep fans whole runs through the pool; per-domain
+             injection arming keeps the outcomes bit-identical at any
+             -j (the cram suite pins -j1 ≡ -j4). *)
+          with_pool jobs @@ fun pool -> Dst.Harness.sweep ?pool configs
+    in
+    let violations =
+      Array.fold_left
+        (fun acc (o : Dst.Harness.outcome) ->
+          acc + match o.Dst.Harness.violation with Some _ -> 1 | None -> 0)
+        0 outcomes
+    in
+    (* Shrink the first violating run: regenerate (or reuse) its
+       history, minimize, and write a replayable repro file. *)
+    let shrink_result =
+      if not (shrink && violations > 0) then None
+      else
+        let idx = ref (-1) in
+        Array.iteri
+          (fun i (o : Dst.Harness.outcome) ->
+            if !idx < 0 && o.Dst.Harness.violation <> None then idx := i)
+          outcomes;
+        let config = configs.(!idx) in
+        let v = Option.get outcomes.(!idx).Dst.Harness.violation in
+        let history =
+          match replay_history with
+          | Some h -> h
+          | None -> Dst.Harness.default_history config
+        in
+        let res =
+          Dst.Shrink.run ~config ~history
+            ~invariant:v.Dst.Harness.invariant
+        in
+        Dst.Shrink.write_repro ~path:repro_path ~config res;
+        Some (config, res)
+    in
+    let violation_json (v : Dst.Harness.violation) =
+      Telemetry.Json.Obj
+        [
+          ("invariant", Telemetry.Json.Str v.Dst.Harness.invariant);
+          ("message", Telemetry.Json.Str v.Dst.Harness.message);
+          ("step_index", Telemetry.Json.Int v.Dst.Harness.step_index);
+          ("event", Telemetry.Json.Str v.Dst.Harness.event_line);
+        ]
+    in
+    let outcome_json (o : Dst.Harness.outcome) =
+      Telemetry.Json.Obj
+        [
+          ("seed", Telemetry.Json.Int o.Dst.Harness.seed);
+          ("profile", Telemetry.Json.Str o.Dst.Harness.profile);
+          ( "strategy",
+            match o.Dst.Harness.strategy with
+            | None -> Telemetry.Json.Null
+            | Some nm -> Telemetry.Json.Str nm );
+          ("events", Telemetry.Json.Int o.Dst.Harness.events);
+          ("applied", Telemetry.Json.Int o.Dst.Harness.applied);
+          ("rejected", Telemetry.Json.Int o.Dst.Harness.rejected);
+          ( "injected_checks",
+            Telemetry.Json.Int o.Dst.Harness.injected_checks );
+          ("injected_fired", Telemetry.Json.Int o.Dst.Harness.injected_fired);
+          ( "min_worst_available",
+            Telemetry.Json.Int o.Dst.Harness.min_worst_available );
+          ("final_live", Telemetry.Json.Int o.Dst.Harness.final_live);
+          ( "final_available",
+            Telemetry.Json.Int o.Dst.Harness.final_available );
+          ( "final_lower_bound",
+            Telemetry.Json.Int o.Dst.Harness.final_lower_bound );
+          ( "violation",
+            match o.Dst.Harness.violation with
+            | None -> Telemetry.Json.Null
+            | Some v -> violation_json v );
+        ]
+    in
+    if json then
+      print_envelope ~command:"dst"
+        (Telemetry.Json.Obj
+           ([
+              ( "params",
+                Telemetry.Json.Obj
+                  [
+                    ("n", Telemetry.Json.Int n);
+                    ("r", Telemetry.Json.Int r);
+                    ("s", Telemetry.Json.Int s);
+                    ("k", Telemetry.Json.Int k);
+                  ] );
+              ( "config",
+                Telemetry.Json.Obj
+                  ([
+                     ("seed", Telemetry.Json.Int seed);
+                     ("runs", Telemetry.Json.Int runs);
+                     ("steps", Telemetry.Json.Int steps);
+                     ("measure_every", Telemetry.Json.Int measure_every);
+                     ("inject_rate", Telemetry.Json.Int inject);
+                     ( "profiles",
+                       Telemetry.Json.List
+                         (List.map
+                            (fun (p : Dst.Profile.t) ->
+                              Telemetry.Json.Str p.Dst.Profile.name)
+                            profiles) );
+                     ( "strategies",
+                       Telemetry.Json.List
+                         (List.map
+                            (fun st ->
+                              match st with
+                              | None -> Telemetry.Json.Str "none"
+                              | Some (module S : Placement.Strategy.S) ->
+                                  Telemetry.Json.Str S.name)
+                            strategies) );
+                   ]
+                  @ (match breaks with
+                    | [] -> []
+                    | _ ->
+                        [
+                          ( "break",
+                            Telemetry.Json.List
+                              (List.map
+                                 (fun b -> Telemetry.Json.Str b)
+                                 breaks) );
+                        ])
+                  @
+                  match events_file with
+                  | None -> []
+                  | Some path -> [ ("events", Telemetry.Json.Str path) ]) );
+              ( "runs",
+                Telemetry.Json.List
+                  (Array.to_list (Array.map outcome_json outcomes)) );
+              ( "summary",
+                Telemetry.Json.Obj
+                  [
+                    ("runs", Telemetry.Json.Int (Array.length outcomes));
+                    ("violations", Telemetry.Json.Int violations);
+                  ] );
+            ]
+           @
+           match shrink_result with
+           | None -> []
+           | Some (_, res) ->
+               [
+                 ( "shrink",
+                   Telemetry.Json.Obj
+                     [
+                       ( "invariant",
+                         Telemetry.Json.Str
+                           res.Dst.Shrink.violation.Dst.Harness.invariant );
+                       ( "events",
+                         Telemetry.Json.Int
+                           (List.length res.Dst.Shrink.history) );
+                       ( "candidates",
+                         Telemetry.Json.Int res.Dst.Shrink.candidates );
+                       ("repro", Telemetry.Json.Str repro_path);
+                     ] );
+               ]))
+    else begin
+      Fmt.pr "Deterministic simulation sweep on n=%d nodes (r=%d, s=%d, k=%d)@."
+        n r s k;
+      (match replay_history with
+      | Some h ->
+          Fmt.pr "  replaying %s (%d events)@."
+            (Option.get events_file) (List.length h)
+      | None ->
+          Fmt.pr
+            "  config: seeds %d..%d, profiles %s, strategies %s, %d steps, \
+             measure every %d, inject %s@."
+            seed
+            (seed + runs - 1)
+            (String.concat "," (List.map (fun (p : Dst.Profile.t) -> p.Dst.Profile.name) profiles))
+            (String.concat ","
+               (List.map
+                  (function
+                    | None -> "none"
+                    | Some (module S : Placement.Strategy.S) -> S.name)
+                  strategies))
+            steps measure_every
+            (if inject > 0 then Printf.sprintf "1/%d" inject else "off"));
+      Array.iter
+        (fun (o : Dst.Harness.outcome) ->
+          Fmt.pr
+            "  [seed %d %s/%s] %d events, %d applied, %d rejected, inject \
+             %d/%d, min worst %d, final live=%d avail=%d lb=%d %s@."
+            o.Dst.Harness.seed o.Dst.Harness.profile
+            (Option.value o.Dst.Harness.strategy ~default:"none")
+            o.Dst.Harness.events o.Dst.Harness.applied
+            o.Dst.Harness.rejected o.Dst.Harness.injected_fired
+            o.Dst.Harness.injected_checks o.Dst.Harness.min_worst_available
+            o.Dst.Harness.final_live o.Dst.Harness.final_available
+            o.Dst.Harness.final_lower_bound
+            (match o.Dst.Harness.violation with
+            | None -> "ok"
+            | Some v ->
+                Printf.sprintf "VIOLATION %s @ step %d: %s"
+                  v.Dst.Harness.invariant v.Dst.Harness.step_index
+                  v.Dst.Harness.message))
+        outcomes;
+      Fmt.pr "  summary: %d runs, %d violations@." (Array.length outcomes)
+        violations;
+      match shrink_result with
+      | None -> ()
+      | Some (_, res) ->
+          Fmt.pr
+            "  shrink: %s reproduced by %d events (%d candidates tried) -> \
+             %s@."
+            res.Dst.Shrink.violation.Dst.Harness.invariant
+            (List.length res.Dst.Shrink.history)
+            res.Dst.Shrink.candidates repro_path
+    end;
+    if violations > 0 then exit 1
+  in
+  Term.(
+    const run $ n_arg $ r_arg $ s_arg $ k_arg $ seed_arg $ runs_arg
+    $ steps_arg $ measure_arg $ profile_arg $ strategy_arg $ inject_arg
+    $ break_arg $ shrink_flag $ repro_arg $ events_arg $ jobs_term $ io_term)
+
 (* ------------------------------------------------------------------ *)
 (* The command table: one declarative row per subcommand, so the verb
    list, help text and wiring live in one place. *)
@@ -1567,6 +2008,15 @@ let specs =
          newline-delimited events and queries in (stdin or a Unix socket), \
          one placement/v1 envelope per request out.";
       term = serve_term;
+    };
+    {
+      name = "dst";
+      doc =
+        "Deterministic simulation testing: drive seeded scenario profiles \
+         through the engine with fault injection armed, check the \
+         invariant registry every step, and shrink any failure to a \
+         replayable repro.";
+      term = dst_term;
     };
     {
       name = "strategies";

@@ -24,7 +24,9 @@ type level_state = {
   mutable open_blocks : int list;  (* candidates with usage < max_usage *)
   mutable blocked : int array;  (* retired member nodes per block *)
   mutable nblocked : int;  (* blocks with blocked > 0 *)
-  fresh : (unit -> int array option) option;  (* lazy block source *)
+  fresh : int array Seq.t ref option;
+      (* lazy block source; a persistent Seq (not a closure) so
+         {!peek} can walk the upcoming blocks without consuming them *)
 }
 
 type assignment = { level : int; block : int }
@@ -90,18 +92,11 @@ let make_level ~n (spec : Combo.level) =
     match spec.Combo.entry with
     | Some e when e.Designs.Registry.strength = e.Designs.Registry.block_size ->
         (* Complete level: stream r-subsets of the v points lazily. *)
-        let source =
-          ref (Designs.Trivial.subsets_seq ~v:e.Designs.Registry.v
-                 ~r:e.Designs.Registry.block_size)
-        in
-        let next () =
-          match Seq.uncons !source with
-          | Some (blk, rest) ->
-              source := rest;
-              Some blk
-          | None -> None
-        in
-        ([||], Some next)
+        ( [||],
+          Some
+            (ref
+               (Designs.Trivial.subsets_seq ~v:e.Designs.Registry.v
+                  ~r:e.Designs.Registry.block_size)) )
     | Some e when Designs.Registry.is_materialized e ->
         ((Designs.Registry.materialize e).Designs.Block_design.blocks, None)
     | Some _ | None -> ([||], None)
@@ -121,7 +116,7 @@ let make_level ~n (spec : Combo.level) =
     fresh;
   }
 
-let usable st = st.nblocks - st.nblocked > 0 || st.fresh <> None
+let usable st = st.nblocks - st.nblocked > 0 || Option.is_some st.fresh
 
 let create ?levels ~n ~r ~s ~k () =
   let specs =
@@ -169,12 +164,13 @@ let rec pop_open st =
 
 (* Pull fresh lazy blocks until one is eligible; blocked pulls stay in
    the pool (they unblock if their retired node rejoins). *)
-let rec pull_fresh t st next =
-  match next () with
+let rec pull_fresh t st src =
+  match Seq.uncons !src with
   | None -> None
-  | Some blk ->
+  | Some (blk, rest) ->
+      src := rest;
       let i = grow_pool t st blk in
-      if block_blocked st i then pull_fresh t st next else Some i
+      if block_blocked st i then pull_fresh t st src else Some i
 
 let scan_eligible st pred =
   let found = ref None in
@@ -195,7 +191,7 @@ let find_slot t st =
     | Some _ as r -> r
     | None -> (
         match st.fresh with
-        | Some next -> pull_fresh t st next
+        | Some src -> pull_fresh t st src
         | None -> None)
   end
   else
@@ -206,7 +202,7 @@ let find_slot t st =
            else a linear rescan (open_blocks may have gone stale), else
            report saturation. *)
         (match st.fresh with
-        | Some next -> pull_fresh t st next
+        | Some src -> pull_fresh t st src
         | None -> None)
         |> function
         | Some i -> Some i
@@ -217,6 +213,54 @@ let find_slot t st =
                 (* Level saturated at the current λ: growing λ by μ means
                    any eligible block will do. *)
                 scan_eligible st (fun _ -> true))
+
+(* Non-committing mirror of {!find_slot}: the block the next placement
+   at this level would occupy, replicating find_slot's decision order
+   exactly — open-block hints are walked without popping, the lazy
+   source is walked without consuming ({!Designs.Trivial.subsets_seq} is
+   persistent), and the pool never grows.  Used by {!peek}. *)
+let peek_slot t st =
+  let block i = Some (Array.copy st.blocks.(i)) in
+  let peek_open () =
+    let rec go = function
+      | [] -> None
+      | i :: rest ->
+          if st.usage.(i) < st.max_usage && not (block_blocked st i) then
+            block i
+          else go rest
+    in
+    go st.open_blocks
+  in
+  let peek_fresh () =
+    match st.fresh with
+    | None -> None
+    | Some src ->
+        let rec walk s =
+          match Seq.uncons s with
+          | None -> None
+          | Some (blk, rest) ->
+              if blocked_count t.retired blk > 0 then walk rest
+              else Some (Array.copy blk)
+        in
+        walk !src
+  in
+  if st.max_usage = 0 then
+    match scan_eligible st (fun _ -> true) with
+    | Some i -> block i
+    | None -> peek_fresh ()
+  else
+    match peek_open () with
+    | Some _ as r -> r
+    | None -> (
+        match peek_fresh () with
+        | Some _ as r -> r
+        | None -> (
+            match scan_eligible st (fun i -> st.usage.(i) < st.max_usage) with
+            | Some i -> block i
+            | None -> (
+                match scan_eligible st (fun _ -> true) with
+                | Some i -> block i
+                | None -> None)))
 
 (* Marginal increase of the total loss bound if one object lands on level
    x.  λ grows by μ only when the level has no open slot. *)
@@ -257,9 +301,9 @@ let routing_key t st =
     Some (needs_bump, rate, st.live)
   end
 
-(* Destination choice shared by {!add} and {!replace}: the level whose
-   routing key is smallest, then a block within it. *)
-let route t ~what =
+(* The level whose routing key is smallest — the pure half of the
+   destination choice, shared by {!route} and {!peek}. *)
+let best_level t ~what =
   let best = ref None in
   Array.iteri
     (fun x st ->
@@ -272,14 +316,29 @@ let route t ~what =
     t.levels;
   match !best with
   | None -> invalid_arg (Printf.sprintf "Adaptive.%s: no usable level" what)
-  | Some (_, x) -> (
-      let st = t.levels.(x) in
-      match find_slot t st with
-      | Some i -> (x, i)
-      | None ->
-          failwith
-            (Printf.sprintf
-               "Adaptive.%s: level reported usable but has no slot" what))
+  | Some (_, x) -> x
+
+(* Destination choice shared by {!add} and {!replace}: the level whose
+   routing key is smallest, then a block within it. *)
+let route t ~what =
+  let x = best_level t ~what in
+  let st = t.levels.(x) in
+  match find_slot t st with
+  | Some i -> (x, i)
+  | None ->
+      failwith
+        (Printf.sprintf "Adaptive.%s: level reported usable but has no slot"
+           what)
+
+(* The replica set the next {!add} would be assigned: the same level
+   fold and the same block decision order, with no state change — so an
+   advisory query ([advise create]) never perturbs where objects
+   actually land. *)
+let peek t =
+  let x = best_level t ~what:"peek" in
+  match peek_slot t t.levels.(x) with
+  | Some blk -> blk
+  | None -> failwith "Adaptive.peek: level reported usable but has no slot"
 
 let occupy t x block =
   let st = t.levels.(x) in

@@ -36,6 +36,16 @@ val size : t -> int
 val add : t -> int
 (** Place a new object; returns its id (ids are never reused). *)
 
+val peek : t -> int array
+(** The replica set the next {!add} would be assigned, sorted, without
+    committing anything: the same level choice and the same block
+    decision order as [add], but no hint, pool or lazy-source state
+    changes — so [peek t] followed by [add t] assigns exactly the peeked
+    nodes, and a peek never perturbs where later objects land.
+    Advisory routing for {!Dsim.Api}'s [advise create].
+    @raise Invalid_argument when no level is usable (the same condition
+    under which {!add} raises). *)
+
 val add_many : t -> int -> int list
 
 val remove : t -> int -> unit

@@ -1,0 +1,267 @@
+module Event = Dsim.Event
+
+type weights = {
+  create : int;
+  delete : int;
+  fail : int;
+  recover : int;
+  join : int;
+  leave : int;
+  domain_fail : int;
+}
+
+type phase = { label : string; percent : int; weights : weights }
+
+type t = {
+  name : string;
+  describe : string;
+  racks : int option;
+  phases : phase list;
+}
+
+let w ?(create = 0) ?(delete = 0) ?(fail = 0) ?(recover = 0) ?(join = 0)
+    ?(leave = 0) ?(domain_fail = 0) () =
+  { create; delete; fail; recover; join; leave; domain_fail }
+
+let steady_mix = w ~create:55 ~delete:15 ~fail:10 ~recover:15 ()
+
+let steady =
+  {
+    name = "steady";
+    describe = "stationary create-biased churn with background failures";
+    racks = None;
+    phases = [ { label = "steady"; percent = 100; weights = steady_mix } ];
+  }
+
+let storm =
+  {
+    name = "storm";
+    describe = "calm churn, then a failure storm, then a repair race";
+    racks = None;
+    phases =
+      [
+        { label = "calm"; percent = 35; weights = steady_mix };
+        {
+          label = "storm";
+          percent = 25;
+          weights = w ~create:10 ~delete:5 ~fail:60 ~recover:5 ();
+        };
+        {
+          label = "repair";
+          percent = 20;
+          weights = w ~create:15 ~delete:5 ~fail:5 ~recover:70 ();
+        };
+        { label = "calm"; percent = 20; weights = steady_mix };
+      ];
+  }
+
+let membership =
+  {
+    name = "membership";
+    describe = "mass permanent leave, then mass re-join, racing repairs";
+    racks = None;
+    phases =
+      [
+        { label = "steady"; percent = 30; weights = steady_mix };
+        {
+          label = "exodus";
+          percent = 25;
+          weights = w ~create:30 ~delete:10 ~fail:5 ~recover:10 ~leave:40 ();
+        };
+        {
+          label = "return";
+          percent = 25;
+          weights = w ~create:25 ~delete:5 ~fail:5 ~recover:10 ~join:50 ();
+        };
+        { label = "steady"; percent = 20; weights = steady_mix };
+      ];
+  }
+
+let cascade =
+  {
+    name = "cascade";
+    describe = "cascading rack-level domain loss on a partition tree";
+    racks = Some 4;
+    phases =
+      [
+        { label = "steady"; percent = 30; weights = steady_mix };
+        {
+          label = "cascade";
+          percent = 30;
+          weights =
+            w ~create:20 ~delete:5 ~fail:5 ~recover:15 ~domain_fail:20 ();
+        };
+        {
+          label = "repair";
+          percent = 20;
+          weights = w ~create:20 ~delete:5 ~recover:70 ();
+        };
+        { label = "steady"; percent = 20; weights = steady_mix };
+      ];
+  }
+
+let all = [ steady; storm; membership; cascade ]
+let names = List.map (fun p -> p.name) all
+let find name = List.find_opt (fun p -> p.name = name) all
+
+let topology p ~n =
+  match p.racks with
+  | None -> None
+  | Some racks ->
+      Some (Topology.Build.partition ~n ~domains:(min racks n) ())
+
+(* One weighted draw per step, mirroring Event.seeded's shadow-state
+   discipline: the generator maintains its own view of the live object
+   ids, the up/down set and the in-service set, so every event is valid
+   by construction.  Categories are walked in a fixed order and an
+   infeasible pick degrades to a create, so the rng consumption — and
+   hence the history — is a pure function of the arguments. *)
+let generate p ~n ~seed ~steps ~measure_every =
+  if n < 1 then invalid_arg "Profile.generate: need at least one node";
+  if steps < 0 then invalid_arg "Profile.generate: negative step count";
+  let rng = Combin.Rng.create seed in
+  let topo = topology p ~n in
+  let racks =
+    match topo with
+    | None -> 0
+    | Some t -> Topology.Tree.domain_count t ~level:1
+  in
+  let live = ref (Array.make 16 0) in
+  let nlive = ref 0 in
+  let next_id = ref 0 in
+  let up = Array.make n true in
+  let ndown = ref 0 in
+  let inserv = Array.make n true in
+  let ninserv = ref n in
+  let floor_inserv = n - max 1 (n / 4) in
+  let out = ref [] in
+  let emit ev = out := ev :: !out in
+  let create () =
+    if !nlive = Array.length !live then begin
+      let grown = Array.make (2 * !nlive) 0 in
+      Array.blit !live 0 grown 0 !nlive;
+      live := grown
+    end;
+    !live.(!nlive) <- !next_id;
+    incr nlive;
+    incr next_id;
+    emit Event.Object_create
+  in
+  let delete () =
+    let slot = Combin.Rng.int rng !nlive in
+    emit (Event.Object_delete !live.(slot));
+    decr nlive;
+    !live.(slot) <- !live.(!nlive)
+  in
+  let fail () =
+    (* Rejection-sample an up in-service node (one exists: the caller
+       checked ndown < ninserv, and down nodes are always in service). *)
+    let nd = ref (Combin.Rng.int rng n) in
+    while not (up.(!nd) && inserv.(!nd)) do
+      nd := Combin.Rng.int rng n
+    done;
+    up.(!nd) <- false;
+    incr ndown;
+    emit (Event.Node_fail !nd)
+  in
+  let recover () =
+    (* Recover the [pick]-th currently-down node (ascending scan). *)
+    let pick = ref (Combin.Rng.int rng !ndown) in
+    let nd = ref 0 in
+    while up.(!nd) || !pick > 0 do
+      if not up.(!nd) then decr pick;
+      incr nd
+    done;
+    up.(!nd) <- true;
+    decr ndown;
+    emit (Event.Node_recover !nd)
+  in
+  let leave () =
+    (* Permanent leave of an in-service node (up or down). *)
+    let nd = ref (Combin.Rng.int rng n) in
+    while not inserv.(!nd) do
+      nd := Combin.Rng.int rng n
+    done;
+    if not up.(!nd) then begin
+      up.(!nd) <- true;
+      decr ndown
+    end;
+    inserv.(!nd) <- false;
+    decr ninserv;
+    emit (Event.Node_leave !nd)
+  in
+  let join () =
+    (* Re-join the [pick]-th left node (ascending scan). *)
+    let pick = ref (Combin.Rng.int rng (n - !ninserv)) in
+    let nd = ref 0 in
+    while inserv.(!nd) || !pick > 0 do
+      if not inserv.(!nd) then decr pick;
+      incr nd
+    done;
+    inserv.(!nd) <- true;
+    incr ninserv;
+    emit (Event.Node_join !nd)
+  in
+  let domain_fail topo =
+    let d = Combin.Rng.int rng racks in
+    Array.iter
+      (fun m ->
+        if inserv.(m) && up.(m) then begin
+          up.(m) <- false;
+          incr ndown
+        end)
+      (Topology.Tree.members topo ~level:1 d);
+    emit (Event.Domain_fail (1, d))
+  in
+  let budgets =
+    (* Integer shares of the step budget; the last phase absorbs the
+       rounding remainder so the total is exactly [steps]. *)
+    let nphases = List.length p.phases in
+    let spent = ref 0 in
+    List.mapi
+      (fun i ph ->
+        let share =
+          if i = nphases - 1 then steps - !spent
+          else steps * ph.percent / 100
+        in
+        spent := !spent + share;
+        (ph, max 0 share))
+      p.phases
+  in
+  let i = ref 0 in
+  List.iter
+    (fun (ph, budget) ->
+      let wt = ph.weights in
+      let dom_weight = if racks > 0 then wt.domain_fail else 0 in
+      let total =
+        max 1
+          (wt.create + wt.delete + wt.fail + wt.recover + wt.join + wt.leave
+         + dom_weight)
+      in
+      for _ = 1 to budget do
+        let d = Combin.Rng.int rng total in
+        (* Fixed category order; infeasible picks degrade to create. *)
+        let c0 = wt.create in
+        let c1 = c0 + wt.delete in
+        let c2 = c1 + wt.fail in
+        let c3 = c2 + wt.recover in
+        let c4 = c3 + wt.join in
+        let c5 = c4 + wt.leave in
+        if d < c0 then create ()
+        else if d < c1 then if !nlive > 0 then delete () else create ()
+        else if d < c2 then
+          if !ndown < !ninserv then fail () else create ()
+        else if d < c3 then if !ndown > 0 then recover () else create ()
+        else if d < c4 then if !ninserv < n then join () else create ()
+        else if d < c5 then
+          if !ninserv > floor_inserv then leave () else create ()
+        else (
+          match topo with Some t -> domain_fail t | None -> create ());
+        incr i;
+        if measure_every > 0 && !i mod measure_every = 0 then
+          emit (Event.Measure (Printf.sprintf "%s.t%d" ph.label !i))
+      done;
+      if measure_every > 0 && budget > 0 then
+        emit (Event.Measure (ph.label ^ ".end")))
+    budgets;
+  List.rev !out

@@ -1,0 +1,61 @@
+(** Phase-structured scenario generation for the dst harness
+    (DESIGN.md §14).
+
+    A profile is a named sequence of phases — each a percentage of the
+    step budget with its own event-category weights — so one seeded
+    draw produces structured histories (steady churn, a failure storm
+    followed by repair, a mass exodus and return, cascading rack loss)
+    instead of a single stationary mix.  Generation follows
+    {!Dsim.Event.seeded}'s shadow-state discipline: the generator
+    tracks live object ids, the up/down set and the in-service set, so
+    every emitted event is valid by construction; an infeasible draw
+    (delete with nothing live, recover with nothing down, ...) falls
+    back to a create.
+
+    [generate] is a pure function of (profile, n, seed, steps,
+    measure_every): same arguments, same history — on any machine, at
+    any [-j]. *)
+
+type weights = {
+  create : int;
+  delete : int;
+  fail : int;
+  recover : int;
+  join : int;
+  leave : int;
+  domain_fail : int;  (** ignored unless the profile carries racks *)
+}
+
+type phase = {
+  label : string;  (** echoed in the phase's [Measure] pulse labels *)
+  percent : int;  (** share of the step budget, out of 100 *)
+  weights : weights;
+}
+
+type t = {
+  name : string;  (** registry key, lowercase *)
+  describe : string;  (** one-line human description *)
+  racks : int option;
+      (** when set, the scenario runs on a {!Topology.Build.partition}
+          tree with this many racks and may draw [Domain_fail] events *)
+  phases : phase list;  (** percents sum to 100 *)
+}
+
+val all : t list
+(** The built-in profiles: steady, storm, membership, cascade. *)
+
+val names : string list
+val find : string -> t option
+
+val topology : t -> n:int -> Topology.Tree.t option
+(** The fault-domain tree the profile's scenarios run on: a rack
+    partition when the profile carries racks, [None] (engine default,
+    flat) otherwise. *)
+
+val generate :
+  t -> n:int -> seed:int -> steps:int -> measure_every:int -> Dsim.Event.t list
+(** A seeded history of [steps] weighted draws over [n] nodes.  When
+    [measure_every > 0], a [Measure "<label>.t<i>"] pulse follows every
+    [measure_every]-th event and a [Measure "<label>.end"] pulse closes
+    each phase — the cadence at which the harness runs its expensive
+    invariants.  @raise Invalid_argument on [n < 1] or [steps < 0]. *)

@@ -1,0 +1,98 @@
+module Event = Dsim.Event
+
+let m_candidates = Telemetry.Registry.counter "dst/shrink/candidates"
+
+type result = {
+  history : Event.t list;
+  violation : Harness.violation;
+  candidates : int;
+}
+
+let run ~config ~history ~invariant =
+  let candidates = ref 0 in
+  let try_ hist =
+    incr candidates;
+    Telemetry.Counter.incr m_candidates;
+    match (Harness.run ~history:hist config).Harness.violation with
+    | Some v when v.Harness.invariant = invariant -> Some v
+    | _ -> None
+  in
+  match try_ history with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Shrink.run: the full history does not violate %S" invariant)
+  | Some v0 ->
+      (* ddmin: try dropping each of g near-even chunks; on success
+         restart on the shorter history with coarser granularity, on
+         failure refine g up to single events.  g >= len with no
+         successful deletion means 1-minimality. *)
+      let rec go arr v g =
+        let len = Array.length arr in
+        if len <= 1 then (arr, v)
+        else
+          let rec attempt i =
+            if i >= g then None
+            else
+              let lo = i * len / g and hi = (i + 1) * len / g in
+              if hi <= lo then attempt (i + 1)
+              else
+                let comp =
+                  Array.append (Array.sub arr 0 lo)
+                    (Array.sub arr hi (len - hi))
+                in
+                match try_ (Array.to_list comp) with
+                | Some v' -> Some (comp, v')
+                | None -> attempt (i + 1)
+          in
+          match attempt 0 with
+          | Some (comp, v') -> go comp v' (max 2 (g - 1))
+          | None -> if g >= len then (arr, v) else go arr v (min len (2 * g))
+      in
+      let arr, v = go (Array.of_list history) v0 2 in
+      {
+        history = Array.to_list arr;
+        violation = v;
+        candidates = !candidates;
+      }
+
+let repro_lines ~(config : Harness.config) result =
+  let v = result.violation in
+  let strategy =
+    match config.Harness.strategy with
+    | None -> "none"
+    | Some (module S : Placement.Strategy.S) -> S.name
+  in
+  let break_arg =
+    match config.Harness.break_invariants with
+    | [] -> ""
+    | names -> Printf.sprintf " --break %s" (String.concat "," names)
+  in
+  [
+    Printf.sprintf "# dst repro: invariant %s violated" v.Harness.invariant;
+    Printf.sprintf "# %s" v.Harness.message;
+    Printf.sprintf
+      "# config: n=%d r=%d s=%d k=%d seed=%d profile=%s strategy=%s \
+       inject=%d"
+      config.Harness.n config.Harness.r config.Harness.s config.Harness.k
+      config.Harness.seed config.Harness.profile.Profile.name strategy
+      config.Harness.inject_rate;
+    Printf.sprintf
+      "# replay: placement-tool dst --events FILE -n %d -r %d -s %d -k %d \
+       --seed %d --profile %s --strategy %s --inject %d%s"
+      config.Harness.n config.Harness.r config.Harness.s config.Harness.k
+      config.Harness.seed config.Harness.profile.Profile.name strategy
+      config.Harness.inject_rate break_arg;
+  ]
+  @ List.map Event.to_line result.history
+
+let write_repro ~path ~config result =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (repro_lines ~config result))

@@ -1,0 +1,38 @@
+(** History minimization (DESIGN.md §14): given a config and a history
+    that violates an invariant, find a small sub-history that still
+    violates the {e same} invariant, by ddmin-style phase bisection
+    (remove one of g near-even chunks, escalating granularity) down to
+    single-event deletion.
+
+    Every candidate is re-validated by a full {!Harness.run} under the
+    original config — injection plan included — and the search keeps a
+    candidate only if it reproduces a violation of the same invariant
+    name (messages may differ: hit indices shift as events vanish).
+    The result is 1-minimal: removing any single remaining event loses
+    the violation.  The search is deterministic — no rng, no clock —
+    so the same (config, history) always shrinks to the same repro. *)
+
+type result = {
+  history : Dsim.Event.t list;  (** the minimized violating history *)
+  violation : Harness.violation;
+      (** the violation the minimized history reproduces *)
+  candidates : int;  (** harness runs evaluated, including the seed run *)
+}
+
+val run :
+  config:Harness.config ->
+  history:Dsim.Event.t list ->
+  invariant:string ->
+  result
+(** Minimize [history] while it still violates [invariant] under
+    [config].  @raise Invalid_argument if the full history does not
+    reproduce a violation of that invariant in the first place. *)
+
+val repro_lines : config:Harness.config -> result -> string list
+(** The replayable repro file: [#]-comment header (invariant, message,
+    config echo, a ready-to-run [placement-tool dst --events] command)
+    followed by one event per line — parseable by
+    {!Dsim.Event.parse_string}, comments skipped. *)
+
+val write_repro : path:string -> config:Harness.config -> result -> unit
+(** {!repro_lines} written to [path], newline-terminated. *)

@@ -5,7 +5,14 @@ let m_parse_errors = Telemetry.Registry.counter "sim/api/parse_errors"
 let m_rejected = Telemetry.Registry.counter "sim/api/rejected"
 let sp_request = Telemetry.Registry.span "sim/api/request"
 
-type query = Worst of int option | Avail | Lower_bound
+(* Fault-injection sites (armed only under the dst harness): a worst-case
+   query spuriously refused before touching the engine, and a request
+   line truncated in flight — both must surface as [Rejected], never as
+   an exception or a state change. *)
+let inj_rescore = Inject.register "dst/rescore"
+let inj_io_partial = Inject.register "dst/io_partial_line"
+
+type query = Worst of int option | Avail | Lower_bound | Advise_create
 type request = Apply of Event.t | Query of query | Stats
 
 type stats = {
@@ -44,6 +51,7 @@ type response =
       nodes_in_service : int;
     }
   | Bound of { lower_bound : int; live : int }
+  | Advice of { nodes : int array; live : int }
   | Stats_report of stats
   | Rejected of { line : int option; message : string }
 
@@ -106,6 +114,11 @@ let stats s =
 (* Request codec: the event line vocabulary plus the read-side verbs. *)
 
 let parse_request line =
+  let line =
+    if Inject.fire inj_io_partial then
+      String.sub line 0 (String.length line / 2)
+    else line
+  in
   let trimmed = String.trim line in
   if trimmed = "" || (trimmed <> "" && trimmed.[0] = '#') then Ok None
   else
@@ -129,6 +142,10 @@ let parse_request line =
             Error
               "query expects worst [K], avail or lower-bound (e.g. \"query \
                worst 3\")")
+    | "advise" :: rest -> (
+        match rest with
+        | [ "create" ] -> Ok (Some (Query Advise_create))
+        | _ -> Error "advise expects create (e.g. \"advise create\")")
     | [ "stats" ] -> Ok (Some Stats)
     | "stats" :: _ -> Error "stats takes no arguments"
     | first :: _ when List.mem first Event.verbs -> (
@@ -140,7 +157,7 @@ let parse_request line =
         Error
           (Printf.sprintf
              "unknown request %S (expected an event — %s — or query \
-              worst/avail/lower-bound, or stats)"
+              worst/avail/lower-bound, advise create, or stats)"
              cmd
              (String.concat ", " Event.verbs))
     | [] -> assert false
@@ -151,6 +168,7 @@ let request_to_line = function
   | Query (Worst (Some k)) -> Printf.sprintf "query worst %d" k
   | Query Avail -> "query avail"
   | Query Lower_bound -> "query lower-bound"
+  | Query Advise_create -> "advise create"
   | Stats -> "stats"
 
 (* ------------------------------------------------------------------ *)
@@ -185,21 +203,27 @@ let exec s req =
           Applied step
       | exception Invalid_argument msg -> reject s msg)
   | Query (Worst k) ->
-      let kq = Option.value ~default:(Churn.k s.engine) k in
-      if kq < 1 || kq > Churn.n s.engine then
+      if Inject.fire inj_rescore then
         reject s
-          (Printf.sprintf
-             "query worst %d: the attack budget must be in [1, n = %d]" kq
-             (Churn.n s.engine))
-      else
-        let rs = Churn.rescore ~k:kq s.engine in
-        Worst_case
-          {
-            k = kq;
-            attack = rs.Churn.attack;
-            worst_available = rs.Churn.worst_available;
-            live = Churn.live s.engine;
-          }
+          "injected fault at dst/rescore: worst-case query refused (engine \
+           state untouched)"
+      else begin
+        let kq = Option.value ~default:(Churn.k s.engine) k in
+        if kq < 1 || kq > Churn.n s.engine then
+          reject s
+            (Printf.sprintf
+               "query worst %d: the attack budget must be in [1, n = %d]" kq
+               (Churn.n s.engine))
+        else
+          let rs = Churn.rescore ~k:kq s.engine in
+          Worst_case
+            {
+              k = kq;
+              attack = rs.Churn.attack;
+              worst_available = rs.Churn.worst_available;
+              live = Churn.live s.engine;
+            }
+      end
   | Query Avail ->
       Availability
         {
@@ -214,6 +238,10 @@ let exec s req =
           lower_bound = Churn.lower_bound s.engine;
           live = Churn.live s.engine;
         }
+  | Query Advise_create -> (
+      match Churn.advise_create s.engine with
+      | nodes -> Advice { nodes; live = Churn.live s.engine }
+      | exception Invalid_argument msg -> reject s msg)
   | Stats -> Stats_report (stats s)
 
 let reject_line s line message =
@@ -293,6 +321,15 @@ let response_to_json = function
            [
              ("query", J.Str "lower-bound");
              ("lower_bound", J.Int lower_bound);
+             ("live", J.Int live);
+           ])
+  | Advice { nodes; live } ->
+      Placement.Codec.json_envelope ~command:"query"
+        (J.Obj
+           [
+             ("query", J.Str "advise-create");
+             ( "nodes",
+               J.List (Array.to_list (Array.map (fun u -> J.Int u) nodes)) );
              ("live", J.Int live);
            ])
   | Stats_report st ->

@@ -19,6 +19,9 @@ type query =
           [None] uses the session's configured k *)
   | Avail  (** current availability under the live failure set *)
   | Lower_bound  (** the live Lemma-3 guarantee *)
+  | Advise_create
+      (** the nodes the next create {e would} be assigned, without
+          committing — external systems stage moves before applying *)
 
 type request = Apply of Event.t | Query of query | Stats
 
@@ -58,6 +61,10 @@ type response =
       nodes_in_service : int;
     }
   | Bound of { lower_bound : int; live : int }
+  | Advice of { nodes : int array; live : int }
+      (** answer to [advise create]: the sorted replica set the next
+          create would land on ({!Churn.advise_create}); guaranteed to
+          match the create's actual assignment if applied next *)
   | Stats_report of stats
   | Rejected of { line : int option; message : string }
 
@@ -70,8 +77,9 @@ val stats : session -> stats
 
 val parse_request : string -> (request option, string) result
 (** One line: an event in {!Event.parse_line}'s spelling, or
-    [query worst [K]] / [query avail] / [query lower-bound] / [stats].
-    [Ok None] on a blank line or [#] comment. *)
+    [query worst [K]] / [query avail] / [query lower-bound] /
+    [advise create] / [stats].  [Ok None] on a blank line or [#]
+    comment. *)
 
 val request_to_line : request -> string
 (** The canonical one-line spelling (inverse of {!parse_request}). *)

@@ -5,6 +5,11 @@ let m_rescore_pops = Telemetry.Registry.counter "sim/churn/rescore/heap_pops"
 let sp_apply = Telemetry.Registry.span "sim/churn/apply"
 let sp_rescore = Telemetry.Registry.span "sim/churn/rescore"
 
+(* Fault-injection site (armed only under the dst harness): a leave's
+   capacity preflight spuriously refuses, exercising the retire/unretire
+   rollback path below. *)
+let inj_capacity = Inject.register "dst/capacity_preflight"
+
 type t = {
   n : int;
   r : int;
@@ -175,6 +180,14 @@ let leave_node t nd =
   check_node t nd;
   check_in_service t nd "leave";
   let evicted = Placement.Adaptive.retire_node t.placement nd in
+  if Inject.fire inj_capacity then begin
+    Placement.Adaptive.unretire_node t.placement nd;
+    invalid_arg
+      (Printf.sprintf
+         "Churn: injected fault at dst/capacity_preflight refused the leave \
+          of node %d (state rolled back)"
+         nd)
+  end;
   if evicted <> [] && not (Placement.Adaptive.has_capacity t.placement) then begin
     Placement.Adaptive.unretire_node t.placement nd;
     invalid_arg
@@ -263,6 +276,10 @@ let apply t ev =
     failed_nodes = Array.length (failed_nodes t);
     lower_bound = lower_bound t;
   }
+
+(* Advisory routing: the nodes the next [Object_create] would land on,
+   via the placement's non-committing {!Placement.Adaptive.peek}. *)
+let advise_create t = Placement.Adaptive.peek t.placement
 
 let rescore ?k t =
   Telemetry.Span.time sp_rescore @@ fun () ->

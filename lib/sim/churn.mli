@@ -108,6 +108,14 @@ val apply : t -> Event.t -> step
     in-service node — one actionable sentence, surfaced verbatim by the
     CLI. *)
 
+val advise_create : t -> int array
+(** The sorted replica set the next [Object_create] would be assigned,
+    without committing anything — {!Placement.Adaptive.peek} under the
+    engine's live state, so an advise followed by a create places the
+    object on exactly the advised nodes.  @raise Invalid_argument when
+    the placement has no capacity (the condition under which the create
+    itself would be rejected). *)
+
 val rescore : ?k:int -> t -> rescore
 (** Re-run the worst-case adversary on the current population without
     rebuilding: CELF lazy-greedy over the dynamic kernel, attacking

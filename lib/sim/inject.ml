@@ -1,0 +1,107 @@
+let m_checks = Telemetry.Registry.counter "dst/inject/checks"
+let m_fired = Telemetry.Registry.counter "dst/inject/fired"
+
+type point = { pname : string; phash : int }
+
+(* Process-global point registry, find-or-create.  Registration happens
+   at module initialization of the instrumented engine modules; the
+   mutex makes lazy registration from pool workers safe too. *)
+let registry : (string, point) Hashtbl.t = Hashtbl.create 8
+let registry_lock = Mutex.create ()
+
+let register pname =
+  Mutex.lock registry_lock;
+  let p =
+    match Hashtbl.find_opt registry pname with
+    | Some p -> p
+    | None ->
+        let p = { pname; phash = Hashtbl.hash pname } in
+        Hashtbl.add registry pname p;
+        p
+  in
+  Mutex.unlock registry_lock;
+  p
+
+let name p = p.pname
+
+let points () =
+  Mutex.lock registry_lock;
+  let names = Hashtbl.fold (fun nm _ acc -> nm :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort compare names
+
+(* The arming plan of one domain.  [hits] counts how many times each
+   point has been evaluated under this arming — the per-point hit index
+   that keys the fire decision, so the decision depends only on how many
+   times *that* point was reached, not on interleaving with other
+   points. *)
+type plan = {
+  seed : int;
+  rate : int;
+  hits : (string, int ref) Hashtbl.t;
+  mutable checked : int;
+  mutable fired_count : int;
+}
+
+let key : plan option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let plan () = !(Domain.DLS.get key)
+let set_plan pl = Domain.DLS.get key := pl
+
+let arm ~seed ~rate =
+  if rate < 1 then invalid_arg "Inject.arm: rate must be >= 1";
+  set_plan
+    (Some { seed; rate; hits = Hashtbl.create 8; checked = 0; fired_count = 0 })
+
+let disarm () = set_plan None
+let armed () = plan () <> None
+
+let restoring body =
+  let saved = plan () in
+  Fun.protect ~finally:(fun () -> set_plan saved) body
+
+let with_arming ~seed ~rate body =
+  restoring (fun () ->
+      arm ~seed ~rate;
+      body ())
+
+let without body =
+  restoring (fun () ->
+      disarm ();
+      body ())
+
+(* One fire decision: a fresh SplitMix64 stream keyed by
+   (seed, point, hit index), consumed for a single draw.  Stateless per
+   hit, so the decision survives history edits by the shrinker as long
+   as the point's hit index is reproduced. *)
+let decide pl p hit =
+  let mix =
+    (pl.seed * 0x1000003) lxor (p.phash * 0x9E3779B1) lxor (hit * 0x85EBCA77)
+  in
+  Combin.Rng.int (Combin.Rng.create mix) pl.rate = 0
+
+let fire p =
+  match plan () with
+  | None -> false
+  | Some pl ->
+      let hit =
+        match Hashtbl.find_opt pl.hits p.pname with
+        | Some r ->
+            incr r;
+            !r - 1
+        | None ->
+            Hashtbl.add pl.hits p.pname (ref 1);
+            0
+      in
+      pl.checked <- pl.checked + 1;
+      Telemetry.Counter.incr m_checks;
+      let f = decide pl p hit in
+      if f then begin
+        pl.fired_count <- pl.fired_count + 1;
+        Telemetry.Counter.incr m_fired
+      end;
+      f
+
+let checks () = match plan () with None -> 0 | Some pl -> pl.checked
+let fired () = match plan () with None -> 0 | Some pl -> pl.fired_count

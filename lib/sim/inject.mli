@@ -1,0 +1,68 @@
+(** Named fault-injection points for deterministic simulation testing
+    (DESIGN.md §14).
+
+    Engine-path modules declare a {!point} once at module initialization
+    ([let p = Inject.register "dst/capacity_preflight"]) and guard the
+    fault branch with [if Inject.fire p then ...].  In production the
+    registry is disarmed and {!fire} is a single branch returning
+    [false]; the dst harness arms it per run with a seed and a rate, and
+    every armed fire decision is a pure function of
+    (seed, point name, per-point hit index) — independent of scheduling,
+    wall clock, and of which pool domain executes the run.
+
+    Arming is {e per domain} (stored in [Domain.DLS]), so concurrent
+    harness runs fanned out through {!Engine.Pool} cannot observe each
+    other's plans, and code outside an armed run — including the oracle
+    replays the harness performs via {!without} — never fires.
+
+    Injected faults must surface through the engine's existing refusal
+    paths ([Rejected]/rollback), never as broken invariants: a point
+    guards the decision to {e refuse}, not code that corrupts state. *)
+
+type point
+(** A registered injection site. *)
+
+val register : string -> point
+(** Declare (or look up) the injection point with this name.  Points are
+    process-global and find-or-create, mirroring {!Telemetry.Registry}:
+    re-registering a name returns the same point. *)
+
+val name : point -> string
+
+val points : unit -> string list
+(** Names of every registered point, sorted. *)
+
+val arm : seed:int -> rate:int -> unit
+(** Arm injection on the calling domain: each subsequent {!fire} hits
+    with probability 1/[rate] ([rate] ≥ 1; 1 = every hit), decided
+    deterministically from [seed], the point's name and the point's
+    per-arming hit counter.  Resets the fired/checked tallies. *)
+
+val disarm : unit -> unit
+(** Disarm the calling domain; {!fire} returns [false] again. *)
+
+val armed : unit -> bool
+
+val with_arming : seed:int -> rate:int -> (unit -> 'a) -> 'a
+(** Run a thunk with injection armed, restoring the previous arming
+    state (even on exception).  This is the harness entry point: one
+    arming per simulated run, nested runs see their own plans. *)
+
+val without : (unit -> 'a) -> 'a
+(** Run a thunk with injection disarmed, restoring the previous arming
+    state.  Oracle paths (fresh-replay invariants) use this so the
+    replay sees the pure engine. *)
+
+val fire : point -> bool
+(** Ask whether the fault fires at this hit.  Disarmed: [false] (and no
+    counter movement).  Armed: deterministic in (seed, name, hit index);
+    bumps the [dst/inject/checks] / [dst/inject/fired] telemetry
+    counters and the per-arming tallies. *)
+
+val checks : unit -> int
+(** Hits evaluated since the current arming on this domain (0 when
+    disarmed). *)
+
+val fired : unit -> int
+(** Hits that fired since the current arming on this domain (0 when
+    disarmed). *)

@@ -16,7 +16,12 @@
 # stdin must be byte-identical to the batch churn --responses replay
 # at -j1 and -j4, a SIGTERM mid-session must still flush a summary
 # envelope naming the signal, and the serve_pipe row in
-# BENCH_churn.json must report matching engine states with peak-RSS).
+# BENCH_churn.json must report matching engine states with peak-RSS),
+# and the dst gates (a pinned multi-seed simulation sweep with fault
+# injection armed must hold every invariant bit-identically at -j1 and
+# -j4, a deliberately broken canary must shrink to a <= 25-event repro
+# that replays to the same violation, and the dst_sweep row in
+# BENCH_dst.json must report zero violations with peak-RSS).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -193,5 +198,62 @@ serve_overhead=$(echo "$serve_row" | sed -n 's/.*"protocol_overhead": \([0-9.]*\
 if [ -n "$serve_overhead" ] && awk "BEGIN { exit !($serve_overhead > 2.0) }"; then
   echo "check.sh: advisory: serve protocol overhead ${serve_overhead}x > nominal 2x over raw applies (see BENCH_churn.json)" >&2
 fi
+
+# Dst gates.  (1) Pinned seed sweep: 3 seeds x 2 profiles x 2
+# strategies through the deterministic simulation harness with fault
+# injection armed — every invariant (engine oracle, Lemma-3 lower
+# bound, movement budget, in-service placement, replay, per-strategy
+# promises) must hold on every step, and the envelope must be
+# bit-identical at -j1 and -j4 (per-domain injection arming keeps
+# pool-fanned runs deterministic).
+dune exec bin/placement_tool.exe -- dst -n 20 --seed 1 --runs 3 \
+  --steps 150 --measure-every 50 --profile steady,storm \
+  --strategy combo,simple --inject 30 --json -j1 > dst_j1.json ||
+  { echo "check.sh: dst sweep reported an invariant violation (see dst_j1.json)" >&2; exit 1; }
+dune exec bin/placement_tool.exe -- dst -n 20 --seed 1 --runs 3 \
+  --steps 150 --measure-every 50 --profile steady,storm \
+  --strategy combo,simple --inject 30 --json -j4 > dst_j4.json ||
+  { echo "check.sh: dst sweep reported an invariant violation at -j4" >&2; exit 1; }
+cmp dst_j1.json dst_j4.json ||
+  { echo "check.sh: dst sweep envelope differs between -j1 and -j4" >&2; exit 1; }
+grep -q '"violations": 0' dst_j1.json ||
+  { echo "check.sh: dst sweep summary reports violations (see dst_j1.json)" >&2; exit 1; }
+rm -f dst_j1.json dst_j4.json
+
+# (2) Shrinker smoke: a deliberately broken canary invariant must
+# trip under fault injection, shrink to a repro of at most 25 events,
+# and the written repro file must replay to the same violation.
+if dune exec bin/placement_tool.exe -- dst -n 20 --seed 7 --steps 150 \
+  --measure-every 50 --profile storm --strategy none \
+  --break canary/full-availability --inject 25 --shrink \
+  --repro dst_repro.events > dst_shrink.out; then
+  echo "check.sh: the canary invariant did not trip (see dst_shrink.out)" >&2; exit 1
+fi
+grep -q 'VIOLATION canary/full-availability' dst_shrink.out ||
+  { echo "check.sh: shrinker smoke tripped the wrong invariant (see dst_shrink.out)" >&2; exit 1; }
+repro_events=$(grep -vc '^#' dst_repro.events)
+[ "$repro_events" -le 25 ] ||
+  { echo "check.sh: shrunk repro has $repro_events events > 25 (see dst_repro.events)" >&2; exit 1; }
+if dune exec bin/placement_tool.exe -- dst --events dst_repro.events \
+  -n 20 --seed 7 --profile storm --strategy none --inject 25 \
+  --break canary/full-availability > dst_replay.out; then
+  echo "check.sh: the shrunk repro no longer violates on replay" >&2; exit 1
+fi
+grep -q 'VIOLATION canary/full-availability' dst_replay.out ||
+  { echo "check.sh: the repro replays to a different invariant (see dst_replay.out)" >&2; exit 1; }
+rm -f dst_repro.events dst_shrink.out dst_replay.out
+
+# (3) Dst throughput row: the quick perf pass appends a dst_sweep row
+# to BENCH_dst.json (full invariant-checked runs fanned through the
+# pool).  Hard gate: the row must exist, report zero violations and
+# carry peak_rss_kb; events/s is wall-clock and recorded for trend
+# only.
+dst_row=$(grep '"op": "dst_sweep"' BENCH_dst.json | tail -n 1)
+[ -n "$dst_row" ] ||
+  { echo "check.sh: no dst_sweep row in BENCH_dst.json" >&2; exit 1; }
+echo "$dst_row" | grep -q '"zero_violations": true' ||
+  { echo "check.sh: dst sweep bench reported invariant violations (see BENCH_dst.json)" >&2; exit 1; }
+echo "$dst_row" | grep -q '"peak_rss_kb"' ||
+  { echo "check.sh: dst_sweep row is missing peak_rss_kb (see BENCH_dst.json)" >&2; exit 1; }
 
 echo "check.sh: all good"

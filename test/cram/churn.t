@@ -80,6 +80,7 @@ byte-identical at any -j.
         }
       ],
       "summary": {
+        "seed": 7,
         "events": 204,
         "creates": 111,
         "deletes": 33,

@@ -1,0 +1,66 @@
+Deterministic simulation testing: seeded scenario sweeps through the
+continuous engine, the invariant registry checked after every applied
+event, fault injection surfacing as rejections, and a shrinker that
+minimizes failing histories to replayable repro files.
+
+A pinned sweep is clean, and its envelope is byte-identical at any -j
+even with fault injection armed.
+
+  $ placement-tool dst -n 16 --seed 1 --runs 2 --steps 120 --measure-every 30 --profile steady,membership --strategy combo
+  Deterministic simulation sweep on n=16 nodes (r=3, s=2, k=2)
+    config: seeds 1..2, profiles steady,membership, strategies combo, 120 steps, measure every 30, inject off
+    [seed 1 steady/combo] 125 events, 125 applied, 0 rejected, inject 0/0, min worst 0, final live=64 avail=53 lb=62 ok
+    [seed 2 steady/combo] 125 events, 125 applied, 0 rejected, inject 0/0, min worst 0, final live=56 avail=55 lb=54 ok
+    [seed 1 membership/combo] 128 events, 128 applied, 0 rejected, inject 0/0, min worst 0, final live=65 avail=65 lb=63 ok
+    [seed 2 membership/combo] 128 events, 128 applied, 0 rejected, inject 0/0, min worst 0, final live=73 avail=73 lb=70 ok
+    summary: 4 runs, 0 violations
+
+  $ placement-tool dst -n 16 --seed 1 --runs 2 --steps 120 --measure-every 30 --profile steady,storm --strategy combo,simple --inject 40 --json -j1 > j1.json
+  $ placement-tool dst -n 16 --seed 1 --runs 2 --steps 120 --measure-every 30 --profile steady,storm --strategy combo,simple --inject 40 --json -j4 > j4.json
+  $ cmp j1.json j4.json && echo identical
+  identical
+
+Injected faults are absorbed as rejections — counted in the envelope,
+never violations.
+
+  $ placement-tool dst -n 16 --seed 2 --steps 150 --measure-every 50 --profile storm --strategy none --inject 10
+  Deterministic simulation sweep on n=16 nodes (r=3, s=2, k=2)
+    config: seeds 2..2, profiles storm, strategies none, 150 steps, measure every 50, inject 1/10
+    [seed 2 storm/none] 157 events, 141 applied, 16 rejected, inject 15/157, min worst 0, final live=59 avail=59 lb=57 ok
+    summary: 1 runs, 0 violations
+
+Unknown names die with the catalogue.
+
+  $ placement-tool dst --profile bogus
+  unknown profile "bogus"; available: steady, storm, membership, cascade
+  [1]
+  $ placement-tool dst --strategy bogus 2>&1 | head -c 26; echo
+  unknown strategy "bogus"; 
+  $ placement-tool dst --break canary/bogus
+  unknown canary invariant "canary/bogus"; available: canary/full-availability
+  [1]
+
+A deliberately broken canary invariant trips, the run exits non-zero,
+and --shrink minimizes the history to a small repro file.
+
+  $ placement-tool dst -n 16 --seed 5 --steps 80 --measure-every 30 --profile steady --strategy none --break canary/full-availability --shrink --repro repro.events
+  Deterministic simulation sweep on n=16 nodes (r=3, s=2, k=2)
+    config: seeds 5..5, profiles steady, strategies none, 80 steps, measure every 30, inject off
+    [seed 5 steady/none] 83 events, 65 applied, 0 rejected, inject 0/0, min worst 0, final live=35 avail=34 lb=34 VIOLATION canary/full-availability @ step 64: available 34 < live 35 (as designed)
+    summary: 1 runs, 1 violations
+    shrink: canary/full-availability reproduced by 10 events (64 candidates tried) -> repro.events
+  [1]
+
+The repro file is a commented, replayable event script; replaying it
+reproduces the same invariant violation.
+
+  $ head -1 repro.events
+  # dst repro: invariant canary/full-availability violated
+  $ grep -vc '^#' repro.events
+  10
+  $ placement-tool dst --events repro.events -n 16 --seed 5 --profile steady --strategy none --break canary/full-availability
+  Deterministic simulation sweep on n=16 nodes (r=3, s=2, k=2)
+    replaying repro.events (10 events)
+    [seed 5 steady/none] 10 events, 10 applied, 0 rejected, inject 0/0, min worst 0, final live=8 avail=7 lb=7 VIOLATION canary/full-availability @ step 9: available 7 < live 8 (as designed)
+    summary: 1 runs, 1 violations
+  [1]

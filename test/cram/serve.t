@@ -44,10 +44,21 @@ survives and keeps serving.
 
   $ printf 'create\nfrobnicate 1\nfail\nquery avail\n' | placement-tool serve -n 4 -r 2 -s 1 -k 1
   {"schema": "placement/v1","command": "apply","data": {"seq": 1,"event": "create","moved": 2,"live": 1,"available": 1,"failed_nodes": 0,"lower_bound": 0}}
-  {"schema": "placement/v1","command": "error","data": {"line": 2,"message": "unknown request \"frobnicate\" (expected an event — fail, recover, fail-domain, join, leave, create, delete, measure — or query worst/avail/lower-bound, or stats)"}}
+  {"schema": "placement/v1","command": "error","data": {"line": 2,"message": "unknown request \"frobnicate\" (expected an event — fail, recover, fail-domain, join, leave, create, delete, measure — or query worst/avail/lower-bound, advise create, or stats)"}}
   {"schema": "placement/v1","command": "error","data": {"line": 3,"message": "fail expects exactly one node id (e.g. \"fail 3\")"}}
   {"schema": "placement/v1","command": "query","data": {"query": "avail","live": 1,"available": 1,"failed_nodes": 0,"nodes_in_service": 4}}
   {"schema": "placement/v1","command": "summary","data": {"reason": "eof","stats": {"requests": 4,"events": 1,"parse_errors": 2,"rejected": 2,"creates": 1,"deletes": 0,"node_fails": 0,"node_recovers": 0,"domain_fails": 0,"joins": 0,"leaves": 0,"measures": 0,"moved_replicas": 2,"live": 1,"available": 1,"failed_nodes": 0,"nodes_in_service": 4,"lower_bound": 0}}}
+
+`advise create` names the nodes the next create would use without
+committing anything: the advice matches the create that follows, and
+asking repeatedly does not move it.
+
+  $ printf 'advise create\nadvise create\ncreate\nadvise create\n' | placement-tool serve -n 8 -r 3 -s 2 -k 2
+  {"schema": "placement/v1","command": "query","data": {"query": "advise-create","nodes": [2,4,5],"live": 0}}
+  {"schema": "placement/v1","command": "query","data": {"query": "advise-create","nodes": [2,4,5],"live": 0}}
+  {"schema": "placement/v1","command": "apply","data": {"seq": 1,"event": "create","moved": 3,"live": 1,"available": 1,"failed_nodes": 0,"lower_bound": 0}}
+  {"schema": "placement/v1","command": "query","data": {"query": "advise-create","nodes": [2,3,6],"live": 1}}
+  {"schema": "placement/v1","command": "summary","data": {"reason": "eof","stats": {"requests": 4,"events": 1,"parse_errors": 0,"rejected": 0,"creates": 1,"deletes": 0,"node_fails": 0,"node_recovers": 0,"domain_fails": 0,"joins": 0,"leaves": 0,"measures": 0,"moved_replicas": 3,"live": 1,"available": 1,"failed_nodes": 0,"nodes_in_service": 8,"lower_bound": 0}}}
 
 Engine rejections are envelopes too, not crashes.
 
