@@ -641,6 +641,178 @@ let run_scaling ctx fmt =
   Format.fprintf fmt "(appended to %s)@." path
 
 (* ------------------------------------------------------------------ *)
+(* Sharded frontier vs branch-parallel exact adversary: the PR-10
+   work-stealing B&B (Placement.Bb, DESIGN.md §15) against a frozen
+   copy of the scheme it replaced — one branch per first-choice node,
+   each with a statically pre-split budget share and a local best
+   seeded from the incumbent read once before dispatch.  Both arms and
+   the sequential oracle ([exact_seq] = spawn_depth k) must agree on
+   damage AND winning set at any -j; the row records walls, task/steal
+   counts and ns/task (the per-task cost the reusable CELF heap and
+   prefix-diff kernel retargeting keep flat) for k=6–7 exact attacks
+   on a Fig.4 design point and a random instance. *)
+
+let branch_parallel_exact ?pool layout ~s ~k ~budget =
+  let n = layout.Placement.Layout.n in
+  let kn0 = Placement.Kernel.make layout ~s in
+  let degrees = Array.init n (Placement.Kernel.degree kn0) in
+  let top_deg = Placement.Bb.top_degrees ~degrees ~n ~k in
+  let g = Placement.Adversary.greedy ?pool layout ~s ~k in
+  let seed = g.Placement.Adversary.failed_objects in
+  let first_choices = Array.init (n - k + 1) Fun.id in
+  let branch_budget = max 1 (budget / Array.length first_choices) in
+  let run_branch nd0 =
+    let st = Placement.Kernel.copy kn0 in
+    let best = ref seed and best_set = ref None in
+    let current = Array.make k 0 in
+    let visited = ref 0 and truncated = ref false in
+    let rec go start depth =
+      incr visited;
+      if !visited > branch_budget then truncated := true
+      else if depth = k then begin
+        if Placement.Kernel.killed st > !best then begin
+          best := Placement.Kernel.killed st;
+          best_set := Some (Array.copy current)
+        end
+      end
+      else if Placement.Kernel.killed st + top_deg.(start).(k - depth) > !best
+      then
+        for nd = start to n - (k - depth) do
+          if not !truncated then begin
+            current.(depth) <- nd;
+            Placement.Kernel.add st nd;
+            go (nd + 1) (depth + 1);
+            Placement.Kernel.remove st nd
+          end
+        done
+    in
+    current.(0) <- nd0;
+    Placement.Kernel.add st nd0;
+    go (nd0 + 1) 1;
+    (!best, !best_set, !truncated)
+  in
+  let results =
+    match pool with
+    | Some p -> Engine.Pool.parallel_map p run_branch first_choices
+    | None -> Array.map run_branch first_choices
+  in
+  let best = ref seed and best_set = ref g.Placement.Adversary.failed_nodes in
+  let truncated = ref false in
+  Array.iter
+    (fun (v, set, tr) ->
+      if tr then truncated := true;
+      match set with
+      | Some nodes when v > !best ->
+          best := v;
+          best_set := Combin.Intset.of_array nodes
+      | _ -> ())
+    results;
+  (!best, !best_set, !truncated)
+
+let run_bb_scaling ctx fmt =
+  let s = 2 and budget = 1_000_000_000 in
+  let combo31 =
+    Placement.Instance.combo_layout
+      (Placement.Instance.make ~b:600 ~r:3 ~s ~n:31 ~k:6 ())
+  in
+  let random40 =
+    Placement.Random_placement.place ~rng:(Combin.Rng.create 0x5CA1E)
+      (Placement.Params.make ~b:800 ~r:3 ~s ~n:40 ~k:6)
+  in
+  let ks = if ctx.quick then [ 6 ] else [ 6; 7 ] in
+  let points =
+    List.concat_map
+      (fun k ->
+        [ ("combo", 31, 600, combo31, k); ("random", 40, 800, random40, k) ])
+      ks
+  in
+  (* Warm-up on the smallest point: page faults and GC growth are billed
+     to neither arm. *)
+  ignore (Placement.Adversary.exact ~budget combo31 ~s ~k:5);
+  let cells = ref [] in
+  let all_identical = ref true in
+  let k6_speedup = ref 0.0 in
+  List.iter
+    (fun (family, n, b, layout, k) ->
+      let kn0 = Placement.Kernel.make layout ~s in
+      let g = Placement.Adversary.greedy layout ~s ~k in
+      let seed = g.Placement.Adversary.failed_objects in
+      let set_of (r : Placement.Bb.result) =
+        match r.Placement.Bb.set with
+        | Some nodes -> Combin.Intset.of_array nodes
+        | None -> g.Placement.Adversary.failed_nodes
+      in
+      let (br_value, br_set, br_trunc), wall_branch =
+        wall (fun () -> branch_parallel_exact ?pool:ctx.pool layout ~s ~k ~budget)
+      in
+      let r1, wall_j1 =
+        wall (fun () -> Placement.Bb.search ~budget ~kernel:kn0 ~k ~seed ())
+      in
+      let rn, wall_jn =
+        wall (fun () ->
+            Placement.Bb.search ?pool:ctx.pool ~budget ~kernel:kn0 ~k ~seed ())
+      in
+      let oracle, wall_oracle =
+        wall (fun () ->
+            Placement.Bb.search ~spawn_depth:k ~budget ~kernel:kn0 ~k ~seed ())
+      in
+      let identical =
+        (not br_trunc)
+        && (not r1.Placement.Bb.truncated)
+        && (not rn.Placement.Bb.truncated)
+        && (not oracle.Placement.Bb.truncated)
+        && br_value = oracle.Placement.Bb.value
+        && r1.Placement.Bb.value = oracle.Placement.Bb.value
+        && rn.Placement.Bb.value = oracle.Placement.Bb.value
+        && br_set = set_of oracle
+        && set_of r1 = set_of oracle
+        && set_of rn = set_of oracle
+      in
+      if not identical then all_identical := false;
+      let speedup = if wall_jn > 0.0 then wall_branch /. wall_jn else 0.0 in
+      if k = 6 && family = "random" then k6_speedup := speedup;
+      let st = rn.Placement.Bb.stats in
+      let tasks = st.Placement.Bb.spawned_tasks in
+      let ns_per_task =
+        if tasks > 0 then wall_jn *. 1e9 /. float_of_int tasks else 0.0
+      in
+      Format.fprintf fmt
+        "exact %s n=%d b=%d k=%d: %.3fs branch-parallel, %.3fs frontier \
+         -j1, %.3fs frontier -j%d (%.2fx vs branch), %.3fs oracle; \
+         %d tasks at depth %d, %d steals, %.0f ns/task, results %s@."
+        family n b k wall_branch wall_j1 wall_jn ctx.jobs speedup wall_oracle
+        tasks st.Placement.Bb.spawn_depth st.Placement.Bb.steals ns_per_task
+        (if identical then "identical" else "DIFFER");
+      cells :=
+        Printf.sprintf
+          "{\"family\": \"%s\", \"n\": %d, \"b\": %d, \"k\": %d, \
+           \"wall_s_branch\": %.6f, \"wall_s_frontier_j1\": %.6f, \
+           \"wall_s_frontier_jn\": %.6f, \"wall_s_oracle\": %.6f, \
+           \"speedup_vs_branch\": %.4f, \"spawned_tasks\": %d, \
+           \"spawn_depth\": %d, \"steals\": %d, \"nodes_jn\": %d, \
+           \"ns_per_task_jn\": %.1f, \"identical\": %b}"
+          family n b k wall_branch wall_j1 wall_jn wall_oracle speedup tasks
+          st.Placement.Bb.spawn_depth st.Placement.Bb.steals
+          st.Placement.Bb.nodes ns_per_task identical
+        :: !cells)
+    points;
+  let json =
+    Printf.sprintf
+      "{\"op\": \"bb_sharded_vs_branch\", \"jobs\": %d, \"quick\": %b, \
+       \"budget\": %d, \"identical_all\": %b, \"k6_speedup_vs_branch\": \
+       %.4f, \"cells\": [%s]}\n"
+      ctx.jobs ctx.quick budget !all_identical !k6_speedup
+      (String.concat ", " (List.rev !cells))
+  in
+  let dir = match ctx.out with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_adversary.json" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Format.fprintf fmt "(appended to %s)@." path
+
+(* ------------------------------------------------------------------ *)
 (* Continuous churn trace: the event-sourced engine on an n=10^3,
    b=10^5 population.  The apply arm measures event throughput and
    checks the bounded-data-movement contract (no event moves more than
@@ -904,6 +1076,7 @@ let run_dst_bench ctx fmt =
 let run_perf ctx fmt =
   run_adversary_scaling ctx fmt;
   run_scaling ctx fmt;
+  run_bb_scaling ctx fmt;
   run_kernel_bench ctx fmt;
   run_churn_bench ctx fmt;
   run_serve_bench ctx fmt;
@@ -944,6 +1117,8 @@ let artefacts : (string * string * (ctx -> Format.formatter -> unit)) list =
     ("perf", "Perf (scaling + Bechamel micro-benchmarks)", run_perf);
     ( "scaling", "Adversary scaling sweep (n×b grid, CSR + sharded CELF)",
       run_scaling );
+    ( "bb-scaling", "Exact adversary: sharded frontier vs branch-parallel",
+      run_bb_scaling );
     ( "churn-trace", "Churn trace (continuous engine, incremental re-score)",
       run_churn_bench );
     ( "serve-pipe", "Serve protocol overhead (serve loop vs raw applies)",

@@ -84,6 +84,11 @@ module Int_max = struct
   let is_empty h = h.size = 0
   let size h = h.size
 
+  (* Keep the grown arrays: a cleared heap refills without reallocating,
+     which is what lets a B&B worker reuse one heap across thousands of
+     greedy-completion probes (Placement.Bb). *)
+  let clear h = h.size <- 0
+
   (* [before] is the strict heap order: entry i should pop before j. *)
   let before h i j =
     h.keys.(i) > h.keys.(j)

@@ -33,6 +33,11 @@ module Int_max : sig
   val is_empty : t -> bool
   val size : t -> int
 
+  val clear : t -> unit
+  (** Empty the heap without releasing its storage, so a long-lived heap
+      can be refilled with no per-use allocation (the reuse path of the
+      B&B frontier's per-worker CELF probes, {!Placement.Bb}). *)
+
   val push : t -> key:int -> int -> unit
   (** [push h ~key payload]. *)
 

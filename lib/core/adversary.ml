@@ -9,19 +9,33 @@ type attack = {
   exact : bool;
 }
 
-(* Search statistics.  Everything below is Stable: node visits, prunes and
-   improvements are a pure function of the instance because branches never
-   re-read the shared incumbent and budgets are pre-split per branch — so
-   the counts are bit-identical at any -j.  Hot loops accumulate plain
-   local ints and flush once per branch/run; the atomic counters are
-   touched O(#branches) times, not O(#nodes). *)
-let m_bb_branches = Telemetry.Registry.counter "core/adversary/bb/branches"
-let m_bb_nodes = Telemetry.Registry.counter "core/adversary/bb/nodes_expanded"
-let m_bb_leaves = Telemetry.Registry.counter "core/adversary/bb/leaves"
-let m_bb_prunes = Telemetry.Registry.counter "core/adversary/bb/bound_prunes"
-let m_bb_improves = Telemetry.Registry.counter "core/adversary/bb/improvements"
-let m_bb_truncated = Telemetry.Registry.counter "core/adversary/bb/truncated_branches"
-let m_bb_branch_nodes = Telemetry.Registry.histogram "core/adversary/bb/branch_nodes"
+(* Search statistics.  The B&B frontier (Bb) prunes against a shared
+   incumbent that tightens mid-flight, so which nodes get explored —
+   and with it every per-node count below — is timing-dependent:
+   Volatile.  What stays Stable is the spawn phase (a pure function of
+   the instance): the task count and the spawn depth are bit-identical
+   at any -j, and the determinism suites diff them.  Hot loops
+   accumulate plain local ints inside Bb and flush here once per
+   search. *)
+let m_bb_nodes =
+  Telemetry.Registry.counter ~kind:Volatile "core/adversary/bb/nodes_expanded"
+let m_bb_leaves =
+  Telemetry.Registry.counter ~kind:Volatile "core/adversary/bb/leaves"
+let m_bb_prunes =
+  Telemetry.Registry.counter ~kind:Volatile "core/adversary/bb/bound_prunes"
+let m_bb_improves =
+  Telemetry.Registry.counter ~kind:Volatile "core/adversary/bb/improvements"
+let m_bb_truncations =
+  Telemetry.Registry.counter ~kind:Volatile "core/adversary/bb/truncations"
+let m_bb_spawned = Telemetry.Registry.counter "core/adversary/bb/spawned_tasks"
+let m_bb_spawn_depth =
+  Telemetry.Registry.gauge ~kind:Stable "core/adversary/bb/spawn_depth"
+let m_bb_steals =
+  Telemetry.Registry.counter ~kind:Volatile "core/adversary/bb/steals"
+let m_bb_pubs =
+  Telemetry.Registry.counter ~kind:Volatile "core/adversary/bb/bound_publications"
+let m_bb_completions =
+  Telemetry.Registry.counter ~kind:Volatile "core/adversary/bb/completions"
 let m_greedy_runs = Telemetry.Registry.counter "core/adversary/greedy/runs"
 let m_greedy_evals = Telemetry.Registry.counter "core/adversary/greedy/marginal_evals"
 let m_ls_restarts = Telemetry.Registry.counter "core/adversary/local_search/restarts"
@@ -32,15 +46,21 @@ let m_attack_heur = Telemetry.Registry.counter "core/adversary/attack/heuristic_
 let m_attack_span = Telemetry.Registry.span "core/adversary/attack"
 
 (* Kernel counters (see Kernel and DESIGN.md §10): incremental add/remove
-   updates, CELF heap activity, and how deep the B&B unwinds state.  All
-   Stable — flushed per run or per branch in deterministic order. *)
+   updates and CELF heap activity.  The greedy/local-search paths flush
+   deterministic counts into the Stable [kernel/updates]; the frontier's
+   kernel traffic and undo depth follow its exploration and are Volatile
+   (kept under the bb/kernel prefix). *)
 let m_kernel_updates = Telemetry.Registry.counter "core/adversary/kernel/updates"
 let m_kernel_pops = Telemetry.Registry.counter "core/adversary/kernel/heap_pops"
 let m_kernel_stale =
   Telemetry.Registry.counter "core/adversary/kernel/stale_reevals"
-let m_kernel_undos = Telemetry.Registry.counter "core/adversary/kernel/bb_undos"
+let m_bb_kernel_updates =
+  Telemetry.Registry.counter ~kind:Volatile "core/adversary/bb/kernel_updates"
+let m_kernel_undos =
+  Telemetry.Registry.counter ~kind:Volatile "core/adversary/kernel/bb_undos"
 let m_kernel_undo_depth =
-  Telemetry.Registry.histogram "core/adversary/kernel/bb_undo_depth"
+  Telemetry.Registry.histogram ~kind:Volatile
+    "core/adversary/kernel/bb_undo_depth"
 
 (* One-shot scoring: a single O(b·r) merge pass with no allocation.
    Routing this through a throwaway Kernel would rebuild the per-object
@@ -67,135 +87,61 @@ let greedy ?pool layout ~s ~k =
     exact = false;
   }
 
-let exact ?(budget = 50_000_000) ?pool layout ~s ~k =
+(* Flush a frontier run's statistics into the core counters; shared with
+   {!exact_seq}.  Called once per search on the calling domain. *)
+let flush_bb_stats (st : Bb.stats) =
+  Telemetry.Gauge.set m_bb_spawn_depth (float_of_int st.Bb.spawn_depth);
+  Telemetry.Counter.add m_bb_spawned st.Bb.spawned_tasks;
+  Telemetry.Counter.add m_bb_nodes st.Bb.nodes;
+  Telemetry.Counter.add m_bb_leaves st.Bb.leaves;
+  Telemetry.Counter.add m_bb_prunes st.Bb.prunes;
+  Telemetry.Counter.add m_bb_improves st.Bb.improvements;
+  Telemetry.Counter.add m_bb_completions st.Bb.completions;
+  Telemetry.Counter.add m_bb_pubs st.Bb.bound_publications;
+  Telemetry.Counter.add m_bb_steals st.Bb.steals;
+  Telemetry.Counter.add m_bb_kernel_updates st.Bb.kernel_updates;
+  Telemetry.Counter.add m_kernel_undos st.Bb.undos;
+  Telemetry.Histogram.observe m_kernel_undo_depth st.Bb.max_undo_depth
+
+(* The frontier (Bb, DESIGN.md §15) does the heavy lifting: greedy seeds
+   the shared incumbent, the spawn phase shards the tree into prefix
+   tasks, and work stealing drains them under one global node budget.
+   The returned set is the lexicographically smallest optimum whenever
+   one strictly beats greedy — identical at any [-j] — and on budget
+   exhaustion the result deterministically falls back to the greedy
+   attack with [exact = false]. *)
+let exact ?(budget = 50_000_000) ?spawn_depth ?pool layout ~s ~k =
   let n = layout.Layout.n in
   if k >= n then invalid_arg "Adversary.exact: k >= n";
   if k = 0 then { failed_nodes = [||]; failed_objects = 0; exact = true }
   else begin
     let kn0 = Kernel.make layout ~s in
-    let degrees = Array.init n (Kernel.degree kn0) in
-    (* top_deg.(start).(m): sum of the m largest degrees among nodes with id
-       >= start — an upper bound on additional damage from m more picks.
-       Built by one suffix sweep that maintains the k largest degrees seen
-       so far in a sorted scratch row (insertion is O(k)), for O(n·k) total
-       against the O(n²·log n) of sorting every suffix; only the top k of a
-       suffix ever enter a bound, so the values are identical. *)
-    let top_deg =
-      let acc = Array.make_matrix (n + 1) (k + 1) 0 in
-      let top = Array.make k 0 in
-      let top_len = ref 0 in
-      for start = n - 1 downto 0 do
-        let d = degrees.(start) in
-        if !top_len < k then begin
-          let i = ref !top_len in
-          while !i > 0 && top.(!i - 1) < d do
-            top.(!i) <- top.(!i - 1);
-            decr i
-          done;
-          top.(!i) <- d;
-          incr top_len
-        end
-        else if k > 0 && d > top.(k - 1) then begin
-          let i = ref (k - 1) in
-          while !i > 0 && top.(!i - 1) < d do
-            top.(!i) <- top.(!i - 1);
-            decr i
-          done;
-          top.(!i) <- d
-        end;
-        let row = acc.(start) in
-        for m = 1 to k do
-          row.(m) <- row.(m - 1) + (if m - 1 < !top_len then top.(m - 1) else 0)
-        done
-      done;
-      acc
-    in
-    (* The greedy attack seeds the incumbent: every branch prunes against a
-       real attack from the first node visited, and a truncated search still
-       carries a valid (greedy or better) best set.  The incumbent cell is
-       read once here, before dispatch — branches publish improvements but
-       never re-read it, so pruning is identical at every [-j] (see
-       DESIGN.md §2 on the determinism discipline). *)
     let g = greedy ?pool layout ~s ~k in
-    let incumbent = Engine.Bound.create g.failed_objects in
-    let seed_bound = Engine.Bound.get incumbent in
-    (* Parallelize over the top-level first-node choices; each branch owns
-       its budget share so truncation does not depend on scheduling.  Each
-       branch threads its own kernel copy down and up the tree: a leaf
-       evaluation is the O(load) delta of the last pick, never a fresh
-       O(b·r) rescan. *)
-    let first_choices = Array.init (n - k + 1) Fun.id in
-    let branch_budget = max 1 (budget / Array.length first_choices) in
-    let run_branch nd0 =
-      let st = Kernel.copy kn0 in
-      let best = ref seed_bound and best_set = ref None in
-      let current = Array.make k 0 in
-      let visited = ref 0 in
-      let leaves = ref 0 and prunes = ref 0 and improves = ref 0 in
-      let undos = ref 0 and max_undo_depth = ref 0 in
-      let truncated = ref false in
-      let rec go start depth =
-        incr visited;
-        if !visited > branch_budget then truncated := true
-        else if depth = k then begin
-          incr leaves;
-          if Kernel.killed st > !best then begin
-            incr improves;
-            best := Kernel.killed st;
-            best_set := Some (Array.copy current);
-            ignore (Engine.Bound.improve incumbent (Kernel.killed st))
-          end
-        end
-        else if Kernel.killed st + top_deg.(start).(k - depth) > !best then
-          for nd = start to n - (k - depth) do
-            if not !truncated then begin
-              current.(depth) <- nd;
-              Kernel.add st nd;
-              go (nd + 1) (depth + 1);
-              Kernel.remove st nd;
-              incr undos;
-              if depth + 1 > !max_undo_depth then max_undo_depth := depth + 1
-            end
-          done
-        else incr prunes
-      in
-      current.(0) <- nd0;
-      Kernel.add st nd0;
-      go (nd0 + 1) 1;
-      ( !best,
-        !best_set,
-        !truncated,
-        (!visited, !leaves, !prunes, !improves),
-        (Kernel.updates st, !undos, !max_undo_depth) )
+    let r =
+      Bb.search ?pool ?spawn_depth ~budget ~kernel:kn0 ~k
+        ~seed:g.failed_objects ()
     in
-    let results = pmap pool run_branch first_choices in
-    (* Deterministic fold: strict improvement, lowest branch wins ties.
-       Branch statistics are flushed here, in branch order, on the calling
-       domain — the hot loop above touches only plain local ints. *)
-    let best = ref g.failed_objects and best_set = ref g.failed_nodes in
-    let truncated = ref false in
-    Array.iter
-      (fun (v, set, tr, (visited, leaves, prunes, improves),
-            (updates, undos, max_undo_depth)) ->
-        Telemetry.Counter.incr m_bb_branches;
-        Telemetry.Counter.add m_bb_nodes visited;
-        Telemetry.Counter.add m_bb_leaves leaves;
-        Telemetry.Counter.add m_bb_prunes prunes;
-        Telemetry.Counter.add m_bb_improves improves;
-        Telemetry.Counter.add m_kernel_updates updates;
-        Telemetry.Counter.add m_kernel_undos undos;
-        Telemetry.Histogram.observe m_kernel_undo_depth max_undo_depth;
-        if tr then Telemetry.Counter.incr m_bb_truncated;
-        Telemetry.Histogram.observe m_bb_branch_nodes visited;
-        if tr then truncated := true;
-        match set with
-        | Some nodes when v > !best ->
-            best := v;
-            best_set := Combin.Intset.of_array nodes
-        | _ -> ())
-      results;
-    { failed_nodes = !best_set; failed_objects = !best; exact = not !truncated }
+    flush_bb_stats r.Bb.stats;
+    if r.Bb.truncated then begin
+      Telemetry.Counter.incr m_bb_truncations;
+      { g with exact = false }
+    end
+    else
+      match r.Bb.set with
+      | Some set ->
+          {
+            failed_nodes = Combin.Intset.of_array set;
+            failed_objects = r.Bb.value;
+            exact = true;
+          }
+      | None -> { g with exact = true }
   end
+
+(* The sequential reference oracle: the whole search runs in the
+   deterministic spawn phase ([spawn_depth = k]), with no pool — classic
+   strict-pruning lexicographic DFS.  Tests and benches diff the sharded
+   frontier against this. *)
+let exact_seq ?budget layout ~s ~k = exact ?budget ~spawn_depth:k layout ~s ~k
 
 (* Returns (passes, swaps): full sweeps of the outer loop and accepted
    swap moves — plain locals, flushed by the caller. *)
@@ -313,8 +259,8 @@ let attack ?pool ?rng ?(restarts = 8) ?(exact_limit = 5e7) layout ~s ~k =
     if not result.exact then
       Log.warn (fun m ->
           m
-            "exact adversary truncated by node budget on n=%d b=%d s=%d k=%d: \
-             reporting best-so-far (>= greedy) as a heuristic"
+            "exact adversary exhausted its global node budget on n=%d b=%d \
+             s=%d k=%d: reporting the greedy attack as a heuristic"
             n (Layout.b layout) s k);
     result
   end

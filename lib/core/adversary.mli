@@ -10,11 +10,11 @@
     "simulating the worst k failures").
 
     Both searches are fan-out shaped and accept an optional
-    {!Engine.Pool}: the branch-and-bound parallelizes over top-level
-    first-node choices, the local search over restarts.  Results are
-    bit-identical with and without a pool, at any pool size — parallelism
-    only changes wall-clock (see DESIGN.md §2, "parallelism &
-    determinism"). *)
+    {!Engine.Pool}: the branch-and-bound runs on the work-stealing
+    sharded frontier ({!Bb}, DESIGN.md §15), the local search
+    parallelizes over restarts.  Results are bit-identical with and
+    without a pool, at any pool size — parallelism only changes
+    wall-clock (see DESIGN.md §2, "parallelism & determinism"). *)
 
 type attack = {
   failed_nodes : int array;  (** the chosen K, sorted, |K| = k *)
@@ -28,13 +28,28 @@ val eval : Layout.t -> s:int -> int array -> int
     Callers that score many sets over one layout should hold a
     {!Kernel.t} and use {!Kernel.check} instead. *)
 
-val exact : ?budget:int -> ?pool:Engine.Pool.t -> Layout.t -> s:int -> k:int -> attack
+val exact :
+  ?budget:int -> ?spawn_depth:int -> ?pool:Engine.Pool.t ->
+  Layout.t -> s:int -> k:int -> attack
 (** Branch-and-bound over all C(n,k) failure sets with a degree-sum upper
-    bound for pruning, seeded with the {!greedy} incumbent.  [budget]
-    caps the number of search nodes (default 50 million), split evenly
-    over the top-level branches; if any branch exhausts its share the
-    result has [exact = false] but still carries the best set found,
-    which is never worse than greedy's. *)
+    bound for pruning, seeded with the {!greedy} incumbent, run on the
+    work-stealing sharded frontier ({!Bb}): subtree tasks cut at a
+    deterministic spawn depth ([spawn_depth] overrides it, clamped to
+    [1, k]; tests only), drained through per-domain deques under ONE
+    global node budget (default 50 million) — a heavy subtree inherits
+    whatever budget its finished siblings never used.  When a set
+    strictly beats greedy, the reported set is the lexicographically
+    smallest optimum, at any [pool] size.  If the TOTAL budget runs out
+    the result falls back to the greedy attack with [exact = false] —
+    deterministically, since any "best so far" under work stealing
+    would be schedule-dependent. *)
+
+val exact_seq : ?budget:int -> Layout.t -> s:int -> k:int -> attack
+(** The sequential reference oracle: {!exact} with the whole tree
+    explored in the deterministic spawn phase ([spawn_depth = k]) and no
+    pool — classic strict-pruning lexicographic DFS.  Equal to {!exact}
+    whenever neither truncates; tests and the bench gate diff against
+    it. *)
 
 val greedy : ?pool:Engine.Pool.t -> Layout.t -> s:int -> k:int -> attack
 (** Add the node with the best marginal damage k times; ties broken by

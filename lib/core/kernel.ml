@@ -283,13 +283,22 @@ let round_scan ~marginal heap ~packed =
   Combin.Heap.Int_max.push_many heap ~keys:!lkeys ~payloads:!lpays ~count:!cnt;
   (!best_key, !best_id, !best_pr, !evals, !pops, !stale)
 
-let select_greedy t ~picks =
+let select_greedy ?heap t ~picks =
   let n = units t in
   if picks > n - Combin.Bitset.count t.failed then
     invalid_arg "Kernel.select_greedy: more picks than unchosen units";
   let base = 1 + Combin.Csr.max_degree t.csr in
   let packed ne pr = (ne * base) + pr in
-  let heap = Combin.Heap.Int_max.create () in
+  let heap =
+    (* A caller-owned heap is cleared and refilled: the pop order is a
+       strict total order on (key, payload), so reuse cannot change any
+       pick — it only skips the per-call allocation. *)
+    match heap with
+    | Some h ->
+        Combin.Heap.Int_max.clear h;
+        h
+    | None -> Combin.Heap.Int_max.create ()
+  in
   let evals = ref 0 and pops = ref 0 and stale = ref 0 in
   for u = 0 to n - 1 do
     if not (Combin.Bitset.mem t.failed u) then begin

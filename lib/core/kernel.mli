@@ -106,7 +106,8 @@ type greedy_stats = {
       (** pops whose cached bound had decayed since it was pushed *)
 }
 
-val select_greedy : t -> picks:int -> int array * greedy_stats
+val select_greedy :
+  ?heap:Combin.Heap.Int_max.t -> t -> picks:int -> int array * greedy_stats
 (** CELF lazy-greedy: pick [picks] units one at a time, each maximizing
     [(newly, progress)] with ties to the lowest unit id — bit-identical
     to a full rescan per pick (the pre-kernel greedy).  Candidates live
@@ -117,7 +118,11 @@ val select_greedy : t -> picks:int -> int array * greedy_stats
     DESIGN.md §10 for the determinism argument).  Per-round loser
     re-pushes are batched through {!Combin.Heap.Int_max.push_many}.
     The kernel ends with the picks applied; the returned array is in
-    pick order.
+    pick order.  [heap] lets a repeated caller (the B&B frontier's
+    greedy-completion probes, {!Bb}) supply a long-lived heap that is
+    {!Combin.Heap.Int_max.clear}ed and reused instead of allocated per
+    call; the pop order is a strict total order, so reuse changes no
+    pick and no statistic.
     @raise Invalid_argument if [picks] exceeds the unchosen units. *)
 
 val select_greedy_sharded :

@@ -2,10 +2,15 @@
     incumbent ("best so far") of a branch-and-bound search.
 
     Reads and writes are atomic and lock-free.  The determinism
-    discipline (DESIGN.md §2) is: a cell read *during* a parallel batch
-    sees a timing-dependent value, so result-affecting reads must happen
-    either before the batch is dispatched or after it completes.
-    Publishing improvements from inside tasks is always safe. *)
+    discipline (DESIGN.md §2/§15) admits two uses.  Either a cell is
+    read only before a parallel batch is dispatched or after it
+    completes (a mid-batch read sees a timing-dependent value); or tasks
+    do read it mid-batch, but only as a {e conservative pruning bound}
+    whose every observed value is ≤ the true optimum — then the set of
+    nodes a task explores varies with timing, while the task's reported
+    result does not, provided pruning keeps ties against the shared cell
+    (see {!Placement.Bb}).  Publishing improvements from inside tasks is
+    always safe: the cell only tightens. *)
 
 type t
 

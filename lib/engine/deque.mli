@@ -1,0 +1,30 @@
+(** A thread-safe double-ended task queue: the unit of work distribution
+    behind {!Pool.parallel_steal}.
+
+    Each pool slot owns one deque.  [push] appends at the back (used
+    once, at distribution time); the owner drains with {!take_front} in
+    distribution order, while thieves call {!take_back} to steal the
+    work farthest from the owner's current position — so adjacent tasks
+    (which in the B&B frontier share most of their node prefix, hence
+    most of their kernel state) stay on one domain.
+
+    All operations take a per-deque mutex; the intended granularity is
+    one acquisition per task whose body is large (a subtree search, a
+    simulation slice), where lock traffic is noise. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Append at the back. *)
+
+val take_front : 'a t -> 'a option
+(** Remove and return the front element (oldest pushed), if any. *)
+
+val take_back : 'a t -> 'a option
+(** Remove and return the back element (newest pushed), if any. *)
+
+val length : 'a t -> int
+(** Current number of queued elements (racy under concurrent use —
+    meaningful only as a heuristic). *)

@@ -10,18 +10,33 @@ type attack = {
   exact : bool;
 }
 
-(* Search statistics, Stable like the node adversary's: branches never
-   re-read the shared incumbent and budgets are pre-split per branch, so
-   every count is a pure function of (layout, tree, level, j).  Hot
-   loops accumulate plain local ints, flushed once per branch in branch
-   order. *)
-let m_bb_branches = Telemetry.Registry.counter "topology/adversary/bb/branches"
-let m_bb_nodes = Telemetry.Registry.counter "topology/adversary/bb/nodes_expanded"
-let m_bb_leaves = Telemetry.Registry.counter "topology/adversary/bb/leaves"
-let m_bb_prunes = Telemetry.Registry.counter "topology/adversary/bb/bound_prunes"
-let m_bb_improves = Telemetry.Registry.counter "topology/adversary/bb/improvements"
-let m_bb_truncated =
-  Telemetry.Registry.counter "topology/adversary/bb/truncated_branches"
+(* Search statistics, mirroring the node adversary's: the frontier
+   (Placement.Bb) prunes against a shared incumbent that tightens
+   mid-flight, so per-node counts are Volatile; the spawn phase is a
+   pure function of (layout, tree, level, j), so the task count and
+   spawn depth stay Stable.  Hot loops accumulate plain local ints
+   inside the frontier, flushed here once per search. *)
+let m_bb_nodes =
+  Telemetry.Registry.counter ~kind:Volatile "topology/adversary/bb/nodes_expanded"
+let m_bb_leaves =
+  Telemetry.Registry.counter ~kind:Volatile "topology/adversary/bb/leaves"
+let m_bb_prunes =
+  Telemetry.Registry.counter ~kind:Volatile "topology/adversary/bb/bound_prunes"
+let m_bb_improves =
+  Telemetry.Registry.counter ~kind:Volatile "topology/adversary/bb/improvements"
+let m_bb_truncations =
+  Telemetry.Registry.counter ~kind:Volatile "topology/adversary/bb/truncations"
+let m_bb_spawned =
+  Telemetry.Registry.counter "topology/adversary/bb/spawned_tasks"
+let m_bb_spawn_depth =
+  Telemetry.Registry.gauge ~kind:Stable "topology/adversary/bb/spawn_depth"
+let m_bb_steals =
+  Telemetry.Registry.counter ~kind:Volatile "topology/adversary/bb/steals"
+let m_bb_pubs =
+  Telemetry.Registry.counter ~kind:Volatile
+    "topology/adversary/bb/bound_publications"
+let m_bb_completions =
+  Telemetry.Registry.counter ~kind:Volatile "topology/adversary/bb/completions"
 let m_exh_subsets =
   Telemetry.Registry.counter "topology/adversary/exhaustive/subsets"
 let m_greedy_runs = Telemetry.Registry.counter "topology/adversary/greedy/runs"
@@ -33,18 +48,24 @@ let m_attack_bb =
   Telemetry.Registry.counter "topology/adversary/attack/bb_dispatch"
 let m_attack_span = Telemetry.Registry.span "topology/adversary/attack"
 
-(* Kernel counters, mirroring core/adversary/kernel/* (Stable, flushed
-   per run or per branch in deterministic order). *)
+(* Kernel counters, mirroring core/adversary/kernel/*: greedy and
+   exhaustive traffic is deterministic (Stable [kernel/updates]); the
+   frontier's kernel traffic follows its timing-dependent exploration
+   (Volatile, under the bb prefix). *)
 let m_kernel_updates =
   Telemetry.Registry.counter "topology/adversary/kernel/updates"
 let m_kernel_pops =
   Telemetry.Registry.counter "topology/adversary/kernel/heap_pops"
 let m_kernel_stale =
   Telemetry.Registry.counter "topology/adversary/kernel/stale_reevals"
+let m_bb_kernel_updates =
+  Telemetry.Registry.counter ~kind:Volatile
+    "topology/adversary/bb/kernel_updates"
 let m_kernel_undos =
-  Telemetry.Registry.counter "topology/adversary/kernel/bb_undos"
+  Telemetry.Registry.counter ~kind:Volatile "topology/adversary/kernel/bb_undos"
 let m_kernel_undo_depth =
-  Telemetry.Registry.histogram "topology/adversary/kernel/bb_undo_depth"
+  Telemetry.Registry.histogram ~kind:Volatile
+    "topology/adversary/kernel/bb_undo_depth"
 
 (* Attack units are same-level fault domains: row [d] of the domain CSR
    lists one entry per replica hosted inside domain [d] (same-level
@@ -82,11 +103,6 @@ let of_domains tree ~level domains ~failed_objects ~exact =
 let eval layout ~s tree ~level domains =
   Placement.Layout.failed_objects layout ~s
     ~failed_nodes:(Failset.nodes tree ~level domains)
-
-let pmap pool f xs =
-  match pool with
-  | Some p -> Engine.Pool.parallel_map p f xs
-  | None -> Array.map f xs
 
 let greedy ?pool layout ~s tree ~level ~j =
   check layout tree ~level ~j;
@@ -140,129 +156,50 @@ let exhaustive layout ~s tree ~level ~j =
     | None -> { g with exact = true }
   end
 
-let exact ?(budget = 50_000_000) ?pool layout ~s tree ~level ~j =
+(* Flush a frontier run's statistics into the topology counters, once
+   per search on the calling domain. *)
+let flush_bb_stats (st : Placement.Bb.stats) =
+  Telemetry.Gauge.set m_bb_spawn_depth (float_of_int st.Placement.Bb.spawn_depth);
+  Telemetry.Counter.add m_bb_spawned st.Placement.Bb.spawned_tasks;
+  Telemetry.Counter.add m_bb_nodes st.Placement.Bb.nodes;
+  Telemetry.Counter.add m_bb_leaves st.Placement.Bb.leaves;
+  Telemetry.Counter.add m_bb_prunes st.Placement.Bb.prunes;
+  Telemetry.Counter.add m_bb_improves st.Placement.Bb.improvements;
+  Telemetry.Counter.add m_bb_completions st.Placement.Bb.completions;
+  Telemetry.Counter.add m_bb_pubs st.Placement.Bb.bound_publications;
+  Telemetry.Counter.add m_bb_steals st.Placement.Bb.steals;
+  Telemetry.Counter.add m_bb_kernel_updates st.Placement.Bb.kernel_updates;
+  Telemetry.Counter.add m_kernel_undos st.Placement.Bb.undos;
+  Telemetry.Histogram.observe m_kernel_undo_depth st.Placement.Bb.max_undo_depth
+
+(* The shared frontier (Placement.Bb, DESIGN.md §15) over the domain
+   kernel: greedy seeds the incumbent, prefix tasks cut at a
+   deterministic spawn depth drain through work stealing under one
+   global node budget, and the merge reports the lexicographically
+   smallest optimal domain set at any -j.  On budget exhaustion the
+   result deterministically falls back to the greedy attack. *)
+let exact ?(budget = 50_000_000) ?spawn_depth ?pool layout ~s tree ~level ~j =
   check layout tree ~level ~j;
   if j = 0 then
     of_domains tree ~level [||] ~failed_objects:0 ~exact:true
   else begin
-    let nd = Tree.domain_count tree ~level in
     let kn0 = kernel_of layout tree ~level ~s in
-    let degrees = Array.init nd (Placement.Kernel.degree kn0) in
-    (* top_deg.(start).(m): sum of the m largest domain degrees with id
-       >= start — an upper bound on the damage of m more picks.  One
-       suffix sweep maintaining the j largest degrees in a sorted
-       scratch row: O(nd·j), same values as sorting every suffix. *)
-    let top_deg =
-      let acc = Array.make_matrix (nd + 1) (j + 1) 0 in
-      let top = Array.make j 0 in
-      let top_len = ref 0 in
-      for start = nd - 1 downto 0 do
-        let d = degrees.(start) in
-        if !top_len < j then begin
-          let i = ref !top_len in
-          while !i > 0 && top.(!i - 1) < d do
-            top.(!i) <- top.(!i - 1);
-            decr i
-          done;
-          top.(!i) <- d;
-          incr top_len
-        end
-        else if j > 0 && d > top.(j - 1) then begin
-          let i = ref (j - 1) in
-          while !i > 0 && top.(!i - 1) < d do
-            top.(!i) <- top.(!i - 1);
-            decr i
-          done;
-          top.(!i) <- d
-        end;
-        let row = acc.(start) in
-        for m = 1 to j do
-          row.(m) <- row.(m - 1) + (if m - 1 < !top_len then top.(m - 1) else 0)
-        done
-      done;
-      acc
-    in
-    (* Greedy seeds the incumbent; the bound cell is read once here,
-       before dispatch — branches publish improvements but never re-read
-       it, so pruning (and hence every statistic and the reported set)
-       is identical at every -j. *)
     let g = greedy ?pool layout ~s tree ~level ~j in
-    let incumbent = Engine.Bound.create g.failed_objects in
-    let seed_bound = Engine.Bound.get incumbent in
-    let first_choices = Array.init (nd - j + 1) Fun.id in
-    let branch_budget = max 1 (budget / Array.length first_choices) in
-    let run_branch d0 =
-      let st = Placement.Kernel.copy kn0 in
-      let best = ref seed_bound and best_set = ref None in
-      let current = Array.make j 0 in
-      let visited = ref 0 in
-      let leaves = ref 0 and prunes = ref 0 and improves = ref 0 in
-      let undos = ref 0 and max_undo_depth = ref 0 in
-      let truncated = ref false in
-      let rec go start depth =
-        incr visited;
-        if !visited > branch_budget then truncated := true
-        else if depth = j then begin
-          incr leaves;
-          if Placement.Kernel.killed st > !best then begin
-            incr improves;
-            best := Placement.Kernel.killed st;
-            best_set := Some (Array.copy current);
-            ignore (Engine.Bound.improve incumbent (Placement.Kernel.killed st))
-          end
-        end
-        else if Placement.Kernel.killed st + top_deg.(start).(j - depth) > !best
-        then
-          for d = start to nd - (j - depth) do
-            if not !truncated then begin
-              current.(depth) <- d;
-              Placement.Kernel.add st d;
-              go (d + 1) (depth + 1);
-              Placement.Kernel.remove st d;
-              incr undos;
-              if depth + 1 > !max_undo_depth then max_undo_depth := depth + 1
-            end
-          done
-        else incr prunes
-      in
-      current.(0) <- d0;
-      Placement.Kernel.add st d0;
-      go (d0 + 1) 1;
-      ( !best,
-        !best_set,
-        !truncated,
-        (!visited, !leaves, !prunes, !improves),
-        (Placement.Kernel.updates st, !undos, !max_undo_depth) )
+    let r =
+      Placement.Bb.search ?pool ?spawn_depth ~budget ~kernel:kn0 ~k:j
+        ~seed:g.failed_objects ()
     in
-    let results = pmap pool run_branch first_choices in
-    (* Deterministic fold: strict improvement, lowest branch wins ties;
-       statistics flushed here in branch order on the calling domain. *)
-    let best = ref g.failed_objects and best_set = ref None in
-    let truncated = ref false in
-    Array.iter
-      (fun (v, set, tr, (visited, leaves, prunes, improves),
-            (updates, undos, max_undo_depth)) ->
-        Telemetry.Counter.incr m_bb_branches;
-        Telemetry.Counter.add m_bb_nodes visited;
-        Telemetry.Counter.add m_bb_leaves leaves;
-        Telemetry.Counter.add m_bb_prunes prunes;
-        Telemetry.Counter.add m_bb_improves improves;
-        Telemetry.Counter.add m_kernel_updates updates;
-        Telemetry.Counter.add m_kernel_undos undos;
-        Telemetry.Histogram.observe m_kernel_undo_depth max_undo_depth;
-        if tr then Telemetry.Counter.incr m_bb_truncated;
-        if tr then truncated := true;
-        match set with
-        | Some domains when v > !best ->
-            best := v;
-            best_set := Some domains
-        | _ -> ())
-      results;
-    match !best_set with
-    | Some domains ->
-        of_domains tree ~level domains ~failed_objects:!best
-          ~exact:(not !truncated)
-    | None -> { g with exact = not !truncated }
+    flush_bb_stats r.Placement.Bb.stats;
+    if r.Placement.Bb.truncated then begin
+      Telemetry.Counter.incr m_bb_truncations;
+      { g with exact = false }
+    end
+    else
+      match r.Placement.Bb.set with
+      | Some domains ->
+          of_domains tree ~level domains
+            ~failed_objects:r.Placement.Bb.value ~exact:true
+      | None -> { g with exact = true }
   end
 
 let attack ?pool ?budget ?(exhaustive_limit = 20_000) layout ~s tree ~level ~j =
@@ -283,8 +220,8 @@ let attack ?pool ?budget ?(exhaustive_limit = 20_000) layout ~s tree ~level ~j =
     if not result.exact then
       Log.warn (fun m ->
           m
-            "domain adversary truncated by node budget at level %S j=%d: \
-             reporting best-so-far (>= greedy) as a heuristic"
+            "domain adversary exhausted its global node budget at level %S \
+             j=%d: reporting the greedy attack as a heuristic"
             (Tree.level_name tree level) j);
     result
   end

@@ -8,18 +8,19 @@
     the same availability.
 
     Search discipline (identical to {!Placement.Adversary}, see
-    DESIGN.md §6/§9): exhaustive enumeration when [C(domains, j)] is
-    small, otherwise branch-and-bound parallelized over the first-domain
-    choices through {!Engine.Pool}, seeded by the greedy attack, with
-    the shared {!Engine.Bound} incumbent read once before dispatch and
-    per-branch pre-split node budgets — so the result is bit-identical
-    at any [-j]. *)
+    DESIGN.md §6/§9/§15): exhaustive enumeration when [C(domains, j)]
+    is small, otherwise the work-stealing sharded B&B frontier
+    ({!Placement.Bb}) over the domain kernel — prefix tasks cut at a
+    deterministic spawn depth, one global node budget, pruning against
+    the shared {!Engine.Bound} incumbent, and a (value, lexicographic)
+    merge — so the reported attack is bit-identical at any [-j] even
+    though the explored node set is not. *)
 
 type attack = {
   failed_domains : int array;  (** chosen domain ids, ascending *)
   failed_nodes : int array;  (** their member nodes, ascending *)
   failed_objects : int;
-  exact : bool;  (** false only when the branch budget truncated *)
+  exact : bool;  (** false only when the global node budget ran out *)
 }
 
 val eval :
@@ -42,11 +43,16 @@ val exhaustive :
 
 val exact :
   ?budget:int ->
+  ?spawn_depth:int ->
   ?pool:Engine.Pool.t ->
   Placement.Layout.t -> s:int -> Tree.t -> level:int -> j:int -> attack
-(** Branch-and-bound over domain subsets ([budget]: total search-node
-    allowance, default 5e7, pre-split per branch).  Returns the same
-    attack as {!exhaustive} whenever it completes ([exact = true]). *)
+(** Branch-and-bound over domain subsets on the shared frontier
+    ([budget]: ONE global search-node allowance, default 5e7, drawn in
+    blocks by the work-stealing tasks; [spawn_depth] forces the task
+    cut, clamped to [1, j] — tests only, [j] is the sequential
+    reference).  Returns the same attack as {!exhaustive} whenever it
+    completes ([exact = true]); on budget exhaustion it falls back to
+    the greedy attack with [exact = false], deterministically. *)
 
 val attack :
   ?pool:Engine.Pool.t ->

@@ -1,6 +1,7 @@
 #!/bin/sh
 # One-shot health check: the full test suite plus the quick perf pass
 # (adversary -j scaling, the kernel-vs-naive greedy comparison, the
+# sharded-frontier vs branch-parallel exact-adversary row, the
 # cached-vs-uncached analysis sweep and the domain-adversary B&B
 # scaling, which append BENCH_adversary.json / BENCH_analysis.json /
 # BENCH_topology.json in the repo root), then a
@@ -82,6 +83,48 @@ scaling_speedup=$(echo "$scaling_row" | sed -n 's/.*"largest_cell_speedup": \([0
 if [ -n "$scaling_speedup" ] && awk "BEGIN { exit !($scaling_speedup < 0.5) }"; then
   echo "check.sh: advisory: sharded greedy speedup $scaling_speedup < nominal 0.5x on the largest cell (see BENCH_adversary.json)" >&2
 fi
+
+# Sharded-frontier gate: the quick perf pass appends a
+# bb_sharded_vs_branch row (the PR-10 work-stealing B&B frontier vs a
+# frozen copy of the branch-parallel static-split search it replaced,
+# both diffed against the sequential oracle at k=6–7).  Hard gate: the
+# row must exist and every cell must report identical damage AND
+# winning set across all arms ("identical_all": true) — the frontier's
+# determinism contract (DESIGN.md §15).  The k=6 speedup over the
+# branch-parallel arm is wall-clock (a 1-core container can never show
+# a parallel win), so the nominal 1.2x floor is advisory only.
+bb_row=$(grep '"op": "bb_sharded_vs_branch"' BENCH_adversary.json | tail -n 1)
+[ -n "$bb_row" ] ||
+  { echo "check.sh: no bb_sharded_vs_branch row in BENCH_adversary.json" >&2; exit 1; }
+echo "$bb_row" | grep -q '"identical_all": true' ||
+  { echo "check.sh: sharded frontier attack differs from the branch-parallel or oracle arm (see BENCH_adversary.json)" >&2; exit 1; }
+bb_speedup=$(echo "$bb_row" | sed -n 's/.*"k6_speedup_vs_branch": \([0-9.]*\).*/\1/p')
+if [ -n "$bb_speedup" ] && awk "BEGIN { exit !($bb_speedup < 1.2) }"; then
+  echo "check.sh: advisory: frontier speedup $bb_speedup < nominal 1.2x over branch-parallel at k=6 (see BENCH_adversary.json)" >&2
+fi
+
+# Frontier -j determinism on the CLI path: the same exact attack must
+# be byte-identical at -j1 and -j4 (pruning reads a shared incumbent,
+# but the (value, lexicographic) merge pins the reported set).
+dune exec bin/placement_tool.exe -- attack --strategy combo \
+  -n 31 -b 600 -r 3 -s 2 -k 4 -j1 > attack_j1.out
+dune exec bin/placement_tool.exe -- attack --strategy combo \
+  -n 31 -b 600 -r 3 -s 2 -k 4 -j4 > attack_j4.out
+cmp attack_j1.out attack_j4.out ||
+  { echo "check.sh: exact attack output differs between -j1 and -j4" >&2; exit 1; }
+rm -f attack_j1.out attack_j4.out
+
+# Frontier telemetry: on an instance big enough to actually spawn tasks
+# (n=71: spawn depth 2 < k), the --metrics envelope must carry the new
+# frontier counters — the task count and spawn depth are Stable, the
+# node count rides in the volatile section.
+bb_metrics=$(dune exec bin/placement_tool.exe -- attack --strategy combo \
+  -n 71 -b 2400 -r 3 -s 2 -k 3 --metrics -)
+for counter in 'core/adversary/bb/spawned_tasks' 'core/adversary/bb/spawn_depth' \
+  'core/adversary/bb/nodes_expanded'; do
+  echo "$bb_metrics" | grep -q "\"$counter\"" ||
+    { echo "check.sh: --metrics output missing $counter" >&2; exit 1; }
+done
 
 # Topology smoke: on a regular 4x5 topology the rack adversary (worst 1
 # rack = 5 nodes) can never beat the node adversary given the same 5-node

@@ -126,63 +126,12 @@ output is cut at its key).
       "values": {
         "core/adversary/attack/calls": 1,
         "core/adversary/attack/exact_dispatch": 1,
-        "core/adversary/bb/branch_nodes": {
-          "count": 29,
-          "sum": 4959,
-          "buckets": [
-            [
-              2,
-              1
-            ],
-            [
-              4,
-              1
-            ],
-            [
-              8,
-              2
-            ],
-            [
-              16,
-              2
-            ],
-            [
-              32,
-              3
-            ],
-            [
-              64,
-              5
-            ],
-            [
-              128,
-              7
-            ],
-            [
-              256,
-              8
-            ]
-          ]
-        },
-        "core/adversary/bb/branches": 29,
-        "core/adversary/bb/leaves": 4495,
-        "core/adversary/bb/nodes_expanded": 4959,
+        "core/adversary/bb/spawn_depth": 3.0,
         "core/adversary/greedy/marginal_evals": 121,
         "core/adversary/greedy/runs": 1,
-        "core/adversary/kernel/bb_undo_depth": {
-          "count": 29,
-          "sum": 87,
-          "buckets": [
-            [
-              2,
-              29
-            ]
-          ]
-        },
-        "core/adversary/kernel/bb_undos": 4930,
         "core/adversary/kernel/heap_pops": 90,
         "core/adversary/kernel/stale_reevals": 1,
-        "core/adversary/kernel/updates": 9892,
+        "core/adversary/kernel/updates": 3,
         "core/instance/table_builds": 1
       },
 

@@ -391,6 +391,37 @@ let test_int_max_push_many =
       in
       drain one = drain many)
 
+let test_int_max_clear =
+  (* clear + refill must behave exactly like a fresh heap — the reuse
+     path the frontier's per-worker greedy-completion probes sit on. *)
+  qtest "clear then refill = fresh heap"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 80) (pair (int_range 0 15) (int_range 0 40)))
+        (list_size (int_range 0 80) (pair (int_range 0 15) (int_range 0 40))))
+    (fun (first, second) ->
+      let reused = Combin.Heap.Int_max.create () in
+      List.iter (fun (key, p) -> Combin.Heap.Int_max.push reused ~key p) first;
+      Combin.Heap.Int_max.clear reused;
+      if not (Combin.Heap.Int_max.is_empty reused) then false
+      else begin
+        let fresh = Combin.Heap.Int_max.create () in
+        List.iter
+          (fun (key, p) ->
+            Combin.Heap.Int_max.push reused ~key p;
+            Combin.Heap.Int_max.push fresh ~key p)
+          second;
+        let drain h =
+          let rec go acc =
+            match Combin.Heap.Int_max.pop h with
+            | None -> List.rev acc
+            | Some e -> go (e :: acc)
+          in
+          go []
+        in
+        drain reused = drain fresh
+      end)
+
 (* ------------------------------------------------------------------ *)
 (* Csr *)
 
@@ -633,6 +664,7 @@ let () =
           test_int_max_heap_order;
           Alcotest.test_case "int_max peek/pop" `Quick test_int_max_heap_peek;
           test_int_max_push_many;
+          test_int_max_clear;
         ] );
       ( "csr",
         [

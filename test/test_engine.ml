@@ -78,6 +78,74 @@ let test_bound () =
   Alcotest.(check bool) "better" true (Engine.Bound.improve b 9);
   Alcotest.(check int) "value" 9 (Engine.Bound.get b)
 
+let test_deque () =
+  let d : int Engine.Deque.t = Engine.Deque.create () in
+  Alcotest.(check (option int)) "empty front" None (Engine.Deque.take_front d);
+  Alcotest.(check (option int)) "empty back" None (Engine.Deque.take_back d);
+  (* Enough pushes to force the ring to grow past its initial capacity. *)
+  for i = 0 to 40 do
+    Engine.Deque.push d i
+  done;
+  Alcotest.(check int) "length" 41 (Engine.Deque.length d);
+  Alcotest.(check (option int)) "front is oldest" (Some 0)
+    (Engine.Deque.take_front d);
+  Alcotest.(check (option int)) "back is newest" (Some 40)
+    (Engine.Deque.take_back d);
+  (* Interleave pushes with takes so head wraps around the ring. *)
+  for i = 100 to 120 do
+    Engine.Deque.push d i
+  done;
+  let front = ref [] and back = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match (Engine.Deque.take_front d, Engine.Deque.take_back d) with
+    | None, None -> continue_ := false
+    | f, b ->
+        Option.iter (fun x -> front := x :: !front) f;
+        Option.iter (fun x -> back := x :: !back) b
+  done;
+  let drained = List.sort compare (List.rev_append !front !back) in
+  let expected =
+    List.sort compare (List.init 39 (fun i -> i + 1) @ List.init 21 (fun i -> i + 100))
+  in
+  Alcotest.(check (list int)) "drained exactly once each" expected drained
+
+let test_parallel_steal () =
+  Engine.Pool.with_pool ~domains:4 (fun pool ->
+      let n = 250 in
+      let hits = Array.make n 0 in
+      let workers = Array.make n (-1) in
+      let steals =
+        Engine.Pool.parallel_steal pool
+          ~f:(fun ~worker i ->
+            hits.(i) <- hits.(i) + 1;
+            workers.(i) <- worker)
+          (Array.init n Fun.id)
+      in
+      Alcotest.(check bool) "steal count sane" true (steals >= 0 && steals <= n);
+      Alcotest.(check (array int)) "every task ran exactly once"
+        (Array.make n 1) hits;
+      Alcotest.(check bool) "worker slots in range" true
+        (Array.for_all (fun w -> w >= 0 && w < 4) workers);
+      Alcotest.(check int) "empty input" 0
+        (Engine.Pool.parallel_steal pool ~f:(fun ~worker:_ _ -> ()) [||]))
+
+let test_parallel_steal_sequential () =
+  (* ~domains:1 is the reference schedule: one deque drained in task
+     index order by the calling domain, nothing to steal from. *)
+  Engine.Pool.with_pool ~domains:1 (fun pool ->
+      let order = ref [] in
+      let steals =
+        Engine.Pool.parallel_steal pool
+          ~f:(fun ~worker i ->
+            Alcotest.(check int) "only slot 0" 0 worker;
+            order := i :: !order)
+          (Array.init 10 Fun.id)
+      in
+      Alcotest.(check int) "no steals at -j1" 0 steals;
+      Alcotest.(check (list int)) "task index order" (List.init 10 Fun.id)
+        (List.rev !order))
+
 (* ------------------------------------------------------------------ *)
 (* -j 1 vs -j 4 determinism properties *)
 
@@ -120,6 +188,27 @@ let test_exact_deterministic =
       let seq = run None in
       let par = Engine.Pool.with_pool ~domains:4 (fun p -> run (Some p)) in
       same_attack seq par)
+
+let test_frontier_matches_oracle =
+  (* The heart of the frontier's determinism contract (DESIGN.md §15):
+     at EVERY forced spawn depth, with and without a pool, the sharded
+     search reports the sequential oracle's exact answer — same damage,
+     same winning set under the lexicographic tie rule, even though the
+     explored node sets differ run to run. *)
+  qtest ~count:25 "Bb frontier: any spawn depth, -j1/-j4 = sequential oracle"
+    layout_case_gen
+    (fun (layout, _seed, s, k) ->
+      let oracle = Placement.Adversary.exact_seq layout ~s ~k in
+      let depths = List.sort_uniq compare [ 1; (k / 2) + 1; max 1 (k - 1) ] in
+      List.for_all
+        (fun d ->
+          let seq = Placement.Adversary.exact ~spawn_depth:d layout ~s ~k in
+          let par =
+            Engine.Pool.with_pool ~domains:4 (fun pool ->
+                Placement.Adversary.exact ~spawn_depth:d ~pool layout ~s ~k)
+          in
+          same_attack oracle seq && same_attack oracle par)
+        depths)
 
 let test_attack_deterministic =
   qtest ~count:20 "Adversary.attack (lazy-greedy seed): -j 1 = -j 4"
@@ -169,11 +258,16 @@ let () =
           Alcotest.test_case "nested use rejected" `Quick
             test_nested_use_rejected;
           Alcotest.test_case "bound cell" `Quick test_bound;
+          Alcotest.test_case "deque" `Quick test_deque;
+          Alcotest.test_case "parallel_steal" `Quick test_parallel_steal;
+          Alcotest.test_case "parallel_steal -j1 reference" `Quick
+            test_parallel_steal_sequential;
         ] );
       ( "determinism",
         [
           test_local_search_deterministic;
           test_exact_deterministic;
+          test_frontier_matches_oracle;
           test_attack_deterministic;
           test_montecarlo_deterministic;
         ] );

@@ -541,6 +541,79 @@ let test_adversary_attack_shape =
         && Combin.Intset.is_sorted_distinct a.Placement.Adversary.failed_nodes
       end)
 
+(* PR 10 (DESIGN.md §15): the pre-frontier exact search split its node
+   budget evenly across first-choice branches, so the heaviest subtree
+   starved while its siblings left most of the global allowance unused.
+   This frozen copy of that static-split search is the reference the
+   starvation test derives its budget from: each branch owns
+   [budget / (n - k + 1)] nodes and prunes against its own local best
+   (seeded from greedy, never re-reading a shared incumbent), exactly
+   as the old implementation did. *)
+let static_split_exact layout ~s ~k ~budget =
+  let n = layout.Placement.Layout.n in
+  let kn0 = Placement.Kernel.make layout ~s in
+  let degrees = Array.init n (Placement.Kernel.degree kn0) in
+  let top_deg = Placement.Bb.top_degrees ~degrees ~n ~k in
+  let seed =
+    (Placement.Adversary.greedy layout ~s ~k).Placement.Adversary.failed_objects
+  in
+  let branches = n - k + 1 in
+  let branch_budget = max 1 (budget / branches) in
+  let best = ref seed and truncated = ref false and max_branch = ref 0 in
+  for nd0 = 0 to branches - 1 do
+    let st = Placement.Kernel.copy kn0 in
+    let branch_best = ref seed in
+    let visited = ref 0 and btr = ref false in
+    let rec go start depth =
+      incr visited;
+      if !visited > branch_budget then btr := true
+      else if depth = k then begin
+        if Placement.Kernel.killed st > !branch_best then
+          branch_best := Placement.Kernel.killed st
+      end
+      else if
+        Placement.Kernel.killed st + top_deg.(start).(k - depth) > !branch_best
+      then
+        for nd = start to n - (k - depth) do
+          if not !btr then begin
+            Placement.Kernel.add st nd;
+            go (nd + 1) (depth + 1);
+            Placement.Kernel.remove st nd
+          end
+        done
+    in
+    Placement.Kernel.add st nd0;
+    go (nd0 + 1) 1;
+    if !btr then truncated := true;
+    if !visited > !max_branch then max_branch := !visited;
+    if !branch_best > !best then best := !branch_best
+  done;
+  (!best, !truncated, !max_branch)
+
+let test_exact_budget_starvation () =
+  let n = 24 and s = 2 and k = 4 in
+  let p = Placement.Params.make ~b:200 ~r:3 ~s ~n ~k in
+  let layout = Placement.Random_placement.place ~rng:(Combin.Rng.create 42) p in
+  (* Unstarved reference run, to size the squeeze. *)
+  let _, tr0, max_branch = static_split_exact layout ~s ~k ~budget:max_int in
+  Alcotest.(check bool) "reference run completes" false tr0;
+  (* A total allowance the static split cannot survive — its heaviest
+     branch is granted one node too few — but that covers the whole
+     tree when pooled, because branch sizes are heavily skewed. *)
+  let budget = (max_branch - 1) * (n - k + 1) in
+  let _, tr_old, _ = static_split_exact layout ~s ~k ~budget in
+  Alcotest.(check bool) "static split starves" true tr_old;
+  let oracle = Placement.Adversary.exact_seq layout ~s ~k in
+  let frontier = Placement.Adversary.exact ~budget layout ~s ~k in
+  Alcotest.(check bool) "frontier completes on the same budget" true
+    frontier.Placement.Adversary.exact;
+  Alcotest.(check int) "matches the sequential oracle"
+    oracle.Placement.Adversary.failed_objects
+    frontier.Placement.Adversary.failed_objects;
+  Alcotest.(check (array int)) "same winning set"
+    oracle.Placement.Adversary.failed_nodes
+    frontier.Placement.Adversary.failed_nodes
+
 (* ------------------------------------------------------------------ *)
 (* Kernel *)
 
@@ -1372,6 +1445,8 @@ let () =
           test_adversary_exact_is_optimal;
           test_adversary_ordering;
           test_adversary_attack_shape;
+          Alcotest.test_case "global budget beats static split" `Quick
+            test_exact_budget_starvation;
         ] );
       ( "kernel",
         [

@@ -193,6 +193,38 @@ let test_adversary_jobs_identical =
          = par.Topology.Adversary.failed_objects
       && seq.Topology.Adversary.exact = par.Topology.Adversary.exact)
 
+let test_adversary_frontier_spawn_depths () =
+  (* The sharded frontier path through the domain adversary: every
+     forced spawn depth, with and without a pool, must reproduce the
+     exhaustive answer — damage AND domain set (DESIGN.md §15). *)
+  let rng = Combin.Rng.create 7 in
+  let inst = Placement.Instance.make ~b:80 ~r:3 ~s:2 ~n:24 ~k:3 () in
+  let layout = Placement.Instance.random_layout ~rng inst in
+  let tree = Topology.Build.regular ~racks:8 ~nodes_per_rack:3 in
+  let j = 3 in
+  let oracle = Topology.Adversary.exhaustive layout ~s:2 tree ~level:1 ~j in
+  List.iter
+    (fun spawn_depth ->
+      let check_attack name (a : Topology.Adversary.attack) =
+        Alcotest.(check bool) (name ^ ": exact") true a.Topology.Adversary.exact;
+        Alcotest.(check int)
+          (name ^ ": damage")
+          oracle.Topology.Adversary.failed_objects
+          a.Topology.Adversary.failed_objects;
+        Alcotest.(check (array int))
+          (name ^ ": domains")
+          oracle.Topology.Adversary.failed_domains
+          a.Topology.Adversary.failed_domains
+      in
+      let name = Printf.sprintf "spawn_depth=%d" spawn_depth in
+      check_attack (name ^ " -j1")
+        (Topology.Adversary.exact ~spawn_depth layout ~s:2 tree ~level:1 ~j);
+      check_attack (name ^ " -j4")
+        (Engine.Pool.with_pool ~domains:4 (fun pool ->
+             Topology.Adversary.exact ~spawn_depth ~pool layout ~s:2 tree
+               ~level:1 ~j)))
+    [ 1; 2; 3 ]
+
 let test_adversary_greedy_le_exact =
   qtest ~count:30 "greedy damage <= exact damage"
     QCheck2.Gen.(int_range 0 1000)
@@ -365,6 +397,8 @@ let () =
             test_adversary_flat_equals_node;
           test_adversary_exhaustive_vs_bb;
           test_adversary_jobs_identical;
+          Alcotest.test_case "frontier spawn depths = exhaustive" `Quick
+            test_adversary_frontier_spawn_depths;
           test_adversary_greedy_le_exact;
           Alcotest.test_case "validation" `Quick test_adversary_validates;
         ] );
